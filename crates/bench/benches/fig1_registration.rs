@@ -1,0 +1,4 @@
+//! Figure 1b: comparison between copy and memory registration cost in GM.
+fn main() {
+    knet_bench::emit(&knet::figures::fig1b());
+}

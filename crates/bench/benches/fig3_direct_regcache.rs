@@ -1,0 +1,5 @@
+//! Figure 3b: ORFS direct access with and without the registration cache,
+//! against raw GM and user-space ORFA.
+fn main() {
+    knet_bench::emit(&knet::figures::fig3b());
+}

@@ -1,0 +1,6 @@
+//! Figure 4a: kernel latency with registered vs physical addressing.
+//! Figure 4b: ORFS/GM direct vs buffered access through the page-cache.
+fn main() {
+    knet_bench::emit(&knet::figures::fig4a());
+    knet_bench::emit(&knet::figures::fig4b());
+}

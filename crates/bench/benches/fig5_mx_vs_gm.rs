@@ -1,0 +1,5 @@
+//! Figure 5a/5b: MX vs GM latency and bandwidth, user and kernel.
+fn main() {
+    knet_bench::emit(&knet::figures::fig5a());
+    knet_bench::emit(&knet::figures::fig5b());
+}

@@ -1,0 +1,4 @@
+//! Figure 6: measured impact of removing the medium-message copies.
+fn main() {
+    knet_bench::emit(&knet::figures::fig6());
+}

@@ -1,0 +1,5 @@
+//! Figure 7a/7b: ORFS on GM vs MX, direct and buffered file access.
+fn main() {
+    knet_bench::emit(&knet::figures::fig7(true));
+    knet_bench::emit(&knet::figures::fig7(false));
+}

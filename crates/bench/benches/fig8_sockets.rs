@@ -1,0 +1,7 @@
+//! Figure 8a/8b: SOCKETS-MX vs SOCKETS-GM on PCI-XE cards, plus the
+//! TCP/IP-over-GigE baseline the paper references.
+fn main() {
+    knet_bench::emit(&knet::figures::fig8a());
+    knet_bench::emit(&knet::figures::fig8b());
+    knet_bench::emit(&knet::figures::tcp_baseline());
+}

@@ -1,0 +1,133 @@
+//! Criterion microbenchmarks of the simulator itself (wall-clock): how fast
+//! the engine executes events, how expensive the hot data structures are,
+//! and the end-to-end cost of simulating one ping-pong. These guard the
+//! figure regenerators against performance regressions.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use knet::harness::{kbuf, transport_pingpong_us};
+use knet::prelude::*;
+use knet::Owner;
+
+fn bench_engine(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine");
+    g.sample_size(20);
+    g.bench_function("schedule_and_run_10k_events", |b| {
+        b.iter_batched(
+            || (),
+            |()| {
+                // A self-contained world: chain 10 000 events.
+                struct W {
+                    sched: knet_simcore::Scheduler<W>,
+                    n: u64,
+                }
+                impl knet_simcore::SimWorld for W {
+                    fn sched(&self) -> &knet_simcore::Scheduler<Self> {
+                        &self.sched
+                    }
+                    fn sched_mut(&mut self) -> &mut knet_simcore::Scheduler<Self> {
+                        &mut self.sched
+                    }
+                }
+                let mut w = W {
+                    sched: knet_simcore::Scheduler::new(),
+                    n: 0,
+                };
+                for i in 0..10_000u64 {
+                    w.sched
+                        .at(SimTime::from_nanos(i), |w: &mut W| w.n += 1);
+                }
+                knet_simcore::run_to_quiescence(&mut w);
+                assert_eq!(w.n, 10_000);
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_pingpong(c: &mut Criterion) {
+    let mut g = c.benchmark_group("end_to_end");
+    g.sample_size(10);
+    g.bench_function("mx_pingpong_4k_x10", |b| {
+        b.iter_batched(
+            || {
+                let (mut w, n0, n1) = two_nodes();
+                let a = w
+                    .open_mx(n0, MxEndpointConfig::kernel(), Owner::Driver)
+                    .unwrap();
+                let bb = w
+                    .open_mx(n1, MxEndpointConfig::kernel(), Owner::Driver)
+                    .unwrap();
+                let ka = kbuf(&mut w, n0, 4096);
+                let kb = kbuf(&mut w, n1, 4096);
+                (w, a, bb, ka, kb)
+            },
+            |(mut w, a, b2, ka, kb)| {
+                let us = transport_pingpong_us(&mut w, a, b2, ka.iov(4096), kb.iov(4096), 10);
+                assert!(us > 0.0);
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_structures(c: &mut Criterion) {
+    let mut g = c.benchmark_group("structures");
+    g.sample_size(20);
+    g.bench_function("ttable_insert_lookup_4k", |b| {
+        use knet_simnic::{TransKey, TransTable};
+        use knet_simos::{Asid, PhysAddr, VirtAddr};
+        b.iter(|| {
+            let mut t = TransTable::new(8192);
+            for vpn in 0..4096u64 {
+                t.insert(
+                    TransKey {
+                        asid: Asid(1),
+                        vpn,
+                    },
+                    PhysAddr::new(vpn << 12),
+                )
+                .unwrap();
+            }
+            let mut acc = 0u64;
+            for vpn in 0..4096u64 {
+                acc += t
+                    .lookup(Asid(1), VirtAddr::new(vpn << 12))
+                    .unwrap()
+                    .raw();
+            }
+            acc
+        })
+    });
+    g.bench_function("regcache_plan_commit_1k_pages", |b| {
+        use knet_core::{RegCache, RegKey};
+        use knet_simos::{Asid, FrameIdx, VirtAddr, PAGE_SIZE};
+        b.iter(|| {
+            let mut c = RegCache::new(2048);
+            let plan = c.plan_range(Asid(1), VirtAddr::new(0), 1024 * PAGE_SIZE);
+            for (i, p) in plan.missing.iter().enumerate() {
+                c.commit(RegKey::of(Asid(1), *p), FrameIdx(i as u32));
+            }
+            // All hits the second time.
+            let plan2 = c.plan_range(Asid(1), VirtAddr::new(0), 1024 * PAGE_SIZE);
+            assert_eq!(plan2.hit_pages, 1024);
+        })
+    });
+    g.bench_function("simfs_write_read_1mb", |b| {
+        use knet_simfs::SimFs;
+        let data = vec![0xA5u8; 1 << 20];
+        b.iter(|| {
+            let mut fs = SimFs::with_defaults();
+            let ino = fs.create("/f", 0o644, SimTime::ZERO).unwrap();
+            fs.write(ino, 0, &data, SimTime::ZERO).unwrap();
+            let mut back = vec![0u8; 1 << 20];
+            fs.read(ino, 0, &mut back, SimTime::ZERO).unwrap();
+            back[0]
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_engine, bench_pingpong, bench_structures);
+criterion_main!(benches);

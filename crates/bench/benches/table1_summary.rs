@@ -1,0 +1,5 @@
+//! Table 1: summary of the MX vs GM in-kernel performance comparison.
+fn main() {
+    let rows = knet::figures::table1();
+    println!("{}", knet::report::render_table1(&rows));
+}

@@ -1,0 +1,13 @@
+//! # knet-bench — the figure and table regenerators
+//!
+//! Each `cargo bench` target rebuilds one of the paper's evaluation
+//! artifacts on the simulated testbed and prints the measured series (text
+//! table + CSV). All numbers are *virtual-time* measurements — deterministic
+//! and reproducible. `micro_simulator` additionally benchmarks the
+//! simulator's own wall-clock performance with Criterion.
+
+/// Print a figure in both human and CSV form.
+pub fn emit(fig: &knet::figures::Figure) {
+    println!("{}", knet::report::render_figure(fig));
+    println!("--- CSV ---\n{}", knet::report::render_csv(fig));
+}

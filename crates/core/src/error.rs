@@ -1,0 +1,98 @@
+//! Unified error type for the kernel network API.
+
+use std::fmt;
+
+use knet_simnic::TtError;
+use knet_simos::OsError;
+
+/// Errors surfaced by the network API layers (GM, MX, and the common core).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum NetError {
+    /// Underlying OS/memory failure.
+    Os(OsError),
+    /// The buffer (or part of it) is not registered with the NIC and the
+    /// port does not auto-register.
+    NotRegistered,
+    /// The NIC translation table is full.
+    TableFull,
+    /// The port ran out of send tokens (GM bounds pending requests).
+    NoSendTokens,
+    /// No receive buffer of a suitable size class was provided (GM).
+    NoRecvBuffer,
+    /// Unknown or closed endpoint/port.
+    BadEndpoint,
+    /// Destination endpoint does not exist.
+    BadDestination,
+    /// The message exceeds what the protocol or buffer allows.
+    TooLarge,
+    /// A receive completed into a buffer smaller than the message.
+    Truncated,
+    /// The operation is not supported by this API in this mode (e.g.
+    /// vectorial sends on stock GM, physical addressing without the patch).
+    Unsupported,
+    /// Ports/endpoints exhausted.
+    OutOfPorts,
+    /// The request id is unknown (already completed or never issued).
+    UnknownRequest,
+    /// An address class was used where it is not allowed (e.g. a user
+    /// virtual address on a port opened without an address space).
+    BadAddressClass,
+}
+
+impl From<OsError> for NetError {
+    fn from(e: OsError) -> Self {
+        NetError::Os(e)
+    }
+}
+
+impl From<TtError> for NetError {
+    fn from(e: TtError) -> Self {
+        match e {
+            TtError::Full => NetError::TableFull,
+            TtError::NotRegistered => NetError::NotRegistered,
+        }
+    }
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::Os(e) => write!(f, "os error: {e}"),
+            NetError::NotRegistered => f.write_str("buffer not registered with the NIC"),
+            NetError::TableFull => f.write_str("NIC translation table full"),
+            NetError::NoSendTokens => f.write_str("no send tokens available"),
+            NetError::NoRecvBuffer => f.write_str("no receive buffer provided"),
+            NetError::BadEndpoint => f.write_str("unknown or closed endpoint"),
+            NetError::BadDestination => f.write_str("unknown destination endpoint"),
+            NetError::TooLarge => f.write_str("message too large"),
+            NetError::Truncated => f.write_str("receive buffer too small"),
+            NetError::Unsupported => f.write_str("operation not supported in this mode"),
+            NetError::OutOfPorts => f.write_str("no free ports"),
+            NetError::UnknownRequest => f.write_str("unknown request id"),
+            NetError::BadAddressClass => f.write_str("address class not allowed here"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions() {
+        assert_eq!(NetError::from(OsError::Fault), NetError::Os(OsError::Fault));
+        assert_eq!(NetError::from(TtError::Full), NetError::TableFull);
+        assert_eq!(
+            NetError::from(TtError::NotRegistered),
+            NetError::NotRegistered
+        );
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let s = format!("{}", NetError::Os(OsError::OutOfMemory));
+        assert!(s.contains("out of physical memory"));
+    }
+}

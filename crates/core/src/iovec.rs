@@ -1,0 +1,449 @@
+//! Memory references and io-vectors — the address-class API of §4.2.
+//!
+//! The paper's MX kernel interface lets the application *say what kind of
+//! memory it is handing over*:
+//!
+//! > "Its in-kernel API proposes a native and optimized support for
+//! > different types of memory addressing. The application has to pass this
+//! > type of address to MX: **User virtual** (MX pins the target zones and
+//! > translates), **Kernel virtual** (often already pinned; MX just has to
+//! > translate), **Physical** (the application is responsible for pinning)."
+//!
+//! [`MemRef`] encodes exactly these three classes, and [`IoVec`] provides the
+//! vectorial grouping (§4.1) that lets a page-cache flush or a scattered user
+//! buffer travel as one request.
+
+use knet_simos::{pages_spanned, Asid, NodeOs, OsError, PhysAddr, PhysSeg, VirtAddr};
+
+use crate::error::NetError;
+
+/// The three address classes of the MX kernel API.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum AddrClass {
+    /// Pageable user memory: must be pinned and translated before DMA.
+    UserVirtual,
+    /// Kernel direct-map memory: already resident, translation is trivial.
+    KernelVirtual,
+    /// A physical address (e.g. a page-cache page): nothing to do; the
+    /// caller guarantees residency.
+    Physical,
+}
+
+/// One contiguous memory reference, tagged with its class.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum MemRef {
+    UserVirtual {
+        asid: Asid,
+        addr: VirtAddr,
+        len: u64,
+    },
+    KernelVirtual {
+        addr: VirtAddr,
+        len: u64,
+    },
+    Physical {
+        addr: PhysAddr,
+        len: u64,
+    },
+}
+
+impl MemRef {
+    pub fn user(asid: Asid, addr: VirtAddr, len: u64) -> Self {
+        MemRef::UserVirtual { asid, addr, len }
+    }
+
+    pub fn kernel(addr: VirtAddr, len: u64) -> Self {
+        MemRef::KernelVirtual { addr, len }
+    }
+
+    pub fn physical(addr: PhysAddr, len: u64) -> Self {
+        MemRef::Physical { addr, len }
+    }
+
+    pub fn len(&self) -> u64 {
+        match *self {
+            MemRef::UserVirtual { len, .. }
+            | MemRef::KernelVirtual { len, .. }
+            | MemRef::Physical { len, .. } => len,
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    pub fn class(&self) -> AddrClass {
+        match self {
+            MemRef::UserVirtual { .. } => AddrClass::UserVirtual,
+            MemRef::KernelVirtual { .. } => AddrClass::KernelVirtual,
+            MemRef::Physical { .. } => AddrClass::Physical,
+        }
+    }
+
+    /// Pages spanned by this reference.
+    pub fn pages(&self) -> u64 {
+        match *self {
+            MemRef::UserVirtual { addr, len, .. } | MemRef::KernelVirtual { addr, len } => {
+                pages_spanned(addr, len)
+            }
+            MemRef::Physical { addr, len } => {
+                pages_spanned(VirtAddr::new(addr.raw()), len)
+            }
+        }
+    }
+}
+
+/// A vectorial buffer description: an ordered list of memory references,
+/// possibly of mixed address classes.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct IoVec {
+    segs: Vec<MemRef>,
+}
+
+impl IoVec {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn single(seg: MemRef) -> Self {
+        IoVec { segs: vec![seg] }
+    }
+
+    pub fn from_segs(segs: Vec<MemRef>) -> Self {
+        IoVec { segs }
+    }
+
+    pub fn push(&mut self, seg: MemRef) {
+        if !seg.is_empty() {
+            self.segs.push(seg);
+        }
+    }
+
+    pub fn segs(&self) -> &[MemRef] {
+        &self.segs
+    }
+
+    pub fn seg_count(&self) -> usize {
+        self.segs.len()
+    }
+
+    pub fn total_len(&self) -> u64 {
+        self.segs.iter().map(MemRef::len).sum()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.total_len() == 0
+    }
+
+    /// Total pages spanned (what registration and pinning pay for).
+    pub fn total_pages(&self) -> u64 {
+        self.segs.iter().map(MemRef::pages).sum()
+    }
+
+    /// Does any segment require pinning (user virtual memory)?
+    pub fn needs_pinning(&self) -> bool {
+        self.segs
+            .iter()
+            .any(|s| s.class() == AddrClass::UserVirtual)
+    }
+
+    /// The single class of this vector, or `None` when mixed.
+    pub fn uniform_class(&self) -> Option<AddrClass> {
+        let mut it = self.segs.iter().map(MemRef::class);
+        let first = it.next()?;
+        it.all(|c| c == first).then_some(first)
+    }
+}
+
+/// The outcome of resolving an [`IoVec`] into DMA-able physical segments.
+#[derive(Clone, Debug, Default)]
+pub struct Resolution {
+    /// Physically contiguous segments, merged where adjacent.
+    pub segs: Vec<PhysSeg>,
+    /// Frames pinned during resolution (caller must unpin when done).
+    pub pinned: Vec<knet_simos::FrameIdx>,
+    /// User pages touched (each paid a pin + software translation).
+    pub user_pages: u64,
+    /// Kernel-virtual pages touched (translation by subtraction, no pin).
+    pub kernel_pages: u64,
+    /// Bytes supplied directly as physical addresses (free to resolve).
+    pub physical_bytes: u64,
+}
+
+impl Resolution {
+    pub fn total_len(&self) -> u64 {
+        PhysSeg::total_len(&self.segs)
+    }
+}
+
+/// Resolve an [`IoVec`] into physical segments on `node`, pinning user pages
+/// when `pin_user` is set (the MX kernel path pins; the GM path instead
+/// requires prior registration and never calls this for user memory).
+pub fn resolve_iovec(
+    node: &mut NodeOs,
+    iov: &IoVec,
+    pin_user: bool,
+) -> Result<Resolution, NetError> {
+    let mut r = Resolution::default();
+    for seg in iov.segs() {
+        match *seg {
+            MemRef::Physical { addr, len } => {
+                PhysSeg::push_merged(&mut r.segs, PhysSeg::new(addr, len));
+                r.physical_bytes += len;
+            }
+            MemRef::KernelVirtual { addr, len } => {
+                let p = addr
+                    .kernel_to_phys()
+                    .ok_or(NetError::Os(OsError::WrongAddressClass))?;
+                PhysSeg::push_merged(&mut r.segs, PhysSeg::new(p, len));
+                r.kernel_pages += pages_spanned(addr, len);
+            }
+            MemRef::UserVirtual { asid, addr, len } => {
+                if pin_user {
+                    let frames = node.pin_range(asid, addr, len)?;
+                    r.pinned.extend(frames);
+                }
+                let segs = node.space(asid)?.translate_range(addr, len)?;
+                for s in segs {
+                    PhysSeg::push_merged(&mut r.segs, s);
+                }
+                r.user_pages += pages_spanned(addr, len);
+            }
+        }
+    }
+    Ok(r)
+}
+
+/// Read the bytes an [`IoVec`] describes (for copy-based protocol paths).
+pub fn read_iovec(node: &NodeOs, iov: &IoVec) -> Result<Vec<u8>, NetError> {
+    let mut out = Vec::with_capacity(iov.total_len() as usize);
+    for seg in iov.segs() {
+        let start = out.len();
+        out.resize(start + seg.len() as usize, 0);
+        match *seg {
+            MemRef::Physical { addr, len: _ } => {
+                node.mem.read(addr, &mut out[start..])?;
+            }
+            MemRef::KernelVirtual { addr, .. } => {
+                node.read_virt(Asid::KERNEL, addr, &mut out[start..])?;
+            }
+            MemRef::UserVirtual { asid, addr, .. } => {
+                node.read_virt(asid, addr, &mut out[start..])?;
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Write bytes into the memory an [`IoVec`] describes; returns bytes written
+/// (stops at the vector's capacity).
+pub fn write_iovec(node: &mut NodeOs, iov: &IoVec, data: &[u8]) -> Result<u64, NetError> {
+    let mut done = 0usize;
+    for seg in iov.segs() {
+        if done >= data.len() {
+            break;
+        }
+        let n = (seg.len() as usize).min(data.len() - done);
+        let chunk = &data[done..done + n];
+        match *seg {
+            MemRef::Physical { addr, .. } => node.mem.write(addr, chunk)?,
+            MemRef::KernelVirtual { addr, .. } => {
+                node.write_virt(Asid::KERNEL, addr, chunk)?
+            }
+            MemRef::UserVirtual { asid, addr, .. } => node.write_virt(asid, addr, chunk)?,
+        }
+        done += n;
+    }
+    Ok(done as u64)
+}
+
+/// The sub-window `[offset, offset+len)` of a segment list — used to land an
+/// MTU chunk at its offset within a posted receive buffer.
+pub fn seg_window(segs: &[PhysSeg], offset: u64, len: u64) -> Vec<PhysSeg> {
+    let mut out = Vec::new();
+    let mut skip = offset;
+    let mut want = len;
+    for seg in segs {
+        if want == 0 {
+            break;
+        }
+        if skip >= seg.len {
+            skip -= seg.len;
+            continue;
+        }
+        let take = (seg.len - skip).min(want);
+        PhysSeg::push_merged(&mut out, PhysSeg::new(seg.addr.add(skip), take));
+        want -= take;
+        skip = 0;
+    }
+    out
+}
+
+/// Split a resolved segment list into MTU-sized chunks for packetization.
+/// Each returned chunk is a list of physical segments totalling at most
+/// `mtu` bytes.
+pub fn chunk_segments(segs: &[PhysSeg], mtu: u64) -> Vec<Vec<PhysSeg>> {
+    assert!(mtu > 0);
+    let mut chunks = Vec::new();
+    let mut cur: Vec<PhysSeg> = Vec::new();
+    let mut cur_len = 0u64;
+    for seg in segs {
+        let mut addr = seg.addr;
+        let mut rem = seg.len;
+        while rem > 0 {
+            let space = mtu - cur_len;
+            let take = rem.min(space);
+            PhysSeg::push_merged(&mut cur, PhysSeg::new(addr, take));
+            cur_len += take;
+            addr = addr.add(take);
+            rem -= take;
+            if cur_len == mtu {
+                chunks.push(std::mem::take(&mut cur));
+                cur_len = 0;
+            }
+        }
+    }
+    if !cur.is_empty() {
+        chunks.push(cur);
+    }
+    chunks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use knet_simos::{CpuModel, NodeId, Prot, PAGE_SIZE};
+
+    fn node() -> NodeOs {
+        NodeOs::new(NodeId(0), CpuModel::xeon_2600(), 1024)
+    }
+
+    #[test]
+    fn iovec_accounting() {
+        let mut iov = IoVec::new();
+        iov.push(MemRef::kernel(VirtAddr::new(knet_simos::KERNEL_BASE), 100));
+        iov.push(MemRef::physical(PhysAddr::new(0x1000), PAGE_SIZE));
+        iov.push(MemRef::kernel(VirtAddr::new(knet_simos::KERNEL_BASE), 0)); // dropped
+        assert_eq!(iov.seg_count(), 2);
+        assert_eq!(iov.total_len(), 100 + PAGE_SIZE);
+        assert!(!iov.needs_pinning());
+        assert_eq!(iov.uniform_class(), None);
+    }
+
+    #[test]
+    fn uniform_class_detection() {
+        let iov = IoVec::from_segs(vec![
+            MemRef::physical(PhysAddr::new(0), 10),
+            MemRef::physical(PhysAddr::new(0x1000), 10),
+        ]);
+        assert_eq!(iov.uniform_class(), Some(AddrClass::Physical));
+        assert_eq!(IoVec::new().uniform_class(), None);
+    }
+
+    #[test]
+    fn resolve_kernel_memory_needs_no_pin() {
+        let mut n = node();
+        let kva = n.kalloc(2 * PAGE_SIZE).unwrap();
+        let iov = IoVec::single(MemRef::kernel(kva, 2 * PAGE_SIZE));
+        let r = resolve_iovec(&mut n, &iov, true).unwrap();
+        assert_eq!(r.segs.len(), 1, "direct map is contiguous");
+        assert!(r.pinned.is_empty());
+        assert_eq!(r.kernel_pages, 2);
+        assert_eq!(r.total_len(), 2 * PAGE_SIZE);
+    }
+
+    #[test]
+    fn resolve_user_memory_pins_when_asked() {
+        let mut n = node();
+        let asid = n.create_process();
+        let va = n.map_anon(asid, 2 * PAGE_SIZE, Prot::RW).unwrap();
+        let iov = IoVec::single(MemRef::user(asid, va.add(10), PAGE_SIZE));
+        let r = resolve_iovec(&mut n, &iov, true).unwrap();
+        assert_eq!(r.user_pages, 2, "unaligned page-sized range spans 2 pages");
+        assert_eq!(r.pinned.len(), 2);
+        assert_eq!(n.mem.pin_count(r.pinned[0]), 1);
+        let r2 = resolve_iovec(&mut n, &iov, false).unwrap();
+        assert!(r2.pinned.is_empty());
+        n.unpin_frames(&r.pinned).unwrap();
+    }
+
+    #[test]
+    fn read_write_iovec_roundtrip_mixed_classes() {
+        let mut n = node();
+        let kva = n.kalloc(PAGE_SIZE).unwrap();
+        let asid = n.create_process();
+        let uva = n.map_anon(asid, PAGE_SIZE, Prot::RW).unwrap();
+        let iov = IoVec::from_segs(vec![
+            MemRef::kernel(kva.add(5), 7),
+            MemRef::user(asid, uva.add(100), 9),
+        ]);
+        let data: Vec<u8> = (0..16).collect();
+        assert_eq!(write_iovec(&mut n, &iov, &data).unwrap(), 16);
+        let back = read_iovec(&n, &iov).unwrap();
+        assert_eq!(back, data);
+    }
+
+    #[test]
+    fn write_iovec_stops_at_capacity() {
+        let mut n = node();
+        let kva = n.kalloc(PAGE_SIZE).unwrap();
+        let iov = IoVec::single(MemRef::kernel(kva, 8));
+        assert_eq!(write_iovec(&mut n, &iov, &[1u8; 100]).unwrap(), 8);
+    }
+
+    #[test]
+    fn chunking_respects_mtu_and_preserves_bytes() {
+        let segs = vec![
+            PhysSeg::new(PhysAddr::new(0x1000), 5000),
+            PhysSeg::new(PhysAddr::new(0x9000), 3000),
+        ];
+        let chunks = chunk_segments(&segs, 4096);
+        assert_eq!(chunks.len(), 2);
+        assert_eq!(PhysSeg::total_len(&chunks[0]), 4096);
+        assert_eq!(PhysSeg::total_len(&chunks[1]), 3904);
+        // First chunk is one merged segment; second spans the discontinuity.
+        assert_eq!(chunks[0].len(), 1);
+        assert_eq!(chunks[1].len(), 2);
+        let total: u64 = chunks.iter().map(|c| PhysSeg::total_len(c)).sum();
+        assert_eq!(total, 8000);
+    }
+
+    #[test]
+    fn seg_window_selects_the_right_bytes() {
+        let segs = vec![
+            PhysSeg::new(PhysAddr::new(0x1000), 100),
+            PhysSeg::new(PhysAddr::new(0x5000), 100),
+        ];
+        // Window fully inside the first segment.
+        assert_eq!(
+            seg_window(&segs, 10, 20),
+            vec![PhysSeg::new(PhysAddr::new(0x100A), 20)]
+        );
+        // Window straddling both segments.
+        let w = seg_window(&segs, 90, 30);
+        assert_eq!(
+            w,
+            vec![
+                PhysSeg::new(PhysAddr::new(0x105A), 10),
+                PhysSeg::new(PhysAddr::new(0x5000), 20),
+            ]
+        );
+        // Window starting in the second segment.
+        assert_eq!(
+            seg_window(&segs, 150, 50),
+            vec![PhysSeg::new(PhysAddr::new(0x5032), 50)]
+        );
+        // Window larger than what remains clamps.
+        assert_eq!(PhysSeg::total_len(&seg_window(&segs, 150, 500)), 50);
+        assert!(seg_window(&segs, 200, 10).is_empty());
+    }
+
+    #[test]
+    fn chunking_small_message_is_one_chunk() {
+        let segs = vec![PhysSeg::new(PhysAddr::new(0x40), 64)];
+        let chunks = chunk_segments(&segs, 4096);
+        assert_eq!(chunks.len(), 1);
+        assert_eq!(chunks[0], segs);
+        assert!(chunk_segments(&[], 4096).is_empty());
+    }
+}

@@ -1,0 +1,29 @@
+//! # knet-core — the in-kernel network API (the paper's contribution)
+//!
+//! The network-agnostic pieces of "An Efficient Network API for in-Kernel
+//! Applications in Clusters":
+//!
+//! * [`iovec`] — the three **address classes** (user virtual / kernel
+//!   virtual / physical) of §4.2 and the **vectorial** buffer descriptions
+//!   of §4.1, with resolution into DMA-able physical segments;
+//! * [`regcache`] — **GMKRC**, the kernel registration cache (§3.2) kept
+//!   coherent by VMA SPY notifications;
+//! * [`transport`] — the unified endpoint interface the in-kernel
+//!   applications (ORFS, zero-copy sockets) are written against, so the same
+//!   client code runs over GM and MX exactly as in the paper's evaluation;
+//! * [`error`] — the unified error type.
+//!
+//! The two drivers implementing this API live in `knet-gm` and `knet-mx`.
+
+pub mod error;
+pub mod iovec;
+pub mod regcache;
+pub mod transport;
+
+pub use error::NetError;
+pub use iovec::{
+    chunk_segments, read_iovec, resolve_iovec, seg_window, write_iovec, AddrClass, IoVec, MemRef,
+    Resolution,
+};
+pub use regcache::{RangePlan, RegCache, RegCacheStats, RegKey};
+pub use transport::{Endpoint, TransportEvent, TransportKind, TransportWorld};

@@ -1,0 +1,104 @@
+//! The unified kernel transport abstraction.
+//!
+//! ORFS and the zero-copy socket layer are written once, against this
+//! interface, and run unchanged over GM or MX — which is precisely the
+//! paper's experimental method (the same ORFS client measured on both
+//! drivers). The composed world implements [`TransportWorld`] by routing
+//! each call to the driver that owns the endpoint; driver-specific behaviour
+//! (GM's registration cache and kernel-port overhead, MX's address classes
+//! and copy protocols) stays inside the drivers.
+
+use bytes::Bytes;
+use knet_simnic::NicWorld;
+use knet_simos::NodeId;
+
+use crate::error::NetError;
+use crate::iovec::IoVec;
+
+/// Which driver an endpoint belongs to.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum TransportKind {
+    Gm,
+    Mx,
+}
+
+/// A transport endpoint: a GM port or an MX endpoint on some node.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct Endpoint {
+    pub kind: TransportKind,
+    pub node: NodeId,
+    /// Driver-local index (GM port number / MX endpoint id).
+    pub idx: u32,
+}
+
+/// Completion and delivery notifications handed to an endpoint's owner.
+#[derive(Clone, Debug)]
+pub enum TransportEvent {
+    /// A send completed; `ctx` is the caller's cookie.
+    SendDone { ctx: u64 },
+    /// A posted receive completed: `len` bytes matching `tag` landed in the
+    /// posted io-vector.
+    RecvDone { ctx: u64, tag: u64, len: u64 },
+    /// A message arrived with no matching posted receive. The payload is
+    /// delivered inline from the driver's bounce buffers (the copy cost was
+    /// charged by the driver).
+    Unexpected {
+        tag: u64,
+        data: Bytes,
+        from: Endpoint,
+    },
+}
+
+/// World capability: send/receive over whichever driver owns the endpoint.
+///
+/// Contract expected from implementations:
+/// * `t_send` is asynchronous: data leaves via the driver's protocol and a
+///   `SendDone { ctx }` event is eventually delivered to the *sender's*
+///   owner.
+/// * `t_post_recv` arms a tagged receive; when a message with that tag
+///   arrives, its payload lands in the io-vector (zero-copy when the driver
+///   can) and `RecvDone` is delivered to the endpoint's owner.
+/// * Messages with no armed tag surface as `Unexpected`.
+pub trait TransportWorld: NicWorld {
+    fn t_send(
+        &mut self,
+        from: Endpoint,
+        to: Endpoint,
+        tag: u64,
+        iov: IoVec,
+        ctx: u64,
+    ) -> Result<(), NetError>;
+
+    fn t_post_recv(
+        &mut self,
+        ep: Endpoint,
+        tag: u64,
+        iov: IoVec,
+        ctx: u64,
+    ) -> Result<(), NetError>;
+
+    /// Withdraw a posted receive by tag (true when one was withdrawn).
+    /// Layered protocols use this when a payload overtakes its descriptor.
+    fn t_cancel_recv(&mut self, ep: Endpoint, tag: u64) -> bool;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn endpoints_are_value_types() {
+        let a = Endpoint {
+            kind: TransportKind::Gm,
+            node: NodeId(0),
+            idx: 3,
+        };
+        let b = Endpoint {
+            kind: TransportKind::Mx,
+            node: NodeId(0),
+            idx: 3,
+        };
+        assert_ne!(a, b, "kind participates in identity");
+        assert_eq!(a, a);
+    }
+}

@@ -1,0 +1,92 @@
+//! Property tests on the io-vector machinery: chunking and windowing must
+//! partition byte ranges exactly, never exceed the MTU, and preserve order.
+
+use knet_core::{chunk_segments, seg_window};
+use knet_simos::{PhysAddr, PhysSeg};
+use proptest::prelude::*;
+
+fn arb_segs() -> impl Strategy<Value = Vec<PhysSeg>> {
+    prop::collection::vec((0u64..1 << 20, 1u64..100_000), 1..8).prop_map(|v| {
+        // Space the segments out so they never overlap (offsets stack).
+        let mut base = 0u64;
+        v.into_iter()
+            .map(|(gap, len)| {
+                let addr = PhysAddr::new(base + gap);
+                base += gap + len + 1; // +1 prevents accidental merging
+                PhysSeg::new(addr, len)
+            })
+            .collect()
+    })
+}
+
+/// Flatten a segment list into (addr, len)-covered byte addresses.
+fn flatten(segs: &[PhysSeg]) -> Vec<u64> {
+    let mut out = Vec::new();
+    for s in segs {
+        for i in 0..s.len {
+            out.push(s.addr.raw() + i);
+        }
+    }
+    out
+}
+
+proptest! {
+    #[test]
+    fn chunking_partitions_exactly(segs in arb_segs(), mtu in 1u64..10_000) {
+        let chunks = chunk_segments(&segs, mtu);
+        // Every chunk obeys the MTU.
+        for c in &chunks {
+            prop_assert!(PhysSeg::total_len(c) <= mtu);
+            prop_assert!(PhysSeg::total_len(c) > 0);
+        }
+        // All chunks except the last are full.
+        for c in chunks.iter().take(chunks.len().saturating_sub(1)) {
+            prop_assert_eq!(PhysSeg::total_len(c), mtu);
+        }
+        // Byte-exact coverage, in order.
+        let original = flatten(&segs);
+        let mut rebuilt = Vec::new();
+        for c in &chunks {
+            rebuilt.extend(flatten(c));
+        }
+        prop_assert_eq!(rebuilt, original);
+    }
+
+    #[test]
+    fn windows_tile_the_range(segs in arb_segs(), cut in 1u64..50_000) {
+        let total = PhysSeg::total_len(&segs);
+        let original = flatten(&segs);
+        // Tile the byte range with consecutive windows of width `cut`.
+        let mut rebuilt = Vec::new();
+        let mut off = 0;
+        while off < total {
+            let w = seg_window(&segs, off, cut);
+            prop_assert!(PhysSeg::total_len(&w) <= cut);
+            rebuilt.extend(flatten(&w));
+            off += cut;
+        }
+        prop_assert_eq!(rebuilt, original);
+        // Windows past the end are empty.
+        prop_assert!(seg_window(&segs, total, 1).is_empty());
+    }
+
+    #[test]
+    fn window_equals_flattened_slice(
+        segs in arb_segs(),
+        frac_off in 0.0f64..1.0,
+        frac_len in 0.0f64..1.0,
+    ) {
+        let total = PhysSeg::total_len(&segs);
+        let off = (total as f64 * frac_off) as u64;
+        let len = ((total - off) as f64 * frac_len) as u64 + 1;
+        let w = seg_window(&segs, off, len);
+        let flat = flatten(&segs);
+        let expect: Vec<u64> = flat
+            .iter()
+            .skip(off as usize)
+            .take(len as usize)
+            .copied()
+            .collect();
+        prop_assert_eq!(flatten(&w), expect);
+    }
+}

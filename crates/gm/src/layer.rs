@@ -1,0 +1,913 @@
+//! The GM driver: ports, explicit registration, sends, receive firmware.
+//!
+//! Faithful to the model the paper describes in §2.2.2:
+//!
+//! * message passing with *send tokens* bounding pending requests;
+//! * all I/O buffers must be **registered** first (pin + NIC-table entry),
+//!   3 µs/page to register, 200 µs base to deregister;
+//! * completions arrive in a per-port **event queue** the host polls;
+//! * receive buffers are *provided* ahead of time; messages that find no
+//!   buffer land in a pre-registered bounce pool and reach the host with an
+//!   extra copy (how real GM applications handled unexpected traffic);
+//! * the **kernel port** costs ≈2 µs more per operation — GM "lacks an
+//!   efficient in-kernel communication implementation" (§5.2);
+//! * the paper's patch (§3.3) adds **physical-address primitives** that skip
+//!   the NIC translation lookup (≈0.5 µs/side) and accept page-cache pages.
+
+use std::collections::{BTreeMap, VecDeque};
+
+use bytes::Bytes;
+use knet_core::{
+    chunk_segments, seg_window, IoVec, MemRef, NetError, RegCache, RegKey,
+};
+use knet_simcore::SimTime;
+use knet_simnic::{
+    dma_charge, dma_gather, dma_scatter, fw_charge, wire_send, NicId, NicWorld, Packet, Proto,
+    TransKey,
+};
+use knet_simos::{cpu_charge, page_slices, Asid, FrameIdx, NodeId, PhysSeg};
+
+use crate::params::GmParams;
+
+/// Global identifier of an open GM port.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct GmPortId(pub u32);
+
+/// Wildcard receive tag: a provided buffer with this tag matches anything.
+pub const GM_ANY_TAG: u64 = u64::MAX;
+
+/// Whether a port belongs to a user process or to the kernel.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum PortMode {
+    /// A user-space port bound to one address space (GM's assumption:
+    /// "GM assumes a port can only be used by a single process", §3.2).
+    User(Asid),
+    /// The in-kernel port — shareable across processes thanks to the
+    /// ASID-tagged translation table (the 64-bit pointer patch).
+    Kernel,
+}
+
+impl PortMode {
+    pub fn is_kernel(&self) -> bool {
+        matches!(self, PortMode::Kernel)
+    }
+}
+
+/// Port configuration.
+#[derive(Clone, Debug)]
+pub struct GmPortConfig {
+    pub mode: PortMode,
+    /// Enable the paper's physical-address primitives (§3.3).
+    pub physical_api: bool,
+    /// Attach a registration cache of this many pages (GMKRC in the kernel,
+    /// the ORFA library cache in user space).
+    pub regcache_pages: Option<usize>,
+    /// The consumer sleeps between completions and must be woken through
+    /// GM's helper notification thread (in-kernel clients like ORFS);
+    /// polling consumers leave this off.
+    pub blocking_notify: bool,
+}
+
+impl GmPortConfig {
+    pub fn user(asid: Asid) -> Self {
+        GmPortConfig {
+            mode: PortMode::User(asid),
+            physical_api: false,
+            regcache_pages: None,
+            blocking_notify: false,
+        }
+    }
+
+    pub fn kernel() -> Self {
+        GmPortConfig {
+            mode: PortMode::Kernel,
+            physical_api: false,
+            regcache_pages: None,
+            blocking_notify: false,
+        }
+    }
+
+    pub fn with_blocking_notify(mut self) -> Self {
+        self.blocking_notify = true;
+        self
+    }
+
+    pub fn with_physical_api(mut self) -> Self {
+        self.physical_api = true;
+        self
+    }
+
+    pub fn with_regcache(mut self, pages: usize) -> Self {
+        self.regcache_pages = Some(pages);
+        self
+    }
+}
+
+/// Completion events delivered to a port's event queue.
+#[derive(Clone, Debug)]
+pub enum GmEvent {
+    /// A send completed locally (buffer reusable, token returned).
+    SendDone { ctx: u64 },
+    /// A message landed in a provided receive buffer.
+    RecvDone {
+        ctx: u64,
+        tag: u64,
+        len: u64,
+        from: GmPortId,
+    },
+    /// A message arrived with no matching buffer and was bounced through the
+    /// pre-registered pool (one extra host copy, already charged).
+    Unexpected {
+        tag: u64,
+        data: Bytes,
+        from: GmPortId,
+    },
+}
+
+/// Per-port counters.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct GmStats {
+    pub sends: u64,
+    pub recvs: u64,
+    pub unexpected: u64,
+    pub bytes_sent: u64,
+    pub bytes_received: u64,
+    pub pages_registered: u64,
+    pub pages_deregistered: u64,
+    pub dereg_batches: u64,
+}
+
+struct ProvidedBuffer {
+    tag: u64,
+    segs: Vec<PhysSeg>,
+    capacity: u64,
+    ctx: u64,
+    /// Firmware translation cost the NIC pays when this buffer receives a
+    /// message (zero for physical-address buffers — the receive-side half
+    /// of the §3.3 gain).
+    translate_cost: SimTime,
+}
+
+struct Assembly {
+    dst_port: GmPortId,
+    src_port: GmPortId,
+    tag: u64,
+    total: u64,
+    received: u64,
+    /// `Some` when matched into a provided buffer, `None` when bouncing.
+    matched: Option<ProvidedBuffer>,
+    bounce: Vec<u8>,
+    last_dma_done: SimTime,
+}
+
+/// One open GM port.
+pub struct GmPort {
+    pub id: GmPortId,
+    pub node: NodeId,
+    pub nic: NicId,
+    pub mode: PortMode,
+    pub physical_api: bool,
+    pub blocking_notify: bool,
+    /// GMKRC / user-library registration cache, if configured.
+    pub regcache: Option<RegCache>,
+    send_tokens: usize,
+    recv_queue: VecDeque<ProvidedBuffer>,
+    /// The host-visible event queue.
+    pub events: VecDeque<GmEvent>,
+    /// Explicit (non-cached) registrations: key → pinned frames of the page.
+    explicit: BTreeMap<RegKey, Option<FrameIdx>>,
+    pub stats: GmStats,
+    open: bool,
+}
+
+impl GmPort {
+    /// Send tokens currently available.
+    pub fn tokens(&self) -> usize {
+        self.send_tokens
+    }
+
+    /// Provided receive buffers currently queued.
+    pub fn receive_buffers(&self) -> usize {
+        self.recv_queue.len()
+    }
+}
+
+/// All GM state in the world.
+pub struct GmLayer {
+    pub params: GmParams,
+    ports: Vec<GmPort>,
+    assemblies: BTreeMap<(u32, u64), Assembly>,
+    next_msg_id: u64,
+}
+
+impl GmLayer {
+    pub fn new(params: GmParams) -> Self {
+        GmLayer {
+            params,
+            ports: Vec::new(),
+            assemblies: BTreeMap::new(),
+            next_msg_id: 1,
+        }
+    }
+
+    pub fn port(&self, id: GmPortId) -> Result<&GmPort, NetError> {
+        self.ports
+            .get(id.0 as usize)
+            .filter(|p| p.open)
+            .ok_or(NetError::BadEndpoint)
+    }
+
+    pub fn port_mut(&mut self, id: GmPortId) -> Result<&mut GmPort, NetError> {
+        self.ports
+            .get_mut(id.0 as usize)
+            .filter(|p| p.open)
+            .ok_or(NetError::BadEndpoint)
+    }
+
+    /// Iterate open ports on `node`.
+    pub fn ports_on(&self, node: NodeId) -> impl Iterator<Item = GmPortId> + '_ {
+        self.ports
+            .iter()
+            .filter(move |p| p.open && p.node == node)
+            .map(|p| p.id)
+    }
+
+    pub fn open_ports(&self) -> usize {
+        self.ports.iter().filter(|p| p.open).count()
+    }
+}
+
+impl Default for GmLayer {
+    fn default() -> Self {
+        Self::new(GmParams::default())
+    }
+}
+
+/// Capability trait: a world running the GM driver.
+pub trait GmWorld: NicWorld {
+    fn gm(&self) -> &GmLayer;
+    fn gm_mut(&mut self) -> &mut GmLayer;
+
+    /// Called whenever an event is pushed to `port`'s queue. The composed
+    /// world routes this to the port's owner; the default (benchmark
+    /// drivers) leaves events in the queue to be polled.
+    fn gm_dispatch(&mut self, _port: GmPortId) {}
+}
+
+/// Open a port on `node`. Fails if the node has no NIC.
+pub fn gm_open_port<W: GmWorld>(
+    w: &mut W,
+    node: NodeId,
+    cfg: GmPortConfig,
+) -> Result<GmPortId, NetError> {
+    let nic = w
+        .nics()
+        .nic_of_node(node)
+        .ok_or(NetError::BadEndpoint)?;
+    let send_tokens = w.gm().params.send_tokens;
+    let id = GmPortId(w.gm().ports.len() as u32);
+    let port = GmPort {
+        id,
+        node,
+        nic,
+        mode: cfg.mode,
+        physical_api: cfg.physical_api,
+        blocking_notify: cfg.blocking_notify,
+        regcache: cfg.regcache_pages.map(RegCache::new),
+        send_tokens,
+        recv_queue: VecDeque::new(),
+        events: VecDeque::new(),
+        explicit: BTreeMap::new(),
+        stats: GmStats::default(),
+        open: true,
+    };
+    w.gm_mut().ports.push(port);
+    Ok(id)
+}
+
+/// The ASID a buffer is checked against on this port.
+fn buffer_asid(port: &GmPort, seg: &MemRef) -> Result<Asid, NetError> {
+    match (*seg, port.mode) {
+        (MemRef::UserVirtual { asid, .. }, PortMode::User(port_asid)) => {
+            if asid == port_asid {
+                Ok(asid)
+            } else {
+                // One port, one process — the GM assumption GMKRC works
+                // around on the shared kernel port.
+                Err(NetError::BadAddressClass)
+            }
+        }
+        (MemRef::UserVirtual { asid, .. }, PortMode::Kernel) => Ok(asid),
+        (MemRef::KernelVirtual { .. }, _) => Ok(Asid::KERNEL),
+        (MemRef::Physical { .. }, _) => Ok(Asid::KERNEL),
+    }
+}
+
+/// `gm_register`: pin `[addr, addr+len)` of `asid` and install its
+/// translations in the NIC table. Costs ≈3 µs/page on the host.
+pub fn gm_register<W: GmWorld>(
+    w: &mut W,
+    port_id: GmPortId,
+    asid: Asid,
+    addr: knet_simos::VirtAddr,
+    len: u64,
+) -> Result<SimTime, NetError> {
+    let (node, nic, is_kernel) = {
+        let p = w.gm().port(port_id)?;
+        (p.node, p.nic, p.mode.is_kernel())
+    };
+    let params = w.gm().params.clone();
+    let mut pages = 0u64;
+    let mut inserted: Vec<(RegKey, Option<FrameIdx>)> = Vec::new();
+    for (page, _, _) in page_slices(addr, len) {
+        let key = RegKey::of(asid, page);
+        if w.gm().port(port_id)?.explicit.contains_key(&key) {
+            continue; // already registered on this port
+        }
+        pages += 1;
+        // Pin (user memory only) and resolve the physical page.
+        let phys = if page.is_kernel() {
+            page.kernel_to_phys().expect("kernel page")
+        } else {
+            w.os_mut().node_mut(node).pin_range(asid, page, 1)?;
+            w.os().node(node).space(asid)?.translate(page)?
+        };
+        let frame = (!page.is_kernel()).then(|| FrameIdx::from_phys(phys));
+        // Install in the NIC table; roll back on overflow.
+        let tt = &mut w.nics_mut().get_mut(nic).ttable;
+        if let Err(e) = tt.insert(TransKey { asid, vpn: key.vpn }, phys) {
+            if let Some(f) = frame {
+                w.os_mut().node_mut(node).mem.unpin(f).ok();
+            }
+            rollback_registrations(w, port_id, nic, node, &inserted);
+            return Err(e.into());
+        }
+        inserted.push((key, frame));
+    }
+    for (key, frame) in &inserted {
+        w.gm_mut().port_mut(port_id)?.explicit.insert(*key, *frame);
+    }
+    w.gm_mut().port_mut(port_id)?.stats.pages_registered += pages;
+    // Host cost: a syscall from user space (the kernel registers directly).
+    let syscall = if is_kernel {
+        SimTime::ZERO
+    } else {
+        params.reg_syscall
+    };
+    let cost = syscall + params.reg_per_page * pages;
+    Ok(cpu_charge(w, node, cost))
+}
+
+fn rollback_registrations<W: GmWorld>(
+    w: &mut W,
+    port_id: GmPortId,
+    nic: NicId,
+    node: NodeId,
+    inserted: &[(RegKey, Option<FrameIdx>)],
+) {
+    for (key, frame) in inserted {
+        w.nics_mut().get_mut(nic).ttable.remove(TransKey {
+            asid: key.asid,
+            vpn: key.vpn,
+        });
+        if let Some(f) = frame {
+            w.os_mut().node_mut(node).mem.unpin(*f).ok();
+        }
+        if let Ok(p) = w.gm_mut().port_mut(port_id) {
+            p.explicit.remove(key);
+        }
+    }
+}
+
+/// `gm_deregister`: drop translations and unpin. Costs the 200 µs base plus
+/// a small per-page term.
+pub fn gm_deregister<W: GmWorld>(
+    w: &mut W,
+    port_id: GmPortId,
+    asid: Asid,
+    addr: knet_simos::VirtAddr,
+    len: u64,
+) -> Result<SimTime, NetError> {
+    let (node, nic) = {
+        let p = w.gm().port(port_id)?;
+        (p.node, p.nic)
+    };
+    let params = w.gm().params.clone();
+    let mut pages = 0u64;
+    for (page, _, _) in page_slices(addr, len) {
+        let key = RegKey::of(asid, page);
+        let entry = w.gm_mut().port_mut(port_id)?.explicit.remove(&key);
+        let Some(frame) = entry else { continue };
+        pages += 1;
+        w.nics_mut().get_mut(nic).ttable.remove(TransKey {
+            asid,
+            vpn: key.vpn,
+        });
+        if let Some(f) = frame {
+            w.os_mut().node_mut(node).mem.unpin(f)?;
+        }
+    }
+    let p = w.gm_mut().port_mut(port_id)?;
+    p.stats.pages_deregistered += pages;
+    p.stats.dereg_batches += 1;
+    let cost = params.deregister_cost(pages);
+    Ok(cpu_charge(w, node, cost))
+}
+
+/// Resolve a send/receive buffer on this port into physical segments and the
+/// firmware translation cost it will incur.
+///
+/// * `Physical` refs need the physical-address patch and cost the firmware
+///   nothing (§3.3: "the NIC does not require to translate").
+/// * `KernelVirtual` refs also need the patch (the kernel hands the NIC the
+///   direct-mapped physical address).
+/// * `UserVirtual` refs must be fully registered; the firmware pays a
+///   translation lookup.
+fn resolve_for_wire<W: GmWorld>(
+    w: &mut W,
+    port_id: GmPortId,
+    seg: &MemRef,
+) -> Result<(Vec<PhysSeg>, SimTime), NetError> {
+    let (nic, physical_api) = {
+        let p = w.gm().port(port_id)?;
+        (p.nic, p.physical_api)
+    };
+    let asid = {
+        let p = w.gm().port(port_id)?;
+        buffer_asid(p, seg)?
+    };
+    let params = w.gm().params.clone();
+    match *seg {
+        MemRef::Physical { addr, len } => {
+            if !physical_api {
+                return Err(NetError::Unsupported);
+            }
+            Ok((vec![PhysSeg::new(addr, len)], SimTime::ZERO))
+        }
+        MemRef::KernelVirtual { addr, len } => {
+            if physical_api {
+                // Patched GM: the kernel hands over the direct-mapped
+                // physical address; no NIC lookup.
+                let p = addr
+                    .kernel_to_phys()
+                    .ok_or(NetError::BadAddressClass)?;
+                return Ok((vec![PhysSeg::new(p, len)], SimTime::ZERO));
+            }
+            // Stock GM: kernel memory must be registered like any other
+            // buffer and pays the translation lookup (the "needs kernel
+            // patching" row of Table 1).
+            let mut segs: Vec<PhysSeg> = Vec::new();
+            let mut pages = 0u64;
+            for (page, off, n) in page_slices(addr, len) {
+                pages += 1;
+                let tt = &mut w.nics_mut().get_mut(nic).ttable;
+                let phys = tt.lookup(Asid::KERNEL, page)?;
+                PhysSeg::push_merged(&mut segs, PhysSeg::new(phys.add(off), n));
+            }
+            let cost =
+                params.fw_translate_base + params.fw_translate_page * pages.saturating_sub(1);
+            Ok((segs, cost))
+        }
+        MemRef::UserVirtual { addr, len, .. } => {
+            let mut segs: Vec<PhysSeg> = Vec::new();
+            let mut pages = 0u64;
+            for (page, off, n) in page_slices(addr, len) {
+                pages += 1;
+                let tt = &mut w.nics_mut().get_mut(nic).ttable;
+                let phys = tt.lookup(asid, page)?;
+                PhysSeg::push_merged(&mut segs, PhysSeg::new(phys.add(off), n));
+            }
+            let cost =
+                params.fw_translate_base + params.fw_translate_page * pages.saturating_sub(1);
+            Ok((segs, cost))
+        }
+    }
+}
+
+const PKT_KIND_DATA: u8 = 0;
+
+fn pack_meta(dst: GmPortId, src: GmPortId, tag: u64, msg_id: u64, offset: u64, total: u64) -> [u64; 4] {
+    [
+        (dst.0 as u64) | ((src.0 as u64) << 32),
+        tag,
+        msg_id,
+        (offset << 32) | (total & 0xFFFF_FFFF),
+    ]
+}
+
+struct WireMeta {
+    dst: GmPortId,
+    src: GmPortId,
+    tag: u64,
+    msg_id: u64,
+    offset: u64,
+    total: u64,
+}
+
+fn unpack_meta(meta: &[u64; 4]) -> WireMeta {
+    WireMeta {
+        dst: GmPortId((meta[0] & 0xFFFF_FFFF) as u32),
+        src: GmPortId((meta[0] >> 32) as u32),
+        tag: meta[1],
+        msg_id: meta[2],
+        offset: meta[3] >> 32,
+        total: meta[3] & 0xFFFF_FFFF,
+    }
+}
+
+/// `gm_send_with_callback`: send `buf` to `dest`. Asynchronous; a
+/// [`GmEvent::SendDone`] with `ctx` is pushed when the buffer is reusable.
+///
+/// `tag` travels with the message for receive matching (the correlation the
+/// in-kernel users layer over GM; plain MPI-over-GM uses `GM_ANY_TAG`
+/// buffers and does its own matching).
+pub fn gm_send<W: GmWorld>(
+    w: &mut W,
+    port_id: GmPortId,
+    buf: MemRef,
+    dest: GmPortId,
+    tag: u64,
+    ctx: u64,
+) -> Result<(), NetError> {
+    let params = w.gm().params.clone();
+    let (node, nic, is_kernel) = {
+        let p = w.gm().port(port_id)?;
+        (p.node, p.nic, p.mode.is_kernel())
+    };
+    // Destination must exist (GM routes are static; a bad route is an error
+    // at open time in real GM — at send time here).
+    let dst_nic = w.gm().port(dest)?.nic;
+
+    {
+        let p = w.gm_mut().port_mut(port_id)?;
+        if p.send_tokens == 0 {
+            return Err(NetError::NoSendTokens);
+        }
+        p.send_tokens -= 1;
+        p.stats.sends += 1;
+        p.stats.bytes_sent += buf.len();
+    }
+
+    let (segs, translate_cost) = match resolve_for_wire(w, port_id, &buf) {
+        Ok(x) => x,
+        Err(e) => {
+            // Return the token on failure.
+            if let Ok(p) = w.gm_mut().port_mut(port_id) {
+                p.send_tokens += 1;
+                p.stats.sends -= 1;
+                p.stats.bytes_sent -= buf.len();
+            }
+            return Err(e);
+        }
+    };
+
+    // Host posts the send (kernel interface pays its overhead).
+    let mut host_cost = params.host_send_post;
+    if is_kernel {
+        host_cost += params.kernel_op_extra;
+    }
+    let host_done = cpu_charge(w, node, host_cost);
+
+    // Firmware picks the command up and resolves addressing.
+    let fw_done = fw_charge(w, nic, host_done, params.fw_send + translate_cost);
+
+    // Cut into MTU chunks; DMA and wire pipeline chunk by chunk.
+    let mtu = w.nics().get(nic).model.mtu;
+    let total = PhysSeg::total_len(&segs);
+    let mut chunks = chunk_segments(&segs, mtu);
+    if chunks.is_empty() {
+        chunks.push(Vec::new()); // zero-length message still carries an envelope
+    }
+    let msg_id = {
+        let l = w.gm_mut();
+        l.next_msg_id += 1;
+        l.next_msg_id
+    };
+    let mut ready = fw_done;
+    let mut offset = 0u64;
+    let n_chunks = chunks.len();
+    for (i, chunk) in chunks.into_iter().enumerate() {
+        let chunk_len = PhysSeg::total_len(&chunk);
+        let (data, dma_done) = dma_gather(w, nic, ready, &chunk)?;
+        let fw_ready = if i == 0 {
+            dma_done
+        } else {
+            fw_charge(w, nic, dma_done, params.fw_chunk)
+        };
+        let meta = pack_meta(dest, port_id, tag, msg_id, offset, total);
+        let pkt = Packet::new(
+            nic,
+            dst_nic,
+            Proto::Gm,
+            PKT_KIND_DATA,
+            meta,
+            data,
+            params.header_bytes,
+        );
+        wire_send(w, pkt, fw_ready);
+        ready = dma_done;
+        offset += chunk_len;
+        // After the last chunk leaves host memory the buffer is reusable:
+        // complete the send and return the token.
+        if i == n_chunks - 1 {
+            let ev_done = dma_charge(w, nic, dma_done, 64); // completion record DMA
+            knet_simcore::at(w, ev_done, move |w: &mut W| {
+                if let Ok(p) = w.gm_mut().port_mut(port_id) {
+                    p.send_tokens += 1;
+                    p.events.push_back(GmEvent::SendDone { ctx });
+                }
+                w.gm_dispatch(port_id);
+            });
+        }
+    }
+    Ok(())
+}
+
+/// `gm_provide_receive_buffer`: queue a buffer for incoming messages whose
+/// tag matches (or any message, with [`GM_ANY_TAG`]).
+pub fn gm_provide_receive_buffer<W: GmWorld>(
+    w: &mut W,
+    port_id: GmPortId,
+    iov: &IoVec,
+    tag: u64,
+    ctx: u64,
+) -> Result<(), NetError> {
+    let params = w.gm().params.clone();
+    let (node, is_kernel) = {
+        let p = w.gm().port(port_id)?;
+        (p.node, p.mode.is_kernel())
+    };
+    let mut segs: Vec<PhysSeg> = Vec::new();
+    let mut translate_cost = SimTime::ZERO;
+    for seg in iov.segs() {
+        let (s, c) = resolve_for_wire(w, port_id, seg)?;
+        translate_cost += c;
+        for x in s {
+            PhysSeg::push_merged(&mut segs, x);
+        }
+    }
+    let capacity = PhysSeg::total_len(&segs);
+    let mut host_cost = params.host_send_post;
+    if is_kernel {
+        host_cost += params.kernel_op_extra;
+    }
+    cpu_charge(w, node, host_cost);
+    w.gm_mut().port_mut(port_id)?.recv_queue.push_back(ProvidedBuffer {
+        tag,
+        segs,
+        capacity,
+        ctx,
+        translate_cost,
+    });
+    Ok(())
+}
+
+/// Firmware receive path: called by the composed world for `Proto::Gm`
+/// packets arriving at `nic`.
+pub fn gm_on_packet<W: GmWorld>(w: &mut W, nic: NicId, pkt: Packet) {
+    debug_assert_eq!(pkt.proto, Proto::Gm);
+    let m = unpack_meta(&pkt.meta);
+    let params = w.gm().params.clone();
+    let now = knet_simcore::now(w);
+
+    // Locate the destination port; a stale port swallows the packet (real GM
+    // drops traffic to closed ports).
+    let Ok(port) = w.gm().port(m.dst) else {
+        return;
+    };
+    debug_assert_eq!(port.nic, nic, "packet routed to the wrong NIC");
+
+    let akey = (m.dst.0, m.msg_id);
+    let first_chunk = !w.gm().assemblies.contains_key(&akey);
+
+    let fw_done;
+    if first_chunk {
+        // Match against provided buffers: first buffer whose tag matches and
+        // whose capacity fits.
+        let matched = {
+            let p = w.gm_mut().port_mut(m.dst).expect("checked above");
+            let pos = p
+                .recv_queue
+                .iter()
+                .position(|b| (b.tag == GM_ANY_TAG || b.tag == m.tag) && b.capacity >= m.total);
+            pos.map(|i| p.recv_queue.remove(i).expect("position valid"))
+        };
+        // Firmware cost: match processing plus the receive buffer's address
+        // translation (skipped entirely by physical-address buffers).
+        let translate = matched
+            .as_ref()
+            .map(|b| b.translate_cost)
+            .unwrap_or(SimTime::ZERO);
+        fw_done = fw_charge(w, nic, now, params.fw_recv + translate);
+        w.gm_mut().assemblies.insert(
+            akey,
+            Assembly {
+                dst_port: m.dst,
+                src_port: m.src,
+                tag: m.tag,
+                total: m.total,
+                received: 0,
+                matched,
+                bounce: Vec::new(),
+                last_dma_done: fw_done,
+            },
+        );
+    } else {
+        fw_done = fw_charge(w, nic, now, params.fw_chunk);
+    }
+
+    // Land the chunk.
+    let payload_len = pkt.payload.len() as u64;
+    let (is_matched, target_segs) = {
+        let a = w.gm().assemblies.get(&akey).expect("assembly exists");
+        match &a.matched {
+            Some(buf) => (true, seg_window(&buf.segs, m.offset, payload_len)),
+            None => (false, Vec::new()),
+        }
+    };
+    let dma_done = if is_matched {
+        dma_scatter(w, nic, fw_done, &target_segs, &pkt.payload)
+            .unwrap_or(fw_done)
+    } else {
+        // Bounce pool: DMA into pre-registered kernel ring.
+        let t = dma_charge(w, nic, fw_done, payload_len);
+        let a = w.gm_mut().assemblies.get_mut(&akey).expect("assembly");
+        let off = m.offset as usize;
+        if a.bounce.len() < off + payload_len as usize {
+            a.bounce.resize(off + payload_len as usize, 0);
+        }
+        a.bounce[off..off + payload_len as usize].copy_from_slice(&pkt.payload);
+        t
+    };
+
+    let complete = {
+        let a = w.gm_mut().assemblies.get_mut(&akey).expect("assembly");
+        a.received += payload_len;
+        a.last_dma_done = a.last_dma_done.max(dma_done);
+        a.received >= a.total
+    };
+    if !complete {
+        return;
+    }
+
+    let a = w.gm_mut().assemblies.remove(&akey).expect("assembly");
+    let node = w.gm().port(a.dst_port).map(|p| p.node);
+    let Ok(node) = node else { return };
+    let (is_kernel, blocking) = w
+        .gm()
+        .port(a.dst_port)
+        .map(|p| (p.mode.is_kernel(), p.blocking_notify))
+        .unwrap_or((false, false));
+
+    // Completion record reaches the host event queue by DMA; the host then
+    // polls it (paying the kernel extra on kernel ports), or — for sleeping
+    // in-kernel consumers — is woken through the notification thread.
+    let ev_dma = dma_charge(w, nic, a.last_dma_done, 64);
+    let mut host_cost = params.host_event_poll;
+    if is_kernel {
+        host_cost += params.kernel_op_extra;
+    }
+    if blocking {
+        host_cost += params.blocking_notify;
+    }
+    match a.matched {
+        Some(buf) => {
+            let done = {
+                let start = ev_dma.max(knet_simcore::now(w));
+                let (_, end) = w
+                    .os_mut()
+                    .node_mut(node)
+                    .cpu
+                    .busy
+                    .acquire(start, host_cost);
+                end
+            };
+            let port_id = a.dst_port;
+            let (tag, total, src) = (a.tag, a.total, a.src_port);
+            knet_simcore::at(w, done, move |w: &mut W| {
+                if let Ok(p) = w.gm_mut().port_mut(port_id) {
+                    p.stats.recvs += 1;
+                    p.stats.bytes_received += total;
+                    p.events.push_back(GmEvent::RecvDone {
+                        ctx: buf.ctx,
+                        tag,
+                        len: total,
+                        from: src,
+                    });
+                }
+                w.gm_dispatch(port_id);
+            });
+        }
+        None => {
+            // Unexpected: the host copies the message out of the bounce pool.
+            let copy = w
+                .os()
+                .node(node)
+                .cpu
+                .model
+                .ring_copy_cost(a.total);
+            let done = {
+                let start = ev_dma.max(knet_simcore::now(w));
+                let (_, end) = w
+                    .os_mut()
+                    .node_mut(node)
+                    .cpu
+                    .busy
+                    .acquire(start, host_cost + copy);
+                end
+            };
+            let port_id = a.dst_port;
+            let (tag, total, src) = (a.tag, a.total, a.src_port);
+            let data = Bytes::from(a.bounce);
+            knet_simcore::at(w, done, move |w: &mut W| {
+                if let Ok(p) = w.gm_mut().port_mut(port_id) {
+                    p.stats.unexpected += 1;
+                    p.stats.bytes_received += total;
+                    p.events.push_back(GmEvent::Unexpected {
+                        tag,
+                        data,
+                        from: src,
+                    });
+                }
+                w.gm_dispatch(port_id);
+            });
+        }
+    }
+}
+
+/// Pop the next pending event from a port's queue (host polling).
+pub fn gm_next_event<W: GmWorld>(w: &mut W, port_id: GmPortId) -> Option<GmEvent> {
+    w.gm_mut().port_mut(port_id).ok()?.events.pop_front()
+}
+
+/// Close a port: drain its registration cache and explicit registrations
+/// (paying one batched deregistration), purge its NIC translations, unpin
+/// everything, and drop queued buffers/events. Returns when the host-side
+/// teardown completes.
+pub fn gm_close_port<W: GmWorld>(w: &mut W, port_id: GmPortId) -> Result<SimTime, NetError> {
+    let (node, nic) = {
+        let p = w.gm().port(port_id)?;
+        (p.node, p.nic)
+    };
+    let params = w.gm().params.clone();
+    // Drain the registration cache.
+    let cached = {
+        let p = w.gm_mut().port_mut(port_id)?;
+        p.regcache.as_mut().map(|c| c.drain()).unwrap_or_default()
+    };
+    // And the explicit registrations.
+    let explicit: Vec<(RegKey, Option<FrameIdx>)> = {
+        let p = w.gm_mut().port_mut(port_id)?;
+        std::mem::take(&mut p.explicit).into_iter().collect()
+    };
+    let mut pages = 0u64;
+    for (key, frame) in cached {
+        w.nics_mut().get_mut(nic).ttable.remove(TransKey {
+            asid: key.asid,
+            vpn: key.vpn,
+        });
+        w.os_mut().node_mut(node).mem.unpin(frame).ok();
+        pages += 1;
+    }
+    for (key, frame) in explicit {
+        w.nics_mut().get_mut(nic).ttable.remove(TransKey {
+            asid: key.asid,
+            vpn: key.vpn,
+        });
+        if let Some(f) = frame {
+            w.os_mut().node_mut(node).mem.unpin(f).ok();
+        }
+        pages += 1;
+    }
+    {
+        let p = w.gm_mut().port_mut(port_id)?;
+        p.recv_queue.clear();
+        p.events.clear();
+        p.open = false;
+        p.stats.pages_deregistered += pages;
+        if pages > 0 {
+            p.stats.dereg_batches += 1;
+        }
+    }
+    let cost = if pages > 0 {
+        params.deregister_cost(pages)
+    } else {
+        SimTime::ZERO
+    };
+    Ok(cpu_charge(w, node, cost))
+}
+
+/// Withdraw the first provided receive buffer with exactly this tag.
+/// Returns whether one was withdrawn.
+pub fn gm_cancel_receive_buffer<W: GmWorld>(w: &mut W, port_id: GmPortId, tag: u64) -> bool {
+    let Ok(p) = w.gm_mut().port_mut(port_id) else {
+        return false;
+    };
+    match p.recv_queue.iter().position(|b| b.tag == tag) {
+        Some(i) => {
+            p.recv_queue.remove(i);
+            true
+        }
+        None => false,
+    }
+}

@@ -1,0 +1,82 @@
+//! The NBD wire protocol: sector-addressed block transfers.
+
+use bytes::Bytes;
+
+/// Sector size: one page, matching the page-cache granularity the client
+/// manipulates (the paper's Linux 2.4 NBD moved page-sized bios).
+pub const SECTOR_SIZE: u64 = 4096;
+
+/// A block request.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum NbdRequest {
+    /// Read `count` sectors starting at `sector`; the reply is a bare data
+    /// message under the request tag.
+    Read { sector: u64, count: u32 },
+    /// Write `count` sectors starting at `sector`; payload follows inline.
+    Write { sector: u64, count: u32 },
+}
+
+const OP_READ: u8 = 1;
+const OP_WRITE: u8 = 2;
+/// Encoded request header size.
+pub const HEADER_LEN: usize = 1 + 8 + 4;
+
+impl NbdRequest {
+    pub fn encode(&self) -> Bytes {
+        let (op, sector, count) = match *self {
+            NbdRequest::Read { sector, count } => (OP_READ, sector, count),
+            NbdRequest::Write { sector, count } => (OP_WRITE, sector, count),
+        };
+        let mut v = Vec::with_capacity(HEADER_LEN);
+        v.push(op);
+        v.extend_from_slice(&sector.to_le_bytes());
+        v.extend_from_slice(&count.to_le_bytes());
+        Bytes::from(v)
+    }
+
+    pub fn decode(buf: &[u8]) -> Option<(NbdRequest, usize)> {
+        if buf.len() < HEADER_LEN {
+            return None;
+        }
+        let sector = u64::from_le_bytes(buf[1..9].try_into().ok()?);
+        let count = u32::from_le_bytes(buf[9..13].try_into().ok()?);
+        let req = match buf[0] {
+            OP_READ => NbdRequest::Read { sector, count },
+            OP_WRITE => NbdRequest::Write { sector, count },
+            _ => return None,
+        };
+        Some((req, HEADER_LEN))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        for r in [
+            NbdRequest::Read {
+                sector: 123,
+                count: 8,
+            },
+            NbdRequest::Write {
+                sector: u64::MAX / 2,
+                count: 1,
+            },
+        ] {
+            let enc = r.encode();
+            assert_eq!(enc.len(), HEADER_LEN);
+            let (dec, used) = NbdRequest::decode(&enc).unwrap();
+            assert_eq!(dec, r);
+            assert_eq!(used, HEADER_LEN);
+        }
+    }
+
+    #[test]
+    fn garbage_rejected() {
+        assert!(NbdRequest::decode(&[]).is_none());
+        assert!(NbdRequest::decode(&[9u8; HEADER_LEN]).is_none());
+        assert!(NbdRequest::decode(&[1u8; 4]).is_none());
+    }
+}

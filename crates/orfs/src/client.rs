@@ -1,0 +1,1596 @@
+//! The ORFA (user-space) and ORFS (in-kernel) clients.
+//!
+//! Both speak the same wire protocol; what differs is everything the paper
+//! measures:
+//!
+//! * **ORFS** (kernel) pays a syscall + VFS traversal per call, but gets the
+//!   VFS dentry/attribute caches and the **page-cache**: buffered reads move
+//!   page-sized requests whose destination is a *physical* page-cache frame
+//!   (§2.3.1), while `O_DIRECT` reads land zero-copy in pinned user memory
+//!   (§2.3.2);
+//! * **ORFA** (user library) intercepts calls with no kernel entry and no
+//!   caches — every operation goes to the wire (§3.1).
+//!
+//! Operations are asynchronous state machines: a syscall returns a
+//! [`SyscallId`]; network completions advance the state; the result lands in
+//! the client's completion queue for the benchmark driver (or example
+//! application) to collect.
+
+use std::collections::{BTreeMap, VecDeque};
+
+use knet_core::{Endpoint, IoVec, MemRef, NetError, TransportEvent, TransportKind};
+use knet_simcore::SimTime;
+use knet_simfs::FsError;
+use knet_simos::{cpu_charge, Asid, PageKey, VirtAddr, PAGE_SIZE};
+
+use crate::layer::{OrfsClientId, OrfsWorld};
+use crate::proto::{
+    codec_cost, OrfsError, Request, Response, WireAttr, WireDirEntry, DATA_TAG_BIT,
+    WRITE_INLINE_MAX,
+};
+
+/// Identifier of an in-flight client operation.
+pub type SyscallId = u64;
+
+/// Successful results of client operations.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SysRet {
+    Fd(u32),
+    Bytes(u64),
+    Ino(u32),
+    Attr(WireAttr),
+    Entries(Vec<WireDirEntry>),
+    Target(String),
+    Unit,
+}
+
+/// Outcome of a client operation.
+pub type SysResult = Result<SysRet, OrfsError>;
+
+/// How the client is built (the paper's two implementations).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ClientKind {
+    /// ORFS: in-kernel VFS client with page-cache and caches.
+    KernelVfs,
+    /// ORFA: user-space interception library (no kernel entry, no caches).
+    UserLib,
+}
+
+/// Tunables of the kernel client.
+#[derive(Clone, Copy, Debug)]
+pub struct VfsConfig {
+    /// Combine a run of missing page-cache pages into one *vectorial*
+    /// request (the Linux 2.6 behaviour of §3.3; requires MX).
+    pub combine_pages: bool,
+    /// Maximum pages combined per request when `combine_pages` is on.
+    pub max_combine: u64,
+}
+
+impl Default for VfsConfig {
+    fn default() -> Self {
+        VfsConfig {
+            combine_pages: false,
+            max_combine: 16,
+        }
+    }
+}
+
+/// An open file descriptor.
+#[derive(Clone, Copy, Debug)]
+pub struct OpenFile {
+    pub ino: u32,
+    pub handle: u32,
+    /// `O_DIRECT`: bypass the page-cache (§2.3.2).
+    pub direct: bool,
+    /// Size as last known from the server (kept current by local writes).
+    pub size: u64,
+}
+
+/// Client statistics for figures and tests.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ClientStats {
+    pub syscalls: u64,
+    pub requests: u64,
+    pub bytes_read: u64,
+    pub bytes_written: u64,
+    pub dentry_hits: u64,
+    pub dentry_misses: u64,
+    pub page_hits: u64,
+    pub page_misses: u64,
+}
+
+// ---- operation state machines ------------------------------------------------
+
+/// What to do when a path resolution completes.
+#[derive(Clone, Debug)]
+enum AfterResolve {
+    Open { direct: bool },
+    Stat,
+    Readdir,
+    Readlink,
+    Truncate { size: u64 },
+    /// Name-level parent op: the final component must NOT be resolved.
+    NameOp(NameOp),
+}
+
+#[derive(Clone, Debug)]
+enum NameOp {
+    Create { mode: u16 },
+    Mkdir { mode: u16 },
+    Unlink,
+    Rmdir,
+    Symlink { target: String },
+}
+
+#[derive(Clone, Debug)]
+enum OpState {
+    /// Walking path components (`idx` into `parts`, `cur` is the dir so far).
+    Resolve {
+        parts: Vec<String>,
+        idx: usize,
+        cur: u32,
+        then: AfterResolve,
+    },
+    /// Waiting for OPEN to return a handle.
+    OpenWait { ino: u32, direct: bool },
+    /// Waiting for GETATTR after open.
+    OpenAttrWait { ino: u32, handle: u32, direct: bool },
+    /// Waiting for a metadata response that directly finishes the op.
+    MetaWait { kind: MetaKind },
+    /// O_DIRECT read: one outstanding data receive.
+    DirectRead,
+    /// O_DIRECT (or ORFA) write: waiting for `Written`.
+    DirectWrite { fd: u32 },
+    /// Buffered read loop.
+    BufferedRead(BufferedRead),
+    /// Buffered write loop.
+    BufferedWrite(BufferedWrite),
+    /// Write-back of dirty pages (fsync/close), one request at a time.
+    Flush(Flush),
+}
+
+#[derive(Clone, Debug)]
+enum MetaKind {
+    Stat,
+    Lookup { dir: u32, name: String },
+    CreateLike { dir: u32, name: String },
+    Readdir,
+    Readlink,
+    Generic,
+    Close { fd: u32 },
+}
+
+#[derive(Clone, Debug)]
+struct BufferedRead {
+    fd: u32,
+    ino: u32,
+    user: MemRef,
+    offset: u64,
+    len: u64,
+    done: u64,
+    /// Pages being fetched right now (first page index, count).
+    fetching: Option<(u64, u64)>,
+}
+
+#[derive(Clone, Debug)]
+struct BufferedWrite {
+    fd: u32,
+    ino: u32,
+    user: MemRef,
+    offset: u64,
+    len: u64,
+    done: u64,
+    /// Page being read for a read-modify-write.
+    fetching: Option<u64>,
+}
+
+#[derive(Clone, Debug)]
+struct Flush {
+    fd: u32,
+    ino: u32,
+    pages: Vec<(u64, u64)>, // (page index, valid bytes)
+    idx: usize,
+    then_close: bool,
+}
+
+struct Pending {
+    syscall: SyscallId,
+}
+
+/// One ORFA/ORFS client instance.
+pub struct OrfsClient {
+    pub id: OrfsClientId,
+    pub ep: Endpoint,
+    pub server: Endpoint,
+    pub kind: ClientKind,
+    pub config: VfsConfig,
+    /// The process this client serves (user-buffer copies target it).
+    pub asid: Asid,
+    /// Per-client page-cache namespace.
+    pub mount_id: u32,
+    next_reqid: u64,
+    next_syscall: u64,
+    pending: BTreeMap<u64, Pending>,
+    ops: BTreeMap<SyscallId, OpState>,
+    /// Completed operations for the driver to collect.
+    pub completed: VecDeque<(SyscallId, SysResult)>,
+    dentries: BTreeMap<(u32, String), u32>,
+    attrs: BTreeMap<u32, WireAttr>,
+    fds: Vec<Option<OpenFile>>,
+    /// Staging ring for request headers (and GM-coalesced writes): kernel
+    /// memory for the ORFS kernel client, a user mapping of the client's
+    /// own process for the ORFA library (which cannot touch kernel memory).
+    ring: VirtAddr,
+    ring_asid: Asid,
+    ring_len: u64,
+    ring_off: u64,
+    pub stats: ClientStats,
+}
+
+const CLIENT_RING: u64 = 4 << 20;
+
+/// Create a client on the node owning `ep`, talking to `server`.
+pub fn client_create<W: OrfsWorld>(
+    w: &mut W,
+    ep: Endpoint,
+    server: Endpoint,
+    kind: ClientKind,
+    asid: Asid,
+    config: VfsConfig,
+) -> Result<OrfsClientId, NetError> {
+    let (ring, ring_asid) = match kind {
+        ClientKind::KernelVfs => (w.os_mut().node_mut(ep.node).kalloc(CLIENT_RING)?, Asid::KERNEL),
+        ClientKind::UserLib => (
+            w.os_mut()
+                .node_mut(ep.node)
+                .map_anon(asid, CLIENT_RING, knet_simos::Prot::RW)?,
+            asid,
+        ),
+    };
+    let id = OrfsClientId(w.orfs().clients.len() as u32);
+    let mount_id = id.0 + 1;
+    w.orfs_mut().clients.push(OrfsClient {
+        id,
+        ep,
+        server,
+        kind,
+        config,
+        asid,
+        mount_id,
+        next_reqid: 1,
+        next_syscall: 1,
+        pending: BTreeMap::new(),
+        ops: BTreeMap::new(),
+        completed: VecDeque::new(),
+        dentries: BTreeMap::new(),
+        attrs: BTreeMap::new(),
+        fds: Vec::new(),
+        ring,
+        ring_asid,
+        ring_len: CLIENT_RING,
+        ring_off: 0,
+        stats: ClientStats::default(),
+    });
+    Ok(id)
+}
+
+impl OrfsClient {
+    fn ring_reserve(&mut self, len: u64) -> VirtAddr {
+        debug_assert!(len <= self.ring_len);
+        if self.ring_off + len > self.ring_len {
+            self.ring_off = 0;
+        }
+        let a = self.ring.add(self.ring_off);
+        self.ring_off += len;
+        a
+    }
+
+    fn ring_memref(&self, addr: VirtAddr, len: u64) -> MemRef {
+        if self.ring_asid.is_kernel() {
+            MemRef::kernel(addr, len)
+        } else {
+            MemRef::user(self.ring_asid, addr, len)
+        }
+    }
+
+    pub fn file(&self, fd: u32) -> Result<OpenFile, OrfsError> {
+        self.fds
+            .get(fd as usize)
+            .and_then(|f| *f)
+            .ok_or(OrfsError::BadHandle)
+    }
+
+    fn file_mut(&mut self, fd: u32) -> Result<&mut OpenFile, OrfsError> {
+        self.fds
+            .get_mut(fd as usize)
+            .and_then(|f| f.as_mut())
+            .ok_or(OrfsError::BadHandle)
+    }
+
+    fn alloc_fd(&mut self, f: OpenFile) -> u32 {
+        for (i, slot) in self.fds.iter_mut().enumerate() {
+            if slot.is_none() {
+                *slot = Some(f);
+                return i as u32;
+            }
+        }
+        self.fds.push(Some(f));
+        (self.fds.len() - 1) as u32
+    }
+}
+
+// ---- syscall entry points --------------------------------------------------------
+
+/// Charge the cost of entering the client for one operation: syscall + VFS
+/// walk for the kernel client, nothing but the library call for ORFA.
+fn charge_entry<W: OrfsWorld>(w: &mut W, cid: OrfsClientId) {
+    let (node, kind) = {
+        let c = w.orfs().client(cid);
+        (c.ep.node, c.kind)
+    };
+    let cost = match kind {
+        ClientKind::KernelVfs => {
+            let m = &w.os().node(node).cpu.model;
+            m.syscall + m.vfs_call
+        }
+        ClientKind::UserLib => SimTime::from_nanos(120),
+    };
+    cpu_charge(w, node, cost);
+    w.orfs_mut().client_mut(cid).stats.syscalls += 1;
+}
+
+fn new_syscall<W: OrfsWorld>(w: &mut W, cid: OrfsClientId, st: OpState) -> SyscallId {
+    let c = w.orfs_mut().client_mut(cid);
+    let sid = c.next_syscall;
+    c.next_syscall += 1;
+    c.ops.insert(sid, st);
+    sid
+}
+
+fn finish<W: OrfsWorld>(w: &mut W, cid: OrfsClientId, sid: SyscallId, r: SysResult) {
+    // Completion is *observed* once the host CPU work charged so far has
+    // drained — otherwise operations served entirely from caches would
+    // appear to take zero time.
+    let node = w.orfs().client(cid).ep.node;
+    let t = w
+        .os()
+        .node(node)
+        .cpu
+        .busy
+        .free_at()
+        .max(knet_simcore::now(w));
+    w.orfs_mut().client_mut(cid).ops.remove(&sid);
+    knet_simcore::at(w, t, move |w: &mut W| {
+        w.orfs_mut().client_mut(cid).completed.push_back((sid, r));
+    });
+}
+
+fn split_path(path: &str) -> Result<Vec<String>, OrfsError> {
+    if !path.starts_with('/') {
+        return Err(OrfsError::Fs(FsError::InvalidPath));
+    }
+    Ok(path
+        .split('/')
+        .filter(|c| !c.is_empty())
+        .map(String::from)
+        .collect())
+}
+
+/// `open(path)`; `direct` requests `O_DIRECT`.
+pub fn op_open<W: OrfsWorld>(
+    w: &mut W,
+    cid: OrfsClientId,
+    path: &str,
+    direct: bool,
+) -> SyscallId {
+    charge_entry(w, cid);
+    start_resolve(w, cid, path, AfterResolve::Open { direct })
+}
+
+/// `stat(path)`.
+pub fn op_stat<W: OrfsWorld>(w: &mut W, cid: OrfsClientId, path: &str) -> SyscallId {
+    charge_entry(w, cid);
+    start_resolve(w, cid, path, AfterResolve::Stat)
+}
+
+/// `readdir(path)`.
+pub fn op_readdir<W: OrfsWorld>(w: &mut W, cid: OrfsClientId, path: &str) -> SyscallId {
+    charge_entry(w, cid);
+    start_resolve(w, cid, path, AfterResolve::Readdir)
+}
+
+/// `readlink(path)`.
+pub fn op_readlink<W: OrfsWorld>(w: &mut W, cid: OrfsClientId, path: &str) -> SyscallId {
+    charge_entry(w, cid);
+    start_resolve(w, cid, path, AfterResolve::Readlink)
+}
+
+/// `truncate(path, size)`.
+pub fn op_truncate<W: OrfsWorld>(
+    w: &mut W,
+    cid: OrfsClientId,
+    path: &str,
+    size: u64,
+) -> SyscallId {
+    charge_entry(w, cid);
+    start_resolve(w, cid, path, AfterResolve::Truncate { size })
+}
+
+/// `creat(path, mode)`.
+pub fn op_create<W: OrfsWorld>(
+    w: &mut W,
+    cid: OrfsClientId,
+    path: &str,
+    mode: u16,
+) -> SyscallId {
+    charge_entry(w, cid);
+    start_resolve(w, cid, path, AfterResolve::NameOp(NameOp::Create { mode }))
+}
+
+/// `mkdir(path, mode)`.
+pub fn op_mkdir<W: OrfsWorld>(w: &mut W, cid: OrfsClientId, path: &str, mode: u16) -> SyscallId {
+    charge_entry(w, cid);
+    start_resolve(w, cid, path, AfterResolve::NameOp(NameOp::Mkdir { mode }))
+}
+
+/// `unlink(path)`.
+pub fn op_unlink<W: OrfsWorld>(w: &mut W, cid: OrfsClientId, path: &str) -> SyscallId {
+    charge_entry(w, cid);
+    start_resolve(w, cid, path, AfterResolve::NameOp(NameOp::Unlink))
+}
+
+/// `rmdir(path)`.
+pub fn op_rmdir<W: OrfsWorld>(w: &mut W, cid: OrfsClientId, path: &str) -> SyscallId {
+    charge_entry(w, cid);
+    start_resolve(w, cid, path, AfterResolve::NameOp(NameOp::Rmdir))
+}
+
+/// `symlink(target, path)`.
+pub fn op_symlink<W: OrfsWorld>(
+    w: &mut W,
+    cid: OrfsClientId,
+    path: &str,
+    target: &str,
+) -> SyscallId {
+    charge_entry(w, cid);
+    start_resolve(
+        w,
+        cid,
+        path,
+        AfterResolve::NameOp(NameOp::Symlink {
+            target: target.to_string(),
+        }),
+    )
+}
+
+/// `pread(fd, dest, offset)` — `dest.len()` bytes into `dest`.
+pub fn op_read<W: OrfsWorld>(
+    w: &mut W,
+    cid: OrfsClientId,
+    fd: u32,
+    dest: MemRef,
+    offset: u64,
+) -> SyscallId {
+    charge_entry(w, cid);
+    let file = match w.orfs().client(cid).file(fd) {
+        Ok(f) => f,
+        Err(e) => {
+            let sid = new_syscall(w, cid, OpState::MetaWait { kind: MetaKind::Generic });
+            finish(w, cid, sid, Err(e));
+            return sid;
+        }
+    };
+    let use_pagecache =
+        w.orfs().client(cid).kind == ClientKind::KernelVfs && !file.direct;
+    if use_pagecache {
+        let st = OpState::BufferedRead(BufferedRead {
+            fd,
+            ino: file.ino,
+            user: dest,
+            offset,
+            len: dest.len(),
+            done: 0,
+            fetching: None,
+        });
+        let sid = new_syscall(w, cid, st);
+        advance_buffered_read(w, cid, sid);
+        sid
+    } else {
+        // Direct (and ORFA): one request, reply lands zero-copy in `dest`.
+        let len = dest.len().min(file.size.saturating_sub(offset));
+        let sid = new_syscall(w, cid, OpState::DirectRead);
+        if len == 0 {
+            finish(w, cid, sid, Ok(SysRet::Bytes(0)));
+            return sid;
+        }
+        // Prepare the destination *first*: the buffer (registration,
+        // pinning) must be ready before the server can reply into it.
+        let reqid = alloc_reqid(w, cid, sid);
+        let shrunk = offset_memref(&dest, 0, len, Asid::KERNEL);
+        let ep = w.orfs().client(cid).ep;
+        let _ = w.t_post_recv(ep, reqid, IoVec::single(shrunk), reqid);
+        send_request_with_id(
+            w,
+            cid,
+            reqid,
+            &Request::Read {
+                handle: file.handle,
+                offset,
+                len,
+            },
+        );
+        sid
+    }
+}
+
+/// `pwrite(fd, src, offset)`.
+pub fn op_write<W: OrfsWorld>(
+    w: &mut W,
+    cid: OrfsClientId,
+    fd: u32,
+    src: MemRef,
+    offset: u64,
+) -> SyscallId {
+    charge_entry(w, cid);
+    let file = match w.orfs().client(cid).file(fd) {
+        Ok(f) => f,
+        Err(e) => {
+            let sid = new_syscall(w, cid, OpState::MetaWait { kind: MetaKind::Generic });
+            finish(w, cid, sid, Err(e));
+            return sid;
+        }
+    };
+    let buffered = w.orfs().client(cid).kind == ClientKind::KernelVfs && !file.direct;
+    if buffered {
+        let st = OpState::BufferedWrite(BufferedWrite {
+            fd,
+            ino: file.ino,
+            user: src,
+            offset,
+            len: src.len(),
+            done: 0,
+            fetching: None,
+        });
+        let sid = new_syscall(w, cid, st);
+        advance_buffered_write(w, cid, sid);
+        sid
+    } else {
+        let sid = new_syscall(w, cid, OpState::DirectWrite { fd });
+        send_write_request(w, cid, sid, file.handle, offset, src);
+        sid
+    }
+}
+
+/// `fsync(fd)`: write back the file's dirty pages.
+pub fn op_fsync<W: OrfsWorld>(w: &mut W, cid: OrfsClientId, fd: u32) -> SyscallId {
+    charge_entry(w, cid);
+    match w.orfs().client(cid).file(fd) {
+        Ok(file) => {
+            let flush = build_flush(w, cid, fd, file, false);
+            let sid = new_syscall(w, cid, OpState::Flush(flush));
+            advance_flush(w, cid, sid);
+            sid
+        }
+        Err(e) => {
+            let sid = new_syscall(w, cid, OpState::MetaWait { kind: MetaKind::Generic });
+            finish(w, cid, sid, Err(e));
+            sid
+        }
+    }
+}
+
+/// `close(fd)`: flush (buffered files), then release the server handle.
+pub fn op_close<W: OrfsWorld>(w: &mut W, cid: OrfsClientId, fd: u32) -> SyscallId {
+    charge_entry(w, cid);
+    match w.orfs().client(cid).file(fd) {
+        Ok(file) => {
+            let flush = build_flush(w, cid, fd, file, true);
+            if flush.pages.is_empty() {
+                let sid = new_syscall(
+                    w,
+                    cid,
+                    OpState::MetaWait {
+                        kind: MetaKind::Close { fd },
+                    },
+                );
+                let handle = file.handle;
+                send_request(w, cid, sid, &Request::Close { handle });
+                sid
+            } else {
+                let sid = new_syscall(w, cid, OpState::Flush(flush));
+                advance_flush(w, cid, sid);
+                sid
+            }
+        }
+        Err(e) => {
+            let sid = new_syscall(w, cid, OpState::MetaWait { kind: MetaKind::Generic });
+            finish(w, cid, sid, Err(e));
+            sid
+        }
+    }
+}
+
+fn build_flush<W: OrfsWorld>(
+    w: &mut W,
+    cid: OrfsClientId,
+    fd: u32,
+    file: OpenFile,
+    then_close: bool,
+) -> Flush {
+    let (node, mount) = {
+        let c = w.orfs().client(cid);
+        (c.ep.node, c.mount_id)
+    };
+    let dirty = w
+        .os()
+        .node(node)
+        .page_cache
+        .dirty_pages(mount, file.ino);
+    let pages = dirty
+        .iter()
+        .map(|(k, _)| {
+            let valid = (file.size.saturating_sub(k.index * PAGE_SIZE)).min(PAGE_SIZE);
+            (k.index, valid)
+        })
+        .filter(|(_, v)| *v > 0)
+        .collect();
+    Flush {
+        fd,
+        ino: file.ino,
+        pages,
+        idx: 0,
+        then_close,
+    }
+}
+
+// ---- resolution ------------------------------------------------------------------
+
+fn start_resolve<W: OrfsWorld>(
+    w: &mut W,
+    cid: OrfsClientId,
+    path: &str,
+    then: AfterResolve,
+) -> SyscallId {
+    let parts = match split_path(path) {
+        Ok(p) => p,
+        Err(e) => {
+            let sid = new_syscall(w, cid, OpState::MetaWait { kind: MetaKind::Generic });
+            finish(w, cid, sid, Err(e));
+            return sid;
+        }
+    };
+    let st = OpState::Resolve {
+        parts,
+        idx: 0,
+        cur: knet_simfs::InodeNo::ROOT.0,
+        then,
+    };
+    let sid = new_syscall(w, cid, st);
+    advance_resolve(w, cid, sid);
+    sid
+}
+
+/// Continue a resolve: consume cached components, issue a lookup for the
+/// first uncached one, or proceed to the `then` action.
+fn advance_resolve<W: OrfsWorld>(w: &mut W, cid: OrfsClientId, sid: SyscallId) {
+    {
+        let (parts, mut idx, mut cur, then) = {
+            let c = w.orfs().client(cid);
+            match c.ops.get(&sid) {
+                Some(OpState::Resolve {
+                    parts,
+                    idx,
+                    cur,
+                    then,
+                }) => (parts.clone(), *idx, *cur, then.clone()),
+                _ => return,
+            }
+        };
+        // Components that must remain unresolved for name ops: the last one.
+        let stop_before_last = matches!(then, AfterResolve::NameOp(_));
+        let end = if stop_before_last {
+            parts.len().saturating_sub(1)
+        } else {
+            parts.len()
+        };
+        // Walk cached dentries (kernel client only).
+        let use_cache = w.orfs().client(cid).kind == ClientKind::KernelVfs;
+        while idx < end {
+            let key = (cur, parts[idx].clone());
+            let cached = use_cache
+                .then(|| w.orfs().client(cid).dentries.get(&key).copied())
+                .flatten();
+            match cached {
+                Some(child) => {
+                    w.orfs_mut().client_mut(cid).stats.dentry_hits += 1;
+                    cur = child;
+                    idx += 1;
+                }
+                None => {
+                    w.orfs_mut().client_mut(cid).stats.dentry_misses += 1;
+                    // Issue the lookup and wait.
+                    {
+                        let c = w.orfs_mut().client_mut(cid);
+                        if let Some(OpState::Resolve {
+                            idx: i, cur: c2, ..
+                        }) = c.ops.get_mut(&sid)
+                        {
+                            *i = idx;
+                            *c2 = cur;
+                        }
+                    }
+                    let name = parts[idx].clone();
+                    send_request(w, cid, sid, &Request::Lookup { dir: cur, name });
+                    return;
+                }
+            }
+        }
+        // Resolution finished; dispatch the continuation.
+        match then {
+            AfterResolve::Open { direct } => {
+                let c = w.orfs_mut().client_mut(cid);
+                c.ops.insert(sid, OpState::OpenWait { ino: cur, direct });
+                send_request(w, cid, sid, &Request::Open { ino: cur });
+            }
+            AfterResolve::Stat => {
+                // Attribute cache (kernel client).
+                if use_cache {
+                    if let Some(a) = w.orfs().client(cid).attrs.get(&cur).copied() {
+                        finish(w, cid, sid, Ok(SysRet::Attr(a)));
+                        return;
+                    }
+                }
+                let c = w.orfs_mut().client_mut(cid);
+                c.ops.insert(sid, OpState::MetaWait { kind: MetaKind::Stat });
+                send_request(w, cid, sid, &Request::Getattr { ino: cur });
+            }
+            AfterResolve::Readdir => {
+                let c = w.orfs_mut().client_mut(cid);
+                c.ops.insert(
+                    sid,
+                    OpState::MetaWait {
+                        kind: MetaKind::Readdir,
+                    },
+                );
+                send_request(w, cid, sid, &Request::Readdir { ino: cur });
+            }
+            AfterResolve::Readlink => {
+                let c = w.orfs_mut().client_mut(cid);
+                c.ops.insert(
+                    sid,
+                    OpState::MetaWait {
+                        kind: MetaKind::Readlink,
+                    },
+                );
+                send_request(w, cid, sid, &Request::Readlink { ino: cur });
+            }
+            AfterResolve::Truncate { size } => {
+                let c = w.orfs_mut().client_mut(cid);
+                c.attrs.remove(&cur);
+                c.ops.insert(
+                    sid,
+                    OpState::MetaWait {
+                        kind: MetaKind::Generic,
+                    },
+                );
+                send_request(w, cid, sid, &Request::Truncate { ino: cur, size });
+            }
+            AfterResolve::NameOp(op) => {
+                let name = parts.last().cloned().unwrap_or_default();
+                let (req, kind) = match op {
+                    NameOp::Create { mode } => (
+                        Request::Create {
+                            dir: cur,
+                            name: name.clone(),
+                            mode,
+                        },
+                        MetaKind::CreateLike {
+                            dir: cur,
+                            name: name.clone(),
+                        },
+                    ),
+                    NameOp::Mkdir { mode } => (
+                        Request::Mkdir {
+                            dir: cur,
+                            name: name.clone(),
+                            mode,
+                        },
+                        MetaKind::CreateLike {
+                            dir: cur,
+                            name: name.clone(),
+                        },
+                    ),
+                    NameOp::Unlink => (
+                        Request::Unlink {
+                            dir: cur,
+                            name: name.clone(),
+                        },
+                        MetaKind::Lookup {
+                            dir: cur,
+                            name: name.clone(),
+                        },
+                    ),
+                    NameOp::Rmdir => (
+                        Request::Rmdir {
+                            dir: cur,
+                            name: name.clone(),
+                        },
+                        MetaKind::Lookup {
+                            dir: cur,
+                            name: name.clone(),
+                        },
+                    ),
+                    NameOp::Symlink { target } => (
+                        Request::Symlink {
+                            dir: cur,
+                            name: name.clone(),
+                            target,
+                        },
+                        MetaKind::Generic,
+                    ),
+                };
+                // Drop any stale cache entry for mutated names.
+                if let MetaKind::Lookup { dir, name } | MetaKind::CreateLike { dir, name } = &kind
+                {
+                    let key = (*dir, name.clone());
+                    w.orfs_mut().client_mut(cid).dentries.remove(&key);
+                }
+                let c = w.orfs_mut().client_mut(cid);
+                c.ops.insert(sid, OpState::MetaWait { kind });
+                send_request(w, cid, sid, &req);
+            }
+        }
+    }
+}
+
+// ---- request plumbing ------------------------------------------------------------
+
+/// Reserve a request id bound to `sid` (lets callers post the reply buffer
+/// *before* the request leaves — the reply must never race the buffer).
+fn alloc_reqid<W: OrfsWorld>(w: &mut W, cid: OrfsClientId, sid: SyscallId) -> u64 {
+    let c = w.orfs_mut().client_mut(cid);
+    let reqid = c.next_reqid;
+    c.next_reqid += 1;
+    c.pending.insert(reqid, Pending { syscall: sid });
+    reqid
+}
+
+/// Encode and send a metadata request (small message from the staging ring).
+fn send_request<W: OrfsWorld>(
+    w: &mut W,
+    cid: OrfsClientId,
+    sid: SyscallId,
+    req: &Request,
+) -> u64 {
+    let reqid = alloc_reqid(w, cid, sid);
+    send_request_with_id(w, cid, reqid, req);
+    reqid
+}
+
+/// Encode and send a request under a pre-allocated id.
+fn send_request_with_id<W: OrfsWorld>(
+    w: &mut W,
+    cid: OrfsClientId,
+    reqid: u64,
+    req: &Request,
+) {
+    let node = w.orfs().client(cid).ep.node;
+    cpu_charge(w, node, codec_cost());
+    let bytes = req.encode();
+    let (ep, server, addr, ring_asid, seg) = {
+        let c = w.orfs_mut().client_mut(cid);
+        c.stats.requests += 1;
+        let addr = c.ring_reserve(bytes.len() as u64);
+        let seg = c.ring_memref(addr, bytes.len() as u64);
+        (c.ep, c.server, addr, c.ring_asid, seg)
+    };
+    w.os_mut()
+        .node_mut(node)
+        .write_virt(ring_asid, addr, &bytes)
+        .expect("client ring mapped");
+    let _ = w.t_send(ep, server, reqid, IoVec::single(seg), reqid);
+}
+
+/// Send a write request with payload: vectorial on MX (header ++ data, no
+/// copy), coalesced through the ring on GM (one extra copy — §4.1).
+fn send_write_request<W: OrfsWorld>(
+    w: &mut W,
+    cid: OrfsClientId,
+    sid: SyscallId,
+    handle: u32,
+    offset: u64,
+    src: MemRef,
+) -> u64 {
+    let node = w.orfs().client(cid).ep.node;
+    let len = src.len();
+    let req = Request::Write {
+        handle,
+        offset,
+        len,
+    };
+    cpu_charge(w, node, codec_cost());
+    let header = req.encode();
+    let (reqid, ep, server) = {
+        let c = w.orfs_mut().client_mut(cid);
+        let reqid = c.next_reqid;
+        c.next_reqid += 1;
+        c.pending.insert(reqid, Pending { syscall: sid });
+        c.stats.requests += 1;
+        (reqid, c.ep, c.server)
+    };
+    if len > WRITE_INLINE_MAX {
+        // Announced write: header first; the payload follows as a separate
+        // tagged message once the server has posted its staging buffer.
+        // (The announcement is tiny, so the server's post always wins the
+        // race for eager transports; MX large messages rendezvous anyway.)
+        let (addr, ring_asid, seg) = {
+            let c = w.orfs_mut().client_mut(cid);
+            let addr = c.ring_reserve(header.len() as u64);
+            (addr, c.ring_asid, c.ring_memref(addr, header.len() as u64))
+        };
+        w.os_mut()
+            .node_mut(node)
+            .write_virt(ring_asid, addr, &header)
+            .expect("ring mapped");
+        let _ = w.t_send(ep, server, reqid, IoVec::single(seg), reqid);
+        let _ = w.t_send(
+            ep,
+            server,
+            reqid | DATA_TAG_BIT,
+            IoVec::single(src),
+            reqid | DATA_TAG_BIT,
+        );
+        return reqid;
+    }
+    let iov = match ep.kind {
+        TransportKind::Mx => {
+            // Vectorial: header from the ring, data straight from source.
+            let (addr, ring_asid, seg) = {
+                let c = w.orfs_mut().client_mut(cid);
+                let addr = c.ring_reserve(header.len() as u64);
+                (addr, c.ring_asid, c.ring_memref(addr, header.len() as u64))
+            };
+            w.os_mut()
+                .node_mut(node)
+                .write_virt(ring_asid, addr, &header)
+                .expect("ring mapped");
+            IoVec::from_segs(vec![seg, src])
+        }
+        TransportKind::Gm => {
+            // GM cannot gather: coalesce header + data into the ring,
+            // paying a host copy of the payload (§4.1).
+            let total = header.len() as u64 + len;
+            let (addr, ring_asid, seg) = {
+                let c = w.orfs_mut().client_mut(cid);
+                let addr = c.ring_reserve(total);
+                (addr, c.ring_asid, c.ring_memref(addr, total))
+            };
+            w.os_mut()
+                .node_mut(node)
+                .write_virt(ring_asid, addr, &header)
+                .expect("ring mapped");
+            // Functional copy of the payload into the ring.
+            let data = knet_core::read_iovec(w.os().node(node), &IoVec::single(src))
+                .unwrap_or_default();
+            w.os_mut()
+                .node_mut(node)
+                .write_virt(ring_asid, addr.add(header.len() as u64), &data)
+                .expect("ring mapped");
+            let copy = w.os().node(node).cpu.model.ring_copy_cost(len);
+            cpu_charge(w, node, copy);
+            IoVec::single(seg)
+        }
+    };
+    let _ = w.t_send(ep, server, reqid, iov, reqid);
+    reqid
+}
+
+// ---- buffered I/O ------------------------------------------------------------------
+
+/// Advance a buffered read: copy from cached pages, or fetch the next
+/// missing page (run) from the server into freshly allocated page-cache
+/// frames whose *physical* addresses are handed to the transport.
+fn advance_buffered_read<W: OrfsWorld>(w: &mut W, cid: OrfsClientId, sid: SyscallId) {
+    let (node, mount, asid, combine, max_combine, ep) = {
+        let c = w.orfs().client(cid);
+        (
+            c.ep.node,
+            c.mount_id,
+            c.asid,
+            c.config.combine_pages && c.ep.kind == TransportKind::Mx,
+            c.config.max_combine,
+            c.ep,
+        )
+    };
+    loop {
+        let br = {
+            let c = w.orfs().client(cid);
+            match c.ops.get(&sid) {
+                Some(OpState::BufferedRead(br)) => br.clone(),
+                _ => return,
+            }
+        };
+        let file = match w.orfs().client(cid).file(br.fd) {
+            Ok(f) => f,
+            Err(e) => {
+                finish(w, cid, sid, Err(e));
+                return;
+            }
+        };
+        let want = br.len.min(file.size.saturating_sub(br.offset));
+        if br.done >= want {
+            finish(w, cid, sid, Ok(SysRet::Bytes(br.done)));
+            return;
+        }
+        let pos = br.offset + br.done;
+        let page_idx = pos / PAGE_SIZE;
+        let key = PageKey {
+            mount,
+            inode: br.ino,
+            index: page_idx,
+        };
+        let cached = w
+            .os_mut()
+            .node_mut(node)
+            .page_cache
+            .lookup(key)
+            .filter(|p| p.uptodate);
+        match cached {
+            Some(page) => {
+                w.orfs_mut().client_mut(cid).stats.page_hits += 1;
+                // Copy page → user buffer.
+                let page_off = pos % PAGE_SIZE;
+                let n = (PAGE_SIZE - page_off).min(want - br.done);
+                let mut tmp = vec![0u8; n as usize];
+                w.os()
+                    .node(node)
+                    .mem
+                    .read(page.frame.base().add(page_off), &mut tmp)
+                    .expect("cached page readable");
+                let dest = offset_memref(&br.user, br.done, n, asid);
+                knet_core::write_iovec(
+                    w.os_mut().node_mut(node),
+                    &IoVec::single(dest),
+                    &tmp,
+                )
+                .ok();
+                let copy = w.os().node(node).cpu.model.memcpy_cost(n);
+                cpu_charge(w, node, copy);
+                {
+                    let c = w.orfs_mut().client_mut(cid);
+                    if let Some(OpState::BufferedRead(b)) = c.ops.get_mut(&sid) {
+                        b.done += n;
+                    }
+                    c.stats.bytes_read += n;
+                }
+                continue;
+            }
+            None => {
+                w.orfs_mut().client_mut(cid).stats.page_misses += 1;
+                // Build the run of missing pages to fetch.
+                let last_needed = (br.offset + want - 1) / PAGE_SIZE;
+                let mut count = 1u64;
+                if combine {
+                    while count < max_combine && page_idx + count <= last_needed {
+                        let k = PageKey {
+                            mount,
+                            inode: br.ino,
+                            index: page_idx + count,
+                        };
+                        if w.os().node(node).page_cache.peek(k).is_some() {
+                            break;
+                        }
+                        count += 1;
+                    }
+                }
+                // Allocate the frames and post their physical addresses.
+                let mut iov = IoVec::new();
+                for i in 0..count {
+                    let k = PageKey {
+                        mount,
+                        inode: br.ino,
+                        index: page_idx + i,
+                    };
+                    let os = w.os_mut().node_mut(node);
+                    let page = {
+                        let mem = &mut os.mem;
+                        os.page_cache.insert(mem, k)
+                    };
+                    match page {
+                        Ok(p) => iov.push(MemRef::physical(p.frame.base(), PAGE_SIZE)),
+                        Err(e) => {
+                            finish(w, cid, sid, Err(OrfsError::Fs(FsError::NoSpace)));
+                            let _ = e;
+                            return;
+                        }
+                    }
+                }
+                {
+                    let c = w.orfs_mut().client_mut(cid);
+                    if let Some(OpState::BufferedRead(b)) = c.ops.get_mut(&sid) {
+                        b.fetching = Some((page_idx, count));
+                    }
+                }
+                let reqid = alloc_reqid(w, cid, sid);
+                let _ = w.t_post_recv(ep, reqid, iov, reqid);
+                send_request_with_id(
+                    w,
+                    cid,
+                    reqid,
+                    &Request::Read {
+                        handle: file.handle,
+                        offset: page_idx * PAGE_SIZE,
+                        len: count * PAGE_SIZE,
+                    },
+                );
+                return;
+            }
+        }
+    }
+}
+
+/// A `MemRef` shifted by `delta` bytes and clamped to `len`.
+fn offset_memref(m: &MemRef, delta: u64, len: u64, _asid: Asid) -> MemRef {
+    match *m {
+        MemRef::UserVirtual { asid, addr, .. } => MemRef::user(asid, addr.add(delta), len),
+        MemRef::KernelVirtual { addr, .. } => MemRef::kernel(addr.add(delta), len),
+        MemRef::Physical { addr, .. } => MemRef::physical(addr.add(delta), len),
+    }
+}
+
+/// Advance a buffered write: fill page-cache pages (read-modify-write for
+/// partial pages over existing data), mark dirty; completion is local.
+fn advance_buffered_write<W: OrfsWorld>(w: &mut W, cid: OrfsClientId, sid: SyscallId) {
+    let (node, mount, ep) = {
+        let c = w.orfs().client(cid);
+        (c.ep.node, c.mount_id, c.ep)
+    };
+    loop {
+        let bw = {
+            let c = w.orfs().client(cid);
+            match c.ops.get(&sid) {
+                Some(OpState::BufferedWrite(b)) => b.clone(),
+                _ => return,
+            }
+        };
+        if bw.done >= bw.len {
+            // Update size locally.
+            let end = bw.offset + bw.len;
+            {
+                let c = w.orfs_mut().client_mut(cid);
+                if let Ok(f) = c.file_mut(bw.fd) {
+                    if end > f.size {
+                        f.size = end;
+                    }
+                }
+                c.attrs.remove(&bw.ino);
+                c.stats.bytes_written += bw.len;
+            }
+            finish(w, cid, sid, Ok(SysRet::Bytes(bw.len)));
+            return;
+        }
+        let file = match w.orfs().client(cid).file(bw.fd) {
+            Ok(f) => f,
+            Err(e) => {
+                finish(w, cid, sid, Err(e));
+                return;
+            }
+        };
+        let pos = bw.offset + bw.done;
+        let page_idx = pos / PAGE_SIZE;
+        let page_off = pos % PAGE_SIZE;
+        let n = (PAGE_SIZE - page_off).min(bw.len - bw.done);
+        let key = PageKey {
+            mount,
+            inode: bw.ino,
+            index: page_idx,
+        };
+        let cached = w.os_mut().node_mut(node).page_cache.lookup(key);
+        let covers_whole = page_off == 0 && n == PAGE_SIZE;
+        let beyond_eof = page_idx * PAGE_SIZE >= file.size;
+        let page = match cached {
+            Some(p) if p.uptodate || covers_whole => Some(p),
+            Some(_) | None if covers_whole || beyond_eof => {
+                // No read needed: take (or allocate) the page as-is.
+                match cached {
+                    Some(p) => Some(p),
+                    None => {
+                        let os = w.os_mut().node_mut(node);
+                        let r = {
+                            let mem = &mut os.mem;
+                            os.page_cache.insert(mem, key)
+                        };
+                        match r {
+                            Ok(p) => {
+                                w.os_mut().node_mut(node).page_cache.mark_uptodate(key);
+                                Some(p)
+                            }
+                            Err(_) => {
+                                finish(w, cid, sid, Err(OrfsError::Fs(FsError::NoSpace)));
+                                return;
+                            }
+                        }
+                    }
+                }
+            }
+            _ => None,
+        };
+        match page {
+            Some(p) => {
+                w.orfs_mut().client_mut(cid).stats.page_hits += 1;
+                // Copy user → page.
+                let mut tmp = vec![0u8; n as usize];
+                let src = offset_memref(&bw.user, bw.done, n, Asid::KERNEL);
+                let data =
+                    knet_core::read_iovec(w.os().node(node), &IoVec::single(src)).unwrap_or(tmp.clone());
+                tmp.copy_from_slice(&data[..n as usize]);
+                w.os_mut()
+                    .node_mut(node)
+                    .mem
+                    .write(p.frame.base().add(page_off), &tmp)
+                    .expect("page writable");
+                let os = w.os_mut().node_mut(node);
+                os.page_cache.mark_dirty(key);
+                let copy = w.os().node(node).cpu.model.memcpy_cost(n);
+                cpu_charge(w, node, copy);
+                let c = w.orfs_mut().client_mut(cid);
+                if let Some(OpState::BufferedWrite(b)) = c.ops.get_mut(&sid) {
+                    b.done += n;
+                }
+                continue;
+            }
+            None => {
+                // Partial write over existing data: fetch the page first.
+                w.orfs_mut().client_mut(cid).stats.page_misses += 1;
+                let os = w.os_mut().node_mut(node);
+                let inserted = {
+                    let mem = &mut os.mem;
+                    os.page_cache.insert(mem, key)
+                };
+                let frame = match inserted {
+                    Ok(p) => p.frame,
+                    Err(_) => {
+                        finish(w, cid, sid, Err(OrfsError::Fs(FsError::NoSpace)));
+                        return;
+                    }
+                };
+                {
+                    let c = w.orfs_mut().client_mut(cid);
+                    if let Some(OpState::BufferedWrite(b)) = c.ops.get_mut(&sid) {
+                        b.fetching = Some(page_idx);
+                    }
+                }
+                let reqid = alloc_reqid(w, cid, sid);
+                let iov = IoVec::single(MemRef::physical(frame.base(), PAGE_SIZE));
+                let _ = w.t_post_recv(ep, reqid, iov, reqid);
+                send_request_with_id(
+                    w,
+                    cid,
+                    reqid,
+                    &Request::Read {
+                        handle: file.handle,
+                        offset: page_idx * PAGE_SIZE,
+                        len: PAGE_SIZE,
+                    },
+                );
+                return;
+            }
+        }
+    }
+}
+
+/// Advance a flush: send the next dirty page as a write request.
+fn advance_flush<W: OrfsWorld>(w: &mut W, cid: OrfsClientId, sid: SyscallId) {
+    let (node, mount) = {
+        let c = w.orfs().client(cid);
+        (c.ep.node, c.mount_id)
+    };
+    let fl = {
+        let c = w.orfs().client(cid);
+        match c.ops.get(&sid) {
+            Some(OpState::Flush(f)) => f.clone(),
+            _ => return,
+        }
+    };
+    if fl.idx >= fl.pages.len() {
+        // All pages written back.
+        if fl.then_close {
+            let file = w.orfs().client(cid).file(fl.fd);
+            match file {
+                Ok(f) => {
+                    let c = w.orfs_mut().client_mut(cid);
+                    c.ops.insert(
+                        sid,
+                        OpState::MetaWait {
+                            kind: MetaKind::Close { fd: fl.fd },
+                        },
+                    );
+                    send_request(w, cid, sid, &Request::Close { handle: f.handle });
+                }
+                Err(e) => finish(w, cid, sid, Err(e)),
+            }
+        } else {
+            finish(w, cid, sid, Ok(SysRet::Unit));
+        }
+        return;
+    }
+    let (page_idx, valid) = fl.pages[fl.idx];
+    let key = PageKey {
+        mount,
+        inode: fl.ino,
+        index: page_idx,
+    };
+    let frame = w.os().node(node).page_cache.peek(key).map(|p| p.frame);
+    let Some(frame) = frame else {
+        // Page vanished (should not happen); skip it.
+        let c = w.orfs_mut().client_mut(cid);
+        if let Some(OpState::Flush(f)) = c.ops.get_mut(&sid) {
+            f.idx += 1;
+        }
+        advance_flush(w, cid, sid);
+        return;
+    };
+    let file = match w.orfs().client(cid).file(fl.fd) {
+        Ok(f) => f,
+        Err(e) => {
+            finish(w, cid, sid, Err(e));
+            return;
+        }
+    };
+    w.os_mut().node_mut(node).page_cache.clear_dirty(key);
+    send_write_request(
+        w,
+        cid,
+        sid,
+        file.handle,
+        page_idx * PAGE_SIZE,
+        MemRef::physical(frame.base(), valid),
+    );
+}
+
+// ---- completion handling ----------------------------------------------------------
+
+/// Transport upcall: an event arrived at client `cid`'s endpoint.
+pub fn client_on_event<W: OrfsWorld>(w: &mut W, cid: OrfsClientId, ev: TransportEvent) {
+    match ev {
+        TransportEvent::Unexpected { tag, data, .. } => {
+            let Some(p) = w.orfs_mut().client_mut(cid).pending.remove(&tag) else {
+                return;
+            };
+            let node = w.orfs().client(cid).ep.node;
+            cpu_charge(w, node, codec_cost());
+            let resp = Response::decode(&data).unwrap_or(Response::Err(OrfsError::Decode));
+            on_response(w, cid, p.syscall, resp);
+        }
+        TransportEvent::RecvDone { ctx, len, .. } => {
+            let Some(p) = w.orfs_mut().client_mut(cid).pending.remove(&ctx) else {
+                return;
+            };
+            on_data(w, cid, p.syscall, len);
+        }
+        TransportEvent::SendDone { .. } => {}
+    }
+}
+
+/// A metadata response arrived for `sid`.
+fn on_response<W: OrfsWorld>(w: &mut W, cid: OrfsClientId, sid: SyscallId, resp: Response) {
+    let st = {
+        let c = w.orfs().client(cid);
+        match c.ops.get(&sid) {
+            Some(s) => s.clone(),
+            None => return,
+        }
+    };
+    if let Response::Err(e) = resp {
+        finish(w, cid, sid, Err(e));
+        return;
+    }
+    match st {
+        OpState::Resolve { parts, idx, cur, .. } => {
+            let Response::Ino(child) = resp else {
+                finish(w, cid, sid, Err(OrfsError::Decode));
+                return;
+            };
+            // Cache the dentry and continue walking.
+            {
+                let c = w.orfs_mut().client_mut(cid);
+                if c.kind == ClientKind::KernelVfs {
+                    c.dentries.insert((cur, parts[idx].clone()), child);
+                }
+                if let Some(OpState::Resolve { idx: i, cur: cu, .. }) = c.ops.get_mut(&sid) {
+                    *i = idx + 1;
+                    *cu = child;
+                }
+            }
+            advance_resolve(w, cid, sid);
+        }
+        OpState::OpenWait { ino, direct } => {
+            let Response::Handle(h) = resp else {
+                finish(w, cid, sid, Err(OrfsError::Decode));
+                return;
+            };
+            let c = w.orfs_mut().client_mut(cid);
+            c.ops.insert(
+                sid,
+                OpState::OpenAttrWait {
+                    ino,
+                    handle: h,
+                    direct,
+                },
+            );
+            send_request(w, cid, sid, &Request::Getattr { ino });
+        }
+        OpState::OpenAttrWait { ino, handle, direct } => {
+            let Response::Attr(a) = resp else {
+                finish(w, cid, sid, Err(OrfsError::Decode));
+                return;
+            };
+            let c = w.orfs_mut().client_mut(cid);
+            if c.kind == ClientKind::KernelVfs {
+                c.attrs.insert(ino, a);
+            }
+            let fd = c.alloc_fd(OpenFile {
+                ino,
+                handle,
+                direct,
+                size: a.size,
+            });
+            finish(w, cid, sid, Ok(SysRet::Fd(fd)));
+        }
+        OpState::MetaWait { kind } => match kind {
+            MetaKind::Stat => {
+                if let Response::Attr(a) = resp {
+                    let c = w.orfs_mut().client_mut(cid);
+                    if c.kind == ClientKind::KernelVfs {
+                        c.attrs.insert(a.ino, a);
+                    }
+                    finish(w, cid, sid, Ok(SysRet::Attr(a)));
+                } else {
+                    finish(w, cid, sid, Err(OrfsError::Decode));
+                }
+            }
+            MetaKind::Readdir => {
+                if let Response::Entries(es) = resp {
+                    finish(w, cid, sid, Ok(SysRet::Entries(es)));
+                } else {
+                    finish(w, cid, sid, Err(OrfsError::Decode));
+                }
+            }
+            MetaKind::Readlink => {
+                if let Response::Target(t) = resp {
+                    finish(w, cid, sid, Ok(SysRet::Target(t)));
+                } else {
+                    finish(w, cid, sid, Err(OrfsError::Decode));
+                }
+            }
+            MetaKind::CreateLike { dir, name } => {
+                if let Response::Ino(i) = resp {
+                    let c = w.orfs_mut().client_mut(cid);
+                    if c.kind == ClientKind::KernelVfs {
+                        c.dentries.insert((dir, name), i);
+                    }
+                    finish(w, cid, sid, Ok(SysRet::Ino(i)));
+                } else {
+                    finish(w, cid, sid, Err(OrfsError::Decode));
+                }
+            }
+            MetaKind::Lookup { dir, name } => {
+                // Used for unlink/rmdir completion: invalidate caches.
+                let c = w.orfs_mut().client_mut(cid);
+                c.dentries.remove(&(dir, name));
+                finish(w, cid, sid, Ok(SysRet::Unit));
+            }
+            MetaKind::Close { fd } => {
+                let c = w.orfs_mut().client_mut(cid);
+                if let Some(slot) = c.fds.get_mut(fd as usize) {
+                    *slot = None;
+                }
+                finish(w, cid, sid, Ok(SysRet::Unit));
+            }
+            MetaKind::Generic => match resp {
+                Response::Written(n) => finish(w, cid, sid, Ok(SysRet::Bytes(n))),
+                Response::Unit | Response::Ino(_) => finish(w, cid, sid, Ok(SysRet::Unit)),
+                _ => finish(w, cid, sid, Err(OrfsError::Decode)),
+            },
+        },
+        OpState::DirectWrite { fd } => {
+            let Response::Written(n) = resp else {
+                finish(w, cid, sid, Err(OrfsError::Decode));
+                return;
+            };
+            {
+                let c = w.orfs_mut().client_mut(cid);
+                c.stats.bytes_written += n;
+                let end_ino = c.file(fd).map(|f| f.ino).ok();
+                if let Ok(f) = c.file_mut(fd) {
+                    // pwrite extends the size when needed.
+                    f.size = f.size.max(n); // refined below by attrs
+                }
+                if let Some(i) = end_ino {
+                    c.attrs.remove(&i);
+                }
+            }
+            finish(w, cid, sid, Ok(SysRet::Bytes(n)));
+        }
+        OpState::Flush(mut fl) => {
+            // One page acknowledged; move on.
+            if let Response::Written(_) = resp {
+                fl.idx += 1;
+                let c = w.orfs_mut().client_mut(cid);
+                c.ops.insert(sid, OpState::Flush(fl));
+                advance_flush(w, cid, sid);
+            } else {
+                finish(w, cid, sid, Err(OrfsError::Decode));
+            }
+        }
+        OpState::DirectRead | OpState::BufferedRead(_) | OpState::BufferedWrite(_) => {
+            // Data ops complete through RecvDone, not metadata responses.
+            finish(w, cid, sid, Err(OrfsError::Decode));
+        }
+    }
+}
+
+/// A data message landed in a posted buffer for `sid` (`len` bytes).
+fn on_data<W: OrfsWorld>(w: &mut W, cid: OrfsClientId, sid: SyscallId, len: u64) {
+    let st = {
+        let c = w.orfs().client(cid);
+        match c.ops.get(&sid) {
+            Some(s) => s.clone(),
+            None => return,
+        }
+    };
+    match st {
+        OpState::DirectRead => {
+            w.orfs_mut().client_mut(cid).stats.bytes_read += len;
+            finish(w, cid, sid, Ok(SysRet::Bytes(len)));
+        }
+        OpState::BufferedRead(br) => {
+            let (node, mount) = {
+                let c = w.orfs().client(cid);
+                (c.ep.node, c.mount_id)
+            };
+            if let Some((first, count)) = br.fetching {
+                let mut remaining = len;
+                for i in 0..count {
+                    let key = PageKey {
+                        mount,
+                        inode: br.ino,
+                        index: first + i,
+                    };
+                    if remaining > 0 {
+                        w.os_mut().node_mut(node).page_cache.mark_uptodate(key);
+                        remaining = remaining.saturating_sub(PAGE_SIZE);
+                    } else {
+                        // Short read (EOF): page holds zeroes but is valid.
+                        w.os_mut().node_mut(node).page_cache.mark_uptodate(key);
+                    }
+                }
+                let c = w.orfs_mut().client_mut(cid);
+                if let Some(OpState::BufferedRead(b)) = c.ops.get_mut(&sid) {
+                    b.fetching = None;
+                }
+            }
+            advance_buffered_read(w, cid, sid);
+        }
+        OpState::BufferedWrite(bw) => {
+            let (node, mount) = {
+                let c = w.orfs().client(cid);
+                (c.ep.node, c.mount_id)
+            };
+            if let Some(page_idx) = bw.fetching {
+                let key = PageKey {
+                    mount,
+                    inode: bw.ino,
+                    index: page_idx,
+                };
+                w.os_mut().node_mut(node).page_cache.mark_uptodate(key);
+                let c = w.orfs_mut().client_mut(cid);
+                if let Some(OpState::BufferedWrite(b)) = c.ops.get_mut(&sid) {
+                    b.fetching = None;
+                }
+            }
+            advance_buffered_write(w, cid, sid);
+        }
+        _ => {}
+    }
+}

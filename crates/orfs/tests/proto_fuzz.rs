@@ -1,0 +1,118 @@
+//! Decoder robustness: arbitrary bytes must never panic the wire-protocol
+//! decoders, and every encodable value must survive a round trip.
+
+use knet_orfs::{Request, Response, WireAttr, WireDirEntry};
+use proptest::prelude::*;
+
+fn arb_request() -> impl Strategy<Value = Request> {
+    let name = "[a-zA-Z0-9._-]{1,32}";
+    prop_oneof![
+        (any::<u32>(), name).prop_map(|(dir, name)| Request::Lookup { dir, name }),
+        any::<u32>().prop_map(|ino| Request::Getattr { ino }),
+        (any::<u32>(), any::<u16>())
+            .prop_map(|(ino, mode)| Request::SetattrMode { ino, mode }),
+        (any::<u32>(), name, any::<u16>())
+            .prop_map(|(dir, name, mode)| Request::Create { dir, name, mode }),
+        (any::<u32>(), name, any::<u16>())
+            .prop_map(|(dir, name, mode)| Request::Mkdir { dir, name, mode }),
+        (any::<u32>(), name).prop_map(|(dir, name)| Request::Unlink { dir, name }),
+        (any::<u32>(), name).prop_map(|(dir, name)| Request::Rmdir { dir, name }),
+        any::<u32>().prop_map(|ino| Request::Readdir { ino }),
+        (any::<u32>(), name, name)
+            .prop_map(|(dir, name, target)| Request::Symlink { dir, name, target }),
+        any::<u32>().prop_map(|ino| Request::Readlink { ino }),
+        (any::<u32>(), name, any::<u32>(), name).prop_map(|(fdir, fname, tdir, tname)| {
+            Request::Rename {
+                fdir,
+                fname,
+                tdir,
+                tname,
+            }
+        }),
+        (any::<u32>(), any::<u64>()).prop_map(|(ino, size)| Request::Truncate { ino, size }),
+        any::<u32>().prop_map(|ino| Request::Open { ino }),
+        any::<u32>().prop_map(|handle| Request::Close { handle }),
+        (any::<u32>(), any::<u64>(), any::<u32>()).prop_map(|(handle, offset, len)| {
+            Request::Read {
+                handle,
+                offset,
+                len: len as u64,
+            }
+        }),
+        (any::<u32>(), any::<u64>(), any::<u32>()).prop_map(|(handle, offset, len)| {
+            Request::Write {
+                handle,
+                offset,
+                len: len as u64,
+            }
+        }),
+    ]
+}
+
+fn arb_response() -> impl Strategy<Value = Response> {
+    let name = "[a-zA-Z0-9._-]{1,24}";
+    prop_oneof![
+        any::<u32>().prop_map(Response::Ino),
+        any::<u32>().prop_map(Response::Handle),
+        any::<u64>().prop_map(Response::Written),
+        name.prop_map(Response::Target),
+        Just(Response::Unit),
+        (any::<u32>(), 0u8..3, any::<u64>(), any::<u32>(), any::<u16>(), any::<u64>())
+            .prop_map(|(ino, ftype, size, nlink, mode, mtime_ns)| {
+                Response::Attr(WireAttr {
+                    ino,
+                    ftype,
+                    size,
+                    nlink,
+                    mode,
+                    mtime_ns,
+                })
+            }),
+        prop::collection::vec((any::<u32>(), 0u8..3, name), 0..8).prop_map(|es| {
+            Response::Entries(
+                es.into_iter()
+                    .map(|(ino, ftype, name)| WireDirEntry { ino, ftype, name })
+                    .collect(),
+            )
+        }),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn request_roundtrip(req in arb_request()) {
+        let enc = req.encode();
+        let (dec, used) = Request::decode(&enc).expect("decodes");
+        prop_assert_eq!(dec, req);
+        prop_assert_eq!(used, enc.len());
+    }
+
+    #[test]
+    fn response_roundtrip(resp in arb_response()) {
+        let enc = resp.encode();
+        prop_assert_eq!(Response::decode(&enc).expect("decodes"), resp);
+    }
+
+    /// Arbitrary garbage never panics either decoder.
+    #[test]
+    fn decoders_never_panic(bytes in prop::collection::vec(any::<u8>(), 0..512)) {
+        let _ = Request::decode(&bytes);
+        let _ = Response::decode(&bytes);
+    }
+
+    /// Bit-flipped valid encodings never panic (and usually fail cleanly).
+    #[test]
+    fn mutated_encodings_never_panic(
+        req in arb_request(),
+        flip_at in any::<prop::sample::Index>(),
+        flip_bit in 0u8..8,
+    ) {
+        let mut enc = req.encode().to_vec();
+        if !enc.is_empty() {
+            let i = flip_at.index(enc.len());
+            enc[i] ^= 1 << flip_bit;
+        }
+        let _ = Request::decode(&enc);
+        let _ = Response::decode(&enc);
+    }
+}

@@ -1,0 +1,35 @@
+//! # knet-simcore — deterministic discrete-event engine
+//!
+//! The foundation of the `knet` cluster model: a nanosecond-resolution virtual
+//! clock, an event scheduler generic over the composed *world* type, timed
+//! serially-reusable resources (links, DMA engines, CPUs), and small
+//! statistics helpers shared by the benchmark harness.
+//!
+//! Design notes:
+//!
+//! * **Generic world.** `Scheduler<W>` stores `FnOnce(&mut W)` events. Layer
+//!   crates (`knet-simos`, `knet-simnic`, `knet-gm`, …) write their logic as
+//!   functions generic over capability traits rooted at [`SimWorld`]; the
+//!   top-level crate composes one concrete world and implements every trait.
+//!   No layer ever depends on its users.
+//! * **Determinism.** Events at equal timestamps run in scheduling order
+//!   (FIFO via a sequence number). Given the same inputs, every run produces
+//!   the same event trace and the same virtual timings — tests rely on this.
+//! * **No wall-clock anywhere.** All figures produced by the benchmark
+//!   harness are virtual-time measurements of the modeled 2005 hardware, not
+//!   host-machine timings.
+
+pub mod resource;
+pub mod rng;
+pub mod sched;
+pub mod stats;
+pub mod time;
+
+pub use resource::{Busy, LaneBank};
+pub use rng::SplitMix64;
+pub use sched::{
+    after, at, now, run_to_quiescence, run_until, run_until_budgeted, step, RunOutcome,
+    Scheduler, SimWorld, DEFAULT_EVENT_BUDGET,
+};
+pub use stats::{pow2_sizes, Series, SeriesPoint, Summary};
+pub use time::{Bandwidth, SimTime};

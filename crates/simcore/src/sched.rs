@@ -1,0 +1,334 @@
+//! The discrete-event scheduler.
+//!
+//! The engine is generic over the *world* type `W`: every layer of the stack
+//! (host OS, NIC hardware, GM/MX drivers, file system, socket layer) stores its
+//! state inside one world struct composed by the top-level crate, and events
+//! are `FnOnce(&mut W)` closures ordered by `(time, sequence)`. The sequence
+//! number makes execution fully deterministic: two events scheduled for the
+//! same instant run in scheduling order, on every run, on every machine.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::time::SimTime;
+
+type EventFn<W> = Box<dyn FnOnce(&mut W)>;
+
+struct Entry<W> {
+    at: SimTime,
+    seq: u64,
+    f: EventFn<W>,
+}
+
+impl<W> PartialEq for Entry<W> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<W> Eq for Entry<W> {}
+impl<W> PartialOrd for Entry<W> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<W> Ord for Entry<W> {
+    // BinaryHeap is a max-heap; invert so the earliest (time, seq) pops first.
+    fn cmp(&self, other: &Self) -> Ordering {
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+/// Priority queue of pending events plus the virtual clock.
+pub struct Scheduler<W> {
+    now: SimTime,
+    seq: u64,
+    executed: u64,
+    heap: BinaryHeap<Entry<W>>,
+}
+
+impl<W> Default for Scheduler<W> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<W> Scheduler<W> {
+    pub fn new() -> Self {
+        Scheduler {
+            now: SimTime::ZERO,
+            seq: 0,
+            executed: 0,
+            heap: BinaryHeap::with_capacity(1024),
+        }
+    }
+
+    /// Current virtual time.
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events executed so far (a cheap determinism fingerprint).
+    #[inline]
+    pub fn executed(&self) -> u64 {
+        self.executed
+    }
+
+    /// Number of events still pending.
+    #[inline]
+    pub fn pending(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Schedule `f` at absolute time `t`. Times in the past are clamped to
+    /// "now": the event still runs, after already-queued events for `now`.
+    pub fn at(&mut self, t: SimTime, f: impl FnOnce(&mut W) + 'static) {
+        let at = t.max(self.now);
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Entry {
+            at,
+            seq,
+            f: Box::new(f),
+        });
+    }
+
+    /// Schedule `f` after a delay of `d` from now.
+    #[inline]
+    pub fn after(&mut self, d: SimTime, f: impl FnOnce(&mut W) + 'static) {
+        self.at(self.now + d, f);
+    }
+
+    /// Schedule `f` to run at the current instant, after events already queued
+    /// for this instant.
+    #[inline]
+    pub fn immediately(&mut self, f: impl FnOnce(&mut W) + 'static) {
+        self.at(self.now, f);
+    }
+
+    fn pop(&mut self) -> Option<EventFn<W>> {
+        let entry = self.heap.pop()?;
+        debug_assert!(entry.at >= self.now, "scheduler time went backwards");
+        self.now = entry.at;
+        self.executed += 1;
+        Some(entry.f)
+    }
+}
+
+/// A world that embeds a [`Scheduler`] for itself.
+///
+/// Layer crates bound their generic functions by capability traits whose root
+/// is `SimWorld`; the concrete world type is composed once, at the top of the
+/// dependency graph.
+pub trait SimWorld: Sized {
+    fn sched(&self) -> &Scheduler<Self>;
+    fn sched_mut(&mut self) -> &mut Scheduler<Self>;
+}
+
+/// Current virtual time of a world.
+#[inline]
+pub fn now<W: SimWorld>(w: &W) -> SimTime {
+    w.sched().now()
+}
+
+/// Schedule `f` after delay `d`.
+#[inline]
+pub fn after<W: SimWorld>(w: &mut W, d: SimTime, f: impl FnOnce(&mut W) + 'static) {
+    w.sched_mut().after(d, f);
+}
+
+/// Schedule `f` at absolute time `t`.
+#[inline]
+pub fn at<W: SimWorld>(w: &mut W, t: SimTime, f: impl FnOnce(&mut W) + 'static) {
+    w.sched_mut().at(t, f);
+}
+
+/// Execute the next pending event. Returns `false` when the queue is empty.
+pub fn step<W: SimWorld>(w: &mut W) -> bool {
+    // Pop first so the event closure gets exclusive access to the world.
+    let Some(f) = w.sched_mut().pop() else {
+        return false;
+    };
+    f(w);
+    true
+}
+
+/// Outcome of a bounded run; see [`run_until`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RunOutcome {
+    /// The predicate became true.
+    Satisfied,
+    /// The event queue drained without the predicate becoming true.
+    Quiescent,
+    /// The event budget was exhausted (likely a livelocked model).
+    BudgetExhausted,
+}
+
+/// Default event budget for [`run_until`] — far above anything a benchmark
+/// sweep needs, but finite so that a buggy model fails loudly instead of
+/// spinning forever.
+pub const DEFAULT_EVENT_BUDGET: u64 = 200_000_000;
+
+/// Run until `pred` holds (checked before each event), the queue drains, or
+/// `budget` events have executed.
+pub fn run_until_budgeted<W: SimWorld>(
+    w: &mut W,
+    budget: u64,
+    mut pred: impl FnMut(&W) -> bool,
+) -> RunOutcome {
+    for _ in 0..budget {
+        if pred(w) {
+            return RunOutcome::Satisfied;
+        }
+        if !step(w) {
+            return RunOutcome::Quiescent;
+        }
+    }
+    if pred(w) {
+        RunOutcome::Satisfied
+    } else {
+        RunOutcome::BudgetExhausted
+    }
+}
+
+/// [`run_until_budgeted`] with the default budget.
+#[inline]
+pub fn run_until<W: SimWorld>(w: &mut W, pred: impl FnMut(&W) -> bool) -> RunOutcome {
+    run_until_budgeted(w, DEFAULT_EVENT_BUDGET, pred)
+}
+
+/// Drain the event queue completely; returns the number of events executed.
+pub fn run_to_quiescence<W: SimWorld>(w: &mut W) -> u64 {
+    let before = w.sched().executed();
+    while step(w) {}
+    w.sched().executed() - before
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct TestWorld {
+        sched: Scheduler<TestWorld>,
+        log: Vec<u32>,
+    }
+
+    impl SimWorld for TestWorld {
+        fn sched(&self) -> &Scheduler<Self> {
+            &self.sched
+        }
+        fn sched_mut(&mut self) -> &mut Scheduler<Self> {
+            &mut self.sched
+        }
+    }
+
+    fn world() -> TestWorld {
+        TestWorld {
+            sched: Scheduler::new(),
+            log: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn events_run_in_time_order() {
+        let mut w = world();
+        w.sched.at(SimTime::from_micros(3), |w: &mut TestWorld| w.log.push(3));
+        w.sched.at(SimTime::from_micros(1), |w: &mut TestWorld| w.log.push(1));
+        w.sched.at(SimTime::from_micros(2), |w: &mut TestWorld| w.log.push(2));
+        run_to_quiescence(&mut w);
+        assert_eq!(w.log, vec![1, 2, 3]);
+        assert_eq!(now(&w), SimTime::from_micros(3));
+    }
+
+    #[test]
+    fn same_time_events_run_in_scheduling_order() {
+        let mut w = world();
+        let t = SimTime::from_micros(5);
+        for i in 0..100 {
+            w.sched.at(t, move |w: &mut TestWorld| w.log.push(i));
+        }
+        run_to_quiescence(&mut w);
+        assert_eq!(w.log, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn past_events_clamp_to_now() {
+        let mut w = world();
+        w.sched.at(SimTime::from_micros(10), |w: &mut TestWorld| {
+            // Scheduling in the past must not rewind the clock.
+            w.sched_mut().at(SimTime::from_micros(1), |w: &mut TestWorld| {
+                w.log.push(2);
+            });
+            w.log.push(1);
+        });
+        run_to_quiescence(&mut w);
+        assert_eq!(w.log, vec![1, 2]);
+        assert_eq!(now(&w), SimTime::from_micros(10));
+    }
+
+    #[test]
+    fn events_can_cascade() {
+        let mut w = world();
+        w.sched.after(SimTime::from_micros(1), |w: &mut TestWorld| {
+            w.log.push(1);
+            after(w, SimTime::from_micros(1), |w| {
+                w.log.push(2);
+                after(w, SimTime::from_micros(1), |w| w.log.push(3));
+            });
+        });
+        run_to_quiescence(&mut w);
+        assert_eq!(w.log, vec![1, 2, 3]);
+        assert_eq!(now(&w), SimTime::from_micros(3));
+    }
+
+    #[test]
+    fn run_until_stops_at_predicate() {
+        let mut w = world();
+        for i in 0..10 {
+            w.sched
+                .at(SimTime::from_micros(i), move |w: &mut TestWorld| {
+                    w.log.push(i as u32)
+                });
+        }
+        let outcome = run_until(&mut w, |w| w.log.len() == 5);
+        assert_eq!(outcome, RunOutcome::Satisfied);
+        assert_eq!(w.log.len(), 5);
+        assert_eq!(w.sched.pending(), 5);
+    }
+
+    #[test]
+    fn run_until_reports_quiescence() {
+        let mut w = world();
+        w.sched.after(SimTime::from_micros(1), |w: &mut TestWorld| {
+            w.log.push(1)
+        });
+        let outcome = run_until(&mut w, |_| false);
+        assert_eq!(outcome, RunOutcome::Quiescent);
+    }
+
+    #[test]
+    fn run_until_respects_budget() {
+        let mut w = world();
+        // A self-perpetuating event stream.
+        fn tick(w: &mut TestWorld) {
+            w.log.push(0);
+            after(w, SimTime::from_nanos(1), tick);
+        }
+        w.sched.immediately(tick);
+        let outcome = run_until_budgeted(&mut w, 1000, |_| false);
+        assert_eq!(outcome, RunOutcome::BudgetExhausted);
+        assert_eq!(w.log.len(), 1000);
+    }
+
+    #[test]
+    fn executed_counts_events() {
+        let mut w = world();
+        for i in 0..7 {
+            w.sched.at(SimTime::from_micros(i), |w: &mut TestWorld| {
+                w.log.push(0)
+            });
+        }
+        run_to_quiescence(&mut w);
+        assert_eq!(w.sched.executed(), 7);
+    }
+}

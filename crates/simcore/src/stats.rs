@@ -1,0 +1,248 @@
+//! Small online-statistics helpers used by benchmarks and layer counters.
+
+use std::fmt;
+
+use crate::time::SimTime;
+
+/// Online summary of a stream of samples: count, mean, min, max.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct Summary {
+    n: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Summary {
+    pub fn new() -> Self {
+        Summary {
+            n: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        self.sum += x;
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Record a virtual-time sample in microseconds.
+    pub fn push_time(&mut self, t: SimTime) {
+        self.push(t.micros());
+    }
+
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.sum / self.n as f64
+        }
+    }
+
+    pub fn min(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.min
+        }
+    }
+
+    pub fn max(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.max
+        }
+    }
+
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    pub fn merge(&mut self, other: &Summary) {
+        if other.n == 0 {
+            return;
+        }
+        self.n += other.n;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+impl fmt::Display for Summary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={} mean={:.3} min={:.3} max={:.3}",
+            self.n,
+            self.mean(),
+            self.min(),
+            self.max()
+        )
+    }
+}
+
+/// One point of a figure series: message size on the x-axis, a measured value
+/// (latency in µs or throughput in MB/s) on the y-axis.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SeriesPoint {
+    pub x: u64,
+    pub y: f64,
+}
+
+/// A named series of measurements, as plotted in the paper's figures.
+#[derive(Clone, Debug, Default)]
+pub struct Series {
+    pub name: String,
+    pub points: Vec<SeriesPoint>,
+}
+
+impl Series {
+    pub fn new(name: impl Into<String>) -> Self {
+        Series {
+            name: name.into(),
+            points: Vec::new(),
+        }
+    }
+
+    pub fn push(&mut self, x: u64, y: f64) {
+        self.points.push(SeriesPoint { x, y });
+    }
+
+    /// Linear interpolation of `y` at `x` (clamps outside the domain).
+    /// Used by shape assertions ("MX beats GM at every size").
+    pub fn at(&self, x: u64) -> Option<f64> {
+        if self.points.is_empty() {
+            return None;
+        }
+        if x <= self.points[0].x {
+            return Some(self.points[0].y);
+        }
+        if let Some(last) = self.points.last() {
+            if x >= last.x {
+                return Some(last.y);
+            }
+        }
+        for w in self.points.windows(2) {
+            let (a, b) = (w[0], w[1]);
+            if a.x <= x && x <= b.x {
+                let f = (x - a.x) as f64 / (b.x - a.x).max(1) as f64;
+                return Some(a.y + f * (b.y - a.y));
+            }
+        }
+        None
+    }
+
+    /// Maximum y value (e.g. peak bandwidth).
+    pub fn peak(&self) -> f64 {
+        self.points.iter().map(|p| p.y).fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// The y value at the exact x sample, if present.
+    pub fn exact(&self, x: u64) -> Option<f64> {
+        self.points.iter().find(|p| p.x == x).map(|p| p.y)
+    }
+}
+
+/// The standard message-size sweep used across the paper's figures:
+/// powers of two from `lo` to `hi` inclusive, optionally with `1` prepended.
+pub fn pow2_sizes(lo: u64, hi: u64) -> Vec<u64> {
+    assert!(lo >= 1 && lo <= hi, "invalid sweep bounds");
+    let mut v = Vec::new();
+    let mut s = lo.next_power_of_two();
+    if lo == 1 {
+        v.push(1);
+        s = 2;
+    } else if s != lo {
+        v.push(lo);
+    }
+    while s <= hi {
+        v.push(s);
+        s = s.saturating_mul(2);
+    }
+    if *v.last().unwrap() != hi {
+        v.push(hi);
+    }
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_tracks_extremes() {
+        let mut s = Summary::new();
+        for x in [3.0, 1.0, 2.0] {
+            s.push(x);
+        }
+        assert_eq!(s.count(), 3);
+        assert_eq!(s.mean(), 2.0);
+        assert_eq!(s.min(), 1.0);
+        assert_eq!(s.max(), 3.0);
+    }
+
+    #[test]
+    fn empty_summary_is_zeroed() {
+        let s = Summary::new();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.min(), 0.0);
+        assert_eq!(s.max(), 0.0);
+    }
+
+    #[test]
+    fn summary_merge() {
+        let mut a = Summary::new();
+        a.push(1.0);
+        let mut b = Summary::new();
+        b.push(5.0);
+        b.push(3.0);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.max(), 5.0);
+        assert_eq!(a.min(), 1.0);
+        a.merge(&Summary::new());
+        assert_eq!(a.count(), 3);
+    }
+
+    #[test]
+    fn series_interpolates() {
+        let mut s = Series::new("t");
+        s.push(0, 0.0);
+        s.push(10, 100.0);
+        assert_eq!(s.at(5), Some(50.0));
+        assert_eq!(s.at(0), Some(0.0));
+        assert_eq!(s.at(100), Some(100.0)); // clamp right
+        assert_eq!(s.exact(10), Some(100.0));
+        assert_eq!(s.exact(5), None);
+        assert_eq!(s.peak(), 100.0);
+    }
+
+    #[test]
+    fn empty_series_has_no_values() {
+        let s = Series::new("e");
+        assert_eq!(s.at(3), None);
+    }
+
+    #[test]
+    fn pow2_sweep_includes_endpoints() {
+        assert_eq!(pow2_sizes(1, 8), vec![1, 2, 4, 8]);
+        assert_eq!(pow2_sizes(4, 10), vec![4, 8, 10]);
+        assert_eq!(pow2_sizes(3, 16), vec![3, 4, 8, 16]);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid sweep bounds")]
+    fn pow2_sweep_rejects_bad_bounds() {
+        let _ = pow2_sizes(8, 4);
+    }
+}

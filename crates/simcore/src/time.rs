@@ -1,0 +1,320 @@
+//! Virtual time and bandwidth arithmetic.
+//!
+//! The whole simulation runs on a single deterministic nanosecond clock.
+//! [`SimTime`] is used both for instants (time since simulation start) and for
+//! durations; this mirrors how the cost models are written down in the paper
+//! (e.g. "3 µs per page", "200 µs base") and keeps arithmetic trivial.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// A point in virtual time, or a span of virtual time, in nanoseconds.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(u64);
+
+impl SimTime {
+    /// The simulation epoch / the empty duration.
+    pub const ZERO: SimTime = SimTime(0);
+    /// A practically-infinite instant, used as "never".
+    pub const NEVER: SimTime = SimTime(u64::MAX);
+
+    /// Construct from raw nanoseconds.
+    #[inline]
+    pub const fn from_nanos(ns: u64) -> Self {
+        SimTime(ns)
+    }
+
+    /// Construct from integer microseconds.
+    #[inline]
+    pub const fn from_micros(us: u64) -> Self {
+        SimTime(us * 1_000)
+    }
+
+    /// Construct from integer milliseconds.
+    #[inline]
+    pub const fn from_millis(ms: u64) -> Self {
+        SimTime(ms * 1_000_000)
+    }
+
+    /// Construct from fractional microseconds (handy for paper-quoted costs
+    /// such as "6.7 µs"). Negative inputs clamp to zero.
+    #[inline]
+    pub fn from_micros_f64(us: f64) -> Self {
+        SimTime((us.max(0.0) * 1_000.0).round() as u64)
+    }
+
+    /// Raw nanoseconds.
+    #[inline]
+    pub const fn nanos(self) -> u64 {
+        self.0
+    }
+
+    /// This time expressed in (fractional) microseconds.
+    #[inline]
+    pub fn micros(self) -> f64 {
+        self.0 as f64 / 1_000.0
+    }
+
+    /// This time expressed in (fractional) milliseconds.
+    #[inline]
+    pub fn millis(self) -> f64 {
+        self.0 as f64 / 1_000_000.0
+    }
+
+    /// This time expressed in (fractional) seconds.
+    #[inline]
+    pub fn secs(self) -> f64 {
+        self.0 as f64 / 1_000_000_000.0
+    }
+
+    /// Saturating subtraction: the span from `earlier` to `self`, or zero.
+    #[inline]
+    pub fn saturating_sub(self, earlier: SimTime) -> SimTime {
+        SimTime(self.0.saturating_sub(earlier.0))
+    }
+
+    /// The later of two instants.
+    #[inline]
+    pub fn max(self, other: SimTime) -> SimTime {
+        if self.0 >= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// The earlier of two instants.
+    #[inline]
+    pub fn min(self, other: SimTime) -> SimTime {
+        if self.0 <= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Scale a duration by a dimensionless factor (used by calibration knobs).
+    #[inline]
+    pub fn scale(self, factor: f64) -> SimTime {
+        SimTime((self.0 as f64 * factor.max(0.0)).round() as u64)
+    }
+
+    /// True when this is the zero duration / epoch instant.
+    #[inline]
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl Add for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn add(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign for SimTime {
+    #[inline]
+    fn add_assign(&mut self, rhs: SimTime) {
+        self.0 = self.0.saturating_add(rhs.0);
+    }
+}
+
+impl Sub for SimTime {
+    type Output = SimTime;
+    /// Panics in debug builds on underflow; prefer [`SimTime::saturating_sub`]
+    /// when the ordering is not statically known.
+    #[inline]
+    fn sub(self, rhs: SimTime) -> SimTime {
+        debug_assert!(self.0 >= rhs.0, "SimTime subtraction underflow");
+        SimTime(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl SubAssign for SimTime {
+    #[inline]
+    fn sub_assign(&mut self, rhs: SimTime) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul<u64> for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn mul(self, rhs: u64) -> SimTime {
+        SimTime(self.0.saturating_mul(rhs))
+    }
+}
+
+impl Div<u64> for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn div(self, rhs: u64) -> SimTime {
+        SimTime(self.0 / rhs)
+    }
+}
+
+impl Sum for SimTime {
+    fn sum<I: Iterator<Item = SimTime>>(iter: I) -> SimTime {
+        iter.fold(SimTime::ZERO, |a, b| a + b)
+    }
+}
+
+impl fmt::Debug for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 == u64::MAX {
+            write!(f, "never")
+        } else if self.0 < 10_000 {
+            write!(f, "{}ns", self.0)
+        } else if self.0 < 10_000_000 {
+            write!(f, "{:.3}us", self.micros())
+        } else if self.0 < 10_000_000_000 {
+            write!(f, "{:.3}ms", self.millis())
+        } else {
+            write!(f, "{:.3}s", self.secs())
+        }
+    }
+}
+
+/// A transfer rate in bytes per second.
+///
+/// The paper quotes link speeds in decimal megabytes (PCI-XD Myrinet sustains
+/// 250 MB/s full duplex); we follow that convention: `MB = 10^6 bytes`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Bandwidth(u64);
+
+impl Bandwidth {
+    /// Bytes per second.
+    #[inline]
+    pub const fn bytes_per_sec(bps: u64) -> Self {
+        Bandwidth(bps)
+    }
+
+    /// Decimal megabytes per second (`10^6` bytes).
+    #[inline]
+    pub const fn mb_per_sec(mb: u64) -> Self {
+        Bandwidth(mb * 1_000_000)
+    }
+
+    /// Decimal gigabytes per second (`10^9` bytes).
+    #[inline]
+    pub const fn gb_per_sec(gb: u64) -> Self {
+        Bandwidth(gb * 1_000_000_000)
+    }
+
+    /// Fractional decimal gigabytes per second.
+    #[inline]
+    pub fn gb_per_sec_f64(gb: f64) -> Self {
+        Bandwidth((gb.max(0.0) * 1e9).round() as u64)
+    }
+
+    /// Raw bytes per second.
+    #[inline]
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Time to move `bytes` at this rate (rounded up to a whole nanosecond;
+    /// zero bytes take zero time).
+    #[inline]
+    pub fn transfer_time(self, bytes: u64) -> SimTime {
+        if bytes == 0 || self.0 == 0 {
+            return SimTime::ZERO;
+        }
+        let ns = (bytes as u128 * 1_000_000_000).div_ceil(self.0 as u128);
+        SimTime::from_nanos(ns as u64)
+    }
+
+    /// The rate, in decimal MB/s, implied by moving `bytes` in `elapsed`.
+    pub fn observed_mb_s(bytes: u64, elapsed: SimTime) -> f64 {
+        if elapsed.is_zero() {
+            return 0.0;
+        }
+        bytes as f64 / elapsed.secs() / 1e6
+    }
+}
+
+impl fmt::Debug for Bandwidth {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.1}MB/s", self.0 as f64 / 1e6)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simtime_construction_roundtrips() {
+        assert_eq!(SimTime::from_micros(5).nanos(), 5_000);
+        assert_eq!(SimTime::from_millis(2).nanos(), 2_000_000);
+        assert_eq!(SimTime::from_micros_f64(6.7).nanos(), 6_700);
+        assert_eq!(SimTime::from_micros_f64(-1.0), SimTime::ZERO);
+    }
+
+    #[test]
+    fn simtime_arithmetic() {
+        let a = SimTime::from_micros(10);
+        let b = SimTime::from_micros(4);
+        assert_eq!((a + b).micros(), 14.0);
+        assert_eq!((a - b).micros(), 6.0);
+        assert_eq!(b.saturating_sub(a), SimTime::ZERO);
+        assert_eq!((b * 3).micros(), 12.0);
+        assert_eq!((a / 2).micros(), 5.0);
+        assert_eq!(a.max(b), a);
+        assert_eq!(a.min(b), b);
+    }
+
+    #[test]
+    fn simtime_scaling() {
+        let t = SimTime::from_micros(100);
+        assert_eq!(t.scale(0.5).micros(), 50.0);
+        assert_eq!(t.scale(-3.0), SimTime::ZERO);
+    }
+
+    #[test]
+    fn simtime_display_picks_sensible_units() {
+        assert_eq!(format!("{}", SimTime::from_nanos(42)), "42ns");
+        assert_eq!(format!("{}", SimTime::from_micros(42)), "42.000us");
+        assert_eq!(format!("{}", SimTime::from_millis(42)), "42.000ms");
+        assert_eq!(format!("{}", SimTime::NEVER), "never");
+    }
+
+    #[test]
+    fn simtime_sum() {
+        let total: SimTime = (1..=4).map(SimTime::from_micros).sum();
+        assert_eq!(total.micros(), 10.0);
+    }
+
+    #[test]
+    fn bandwidth_transfer_times() {
+        let link = Bandwidth::mb_per_sec(250);
+        // 250 bytes at 250 MB/s is exactly one microsecond.
+        assert_eq!(link.transfer_time(250), SimTime::from_micros(1));
+        // Rounds up to whole nanoseconds.
+        assert_eq!(link.transfer_time(1).nanos(), 4);
+        assert_eq!(link.transfer_time(0), SimTime::ZERO);
+    }
+
+    #[test]
+    fn bandwidth_observed() {
+        let t = SimTime::from_micros(1);
+        let mb = Bandwidth::observed_mb_s(250, t);
+        assert!((mb - 250.0).abs() < 1e-9, "got {mb}");
+        assert_eq!(Bandwidth::observed_mb_s(1, SimTime::ZERO), 0.0);
+    }
+
+    #[test]
+    fn bandwidth_gb_constructors() {
+        assert_eq!(Bandwidth::gb_per_sec(1).raw(), 1_000_000_000);
+        assert_eq!(Bandwidth::gb_per_sec_f64(2.6).raw(), 2_600_000_000);
+    }
+}

@@ -1,0 +1,19 @@
+//! # knet-simfs — the ext2-like server file system
+//!
+//! The storage substrate behind the ORFS server: inodes with direct, single-
+//! and double-indirect block maps over real 4 kB blocks, directories,
+//! symlinks, hard links, sparse files, and a block-device timing model
+//! ([`types::FsTiming`], defaulting to a warm buffer cache — the paper
+//! evaluates the *network* path, and its servers ran from memory).
+//!
+//! Simplifications versus real ext2 are documented in [`fs`] (directory
+//! entries are in-core ordered maps rather than packed dirent blocks).
+
+pub mod fs;
+pub mod types;
+
+pub use fs::{FsStats, SimFs};
+pub use types::{
+    Attr, BlockNo, DirEntry, FileType, FsError, FsTiming, Inode, InodeNo, BLOCK_SIZE,
+    DIRECT_BLOCKS, MAX_FILE_BLOCKS, MAX_NAME_LEN, PTRS_PER_BLOCK,
+};

@@ -1,0 +1,202 @@
+//! On-"disk" structures of the ext2-like file system.
+
+use knet_simcore::SimTime;
+
+/// Block size (matches the host page size, as on the paper's IA32 testbed).
+pub const BLOCK_SIZE: u64 = 4096;
+/// Direct block pointers per inode (ext2 uses 12).
+pub const DIRECT_BLOCKS: usize = 12;
+/// Pointers per indirect block (`BLOCK_SIZE / 4`).
+pub const PTRS_PER_BLOCK: u64 = BLOCK_SIZE / 4;
+/// Maximum file size supported: direct + single + double indirect.
+pub const MAX_FILE_BLOCKS: u64 =
+    DIRECT_BLOCKS as u64 + PTRS_PER_BLOCK + PTRS_PER_BLOCK * PTRS_PER_BLOCK;
+/// Maximum name length of one path component.
+pub const MAX_NAME_LEN: usize = 255;
+
+/// Inode number. 1 is the root directory (as in ext2, inode 2 — we use 1).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct InodeNo(pub u32);
+
+impl InodeNo {
+    pub const ROOT: InodeNo = InodeNo(1);
+}
+
+/// Block number within the file system.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct BlockNo(pub u32);
+
+/// File type.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum FileType {
+    Regular,
+    Directory,
+    Symlink,
+}
+
+/// File attributes, as `getattr` returns them.
+#[derive(Clone, Debug)]
+pub struct Attr {
+    pub ino: InodeNo,
+    pub ftype: FileType,
+    pub size: u64,
+    pub nlink: u32,
+    pub mode: u16,
+    pub uid: u32,
+    pub gid: u32,
+    pub atime: SimTime,
+    pub mtime: SimTime,
+    pub ctime: SimTime,
+    pub blocks: u64,
+}
+
+/// An in-core inode.
+#[derive(Clone, Debug)]
+pub struct Inode {
+    pub ino: InodeNo,
+    pub ftype: FileType,
+    pub size: u64,
+    pub nlink: u32,
+    pub mode: u16,
+    pub uid: u32,
+    pub gid: u32,
+    pub atime: SimTime,
+    pub mtime: SimTime,
+    pub ctime: SimTime,
+    /// Direct block pointers (0 = hole).
+    pub direct: [u32; DIRECT_BLOCKS],
+    /// Single-indirect block pointer (a block of u32 pointers), 0 = none.
+    pub indirect: u32,
+    /// Double-indirect block pointer, 0 = none.
+    pub double_indirect: u32,
+    /// Symlink target (kept in-core; ext2 would inline it in the inode).
+    pub symlink_target: Option<String>,
+    /// Allocated data+indirect blocks (for `st_blocks`).
+    pub blocks_allocated: u64,
+}
+
+impl Inode {
+    pub fn new(ino: InodeNo, ftype: FileType, mode: u16, now: SimTime) -> Self {
+        Inode {
+            ino,
+            ftype,
+            size: 0,
+            nlink: if ftype == FileType::Directory { 2 } else { 1 },
+            mode,
+            uid: 0,
+            gid: 0,
+            atime: now,
+            mtime: now,
+            ctime: now,
+            direct: [0; DIRECT_BLOCKS],
+            indirect: 0,
+            double_indirect: 0,
+            symlink_target: None,
+            blocks_allocated: 0,
+        }
+    }
+
+    pub fn attr(&self) -> Attr {
+        Attr {
+            ino: self.ino,
+            ftype: self.ftype,
+            size: self.size,
+            nlink: self.nlink,
+            mode: self.mode,
+            uid: self.uid,
+            gid: self.gid,
+            atime: self.atime,
+            mtime: self.mtime,
+            ctime: self.ctime,
+            blocks: self.blocks_allocated,
+        }
+    }
+}
+
+/// One directory entry, as `readdir` returns them.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct DirEntry {
+    pub name: String,
+    pub ino: InodeNo,
+    pub ftype: FileType,
+}
+
+/// File-system errors (a subset of errno).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum FsError {
+    NotFound,
+    Exists,
+    NotDirectory,
+    IsDirectory,
+    NotEmpty,
+    NoSpace,
+    NoInodes,
+    NameTooLong,
+    InvalidPath,
+    FileTooBig,
+    NotSymlink,
+}
+
+impl std::fmt::Display for FsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            FsError::NotFound => "no such file or directory",
+            FsError::Exists => "file exists",
+            FsError::NotDirectory => "not a directory",
+            FsError::IsDirectory => "is a directory",
+            FsError::NotEmpty => "directory not empty",
+            FsError::NoSpace => "no space left on device",
+            FsError::NoInodes => "no free inodes",
+            FsError::NameTooLong => "file name too long",
+            FsError::InvalidPath => "invalid path",
+            FsError::FileTooBig => "file too large",
+            FsError::NotSymlink => "not a symbolic link",
+        };
+        f.write_str(s)
+    }
+}
+
+impl std::error::Error for FsError {}
+
+/// Storage-access timing of the server's block device. The defaults model a
+/// warm buffer cache (the paper measures network efficiency, not disks).
+#[derive(Clone, Debug)]
+pub struct FsTiming {
+    pub block_read: SimTime,
+    pub block_write: SimTime,
+    pub lookup: SimTime,
+    pub attr_op: SimTime,
+    pub alloc_op: SimTime,
+}
+
+impl Default for FsTiming {
+    fn default() -> Self {
+        FsTiming {
+            block_read: SimTime::from_nanos(350),
+            block_write: SimTime::from_nanos(450),
+            lookup: SimTime::from_nanos(250),
+            attr_op: SimTime::from_nanos(150),
+            alloc_op: SimTime::from_nanos(200),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inode_defaults() {
+        let d = Inode::new(InodeNo(5), FileType::Directory, 0o755, SimTime::ZERO);
+        assert_eq!(d.nlink, 2, "directories start with . and parent links");
+        let f = Inode::new(InodeNo(6), FileType::Regular, 0o644, SimTime::ZERO);
+        assert_eq!(f.nlink, 1);
+        assert_eq!(f.attr().size, 0);
+    }
+
+    #[test]
+    fn max_file_size_is_large_enough() {
+        // Double-indirect reach: > 4 GB, far beyond any benchmark file.
+        const _: () = assert!(MAX_FILE_BLOCKS * BLOCK_SIZE > 4 * (1 << 30));
+    }
+}

@@ -1,0 +1,103 @@
+//! Model-based property tests: `SimFs` against a plain byte-vector model
+//! under random sequences of writes, reads, truncates, and sparse access.
+
+use knet_simcore::SimTime;
+use knet_simfs::{FsError, SimFs, BLOCK_SIZE};
+use proptest::prelude::*;
+
+#[derive(Clone, Debug)]
+enum Op {
+    Write { offset: u64, data: Vec<u8> },
+    Read { offset: u64, len: usize },
+    Truncate { size: u64 },
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u64..300_000, prop::collection::vec(any::<u8>(), 1..20_000))
+            .prop_map(|(offset, data)| Op::Write { offset, data }),
+        (0u64..400_000, 1usize..30_000).prop_map(|(offset, len)| Op::Read { offset, len }),
+        (0u64..300_000).prop_map(|size| Op::Truncate { size }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn simfs_matches_byte_model(ops in prop::collection::vec(arb_op(), 1..40)) {
+        let mut fs = SimFs::with_defaults();
+        let ino = fs.create("/f", 0o644, SimTime::ZERO).unwrap();
+        let mut model: Vec<u8> = Vec::new();
+        for op in ops {
+            match op {
+                Op::Write { offset, data } => {
+                    let n = fs.write(ino, offset, &data, SimTime::ZERO).unwrap();
+                    prop_assert_eq!(n, data.len());
+                    let end = offset as usize + data.len();
+                    if model.len() < end {
+                        model.resize(end, 0);
+                    }
+                    model[offset as usize..end].copy_from_slice(&data);
+                }
+                Op::Read { offset, len } => {
+                    let mut buf = vec![0u8; len];
+                    let n = fs.read(ino, offset, &mut buf, SimTime::ZERO).unwrap();
+                    let expect = if offset as usize >= model.len() {
+                        &[][..]
+                    } else {
+                        &model[offset as usize..(offset as usize + len).min(model.len())]
+                    };
+                    prop_assert_eq!(n, expect.len());
+                    prop_assert_eq!(&buf[..n], expect);
+                }
+                Op::Truncate { size } => {
+                    fs.truncate(ino, size, SimTime::ZERO).unwrap();
+                    model.resize(size as usize, 0);
+                }
+            }
+            prop_assert_eq!(fs.getattr(ino).unwrap().size, model.len() as u64);
+        }
+    }
+
+    /// Block accounting: after truncate-to-zero everything is reclaimed.
+    #[test]
+    fn blocks_are_reclaimed(
+        writes in prop::collection::vec((0u64..2_000_000, 1usize..50_000), 1..10)
+    ) {
+        let mut fs = SimFs::with_defaults();
+        let ino = fs.create("/f", 0o644, SimTime::ZERO).unwrap();
+        for (offset, len) in writes {
+            fs.write(ino, offset, &vec![1u8; len], SimTime::ZERO).unwrap();
+        }
+        prop_assert!(fs.blocks_in_use() > 0);
+        fs.truncate(ino, 0, SimTime::ZERO).unwrap();
+        prop_assert_eq!(fs.blocks_in_use(), 0);
+        fs.unlink("/f", SimTime::ZERO).unwrap();
+        prop_assert_eq!(fs.lookup_path("/f"), Err(FsError::NotFound));
+    }
+
+    /// Sparse invariant: allocated blocks never exceed the bytes written
+    /// (rounded to blocks) plus indirect-table overhead.
+    #[test]
+    fn sparse_files_do_not_overallocate(
+        writes in prop::collection::vec((0u64..4_000_000, 1usize..10_000), 1..8)
+    ) {
+        let mut fs = SimFs::with_defaults();
+        let ino = fs.create("/s", 0o644, SimTime::ZERO).unwrap();
+        let mut data_blocks_upper = 0u64;
+        for &(offset, len) in &writes {
+            fs.write(ino, offset, &vec![2u8; len], SimTime::ZERO).unwrap();
+            // A write of len bytes touches at most len/B + 2 blocks.
+            data_blocks_upper += (len as u64).div_ceil(BLOCK_SIZE) + 2;
+        }
+        // Indirect tables add at most a few blocks per write.
+        let upper = data_blocks_upper + 3 * writes.len() as u64;
+        prop_assert!(
+            fs.blocks_in_use() <= upper,
+            "allocated {} > bound {}",
+            fs.blocks_in_use(),
+            upper
+        );
+    }
+}

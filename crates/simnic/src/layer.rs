@@ -1,0 +1,416 @@
+//! The NIC layer: per-card state, DMA transfers, and the crossbar fabric.
+//!
+//! Timing structure of a transfer (what produces the paper's bandwidth
+//! curves): the driver cuts a message into MTU chunks; each chunk reserves
+//! the DMA engine ([`dma_gather`]) and then a transmit link ([`wire_send`]).
+//! Because both are [`Busy`]/[`LaneBank`] resources, chunk *i*'s wire time
+//! overlaps chunk *i+1*'s DMA time — the bus and the wire pipeline, and the
+//! slower stage (the 250 MB/s link) sets the asymptotic bandwidth.
+
+use bytes::Bytes;
+use knet_simcore::{Busy, LaneBank, SimTime};
+use knet_simos::{NodeId, OsError, OsWorld, PhysSeg};
+
+use crate::model::NicModel;
+use crate::packet::{NicId, Packet};
+use crate::ttable::TransTable;
+
+/// Counters exposed to figures and tests.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NicStats {
+    pub tx_packets: u64,
+    pub tx_bytes: u64,
+    pub rx_packets: u64,
+    pub rx_bytes: u64,
+    pub dma_to_host_bytes: u64,
+    pub dma_from_host_bytes: u64,
+}
+
+/// One NIC: hardware resources plus the bounded translation table.
+pub struct Nic {
+    pub id: NicId,
+    pub node: NodeId,
+    pub model: NicModel,
+    /// The LANai firmware processor (drivers charge their own costs on it).
+    pub fw: Busy,
+    /// The host-memory DMA engine.
+    pub dma: Busy,
+    /// Transmit links (two lanes on PCI-XE).
+    pub tx: LaneBank,
+    pub ttable: TransTable,
+    pub stats: NicStats,
+}
+
+impl Nic {
+    fn new(id: NicId, node: NodeId, model: NicModel) -> Self {
+        let tx = LaneBank::new(model.links);
+        let ttable = TransTable::new(model.ttable_entries);
+        Nic {
+            id,
+            node,
+            model,
+            fw: Busy::new(),
+            dma: Busy::new(),
+            tx,
+            ttable,
+            stats: NicStats::default(),
+        }
+    }
+}
+
+/// All NICs, connected by a full-crossbar switch.
+#[derive(Default)]
+pub struct NicLayer {
+    nics: Vec<Nic>,
+}
+
+impl NicLayer {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Install a NIC in `node`; returns its id.
+    pub fn add_nic(&mut self, node: NodeId, model: NicModel) -> NicId {
+        let id = NicId(self.nics.len() as u32);
+        self.nics.push(Nic::new(id, node, model));
+        id
+    }
+
+    pub fn count(&self) -> usize {
+        self.nics.len()
+    }
+
+    pub fn get(&self, id: NicId) -> &Nic {
+        &self.nics[id.0 as usize]
+    }
+
+    pub fn get_mut(&mut self, id: NicId) -> &mut Nic {
+        &mut self.nics[id.0 as usize]
+    }
+
+    /// The first NIC installed in `node`, if any.
+    pub fn nic_of_node(&self, node: NodeId) -> Option<NicId> {
+        self.nics.iter().find(|n| n.node == node).map(|n| n.id)
+    }
+}
+
+/// Capability trait: a world containing NICs.
+pub trait NicWorld: OsWorld {
+    fn nics(&self) -> &NicLayer;
+    fn nics_mut(&mut self) -> &mut NicLayer;
+
+    /// A packet arrived at `nic`. The composed world routes this to the
+    /// firmware of whichever driver (GM or MX) owns the card.
+    fn nic_rx(&mut self, nic: NicId, pkt: Packet);
+}
+
+/// DMA from host memory into the NIC: gathers the bytes described by `segs`
+/// from the node's physical memory and reserves the DMA engine starting no
+/// earlier than `ready`. Returns the data and the completion instant.
+pub fn dma_gather<W: NicWorld>(
+    w: &mut W,
+    nic: NicId,
+    ready: SimTime,
+    segs: &[PhysSeg],
+) -> Result<(Bytes, SimTime), OsError> {
+    let now = knet_simcore::now(w);
+    let node = w.nics().get(nic).node;
+    let mut data = Vec::with_capacity(PhysSeg::total_len(segs) as usize);
+    w.os().node(node).mem.gather(segs, &mut data)?;
+    let n = w.nics_mut().get_mut(nic);
+    let dur = n.model.dma_setup * segs.len().max(1) as u64
+        + n.model.dma_bw.transfer_time(data.len() as u64);
+    let (_, end) = n.dma.acquire(ready.max(now), dur);
+    n.stats.dma_from_host_bytes += data.len() as u64;
+    Ok((Bytes::from(data), end))
+}
+
+/// DMA from the NIC into host memory: scatters `data` into `segs` and
+/// reserves the DMA engine starting no earlier than `ready`. Returns the
+/// completion instant.
+pub fn dma_scatter<W: NicWorld>(
+    w: &mut W,
+    nic: NicId,
+    ready: SimTime,
+    segs: &[PhysSeg],
+    data: &[u8],
+) -> Result<SimTime, OsError> {
+    let now = knet_simcore::now(w);
+    let node = w.nics().get(nic).node;
+    w.os_mut().node_mut(node).mem.scatter(segs, data)?;
+    let n = w.nics_mut().get_mut(nic);
+    let dur = n.model.dma_setup * segs.len().max(1) as u64
+        + n.model.dma_bw.transfer_time(data.len() as u64);
+    let (_, end) = n.dma.acquire(ready.max(now), dur);
+    n.stats.dma_to_host_bytes += data.len() as u64;
+    Ok(end)
+}
+
+/// Pure timing charge on the DMA engine (descriptor prefetch, event DMA to
+/// host rings) without moving payload bytes.
+pub fn dma_charge<W: NicWorld>(w: &mut W, nic: NicId, ready: SimTime, bytes: u64) -> SimTime {
+    let now = knet_simcore::now(w);
+    let n = w.nics_mut().get_mut(nic);
+    let dur = n.model.dma_setup + n.model.dma_bw.transfer_time(bytes);
+    let (_, end) = n.dma.acquire(ready.max(now), dur);
+    end
+}
+
+/// Put `pkt` on the wire no earlier than `ready`; schedules `nic_rx` at the
+/// destination and returns the instant the last bit leaves the source link.
+///
+/// Each packet occupies one transmit link for `wire_len / link_bw`; the
+/// crossbar adds cut-through latency. Packets between the same pair of NICs
+/// arrive in order per link.
+pub fn wire_send<W: NicWorld>(w: &mut W, pkt: Packet, ready: SimTime) -> SimTime {
+    let now = knet_simcore::now(w);
+    let dst = pkt.dst;
+    let (tx_done, arrival) = {
+        let n = w.nics_mut().get_mut(pkt.src);
+        let occupancy = n.model.link_bw.transfer_time(pkt.wire_len);
+        let (_, _, end) = n.tx.acquire(ready.max(now), occupancy);
+        n.stats.tx_packets += 1;
+        n.stats.tx_bytes += pkt.wire_len;
+        (end, end + n.model.wire_latency)
+    };
+    {
+        let d = w.nics_mut().get_mut(dst);
+        d.stats.rx_packets += 1;
+        d.stats.rx_bytes += pkt.wire_len;
+    }
+    knet_simcore::at(w, arrival, move |w: &mut W| {
+        w.nic_rx(dst, pkt);
+    });
+    tx_done
+}
+
+/// Charge firmware processing time on a NIC starting no earlier than
+/// `ready`; returns when the firmware is done. GM and MX charge their own
+/// (very different) costs through this.
+pub fn fw_charge<W: NicWorld>(w: &mut W, nic: NicId, ready: SimTime, dur: SimTime) -> SimTime {
+    let now = knet_simcore::now(w);
+    let (_, end) = w.nics_mut().get_mut(nic).fw.acquire(ready.max(now), dur);
+    end
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::Proto;
+    use knet_simcore::{run_to_quiescence, Scheduler, SimWorld};
+    use knet_simos::{CpuModel, FrameState, OsLayer, PAGE_SIZE};
+
+    struct TestWorld {
+        sched: Scheduler<TestWorld>,
+        os: OsLayer,
+        nics: NicLayer,
+        rx: Vec<(NicId, SimTime, Vec<u8>)>,
+    }
+
+    impl SimWorld for TestWorld {
+        fn sched(&self) -> &Scheduler<Self> {
+            &self.sched
+        }
+        fn sched_mut(&mut self) -> &mut Scheduler<Self> {
+            &mut self.sched
+        }
+    }
+    impl OsWorld for TestWorld {
+        fn os(&self) -> &OsLayer {
+            &self.os
+        }
+        fn os_mut(&mut self) -> &mut OsLayer {
+            &mut self.os
+        }
+    }
+    impl NicWorld for TestWorld {
+        fn nics(&self) -> &NicLayer {
+            &self.nics
+        }
+        fn nics_mut(&mut self) -> &mut NicLayer {
+            &mut self.nics
+        }
+        fn nic_rx(&mut self, nic: NicId, pkt: Packet) {
+            let t = knet_simcore::now(self);
+            self.rx.push((nic, t, pkt.payload.to_vec()));
+        }
+    }
+
+    fn world() -> (TestWorld, NicId, NicId) {
+        let mut w = TestWorld {
+            sched: Scheduler::new(),
+            os: OsLayer::new(),
+            nics: NicLayer::new(),
+            rx: Vec::new(),
+        };
+        let n0 = w.os.add_node(CpuModel::xeon_2600(), 1024);
+        let n1 = w.os.add_node(CpuModel::xeon_2600(), 1024);
+        let a = w.nics.add_nic(n0, NicModel::pci_xd());
+        let b = w.nics.add_nic(n1, NicModel::pci_xd());
+        (w, a, b)
+    }
+
+    fn raw_packet(src: NicId, dst: NicId, payload: &[u8]) -> Packet {
+        Packet::new(
+            src,
+            dst,
+            Proto::Raw,
+            0,
+            [0; 4],
+            Bytes::copy_from_slice(payload),
+            16,
+        )
+    }
+
+    #[test]
+    fn packet_arrives_after_wire_time_plus_latency() {
+        let (mut w, a, b) = world();
+        let pkt = raw_packet(a, b, &[7u8; 234]); // wire_len = 250
+        wire_send(&mut w, pkt, SimTime::ZERO);
+        run_to_quiescence(&mut w);
+        assert_eq!(w.rx.len(), 1);
+        let (nic, t, data) = &w.rx[0];
+        assert_eq!(*nic, b);
+        // 250 B @ 250 MB/s = 1 µs, plus 550 ns cut-through.
+        assert_eq!(t.nanos(), 1_000 + 550);
+        assert_eq!(data.len(), 234);
+    }
+
+    #[test]
+    fn packets_serialize_on_one_link() {
+        let (mut w, a, b) = world();
+        wire_send(&mut w, raw_packet(a, b, &[0u8; 2484]), SimTime::ZERO); // 10 µs wire
+        wire_send(&mut w, raw_packet(a, b, &[1u8; 2484]), SimTime::ZERO);
+        run_to_quiescence(&mut w);
+        assert_eq!(w.rx.len(), 2);
+        let gap = w.rx[1].1 - w.rx[0].1;
+        assert_eq!(gap, SimTime::from_micros(10), "second waits for the link");
+    }
+
+    #[test]
+    fn pci_xe_uses_both_links_in_parallel() {
+        let mut w = {
+            let (w, _, _) = world();
+            w
+        };
+        let n0 = NodeId(0);
+        let n1 = NodeId(1);
+        let a = w.nics.add_nic(n0, NicModel::pci_xe());
+        let b = w.nics.add_nic(n1, NicModel::pci_xe());
+        wire_send(&mut w, raw_packet(a, b, &[0u8; 2484]), SimTime::ZERO);
+        wire_send(&mut w, raw_packet(a, b, &[1u8; 2484]), SimTime::ZERO);
+        run_to_quiescence(&mut w);
+        let times: Vec<_> = w.rx.iter().map(|r| r.1).collect();
+        assert_eq!(times[0], times[1], "both links carry packets concurrently");
+    }
+
+    #[test]
+    fn dma_gather_reads_host_memory() {
+        let (mut w, a, _) = world();
+        let node = w.nics.get(a).node;
+        let frame = w
+            .os
+            .node_mut(node)
+            .mem
+            .alloc(FrameState::Kernel)
+            .unwrap();
+        w.os
+            .node_mut(node)
+            .mem
+            .write(frame.base(), b"dma payload")
+            .unwrap();
+        let segs = [PhysSeg::new(frame.base(), 11)];
+        let (data, done) = dma_gather(&mut w, a, SimTime::ZERO, &segs).unwrap();
+        assert_eq!(&data[..], b"dma payload");
+        assert!(done > SimTime::ZERO);
+    }
+
+    #[test]
+    fn dma_scatter_writes_host_memory() {
+        let (mut w, a, _) = world();
+        let node = w.nics.get(a).node;
+        let frame = w
+            .os
+            .node_mut(node)
+            .mem
+            .alloc(FrameState::Kernel)
+            .unwrap();
+        let segs = [PhysSeg::new(frame.base().add(8), 5)];
+        dma_scatter(&mut w, a, SimTime::ZERO, &segs, b"hello").unwrap();
+        let mut buf = [0u8; 5];
+        w.os.node(node).mem.read(frame.base().add(8), &mut buf).unwrap();
+        assert_eq!(&buf, b"hello");
+    }
+
+    #[test]
+    fn dma_requests_serialize_on_the_engine() {
+        let (mut w, a, _) = world();
+        let node = w.nics.get(a).node;
+        let frame = w
+            .os
+            .node_mut(node)
+            .mem
+            .alloc_contig(2, FrameState::Kernel)
+            .unwrap();
+        let segs = [PhysSeg::new(frame.base(), PAGE_SIZE)];
+        let (_, t1) = dma_gather(&mut w, a, SimTime::ZERO, &segs).unwrap();
+        let (_, t2) = dma_gather(&mut w, a, SimTime::ZERO, &segs).unwrap();
+        assert!(t2 > t1, "second DMA waits for the engine");
+        assert_eq!(t2 - t1, t1, "equal durations back-to-back");
+    }
+
+    #[test]
+    fn chunked_transfer_pipelines_dma_and_wire() {
+        // 16 chunks of 4 kB: total time should be far below the sum of
+        // sequential (DMA + wire) per chunk, and just above pure wire time.
+        let (mut w, a, b) = world();
+        let node = w.nics.get(a).node;
+        let frame = w
+            .os
+            .node_mut(node)
+            .mem
+            .alloc_contig(16, FrameState::Kernel)
+            .unwrap();
+        let mut ready = SimTime::ZERO;
+        for i in 0..16u64 {
+            let segs = [PhysSeg::new(frame.base().add(i * PAGE_SIZE), PAGE_SIZE)];
+            let (data, dma_done) = dma_gather(&mut w, a, ready, &segs).unwrap();
+            let pkt = Packet::new(a, b, Proto::Raw, 0, [i; 4], data, 16);
+            wire_send(&mut w, pkt, dma_done);
+            ready = dma_done; // next chunk may start DMA once this one is off the bus
+        }
+        run_to_quiescence(&mut w);
+        assert_eq!(w.rx.len(), 16);
+        let last = w.rx.last().unwrap().1;
+        let wire_only = SimTime::from_nanos(16 * (4096 + 16) * 4); // @250MB/s
+        assert!(last > wire_only, "cannot beat the wire");
+        assert!(
+            last < wire_only + SimTime::from_micros(40),
+            "pipelining keeps total near wire time, got {last}"
+        );
+        // In-order arrival.
+        for (i, r) in w.rx.iter().enumerate() {
+            assert_eq!(w.rx[i].0, b);
+            assert!(i == 0 || r.1 >= w.rx[i - 1].1);
+        }
+    }
+
+    #[test]
+    fn fw_charges_serialize() {
+        let (mut w, a, _) = world();
+        let t1 = fw_charge(&mut w, a, SimTime::ZERO, SimTime::from_micros(2));
+        let t2 = fw_charge(&mut w, a, SimTime::ZERO, SimTime::from_micros(2));
+        assert_eq!(t1.micros(), 2.0);
+        assert_eq!(t2.micros(), 4.0);
+    }
+
+    #[test]
+    fn stats_account_traffic() {
+        let (mut w, a, b) = world();
+        wire_send(&mut w, raw_packet(a, b, &[0u8; 100]), SimTime::ZERO);
+        run_to_quiescence(&mut w);
+        assert_eq!(w.nics.get(a).stats.tx_packets, 1);
+        assert_eq!(w.nics.get(a).stats.tx_bytes, 116);
+        assert_eq!(w.nics.get(b).stats.rx_packets, 1);
+    }
+}

@@ -1,0 +1,26 @@
+//! # knet-simnic — the Myrinet-like NIC and fabric substrate
+//!
+//! A functional model of the hardware the paper's software runs on:
+//!
+//! * [`model::NicModel`] — PCI-XD (250 MB/s) and PCI-XE (500 MB/s, two
+//!   links) card generations;
+//! * [`ttable::TransTable`] — the bounded on-card address-translation table
+//!   (U-Net/MM style) with ASID-tagged keys (the paper's 64-bit-pointer
+//!   firmware patch);
+//! * [`layer`] — per-card DMA engine, firmware processor and transmit links
+//!   as timed resources, plus a full-crossbar fabric.
+//!
+//! The GM and MX *firmware* logic lives in `knet-gm`/`knet-mx`; this crate
+//! only provides the hardware they program.
+
+pub mod layer;
+pub mod model;
+pub mod packet;
+pub mod ttable;
+
+pub use layer::{
+    dma_charge, dma_gather, dma_scatter, fw_charge, wire_send, Nic, NicLayer, NicStats, NicWorld,
+};
+pub use model::NicModel;
+pub use packet::{NicId, Packet, Proto};
+pub use ttable::{TransKey, TransTable, TtError, TtStats};

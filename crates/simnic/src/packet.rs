@@ -1,0 +1,86 @@
+//! Wire packets.
+//!
+//! The fabric is protocol-agnostic: GM and MX firmware define their own
+//! header semantics in `meta`/`kind` and carry payload bytes opaquely.
+//! Payloads use [`bytes::Bytes`] so staging in NIC SRAM and handing off to
+//! the receive path never copies in host (simulator) memory — the *modeled*
+//! copies are explicit cost-model charges.
+
+use bytes::Bytes;
+
+/// Identifier of a NIC attached to the fabric.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct NicId(pub u32);
+
+/// Driver protocol discriminator carried in every packet.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Proto {
+    /// GM message-passing firmware.
+    Gm,
+    /// MX (Myrinet Express) firmware.
+    Mx,
+    /// Raw fabric tests.
+    Raw,
+}
+
+/// One packet on the wire. Large messages travel as several MTU-sized
+/// packets that pipeline through the DMA engines and links.
+#[derive(Clone, Debug)]
+pub struct Packet {
+    pub src: NicId,
+    pub dst: NicId,
+    pub proto: Proto,
+    /// Driver-defined packet kind (e.g. GM data, MX rendezvous RTS).
+    pub kind: u8,
+    /// Driver-defined header words (match bits, sequence numbers, …).
+    pub meta: [u64; 4],
+    /// Payload bytes actually carried.
+    pub payload: Bytes,
+    /// Wire-level size: payload plus the driver's header overhead. This is
+    /// what occupies the link.
+    pub wire_len: u64,
+}
+
+impl Packet {
+    /// Build a packet; `header_bytes` is the driver's on-wire header size.
+    pub fn new(
+        src: NicId,
+        dst: NicId,
+        proto: Proto,
+        kind: u8,
+        meta: [u64; 4],
+        payload: Bytes,
+        header_bytes: u64,
+    ) -> Self {
+        let wire_len = payload.len() as u64 + header_bytes;
+        Packet {
+            src,
+            dst,
+            proto,
+            kind,
+            meta,
+            payload,
+            wire_len,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_len_includes_header() {
+        let p = Packet::new(
+            NicId(0),
+            NicId(1),
+            Proto::Raw,
+            0,
+            [0; 4],
+            Bytes::from_static(b"hello"),
+            16,
+        );
+        assert_eq!(p.wire_len, 21);
+        assert_eq!(&p.payload[..], b"hello");
+    }
+}

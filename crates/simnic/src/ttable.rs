@@ -1,0 +1,256 @@
+//! The on-card address-translation table.
+//!
+//! First introduced by U-Net/MM (paper §2.2.1): the host registers
+//! virtual→physical page translations into the NIC so later sends can pass
+//! virtual addresses which the card resolves without OS help. Capacity is
+//! bounded; when full, registration fails until the host deregisters
+//! something — this pressure is what makes registration *caches* (GMKRC)
+//! necessary, and what our LRU-eviction statistics expose.
+//!
+//! Keys carry the address-space id: this is the paper's "64-bit pointers on
+//! 32-bit hosts" firmware patch, which stores an address-space descriptor in
+//! the pointer's most significant bits so a *shared* kernel port can serve
+//! several processes without virtual-address collisions (§3.2).
+
+use std::collections::BTreeMap;
+
+use knet_simos::{Asid, PhysAddr, VirtAddr};
+
+/// A translation-table key: (address space, virtual page number).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub struct TransKey {
+    pub asid: Asid,
+    pub vpn: u64,
+}
+
+impl TransKey {
+    pub fn of(asid: Asid, addr: VirtAddr) -> Self {
+        TransKey {
+            asid,
+            vpn: addr.vpn(),
+        }
+    }
+}
+
+#[derive(Clone, Copy, Debug)]
+struct TransEntry {
+    pfn: u64,
+    last_use: u64,
+}
+
+/// Errors from the translation table.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum TtError {
+    /// No free entries; the host must deregister before registering more.
+    Full,
+    /// Lookup of an unregistered page — the NIC cannot resolve the address.
+    NotRegistered,
+}
+
+/// Statistics for the figures and tests.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct TtStats {
+    pub inserts: u64,
+    pub removes: u64,
+    pub hits: u64,
+    pub misses: u64,
+    pub full_failures: u64,
+}
+
+/// The bounded on-card translation table.
+pub struct TransTable {
+    capacity: usize,
+    entries: BTreeMap<TransKey, TransEntry>,
+    clock: u64,
+    pub stats: TtStats,
+}
+
+impl TransTable {
+    pub fn new(capacity: usize) -> Self {
+        TransTable {
+            capacity,
+            entries: BTreeMap::new(),
+            clock: 0,
+            stats: TtStats::default(),
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    pub fn free_entries(&self) -> usize {
+        self.capacity - self.entries.len()
+    }
+
+    /// Install one page translation. Fails when the table is full.
+    pub fn insert(&mut self, key: TransKey, phys: PhysAddr) -> Result<(), TtError> {
+        if !self.entries.contains_key(&key) && self.entries.len() >= self.capacity {
+            self.stats.full_failures += 1;
+            return Err(TtError::Full);
+        }
+        self.clock += 1;
+        self.entries.insert(
+            key,
+            TransEntry {
+                pfn: phys.pfn(),
+                last_use: self.clock,
+            },
+        );
+        self.stats.inserts += 1;
+        Ok(())
+    }
+
+    /// Remove one page translation (idempotent).
+    pub fn remove(&mut self, key: TransKey) -> bool {
+        let removed = self.entries.remove(&key).is_some();
+        if removed {
+            self.stats.removes += 1;
+        }
+        removed
+    }
+
+    /// Resolve a virtual address through the table (touches LRU state).
+    pub fn lookup(&mut self, asid: Asid, addr: VirtAddr) -> Result<PhysAddr, TtError> {
+        self.clock += 1;
+        let clock = self.clock;
+        match self.entries.get_mut(&TransKey::of(asid, addr)) {
+            Some(e) => {
+                e.last_use = clock;
+                self.stats.hits += 1;
+                Ok(PhysAddr::new((e.pfn << knet_simos::PAGE_SHIFT) + addr.page_offset()))
+            }
+            None => {
+                self.stats.misses += 1;
+                Err(TtError::NotRegistered)
+            }
+        }
+    }
+
+    /// Whether a page is currently registered (no LRU touch).
+    pub fn contains(&self, key: TransKey) -> bool {
+        self.entries.contains_key(&key)
+    }
+
+    /// The least-recently-used key — what a registration cache evicts when
+    /// the table fills up.
+    pub fn lru_key(&self) -> Option<TransKey> {
+        self.entries
+            .iter()
+            .min_by_key(|(_, e)| e.last_use)
+            .map(|(k, _)| *k)
+    }
+
+    /// Drop every translation belonging to an address space (process exit).
+    pub fn purge_asid(&mut self, asid: Asid) -> usize {
+        let keys: Vec<TransKey> = self
+            .entries
+            .range(
+                TransKey { asid, vpn: 0 }..=TransKey {
+                    asid,
+                    vpn: u64::MAX,
+                },
+            )
+            .map(|(k, _)| *k)
+            .collect();
+        for k in &keys {
+            self.entries.remove(k);
+            self.stats.removes += 1;
+        }
+        keys.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(asid: u32, vpn: u64) -> TransKey {
+        TransKey {
+            asid: Asid(asid),
+            vpn,
+        }
+    }
+
+    #[test]
+    fn insert_lookup_roundtrip() {
+        let mut t = TransTable::new(8);
+        let va = VirtAddr::new(0x5000 + 0x123);
+        t.insert(TransKey::of(Asid(1), va), PhysAddr::new(0x9000))
+            .unwrap();
+        let p = t.lookup(Asid(1), va).unwrap();
+        assert_eq!(p.raw(), 0x9123, "offset within page is preserved");
+    }
+
+    #[test]
+    fn capacity_is_enforced() {
+        let mut t = TransTable::new(2);
+        t.insert(key(1, 0), PhysAddr::new(0)).unwrap();
+        t.insert(key(1, 1), PhysAddr::new(0x1000)).unwrap();
+        assert_eq!(t.insert(key(1, 2), PhysAddr::new(0x2000)), Err(TtError::Full));
+        assert_eq!(t.stats.full_failures, 1);
+        // Reinsert over an existing key is fine.
+        t.insert(key(1, 1), PhysAddr::new(0x3000)).unwrap();
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn asid_disambiguates_identical_virtual_addresses() {
+        // The GMKRC shared-port problem: two processes, same vaddr,
+        // different physical pages.
+        let mut t = TransTable::new(8);
+        let va = VirtAddr::new(0x4000);
+        t.insert(TransKey::of(Asid(1), va), PhysAddr::new(0xA000))
+            .unwrap();
+        t.insert(TransKey::of(Asid(2), va), PhysAddr::new(0xB000))
+            .unwrap();
+        assert_eq!(t.lookup(Asid(1), va).unwrap().raw(), 0xA000);
+        assert_eq!(t.lookup(Asid(2), va).unwrap().raw(), 0xB000);
+    }
+
+    #[test]
+    fn miss_is_reported() {
+        let mut t = TransTable::new(4);
+        assert_eq!(
+            t.lookup(Asid(1), VirtAddr::new(0x1000)),
+            Err(TtError::NotRegistered)
+        );
+        assert_eq!(t.stats.misses, 1);
+    }
+
+    #[test]
+    fn lru_tracks_lookups() {
+        let mut t = TransTable::new(4);
+        for vpn in 0..3 {
+            t.insert(key(1, vpn), PhysAddr::new(vpn << 12)).unwrap();
+        }
+        // Touch 0 and 2; 1 becomes LRU.
+        t.lookup(Asid(1), VirtAddr::new(0)).unwrap();
+        t.lookup(Asid(1), VirtAddr::new(2 << 12)).unwrap();
+        assert_eq!(t.lru_key(), Some(key(1, 1)));
+        assert!(t.remove(key(1, 1)));
+        assert!(!t.remove(key(1, 1)), "second remove is a no-op");
+        assert_eq!(t.free_entries(), 2);
+    }
+
+    #[test]
+    fn purge_asid_removes_only_that_space() {
+        let mut t = TransTable::new(16);
+        for vpn in 0..4 {
+            t.insert(key(1, vpn), PhysAddr::new(vpn << 12)).unwrap();
+            t.insert(key(2, vpn), PhysAddr::new((vpn + 8) << 12)).unwrap();
+        }
+        assert_eq!(t.purge_asid(Asid(1)), 4);
+        assert_eq!(t.len(), 4);
+        assert!(t.contains(key(2, 0)));
+        assert!(!t.contains(key(1, 0)));
+    }
+}

@@ -1,0 +1,176 @@
+//! Host CPU cost models.
+//!
+//! Every host-side cost in the reproduction is derived from one of these
+//! parameters; they are calibrated against the numbers the paper reports
+//! (Figure 1b for memcpy, §5.3 for the syscall cost, etc.). The three presets
+//! correspond to the machines the paper mentions: the dual-Xeon testbed nodes
+//! and the two CPUs of the Figure 1b copy comparison.
+
+use knet_simcore::{Bandwidth, Busy, SimTime};
+
+/// A host CPU's cost parameters.
+#[derive(Clone, Debug)]
+pub struct CpuModel {
+    /// Human-readable name (appears in figure legends).
+    pub name: &'static str,
+    /// Large-copy bandwidth for cache-warm application copies (Figure 1b).
+    pub memcpy_bw: Bandwidth,
+    /// Fixed startup of a memcpy call (call + loop setup).
+    pub memcpy_startup: SimTime,
+    /// Copy bandwidth to/from DMA rings: cache-cold, write-combined memory,
+    /// measurably slower than a warm application copy on 2005 hardware.
+    pub ring_copy_bw: Bandwidth,
+    /// Cost of entering and leaving the kernel (the paper quotes ≈400 ns).
+    pub syscall: SimTime,
+    /// Pinning one page (`get_user_pages`-equivalent).
+    pub pin_page: SimTime,
+    /// Unpinning one page.
+    pub unpin_page: SimTime,
+    /// Walking the VFS layers for one file-system call (ORFS pays this,
+    /// user-space ORFA does not — §3.2).
+    pub vfs_call: SimTime,
+    /// Waking and switching to another kernel thread (the SOCKETS-GM
+    /// dispatcher thread pays two of these per message — §5.3).
+    pub ctx_switch: SimTime,
+    /// One programmed-I/O word write to the NIC (doorbells, tiny payloads).
+    pub pio_write: SimTime,
+    /// Page-table walk to translate one user page in software.
+    pub soft_translate_page: SimTime,
+}
+
+impl CpuModel {
+    /// 2.6 GHz Xeon — the paper's testbed node CPU.
+    pub fn xeon_2600() -> Self {
+        CpuModel {
+            name: "Xeon 2.6GHz",
+            memcpy_bw: Bandwidth::gb_per_sec_f64(2.6),
+            memcpy_startup: SimTime::from_nanos(80),
+            ring_copy_bw: Bandwidth::gb_per_sec_f64(1.4),
+            syscall: SimTime::from_nanos(400),
+            pin_page: SimTime::from_nanos(350),
+            unpin_page: SimTime::from_nanos(200),
+            vfs_call: SimTime::from_nanos(900),
+            ctx_switch: SimTime::from_micros_f64(2.5),
+            pio_write: SimTime::from_nanos(60),
+            soft_translate_page: SimTime::from_nanos(150),
+        }
+    }
+
+    /// 2.6 GHz Pentium 4 — the faster copy curve of Figure 1b.
+    pub fn p4_2600() -> Self {
+        CpuModel {
+            name: "P4 2.6GHz",
+            ..Self::xeon_2600()
+        }
+    }
+
+    /// 1.2 GHz Pentium III — the slower copy curve of Figure 1b.
+    pub fn p3_1200() -> Self {
+        CpuModel {
+            name: "P3 1.2GHz",
+            memcpy_bw: Bandwidth::gb_per_sec_f64(1.05),
+            memcpy_startup: SimTime::from_nanos(150),
+            ring_copy_bw: Bandwidth::gb_per_sec_f64(0.7),
+            syscall: SimTime::from_nanos(700),
+            pin_page: SimTime::from_nanos(600),
+            unpin_page: SimTime::from_nanos(350),
+            vfs_call: SimTime::from_micros_f64(1.6),
+            ctx_switch: SimTime::from_micros_f64(4.5),
+            pio_write: SimTime::from_nanos(110),
+            soft_translate_page: SimTime::from_nanos(260),
+        }
+    }
+
+    /// Cost of a cache-warm memcpy of `bytes` (Figure 1b "Copy" curves).
+    pub fn memcpy_cost(&self, bytes: u64) -> SimTime {
+        if bytes == 0 {
+            return SimTime::ZERO;
+        }
+        self.memcpy_startup + self.memcpy_bw.transfer_time(bytes)
+    }
+
+    /// Cost of copying `bytes` to or from a NIC DMA ring.
+    pub fn ring_copy_cost(&self, bytes: u64) -> SimTime {
+        if bytes == 0 {
+            return SimTime::ZERO;
+        }
+        self.memcpy_startup + self.ring_copy_bw.transfer_time(bytes)
+    }
+
+    /// Cost of pinning `pages` pages of user memory.
+    pub fn pin_cost(&self, pages: u64) -> SimTime {
+        self.pin_page * pages
+    }
+
+    /// Cost of unpinning `pages` pages.
+    pub fn unpin_cost(&self, pages: u64) -> SimTime {
+        self.unpin_page * pages
+    }
+}
+
+/// A host CPU: a cost model plus a serially-reusable execution resource.
+///
+/// All host-side work (copies, syscall service, protocol handlers) reserves
+/// time on the CPU, so concurrent activities on one node contend realistically.
+#[derive(Clone, Debug)]
+pub struct Cpu {
+    pub model: CpuModel,
+    pub busy: Busy,
+}
+
+impl Cpu {
+    pub fn new(model: CpuModel) -> Self {
+        Cpu {
+            model,
+            busy: Busy::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memcpy_cost_matches_figure_1b_anchors() {
+        // Figure 1b: a 256 kB copy costs ≈100 µs on the P4 2.6 GHz and
+        // ≈250 µs on the P3 1.2 GHz.
+        let p4 = CpuModel::p4_2600().memcpy_cost(256 * 1024);
+        let p3 = CpuModel::p3_1200().memcpy_cost(256 * 1024);
+        assert!(
+            (90.0..=115.0).contains(&p4.micros()),
+            "P4 256kB copy = {p4}"
+        );
+        assert!(
+            (230.0..=270.0).contains(&p3.micros()),
+            "P3 256kB copy = {p3}"
+        );
+        assert!(p3 > p4 * 2, "P3 is less than half the speed of the P4");
+    }
+
+    #[test]
+    fn zero_byte_copies_are_free() {
+        let m = CpuModel::xeon_2600();
+        assert_eq!(m.memcpy_cost(0), SimTime::ZERO);
+        assert_eq!(m.ring_copy_cost(0), SimTime::ZERO);
+    }
+
+    #[test]
+    fn ring_copies_are_slower_than_warm_copies() {
+        let m = CpuModel::xeon_2600();
+        assert!(m.ring_copy_cost(32 * 1024) > m.memcpy_cost(32 * 1024));
+    }
+
+    #[test]
+    fn pin_costs_scale_with_pages() {
+        let m = CpuModel::xeon_2600();
+        assert_eq!(m.pin_cost(10), m.pin_page * 10);
+        assert_eq!(m.unpin_cost(0), SimTime::ZERO);
+    }
+
+    #[test]
+    fn syscall_cost_matches_paper() {
+        // §5.3: "a system call is involved (about 400 ns)".
+        assert_eq!(CpuModel::xeon_2600().syscall.nanos(), 400);
+    }
+}

@@ -1,0 +1,54 @@
+//! OS-substrate error type.
+
+use std::fmt;
+
+/// Errors surfaced by the simulated memory subsystem.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum OsError {
+    /// No free physical frames.
+    OutOfMemory,
+    /// Physical address outside installed memory.
+    BadPhysAddr,
+    /// Access to a frame that is not allocated.
+    UseAfterFree,
+    /// Freeing a frame twice.
+    DoubleFree,
+    /// Freeing a frame that is pinned.
+    FramePinned,
+    /// Unpinning a frame that is not pinned.
+    NotPinned,
+    /// Virtual address not mapped in the address space.
+    Fault,
+    /// Unknown address space.
+    NoSuchSpace,
+    /// Unknown node.
+    NoSuchNode,
+    /// Address range overflows or is malformed.
+    BadRange,
+    /// Operation requires a user address but got a kernel one (or vice versa).
+    WrongAddressClass,
+    /// Write to a read-only mapping.
+    ProtectionViolation,
+}
+
+impl fmt::Display for OsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            OsError::OutOfMemory => "out of physical memory",
+            OsError::BadPhysAddr => "physical address out of range",
+            OsError::UseAfterFree => "access to freed frame",
+            OsError::DoubleFree => "frame freed twice",
+            OsError::FramePinned => "frame is pinned",
+            OsError::NotPinned => "frame is not pinned",
+            OsError::Fault => "page fault: address not mapped",
+            OsError::NoSuchSpace => "unknown address space",
+            OsError::NoSuchNode => "unknown node",
+            OsError::BadRange => "malformed address range",
+            OsError::WrongAddressClass => "wrong address class",
+            OsError::ProtectionViolation => "write to read-only mapping",
+        };
+        f.write_str(s)
+    }
+}
+
+impl std::error::Error for OsError {}

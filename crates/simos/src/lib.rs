@@ -1,0 +1,45 @@
+//! # knet-simos — the simulated host substrate
+//!
+//! Models the parts of a 2005 Linux node that the paper's argument depends
+//! on, functionally (real bytes) plus a calibrated cost model:
+//!
+//! * **CPU** — memcpy/syscall/pin/context-switch costs ([`cpu::CpuModel`],
+//!   three presets matching the paper's machines), serialized through a
+//!   per-node busy resource;
+//! * **physical memory** — frames with contents, pinning, deferred free
+//!   ([`phys::PhysMem`]);
+//! * **address spaces** — page tables and VMAs with `mmap`/`munmap`/
+//!   `mprotect`/`fork` ([`space::AddressSpace`]);
+//! * **page-cache** — pinned, unmapped file pages with dirty tracking
+//!   ([`pagecache::PageCache`]);
+//! * **VMA SPY** — the address-space-modification notifier the paper adds to
+//!   the kernel ([`spy`]), emitted by every mutation entry point in
+//!   [`layer`].
+//!
+//! The kernel uses a direct physical map ([`addr::KERNEL_BASE`]), so
+//! kernel-virtual addresses translate by subtraction — the property the MX
+//! kernel API's `KernelVirtual` address class exploits.
+
+pub mod addr;
+pub mod cpu;
+pub mod error;
+pub mod layer;
+pub mod pagecache;
+pub mod phys;
+pub mod space;
+pub mod spy;
+
+pub use addr::{
+    page_slices, pages_spanned, Asid, NodeId, PhysAddr, PhysSeg, VirtAddr, KERNEL_BASE,
+    PAGE_SHIFT, PAGE_SIZE, USER_MMAP_BASE,
+};
+pub use cpu::{Cpu, CpuModel};
+pub use error::OsError;
+pub use layer::{
+    cpu_charge, cpu_run, exit_process, fork, mmap_anon, mprotect, munmap, NodeOs, OsLayer,
+    OsWorld, DEFAULT_MEM_FRAMES,
+};
+pub use pagecache::{CachedPage, PageCache, PageCacheStats, PageKey};
+pub use phys::{FrameIdx, FrameState, PhysMem};
+pub use space::{AddressSpace, Prot, Vma};
+pub use spy::{VmaChange, VmaEvent};

@@ -1,0 +1,285 @@
+//! The page-cache: cached copies of file pages in host memory.
+//!
+//! As §2.3.1 of the paper explains, page-cache pages are the memory an
+//! in-kernel file-system client actually hands to the network: they are
+//! *already pinned*, generally *not mapped* into any virtual address space,
+//! and their *physical* address is trivially available to kernel code. This
+//! is the mismatch with registration-based network APIs that motivates the
+//! physical-address primitives.
+
+use std::collections::BTreeMap;
+
+use crate::error::OsError;
+use crate::phys::{FrameIdx, FrameState, PhysMem};
+
+/// Identity of a cached file page: `(mount, inode, page index)`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub struct PageKey {
+    pub mount: u32,
+    pub inode: u32,
+    pub index: u64,
+}
+
+/// One cached page.
+#[derive(Clone, Copy, Debug)]
+pub struct CachedPage {
+    pub frame: FrameIdx,
+    /// Contains data newer than the backing store.
+    pub dirty: bool,
+    /// Contains valid data (false while a read is in flight).
+    pub uptodate: bool,
+}
+
+/// Statistics the figure harness and tests read.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PageCacheStats {
+    pub hits: u64,
+    pub misses: u64,
+    pub inserted: u64,
+    pub evicted: u64,
+}
+
+/// A node's page-cache. Deterministic iteration order (BTreeMap) keeps the
+/// simulation reproducible when flushing dirty pages.
+#[derive(Default)]
+pub struct PageCache {
+    pages: BTreeMap<PageKey, CachedPage>,
+    pub stats: PageCacheStats,
+}
+
+impl PageCache {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn len(&self) -> usize {
+        self.pages.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.pages.is_empty()
+    }
+
+    /// Look a page up, counting a hit or miss.
+    pub fn lookup(&mut self, key: PageKey) -> Option<CachedPage> {
+        match self.pages.get(&key) {
+            Some(p) => {
+                self.stats.hits += 1;
+                Some(*p)
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Look a page up without touching statistics.
+    pub fn peek(&self, key: PageKey) -> Option<CachedPage> {
+        self.pages.get(&key).copied()
+    }
+
+    /// Allocate and insert a page for `key`. The frame is pinned: page-cache
+    /// pages are locked in physical memory (paper §2.3.1).
+    pub fn insert(&mut self, mem: &mut PhysMem, key: PageKey) -> Result<CachedPage, OsError> {
+        debug_assert!(!self.pages.contains_key(&key), "page already cached");
+        let frame = mem.alloc(FrameState::PageCache(key.mount, key.inode, key.index))?;
+        mem.pin(frame)?;
+        let page = CachedPage {
+            frame,
+            dirty: false,
+            uptodate: false,
+        };
+        self.pages.insert(key, page);
+        self.stats.inserted += 1;
+        Ok(page)
+    }
+
+    /// Mark a page up-to-date (read completed).
+    pub fn mark_uptodate(&mut self, key: PageKey) {
+        if let Some(p) = self.pages.get_mut(&key) {
+            p.uptodate = true;
+        }
+    }
+
+    /// Mark a page dirty (buffered write touched it).
+    pub fn mark_dirty(&mut self, key: PageKey) {
+        if let Some(p) = self.pages.get_mut(&key) {
+            p.dirty = true;
+            p.uptodate = true;
+        }
+    }
+
+    /// Clear the dirty bit (write-back completed).
+    pub fn clear_dirty(&mut self, key: PageKey) {
+        if let Some(p) = self.pages.get_mut(&key) {
+            p.dirty = false;
+        }
+    }
+
+    /// Evict a page, unpinning and freeing its frame. Dirty pages must be
+    /// written back first.
+    pub fn evict(&mut self, mem: &mut PhysMem, key: PageKey) -> Result<(), OsError> {
+        let page = self.pages.remove(&key).ok_or(OsError::Fault)?;
+        debug_assert!(!page.dirty, "evicting a dirty page loses data");
+        mem.unpin(page.frame)?;
+        mem.free(page.frame)?;
+        self.stats.evicted += 1;
+        Ok(())
+    }
+
+    /// Evict every page of a file (e.g. on O_DIRECT open or unlink).
+    pub fn evict_file(&mut self, mem: &mut PhysMem, mount: u32, inode: u32) -> Result<u64, OsError> {
+        let keys: Vec<PageKey> = self
+            .pages
+            .range(
+                PageKey {
+                    mount,
+                    inode,
+                    index: 0,
+                }..=PageKey {
+                    mount,
+                    inode,
+                    index: u64::MAX,
+                },
+            )
+            .map(|(k, _)| *k)
+            .collect();
+        let mut n = 0;
+        for k in keys {
+            if let Some(p) = self.pages.get_mut(&k) {
+                p.dirty = false; // caller is responsible for write-back
+            }
+            self.evict(mem, k)?;
+            n += 1;
+        }
+        Ok(n)
+    }
+
+    /// The dirty pages of a file, in index order.
+    pub fn dirty_pages(&self, mount: u32, inode: u32) -> Vec<(PageKey, FrameIdx)> {
+        self.pages
+            .range(
+                PageKey {
+                    mount,
+                    inode,
+                    index: 0,
+                }..=PageKey {
+                    mount,
+                    inode,
+                    index: u64::MAX,
+                },
+            )
+            .filter(|(_, p)| p.dirty)
+            .map(|(k, p)| (*k, p.frame))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(i: u64) -> PageKey {
+        PageKey {
+            mount: 1,
+            inode: 7,
+            index: i,
+        }
+    }
+
+    #[test]
+    fn miss_then_hit() {
+        let mut mem = PhysMem::new(16);
+        let mut pc = PageCache::new();
+        assert!(pc.lookup(key(0)).is_none());
+        pc.insert(&mut mem, key(0)).unwrap();
+        assert!(pc.lookup(key(0)).is_some());
+        assert_eq!(pc.stats.misses, 1);
+        assert_eq!(pc.stats.hits, 1);
+    }
+
+    #[test]
+    fn pages_are_pinned_on_insert() {
+        let mut mem = PhysMem::new(16);
+        let mut pc = PageCache::new();
+        let p = pc.insert(&mut mem, key(3)).unwrap();
+        assert_eq!(mem.pin_count(p.frame), 1);
+        assert!(matches!(
+            mem.state_of(p.frame),
+            FrameState::PageCache(1, 7, 3)
+        ));
+        // Pinned: a stray free must fail.
+        assert_eq!(mem.free(p.frame), Err(OsError::FramePinned));
+    }
+
+    #[test]
+    fn dirty_tracking() {
+        let mut mem = PhysMem::new(16);
+        let mut pc = PageCache::new();
+        pc.insert(&mut mem, key(0)).unwrap();
+        pc.insert(&mut mem, key(2)).unwrap();
+        pc.insert(&mut mem, key(1)).unwrap();
+        pc.mark_dirty(key(2));
+        pc.mark_dirty(key(0));
+        let dirty = pc.dirty_pages(1, 7);
+        assert_eq!(dirty.len(), 2);
+        assert_eq!(dirty[0].0.index, 0, "deterministic index order");
+        assert_eq!(dirty[1].0.index, 2);
+        pc.clear_dirty(key(0));
+        assert_eq!(pc.dirty_pages(1, 7).len(), 1);
+    }
+
+    #[test]
+    fn dirty_pages_scopes_by_file() {
+        let mut mem = PhysMem::new(16);
+        let mut pc = PageCache::new();
+        pc.insert(&mut mem, key(0)).unwrap();
+        let other = PageKey {
+            mount: 1,
+            inode: 8,
+            index: 0,
+        };
+        pc.insert(&mut mem, other).unwrap();
+        pc.mark_dirty(key(0));
+        pc.mark_dirty(other);
+        assert_eq!(pc.dirty_pages(1, 7).len(), 1);
+        assert_eq!(pc.dirty_pages(1, 8).len(), 1);
+        assert_eq!(pc.dirty_pages(2, 7).len(), 0);
+    }
+
+    #[test]
+    fn evict_releases_frame() {
+        let mut mem = PhysMem::new(16);
+        let mut pc = PageCache::new();
+        let p = pc.insert(&mut mem, key(0)).unwrap();
+        pc.evict(&mut mem, key(0)).unwrap();
+        assert_eq!(mem.allocated_frames(), 0);
+        assert_eq!(mem.pin_count(p.frame), 0);
+        assert_eq!(pc.stats.evicted, 1);
+    }
+
+    #[test]
+    fn evict_file_clears_every_page() {
+        let mut mem = PhysMem::new(64);
+        let mut pc = PageCache::new();
+        for i in 0..10 {
+            pc.insert(&mut mem, key(i)).unwrap();
+        }
+        pc.mark_dirty(key(4));
+        let n = pc.evict_file(&mut mem, 1, 7).unwrap();
+        assert_eq!(n, 10);
+        assert!(pc.is_empty());
+        assert_eq!(mem.allocated_frames(), 0);
+    }
+
+    #[test]
+    fn uptodate_transitions() {
+        let mut mem = PhysMem::new(16);
+        let mut pc = PageCache::new();
+        let p = pc.insert(&mut mem, key(0)).unwrap();
+        assert!(!p.uptodate);
+        pc.mark_uptodate(key(0));
+        assert!(pc.peek(key(0)).unwrap().uptodate);
+    }
+}

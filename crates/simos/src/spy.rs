@@ -1,0 +1,103 @@
+//! VMA SPY — the address-space-modification notifier infrastructure.
+//!
+//! The paper (§3.2) observes that a registration cache in the kernel must
+//! learn about `munmap`/`mprotect`/`fork`/exit, but that Linux offered no
+//! tracing hook for kernel code; the authors built "a generic infrastructure
+//! called VMA SPY allowing any external module to ask for notification of
+//! address space modifications". This module is that infrastructure: the
+//! mutation entry points in [`crate::layer`] emit a [`VmaEvent`] through the
+//! `OsWorld::vma_event` hook after every change, and any interested module
+//! (in this repo: the GMKRC registration cache in `knet-core`) subscribes by
+//! routing that hook.
+
+use crate::addr::{Asid, VirtAddr};
+
+/// What changed in an address space.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum VmaChange {
+    /// `[start, start+len)` was unmapped. Cached translations for these pages
+    /// are now stale and must be dropped.
+    Unmap { start: VirtAddr, len: u64 },
+    /// Protection of `[start, start+len)` changed. Cached translations
+    /// survive, but write registrations over read-only pages must be dropped.
+    Protect { start: VirtAddr, len: u64 },
+    /// The space was duplicated into `child`. The child's identical virtual
+    /// addresses point at *different* physical pages — the collision hazard
+    /// GMKRC's ASID tagging solves.
+    Fork { child: Asid },
+    /// The process exited; every translation for this space is stale.
+    Exit,
+}
+
+/// An address-space modification notification.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct VmaEvent {
+    /// The address space that changed.
+    pub asid: Asid,
+    pub change: VmaChange,
+}
+
+impl VmaEvent {
+    pub fn unmap(asid: Asid, start: VirtAddr, len: u64) -> Self {
+        VmaEvent {
+            asid,
+            change: VmaChange::Unmap { start, len },
+        }
+    }
+
+    pub fn protect(asid: Asid, start: VirtAddr, len: u64) -> Self {
+        VmaEvent {
+            asid,
+            change: VmaChange::Protect { start, len },
+        }
+    }
+
+    pub fn fork(asid: Asid, child: Asid) -> Self {
+        VmaEvent {
+            asid,
+            change: VmaChange::Fork { child },
+        }
+    }
+
+    pub fn exit(asid: Asid) -> Self {
+        VmaEvent {
+            asid,
+            change: VmaChange::Exit,
+        }
+    }
+
+    /// Does this event overlap the byte range `[start, start+len)`?
+    /// (`Fork` and `Exit` affect the whole space and always overlap.)
+    pub fn overlaps(&self, start: VirtAddr, len: u64) -> bool {
+        match self.change {
+            VmaChange::Unmap { start: s, len: l } | VmaChange::Protect { start: s, len: l } => {
+                let (a0, a1) = (s.raw(), s.raw() + l);
+                let (b0, b1) = (start.raw(), start.raw() + len);
+                a0 < b1 && b0 < a1
+            }
+            VmaChange::Fork { .. } | VmaChange::Exit => true,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn overlap_logic() {
+        let ev = VmaEvent::unmap(Asid(1), VirtAddr::new(0x1000), 0x1000);
+        assert!(ev.overlaps(VirtAddr::new(0x1800), 0x100));
+        assert!(ev.overlaps(VirtAddr::new(0x0), 0x1001));
+        assert!(!ev.overlaps(VirtAddr::new(0x2000), 0x1000));
+        assert!(!ev.overlaps(VirtAddr::new(0x0), 0x1000));
+    }
+
+    #[test]
+    fn whole_space_events_always_overlap() {
+        let f = VmaEvent::fork(Asid(1), Asid(2));
+        let e = VmaEvent::exit(Asid(1));
+        assert!(f.overlaps(VirtAddr::new(0xdead_0000), 1));
+        assert!(e.overlaps(VirtAddr::new(0), 1));
+    }
+}

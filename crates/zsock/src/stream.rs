@@ -1,0 +1,550 @@
+//! Zero-copy stream sockets over the kernel network API.
+//!
+//! SOCKETS-GM and SOCKETS-MX (§5.3) "allow existing applications in binary
+//! format to benefit from the high-speed Myrinet network when using TCP/IP
+//! socket function calls": a new socket protocol passes data directly onto
+//! the network, bypassing TCP/IP.
+//!
+//! Wire protocol per message: a 16-byte header (sequence, length), then the
+//! payload as a separate tagged transport message. When the reader has
+//! already blocked in `recv` with a large-enough buffer, the payload is
+//! steered **zero-copy** into user memory (the transport pins/registers as
+//! its driver requires); otherwise it lands in a kernel socket buffer and is
+//! copied out on the next `recv`.
+//!
+//! The SOCKETS-GM peculiarity the paper measures — "limited completion
+//! notification mechanisms in GM require the use of an extra (dispatching)
+//! kernel thread which increases the latency" — is charged on every event
+//! that reaches a GM-backed socket.
+
+use std::collections::{BTreeMap, VecDeque};
+
+use bytes::Bytes;
+use knet_core::{Endpoint, IoVec, MemRef, NetError, TransportEvent, TransportKind};
+use knet_simos::{cpu_charge, Asid, VirtAddr};
+
+use crate::params::ZsockParams;
+
+/// Identifier of one socket endpoint.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct SockId(pub u32);
+
+/// Identifier of an in-flight socket operation.
+pub type SockOpId = u64;
+
+/// Result of a socket operation: bytes moved.
+pub type SockResult = Result<u64, NetError>;
+
+const TAG_HDR_BASE: u64 = 1 << 62;
+const TAG_DATA_BASE: u64 = 2 << 62;
+
+/// Per-socket counters.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SockStats {
+    pub sends: u64,
+    pub recvs: u64,
+    pub bytes_sent: u64,
+    pub bytes_received: u64,
+    pub zero_copy_receives: u64,
+    pub buffered_receives: u64,
+    pub dispatch_wakeups: u64,
+}
+
+/// How an in-flight inbound message will land.
+#[derive(Debug)]
+enum Inbound {
+    /// Steered into a blocked reader's buffer (zero-copy). `dst` is kept so
+    /// a payload that overtakes the posted descriptor can still be copied
+    /// in.
+    Direct { op: SockOpId, len: u64, dst: MemRef },
+    /// Landing in the kernel socket buffer at this ring address.
+    ToRing { addr: VirtAddr, len: u64 },
+}
+
+/// A pending blocked `recv`.
+#[derive(Clone, Copy, Debug)]
+struct PendingRecv {
+    op: SockOpId,
+    dst: MemRef,
+}
+
+/// One socket endpoint.
+pub struct Sock {
+    pub id: SockId,
+    pub ep: Endpoint,
+    pub peer_ep: Endpoint,
+    /// Outbound sequence counter.
+    tx_seq: u64,
+    /// Next inbound sequence to deliver (stream order).
+    rx_next: u64,
+    /// In-flight inbound messages by sequence.
+    inbound: BTreeMap<u64, Inbound>,
+    /// Landed but out-of-order segments awaiting their predecessors.
+    reorder: BTreeMap<u64, Bytes>,
+    /// Sequences whose payload arrived before their header.
+    arrived_early: std::collections::BTreeSet<u64>,
+    /// Reassembled, in-order bytes waiting for a reader.
+    rx_buf: VecDeque<Bytes>,
+    rx_buffered: u64,
+    /// Readers blocked in `recv`.
+    waiting: VecDeque<PendingRecv>,
+    /// Kernel socket buffer ring.
+    ring: VirtAddr,
+    ring_len: u64,
+    ring_off: u64,
+    next_op: u64,
+    /// Completed operations for the driver.
+    pub completed: VecDeque<(SockOpId, SockResult)>,
+    pub stats: SockStats,
+}
+
+impl Sock {
+    fn ring_reserve(&mut self, len: u64) -> VirtAddr {
+        debug_assert!(len <= self.ring_len);
+        if self.ring_off + len > self.ring_len {
+            self.ring_off = 0;
+        }
+        let a = self.ring.add(self.ring_off);
+        self.ring_off += len;
+        a
+    }
+
+    /// Bytes currently buffered in the kernel (not yet consumed).
+    pub fn buffered(&self) -> u64 {
+        self.rx_buffered
+    }
+}
+
+/// All sockets in the world.
+#[derive(Default)]
+pub struct ZsockLayer {
+    pub params: ZsockParams,
+    socks: Vec<Sock>,
+}
+
+impl ZsockLayer {
+    pub fn new(params: ZsockParams) -> Self {
+        ZsockLayer {
+            params,
+            socks: Vec::new(),
+        }
+    }
+
+    pub fn sock(&self, id: SockId) -> &Sock {
+        &self.socks[id.0 as usize]
+    }
+
+    pub fn sock_mut(&mut self, id: SockId) -> &mut Sock {
+        &mut self.socks[id.0 as usize]
+    }
+
+    pub fn count(&self) -> usize {
+        self.socks.len()
+    }
+}
+
+/// Capability trait: a world with the socket layer.
+pub trait ZsockWorld: knet_core::TransportWorld {
+    fn zsock(&self) -> &ZsockLayer;
+    fn zsock_mut(&mut self) -> &mut ZsockLayer;
+}
+
+const SOCK_RING: u64 = 4 << 20;
+
+/// Create one socket endpoint bound to transport endpoint `ep`, already
+/// connected to `peer_ep` (the benchmarks connect explicit pairs, as
+/// NETPIPE does).
+pub fn sock_create<W: ZsockWorld>(
+    w: &mut W,
+    ep: Endpoint,
+    peer_ep: Endpoint,
+) -> Result<SockId, NetError> {
+    let ring = w.os_mut().node_mut(ep.node).kalloc(SOCK_RING)?;
+    let id = SockId(w.zsock().socks.len() as u32);
+    w.zsock_mut().socks.push(Sock {
+        id,
+        ep,
+        peer_ep,
+        tx_seq: 0,
+        rx_next: 0,
+        inbound: BTreeMap::new(),
+        reorder: BTreeMap::new(),
+        arrived_early: std::collections::BTreeSet::new(),
+        rx_buf: VecDeque::new(),
+        rx_buffered: 0,
+        waiting: VecDeque::new(),
+        ring,
+        ring_len: SOCK_RING,
+        ring_off: 0,
+        next_op: 1,
+        completed: VecDeque::new(),
+        stats: SockStats::default(),
+    });
+    Ok(id)
+}
+
+/// Charge the entry cost of a socket call (syscall + socket layer).
+fn charge_call<W: ZsockWorld>(w: &mut W, sid: SockId) {
+    let node = w.zsock().sock(sid).ep.node;
+    let cost = w.os().node(node).cpu.model.syscall + w.zsock().params.sock_layer;
+    cpu_charge(w, node, cost);
+}
+
+/// `send(fd, buf)`: frame and transmit; completes when the transport
+/// releases the buffer.
+///
+/// Protocol shape per backend (what the paper's two implementations did):
+/// * **MX**: payloads up to `inline_max_mx` ride *inside* the header
+///   message (one message, one completion); larger payloads follow as a
+///   separate zero-copy message the receiver steers into the blocked
+///   reader's buffer.
+/// * **GM**: small payloads inline; everything else is copied into the
+///   pre-registered socket ring and sent from there — Sockets-GM dodged its
+///   "memory registration problems" with copies (§5.3), which is also why
+///   it cannot reach the link rate.
+pub fn sock_send<W: ZsockWorld>(w: &mut W, sid: SockId, src: MemRef) -> SockOpId {
+    charge_call(w, sid);
+    let len = src.len();
+    let (op, seq, ep, peer, node) = {
+        let s = w.zsock_mut().sock_mut(sid);
+        let op = s.next_op;
+        s.next_op += 1;
+        let seq = s.tx_seq;
+        s.tx_seq += 1;
+        s.stats.sends += 1;
+        s.stats.bytes_sent += len;
+        (op, seq, s.ep, s.peer_ep, s.ep.node)
+    };
+    let params = w.zsock().params.clone();
+    let inline_max = match ep.kind {
+        TransportKind::Mx => params.inline_max_mx,
+        TransportKind::Gm => params.inline_max_gm,
+    };
+    // Header: [seq, len] little-endian.
+    let mut hdr = [0u8; 16];
+    hdr[..8].copy_from_slice(&seq.to_le_bytes());
+    hdr[8..].copy_from_slice(&len.to_le_bytes());
+
+    if len <= inline_max {
+        // One message: header ++ payload, staged through the socket ring.
+        let total = 16 + len;
+        let hdr_addr = {
+            let s = w.zsock_mut().sock_mut(sid);
+            s.ring_reserve(total)
+        };
+        w.os_mut()
+            .node_mut(node)
+            .write_virt(Asid::KERNEL, hdr_addr, &hdr)
+            .expect("sock ring mapped");
+        let data = knet_core::read_iovec(w.os().node(node), &IoVec::single(src))
+            .unwrap_or_default();
+        w.os_mut()
+            .node_mut(node)
+            .write_virt(Asid::KERNEL, hdr_addr.add(16), &data)
+            .expect("sock ring mapped");
+        let copy = w.os().node(node).cpu.model.ring_copy_cost(len);
+        cpu_charge(w, node, copy);
+        let r = w.t_send(
+            ep,
+            peer,
+            TAG_HDR_BASE + seq,
+            IoVec::single(MemRef::kernel(hdr_addr, total)),
+            op,
+        );
+        if let Err(e) = r {
+            let s = w.zsock_mut().sock_mut(sid);
+            s.completed.push_back((op, Err(e)));
+        }
+        return op;
+    }
+
+    // Header first, then the bulk payload.
+    let hdr_addr = {
+        let s = w.zsock_mut().sock_mut(sid);
+        s.ring_reserve(16)
+    };
+    w.os_mut()
+        .node_mut(node)
+        .write_virt(Asid::KERNEL, hdr_addr, &hdr)
+        .expect("sock ring mapped");
+    let _ = w.t_send(
+        ep,
+        peer,
+        TAG_HDR_BASE + seq,
+        IoVec::single(MemRef::kernel(hdr_addr, 16)),
+        0,
+    );
+    let data_src = match ep.kind {
+        TransportKind::Mx => src,
+        TransportKind::Gm => {
+            // Copy into the pre-registered ring; send from kernel memory.
+            let addr = {
+                let s = w.zsock_mut().sock_mut(sid);
+                s.ring_reserve(len)
+            };
+            let data = knet_core::read_iovec(w.os().node(node), &IoVec::single(src))
+                .unwrap_or_default();
+            w.os_mut()
+                .node_mut(node)
+                .write_virt(Asid::KERNEL, addr, &data)
+                .expect("sock ring mapped");
+            let copy = w.os().node(node).cpu.model.ring_copy_cost(len);
+            cpu_charge(w, node, copy);
+            MemRef::kernel(addr, len)
+        }
+    };
+    let r = w.t_send(ep, peer, TAG_DATA_BASE + seq, IoVec::single(data_src), op);
+    if let Err(e) = r {
+        let s = w.zsock_mut().sock_mut(sid);
+        s.completed.push_back((op, Err(e)));
+    }
+    op
+}
+
+/// `recv(fd, buf)`: completes with up to `dst.len()` bytes (stream
+/// semantics: any in-order buffered bytes satisfy it immediately).
+pub fn sock_recv<W: ZsockWorld>(w: &mut W, sid: SockId, dst: MemRef) -> SockOpId {
+    charge_call(w, sid);
+    let op = {
+        let s = w.zsock_mut().sock_mut(sid);
+        let op = s.next_op;
+        s.next_op += 1;
+        s.stats.recvs += 1;
+        s.waiting.push_back(PendingRecv { op, dst });
+        op
+    };
+    drain_rx(w, sid);
+    op
+}
+
+/// Move buffered bytes into waiting readers (kernel → user copies).
+fn drain_rx<W: ZsockWorld>(w: &mut W, sid: SockId) {
+    loop {
+        let node = w.zsock().sock(sid).ep.node;
+        let (pending, available) = {
+            let s = w.zsock().sock(sid);
+            (s.waiting.front().copied(), s.rx_buffered)
+        };
+        let Some(p) = pending else { return };
+        if available == 0 {
+            return;
+        }
+        // Copy up to the buffer size from the head of the stream.
+        let want = p.dst.len().min(available);
+        let mut out: Vec<u8> = Vec::with_capacity(want as usize);
+        {
+            let s = w.zsock_mut().sock_mut(sid);
+            while (out.len() as u64) < want {
+                let need = want - out.len() as u64;
+                let chunk = s.rx_buf.front_mut().expect("buffered bytes exist");
+                if (chunk.len() as u64) <= need {
+                    out.extend_from_slice(chunk);
+                    s.rx_buf.pop_front();
+                } else {
+                    out.extend_from_slice(&chunk[..need as usize]);
+                    *chunk = chunk.slice(need as usize..);
+                }
+            }
+            s.rx_buffered -= want;
+            s.waiting.pop_front();
+            s.stats.buffered_receives += 1;
+            s.stats.bytes_received += want;
+        }
+        // Functional copy into the destination + memcpy charge.
+        knet_core::write_iovec(w.os_mut().node_mut(node), &IoVec::single(p.dst), &out).ok();
+        let copy = w.os().node(node).cpu.model.memcpy_cost(want);
+        cpu_charge(w, node, copy);
+        let s = w.zsock_mut().sock_mut(sid);
+        s.completed.push_back((p.op, Ok(want)));
+    }
+}
+
+/// Transport upcall for socket `sid`.
+pub fn sock_on_event<W: ZsockWorld>(w: &mut W, sid: SockId, ev: TransportEvent) {
+    // The SOCKETS-GM dispatcher thread: every completion is picked up by an
+    // extra kernel thread before the socket layer sees it.
+    let (node, kind) = {
+        let s = w.zsock().sock(sid);
+        (s.ep.node, s.ep.kind)
+    };
+    if kind == TransportKind::Gm {
+        let p = w.zsock().params.clone();
+        let cost = w.os().node(node).cpu.model.ctx_switch * p.gm_dispatch_switches as u64
+            + p.gm_interrupt;
+        cpu_charge(w, node, cost);
+        w.zsock_mut().sock_mut(sid).stats.dispatch_wakeups += 1;
+    }
+    match ev {
+        TransportEvent::Unexpected { tag, data, .. } if (TAG_HDR_BASE..TAG_DATA_BASE).contains(&tag) => {
+            // A stream header, possibly with the payload inline.
+            if data.len() < 16 {
+                return;
+            }
+            let seq = u64::from_le_bytes(data[..8].try_into().unwrap());
+            let len = u64::from_le_bytes(data[8..16].try_into().unwrap());
+            if data.len() as u64 == 16 + len {
+                // Inline payload: consume directly.
+                accept_in_order(w, sid, seq, data.slice(16..));
+                drain_rx(w, sid);
+            } else {
+                on_header(w, sid, seq, len);
+            }
+        }
+        TransportEvent::Unexpected { tag, data, .. } if tag >= TAG_DATA_BASE => {
+            // The payload overtook its descriptor: the wire delivered it
+            // before the host finished processing the header (or before the
+            // header itself). Withdraw any now-useless posted receive and
+            // land the bytes by copy.
+            let seq = tag - TAG_DATA_BASE;
+            let ep = w.zsock().sock(sid).ep;
+            let inbound = w.zsock_mut().sock_mut(sid).inbound.remove(&seq);
+            match inbound {
+                Some(Inbound::Direct { op, len, dst }) => {
+                    w.t_cancel_recv(ep, TAG_DATA_BASE + seq);
+                    let node = ep.node;
+                    let n = (data.len() as u64).min(len);
+                    knet_core::write_iovec(
+                        w.os_mut().node_mut(node),
+                        &IoVec::single(dst),
+                        &data,
+                    )
+                    .ok();
+                    let copy = w.os().node(node).cpu.model.memcpy_cost(n);
+                    cpu_charge(w, node, copy);
+                    let s = w.zsock_mut().sock_mut(sid);
+                    s.rx_next = s.rx_next.max(seq + 1);
+                    s.stats.buffered_receives += 1;
+                    s.stats.bytes_received += n;
+                    s.completed.push_back((op, Ok(n)));
+                    drain_rx(w, sid);
+                }
+                Some(Inbound::ToRing { .. }) => {
+                    w.t_cancel_recv(ep, TAG_DATA_BASE + seq);
+                    accept_in_order(w, sid, seq, data);
+                    drain_rx(w, sid);
+                }
+                None => {
+                    // Payload before header: remember so the header does not
+                    // post a receive for data that already landed.
+                    w.zsock_mut().sock_mut(sid).arrived_early.insert(seq);
+                    accept_in_order(w, sid, seq, data);
+                    drain_rx(w, sid);
+                }
+            }
+        }
+        TransportEvent::RecvDone { ctx, len, .. } => {
+            on_data_landed(w, sid, ctx, len);
+        }
+        TransportEvent::SendDone { ctx } => {
+            if ctx != 0 {
+                let s = w.zsock_mut().sock_mut(sid);
+                s.completed.push_back((ctx, Ok(0)));
+            }
+        }
+        TransportEvent::Unexpected { .. } => {}
+    }
+}
+
+/// A header announced `len` bytes with sequence `seq`: decide where the
+/// payload will land and post the receive.
+fn on_header<W: ZsockWorld>(w: &mut W, sid: SockId, seq: u64, len: u64) {
+    // If the payload already landed (it overtook the header), there is
+    // nothing to post.
+    if w.zsock_mut().sock_mut(sid).arrived_early.remove(&seq) {
+        return;
+    }
+    let (ep, can_direct) = {
+        let s = w.zsock().sock(sid);
+        let in_order = seq == s.rx_next && s.rx_buffered == 0 && s.inbound.is_empty();
+        let fits = s
+            .waiting
+            .front()
+            .map(|p| p.dst.len() >= len)
+            .unwrap_or(false);
+        // Sockets-GM never steers into user buffers (registration trouble);
+        // everything lands in the ring and is copied out.
+        let steer = s.ep.kind == TransportKind::Mx;
+        (s.ep, steer && in_order && fits)
+    };
+    if can_direct {
+        // Zero-copy: steer into the blocked reader's buffer.
+        let p = {
+            let s = w.zsock_mut().sock_mut(sid);
+            s.waiting.pop_front().expect("checked")
+        };
+        let dst = clamp_memref(&p.dst, len);
+        let _ = w.t_post_recv(ep, TAG_DATA_BASE + seq, IoVec::single(dst), seq);
+        let s = w.zsock_mut().sock_mut(sid);
+        s.inbound.insert(
+            seq,
+            Inbound::Direct {
+                op: p.op,
+                len,
+                dst,
+            },
+        );
+    } else {
+        // Kernel socket buffer path.
+        let addr = {
+            let s = w.zsock_mut().sock_mut(sid);
+            s.ring_reserve(len.max(1))
+        };
+        let _ = w.t_post_recv(
+            ep,
+            TAG_DATA_BASE + seq,
+            IoVec::single(MemRef::kernel(addr, len)),
+            seq,
+        );
+        let s = w.zsock_mut().sock_mut(sid);
+        s.inbound.insert(seq, Inbound::ToRing { addr, len });
+    }
+}
+
+/// The payload with sequence `seq` finished landing (`got` bytes).
+fn on_data_landed<W: ZsockWorld>(w: &mut W, sid: SockId, seq: u64, got: u64) {
+    let node = w.zsock().sock(sid).ep.node;
+    let inbound = w.zsock_mut().sock_mut(sid).inbound.remove(&seq);
+    match inbound {
+        Some(Inbound::Direct { op, len, dst: _ }) => {
+            let n = got.min(len);
+            let s = w.zsock_mut().sock_mut(sid);
+            s.rx_next = s.rx_next.max(seq + 1);
+            s.stats.zero_copy_receives += 1;
+            s.stats.bytes_received += n;
+            s.completed.push_back((op, Ok(n)));
+        }
+        Some(Inbound::ToRing { addr, len }) => {
+            let n = got.min(len);
+            let mut data = vec![0u8; n as usize];
+            w.os()
+                .node(node)
+                .read_virt(Asid::KERNEL, addr, &mut data)
+                .expect("ring mapped");
+            accept_in_order(w, sid, seq, Bytes::from(data));
+            drain_rx(w, sid);
+        }
+        None => {}
+    }
+}
+
+/// Append `data` (sequence `seq`) to the in-order stream buffer.
+/// Out-of-order segments (possible on dual-link cards when consecutive
+/// messages ride different lanes) wait in a reorder map until the gap
+/// closes.
+fn accept_in_order<W: ZsockWorld>(w: &mut W, sid: SockId, seq: u64, data: Bytes) {
+    let s = w.zsock_mut().sock_mut(sid);
+    s.reorder.insert(seq, data);
+    while let Some(d) = s.reorder.remove(&s.rx_next) {
+        s.rx_buffered += d.len() as u64;
+        s.rx_buf.push_back(d);
+        s.rx_next += 1;
+    }
+}
+
+fn clamp_memref(m: &MemRef, len: u64) -> MemRef {
+    match *m {
+        MemRef::UserVirtual { asid, addr, len: l } => MemRef::user(asid, addr, l.min(len)),
+        MemRef::KernelVirtual { addr, len: l } => MemRef::kernel(addr, l.min(len)),
+        MemRef::Physical { addr, len: l } => MemRef::physical(addr, l.min(len)),
+    }
+}

@@ -1,0 +1,110 @@
+//! Cluster construction.
+
+use knet_gm::{GmLayer, GmParams};
+use knet_mx::{MxLayer, MxParams};
+use knet_simnic::{NicLayer, NicModel};
+use knet_simos::{CpuModel, NodeId, OsLayer};
+use knet_zsock::{TcpLayer, TcpParams, ZsockLayer, ZsockParams};
+
+use crate::world::ClusterWorld;
+
+/// Builder for a [`ClusterWorld`]: `n` nodes, one NIC each, full crossbar.
+pub struct ClusterBuilder {
+    cpus: Vec<CpuModel>,
+    nic: NicModel,
+    mem_frames: u32,
+    gm_params: GmParams,
+    mx_params: MxParams,
+    zsock_params: ZsockParams,
+    tcp_params: TcpParams,
+}
+
+impl Default for ClusterBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ClusterBuilder {
+    /// Two Xeon nodes on PCI-XD cards — the paper's base testbed (§3.1).
+    pub fn new() -> Self {
+        ClusterBuilder {
+            cpus: vec![CpuModel::xeon_2600(), CpuModel::xeon_2600()],
+            nic: NicModel::pci_xd(),
+            mem_frames: 65_536,
+            gm_params: GmParams::default(),
+            mx_params: MxParams::default(),
+            zsock_params: ZsockParams::default(),
+            tcp_params: TcpParams::default(),
+        }
+    }
+
+    /// Use `n` identical nodes with the given CPU.
+    pub fn nodes(mut self, n: usize, cpu: CpuModel) -> Self {
+        self.cpus = vec![cpu; n];
+        self
+    }
+
+    /// Select the NIC generation (PCI-XD for the file-system figures,
+    /// PCI-XE for the socket figures, as in the paper).
+    pub fn nic(mut self, nic: NicModel) -> Self {
+        self.nic = nic;
+        self
+    }
+
+    /// Installed memory per node, in 4 kB frames.
+    pub fn mem_frames(mut self, frames: u32) -> Self {
+        self.mem_frames = frames;
+        self
+    }
+
+    pub fn gm_params(mut self, p: GmParams) -> Self {
+        self.gm_params = p;
+        self
+    }
+
+    pub fn mx_params(mut self, p: MxParams) -> Self {
+        self.mx_params = p;
+        self
+    }
+
+    pub fn zsock_params(mut self, p: ZsockParams) -> Self {
+        self.zsock_params = p;
+        self
+    }
+
+    pub fn tcp_params(mut self, p: TcpParams) -> Self {
+        self.tcp_params = p;
+        self
+    }
+
+    /// Build the world.
+    pub fn build(self) -> ClusterWorld {
+        let mut os = OsLayer::new();
+        let mut nics = NicLayer::new();
+        for cpu in &self.cpus {
+            let node = os.add_node(cpu.clone(), self.mem_frames);
+            nics.add_nic(node, self.nic.clone());
+        }
+        ClusterWorld::from_layers(
+            os,
+            nics,
+            GmLayer::new(self.gm_params),
+            MxLayer::new(self.mx_params),
+            ZsockLayer::new(self.zsock_params),
+            TcpLayer::new(self.tcp_params),
+        )
+    }
+}
+
+/// Convenience: the standard two-node world.
+pub fn two_nodes() -> (ClusterWorld, NodeId, NodeId) {
+    let w = ClusterBuilder::new().build();
+    (w, NodeId(0), NodeId(1))
+}
+
+/// Convenience: two nodes on PCI-XE cards (the §5.3 socket testbed).
+pub fn two_nodes_xe() -> (ClusterWorld, NodeId, NodeId) {
+    let w = ClusterBuilder::new().nic(NicModel::pci_xe()).build();
+    (w, NodeId(0), NodeId(1))
+}

@@ -1,0 +1,63 @@
+//! # knet — an efficient network API for in-kernel applications in clusters
+//!
+//! A faithful, functional reproduction of *Goglin, Glück, Vicat-Blanc
+//! Primet, "An Efficient Network API for in-Kernel Applications in
+//! Clusters" (IEEE Cluster 2005)* as a deterministic discrete-event cluster
+//! model in Rust. Real payload bytes move through simulated page tables,
+//! page-caches, NIC DMA engines and wires, under a cost model calibrated to
+//! the paper's measurements — so both the *correctness* claims (zero-copy,
+//! registration-cache coherence) and the *performance* claims (figures 1–8,
+//! table 1) are reproducible and testable.
+//!
+//! Layer map (bottom-up):
+//!
+//! | crate | role |
+//! |---|---|
+//! | `knet-simcore` | discrete-event engine, virtual time, timed resources |
+//! | `knet-simos`   | CPU cost models, physical memory, address spaces, page-cache, VMA SPY |
+//! | `knet-simnic`  | Myrinet-like NIC: DMA, translation table, links, crossbar |
+//! | `knet-core`    | the paper's API: address classes, io-vectors, GMKRC, transport |
+//! | `knet-gm`      | GM driver: registration, event queues, kernel port, physical patch |
+//! | `knet-mx`      | MX driver: matching, small/medium/large protocols, copy removal |
+//! | `knet-simfs`   | ext2-like server file system |
+//! | `knet-orfs`    | ORFA/ORFS remote file access (server, user & kernel clients) |
+//! | `knet-zsock`   | SOCKETS-GM / SOCKETS-MX + TCP/IP-GigE baseline |
+//! | `knet` (this)  | the composed world, builder, benchmark harness, figures |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use knet::prelude::*;
+//!
+//! // Two Xeon nodes on PCI-XD Myrinet, as in the paper's testbed.
+//! let (mut w, n0, n1) = knet::build::two_nodes();
+//! let a = w.open_mx(n0, MxEndpointConfig::kernel(), Owner::Driver).unwrap();
+//! let b = w.open_mx(n1, MxEndpointConfig::kernel(), Owner::Driver).unwrap();
+//! let ka = knet::harness::kbuf(&mut w, n0, 4096);
+//! let kb = knet::harness::kbuf(&mut w, n1, 4096);
+//! let lat = knet::harness::transport_pingpong_us(&mut w, a, b, ka.iov(1), kb.iov(1), 10);
+//! assert!((3.0..6.0).contains(&lat), "MX 1-byte latency ≈ 4.2 µs, got {lat}");
+//! ```
+
+pub mod build;
+pub mod figures;
+pub mod harness;
+pub mod report;
+pub mod world;
+
+pub use build::ClusterBuilder;
+pub use world::{ClusterWorld, Owner};
+
+/// Everything needed to script experiments.
+pub mod prelude {
+    pub use crate::build::{two_nodes, two_nodes_xe, ClusterBuilder};
+    pub use crate::harness::{fsops, kbuf, ubuf, KBuf, UBuf};
+    pub use crate::world::{ClusterWorld, Owner};
+    pub use knet_core::{Endpoint, IoVec, MemRef, NetError, TransportEvent, TransportKind};
+    pub use knet_gm::{GmParams, GmPortConfig};
+    pub use knet_mx::{MxEndpointConfig, MxOpts, MxParams};
+    pub use knet_orfs::{ClientKind, VfsConfig};
+    pub use knet_simcore::{now, run_to_quiescence, run_until, RunOutcome, SimTime};
+    pub use knet_simos::{Asid, CpuModel, NodeId, PAGE_SIZE};
+    pub use knet_simnic::NicModel;
+}

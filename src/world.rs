@@ -1,0 +1,394 @@
+//! `ClusterWorld` — the composed simulation world.
+//!
+//! Every layer crate exposes its state type plus a capability trait; this is
+//! the one place they all meet. `ClusterWorld` implements each trait and
+//! routes the upcalls:
+//!
+//! * `nic_rx` → GM or MX firmware, by packet protocol;
+//! * `vma_event` → the GM registration caches (VMA SPY subscribers);
+//! * `gm_dispatch`/`mx_dispatch` → the endpoint's owner (benchmark driver
+//!   mailbox, ORFS server/client, or a socket), converting driver events to
+//!   unified [`TransportEvent`]s;
+//! * [`TransportWorld`] (`t_send`/`t_post_recv`) → the owning driver, with
+//!   the GM glue inserting GMKRC registration for user-virtual buffers
+//!   exactly where the paper's in-kernel clients needed it.
+
+use std::collections::{BTreeMap, VecDeque};
+
+use knet_core::{
+    Endpoint, IoVec, MemRef, NetError, TransportEvent, TransportKind, TransportWorld,
+};
+use knet_gm::{
+    gm_ensure_cached, gm_next_event, gm_on_packet, gm_on_vma_event, gm_open_port,
+    gm_provide_receive_buffer, gm_send, GmEvent, GmLayer, GmPortConfig, GmPortId, GmWorld,
+};
+use knet_mx::{
+    mx_irecv, mx_isend, mx_next_event, mx_on_packet, mx_open_endpoint, MxEndpointConfig,
+    MxEndpointId, MxEvent, MxLayer, MxWorld,
+};
+use knet_nbd::{nbd_on_client_event, nbd_on_server_event, NbdClientId, NbdLayer, NbdServerId, NbdWorld};
+use knet_orfs::{client_on_event, server_on_event, OrfsClientId, OrfsLayer, OrfsServerId, OrfsWorld};
+use knet_simcore::{Scheduler, SimWorld};
+use knet_simnic::{NicId, NicLayer, NicWorld, Packet, Proto};
+use knet_simos::{NodeId, OsLayer, OsWorld, VmaEvent};
+use knet_zsock::{sock_on_event, SockId, TcpLayer, TcpWorld, ZsockLayer, ZsockWorld};
+
+/// Who consumes the events of a transport endpoint.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Owner {
+    /// A benchmark driver: events accumulate in the world's mailbox.
+    Driver,
+    OrfsServer(OrfsServerId),
+    OrfsClient(OrfsClientId),
+    Sock(SockId),
+    NbdServer(NbdServerId),
+    NbdClient(NbdClientId),
+}
+
+/// The fully composed world.
+pub struct ClusterWorld {
+    pub sched: Scheduler<ClusterWorld>,
+    pub os: OsLayer,
+    pub nics: NicLayer,
+    pub gm: GmLayer,
+    pub mx: MxLayer,
+    pub orfs: OrfsLayer,
+    pub zsock: ZsockLayer,
+    pub tcp: TcpLayer,
+    pub nbd: NbdLayer,
+    gm_owners: BTreeMap<u32, Owner>,
+    mx_owners: BTreeMap<u32, Owner>,
+    /// Events for driver-owned endpoints.
+    pub mailbox: BTreeMap<(TransportKind, u32), VecDeque<TransportEvent>>,
+}
+
+impl ClusterWorld {
+    pub(crate) fn from_layers(
+        os: OsLayer,
+        nics: NicLayer,
+        gm: GmLayer,
+        mx: MxLayer,
+        zsock: ZsockLayer,
+        tcp: TcpLayer,
+    ) -> Self {
+        ClusterWorld {
+            sched: Scheduler::new(),
+            os,
+            nics,
+            gm,
+            mx,
+            orfs: OrfsLayer::new(),
+            zsock,
+            tcp,
+            nbd: NbdLayer::new(),
+            gm_owners: BTreeMap::new(),
+            mx_owners: BTreeMap::new(),
+            mailbox: BTreeMap::new(),
+        }
+    }
+
+    /// Open a GM port wrapped as a transport endpoint.
+    pub fn open_gm(
+        &mut self,
+        node: NodeId,
+        cfg: GmPortConfig,
+        owner: Owner,
+    ) -> Result<Endpoint, NetError> {
+        let port = gm_open_port(self, node, cfg)?;
+        self.gm_owners.insert(port.0, owner);
+        Ok(Endpoint {
+            kind: TransportKind::Gm,
+            node,
+            idx: port.0,
+        })
+    }
+
+    /// Open an MX endpoint wrapped as a transport endpoint. Unexpected
+    /// delivery is always enabled — the transport contract requires it.
+    pub fn open_mx(
+        &mut self,
+        node: NodeId,
+        cfg: MxEndpointConfig,
+        owner: Owner,
+    ) -> Result<Endpoint, NetError> {
+        let ep = mx_open_endpoint(self, node, cfg.with_unexpected_delivery())?;
+        self.mx_owners.insert(ep.0, owner);
+        Ok(Endpoint {
+            kind: TransportKind::Mx,
+            node,
+            idx: ep.0,
+        })
+    }
+
+    /// Reassign an endpoint's owner (used when wiring clients/servers that
+    /// need their endpoint before they exist).
+    pub fn set_owner(&mut self, ep: Endpoint, owner: Owner) {
+        match ep.kind {
+            TransportKind::Gm => self.gm_owners.insert(ep.idx, owner),
+            TransportKind::Mx => self.mx_owners.insert(ep.idx, owner),
+        };
+    }
+
+    fn owner_of(&self, kind: TransportKind, idx: u32) -> Owner {
+        let map = match kind {
+            TransportKind::Gm => &self.gm_owners,
+            TransportKind::Mx => &self.mx_owners,
+        };
+        map.get(&idx).copied().unwrap_or(Owner::Driver)
+    }
+
+    /// Pop the next driver-mailbox event for `ep`.
+    pub fn take_event(&mut self, ep: Endpoint) -> Option<TransportEvent> {
+        self.mailbox.get_mut(&(ep.kind, ep.idx))?.pop_front()
+    }
+
+    /// Peek whether a driver-mailbox event is waiting for `ep`.
+    pub fn has_event(&self, ep: Endpoint) -> bool {
+        self.mailbox
+            .get(&(ep.kind, ep.idx))
+            .map(|q| !q.is_empty())
+            .unwrap_or(false)
+    }
+
+    fn route(&mut self, ep: Endpoint, ev: TransportEvent) {
+        match self.owner_of(ep.kind, ep.idx) {
+            Owner::Driver => {
+                self.mailbox
+                    .entry((ep.kind, ep.idx))
+                    .or_default()
+                    .push_back(ev);
+            }
+            Owner::OrfsServer(id) => server_on_event(self, id, ep, ev),
+            Owner::OrfsClient(id) => client_on_event(self, id, ev),
+            Owner::Sock(id) => sock_on_event(self, id, ev),
+            Owner::NbdServer(id) => nbd_on_server_event(self, id, ev),
+            Owner::NbdClient(id) => nbd_on_client_event(self, id, ev),
+        }
+    }
+}
+
+impl SimWorld for ClusterWorld {
+    fn sched(&self) -> &Scheduler<Self> {
+        &self.sched
+    }
+    fn sched_mut(&mut self) -> &mut Scheduler<Self> {
+        &mut self.sched
+    }
+}
+
+impl OsWorld for ClusterWorld {
+    fn os(&self) -> &OsLayer {
+        &self.os
+    }
+    fn os_mut(&mut self) -> &mut OsLayer {
+        &mut self.os
+    }
+    fn vma_event(&mut self, node: NodeId, ev: VmaEvent) {
+        // The VMA SPY notifier chain: GM registration caches subscribe.
+        gm_on_vma_event(self, node, &ev);
+    }
+}
+
+impl NicWorld for ClusterWorld {
+    fn nics(&self) -> &NicLayer {
+        &self.nics
+    }
+    fn nics_mut(&mut self) -> &mut NicLayer {
+        &mut self.nics
+    }
+    fn nic_rx(&mut self, nic: NicId, pkt: Packet) {
+        match pkt.proto {
+            Proto::Gm => gm_on_packet(self, nic, pkt),
+            Proto::Mx => mx_on_packet(self, nic, pkt),
+            Proto::Raw => {}
+        }
+    }
+}
+
+impl GmWorld for ClusterWorld {
+    fn gm(&self) -> &GmLayer {
+        &self.gm
+    }
+    fn gm_mut(&mut self) -> &mut GmLayer {
+        &mut self.gm
+    }
+    fn gm_dispatch(&mut self, port: GmPortId) {
+        let node = match self.gm.port(port) {
+            Ok(p) => p.node,
+            Err(_) => return,
+        };
+        while let Some(ev) = gm_next_event(self, port) {
+            let tev = match ev {
+                GmEvent::SendDone { ctx } => TransportEvent::SendDone { ctx },
+                GmEvent::RecvDone { ctx, tag, len, .. } => {
+                    TransportEvent::RecvDone { ctx, tag, len }
+                }
+                GmEvent::Unexpected { tag, data, from } => {
+                    let from_node = self.gm.port(from).map(|p| p.node).unwrap_or(node);
+                    TransportEvent::Unexpected {
+                        tag,
+                        data,
+                        from: Endpoint {
+                            kind: TransportKind::Gm,
+                            node: from_node,
+                            idx: from.0,
+                        },
+                    }
+                }
+            };
+            let ep = Endpoint {
+                kind: TransportKind::Gm,
+                node,
+                idx: port.0,
+            };
+            self.route(ep, tev);
+        }
+    }
+}
+
+impl MxWorld for ClusterWorld {
+    fn mx(&self) -> &MxLayer {
+        &self.mx
+    }
+    fn mx_mut(&mut self) -> &mut MxLayer {
+        &mut self.mx
+    }
+    fn mx_dispatch(&mut self, ep_id: MxEndpointId) {
+        let node = match self.mx.ep(ep_id) {
+            Ok(e) => e.node,
+            Err(_) => return,
+        };
+        while let Some(ev) = mx_next_event(self, ep_id) {
+            let tev = match ev {
+                MxEvent::SendDone { ctx } => TransportEvent::SendDone { ctx },
+                MxEvent::RecvDone { ctx, tag, len, .. } => {
+                    TransportEvent::RecvDone { ctx, tag, len }
+                }
+                MxEvent::Unexpected { tag, data, from } => {
+                    let from_node = self.mx.ep(from).map(|e| e.node).unwrap_or(node);
+                    TransportEvent::Unexpected {
+                        tag,
+                        data,
+                        from: Endpoint {
+                            kind: TransportKind::Mx,
+                            node: from_node,
+                            idx: from.0,
+                        },
+                    }
+                }
+            };
+            let ep = Endpoint {
+                kind: TransportKind::Mx,
+                node,
+                idx: ep_id.0,
+            };
+            self.route(ep, tev);
+        }
+    }
+}
+
+impl TransportWorld for ClusterWorld {
+    fn t_send(
+        &mut self,
+        from: Endpoint,
+        to: Endpoint,
+        tag: u64,
+        iov: IoVec,
+        ctx: u64,
+    ) -> Result<(), NetError> {
+        match from.kind {
+            TransportKind::Mx => mx_isend(
+                self,
+                MxEndpointId(from.idx),
+                MxEndpointId(to.idx),
+                tag,
+                &iov,
+                ctx,
+            ),
+            TransportKind::Gm => {
+                // GM is not vectorial (§4.1): single-segment sends only;
+                // clients coalesce above this layer.
+                if iov.seg_count() != 1 {
+                    return Err(NetError::Unsupported);
+                }
+                let seg = iov.segs()[0];
+                // On-the-fly registration through GMKRC for pageable memory.
+                if let MemRef::UserVirtual { asid, addr, len } = seg {
+                    let port = GmPortId(from.idx);
+                    if self.gm.port(port)?.regcache.is_some() {
+                        gm_ensure_cached(self, port, asid, addr, len)?;
+                    }
+                }
+                gm_send(self, GmPortId(from.idx), seg, GmPortId(to.idx), tag, ctx)
+            }
+        }
+    }
+
+    fn t_post_recv(
+        &mut self,
+        ep: Endpoint,
+        tag: u64,
+        iov: IoVec,
+        ctx: u64,
+    ) -> Result<(), NetError> {
+        match ep.kind {
+            TransportKind::Mx => mx_irecv(self, MxEndpointId(ep.idx), tag, &iov, ctx),
+            TransportKind::Gm => {
+                let port = GmPortId(ep.idx);
+                for seg in iov.segs() {
+                    if let MemRef::UserVirtual { asid, addr, len } = *seg {
+                        if self.gm.port(port)?.regcache.is_some() {
+                            gm_ensure_cached(self, port, asid, addr, len)?;
+                        }
+                    }
+                }
+                gm_provide_receive_buffer(self, port, &iov, tag, ctx)
+            }
+        }
+    }
+
+    fn t_cancel_recv(&mut self, ep: Endpoint, tag: u64) -> bool {
+        match ep.kind {
+            TransportKind::Mx => knet_mx::mx_cancel_recv(self, MxEndpointId(ep.idx), tag),
+            TransportKind::Gm => {
+                knet_gm::gm_cancel_receive_buffer(self, GmPortId(ep.idx), tag)
+            }
+        }
+    }
+}
+
+impl OrfsWorld for ClusterWorld {
+    fn orfs(&self) -> &OrfsLayer {
+        &self.orfs
+    }
+    fn orfs_mut(&mut self) -> &mut OrfsLayer {
+        &mut self.orfs
+    }
+}
+
+impl ZsockWorld for ClusterWorld {
+    fn zsock(&self) -> &ZsockLayer {
+        &self.zsock
+    }
+    fn zsock_mut(&mut self) -> &mut ZsockLayer {
+        &mut self.zsock
+    }
+}
+
+impl TcpWorld for ClusterWorld {
+    fn tcp(&self) -> &TcpLayer {
+        &self.tcp
+    }
+    fn tcp_mut(&mut self) -> &mut TcpLayer {
+        &mut self.tcp
+    }
+}
+
+impl NbdWorld for ClusterWorld {
+    fn nbd(&self) -> &NbdLayer {
+        &self.nbd
+    }
+    fn nbd_mut(&mut self) -> &mut NbdLayer {
+        &mut self.nbd
+    }
+}

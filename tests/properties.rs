@@ -1,0 +1,176 @@
+//! Property-based tests on the end-to-end stack: random workloads must
+//! preserve every byte, keep resource accounting balanced, and leave the
+//! deterministic engine deterministic.
+
+use knet::figures::{fs_fixture, FsOpts};
+use knet::harness::{fsops, ubuf};
+use knet::prelude::*;
+use knet::Owner;
+use knet_zsock::sock_create;
+use proptest::prelude::*;
+
+/// Reference model for file contents.
+fn apply_model(model: &mut Vec<u8>, offset: u64, data: &[u8]) {
+    let end = offset as usize + data.len();
+    if model.len() < end {
+        model.resize(end, 0);
+    }
+    model[offset as usize..end].copy_from_slice(data);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Random buffered writes at random offsets, a final fsync, and the
+    /// server's file equals the byte-level model — over both transports.
+    #[test]
+    fn random_buffered_writes_match_model(
+        ops in prop::collection::vec((0u64..200_000, 1usize..30_000, any::<u8>()), 1..12),
+        use_mx in any::<bool>(),
+    ) {
+        let kind = if use_mx { TransportKind::Mx } else { TransportKind::Gm };
+        let mut fx = fs_fixture(FsOpts { kind, file_len: 4096, ..FsOpts::default() });
+        let fd = fsops::open(&mut fx.w, fx.cid, "/data", false).unwrap();
+        let mut model = vec![0u8; 4096];
+        // Seed the model with the fixture's pattern.
+        for (i, b) in model.iter_mut().enumerate() {
+            *b = knet::harness::pattern_byte(i as u64);
+        }
+        for (offset, len, fill) in ops {
+            let data = vec![fill; len];
+            fx.w.os
+                .node_mut(fx.user.node)
+                .write_virt(fx.user.asid, fx.user.addr, &data)
+                .unwrap();
+            let n = fsops::write(&mut fx.w, fx.cid, fd, fx.user.memref(len as u64), offset)
+                .unwrap();
+            prop_assert_eq!(n, len as u64);
+            apply_model(&mut model, offset, &data);
+        }
+        fsops::fsync(&mut fx.w, fx.cid, fd).unwrap();
+        fsops::close(&mut fx.w, fx.cid, fd).unwrap();
+        let server = &mut fx.w.orfs.servers[0];
+        let ino = server.fs.lookup_path("/data").unwrap();
+        let size = server.fs.getattr(ino).unwrap().size;
+        prop_assert_eq!(size, model.len() as u64);
+        let mut back = vec![0u8; model.len()];
+        server.fs.read(ino, 0, &mut back, knet_simcore::SimTime::ZERO).unwrap();
+        prop_assert_eq!(back, model);
+    }
+
+    /// Random-size socket messages arrive in order with every byte intact,
+    /// mixing inline, eager, and rendezvous regimes.
+    #[test]
+    fn socket_stream_preserves_random_messages(
+        sizes in prop::collection::vec(1u64..200_000, 1..10),
+        use_mx in any::<bool>(),
+    ) {
+        let kind = if use_mx { TransportKind::Mx } else { TransportKind::Gm };
+        let (mut w, n0, n1) = two_nodes_xe();
+        let ba = ubuf(&mut w, n0, 1 << 20);
+        let bb = ubuf(&mut w, n1, 1 << 20);
+        let (ea, eb) = match kind {
+            TransportKind::Mx => (
+                w.open_mx(n0, MxEndpointConfig::kernel(), Owner::Driver).unwrap(),
+                w.open_mx(n1, MxEndpointConfig::kernel(), Owner::Driver).unwrap(),
+            ),
+            TransportKind::Gm => {
+                let cfg = GmPortConfig::kernel().with_physical_api().with_regcache(4096);
+                (
+                    w.open_gm(n0, cfg.clone(), Owner::Driver).unwrap(),
+                    w.open_gm(n1, cfg, Owner::Driver).unwrap(),
+                )
+            }
+        };
+        let sa = sock_create(&mut w, ea, eb).unwrap();
+        let sb = sock_create(&mut w, eb, ea).unwrap();
+        w.set_owner(ea, Owner::Sock(sa));
+        w.set_owner(eb, Owner::Sock(sb));
+        for (i, &size) in sizes.iter().enumerate() {
+            let fill = (i as u8).wrapping_mul(37).wrapping_add(11);
+            let data = vec![fill; size as usize];
+            w.os.node_mut(n0).write_virt(ba.asid, ba.addr, &data).unwrap();
+            let r = knet_zsock::sock_recv(&mut w, sb, bb.memref(size));
+            knet_zsock::sock_send(&mut w, sa, ba.memref(size));
+            let got = knet::harness::sock_wait(&mut w, sb, r);
+            prop_assert_eq!(got, size);
+            let mut back = vec![0u8; size as usize];
+            w.os.node(n1).read_virt(bb.asid, bb.addr, &mut back).unwrap();
+            prop_assert_eq!(back, data);
+        }
+    }
+
+    /// Direct reads at arbitrary offsets return exactly the pattern.
+    #[test]
+    fn random_direct_reads_return_pattern(
+        reads in prop::collection::vec((0u64..1_000_000, 1u64..300_000), 1..8),
+        use_mx in any::<bool>(),
+    ) {
+        let kind = if use_mx { TransportKind::Mx } else { TransportKind::Gm };
+        let file_len = 1 << 20;
+        let mut fx = fs_fixture(FsOpts { kind, file_len, ..FsOpts::default() });
+        let fd = fsops::open(&mut fx.w, fx.cid, "/data", true).unwrap();
+        for (offset, len) in reads {
+            let expect = len.min(file_len.saturating_sub(offset));
+            let n = fsops::read(&mut fx.w, fx.cid, fd, fx.user.memref(len), offset).unwrap();
+            prop_assert_eq!(n, expect);
+            let mut got = vec![0u8; n as usize];
+            fx.w.os.node(fx.user.node).read_virt(fx.user.asid, fx.user.addr, &mut got).unwrap();
+            for (i, &b) in got.iter().enumerate() {
+                prop_assert_eq!(b, knet::harness::pattern_byte(offset + i as u64));
+            }
+        }
+    }
+
+    /// The world is deterministic: the same workload produces the identical
+    /// event count and virtual end time.
+    #[test]
+    fn simulation_is_deterministic(sizes in prop::collection::vec(1u64..100_000, 1..6)) {
+        let run = |sizes: &[u64]| -> (u64, u64) {
+            let (mut w, n0, n1) = two_nodes();
+            let ka = knet::harness::kbuf(&mut w, n0, 128 * 1024);
+            let kb = knet::harness::kbuf(&mut w, n1, 128 * 1024);
+            let a = w.open_mx(n0, MxEndpointConfig::kernel(), Owner::Driver).unwrap();
+            let b = w.open_mx(n1, MxEndpointConfig::kernel(), Owner::Driver).unwrap();
+            for &s in sizes {
+                knet::harness::transport_pingpong_us(&mut w, a, b, ka.iov(s), kb.iov(s), 1);
+            }
+            (knet_simcore::now(&w).nanos(), w.sched.executed())
+        };
+        let a = run(&sizes);
+        let b = run(&sizes);
+        prop_assert_eq!(a, b);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// No pins leak: after any mix of completed MX transfers, every user
+    /// page's pin count returns to zero.
+    #[test]
+    fn mx_transfers_never_leak_pins(sizes in prop::collection::vec(1u64..200_000, 1..8)) {
+        let (mut w, n0, n1) = two_nodes();
+        let ba = ubuf(&mut w, n0, 1 << 20);
+        let bb = ubuf(&mut w, n1, 1 << 20);
+        let a = w.open_mx(n0, MxEndpointConfig::user(ba.asid), Owner::Driver).unwrap();
+        let b = w.open_mx(n1, MxEndpointConfig::user(bb.asid), Owner::Driver).unwrap();
+        for &s in &sizes {
+            knet::harness::transport_pingpong_us(&mut w, a, b, ba.iov(s), bb.iov(s), 1);
+        }
+        knet_simcore::run_to_quiescence(&mut w);
+        for (node, buf) in [(n0, &ba), (n1, &bb)] {
+            for page in 0..(buf.len / PAGE_SIZE) {
+                let frame = w
+                    .os
+                    .node(node)
+                    .space(buf.asid)
+                    .unwrap()
+                    .frame_of(buf.addr.add(page * PAGE_SIZE))
+                    .unwrap();
+                prop_assert_eq!(w.os.node(node).mem.pin_count(frame), 0,
+                    "leaked pin on page {} of node {:?}", page, node);
+            }
+        }
+    }
+}

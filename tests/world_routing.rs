@@ -1,0 +1,133 @@
+//! Tests of the composed world's plumbing: endpoint ownership routing,
+//! driver mailboxes, VMA SPY fan-out, and cross-driver isolation.
+
+use knet::harness::{await_event, kbuf, ubuf};
+use knet::prelude::*;
+use knet::Owner;
+use knet_core::{TransportEvent, TransportWorld};
+use knet_gm::GmPortId;
+
+#[test]
+fn driver_mailboxes_are_per_endpoint() {
+    let (mut w, n0, n1) = two_nodes();
+    let a = w.open_mx(n0, MxEndpointConfig::kernel(), Owner::Driver).unwrap();
+    let b1 = w.open_mx(n1, MxEndpointConfig::kernel(), Owner::Driver).unwrap();
+    let b2 = w.open_mx(n1, MxEndpointConfig::kernel(), Owner::Driver).unwrap();
+    let ka = kbuf(&mut w, n0, 4096);
+    w.os
+        .node_mut(n0)
+        .write_virt(Asid::KERNEL, ka.addr, b"to-b2")
+        .unwrap();
+    w.t_send(a, b2, 9, ka.iov(5), 0).unwrap();
+    knet_simcore::run_to_quiescence(&mut w);
+    assert!(!w.has_event(b1), "b1 must not see b2's traffic");
+    match w.take_event(b2) {
+        Some(TransportEvent::Unexpected { tag, data, from }) => {
+            assert_eq!(tag, 9);
+            assert_eq!(&data[..], b"to-b2");
+            assert_eq!(from, a);
+        }
+        other => panic!("expected delivery at b2, got {other:?}"),
+    }
+}
+
+#[test]
+fn reassigning_ownership_reroutes_events() {
+    let (mut w, n0, n1) = two_nodes();
+    let a = w.open_mx(n0, MxEndpointConfig::kernel(), Owner::Driver).unwrap();
+    let b = w.open_mx(n1, MxEndpointConfig::kernel(), Owner::Driver).unwrap();
+    let ka = kbuf(&mut w, n0, 4096);
+    // First message lands in the driver mailbox.
+    w.t_send(a, b, 1, ka.iov(8), 0).unwrap();
+    knet_simcore::run_to_quiescence(&mut w);
+    assert!(w.has_event(b));
+    w.take_event(b);
+    // Hand the endpoint to a socket; traffic now flows to the socket layer,
+    // not the mailbox.
+    let sock_b = knet_zsock::sock_create(&mut w, b, a).unwrap();
+    w.set_owner(b, Owner::Sock(sock_b));
+    w.t_send(a, b, 2, ka.iov(8), 0).unwrap();
+    knet_simcore::run_to_quiescence(&mut w);
+    assert!(!w.has_event(b), "socket-owned endpoint bypasses the mailbox");
+}
+
+#[test]
+fn vma_events_fan_out_to_all_gm_caches_on_the_node() {
+    let (mut w, n0, _n1) = two_nodes();
+    let buf = ubuf(&mut w, n0, 16 * 4096);
+    // Two kernel ports with caches on the same node.
+    let p1 = w
+        .open_gm(n0, GmPortConfig::kernel().with_regcache(64), Owner::Driver)
+        .unwrap();
+    let p2 = w
+        .open_gm(n0, GmPortConfig::kernel().with_regcache(64), Owner::Driver)
+        .unwrap();
+    for p in [p1, p2] {
+        knet_gm::gm_ensure_cached(&mut w, GmPortId(p.idx), buf.asid, buf.addr, 8 * 4096)
+            .unwrap();
+    }
+    knet_simos::munmap(&mut w, n0, buf.asid, buf.addr, 8 * 4096).unwrap();
+    for p in [p1, p2] {
+        let cache = w.gm.port(GmPortId(p.idx)).unwrap().regcache.as_ref().unwrap();
+        assert_eq!(cache.stats.invalidations, 8, "both caches notified");
+        assert!(cache.is_empty());
+    }
+    // The remaining (unmapped but previously pinned) frames are gone.
+    assert!(w.os.node(n0).space(buf.asid).unwrap().mapped_pages() == 8);
+}
+
+#[test]
+fn gm_and_mx_coexist_on_one_node_pair() {
+    // Both drivers on the same NICs at once: traffic stays separated by
+    // protocol and the translation table is shared without interference.
+    let (mut w, n0, n1) = two_nodes();
+    let ka = kbuf(&mut w, n0, 8192);
+    let kb = kbuf(&mut w, n1, 8192);
+    let gm_cfg = GmPortConfig::kernel().with_physical_api();
+    let ga = w.open_gm(n0, gm_cfg.clone(), Owner::Driver).unwrap();
+    let gb = w.open_gm(n1, gm_cfg, Owner::Driver).unwrap();
+    let ma = w.open_mx(n0, MxEndpointConfig::kernel(), Owner::Driver).unwrap();
+    let mb = w.open_mx(n1, MxEndpointConfig::kernel(), Owner::Driver).unwrap();
+    w.os
+        .node_mut(n0)
+        .write_virt(Asid::KERNEL, ka.addr, b"via GM !via MX ?")
+        .unwrap();
+    // Interleave sends on both drivers.
+    let phys = MemRef::physical(ka.addr.kernel_to_phys().unwrap(), 7);
+    w.t_send(ga, gb, 1, IoVec::single(phys), 0).unwrap();
+    w.t_send(ma, mb, 2, IoVec::single(MemRef::kernel(ka.addr.add(8), 7)), 0)
+        .unwrap();
+    let _ = kb;
+    // Both arrive, each at its own driver's endpoint.
+    let (gm_tag, gm_len) = match await_event(&mut w, gb) {
+        TransportEvent::Unexpected { tag, data, .. } => (tag, data.len()),
+        other => panic!("{other:?}"),
+    };
+    let (mx_tag, mx_data) = loop {
+        match await_event(&mut w, mb) {
+            TransportEvent::Unexpected { tag, data, .. } => break (tag, data),
+            _ => continue,
+        }
+    };
+    assert_eq!((gm_tag, gm_len), (1, 7));
+    assert_eq!(mx_tag, 2);
+    assert_eq!(&mx_data[..], b"via MX ");
+}
+
+#[test]
+fn unknown_destination_fails_cleanly() {
+    let (mut w, n0, _n1) = two_nodes();
+    let a = w.open_mx(n0, MxEndpointConfig::kernel(), Owner::Driver).unwrap();
+    let ka = kbuf(&mut w, n0, 4096);
+    let bogus = knet_core::Endpoint {
+        kind: TransportKind::Mx,
+        node: NodeId(1),
+        idx: 999,
+    };
+    assert!(w.t_send(a, bogus, 1, ka.iov(16), 0).is_err());
+    // GM: sending via a closed port errors too.
+    let g = w.open_gm(n0, GmPortConfig::kernel().with_physical_api(), Owner::Driver).unwrap();
+    knet_gm::gm_close_port(&mut w, GmPortId(g.idx)).unwrap();
+    let phys = MemRef::physical(ka.addr.kernel_to_phys().unwrap(), 4);
+    assert!(w.t_send(g, g, 1, IoVec::single(phys), 0).is_err());
+}
