@@ -34,7 +34,10 @@ fn buffered_mb(kind: TransportKind, combine: bool, record: u64) -> f64 {
 fn main() {
     println!("== Ablation 1: vectorial page-combining (ORFS/MX buffered) ==");
     println!("   (the Linux 2.6 behaviour of §3.3; GM cannot do this at all)\n");
-    println!("{:>12} {:>16} {:>16} {:>8}", "record", "per-page MB/s", "combined MB/s", "gain");
+    println!(
+        "{:>12} {:>16} {:>16} {:>8}",
+        "record", "per-page MB/s", "combined MB/s", "gain"
+    );
     for record in [16 * 1024u64, 65536, 256 * 1024] {
         let per_page = buffered_mb(TransportKind::Mx, false, record);
         let combined = buffered_mb(TransportKind::Mx, true, record);

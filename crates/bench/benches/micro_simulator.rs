@@ -6,7 +6,6 @@
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use knet::harness::{kbuf, transport_pingpong_us};
 use knet::prelude::*;
-use knet::Owner;
 
 fn bench_engine(c: &mut Criterion) {
     let mut g = c.benchmark_group("engine");
@@ -33,8 +32,7 @@ fn bench_engine(c: &mut Criterion) {
                     n: 0,
                 };
                 for i in 0..10_000u64 {
-                    w.sched
-                        .at(SimTime::from_nanos(i), |w: &mut W| w.n += 1);
+                    w.sched.at(SimTime::from_nanos(i), |w: &mut W| w.n += 1);
                 }
                 knet_simcore::run_to_quiescence(&mut w);
                 assert_eq!(w.n, 10_000);
@@ -52,12 +50,9 @@ fn bench_pingpong(c: &mut Criterion) {
         b.iter_batched(
             || {
                 let (mut w, n0, n1) = two_nodes();
-                let a = w
-                    .open_mx(n0, MxEndpointConfig::kernel(), Owner::Driver)
-                    .unwrap();
-                let bb = w
-                    .open_mx(n1, MxEndpointConfig::kernel(), Owner::Driver)
-                    .unwrap();
+                let cq = w.new_cq();
+                let a = w.open_mx_cq(n0, MxEndpointConfig::kernel(), cq).unwrap();
+                let bb = w.open_mx_cq(n1, MxEndpointConfig::kernel(), cq).unwrap();
                 let ka = kbuf(&mut w, n0, 4096);
                 let kb = kbuf(&mut w, n1, 4096);
                 (w, a, bb, ka, kb)
@@ -81,21 +76,12 @@ fn bench_structures(c: &mut Criterion) {
         b.iter(|| {
             let mut t = TransTable::new(8192);
             for vpn in 0..4096u64 {
-                t.insert(
-                    TransKey {
-                        asid: Asid(1),
-                        vpn,
-                    },
-                    PhysAddr::new(vpn << 12),
-                )
-                .unwrap();
+                t.insert(TransKey { asid: Asid(1), vpn }, PhysAddr::new(vpn << 12))
+                    .unwrap();
             }
             let mut acc = 0u64;
             for vpn in 0..4096u64 {
-                acc += t
-                    .lookup(Asid(1), VirtAddr::new(vpn << 12))
-                    .unwrap()
-                    .raw();
+                acc += t.lookup(Asid(1), VirtAddr::new(vpn << 12)).unwrap().raw();
             }
             acc
         })

@@ -1,0 +1,547 @@
+//! Channels, completion queues and the consumer dispatch registry — the
+//! handle-based face of the kernel network API.
+//!
+//! The raw [`TransportWorld`](crate::transport::TransportWorld) interface
+//! moves bytes but leaves two problems to its callers: *who* consumes an
+//! endpoint's completion events, and *how* driver quirks (GM's
+//! single-segment sends) surface. This module answers both:
+//!
+//! * A **[`Registry`]** maps endpoints to *consumers*. A consumer is either
+//!   a **completion queue** ([`CqId`]) that accumulates [`CqEntry`]s for a
+//!   polling driver, or a **handler** — an in-kernel upcall the way ORFS,
+//!   NBD and the socket layer consume their traffic. Events for endpoints
+//!   with no consumer yet are *parked* and replayed on bind, so wiring
+//!   order never loses traffic. The composed world routes every driver
+//!   event through [`deliver`]; it needs no knowledge of any application.
+//! * A **[`Channel`]** is a connected, tagged, vectored message pipe
+//!   between two endpoints, backed by a CQ. [`channel_send`] accepts
+//!   multi-segment [`IoVec`]s on *every* transport: on GM (not vectorial,
+//!   §4.1) the segments are coalesced through a per-channel kernel staging
+//!   buffer — the copy is charged to the CPU model, and the caller never
+//!   sees [`NetError::Unsupported`].
+//!
+//! Worlds participate by implementing [`DispatchWorld`]; applications
+//! attach with [`Registry::register`] + [`bind`] and are never named by the
+//! world again.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::rc::Rc;
+
+use knet_simos::{cpu_charge, Asid, NodeId, VirtAddr, VmaEvent};
+
+use crate::error::NetError;
+use crate::iovec::{read_iovec, IoVec, MemRef};
+use crate::transport::{Endpoint, TransportEvent, TransportKind, TransportWorld};
+
+/// Handle to a completion queue.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct CqId(pub u32);
+
+/// Handle to a registered consumer.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct ConsumerId(pub u32);
+
+/// Handle to a channel.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct ChannelId(pub u32);
+
+/// One completion-queue entry: which endpoint, what happened.
+#[derive(Clone, Debug)]
+pub struct CqEntry {
+    pub ep: Endpoint,
+    pub event: TransportEvent,
+}
+
+/// A world that hosts the dispatch registry. This is the trait application
+/// layers (ORFS, NBD, sockets) are written against.
+pub trait DispatchWorld: TransportWorld + Sized {
+    fn registry(&self) -> &Registry<Self>;
+    fn registry_mut(&mut self) -> &mut Registry<Self>;
+}
+
+type Handler<W> = Rc<dyn Fn(&mut W, Endpoint, TransportEvent)>;
+
+/// Where a consumer's events go.
+enum Sink<W> {
+    /// Accumulate in a completion queue for polling.
+    Cq(CqId),
+    /// Synchronous upcall into an application layer.
+    Handler(Handler<W>),
+}
+
+impl<W> Clone for Sink<W> {
+    fn clone(&self) -> Self {
+        match self {
+            Sink::Cq(cq) => Sink::Cq(*cq),
+            Sink::Handler(h) => Sink::Handler(Rc::clone(h)),
+        }
+    }
+}
+
+struct Consumer<W> {
+    name: String,
+    sink: Sink<W>,
+}
+
+/// Registry counters (observable by tests and reports).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RegistryStats {
+    /// Events routed to a consumer.
+    pub delivered: u64,
+    /// Events parked because their endpoint had no consumer.
+    pub parked: u64,
+    /// Parked events replayed when a consumer bound.
+    pub replayed: u64,
+    /// Events dropped because their completion queue was destroyed.
+    pub dropped: u64,
+}
+
+/// Per-channel state.
+pub struct Channel {
+    pub local: Endpoint,
+    /// `None` until the accepting side learns its peer from the first
+    /// inbound message.
+    pub peer: Option<Endpoint>,
+    pub cq: CqId,
+    consumer: ConsumerId,
+    /// Kernel staging buffer for coalescing vectored sends on GM.
+    staging: Option<(VirtAddr, u64)>,
+    next_ctx: u64,
+    /// Bytes copied through the staging buffer (coalescing cost indicator).
+    pub coalesced_bytes: u64,
+}
+
+/// Endpoint → consumer dispatch, completion queues, channels.
+pub struct Registry<W> {
+    consumers: BTreeMap<u32, Consumer<W>>,
+    next_consumer: u32,
+    routes: BTreeMap<(TransportKind, u32), ConsumerId>,
+    cqs: BTreeMap<u32, VecDeque<CqEntry>>,
+    next_cq: u32,
+    parked: BTreeMap<(TransportKind, u32), VecDeque<TransportEvent>>,
+    channels: BTreeMap<u32, Channel>,
+    /// Endpoint → channel, for peer learning on accept.
+    channel_routes: BTreeMap<(TransportKind, u32), ChannelId>,
+    next_channel: u32,
+    pub stats: RegistryStats,
+}
+
+impl<W> Default for Registry<W> {
+    fn default() -> Self {
+        Registry {
+            consumers: BTreeMap::new(),
+            next_consumer: 0,
+            routes: BTreeMap::new(),
+            cqs: BTreeMap::new(),
+            next_cq: 0,
+            parked: BTreeMap::new(),
+            channels: BTreeMap::new(),
+            channel_routes: BTreeMap::new(),
+            next_channel: 0,
+            stats: RegistryStats::default(),
+        }
+    }
+}
+
+fn key(ep: Endpoint) -> (TransportKind, u32) {
+    (ep.kind, ep.idx)
+}
+
+impl<W> Registry<W> {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    // ------------------------------------------------------------ queues
+
+    /// Create an empty completion queue.
+    pub fn create_cq(&mut self) -> CqId {
+        let id = CqId(self.next_cq);
+        self.next_cq += 1;
+        self.cqs.insert(id.0, VecDeque::new());
+        id
+    }
+
+    /// Destroy a queue, dropping any entries still in it.
+    pub fn destroy_cq(&mut self, cq: CqId) {
+        self.cqs.remove(&cq.0);
+    }
+
+    fn cq_push(&mut self, cq: CqId, ep: Endpoint, event: TransportEvent) {
+        // A destroyed queue stays destroyed: events for it are dropped, not
+        // silently resurrected into a queue nobody polls.
+        match self.cqs.get_mut(&cq.0) {
+            Some(q) => q.push_back(CqEntry { ep, event }),
+            None => self.stats.dropped += 1,
+        }
+    }
+
+    /// Pop the oldest entry of the queue.
+    pub fn cq_pop(&mut self, cq: CqId) -> Option<CqEntry> {
+        self.cqs.get_mut(&cq.0)?.pop_front()
+    }
+
+    /// Pop the oldest entry of the queue *for this endpoint* (entries for
+    /// other endpoints sharing the queue keep their order).
+    pub fn cq_pop_for(&mut self, cq: CqId, ep: Endpoint) -> Option<CqEntry> {
+        let q = self.cqs.get_mut(&cq.0)?;
+        let pos = q.iter().position(|e| e.ep == ep)?;
+        q.remove(pos)
+    }
+
+    pub fn cq_len(&self, cq: CqId) -> usize {
+        self.cqs.get(&cq.0).map(VecDeque::len).unwrap_or(0)
+    }
+
+    /// The queue the endpoint's consumer feeds, when it is queue-backed.
+    pub fn cq_of(&self, ep: Endpoint) -> Option<CqId> {
+        let cid = self.routes.get(&key(ep))?;
+        match self.consumers.get(&cid.0)?.sink {
+            Sink::Cq(cq) => Some(cq),
+            Sink::Handler(_) => None,
+        }
+    }
+
+    /// Is an event waiting for `ep` on its bound queue?
+    pub fn has_event(&self, ep: Endpoint) -> bool {
+        self.cq_of(ep)
+            .and_then(|cq| self.cqs.get(&cq.0))
+            .map(|q| q.iter().any(|e| e.ep == ep))
+            .unwrap_or(false)
+    }
+
+    /// Pop the next event for `ep` from its bound queue.
+    pub fn take_event(&mut self, ep: Endpoint) -> Option<TransportEvent> {
+        let cq = self.cq_of(ep)?;
+        self.cq_pop_for(cq, ep).map(|e| e.event)
+    }
+
+    // --------------------------------------------------------- consumers
+
+    /// Register an upcall consumer (how in-kernel applications attach).
+    pub fn register(
+        &mut self,
+        name: &str,
+        handler: impl Fn(&mut W, Endpoint, TransportEvent) + 'static,
+    ) -> ConsumerId {
+        self.insert_consumer(name, Sink::Handler(Rc::new(handler)))
+    }
+
+    /// Register a queue-backed consumer (how polling drivers attach).
+    pub fn register_cq(&mut self, name: &str, cq: CqId) -> ConsumerId {
+        self.insert_consumer(name, Sink::Cq(cq))
+    }
+
+    fn insert_consumer(&mut self, name: &str, sink: Sink<W>) -> ConsumerId {
+        let id = ConsumerId(self.next_consumer);
+        self.next_consumer += 1;
+        self.consumers.insert(
+            id.0,
+            Consumer {
+                name: name.to_string(),
+                sink,
+            },
+        );
+        id
+    }
+
+    /// Remove a consumer and every route pointing at it. Future events for
+    /// those endpoints park until someone else binds. Returns whether the
+    /// consumer existed.
+    pub fn deregister(&mut self, cid: ConsumerId) -> bool {
+        let existed = self.consumers.remove(&cid.0).is_some();
+        self.routes.retain(|_, c| *c != cid);
+        existed
+    }
+
+    /// The consumer currently bound to `ep`.
+    pub fn consumer_of(&self, ep: Endpoint) -> Option<ConsumerId> {
+        self.routes.get(&key(ep)).copied()
+    }
+
+    /// The display name of a consumer.
+    pub fn consumer_name(&self, cid: ConsumerId) -> Option<&str> {
+        self.consumers.get(&cid.0).map(|c| c.name.as_str())
+    }
+
+    /// Drop the route for `ep` (events park again). Returns the previous
+    /// consumer, if any.
+    pub fn unbind(&mut self, ep: Endpoint) -> Option<ConsumerId> {
+        self.routes.remove(&key(ep))
+    }
+
+    /// Parked events waiting for `ep` (unbound endpoints).
+    pub fn parked_len(&self, ep: Endpoint) -> usize {
+        self.parked.get(&key(ep)).map(VecDeque::len).unwrap_or(0)
+    }
+
+    // ---------------------------------------------------------- channels
+
+    pub fn channel(&self, ch: ChannelId) -> Option<&Channel> {
+        self.channels.get(&ch.0)
+    }
+
+    /// Record the peer of an accept-side channel from its first inbound
+    /// message (unexpected delivery or posted-receive completion).
+    fn note_channel_event(&mut self, ep: Endpoint, ev: &TransportEvent) {
+        let from = match ev {
+            TransportEvent::Unexpected { from, .. } | TransportEvent::RecvDone { from, .. } => {
+                *from
+            }
+            TransportEvent::SendDone { .. } => return,
+        };
+        if let Some(chid) = self.channel_routes.get(&key(ep)) {
+            if let Some(ch) = self.channels.get_mut(&chid.0) {
+                if ch.peer.is_none() {
+                    ch.peer = Some(from);
+                }
+            }
+        }
+    }
+}
+
+/// Bind `ep` to consumer `cid`, replacing any previous binding and
+/// replaying events that parked while the endpoint was unbound. A displaced
+/// queue-backed consumer with no remaining routes is garbage-collected
+/// (handler consumers stay registered — services may bind them to other
+/// endpoints later).
+pub fn bind<W: DispatchWorld>(w: &mut W, ep: Endpoint, cid: ConsumerId) {
+    let r = w.registry_mut();
+    let displaced = r.routes.insert(key(ep), cid);
+    if let Some(prev) = displaced.filter(|p| *p != cid) {
+        let routeless = !r.routes.values().any(|c| *c == prev);
+        let is_cq = matches!(r.consumers.get(&prev.0).map(|c| &c.sink), Some(Sink::Cq(_)));
+        if routeless && is_cq {
+            r.consumers.remove(&prev.0);
+        }
+    }
+    let Some(parked) = r.parked.remove(&key(ep)) else {
+        return;
+    };
+    for ev in parked {
+        w.registry_mut().stats.replayed += 1;
+        deliver(w, ep, ev);
+    }
+}
+
+/// Route one transport event to the endpoint's consumer. This is the single
+/// entry point the composed world calls from its driver dispatch loops.
+pub fn deliver<W: DispatchWorld>(w: &mut W, ep: Endpoint, ev: TransportEvent) {
+    let sink = {
+        let r = w.registry_mut();
+        r.note_channel_event(ep, &ev);
+        match r.routes.get(&key(ep)) {
+            Some(cid) => r.consumers.get(&cid.0).map(|c| c.sink.clone()),
+            None => None,
+        }
+    };
+    match sink {
+        None => {
+            let r = w.registry_mut();
+            r.stats.parked += 1;
+            r.parked.entry(key(ep)).or_default().push_back(ev);
+        }
+        Some(Sink::Cq(cq)) => {
+            let r = w.registry_mut();
+            r.stats.delivered += 1;
+            r.cq_push(cq, ep, ev);
+        }
+        Some(Sink::Handler(h)) => {
+            w.registry_mut().stats.delivered += 1;
+            h(w, ep, ev);
+        }
+    }
+}
+
+// ------------------------------------------------------------------ channels
+
+fn create_channel<W: DispatchWorld>(
+    w: &mut W,
+    local: Endpoint,
+    peer: Option<Endpoint>,
+    cq: CqId,
+) -> ChannelId {
+    let r = w.registry_mut();
+    let id = ChannelId(r.next_channel);
+    r.next_channel += 1;
+    let consumer = r.register_cq(&format!("channel-{}", id.0), cq);
+    r.channels.insert(
+        id.0,
+        Channel {
+            local,
+            peer,
+            cq,
+            consumer,
+            staging: None,
+            next_ctx: 1,
+            coalesced_bytes: 0,
+        },
+    );
+    r.channel_routes.insert(key(local), id);
+    bind(w, local, consumer);
+    id
+}
+
+/// Open the active side of a channel: `local` will exchange tagged messages
+/// with `peer`, completions arriving on `cq`.
+pub fn channel_connect<W: DispatchWorld>(
+    w: &mut W,
+    local: Endpoint,
+    peer: Endpoint,
+    cq: CqId,
+) -> ChannelId {
+    create_channel(w, local, Some(peer), cq)
+}
+
+/// Open the passive side: the peer is learned from the first inbound
+/// message (visible via [`channel_peer`]); sends before that fail with
+/// [`NetError::BadDestination`].
+pub fn channel_accept<W: DispatchWorld>(w: &mut W, local: Endpoint, cq: CqId) -> ChannelId {
+    create_channel(w, local, None, cq)
+}
+
+/// The channel's peer, once known.
+pub fn channel_peer<W: DispatchWorld>(w: &W, ch: ChannelId) -> Option<Endpoint> {
+    w.registry().channel(ch).and_then(|c| c.peer)
+}
+
+/// The channel's completion queue.
+pub fn channel_cq<W: DispatchWorld>(w: &W, ch: ChannelId) -> Option<CqId> {
+    w.registry().channel(ch).map(|c| c.cq)
+}
+
+/// Send a tagged, possibly multi-segment message on the channel. Returns
+/// the completion context that the eventual `SendDone` will carry.
+///
+/// On GM the driver only accepts single-segment sends (§4.1); multi-segment
+/// io-vectors are transparently gathered into the channel's kernel staging
+/// buffer (one memcpy, charged to the CPU model) so the caller-visible
+/// contract is vectored I/O on every transport.
+pub fn channel_send<W: DispatchWorld>(
+    w: &mut W,
+    ch: ChannelId,
+    tag: u64,
+    iov: IoVec,
+) -> Result<u64, NetError> {
+    let (local, peer, ctx) = {
+        let r = w.registry_mut();
+        let c = r.channels.get_mut(&ch.0).ok_or(NetError::BadEndpoint)?;
+        let peer = c.peer.ok_or(NetError::BadDestination)?;
+        let ctx = c.next_ctx;
+        c.next_ctx += 1;
+        (c.local, peer, ctx)
+    };
+    let (iov, coalesced) = coalesce_for_transport(w, ch, local, iov)?;
+    w.t_send(local, peer, tag, iov, ctx)?;
+    // Account the gather copy only once the send is accepted, so a failed
+    // send (e.g. out of tokens) retried later is not double-charged.
+    if coalesced > 0 {
+        let node = local.node;
+        let cost = w.os().node(node).cpu.model.memcpy_cost(coalesced);
+        cpu_charge(w, node, cost);
+        if let Some(c) = w.registry_mut().channels.get_mut(&ch.0) {
+            c.coalesced_bytes += coalesced;
+        }
+    }
+    Ok(ctx)
+}
+
+/// Arm a tagged receive on the channel; completion (`RecvDone` with the
+/// returned context) arrives on the channel's CQ.
+pub fn channel_post_recv<W: DispatchWorld>(
+    w: &mut W,
+    ch: ChannelId,
+    tag: u64,
+    iov: IoVec,
+) -> Result<u64, NetError> {
+    let (local, ctx) = {
+        let r = w.registry_mut();
+        let c = r.channels.get_mut(&ch.0).ok_or(NetError::BadEndpoint)?;
+        let ctx = c.next_ctx;
+        c.next_ctx += 1;
+        (c.local, ctx)
+    };
+    w.t_post_recv(local, tag, iov, ctx)?;
+    Ok(ctx)
+}
+
+/// Withdraw a posted receive by tag (see
+/// [`TransportWorld::t_cancel_recv`](crate::transport::TransportWorld::t_cancel_recv)
+/// for the contract).
+pub fn channel_cancel_recv<W: DispatchWorld>(w: &mut W, ch: ChannelId, tag: u64) -> bool {
+    let Some(local) = w.registry().channel(ch).map(|c| c.local) else {
+        return false;
+    };
+    w.t_cancel_recv(local, tag)
+}
+
+/// Close a channel: unbind its endpoint (future events park), release the
+/// staging buffer, drop its state. The CQ is caller-owned and survives.
+pub fn channel_close<W: DispatchWorld>(w: &mut W, ch: ChannelId) {
+    let Some(c) = w.registry_mut().channels.remove(&ch.0) else {
+        return;
+    };
+    let r = w.registry_mut();
+    r.channel_routes.remove(&key(c.local));
+    r.unbind(c.local);
+    r.deregister(c.consumer);
+    if let Some((addr, len)) = c.staging {
+        free_staging(w, c.local.node, addr, len);
+    }
+}
+
+/// Release a kernel staging buffer, first invalidating any registrations
+/// the drivers cached for it. Kernel `kfree` emits no VMA-SPY event of its
+/// own, so registration caches (and through them the NIC translation
+/// tables) would otherwise keep entries for freed pages.
+fn free_staging<W: DispatchWorld>(w: &mut W, node: NodeId, addr: VirtAddr, len: u64) {
+    w.vma_event(node, VmaEvent::unmap(Asid::KERNEL, addr, len));
+    let _ = w.os_mut().node_mut(node).kfree(addr, len);
+}
+
+/// Coalesce a multi-segment io-vector into the channel's kernel staging
+/// buffer when the transport cannot take it as-is (GM). Single-segment
+/// vectors and vectorial transports pass through untouched.
+/// Returns the (possibly rewritten) io-vector plus the number of bytes
+/// gathered through the staging buffer (0 when passed through untouched);
+/// the caller charges the copy once the send is accepted.
+fn coalesce_for_transport<W: DispatchWorld>(
+    w: &mut W,
+    ch: ChannelId,
+    local: Endpoint,
+    iov: IoVec,
+) -> Result<(IoVec, u64), NetError> {
+    if local.kind != TransportKind::Gm || iov.seg_count() <= 1 {
+        return Ok((iov, 0));
+    }
+    let len = iov.total_len();
+    let node = local.node;
+    // Grow (or create) the staging buffer to fit.
+    let staging = {
+        let cur = w
+            .registry()
+            .channel(ch)
+            .ok_or(NetError::BadEndpoint)?
+            .staging;
+        match cur {
+            Some((addr, cap)) if cap >= len => addr,
+            other => {
+                if let Some((addr, cap)) = other {
+                    free_staging(w, node, addr, cap);
+                }
+                let addr = w.os_mut().node_mut(node).kalloc(len)?;
+                if let Some(c) = w.registry_mut().channels.get_mut(&ch.0) {
+                    c.staging = Some((addr, len));
+                }
+                addr
+            }
+        }
+    };
+    // Gather in one pass over the segments (the copy cost is charged by the
+    // caller once the send goes out).
+    let data = read_iovec(w.os().node(node), &iov)?;
+    w.os_mut()
+        .node_mut(node)
+        .write_virt(Asid::KERNEL, staging, &data)?;
+    Ok((IoVec::single(MemRef::kernel(staging, len)), len))
+}

@@ -86,9 +86,7 @@ impl MemRef {
             MemRef::UserVirtual { addr, len, .. } | MemRef::KernelVirtual { addr, len } => {
                 pages_spanned(addr, len)
             }
-            MemRef::Physical { addr, len } => {
-                pages_spanned(VirtAddr::new(addr.raw()), len)
-            }
+            MemRef::Physical { addr, len } => pages_spanned(VirtAddr::new(addr.raw()), len),
         }
     }
 }
@@ -247,9 +245,7 @@ pub fn write_iovec(node: &mut NodeOs, iov: &IoVec, data: &[u8]) -> Result<u64, N
         let chunk = &data[done..done + n];
         match *seg {
             MemRef::Physical { addr, .. } => node.mem.write(addr, chunk)?,
-            MemRef::KernelVirtual { addr, .. } => {
-                node.write_virt(Asid::KERNEL, addr, chunk)?
-            }
+            MemRef::KernelVirtual { addr, .. } => node.write_virt(Asid::KERNEL, addr, chunk)?,
             MemRef::UserVirtual { asid, addr, .. } => node.write_virt(asid, addr, chunk)?,
         }
         done += n;

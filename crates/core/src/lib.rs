@@ -11,15 +11,25 @@
 //! * [`transport`] — the unified endpoint interface the in-kernel
 //!   applications (ORFS, zero-copy sockets) are written against, so the same
 //!   client code runs over GM and MX exactly as in the paper's evaluation;
+//! * [`api`] — the handle-based layer above it: typed **channels**,
+//!   **completion queues**, and the **consumer dispatch registry** that
+//!   applications register against (no composed-world edits to add a
+//!   workload), with API-level coalescing of vectored sends on GM;
 //! * [`error`] — the unified error type.
 //!
 //! The two drivers implementing this API live in `knet-gm` and `knet-mx`.
 
+pub mod api;
 pub mod error;
 pub mod iovec;
 pub mod regcache;
 pub mod transport;
 
+pub use api::{
+    bind, channel_accept, channel_cancel_recv, channel_close, channel_connect, channel_cq,
+    channel_peer, channel_post_recv, channel_send, deliver, Channel, ChannelId, ConsumerId,
+    CqEntry, CqId, DispatchWorld, Registry, RegistryStats,
+};
 pub use error::NetError;
 pub use iovec::{
     chunk_segments, read_iovec, resolve_iovec, seg_window, write_iovec, AddrClass, IoVec, MemRef,

@@ -148,11 +148,8 @@ impl RegCache {
     /// Remove the `n` least-recently-used entries; the caller must
     /// deregister them from the NIC and unpin their frames.
     pub fn evict_lru(&mut self, n: usize) -> Vec<(RegKey, FrameIdx)> {
-        let mut by_age: Vec<(u64, RegKey)> = self
-            .entries
-            .iter()
-            .map(|(k, e)| (e.last_use, *k))
-            .collect();
+        let mut by_age: Vec<(u64, RegKey)> =
+            self.entries.iter().map(|(k, e)| (e.last_use, *k)).collect();
         by_age.sort_unstable();
         let victims: Vec<RegKey> = by_age.into_iter().take(n).map(|(_, k)| k).collect();
         let mut out = Vec::with_capacity(victims.len());
@@ -174,9 +171,10 @@ impl RegCache {
     /// guarantees.
     pub fn invalidate(&mut self, ev: &VmaEvent) -> Vec<(RegKey, FrameIdx)> {
         let range = match ev.change {
-            VmaChange::Unmap { start, len } | VmaChange::Protect { start, len } => {
-                Some((start.vpn(), VirtAddr::new(start.raw() + len.max(1) - 1).vpn()))
-            }
+            VmaChange::Unmap { start, len } | VmaChange::Protect { start, len } => Some((
+                start.vpn(),
+                VirtAddr::new(start.raw() + len.max(1) - 1).vpn(),
+            )),
             VmaChange::Exit => None, // the whole space
             VmaChange::Fork { .. } => return Vec::new(),
         };
@@ -220,11 +218,8 @@ impl RegCache {
 
     /// Drop everything (port close); returns entries to deregister.
     pub fn drain(&mut self) -> Vec<(RegKey, FrameIdx)> {
-        let out: Vec<(RegKey, FrameIdx)> = self
-            .entries
-            .iter()
-            .map(|(k, e)| (*k, e.frame))
-            .collect();
+        let out: Vec<(RegKey, FrameIdx)> =
+            self.entries.iter().map(|(k, e)| (*k, e.frame)).collect();
         self.entries.clear();
         out
     }

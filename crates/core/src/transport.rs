@@ -37,8 +37,13 @@ pub enum TransportEvent {
     /// A send completed; `ctx` is the caller's cookie.
     SendDone { ctx: u64 },
     /// A posted receive completed: `len` bytes matching `tag` landed in the
-    /// posted io-vector.
-    RecvDone { ctx: u64, tag: u64, len: u64 },
+    /// posted io-vector, sent by `from`.
+    RecvDone {
+        ctx: u64,
+        tag: u64,
+        len: u64,
+        from: Endpoint,
+    },
     /// A message arrived with no matching posted receive. The payload is
     /// delivered inline from the driver's bounce buffers (the copy cost was
     /// charged by the driver).
@@ -69,16 +74,32 @@ pub trait TransportWorld: NicWorld {
         ctx: u64,
     ) -> Result<(), NetError>;
 
-    fn t_post_recv(
-        &mut self,
-        ep: Endpoint,
-        tag: u64,
-        iov: IoVec,
-        ctx: u64,
-    ) -> Result<(), NetError>;
+    fn t_post_recv(&mut self, ep: Endpoint, tag: u64, iov: IoVec, ctx: u64)
+        -> Result<(), NetError>;
 
-    /// Withdraw a posted receive by tag (true when one was withdrawn).
-    /// Layered protocols use this when a payload overtakes its descriptor.
+    /// Withdraw a posted receive by tag.
+    ///
+    /// Contract — identical on GM and MX (tested by
+    /// `tests/channel_api.rs::cancel_recv_contract_is_identical_on_gm_and_mx`):
+    ///
+    /// * Returns `true` **iff a posted receive was withdrawn**: one armed by
+    ///   `t_post_recv` with this `tag` was still pending (not yet matched by
+    ///   an inbound message) and has now been removed. Any resources the
+    ///   driver took while arming it (MX pins user pages; GM holds the
+    ///   provided buffer) are released.
+    /// * Returns `false` when nothing was withdrawn: no receive with this
+    ///   tag was ever posted, it already completed (`RecvDone` was or will
+    ///   be delivered), or it was already cancelled. Cancelling is
+    ///   idempotent — a second call with the same tag returns `false`.
+    /// * A receive that matched an in-flight message (e.g. an MX rendezvous
+    ///   mid-transfer) is *consumed*, not pending: cancelling it returns
+    ///   `false` and the transfer completes normally.
+    /// * **Payload-overtakes-descriptor**: when the payload arrived before
+    ///   the receive was posted, it was delivered as `Unexpected` and the
+    ///   later-posted receive stays armed forever (tags are not matched
+    ///   retroactively). Cancelling it returns `true`. This is the case the
+    ///   zero-copy socket layer relies on (`knet-zsock`): it withdraws the
+    ///   now-useless descriptor and lands the bytes by copy.
     fn t_cancel_recv(&mut self, ep: Endpoint, tag: u64) -> bool;
 }
 

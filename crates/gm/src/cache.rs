@@ -129,8 +129,16 @@ fn register_one<W: GmWorld>(
     asid: knet_simos::Asid,
     page: VirtAddr,
 ) -> Result<FrameIdx, NetError> {
-    w.os_mut().node_mut(node).pin_range(asid, page, 1)?;
-    let phys = w.os().node(node).space(asid)?.translate(page)?;
+    // Kernel direct-map memory is unswappable: no pinning, translation by
+    // subtraction. Only the NIC-table entry is needed (stock GM requires
+    // kernel buffers to be registered like any other, §2.2.2 / Table 1).
+    let phys = if asid.is_kernel() {
+        page.kernel_to_phys()
+            .ok_or(knet_core::NetError::BadAddressClass)?
+    } else {
+        w.os_mut().node_mut(node).pin_range(asid, page, 1)?;
+        w.os().node(node).space(asid)?.translate(page)?
+    };
     let frame = FrameIdx::from_phys(phys);
     let tt = &mut w.nics_mut().get_mut(nic).ttable;
     if let Err(e) = tt.insert(
@@ -140,7 +148,9 @@ fn register_one<W: GmWorld>(
         },
         phys,
     ) {
-        w.os_mut().node_mut(node).mem.unpin(frame).ok();
+        if !asid.is_kernel() {
+            w.os_mut().node_mut(node).mem.unpin(frame).ok();
+        }
         return Err(e.into());
     }
     Ok(frame)
@@ -157,7 +167,10 @@ fn drop_registrations<W: GmWorld>(
             asid: key.asid,
             vpn: key.vpn,
         });
-        w.os_mut().node_mut(node).mem.unpin(*frame).ok();
+        // Kernel pages were never pinned by the cache (direct map).
+        if !key.asid.is_kernel() {
+            w.os_mut().node_mut(node).mem.unpin(*frame).ok();
+        }
     }
 }
 

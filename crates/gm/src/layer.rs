@@ -17,9 +17,7 @@
 use std::collections::{BTreeMap, VecDeque};
 
 use bytes::Bytes;
-use knet_core::{
-    chunk_segments, seg_window, IoVec, MemRef, NetError, RegCache, RegKey,
-};
+use knet_core::{chunk_segments, seg_window, IoVec, MemRef, NetError, RegCache, RegKey};
 use knet_simcore::SimTime;
 use knet_simnic::{
     dma_charge, dma_gather, dma_scatter, fw_charge, wire_send, NicId, NicWorld, Packet, Proto,
@@ -260,10 +258,7 @@ pub fn gm_open_port<W: GmWorld>(
     node: NodeId,
     cfg: GmPortConfig,
 ) -> Result<GmPortId, NetError> {
-    let nic = w
-        .nics()
-        .nic_of_node(node)
-        .ok_or(NetError::BadEndpoint)?;
+    let nic = w.nics().nic_of_node(node).ok_or(NetError::BadEndpoint)?;
     let send_tokens = w.gm().params.send_tokens;
     let id = GmPortId(w.gm().ports.len() as u32);
     let port = GmPort {
@@ -399,10 +394,10 @@ pub fn gm_deregister<W: GmWorld>(
         let entry = w.gm_mut().port_mut(port_id)?.explicit.remove(&key);
         let Some(frame) = entry else { continue };
         pages += 1;
-        w.nics_mut().get_mut(nic).ttable.remove(TransKey {
-            asid,
-            vpn: key.vpn,
-        });
+        w.nics_mut()
+            .get_mut(nic)
+            .ttable
+            .remove(TransKey { asid, vpn: key.vpn });
         if let Some(f) = frame {
             w.os_mut().node_mut(node).mem.unpin(f)?;
         }
@@ -448,9 +443,7 @@ fn resolve_for_wire<W: GmWorld>(
             if physical_api {
                 // Patched GM: the kernel hands over the direct-mapped
                 // physical address; no NIC lookup.
-                let p = addr
-                    .kernel_to_phys()
-                    .ok_or(NetError::BadAddressClass)?;
+                let p = addr.kernel_to_phys().ok_or(NetError::BadAddressClass)?;
                 return Ok((vec![PhysSeg::new(p, len)], SimTime::ZERO));
             }
             // Stock GM: kernel memory must be registered like any other
@@ -486,7 +479,14 @@ fn resolve_for_wire<W: GmWorld>(
 
 const PKT_KIND_DATA: u8 = 0;
 
-fn pack_meta(dst: GmPortId, src: GmPortId, tag: u64, msg_id: u64, offset: u64, total: u64) -> [u64; 4] {
+fn pack_meta(
+    dst: GmPortId,
+    src: GmPortId,
+    tag: u64,
+    msg_id: u64,
+    offset: u64,
+    total: u64,
+) -> [u64; 4] {
     [
         (dst.0 as u64) | ((src.0 as u64) << 32),
         tag,
@@ -652,13 +652,16 @@ pub fn gm_provide_receive_buffer<W: GmWorld>(
         host_cost += params.kernel_op_extra;
     }
     cpu_charge(w, node, host_cost);
-    w.gm_mut().port_mut(port_id)?.recv_queue.push_back(ProvidedBuffer {
-        tag,
-        segs,
-        capacity,
-        ctx,
-        translate_cost,
-    });
+    w.gm_mut()
+        .port_mut(port_id)?
+        .recv_queue
+        .push_back(ProvidedBuffer {
+            tag,
+            segs,
+            capacity,
+            ctx,
+            translate_cost,
+        });
     Ok(())
 }
 
@@ -726,8 +729,7 @@ pub fn gm_on_packet<W: GmWorld>(w: &mut W, nic: NicId, pkt: Packet) {
         }
     };
     let dma_done = if is_matched {
-        dma_scatter(w, nic, fw_done, &target_segs, &pkt.payload)
-            .unwrap_or(fw_done)
+        dma_scatter(w, nic, fw_done, &target_segs, &pkt.payload).unwrap_or(fw_done)
     } else {
         // Bounce pool: DMA into pre-registered kernel ring.
         let t = dma_charge(w, nic, fw_done, payload_len);
@@ -774,12 +776,7 @@ pub fn gm_on_packet<W: GmWorld>(w: &mut W, nic: NicId, pkt: Packet) {
         Some(buf) => {
             let done = {
                 let start = ev_dma.max(knet_simcore::now(w));
-                let (_, end) = w
-                    .os_mut()
-                    .node_mut(node)
-                    .cpu
-                    .busy
-                    .acquire(start, host_cost);
+                let (_, end) = w.os_mut().node_mut(node).cpu.busy.acquire(start, host_cost);
                 end
             };
             let port_id = a.dst_port;
@@ -800,12 +797,7 @@ pub fn gm_on_packet<W: GmWorld>(w: &mut W, nic: NicId, pkt: Packet) {
         }
         None => {
             // Unexpected: the host copies the message out of the bounce pool.
-            let copy = w
-                .os()
-                .node(node)
-                .cpu
-                .model
-                .ring_copy_cost(a.total);
+            let copy = w.os().node(node).cpu.model.ring_copy_cost(a.total);
             let done = {
                 let start = ev_dma.max(knet_simcore::now(w));
                 let (_, end) = w

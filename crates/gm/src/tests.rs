@@ -5,9 +5,7 @@ use bytes::Bytes;
 use knet_core::{IoVec, MemRef, NetError};
 use knet_simcore::{run_to_quiescence, run_until, RunOutcome, Scheduler, SimTime, SimWorld};
 use knet_simnic::{NicId, NicLayer, NicModel, NicWorld, Packet, Proto};
-use knet_simos::{
-    munmap, CpuModel, NodeId, OsLayer, OsWorld, Prot, VirtAddr, VmaEvent, PAGE_SIZE,
-};
+use knet_simos::{munmap, CpuModel, NodeId, OsLayer, OsWorld, Prot, VirtAddr, VmaEvent, PAGE_SIZE};
 
 use crate::cache::{gm_on_vma_event, gm_send_cached};
 use crate::layer::{
@@ -83,9 +81,12 @@ fn world() -> (World, NodeId, NodeId) {
 }
 
 fn has_recv(w: &World, port: GmPortId) -> bool {
-    w.gm
-        .port(port)
-        .map(|p| p.events.iter().any(|e| matches!(e, GmEvent::RecvDone { .. })))
+    w.gm.port(port)
+        .map(|p| {
+            p.events
+                .iter()
+                .any(|e| matches!(e, GmEvent::RecvDone { .. }))
+        })
         .unwrap_or(false)
 }
 
@@ -105,11 +106,7 @@ struct UserBuf {
     addr: VirtAddr,
 }
 
-fn make_user_port(
-    w: &mut World,
-    node: NodeId,
-    len: u64,
-) -> (GmPortId, UserBuf) {
+fn make_user_port(w: &mut World, node: NodeId, len: u64) -> (GmPortId, UserBuf) {
     let asid = w.os.node_mut(node).create_process();
     let addr = w.os.node_mut(node).map_anon(asid, len, Prot::RW).unwrap();
     let port = gm_open_port(w, node, GmPortConfig::user(asid)).unwrap();
@@ -270,8 +267,7 @@ fn payload_data_is_delivered_intact() {
     let (pa, ba) = make_user_port(&mut w, n0, alloc);
     let (pb, bb) = make_user_port(&mut w, n1, alloc);
     let data: Vec<u8> = (0..len).map(|i| (i * 7 % 251) as u8).collect();
-    w.os
-        .node_mut(n0)
+    w.os.node_mut(n0)
         .write_virt(ba.asid, ba.addr, &data)
         .unwrap();
     gm_provide_receive_buffer(
@@ -294,7 +290,12 @@ fn payload_data_is_delivered_intact() {
     run_to_quiescence(&mut w);
     let ev = pop_recv(&mut w, pb);
     match ev {
-        GmEvent::RecvDone { ctx, tag, len: l, from } => {
+        GmEvent::RecvDone {
+            ctx,
+            tag,
+            len: l,
+            from,
+        } => {
             assert_eq!(ctx, 7);
             assert_eq!(tag, 42);
             assert_eq!(l, len as u64);
@@ -303,25 +304,29 @@ fn payload_data_is_delivered_intact() {
         other => panic!("unexpected event {other:?}"),
     }
     let mut back = vec![0u8; len];
-    w.os.node(n1).read_virt(bb.asid, bb.addr, &mut back).unwrap();
+    w.os.node(n1)
+        .read_virt(bb.asid, bb.addr, &mut back)
+        .unwrap();
     assert_eq!(back, data, "received bytes differ");
     // Sender got its completion and token back.
     let sender_events: Vec<_> = std::iter::from_fn(|| gm_next_event(&mut w, pa)).collect();
     assert!(sender_events
         .iter()
         .any(|e| matches!(e, GmEvent::SendDone { ctx: 9 })));
-    assert_eq!(w.gm.port(pa).unwrap().tokens(), GmParams::default().send_tokens);
+    assert_eq!(
+        w.gm.port(pa).unwrap().tokens(),
+        GmParams::default().send_tokens
+    );
 }
 
 #[test]
 fn unregistered_send_fails() {
     let (mut w, n0, n1) = world();
     let asid = w.os.node_mut(n0).create_process();
-    let addr = w
-        .os
-        .node_mut(n0)
-        .map_anon(asid, PAGE_SIZE, Prot::RW)
-        .unwrap();
+    let addr =
+        w.os.node_mut(n0)
+            .map_anon(asid, PAGE_SIZE, Prot::RW)
+            .unwrap();
     let pa = gm_open_port(&mut w, n0, GmPortConfig::user(asid)).unwrap();
     let (pb, _) = make_user_port(&mut w, n1, PAGE_SIZE);
     let err = gm_send(&mut w, pa, MemRef::user(asid, addr, 100), pb, 0, 0);
@@ -340,10 +345,7 @@ fn physical_refs_require_the_patch() {
     let (pb, _) = make_user_port(&mut w, n1, PAGE_SIZE);
     let k = w.os.node_mut(n0).kalloc(PAGE_SIZE).unwrap();
     let r = MemRef::physical(k.kernel_to_phys().unwrap(), 64);
-    assert_eq!(
-        gm_send(&mut w, pa, r, pb, 0, 0),
-        Err(NetError::Unsupported)
-    );
+    assert_eq!(gm_send(&mut w, pa, r, pb, 0, 0), Err(NetError::Unsupported));
 }
 
 #[test]
@@ -371,8 +373,7 @@ fn unmatched_message_bounces_as_unexpected() {
     let (mut w, n0, n1) = world();
     let (pa, ba) = make_user_port(&mut w, n0, PAGE_SIZE);
     let (pb, _) = make_user_port(&mut w, n1, PAGE_SIZE);
-    w.os
-        .node_mut(n0)
+    w.os.node_mut(n0)
         .write_virt(ba.asid, ba.addr, b"request!")
         .unwrap();
     gm_send(&mut w, pa, MemRef::user(ba.asid, ba.addr, 8), pb, 77, 0).unwrap();
@@ -411,8 +412,7 @@ fn tagged_buffers_match_selectively() {
     )
     .unwrap();
     // Send tag 6 first: it must land in the *second* buffer.
-    w.os
-        .node_mut(n0)
+    w.os.node_mut(n0)
         .write_virt(ba.asid, ba.addr, b"six")
         .unwrap();
     gm_send(&mut w, pa, MemRef::user(ba.asid, ba.addr, 3), pb, 6, 0).unwrap();
@@ -424,8 +424,7 @@ fn tagged_buffers_match_selectively() {
         _ => unreachable!(),
     }
     let mut buf = [0u8; 3];
-    w.os
-        .node(n1)
+    w.os.node(n1)
         .read_virt(bb.asid, bb.addr.add(PAGE_SIZE), &mut buf)
         .unwrap();
     assert_eq!(&buf, b"six");
@@ -437,12 +436,7 @@ fn cached_sends_register_once_and_invalidate_on_munmap() {
     let asid = w.os.node_mut(n0).create_process();
     let len = 4 * PAGE_SIZE;
     let addr = w.os.node_mut(n0).map_anon(asid, len, Prot::RW).unwrap();
-    let pa = gm_open_port(
-        &mut w,
-        n0,
-        GmPortConfig::user(asid).with_regcache(256),
-    )
-    .unwrap();
+    let pa = gm_open_port(&mut w, n0, GmPortConfig::user(asid).with_regcache(256)).unwrap();
     let (pb, bb) = make_user_port(&mut w, n1, len);
     let provide = |w: &mut World| {
         gm_provide_receive_buffer(
@@ -476,8 +470,7 @@ fn cached_sends_register_once_and_invalidate_on_munmap() {
     // Remap (fresh physical pages), write new data, send again: the cache
     // re-registers and the receiver sees the NEW bytes.
     let addr2 = w.os.node_mut(n0).map_anon(asid, len, Prot::RW).unwrap();
-    w.os
-        .node_mut(n0)
+    w.os.node_mut(n0)
         .write_virt(asid, addr2, b"fresh data")
         .unwrap();
     provide(&mut w);
@@ -495,13 +488,11 @@ fn stale_registration_is_the_paper_hazard() {
     // physical page. This is exactly why GMKRC + VMA SPY exist.
     let (mut w, n0, n1) = world();
     let asid = w.os.node_mut(n0).create_process();
-    let addr = w
-        .os
-        .node_mut(n0)
-        .map_anon(asid, PAGE_SIZE, Prot::RW)
-        .unwrap();
-    w.os
-        .node_mut(n0)
+    let addr =
+        w.os.node_mut(n0)
+            .map_anon(asid, PAGE_SIZE, Prot::RW)
+            .unwrap();
+    w.os.node_mut(n0)
         .write_virt(asid, addr, b"OLD bytes")
         .unwrap();
     let pa = gm_open_port(&mut w, n0, GmPortConfig::user(asid)).unwrap();
@@ -511,11 +502,10 @@ fn stale_registration_is_the_paper_hazard() {
     // munmap, then map again — the new mapping reuses the same virtual
     // address region but different physical frames.
     munmap(&mut w, n0, asid, addr, PAGE_SIZE).unwrap();
-    let addr2 = w
-        .os
-        .node_mut(n0)
-        .map_anon(asid, PAGE_SIZE, Prot::RW)
-        .unwrap();
+    let addr2 =
+        w.os.node_mut(n0)
+            .map_anon(asid, PAGE_SIZE, Prot::RW)
+            .unwrap();
     assert_ne!(addr, addr2, "guard pages shift the new mapping");
     // Reuse of the OLD (stale) registration: GM happily sends from the
     // pinned-but-unmapped old frame.
@@ -547,12 +537,7 @@ fn shared_kernel_port_disambiguates_address_spaces() {
     assert_eq!(v1, v2, "identical virtual addresses in both processes");
     w.os.node_mut(n0).write_virt(a1, v1, b"process-1").unwrap();
     w.os.node_mut(n0).write_virt(a2, v2, b"process-2").unwrap();
-    let port = gm_open_port(
-        &mut w,
-        n0,
-        GmPortConfig::kernel().with_regcache(64),
-    )
-    .unwrap();
+    let port = gm_open_port(&mut w, n0, GmPortConfig::kernel().with_regcache(64)).unwrap();
     let (pb, bb) = make_user_port(&mut w, n1, 2 * PAGE_SIZE);
     for (asid, tag) in [(a1, 1u64), (a2, 2u64)] {
         gm_provide_receive_buffer(
@@ -573,8 +558,7 @@ fn shared_kernel_port_disambiguates_address_spaces() {
     let mut buf = [0u8; 9];
     w.os.node(n1).read_virt(bb.asid, bb.addr, &mut buf).unwrap();
     assert_eq!(&buf, b"process-1");
-    w.os
-        .node(n1)
+    w.os.node(n1)
         .read_virt(bb.asid, bb.addr.add(PAGE_SIZE), &mut buf)
         .unwrap();
     assert_eq!(&buf, b"process-2");
@@ -586,11 +570,10 @@ fn user_port_rejects_foreign_address_space() {
     let (pa, _) = make_user_port(&mut w, n0, PAGE_SIZE);
     let (pb, _) = make_user_port(&mut w, n1, PAGE_SIZE);
     let intruder = w.os.node_mut(n0).create_process();
-    let va = w
-        .os
-        .node_mut(n0)
-        .map_anon(intruder, PAGE_SIZE, Prot::RW)
-        .unwrap();
+    let va =
+        w.os.node_mut(n0)
+            .map_anon(intruder, PAGE_SIZE, Prot::RW)
+            .unwrap();
     assert_eq!(
         gm_send(&mut w, pa, MemRef::user(intruder, va, 8), pb, 0, 0),
         Err(NetError::BadAddressClass)

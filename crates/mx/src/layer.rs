@@ -19,9 +19,7 @@
 use std::collections::{BTreeMap, VecDeque};
 
 use bytes::Bytes;
-use knet_core::{
-    read_iovec, resolve_iovec, seg_window, write_iovec, AddrClass, IoVec, NetError,
-};
+use knet_core::{read_iovec, resolve_iovec, seg_window, write_iovec, AddrClass, IoVec, NetError};
 use knet_simcore::SimTime;
 use knet_simnic::{
     dma_charge, dma_gather, dma_scatter, fw_charge, wire_send, NicId, NicWorld, Packet, Proto,
@@ -98,7 +96,9 @@ impl MxEndpointConfig {
 /// Completion events in an endpoint's queue.
 #[derive(Clone, Debug)]
 pub enum MxEvent {
-    SendDone { ctx: u64 },
+    SendDone {
+        ctx: u64,
+    },
     RecvDone {
         ctx: u64,
         tag: u64,
@@ -276,10 +276,7 @@ pub fn mx_open_endpoint<W: MxWorld>(
     node: NodeId,
     cfg: MxEndpointConfig,
 ) -> Result<MxEndpointId, NetError> {
-    let nic = w
-        .nics()
-        .nic_of_node(node)
-        .ok_or(NetError::BadEndpoint)?;
+    let nic = w.nics().nic_of_node(node).ok_or(NetError::BadEndpoint)?;
     let id = MxEndpointId(w.mx().endpoints.len() as u32);
     w.mx_mut().endpoints.push(MxEndpoint {
         id,
@@ -445,8 +442,7 @@ pub fn mx_isend<W: MxWorld>(
                 w.mx_mut().ep_mut(from)?.stats.send_copies_avoided += 1;
                 params.host_post
             } else {
-                params.host_post
-                    + w.os().node(node).cpu.model.ring_copy_cost(total)
+                params.host_post + w.os().node(node).cpu.model.ring_copy_cost(total)
             };
             let host_done = knet_simos::cpu_charge(w, node, host_cost);
             let fw_done = fw_charge(w, nic, host_done, params.fw_send);
@@ -494,8 +490,7 @@ pub fn mx_isend<W: MxWorld>(
             // Rendezvous: pin/resolve now, send RTS, stream on CTS.
             let r = resolve_iovec(w.os_mut().node_mut(node), iov, true)?;
             let pin_pages = r.user_pages;
-            let host_cost = params.host_post
-                + w.os().node(node).cpu.model.pin_cost(pin_pages);
+            let host_cost = params.host_post + w.os().node(node).cpu.model.pin_cost(pin_pages);
             let host_done = knet_simos::cpu_charge(w, node, host_cost);
             {
                 let e = w.mx_mut().ep_mut(from)?;
@@ -689,7 +684,11 @@ fn eager_rx<W: MxWorld>(w: &mut W, nic: NicId, pkt: Packet) {
                 .position(|p| (p.tag == MX_ANY_TAG || p.tag == m.tag) && p.capacity >= m.total);
             pos.map(|i| e.posted.remove(i).expect("position valid"))
         };
-        let direct = matched.is_some() && w.mx().ep(m.dst).map(|e| e.opts.no_recv_copy).unwrap_or(false);
+        let direct = matched.is_some()
+            && w.mx()
+                .ep(m.dst)
+                .map(|e| e.opts.no_recv_copy)
+                .unwrap_or(false);
         fw_done = fw_charge(w, nic, now, params.fw_recv);
         w.mx_mut().eager.insert(
             akey,
@@ -763,12 +762,7 @@ fn eager_rx<W: MxWorld>(w: &mut W, nic: NicId, pkt: Packet) {
             }
             release_pins(w, node, &posted.pinned);
             let start = ev_dma.max(knet_simcore::now(w));
-            let (_, done) = w
-                .os_mut()
-                .node_mut(node)
-                .cpu
-                .busy
-                .acquire(start, host_cost);
+            let (_, done) = w.os_mut().node_mut(node).cpu.busy.acquire(start, host_cost);
             let (ep_id, tag, from, pctx) = (m.dst, a.tag, a.from, posted.ctx);
             let direct = a.direct;
             knet_simcore::at(w, done, move |w: &mut W| {
@@ -847,8 +841,7 @@ fn rts_rx<W: MxWorld>(w: &mut W, nic: NicId, pkt: Packet) {
     };
     match matched {
         Some(posted) => {
-            accept_rendezvous(w, m.dst, posted, m.tag, m.total, m.src, m.msg_id, pkt.src)
-                .ok();
+            accept_rendezvous(w, m.dst, posted, m.tag, m.total, m.src, m.msg_id, pkt.src).ok();
         }
         None => {
             if let Ok(e) = w.mx_mut().ep_mut(m.dst) {
@@ -908,13 +901,7 @@ fn cts_rx<W: MxWorld>(w: &mut W, nic: NicId, pkt: Packet) {
             let pinned = r.pinned.clone();
             let (from_ep, ctx) = (r.from_ep, r.ctx);
             let unpin_cost = node
-                .map(|nd| {
-                    w.os()
-                        .node(nd)
-                        .cpu
-                        .model
-                        .unpin_cost(pinned.len() as u64)
-                })
+                .map(|nd| w.os().node(nd).cpu.model.unpin_cost(pinned.len() as u64))
                 .unwrap_or(SimTime::ZERO);
             if let Some(nd) = node {
                 let start = dma_done.max(knet_simcore::now(w));
@@ -1032,7 +1019,10 @@ pub fn mx_cancel_recv<W: MxWorld>(w: &mut W, ep_id: MxEndpointId, tag: u64) -> b
         };
         let node = e.node;
         let pos = e.posted.iter().position(|p| p.tag == tag);
-        (node, pos.map(|i| e.posted.remove(i).expect("position valid")))
+        (
+            node,
+            pos.map(|i| e.posted.remove(i).expect("position valid")),
+        )
     };
     match cancelled {
         Some(p) => {

@@ -73,9 +73,12 @@ fn world() -> (World, NodeId, NodeId) {
 }
 
 fn has_recv(w: &World, ep: MxEndpointId) -> bool {
-    w.mx
-        .ep(ep)
-        .map(|e| e.events.iter().any(|e| matches!(e, MxEvent::RecvDone { .. })))
+    w.mx.ep(ep)
+        .map(|e| {
+            e.events
+                .iter()
+                .any(|e| matches!(e, MxEvent::RecvDone { .. }))
+        })
         .unwrap_or(false)
 }
 
@@ -135,7 +138,14 @@ fn make_buf(w: &mut World, node: NodeId, len: u64, class: Class) -> Buf {
 }
 
 /// One-way ping-pong latency over `iters` round trips after warm-up.
-fn pingpong_latency(w: &mut World, ea: MxEndpointId, eb: MxEndpointId, ba: &Buf, bb: &Buf, iters: u32) -> f64 {
+fn pingpong_latency(
+    w: &mut World,
+    ea: MxEndpointId,
+    eb: MxEndpointId,
+    ba: &Buf,
+    bb: &Buf,
+    iters: u32,
+) -> f64 {
     let measure = |w: &mut World| {
         mx_irecv(w, eb, MX_ANY_TAG, &bb.iov, 0).unwrap();
         mx_isend(w, ea, eb, 1, &ba.iov, 0).unwrap();
@@ -244,7 +254,10 @@ fn one_way_time(size: u64, opts: MxOpts) -> SimTime {
     mx_irecv(&mut w, eb, MX_ANY_TAG, &bb.iov, 0).unwrap();
     let t0 = knet_simcore::now(&w);
     mx_isend(&mut w, ea, eb, 1, &ba.iov, 0).unwrap();
-    assert_eq!(run_until(&mut w, |w| has_recv(w, eb)), RunOutcome::Satisfied);
+    assert_eq!(
+        run_until(&mut w, |w| has_recv(w, eb)),
+        RunOutcome::Satisfied
+    );
     knet_simcore::now(&w) - t0
 }
 
@@ -312,22 +325,25 @@ fn small_medium_large_payloads_arrive_intact() {
         let ba = make_buf(&mut w, n0, size, Class::Kernel);
         let bb = make_buf(&mut w, n1, size, Class::Kernel);
         let data: Vec<u8> = (0..size).map(|i| (i * 13 % 251) as u8).collect();
-        w.os
-            .node_mut(n0)
+        w.os.node_mut(n0)
             .write_virt(Asid::KERNEL, ba.addr, &data)
             .unwrap();
         mx_irecv(&mut w, eb, 5, &bb.iov, 77).unwrap();
         mx_isend(&mut w, ea, eb, 5, &ba.iov, 88).unwrap();
         run_to_quiescence(&mut w);
         match pop_recv(&mut w, eb) {
-            MxEvent::RecvDone { ctx, tag, len, from } => {
+            MxEvent::RecvDone {
+                ctx,
+                tag,
+                len,
+                from,
+            } => {
                 assert_eq!((ctx, tag, len, from), (77, 5, size, ea), "size {size}");
             }
             _ => unreachable!(),
         }
         let mut back = vec![0u8; size as usize];
-        w.os
-            .node(n1)
+        w.os.node(n1)
             .read_virt(Asid::KERNEL, bb.addr, &mut back)
             .unwrap();
         assert_eq!(back, data, "payload mismatch at size {size}");
@@ -355,7 +371,9 @@ fn vectorial_send_gathers_and_scatters() {
     for i in 0..3u64 {
         let k = w.os.node_mut(n0).kalloc(PAGE_SIZE).unwrap();
         let chunk: Vec<u8> = (0..100).map(|j| (i * 100 + j) as u8).collect();
-        w.os.node_mut(n0).write_virt(Asid::KERNEL, k, &chunk).unwrap();
+        w.os.node_mut(n0)
+            .write_virt(Asid::KERNEL, k, &chunk)
+            .unwrap();
         // Burn a page so source segments are physically discontiguous.
         let _ = w.os.node_mut(n0).kalloc(PAGE_SIZE).unwrap();
         iov.push(MemRef::kernel(k, 100));
@@ -370,8 +388,12 @@ fn vectorial_send_gathers_and_scatters() {
     pop_recv(&mut w, eb);
     let flat: Vec<u8> = srcs.concat();
     let mut got = vec![0u8; 300];
-    w.os.node(n1).read_virt(Asid::KERNEL, d0, &mut got[..120]).unwrap();
-    w.os.node(n1).read_virt(Asid::KERNEL, d1, &mut got[120..]).unwrap();
+    w.os.node(n1)
+        .read_virt(Asid::KERNEL, d0, &mut got[..120])
+        .unwrap();
+    w.os.node(n1)
+        .read_virt(Asid::KERNEL, d1, &mut got[120..])
+        .unwrap();
     assert_eq!(got, flat);
 }
 
@@ -384,8 +406,7 @@ fn unexpected_eager_queues_for_later_irecv() {
     let ea = mx_open_endpoint(&mut w, n0, cfg).unwrap();
     let eb = mx_open_endpoint(&mut w, n1, cfg).unwrap();
     let ba = make_buf(&mut w, n0, 256, Class::Kernel);
-    w.os
-        .node_mut(n0)
+    w.os.node_mut(n0)
         .write_virt(Asid::KERNEL, ba.addr, &[0xEE; 256])
         .unwrap();
     mx_isend(&mut w, ea, eb, 3, &ba.iov, 0).unwrap();
@@ -401,7 +422,9 @@ fn unexpected_eager_queues_for_later_irecv() {
         _ => unreachable!(),
     }
     let mut back = [0u8; 256];
-    w.os.node(n1).read_virt(Asid::KERNEL, bb.addr, &mut back).unwrap();
+    w.os.node(n1)
+        .read_virt(Asid::KERNEL, bb.addr, &mut back)
+        .unwrap();
     assert!(back.iter().all(|&b| b == 0xEE));
 }
 
@@ -418,8 +441,7 @@ fn unexpected_delivery_mode_emits_events() {
     )
     .unwrap();
     let ba = make_buf(&mut w, n0, 64, Class::Kernel);
-    w.os
-        .node_mut(n0)
+    w.os.node_mut(n0)
         .write_virt(Asid::KERNEL, ba.addr, b"rpc-request-bytes")
         .unwrap();
     mx_isend(&mut w, ea, eb, 11, &ba.iov, 0).unwrap();
@@ -475,13 +497,12 @@ fn large_user_transfers_pin_and_unpin() {
     pop_recv(&mut w, eb);
     // All pins released after completion on both sides.
     for (node, buf) in [(n0, &ba), (n1, &bb)] {
-        let frame = w
-            .os
-            .node(node)
-            .space(buf.asid)
-            .unwrap()
-            .frame_of(buf.addr)
-            .unwrap();
+        let frame =
+            w.os.node(node)
+                .space(buf.asid)
+                .unwrap()
+                .frame_of(buf.addr)
+                .unwrap();
         assert_eq!(w.os.node(node).mem.pin_count(frame), 0, "pin leaked");
     }
     assert!(w.mx.ep(ea).unwrap().stats.pages_pinned >= 32);
@@ -535,7 +556,10 @@ fn user_endpoint_rejects_kernel_memory() {
         Err(NetError::BadAddressClass)
     );
     let other = w.os.node_mut(n0).create_process();
-    let va = w.os.node_mut(n0).map_anon(other, PAGE_SIZE, Prot::RW).unwrap();
+    let va =
+        w.os.node_mut(n0)
+            .map_anon(other, PAGE_SIZE, Prot::RW)
+            .unwrap();
     assert_eq!(
         mx_isend(
             &mut w,
@@ -596,9 +620,7 @@ fn small_message_send_completes_before_the_wire() {
     mx_irecv(&mut w, eb, MX_ANY_TAG, &bb.iov, 0).unwrap();
     mx_isend(&mut w, ea, eb, 1, &ba.iov, 0).unwrap();
     let sat = run_until(&mut w, |w| {
-        w.mx.ep(ea)
-            .map(|e| !e.events.is_empty())
-            .unwrap_or(false)
+        w.mx.ep(ea).map(|e| !e.events.is_empty()).unwrap_or(false)
     });
     assert_eq!(sat, RunOutcome::Satisfied);
     let send_done_at = knet_simcore::now(&w);
@@ -620,22 +642,25 @@ fn medium_data_is_snapshotted_at_send_time() {
     let eb = mx_open_endpoint(&mut w, n1, cfg).unwrap();
     let ba = make_buf(&mut w, n0, 1024, Class::Kernel);
     let bb = make_buf(&mut w, n1, 1024, Class::Kernel);
-    w.os
-        .node_mut(n0)
+    w.os.node_mut(n0)
         .write_virt(Asid::KERNEL, ba.addr, &[1u8; 1024])
         .unwrap();
     mx_irecv(&mut w, eb, MX_ANY_TAG, &bb.iov, 0).unwrap();
     mx_isend(&mut w, ea, eb, 1, &ba.iov, 0).unwrap();
     // Clobber the source immediately (before the sim runs).
-    w.os
-        .node_mut(n0)
+    w.os.node_mut(n0)
         .write_virt(Asid::KERNEL, ba.addr, &[9u8; 1024])
         .unwrap();
     run_to_quiescence(&mut w);
     pop_recv(&mut w, eb);
     let mut back = [0u8; 1024];
-    w.os.node(n1).read_virt(Asid::KERNEL, bb.addr, &mut back).unwrap();
-    assert!(back.iter().all(|&b| b == 1), "receiver must see the snapshot");
+    w.os.node(n1)
+        .read_virt(Asid::KERNEL, bb.addr, &mut back)
+        .unwrap();
+    assert!(
+        back.iter().all(|&b| b == 1),
+        "receiver must see the snapshot"
+    );
 }
 
 #[test]
@@ -654,7 +679,11 @@ fn truncating_receive_is_rejected_by_matching() {
     run_to_quiescence(&mut w);
     assert!(!has_recv(&w, eb));
     assert_eq!(w.mx.ep(eb).unwrap().unexpected_queued(), 1);
-    assert_eq!(w.mx.ep(eb).unwrap().posted_recvs(), 1, "buffer still posted");
+    assert_eq!(
+        w.mx.ep(eb).unwrap().posted_recvs(),
+        1,
+        "buffer still posted"
+    );
 }
 
 #[test]

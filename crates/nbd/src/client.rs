@@ -117,6 +117,12 @@ pub fn nbd_client_create<W: NbdWorld>(
         completed: VecDeque::new(),
         stats: NbdClientStats::default(),
     });
+    let cid = w
+        .registry_mut()
+        .register(&format!("nbd-client-{}", id.0), move |w, _via, ev| {
+            nbd_on_client_event(w, id, ev)
+        });
+    knet_core::api::bind(w, ep, cid);
     Ok(id)
 }
 
@@ -171,11 +177,7 @@ fn send_request<W: NbdWorld>(
     if let Some(p) = payload {
         w.os_mut()
             .node_mut(node)
-            .write_virt(
-                knet_simos::Asid::KERNEL,
-                addr.add(bytes.len() as u64),
-                p,
-            )
+            .write_virt(knet_simos::Asid::KERNEL, addr.add(bytes.len() as u64), p)
             .expect("ring mapped");
     }
     let _ = w.t_send(
@@ -190,12 +192,7 @@ fn send_request<W: NbdWorld>(
 
 /// Buffered read: `dest.len()` bytes at device `offset` through the
 /// page-cache.
-pub fn nbd_read<W: NbdWorld>(
-    w: &mut W,
-    cid: NbdClientId,
-    dest: MemRef,
-    offset: u64,
-) -> NbdOp {
+pub fn nbd_read<W: NbdWorld>(w: &mut W, cid: NbdClientId, dest: MemRef, offset: u64) -> NbdOp {
     charge_entry(w, cid);
     let op = {
         let c = &mut w.nbd_mut().clients[cid.0 as usize];
@@ -218,12 +215,7 @@ pub fn nbd_read<W: NbdWorld>(
 }
 
 /// Raw (direct) read: a sector-aligned range lands zero-copy in `dest`.
-pub fn nbd_read_raw<W: NbdWorld>(
-    w: &mut W,
-    cid: NbdClientId,
-    dest: MemRef,
-    sector: u64,
-) -> NbdOp {
+pub fn nbd_read_raw<W: NbdWorld>(w: &mut W, cid: NbdClientId, dest: MemRef, sector: u64) -> NbdOp {
     charge_entry(w, cid);
     let count = (dest.len() / SECTOR_SIZE).max(1) as u32;
     let (op, ep) = {
@@ -267,12 +259,7 @@ pub fn nbd_read_raw<W: NbdWorld>(
 
 /// Buffered write: fills page-cache sectors and writes them through
 /// synchronously (NBD has no delayed write-back in this model).
-pub fn nbd_write<W: NbdWorld>(
-    w: &mut W,
-    cid: NbdClientId,
-    src: MemRef,
-    offset: u64,
-) -> NbdOp {
+pub fn nbd_write<W: NbdWorld>(w: &mut W, cid: NbdClientId, src: MemRef, offset: u64) -> NbdOp {
     charge_entry(w, cid);
     debug_assert_eq!(offset % SECTOR_SIZE, 0, "sector-aligned writes");
     debug_assert_eq!(src.len() % SECTOR_SIZE, 0, "sector-aligned writes");
@@ -288,8 +275,7 @@ pub fn nbd_write<W: NbdWorld>(
         op
     };
     // Update the cached sectors (write-through), then send.
-    let data = knet_core::read_iovec(w.os().node(node), &IoVec::single(src))
-        .unwrap_or_default();
+    let data = knet_core::read_iovec(w.os().node(node), &IoVec::single(src)).unwrap_or_default();
     let copy = w.os().node(node).cpu.model.memcpy_cost(len);
     cpu_charge(w, node, copy);
     let first = offset / SECTOR_SIZE;
@@ -440,8 +426,7 @@ fn advance_buffered<W: NbdWorld>(w: &mut W, cid: NbdClientId, op: NbdOp) {
                     .read(p.frame.base().add(soff), &mut tmp)
                     .expect("cached sector");
                 let dst = shift(&dest, done, n);
-                knet_core::write_iovec(w.os_mut().node_mut(node), &IoVec::single(dst), &tmp)
-                    .ok();
+                knet_core::write_iovec(w.os_mut().node_mut(node), &IoVec::single(dst), &tmp).ok();
                 let copy = w.os().node(node).cpu.model.memcpy_cost(n);
                 cpu_charge(w, node, copy);
                 let c = &mut w.nbd_mut().clients[cid.0 as usize];
@@ -549,7 +534,11 @@ pub fn nbd_on_client_event<W: NbdWorld>(w: &mut W, cid: NbdClientId, ev: Transpo
             c.ops.remove(&op);
             c.completed.push_back((op, Ok(len)));
         }
-        Some(OpState::WriteAck { len, remaining_acks, .. }) => {
+        Some(OpState::WriteAck {
+            len,
+            remaining_acks,
+            ..
+        }) => {
             if remaining_acks <= 1 {
                 let c = &mut w.nbd_mut().clients[cid.0 as usize];
                 c.ops.remove(&op);
@@ -557,8 +546,7 @@ pub fn nbd_on_client_event<W: NbdWorld>(w: &mut W, cid: NbdClientId, ev: Transpo
             } else {
                 {
                     let c = &mut w.nbd_mut().clients[cid.0 as usize];
-                    if let Some(OpState::WriteAck { remaining_acks, .. }) = c.ops.get_mut(&op)
-                    {
+                    if let Some(OpState::WriteAck { remaining_acks, .. }) = c.ops.get_mut(&op) {
                         *remaining_acks -= 1;
                     }
                 }

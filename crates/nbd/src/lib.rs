@@ -21,13 +21,13 @@ pub mod proto;
 pub mod server;
 
 pub use client::{
-    nbd_client_create, nbd_flush, nbd_on_client_event, nbd_read, nbd_read_raw, nbd_wait,
-    nbd_write, NbdClient, NbdClientId, NbdClientStats, NbdOp, NbdResult,
+    nbd_client_create, nbd_flush, nbd_on_client_event, nbd_read, nbd_read_raw, nbd_wait, nbd_write,
+    NbdClient, NbdClientId, NbdClientStats, NbdOp, NbdResult,
 };
 pub use proto::{NbdRequest, SECTOR_SIZE};
 pub use server::{nbd_on_server_event, nbd_server_create, NbdServer, NbdServerId, VirtualDisk};
 
-use knet_core::TransportWorld;
+use knet_core::DispatchWorld;
 
 /// All NBD state in a world.
 #[derive(Default)]
@@ -43,7 +43,7 @@ impl NbdLayer {
 }
 
 /// Capability trait: a world hosting NBD clients and servers.
-pub trait NbdWorld: TransportWorld {
+pub trait NbdWorld: DispatchWorld {
     fn nbd(&self) -> &NbdLayer;
     fn nbd_mut(&mut self) -> &mut NbdLayer;
 }

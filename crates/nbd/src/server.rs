@@ -53,17 +53,15 @@ impl VirtualDisk {
     /// Write sector-aligned data; returns false when out of bounds.
     pub fn write(&mut self, sector: u64, data: &[u8]) -> bool {
         let count = data.len() as u64 / SECTOR_SIZE;
-        if !(data.len() as u64).is_multiple_of(SECTOR_SIZE)
-            || sector + count > self.sector_count()
+        if !(data.len() as u64).is_multiple_of(SECTOR_SIZE) || sector + count > self.sector_count()
         {
             return false;
         }
         for i in 0..count as usize {
             let off = i * SECTOR_SIZE as usize;
             let slot = &mut self.sectors[sector as usize + i];
-            let dst = slot.get_or_insert_with(|| {
-                vec![0u8; SECTOR_SIZE as usize].into_boxed_slice()
-            });
+            let dst =
+                slot.get_or_insert_with(|| vec![0u8; SECTOR_SIZE as usize].into_boxed_slice());
             dst.copy_from_slice(&data[off..off + SECTOR_SIZE as usize]);
         }
         true
@@ -104,6 +102,12 @@ pub fn nbd_server_create<W: NbdWorld>(
         bytes_read: 0,
         bytes_written: 0,
     });
+    let cid = w
+        .registry_mut()
+        .register(&format!("nbd-server-{}", id.0), move |w, _via, ev| {
+            nbd_on_server_event(w, id, ev)
+        });
+    knet_core::api::bind(w, ep, cid);
     Ok(id)
 }
 

@@ -104,11 +104,15 @@ pub struct ClientStats {
 /// What to do when a path resolution completes.
 #[derive(Clone, Debug)]
 enum AfterResolve {
-    Open { direct: bool },
+    Open {
+        direct: bool,
+    },
     Stat,
     Readdir,
     Readlink,
-    Truncate { size: u64 },
+    Truncate {
+        size: u64,
+    },
     /// Name-level parent op: the final component must NOT be resolved.
     NameOp(NameOp),
 }
@@ -239,7 +243,10 @@ pub fn client_create<W: OrfsWorld>(
     config: VfsConfig,
 ) -> Result<OrfsClientId, NetError> {
     let (ring, ring_asid) = match kind {
-        ClientKind::KernelVfs => (w.os_mut().node_mut(ep.node).kalloc(CLIENT_RING)?, Asid::KERNEL),
+        ClientKind::KernelVfs => (
+            w.os_mut().node_mut(ep.node).kalloc(CLIENT_RING)?,
+            Asid::KERNEL,
+        ),
         ClientKind::UserLib => (
             w.os_mut()
                 .node_mut(ep.node)
@@ -271,6 +278,12 @@ pub fn client_create<W: OrfsWorld>(
         ring_off: 0,
         stats: ClientStats::default(),
     });
+    let cid = w
+        .registry_mut()
+        .register(&format!("orfs-client-{}", id.0), move |w, _via, ev| {
+            client_on_event(w, id, ev)
+        });
+    knet_core::api::bind(w, ep, cid);
     Ok(id)
 }
 
@@ -377,12 +390,7 @@ fn split_path(path: &str) -> Result<Vec<String>, OrfsError> {
 }
 
 /// `open(path)`; `direct` requests `O_DIRECT`.
-pub fn op_open<W: OrfsWorld>(
-    w: &mut W,
-    cid: OrfsClientId,
-    path: &str,
-    direct: bool,
-) -> SyscallId {
+pub fn op_open<W: OrfsWorld>(w: &mut W, cid: OrfsClientId, path: &str, direct: bool) -> SyscallId {
     charge_entry(w, cid);
     start_resolve(w, cid, path, AfterResolve::Open { direct })
 }
@@ -406,23 +414,13 @@ pub fn op_readlink<W: OrfsWorld>(w: &mut W, cid: OrfsClientId, path: &str) -> Sy
 }
 
 /// `truncate(path, size)`.
-pub fn op_truncate<W: OrfsWorld>(
-    w: &mut W,
-    cid: OrfsClientId,
-    path: &str,
-    size: u64,
-) -> SyscallId {
+pub fn op_truncate<W: OrfsWorld>(w: &mut W, cid: OrfsClientId, path: &str, size: u64) -> SyscallId {
     charge_entry(w, cid);
     start_resolve(w, cid, path, AfterResolve::Truncate { size })
 }
 
 /// `creat(path, mode)`.
-pub fn op_create<W: OrfsWorld>(
-    w: &mut W,
-    cid: OrfsClientId,
-    path: &str,
-    mode: u16,
-) -> SyscallId {
+pub fn op_create<W: OrfsWorld>(w: &mut W, cid: OrfsClientId, path: &str, mode: u16) -> SyscallId {
     charge_entry(w, cid);
     start_resolve(w, cid, path, AfterResolve::NameOp(NameOp::Create { mode }))
 }
@@ -475,13 +473,18 @@ pub fn op_read<W: OrfsWorld>(
     let file = match w.orfs().client(cid).file(fd) {
         Ok(f) => f,
         Err(e) => {
-            let sid = new_syscall(w, cid, OpState::MetaWait { kind: MetaKind::Generic });
+            let sid = new_syscall(
+                w,
+                cid,
+                OpState::MetaWait {
+                    kind: MetaKind::Generic,
+                },
+            );
             finish(w, cid, sid, Err(e));
             return sid;
         }
     };
-    let use_pagecache =
-        w.orfs().client(cid).kind == ClientKind::KernelVfs && !file.direct;
+    let use_pagecache = w.orfs().client(cid).kind == ClientKind::KernelVfs && !file.direct;
     if use_pagecache {
         let st = OpState::BufferedRead(BufferedRead {
             fd,
@@ -535,7 +538,13 @@ pub fn op_write<W: OrfsWorld>(
     let file = match w.orfs().client(cid).file(fd) {
         Ok(f) => f,
         Err(e) => {
-            let sid = new_syscall(w, cid, OpState::MetaWait { kind: MetaKind::Generic });
+            let sid = new_syscall(
+                w,
+                cid,
+                OpState::MetaWait {
+                    kind: MetaKind::Generic,
+                },
+            );
             finish(w, cid, sid, Err(e));
             return sid;
         }
@@ -572,7 +581,13 @@ pub fn op_fsync<W: OrfsWorld>(w: &mut W, cid: OrfsClientId, fd: u32) -> SyscallI
             sid
         }
         Err(e) => {
-            let sid = new_syscall(w, cid, OpState::MetaWait { kind: MetaKind::Generic });
+            let sid = new_syscall(
+                w,
+                cid,
+                OpState::MetaWait {
+                    kind: MetaKind::Generic,
+                },
+            );
             finish(w, cid, sid, Err(e));
             sid
         }
@@ -603,7 +618,13 @@ pub fn op_close<W: OrfsWorld>(w: &mut W, cid: OrfsClientId, fd: u32) -> SyscallI
             }
         }
         Err(e) => {
-            let sid = new_syscall(w, cid, OpState::MetaWait { kind: MetaKind::Generic });
+            let sid = new_syscall(
+                w,
+                cid,
+                OpState::MetaWait {
+                    kind: MetaKind::Generic,
+                },
+            );
             finish(w, cid, sid, Err(e));
             sid
         }
@@ -621,11 +642,7 @@ fn build_flush<W: OrfsWorld>(
         let c = w.orfs().client(cid);
         (c.ep.node, c.mount_id)
     };
-    let dirty = w
-        .os()
-        .node(node)
-        .page_cache
-        .dirty_pages(mount, file.ino);
+    let dirty = w.os().node(node).page_cache.dirty_pages(mount, file.ino);
     let pages = dirty
         .iter()
         .map(|(k, _)| {
@@ -654,7 +671,13 @@ fn start_resolve<W: OrfsWorld>(
     let parts = match split_path(path) {
         Ok(p) => p,
         Err(e) => {
-            let sid = new_syscall(w, cid, OpState::MetaWait { kind: MetaKind::Generic });
+            let sid = new_syscall(
+                w,
+                cid,
+                OpState::MetaWait {
+                    kind: MetaKind::Generic,
+                },
+            );
             finish(w, cid, sid, Err(e));
             return sid;
         }
@@ -741,7 +764,12 @@ fn advance_resolve<W: OrfsWorld>(w: &mut W, cid: OrfsClientId, sid: SyscallId) {
                     }
                 }
                 let c = w.orfs_mut().client_mut(cid);
-                c.ops.insert(sid, OpState::MetaWait { kind: MetaKind::Stat });
+                c.ops.insert(
+                    sid,
+                    OpState::MetaWait {
+                        kind: MetaKind::Stat,
+                    },
+                );
                 send_request(w, cid, sid, &Request::Getattr { ino: cur });
             }
             AfterResolve::Readdir => {
@@ -830,8 +858,7 @@ fn advance_resolve<W: OrfsWorld>(w: &mut W, cid: OrfsClientId, sid: SyscallId) {
                     ),
                 };
                 // Drop any stale cache entry for mutated names.
-                if let MetaKind::Lookup { dir, name } | MetaKind::CreateLike { dir, name } = &kind
-                {
+                if let MetaKind::Lookup { dir, name } | MetaKind::CreateLike { dir, name } = &kind {
                     let key = (*dir, name.clone());
                     w.orfs_mut().client_mut(cid).dentries.remove(&key);
                 }
@@ -856,24 +883,14 @@ fn alloc_reqid<W: OrfsWorld>(w: &mut W, cid: OrfsClientId, sid: SyscallId) -> u6
 }
 
 /// Encode and send a metadata request (small message from the staging ring).
-fn send_request<W: OrfsWorld>(
-    w: &mut W,
-    cid: OrfsClientId,
-    sid: SyscallId,
-    req: &Request,
-) -> u64 {
+fn send_request<W: OrfsWorld>(w: &mut W, cid: OrfsClientId, sid: SyscallId, req: &Request) -> u64 {
     let reqid = alloc_reqid(w, cid, sid);
     send_request_with_id(w, cid, reqid, req);
     reqid
 }
 
 /// Encode and send a request under a pre-allocated id.
-fn send_request_with_id<W: OrfsWorld>(
-    w: &mut W,
-    cid: OrfsClientId,
-    reqid: u64,
-    req: &Request,
-) {
+fn send_request_with_id<W: OrfsWorld>(w: &mut W, cid: OrfsClientId, reqid: u64, req: &Request) {
     let node = w.orfs().client(cid).ep.node;
     cpu_charge(w, node, codec_cost());
     let bytes = req.encode();
@@ -970,8 +987,8 @@ fn send_write_request<W: OrfsWorld>(
                 .write_virt(ring_asid, addr, &header)
                 .expect("ring mapped");
             // Functional copy of the payload into the ring.
-            let data = knet_core::read_iovec(w.os().node(node), &IoVec::single(src))
-                .unwrap_or_default();
+            let data =
+                knet_core::read_iovec(w.os().node(node), &IoVec::single(src)).unwrap_or_default();
             w.os_mut()
                 .node_mut(node)
                 .write_virt(ring_asid, addr.add(header.len() as u64), &data)
@@ -1048,12 +1065,7 @@ fn advance_buffered_read<W: OrfsWorld>(w: &mut W, cid: OrfsClientId, sid: Syscal
                     .read(page.frame.base().add(page_off), &mut tmp)
                     .expect("cached page readable");
                 let dest = offset_memref(&br.user, br.done, n, asid);
-                knet_core::write_iovec(
-                    w.os_mut().node_mut(node),
-                    &IoVec::single(dest),
-                    &tmp,
-                )
-                .ok();
+                knet_core::write_iovec(w.os_mut().node_mut(node), &IoVec::single(dest), &tmp).ok();
                 let copy = w.os().node(node).cpu.model.memcpy_cost(n);
                 cpu_charge(w, node, copy);
                 {
@@ -1221,8 +1233,8 @@ fn advance_buffered_write<W: OrfsWorld>(w: &mut W, cid: OrfsClientId, sid: Sysca
                 // Copy user → page.
                 let mut tmp = vec![0u8; n as usize];
                 let src = offset_memref(&bw.user, bw.done, n, Asid::KERNEL);
-                let data =
-                    knet_core::read_iovec(w.os().node(node), &IoVec::single(src)).unwrap_or(tmp.clone());
+                let data = knet_core::read_iovec(w.os().node(node), &IoVec::single(src))
+                    .unwrap_or(tmp.clone());
                 tmp.copy_from_slice(&data[..n as usize]);
                 w.os_mut()
                     .node_mut(node)
@@ -1386,7 +1398,9 @@ fn on_response<W: OrfsWorld>(w: &mut W, cid: OrfsClientId, sid: SyscallId, resp:
         return;
     }
     match st {
-        OpState::Resolve { parts, idx, cur, .. } => {
+        OpState::Resolve {
+            parts, idx, cur, ..
+        } => {
             let Response::Ino(child) = resp else {
                 finish(w, cid, sid, Err(OrfsError::Decode));
                 return;
@@ -1397,7 +1411,10 @@ fn on_response<W: OrfsWorld>(w: &mut W, cid: OrfsClientId, sid: SyscallId, resp:
                 if c.kind == ClientKind::KernelVfs {
                     c.dentries.insert((cur, parts[idx].clone()), child);
                 }
-                if let Some(OpState::Resolve { idx: i, cur: cu, .. }) = c.ops.get_mut(&sid) {
+                if let Some(OpState::Resolve {
+                    idx: i, cur: cu, ..
+                }) = c.ops.get_mut(&sid)
+                {
                     *i = idx + 1;
                     *cu = child;
                 }
@@ -1420,7 +1437,11 @@ fn on_response<W: OrfsWorld>(w: &mut W, cid: OrfsClientId, sid: SyscallId, resp:
             );
             send_request(w, cid, sid, &Request::Getattr { ino });
         }
-        OpState::OpenAttrWait { ino, handle, direct } => {
+        OpState::OpenAttrWait {
+            ino,
+            handle,
+            direct,
+        } => {
             let Response::Attr(a) = resp else {
                 finish(w, cid, sid, Err(OrfsError::Decode));
                 return;

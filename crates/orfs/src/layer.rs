@@ -1,6 +1,6 @@
 //! ORFS world state: clients, servers, and their capability trait.
 
-use knet_core::TransportWorld;
+use knet_core::DispatchWorld;
 
 use crate::client::OrfsClient;
 use crate::server::OrfsServer;
@@ -43,8 +43,8 @@ impl OrfsLayer {
 }
 
 /// Capability trait: a world hosting ORFS clients and servers on top of the
-/// unified transport.
-pub trait OrfsWorld: TransportWorld {
+/// unified transport + dispatch registry.
+pub trait OrfsWorld: DispatchWorld {
     fn orfs(&self) -> &OrfsLayer;
     fn orfs_mut(&mut self) -> &mut OrfsLayer;
 }

@@ -10,8 +10,8 @@
 //! would be on the wire; round-trips are property-tested.
 
 use bytes::{Bytes, BytesMut};
-use knet_simfs::{Attr, DirEntry, FileType, FsError, InodeNo};
 use knet_simcore::SimTime;
+use knet_simfs::{Attr, DirEntry, FileType, FsError, InodeNo};
 
 /// Tag bit distinguishing bulk-data messages from request/response tags.
 pub const DATA_TAG_BIT: u64 = 1 << 63;
@@ -43,28 +43,78 @@ impl From<FsError> for OrfsError {
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub enum Request {
     /// Resolve one name in a directory.
-    Lookup { dir: u32, name: String },
-    Getattr { ino: u32 },
-    SetattrMode { ino: u32, mode: u16 },
-    Create { dir: u32, name: String, mode: u16 },
-    Mkdir { dir: u32, name: String, mode: u16 },
-    Unlink { dir: u32, name: String },
-    Rmdir { dir: u32, name: String },
-    Readdir { ino: u32 },
-    Symlink { dir: u32, name: String, target: String },
-    Readlink { ino: u32 },
-    Rename { fdir: u32, fname: String, tdir: u32, tname: String },
-    Truncate { ino: u32, size: u64 },
-    Open { ino: u32 },
-    Close { handle: u32 },
+    Lookup {
+        dir: u32,
+        name: String,
+    },
+    Getattr {
+        ino: u32,
+    },
+    SetattrMode {
+        ino: u32,
+        mode: u16,
+    },
+    Create {
+        dir: u32,
+        name: String,
+        mode: u16,
+    },
+    Mkdir {
+        dir: u32,
+        name: String,
+        mode: u16,
+    },
+    Unlink {
+        dir: u32,
+        name: String,
+    },
+    Rmdir {
+        dir: u32,
+        name: String,
+    },
+    Readdir {
+        ino: u32,
+    },
+    Symlink {
+        dir: u32,
+        name: String,
+        target: String,
+    },
+    Readlink {
+        ino: u32,
+    },
+    Rename {
+        fdir: u32,
+        fname: String,
+        tdir: u32,
+        tname: String,
+    },
+    Truncate {
+        ino: u32,
+        size: u64,
+    },
+    Open {
+        ino: u32,
+    },
+    Close {
+        handle: u32,
+    },
     /// Read `len` bytes at `offset`; the reply is a bare data message with
     /// the request's tag (its length is the result).
-    Read { handle: u32, offset: u64, len: u64 },
+    Read {
+        handle: u32,
+        offset: u64,
+        len: u64,
+    },
     /// Write `len` bytes at `offset`. On MX the data rides in the same
     /// vectorial message right after this header; on GM it follows as the
     /// bytes after the header in a single copied message (§4.1: GM has no
     /// vectorial primitives, so the client must coalesce).
-    Write { handle: u32, offset: u64, len: u64 },
+    Write {
+        handle: u32,
+        offset: u64,
+        len: u64,
+    },
 }
 
 /// A server response to a metadata request.
@@ -269,9 +319,7 @@ impl Request {
         match self {
             Request::Lookup { dir, name } => Enc::new(OP_LOOKUP).u32(*dir).str(name).done(),
             Request::Getattr { ino } => Enc::new(OP_GETATTR).u32(*ino).done(),
-            Request::SetattrMode { ino, mode } => {
-                Enc::new(OP_SETATTR).u32(*ino).u16(*mode).done()
-            }
+            Request::SetattrMode { ino, mode } => Enc::new(OP_SETATTR).u32(*ino).u16(*mode).done(),
             Request::Create { dir, name, mode } => {
                 Enc::new(OP_CREATE).u32(*dir).u16(*mode).str(name).done()
             }
@@ -296,9 +344,7 @@ impl Request {
                 .u32(*tdir)
                 .str(tname)
                 .done(),
-            Request::Truncate { ino, size } => {
-                Enc::new(OP_TRUNCATE).u32(*ino).u64(*size).done()
-            }
+            Request::Truncate { ino, size } => Enc::new(OP_TRUNCATE).u32(*ino).u64(*size).done(),
             Request::Open { ino } => Enc::new(OP_OPEN).u32(*ino).done(),
             Request::Close { handle } => Enc::new(OP_CLOSE).u32(*handle).done(),
             Request::Read {
@@ -310,7 +356,11 @@ impl Request {
                 handle,
                 offset,
                 len,
-            } => Enc::new(OP_WRITE).u32(*handle).u64(*offset).u64(*len).done(),
+            } => Enc::new(OP_WRITE)
+                .u32(*handle)
+                .u64(*offset)
+                .u64(*len)
+                .done(),
         }
     }
 
@@ -448,7 +498,9 @@ fn error_code(e: OrfsError) -> (u8, u8) {
 
 fn error_from(class: u8, code: u8) -> OrfsError {
     match class {
-        0 => fs_error_from(code).map(OrfsError::Fs).unwrap_or(OrfsError::Decode),
+        0 => fs_error_from(code)
+            .map(OrfsError::Fs)
+            .unwrap_or(OrfsError::Decode),
         1 => OrfsError::Decode,
         2 => OrfsError::BadHandle,
         _ => OrfsError::Net,
@@ -556,7 +608,10 @@ mod tests {
             name: "some-file.txt".into(),
         });
         roundtrip_req(Request::Getattr { ino: 42 });
-        roundtrip_req(Request::SetattrMode { ino: 7, mode: 0o640 });
+        roundtrip_req(Request::SetattrMode {
+            ino: 7,
+            mode: 0o640,
+        });
         roundtrip_req(Request::Create {
             dir: 3,
             name: "x".into(),
@@ -588,7 +643,10 @@ mod tests {
             tdir: 2,
             tname: "new".into(),
         });
-        roundtrip_req(Request::Truncate { ino: 5, size: 12345 });
+        roundtrip_req(Request::Truncate {
+            ino: 5,
+            size: 12345,
+        });
         roundtrip_req(Request::Open { ino: 6 });
         roundtrip_req(Request::Close { handle: 3 });
         roundtrip_req(Request::Read {
@@ -668,7 +726,7 @@ mod tests {
     }
 
     #[test]
-    fn trailing_garbage_in_response_is_rejected()  {
+    fn trailing_garbage_in_response_is_rejected() {
         let mut enc = Response::Unit.encode().to_vec();
         enc.push(0);
         assert_eq!(Response::decode(&enc), Err(OrfsError::Decode));

@@ -80,7 +80,20 @@ pub fn server_create<W: OrfsWorld>(
         handling_cost: SimTime::from_nanos(700),
         stats: ServerStats::default(),
     });
+    server_attach_endpoint(w, id, ep);
     Ok(id)
+}
+
+/// Register the server as the consumer of `ep`'s events. `server_create`
+/// attaches the primary endpoint; call this again to serve additional
+/// endpoints (e.g. a GM port next to an MX endpoint on the same server).
+pub fn server_attach_endpoint<W: OrfsWorld>(w: &mut W, sid: OrfsServerId, ep: Endpoint) {
+    let cid = w
+        .registry_mut()
+        .register(&format!("orfs-server-{}", sid.0), move |w, via, ev| {
+            server_on_event(w, sid, via, ev)
+        });
+    knet_core::api::bind(w, ep, cid);
 }
 
 impl OrfsServer {
@@ -108,7 +121,13 @@ impl OrfsServer {
 }
 
 /// Execute one metadata/namespace request. Returns the response.
-fn execute(fs: &mut SimFs, server: &mut Vec<Option<InodeNo>>, free: &mut Vec<u32>, req: &Request, now: SimTime) -> Response {
+fn execute(
+    fs: &mut SimFs,
+    server: &mut Vec<Option<InodeNo>>,
+    free: &mut Vec<u32>,
+    req: &Request,
+    now: SimTime,
+) -> Response {
     fn ino(i: u32) -> InodeNo {
         InodeNo(i)
     }
@@ -118,9 +137,7 @@ fn execute(fs: &mut SimFs, server: &mut Vec<Option<InodeNo>>, free: &mut Vec<u32
     // VFS does).
     let r: Result<Response, OrfsError> = (|| {
         Ok(match req {
-            Request::Lookup { dir, name } => {
-                Response::Ino(fs.lookup(ino(*dir), name)?.0)
-            }
+            Request::Lookup { dir, name } => Response::Ino(fs.lookup(ino(*dir), name)?.0),
             Request::Getattr { ino: i } => {
                 Response::Attr(WireAttr::from_attr(&fs.getattr(ino(*i))?))
             }
@@ -266,7 +283,12 @@ fn remove_in(
 
 /// Transport upcall: a request (or write payload) arrived at server `sid`
 /// via endpoint `via` (a server may listen on several transports).
-pub fn server_on_event<W: OrfsWorld>(w: &mut W, sid: OrfsServerId, via: Endpoint, ev: TransportEvent) {
+pub fn server_on_event<W: OrfsWorld>(
+    w: &mut W,
+    sid: OrfsServerId,
+    via: Endpoint,
+    ev: TransportEvent,
+) {
     match ev {
         TransportEvent::Unexpected { tag, data, from } => {
             server_handle_request(w, sid, via, tag, &data, from);
@@ -293,9 +315,10 @@ fn complete_pending_write<W: OrfsWorld>(w: &mut W, sid: OrfsServerId, tag: u64, 
         .expect("ring mapped");
     let (resp, fs_cost) = {
         let s = w.orfs_mut().server_mut(sid);
-        let r = s
-            .handle_ino(pw.handle)
-            .and_then(|ino| s.fs.write(ino, pw.offset, &data, now).map_err(OrfsError::from));
+        let r = s.handle_ino(pw.handle).and_then(|ino| {
+            s.fs.write(ino, pw.offset, &data, now)
+                .map_err(OrfsError::from)
+        });
         let cost = s.fs.take_cost();
         match r {
             Ok(n) => {
@@ -351,7 +374,9 @@ fn server_handle_request<W: OrfsWorld>(
                 let s = w.orfs_mut().server_mut(sid);
                 let r = s.handle_ino(handle).and_then(|ino| {
                     let mut buf = vec![0u8; len as usize];
-                    let n = s.fs.read(ino, offset, &mut buf, now).map_err(OrfsError::from)?;
+                    let n =
+                        s.fs.read(ino, offset, &mut buf, now)
+                            .map_err(OrfsError::from)?;
                     buf.truncate(n);
                     Ok(buf)
                 });
@@ -469,7 +494,10 @@ fn reply_meta<W: OrfsWorld>(
     let node = w.orfs().server(sid).ep.node;
     cpu_charge(w, node, codec_cost());
     let bytes = resp.encode();
-    let addr = w.orfs_mut().server_mut(sid).ring_reserve(bytes.len() as u64);
+    let addr = w
+        .orfs_mut()
+        .server_mut(sid)
+        .ring_reserve(bytes.len() as u64);
     w.os_mut()
         .node_mut(node)
         .write_virt(Asid::KERNEL, addr, &bytes)

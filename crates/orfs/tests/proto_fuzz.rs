@@ -9,17 +9,25 @@ fn arb_request() -> impl Strategy<Value = Request> {
     prop_oneof![
         (any::<u32>(), name).prop_map(|(dir, name)| Request::Lookup { dir, name }),
         any::<u32>().prop_map(|ino| Request::Getattr { ino }),
-        (any::<u32>(), any::<u16>())
-            .prop_map(|(ino, mode)| Request::SetattrMode { ino, mode }),
-        (any::<u32>(), name, any::<u16>())
-            .prop_map(|(dir, name, mode)| Request::Create { dir, name, mode }),
-        (any::<u32>(), name, any::<u16>())
-            .prop_map(|(dir, name, mode)| Request::Mkdir { dir, name, mode }),
+        (any::<u32>(), any::<u16>()).prop_map(|(ino, mode)| Request::SetattrMode { ino, mode }),
+        (any::<u32>(), name, any::<u16>()).prop_map(|(dir, name, mode)| Request::Create {
+            dir,
+            name,
+            mode
+        }),
+        (any::<u32>(), name, any::<u16>()).prop_map(|(dir, name, mode)| Request::Mkdir {
+            dir,
+            name,
+            mode
+        }),
         (any::<u32>(), name).prop_map(|(dir, name)| Request::Unlink { dir, name }),
         (any::<u32>(), name).prop_map(|(dir, name)| Request::Rmdir { dir, name }),
         any::<u32>().prop_map(|ino| Request::Readdir { ino }),
-        (any::<u32>(), name, name)
-            .prop_map(|(dir, name, target)| Request::Symlink { dir, name, target }),
+        (any::<u32>(), name, name).prop_map(|(dir, name, target)| Request::Symlink {
+            dir,
+            name,
+            target
+        }),
         any::<u32>().prop_map(|ino| Request::Readlink { ino }),
         (any::<u32>(), name, any::<u32>(), name).prop_map(|(fdir, fname, tdir, tname)| {
             Request::Rename {
@@ -57,7 +65,14 @@ fn arb_response() -> impl Strategy<Value = Response> {
         any::<u64>().prop_map(Response::Written),
         name.prop_map(Response::Target),
         Just(Response::Unit),
-        (any::<u32>(), 0u8..3, any::<u64>(), any::<u32>(), any::<u16>(), any::<u64>())
+        (
+            any::<u32>(),
+            0u8..3,
+            any::<u64>(),
+            any::<u32>(),
+            any::<u16>(),
+            any::<u64>()
+        )
             .prop_map(|(ino, ftype, size, nlink, mode, mtime_ns)| {
                 Response::Attr(WireAttr {
                     ino,

@@ -28,8 +28,8 @@ pub mod time;
 pub use resource::{Busy, LaneBank};
 pub use rng::SplitMix64;
 pub use sched::{
-    after, at, now, run_to_quiescence, run_until, run_until_budgeted, step, RunOutcome,
-    Scheduler, SimWorld, DEFAULT_EVENT_BUDGET,
+    after, at, now, run_to_quiescence, run_until, run_until_budgeted, step, RunOutcome, Scheduler,
+    SimWorld, DEFAULT_EVENT_BUDGET,
 };
 pub use stats::{pow2_sizes, Series, SeriesPoint, Summary};
 pub use time::{Bandwidth, SimTime};

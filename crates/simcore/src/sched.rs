@@ -232,9 +232,12 @@ mod tests {
     #[test]
     fn events_run_in_time_order() {
         let mut w = world();
-        w.sched.at(SimTime::from_micros(3), |w: &mut TestWorld| w.log.push(3));
-        w.sched.at(SimTime::from_micros(1), |w: &mut TestWorld| w.log.push(1));
-        w.sched.at(SimTime::from_micros(2), |w: &mut TestWorld| w.log.push(2));
+        w.sched
+            .at(SimTime::from_micros(3), |w: &mut TestWorld| w.log.push(3));
+        w.sched
+            .at(SimTime::from_micros(1), |w: &mut TestWorld| w.log.push(1));
+        w.sched
+            .at(SimTime::from_micros(2), |w: &mut TestWorld| w.log.push(2));
         run_to_quiescence(&mut w);
         assert_eq!(w.log, vec![1, 2, 3]);
         assert_eq!(now(&w), SimTime::from_micros(3));
@@ -256,9 +259,10 @@ mod tests {
         let mut w = world();
         w.sched.at(SimTime::from_micros(10), |w: &mut TestWorld| {
             // Scheduling in the past must not rewind the clock.
-            w.sched_mut().at(SimTime::from_micros(1), |w: &mut TestWorld| {
-                w.log.push(2);
-            });
+            w.sched_mut()
+                .at(SimTime::from_micros(1), |w: &mut TestWorld| {
+                    w.log.push(2);
+                });
             w.log.push(1);
         });
         run_to_quiescence(&mut w);
@@ -299,9 +303,8 @@ mod tests {
     #[test]
     fn run_until_reports_quiescence() {
         let mut w = world();
-        w.sched.after(SimTime::from_micros(1), |w: &mut TestWorld| {
-            w.log.push(1)
-        });
+        w.sched
+            .after(SimTime::from_micros(1), |w: &mut TestWorld| w.log.push(1));
         let outcome = run_until(&mut w, |_| false);
         assert_eq!(outcome, RunOutcome::Quiescent);
     }
@@ -324,9 +327,8 @@ mod tests {
     fn executed_counts_events() {
         let mut w = world();
         for i in 0..7 {
-            w.sched.at(SimTime::from_micros(i), |w: &mut TestWorld| {
-                w.log.push(0)
-            });
+            w.sched
+                .at(SimTime::from_micros(i), |w: &mut TestWorld| w.log.push(0));
         }
         run_to_quiescence(&mut w);
         assert_eq!(w.sched.executed(), 7);

@@ -144,7 +144,10 @@ impl Series {
 
     /// Maximum y value (e.g. peak bandwidth).
     pub fn peak(&self) -> f64 {
-        self.points.iter().map(|p| p.y).fold(f64::NEG_INFINITY, f64::max)
+        self.points
+            .iter()
+            .map(|p| p.y)
+            .fold(f64::NEG_INFINITY, f64::max)
     }
 
     /// The y value at the exact x sample, if present.

@@ -88,7 +88,12 @@ impl SimFs {
 
     // ---- inode & block allocation ------------------------------------
 
-    fn alloc_inode(&mut self, ftype: FileType, mode: u16, now: SimTime) -> Result<InodeNo, FsError> {
+    fn alloc_inode(
+        &mut self,
+        ftype: FileType,
+        mode: u16,
+        now: SimTime,
+    ) -> Result<InodeNo, FsError> {
         self.charge(self.timing.alloc_op);
         let idx = if let Some(i) = self.free_inodes.pop() {
             i as usize
@@ -144,8 +149,7 @@ impl SimFs {
     }
 
     fn block_data(&mut self, b: BlockNo) -> &mut [u8; BLOCK_SIZE as usize] {
-        self.blocks[b.0 as usize]
-            .get_or_insert_with(|| Box::new([0u8; BLOCK_SIZE as usize]))
+        self.blocks[b.0 as usize].get_or_insert_with(|| Box::new([0u8; BLOCK_SIZE as usize]))
     }
 
     fn read_ptr(&mut self, table_block: u32, idx: u64) -> u32 {
@@ -753,7 +757,8 @@ mod tests {
     fn unlink_frees_space_when_last_link_drops() {
         let mut f = fs();
         let ino = f.create("/f", 0o644, T).unwrap();
-        f.write(ino, 0, &vec![7u8; 3 * BLOCK_SIZE as usize], T).unwrap();
+        f.write(ino, 0, &vec![7u8; 3 * BLOCK_SIZE as usize], T)
+            .unwrap();
         let used = f.blocks_in_use();
         assert_eq!(used, 3);
         f.link(ino, "/g", T).unwrap();
@@ -821,7 +826,8 @@ mod tests {
     fn truncate_shrinks_and_frees() {
         let mut f = fs();
         let ino = f.create("/t", 0o644, T).unwrap();
-        f.write(ino, 0, &vec![5u8; 8 * BLOCK_SIZE as usize], T).unwrap();
+        f.write(ino, 0, &vec![5u8; 8 * BLOCK_SIZE as usize], T)
+            .unwrap();
         assert_eq!(f.blocks_in_use(), 8);
         f.truncate(ino, 2 * BLOCK_SIZE + 100, T).unwrap();
         assert_eq!(f.blocks_in_use(), 3);

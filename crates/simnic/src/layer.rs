@@ -308,14 +308,8 @@ mod tests {
     fn dma_gather_reads_host_memory() {
         let (mut w, a, _) = world();
         let node = w.nics.get(a).node;
-        let frame = w
-            .os
-            .node_mut(node)
-            .mem
-            .alloc(FrameState::Kernel)
-            .unwrap();
-        w.os
-            .node_mut(node)
+        let frame = w.os.node_mut(node).mem.alloc(FrameState::Kernel).unwrap();
+        w.os.node_mut(node)
             .mem
             .write(frame.base(), b"dma payload")
             .unwrap();
@@ -329,16 +323,14 @@ mod tests {
     fn dma_scatter_writes_host_memory() {
         let (mut w, a, _) = world();
         let node = w.nics.get(a).node;
-        let frame = w
-            .os
-            .node_mut(node)
-            .mem
-            .alloc(FrameState::Kernel)
-            .unwrap();
+        let frame = w.os.node_mut(node).mem.alloc(FrameState::Kernel).unwrap();
         let segs = [PhysSeg::new(frame.base().add(8), 5)];
         dma_scatter(&mut w, a, SimTime::ZERO, &segs, b"hello").unwrap();
         let mut buf = [0u8; 5];
-        w.os.node(node).mem.read(frame.base().add(8), &mut buf).unwrap();
+        w.os.node(node)
+            .mem
+            .read(frame.base().add(8), &mut buf)
+            .unwrap();
         assert_eq!(&buf, b"hello");
     }
 
@@ -346,12 +338,11 @@ mod tests {
     fn dma_requests_serialize_on_the_engine() {
         let (mut w, a, _) = world();
         let node = w.nics.get(a).node;
-        let frame = w
-            .os
-            .node_mut(node)
-            .mem
-            .alloc_contig(2, FrameState::Kernel)
-            .unwrap();
+        let frame =
+            w.os.node_mut(node)
+                .mem
+                .alloc_contig(2, FrameState::Kernel)
+                .unwrap();
         let segs = [PhysSeg::new(frame.base(), PAGE_SIZE)];
         let (_, t1) = dma_gather(&mut w, a, SimTime::ZERO, &segs).unwrap();
         let (_, t2) = dma_gather(&mut w, a, SimTime::ZERO, &segs).unwrap();
@@ -365,12 +356,11 @@ mod tests {
         // sequential (DMA + wire) per chunk, and just above pure wire time.
         let (mut w, a, b) = world();
         let node = w.nics.get(a).node;
-        let frame = w
-            .os
-            .node_mut(node)
-            .mem
-            .alloc_contig(16, FrameState::Kernel)
-            .unwrap();
+        let frame =
+            w.os.node_mut(node)
+                .mem
+                .alloc_contig(16, FrameState::Kernel)
+                .unwrap();
         let mut ready = SimTime::ZERO;
         for i in 0..16u64 {
             let segs = [PhysSeg::new(frame.base().add(i * PAGE_SIZE), PAGE_SIZE)];

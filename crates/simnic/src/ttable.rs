@@ -126,7 +126,9 @@ impl TransTable {
             Some(e) => {
                 e.last_use = clock;
                 self.stats.hits += 1;
-                Ok(PhysAddr::new((e.pfn << knet_simos::PAGE_SHIFT) + addr.page_offset()))
+                Ok(PhysAddr::new(
+                    (e.pfn << knet_simos::PAGE_SHIFT) + addr.page_offset(),
+                ))
             }
             None => {
                 self.stats.misses += 1;
@@ -195,7 +197,10 @@ mod tests {
         let mut t = TransTable::new(2);
         t.insert(key(1, 0), PhysAddr::new(0)).unwrap();
         t.insert(key(1, 1), PhysAddr::new(0x1000)).unwrap();
-        assert_eq!(t.insert(key(1, 2), PhysAddr::new(0x2000)), Err(TtError::Full));
+        assert_eq!(
+            t.insert(key(1, 2), PhysAddr::new(0x2000)),
+            Err(TtError::Full)
+        );
         assert_eq!(t.stats.full_failures, 1);
         // Reinsert over an existing key is fine.
         t.insert(key(1, 1), PhysAddr::new(0x3000)).unwrap();
@@ -246,7 +251,8 @@ mod tests {
         let mut t = TransTable::new(16);
         for vpn in 0..4 {
             t.insert(key(1, vpn), PhysAddr::new(vpn << 12)).unwrap();
-            t.insert(key(2, vpn), PhysAddr::new((vpn + 8) << 12)).unwrap();
+            t.insert(key(2, vpn), PhysAddr::new((vpn + 8) << 12))
+                .unwrap();
         }
         assert_eq!(t.purge_asid(Asid(1)), 4);
         assert_eq!(t.len(), 4);

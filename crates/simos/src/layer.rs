@@ -356,11 +356,10 @@ mod tests {
         let (mut w, n) = world();
         let va = w.os.node_mut(n).kalloc(3 * PAGE_SIZE).unwrap();
         assert!(va.is_kernel());
-        let segs = w
-            .os
-            .node(n)
-            .translate_range(Asid::KERNEL, va, 3 * PAGE_SIZE)
-            .unwrap();
+        let segs =
+            w.os.node(n)
+                .translate_range(Asid::KERNEL, va, 3 * PAGE_SIZE)
+                .unwrap();
         assert_eq!(segs.len(), 1);
         assert_eq!(segs[0].len, 3 * PAGE_SIZE);
         w.os.node_mut(n).kfree(va, 3 * PAGE_SIZE).unwrap();
@@ -371,13 +370,11 @@ mod tests {
     fn kernel_rw_through_direct_map() {
         let (mut w, n) = world();
         let va = w.os.node_mut(n).kalloc(PAGE_SIZE).unwrap();
-        w.os
-            .node_mut(n)
+        w.os.node_mut(n)
             .write_virt(Asid::KERNEL, va.add(100), b"kernel bytes")
             .unwrap();
         let mut buf = [0u8; 12];
-        w.os
-            .node(n)
+        w.os.node(n)
             .read_virt(Asid::KERNEL, va.add(100), &mut buf)
             .unwrap();
         assert_eq!(&buf, b"kernel bytes");
@@ -388,8 +385,7 @@ mod tests {
         let (mut w, n) = world();
         let asid = w.os.node_mut(n).create_process();
         let va = mmap_anon(&mut w, n, asid, 2 * PAGE_SIZE).unwrap();
-        w.os
-            .node_mut(n)
+        w.os.node_mut(n)
             .write_virt(asid, va.add(10), b"user bytes")
             .unwrap();
         let mut buf = [0u8; 10];
@@ -459,11 +455,10 @@ mod tests {
         let (mut w, n) = world();
         let asid = w.os.node_mut(n).create_process();
         let va = mmap_anon(&mut w, n, asid, 3 * PAGE_SIZE).unwrap();
-        let frames = w
-            .os
-            .node_mut(n)
-            .pin_range(asid, va.add(100), 2 * PAGE_SIZE)
-            .unwrap();
+        let frames =
+            w.os.node_mut(n)
+                .pin_range(asid, va.add(100), 2 * PAGE_SIZE)
+                .unwrap();
         assert_eq!(frames.len(), 3, "unaligned 2-page range spans 3 pages");
         for &f in &frames {
             assert_eq!(w.os.node(n).mem.pin_count(f), 1);
@@ -476,21 +471,19 @@ mod tests {
     fn kernel_addresses_need_no_pin() {
         let (mut w, n) = world();
         let va = w.os.node_mut(n).kalloc(PAGE_SIZE).unwrap();
-        let frames = w
-            .os
-            .node_mut(n)
-            .pin_range(Asid::KERNEL, va, PAGE_SIZE)
-            .unwrap();
+        let frames =
+            w.os.node_mut(n)
+                .pin_range(Asid::KERNEL, va, PAGE_SIZE)
+                .unwrap();
         assert!(frames.is_empty());
     }
 
     #[test]
     fn translate_range_rejects_kernel_asid_for_user_addr() {
         let (w, n) = world();
-        let r = w
-            .os
-            .node(n)
-            .translate_range(Asid::KERNEL, VirtAddr::new(0x1000), 16);
+        let r =
+            w.os.node(n)
+                .translate_range(Asid::KERNEL, VirtAddr::new(0x1000), 16);
         assert_eq!(r.map(|_| ()), Err(OsError::WrongAddressClass));
     }
 }

@@ -30,14 +30,14 @@ pub mod space;
 pub mod spy;
 
 pub use addr::{
-    page_slices, pages_spanned, Asid, NodeId, PhysAddr, PhysSeg, VirtAddr, KERNEL_BASE,
-    PAGE_SHIFT, PAGE_SIZE, USER_MMAP_BASE,
+    page_slices, pages_spanned, Asid, NodeId, PhysAddr, PhysSeg, VirtAddr, KERNEL_BASE, PAGE_SHIFT,
+    PAGE_SIZE, USER_MMAP_BASE,
 };
 pub use cpu::{Cpu, CpuModel};
 pub use error::OsError;
 pub use layer::{
-    cpu_charge, cpu_run, exit_process, fork, mmap_anon, mprotect, munmap, NodeOs, OsLayer,
-    OsWorld, DEFAULT_MEM_FRAMES,
+    cpu_charge, cpu_run, exit_process, fork, mmap_anon, mprotect, munmap, NodeOs, OsLayer, OsWorld,
+    DEFAULT_MEM_FRAMES,
 };
 pub use pagecache::{CachedPage, PageCache, PageCacheStats, PageKey};
 pub use phys::{FrameIdx, FrameState, PhysMem};

@@ -129,7 +129,12 @@ impl PageCache {
     }
 
     /// Evict every page of a file (e.g. on O_DIRECT open or unlink).
-    pub fn evict_file(&mut self, mem: &mut PhysMem, mount: u32, inode: u32) -> Result<u64, OsError> {
+    pub fn evict_file(
+        &mut self,
+        mem: &mut PhysMem,
+        mount: u32,
+        inode: u32,
+    ) -> Result<u64, OsError> {
         let keys: Vec<PageKey> = self
             .pages
             .range(

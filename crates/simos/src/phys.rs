@@ -211,10 +211,7 @@ impl PhysMem {
         let first = addr.pfn();
         let last = PhysAddr::new(addr.raw() + len - 1).pfn();
         for pfn in first..=last {
-            let f = self
-                .frames
-                .get(pfn as usize)
-                .ok_or(OsError::BadPhysAddr)?;
+            let f = self.frames.get(pfn as usize).ok_or(OsError::BadPhysAddr)?;
             if f.state == FrameState::Free {
                 return Err(OsError::UseAfterFree);
             }

@@ -10,9 +10,7 @@
 
 use std::collections::BTreeMap;
 
-use crate::addr::{
-    pages_spanned, PhysAddr, PhysSeg, VirtAddr, PAGE_SIZE, USER_MMAP_BASE,
-};
+use crate::addr::{pages_spanned, PhysAddr, PhysSeg, VirtAddr, PAGE_SIZE, USER_MMAP_BASE};
 use crate::error::OsError;
 use crate::phys::{FrameIdx, FrameState, PhysMem};
 
@@ -102,7 +100,12 @@ impl AddressSpace {
     /// Map `len` bytes (page-rounded) of fresh anonymous memory; returns the
     /// chosen base address. Frames are allocated eagerly (the model has no
     /// demand paging — the paper's workloads touch everything they map).
-    pub fn map_anon(&mut self, mem: &mut PhysMem, len: u64, prot: Prot) -> Result<VirtAddr, OsError> {
+    pub fn map_anon(
+        &mut self,
+        mem: &mut PhysMem,
+        len: u64,
+        prot: Prot,
+    ) -> Result<VirtAddr, OsError> {
         if len == 0 {
             return Err(OsError::BadRange);
         }
@@ -204,14 +207,7 @@ impl AddressSpace {
             self.table.get_mut(&vpn).expect("checked").prot = prot;
         }
         self.punch_vma_hole(start.raw(), start.raw() + len);
-        self.vmas.insert(
-            start.raw(),
-            Vma {
-                start,
-                len,
-                prot,
-            },
-        );
+        self.vmas.insert(start.raw(), Vma { start, len, prot });
         Ok(())
     }
 
@@ -244,10 +240,7 @@ impl AddressSpace {
             if !pte.prot.read {
                 return Err(OsError::ProtectionViolation);
             }
-            mem.read(
-                pte.frame.base().add(off),
-                &mut buf[done..done + n as usize],
-            )?;
+            mem.read(pte.frame.base().add(off), &mut buf[done..done + n as usize])?;
             done += n as usize;
         }
         Ok(())
@@ -337,7 +330,8 @@ mod tests {
         let (mut mem, mut sp) = setup();
         let base = sp.map_anon(&mut mem, 2 * PAGE_SIZE, Prot::RW).unwrap();
         let data: Vec<u8> = (0..200).map(|i| i as u8).collect();
-        sp.write(&mut mem, base.add(PAGE_SIZE - 100), &data).unwrap();
+        sp.write(&mut mem, base.add(PAGE_SIZE - 100), &data)
+            .unwrap();
         let mut back = vec![0u8; 200];
         sp.read(&mem, base.add(PAGE_SIZE - 100), &mut back).unwrap();
         assert_eq!(back, data);
@@ -362,7 +356,8 @@ mod tests {
         let (mut mem, mut sp) = setup();
         let base = sp.map_anon(&mut mem, 4 * PAGE_SIZE, Prot::RW).unwrap();
         let before = mem.allocated_frames();
-        sp.unmap(&mut mem, base.add(PAGE_SIZE), 2 * PAGE_SIZE).unwrap();
+        sp.unmap(&mut mem, base.add(PAGE_SIZE), 2 * PAGE_SIZE)
+            .unwrap();
         assert_eq!(mem.allocated_frames(), before - 2);
         assert_eq!(sp.translate(base.add(PAGE_SIZE)), Err(OsError::Fault));
         assert!(sp.translate(base).is_ok());

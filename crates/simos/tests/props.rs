@@ -2,9 +2,7 @@
 //! frames, translation is consistent with data access, and the page
 //! utilities tile ranges exactly.
 
-use knet_simos::{
-    page_slices, pages_spanned, CpuModel, NodeId, NodeOs, Prot, VirtAddr, PAGE_SIZE,
-};
+use knet_simos::{page_slices, pages_spanned, CpuModel, NodeId, NodeOs, Prot, VirtAddr, PAGE_SIZE};
 use proptest::prelude::*;
 
 proptest! {

@@ -16,4 +16,6 @@ pub use stream::{
     sock_create, sock_on_event, sock_recv, sock_send, Sock, SockId, SockOpId, SockResult,
     SockStats, ZsockLayer, ZsockWorld,
 };
-pub use tcp::{tcp_pair, tcp_recv, tcp_send, TcpLayer, TcpOpId, TcpSock, TcpSockId, TcpStats, TcpWorld};
+pub use tcp::{
+    tcp_pair, tcp_recv, tcp_send, TcpLayer, TcpOpId, TcpSock, TcpSockId, TcpStats, TcpWorld,
+};

@@ -80,9 +80,7 @@ impl TcpParams {
     /// (fragmentation + checksum + per-packet processing), one side.
     pub fn host_cost(&self, bytes: u64) -> SimTime {
         let packets = bytes.div_ceil(self.mtu).max(1);
-        self.per_call_host
-            + self.per_packet_host * packets
-            + self.checksum_bw.transfer_time(bytes)
+        self.per_call_host + self.per_packet_host * packets + self.checksum_bw.transfer_time(bytes)
     }
 
     /// Wire occupancy of `bytes` (with per-packet framing of 58 bytes).

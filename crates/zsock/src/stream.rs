@@ -144,7 +144,7 @@ impl ZsockLayer {
 }
 
 /// Capability trait: a world with the socket layer.
-pub trait ZsockWorld: knet_core::TransportWorld {
+pub trait ZsockWorld: knet_core::DispatchWorld {
     fn zsock(&self) -> &ZsockLayer;
     fn zsock_mut(&mut self) -> &mut ZsockLayer;
 }
@@ -180,6 +180,12 @@ pub fn sock_create<W: ZsockWorld>(
         completed: VecDeque::new(),
         stats: SockStats::default(),
     });
+    let cid = w
+        .registry_mut()
+        .register(&format!("zsock-{}", id.0), move |w, _via, ev| {
+            sock_on_event(w, id, ev)
+        });
+    knet_core::api::bind(w, ep, cid);
     Ok(id)
 }
 
@@ -236,8 +242,8 @@ pub fn sock_send<W: ZsockWorld>(w: &mut W, sid: SockId, src: MemRef) -> SockOpId
             .node_mut(node)
             .write_virt(Asid::KERNEL, hdr_addr, &hdr)
             .expect("sock ring mapped");
-        let data = knet_core::read_iovec(w.os().node(node), &IoVec::single(src))
-            .unwrap_or_default();
+        let data =
+            knet_core::read_iovec(w.os().node(node), &IoVec::single(src)).unwrap_or_default();
         w.os_mut()
             .node_mut(node)
             .write_virt(Asid::KERNEL, hdr_addr.add(16), &data)
@@ -282,8 +288,8 @@ pub fn sock_send<W: ZsockWorld>(w: &mut W, sid: SockId, src: MemRef) -> SockOpId
                 let s = w.zsock_mut().sock_mut(sid);
                 s.ring_reserve(len)
             };
-            let data = knet_core::read_iovec(w.os().node(node), &IoVec::single(src))
-                .unwrap_or_default();
+            let data =
+                knet_core::read_iovec(w.os().node(node), &IoVec::single(src)).unwrap_or_default();
             w.os_mut()
                 .node_mut(node)
                 .write_virt(Asid::KERNEL, addr, &data)
@@ -369,13 +375,15 @@ pub fn sock_on_event<W: ZsockWorld>(w: &mut W, sid: SockId, ev: TransportEvent) 
     };
     if kind == TransportKind::Gm {
         let p = w.zsock().params.clone();
-        let cost = w.os().node(node).cpu.model.ctx_switch * p.gm_dispatch_switches as u64
-            + p.gm_interrupt;
+        let cost =
+            w.os().node(node).cpu.model.ctx_switch * p.gm_dispatch_switches as u64 + p.gm_interrupt;
         cpu_charge(w, node, cost);
         w.zsock_mut().sock_mut(sid).stats.dispatch_wakeups += 1;
     }
     match ev {
-        TransportEvent::Unexpected { tag, data, .. } if (TAG_HDR_BASE..TAG_DATA_BASE).contains(&tag) => {
+        TransportEvent::Unexpected { tag, data, .. }
+            if (TAG_HDR_BASE..TAG_DATA_BASE).contains(&tag) =>
+        {
             // A stream header, possibly with the payload inline.
             if data.len() < 16 {
                 return;
@@ -403,12 +411,8 @@ pub fn sock_on_event<W: ZsockWorld>(w: &mut W, sid: SockId, ev: TransportEvent) 
                     w.t_cancel_recv(ep, TAG_DATA_BASE + seq);
                     let node = ep.node;
                     let n = (data.len() as u64).min(len);
-                    knet_core::write_iovec(
-                        w.os_mut().node_mut(node),
-                        &IoVec::single(dst),
-                        &data,
-                    )
-                    .ok();
+                    knet_core::write_iovec(w.os_mut().node_mut(node), &IoVec::single(dst), &data)
+                        .ok();
                     let copy = w.os().node(node).cpu.model.memcpy_cost(n);
                     cpu_charge(w, node, copy);
                     let s = w.zsock_mut().sock_mut(sid);
@@ -475,14 +479,8 @@ fn on_header<W: ZsockWorld>(w: &mut W, sid: SockId, seq: u64, len: u64) {
         let dst = clamp_memref(&p.dst, len);
         let _ = w.t_post_recv(ep, TAG_DATA_BASE + seq, IoVec::single(dst), seq);
         let s = w.zsock_mut().sock_mut(sid);
-        s.inbound.insert(
-            seq,
-            Inbound::Direct {
-                op: p.op,
-                len,
-                dst,
-            },
-        );
+        s.inbound
+            .insert(seq, Inbound::Direct { op: p.op, len, dst });
     } else {
         // Kernel socket buffer path.
         let addr = {

@@ -133,11 +133,7 @@ pub fn tcp_send<W: TcpWorld>(w: &mut W, sid: TcpSockId, src: MemRef) -> TcpOpId 
     let peer_node = w.tcp().sock(peer).node;
     let wire_end = {
         let now = knet_simcore::now(w);
-        let wire = w
-            .tcp_mut()
-            .wires
-            .entry((node.0, peer_node.0))
-            .or_default();
+        let wire = w.tcp_mut().wires.entry((node.0, peer_node.0)).or_default();
         let (_, end) = wire.acquire(host_done.max(now), params.wire_cost(len));
         end
     };
@@ -323,9 +319,6 @@ mod tests {
         let elapsed = knet_simcore::now(&w) - t0;
         // Two 1 MB messages over a 125 MB/s wire: at least ~17 ms of wire
         // time — the shared wire must serialize them.
-        assert!(
-            elapsed.millis() >= 16.0,
-            "wire must serialize: {elapsed}"
-        );
+        assert!(elapsed.millis() >= 16.0, "wire must serialize: {elapsed}");
     }
 }

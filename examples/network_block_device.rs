@@ -7,10 +7,8 @@
 
 use knet::harness::ubuf;
 use knet::prelude::*;
-use knet::Owner;
 use knet_nbd::{
-    nbd_client_create, nbd_read, nbd_read_raw, nbd_server_create, nbd_wait, nbd_write,
-    SECTOR_SIZE,
+    nbd_client_create, nbd_read, nbd_read_raw, nbd_server_create, nbd_wait, nbd_write, SECTOR_SIZE,
 };
 use knet_simcore::{run_until, RunOutcome};
 
@@ -32,8 +30,8 @@ fn session(kind: TransportKind) {
     let user = ubuf(&mut w, n0, 4 << 20);
     let (cep, sep) = match kind {
         TransportKind::Mx => (
-            w.open_mx(n0, MxEndpointConfig::kernel(), Owner::Driver).unwrap(),
-            w.open_mx(n1, MxEndpointConfig::kernel(), Owner::Driver).unwrap(),
+            w.open_mx(n0, MxEndpointConfig::kernel()).unwrap(),
+            w.open_mx(n1, MxEndpointConfig::kernel()).unwrap(),
         ),
         TransportKind::Gm => {
             let cfg = GmPortConfig::kernel()
@@ -41,21 +39,18 @@ fn session(kind: TransportKind) {
                 .with_regcache(4096)
                 .with_blocking_notify();
             (
-                w.open_gm(n0, cfg.clone(), Owner::Driver).unwrap(),
-                w.open_gm(n1, cfg, Owner::Driver).unwrap(),
+                w.open_gm(n0, cfg.clone()).unwrap(),
+                w.open_gm(n1, cfg).unwrap(),
             )
         }
     };
-    let server = nbd_server_create(&mut w, sep, 16 * 1024).unwrap(); // 64 MB disk
-    w.set_owner(sep, Owner::NbdServer(server));
+    let _server = nbd_server_create(&mut w, sep, 16 * 1024).unwrap(); // 64 MB disk
     let client = nbd_client_create(&mut w, cep, sep, 1000).unwrap();
-    w.set_owner(cep, Owner::NbdClient(client));
 
     // Format: write a recognizable pattern across 1 MB of the device.
     let mb = 1u64 << 20;
     let pattern: Vec<u8> = (0..mb).map(|i| ((i / SECTOR_SIZE) % 251) as u8).collect();
-    w.os
-        .node_mut(n0)
+    w.os.node_mut(n0)
         .write_virt(user.asid, user.addr, &pattern)
         .unwrap();
     let op = nbd_write(&mut w, client, user.memref(mb), 0);
@@ -89,7 +84,9 @@ fn session(kind: TransportKind) {
 
     // Verify contents end to end.
     let mut back = vec![0u8; mb as usize];
-    w.os.node(n0).read_virt(user.asid, user.addr, &mut back).unwrap();
+    w.os.node(n0)
+        .read_virt(user.asid, user.addr, &mut back)
+        .unwrap();
     assert_eq!(back, pattern, "device bytes survive the round trip");
 
     let stats = w.nbd.clients[client.0 as usize].stats;

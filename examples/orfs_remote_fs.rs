@@ -27,8 +27,7 @@ fn session(kind: TransportKind) {
     // Write a file through the page-cache and sync it.
     let fd = fsops::open(w, cid, "/project/src/main.rs", false).unwrap();
     let text = b"fn main() { println!(\"hello cluster\"); }\n".repeat(100);
-    w.os
-        .node_mut(fx.user.node)
+    w.os.node_mut(fx.user.node)
         .write_virt(fx.user.asid, fx.user.addr, &text)
         .unwrap();
     fsops::write(w, cid, fd, fx.user.memref(text.len() as u64), 0).unwrap();

@@ -6,7 +6,6 @@
 
 use knet::harness::{kbuf, transport_pingpong_us, ubuf};
 use knet::prelude::*;
-use knet::Owner;
 use knet_gm::gm_register;
 use knet_gm::GmPortId;
 
@@ -17,33 +16,47 @@ fn main() {
     let (mut w, n0, n1) = two_nodes();
     let ka = kbuf(&mut w, n0, 1 << 20);
     let kb = kbuf(&mut w, n1, 1 << 20);
-    let a = w.open_mx(n0, MxEndpointConfig::kernel(), Owner::Driver).unwrap();
-    let b = w.open_mx(n1, MxEndpointConfig::kernel(), Owner::Driver).unwrap();
+    let cq = w.new_cq();
+    let a = w.open_mx_cq(n0, MxEndpointConfig::kernel(), cq).unwrap();
+    let b = w.open_mx_cq(n1, MxEndpointConfig::kernel(), cq).unwrap();
     let mx_lat = transport_pingpong_us(&mut w, a, b, ka.iov(1), kb.iov(1), 10);
     let mx_bw_us = transport_pingpong_us(&mut w, a, b, ka.iov(1 << 20), kb.iov(1 << 20), 3);
-    println!("MX kernel   : 1-byte latency {:5.2} us   1 MB bandwidth {:6.1} MB/s", mx_lat, (1 << 20) as f64 / mx_bw_us);
+    println!(
+        "MX kernel   : 1-byte latency {:5.2} us   1 MB bandwidth {:6.1} MB/s",
+        mx_lat,
+        (1 << 20) as f64 / mx_bw_us
+    );
 
     // --- GM: registered user buffers, then the kernel port --------------
     let (mut w, n0, n1) = two_nodes();
     let ba = ubuf(&mut w, n0, 1 << 20);
     let bb = ubuf(&mut w, n1, 1 << 20);
-    let ga = w.open_gm(n0, GmPortConfig::user(ba.asid), Owner::Driver).unwrap();
-    let gb = w.open_gm(n1, GmPortConfig::user(bb.asid), Owner::Driver).unwrap();
+    let cq = w.new_cq();
+    let ga = w.open_gm_cq(n0, GmPortConfig::user(ba.asid), cq).unwrap();
+    let gb = w.open_gm_cq(n1, GmPortConfig::user(bb.asid), cq).unwrap();
     gm_register(&mut w, GmPortId(ga.idx), ba.asid, ba.addr, 1 << 20).unwrap();
     gm_register(&mut w, GmPortId(gb.idx), bb.asid, bb.addr, 1 << 20).unwrap();
     let gm_lat = transport_pingpong_us(&mut w, ga, gb, ba.iov(1), bb.iov(1), 10);
     let gm_bw_us = transport_pingpong_us(&mut w, ga, gb, ba.iov(1 << 20), bb.iov(1 << 20), 3);
-    println!("GM user     : 1-byte latency {:5.2} us   1 MB bandwidth {:6.1} MB/s", gm_lat, (1 << 20) as f64 / gm_bw_us);
+    println!(
+        "GM user     : 1-byte latency {:5.2} us   1 MB bandwidth {:6.1} MB/s",
+        gm_lat,
+        (1 << 20) as f64 / gm_bw_us
+    );
 
     let (mut w, n0, n1) = two_nodes();
     let ka = kbuf(&mut w, n0, 4096);
     let kb = kbuf(&mut w, n1, 4096);
-    let ga = w.open_gm(n0, GmPortConfig::kernel(), Owner::Driver).unwrap();
-    let gb = w.open_gm(n1, GmPortConfig::kernel(), Owner::Driver).unwrap();
+    let cq = w.new_cq();
+    let ga = w.open_gm_cq(n0, GmPortConfig::kernel(), cq).unwrap();
+    let gb = w.open_gm_cq(n1, GmPortConfig::kernel(), cq).unwrap();
     gm_register(&mut w, GmPortId(ga.idx), Asid::KERNEL, ka.addr, 4096).unwrap();
     gm_register(&mut w, GmPortId(gb.idx), Asid::KERNEL, kb.addr, 4096).unwrap();
     let gmk_lat = transport_pingpong_us(&mut w, ga, gb, ka.iov(1), kb.iov(1), 10);
-    println!("GM kernel   : 1-byte latency {:5.2} us   (the +2 us the paper measures)", gmk_lat);
+    println!(
+        "GM kernel   : 1-byte latency {:5.2} us   (the +2 us the paper measures)",
+        gmk_lat
+    );
 
     println!();
     println!("paper anchors: MX 4.2 us (user = kernel), GM 6.7 us user / ~8.7 us kernel");

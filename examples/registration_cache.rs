@@ -6,7 +6,6 @@
 
 use knet::harness::{await_recv, ubuf};
 use knet::prelude::*;
-use knet::Owner;
 use knet_core::TransportWorld;
 use knet_gm::GmPortId;
 use knet_simos::munmap;
@@ -16,16 +15,13 @@ fn main() {
     let (mut w, n0, n1) = two_nodes();
 
     // A shared kernel port with a 256-page GMKRC, and a receiver.
+    let cq = w.new_cq();
     let tx = w
-        .open_gm(
-            n0,
-            GmPortConfig::kernel().with_regcache(256),
-            Owner::Driver,
-        )
+        .open_gm_cq(n0, GmPortConfig::kernel().with_regcache(256), cq)
         .unwrap();
     let rx_buf = ubuf(&mut w, n1, 1 << 20);
     let rx = w
-        .open_gm(n1, GmPortConfig::user(rx_buf.asid), Owner::Driver)
+        .open_gm_cq(n1, GmPortConfig::user(rx_buf.asid), cq)
         .unwrap();
     knet_gm::gm_register(&mut w, GmPortId(rx.idx), rx_buf.asid, rx_buf.addr, 1 << 20).unwrap();
 
@@ -36,8 +32,7 @@ fn main() {
     knet_simcore::run_to_quiescence(&mut w);
 
     let buf = ubuf(&mut w, n0, 64 * 1024);
-    w.os
-        .node_mut(n0)
+    w.os.node_mut(n0)
         .write_virt(buf.asid, buf.addr, b"first payload")
         .unwrap();
 
@@ -46,12 +41,13 @@ fn main() {
         let before = knet_simcore::now(w);
         w.t_send(tx, rx, 7, b.iov(64 * 1024), 0).unwrap();
         await_recv(w, rx);
-        let stats = w
-            .gm
-            .port(GmPortId(tx.idx))
-            .unwrap()
-            .stats;
-        let cache = w.gm.port(GmPortId(tx.idx)).unwrap().regcache.as_ref().unwrap();
+        let stats = w.gm.port(GmPortId(tx.idx)).unwrap().stats;
+        let cache =
+            w.gm.port(GmPortId(tx.idx))
+                .unwrap()
+                .regcache
+                .as_ref()
+                .unwrap();
         println!(
             "  {label}: {:>8} transfer | registered so far {:>3} pages | hits {:>3} | invalidations {:>2}",
             format!("{}", knet_simcore::now(w) - before),
@@ -71,7 +67,12 @@ fn main() {
     println!("3. munmap fires VMA SPY: the cache drops the 16 stale entries");
     println!("   (and the kernel pays the real ~200 µs deregistration):");
     munmap(&mut w, n0, buf.asid, buf.addr, 64 * 1024).unwrap();
-    let cache = w.gm.port(GmPortId(tx.idx)).unwrap().regcache.as_ref().unwrap();
+    let cache =
+        w.gm.port(GmPortId(tx.idx))
+            .unwrap()
+            .regcache
+            .as_ref()
+            .unwrap();
     println!(
         "   invalidations now {}, cache now holds {} pages",
         cache.stats.invalidations,
@@ -81,15 +82,13 @@ fn main() {
     println!("4. a new mapping at a fresh address re-registers and delivers");
     println!("   the *new* bytes (no stale-translation hazard):");
     let buf2 = ubuf2(&mut w, n0, buf.asid);
-    w.os
-        .node_mut(n0)
+    w.os.node_mut(n0)
         .write_virt(buf2.asid, buf2.addr, b"second payload")
         .unwrap();
     send(&mut w, &buf2, "remap ");
 
     let mut got = vec![0u8; 14];
-    w.os
-        .node(n1)
+    w.os.node(n1)
         .read_virt(rx_buf.asid, rx_buf.addr, &mut got)
         .unwrap();
     assert_eq!(&got, b"second payload");
@@ -98,8 +97,7 @@ fn main() {
     println!("\n5. fork: the child's identical virtual addresses resolve to");
     println!("   different physical pages — the ASID-tagged table keeps them apart:");
     let child = knet_simos::fork(&mut w, n0, buf2.asid).unwrap();
-    w.os
-        .node_mut(n0)
+    w.os.node_mut(n0)
         .write_virt(child, buf2.addr, b"child  payload")
         .unwrap();
     let child_buf = knet::harness::UBuf {
@@ -109,8 +107,7 @@ fn main() {
         len: buf2.len,
     };
     send(&mut w, &child_buf, "child ");
-    w.os
-        .node(n1)
+    w.os.node(n1)
         .read_virt(rx_buf.asid, rx_buf.addr, &mut got)
         .unwrap();
     assert_eq!(&got, b"child  payload");
@@ -120,11 +117,10 @@ fn main() {
 
 /// Map a second buffer in an existing process.
 fn ubuf2(w: &mut ClusterWorld, node: NodeId, asid: Asid) -> knet::harness::UBuf {
-    let addr = w
-        .os
-        .node_mut(node)
-        .map_anon(asid, 64 * 1024, knet_simos::Prot::RW)
-        .unwrap();
+    let addr =
+        w.os.node_mut(node)
+            .map_anon(asid, 64 * 1024, knet_simos::Prot::RW)
+            .unwrap();
     knet::harness::UBuf {
         node,
         asid,

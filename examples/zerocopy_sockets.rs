@@ -5,7 +5,6 @@
 
 use knet::harness::{sock_pingpong_us, tcp_pingpong_us, ubuf};
 use knet::prelude::*;
-use knet::Owner;
 use knet_zsock::{sock_create, tcp_pair};
 
 fn myrinet_sockets(kind: TransportKind) -> Vec<(u64, f64)> {
@@ -17,21 +16,21 @@ fn myrinet_sockets(kind: TransportKind) -> Vec<(u64, f64)> {
         let bb = ubuf(&mut w, n1, 2 << 20);
         let (ea, eb) = match kind {
             TransportKind::Mx => (
-                w.open_mx(n0, MxEndpointConfig::kernel(), Owner::Driver).unwrap(),
-                w.open_mx(n1, MxEndpointConfig::kernel(), Owner::Driver).unwrap(),
+                w.open_mx(n0, MxEndpointConfig::kernel()).unwrap(),
+                w.open_mx(n1, MxEndpointConfig::kernel()).unwrap(),
             ),
             TransportKind::Gm => {
-                let cfg = GmPortConfig::kernel().with_physical_api().with_regcache(4096);
+                let cfg = GmPortConfig::kernel()
+                    .with_physical_api()
+                    .with_regcache(4096);
                 (
-                    w.open_gm(n0, cfg.clone(), Owner::Driver).unwrap(),
-                    w.open_gm(n1, cfg, Owner::Driver).unwrap(),
+                    w.open_gm(n0, cfg.clone()).unwrap(),
+                    w.open_gm(n1, cfg).unwrap(),
                 )
             }
         };
         let sa = sock_create(&mut w, ea, eb).unwrap();
         let sb = sock_create(&mut w, eb, ea).unwrap();
-        w.set_owner(ea, Owner::Sock(sa));
-        w.set_owner(eb, Owner::Sock(sb));
         let us = sock_pingpong_us(&mut w, sa, sb, ba.memref(n), bb.memref(n), 5);
         out.push((n, us));
     }

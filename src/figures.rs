@@ -20,7 +20,7 @@ use crate::harness::{
     self, kbuf, make_server_file, seq_read_mb, sock_pingpong_us, tcp_pingpong_us,
     transport_pingpong_us, ubuf,
 };
-use crate::world::{ClusterWorld, Owner};
+use crate::world::ClusterWorld;
 
 /// A regenerated figure.
 pub struct Figure {
@@ -72,15 +72,17 @@ fn gm_user_registered(
     n0: NodeId,
     n1: NodeId,
     len: u64,
-) -> (knet_core::Endpoint, knet_core::Endpoint, harness::UBuf, harness::UBuf) {
+) -> (
+    knet_core::Endpoint,
+    knet_core::Endpoint,
+    harness::UBuf,
+    harness::UBuf,
+) {
+    let cq = w.new_cq();
     let ba = ubuf(w, n0, len);
     let bb = ubuf(w, n1, len);
-    let ea = w
-        .open_gm(n0, GmPortConfig::user(ba.asid), Owner::Driver)
-        .unwrap();
-    let eb = w
-        .open_gm(n1, GmPortConfig::user(bb.asid), Owner::Driver)
-        .unwrap();
+    let ea = w.open_gm_cq(n0, GmPortConfig::user(ba.asid), cq).unwrap();
+    let eb = w.open_gm_cq(n1, GmPortConfig::user(bb.asid), cq).unwrap();
     gm_register(w, GmPortId(ea.idx), ba.asid, ba.addr, len).unwrap();
     gm_register(w, GmPortId(eb.idx), bb.asid, bb.addr, len).unwrap();
     (ea, eb, ba, bb)
@@ -100,8 +102,9 @@ fn gm_kernel_pair(
     } else {
         GmPortConfig::kernel()
     };
-    let ea = w.open_gm(n0, cfg.clone(), Owner::Driver).unwrap();
-    let eb = w.open_gm(n1, cfg, Owner::Driver).unwrap();
+    let cq = w.new_cq();
+    let ea = w.open_gm_cq(n0, cfg.clone(), cq).unwrap();
+    let eb = w.open_gm_cq(n1, cfg, cq).unwrap();
     let ka = kbuf(w, n0, len);
     let kb = kbuf(w, n1, len);
     let (ra, rb) = if physical {
@@ -170,13 +173,14 @@ pub fn fig5a() -> Figure {
     let mut s = Series::new("MX User");
     for &n in &sizes {
         let (mut w, n0, n1) = two_nodes();
+        let cq = w.new_cq();
         let ba = ubuf(&mut w, n0, 4096.max(n));
         let bb = ubuf(&mut w, n1, 4096.max(n));
         let ea = w
-            .open_mx(n0, MxEndpointConfig::user(ba.asid), Owner::Driver)
+            .open_mx_cq(n0, MxEndpointConfig::user(ba.asid), cq)
             .unwrap();
         let eb = w
-            .open_mx(n1, MxEndpointConfig::user(bb.asid), Owner::Driver)
+            .open_mx_cq(n1, MxEndpointConfig::user(bb.asid), cq)
             .unwrap();
         let us = transport_pingpong_us(&mut w, ea, eb, ba.iov(n), bb.iov(n), 5);
         s.push(n, us);
@@ -187,12 +191,9 @@ pub fn fig5a() -> Figure {
     let mut s = Series::new("MX Kernel");
     for &n in &sizes {
         let (mut w, n0, n1) = two_nodes();
-        let ea = w
-            .open_mx(n0, MxEndpointConfig::kernel(), Owner::Driver)
-            .unwrap();
-        let eb = w
-            .open_mx(n1, MxEndpointConfig::kernel(), Owner::Driver)
-            .unwrap();
+        let cq = w.new_cq();
+        let ea = w.open_mx_cq(n0, MxEndpointConfig::kernel(), cq).unwrap();
+        let eb = w.open_mx_cq(n1, MxEndpointConfig::kernel(), cq).unwrap();
         let ka = kbuf(&mut w, n0, 4096.max(n));
         let kb = kbuf(&mut w, n1, 4096.max(n));
         let us = transport_pingpong_us(&mut w, ea, eb, ka.iov(n), kb.iov(n), 5);
@@ -233,13 +234,14 @@ pub fn fig5b() -> Figure {
     let mut s = Series::new("MX User");
     for &n in &sizes {
         let (mut w, n0, n1) = two_nodes();
+        let cq = w.new_cq();
         let ba = ubuf(&mut w, n0, (1 << 20).max(n));
         let bb = ubuf(&mut w, n1, (1 << 20).max(n));
         let ea = w
-            .open_mx(n0, MxEndpointConfig::user(ba.asid), Owner::Driver)
+            .open_mx_cq(n0, MxEndpointConfig::user(ba.asid), cq)
             .unwrap();
         let eb = w
-            .open_mx(n1, MxEndpointConfig::user(bb.asid), Owner::Driver)
+            .open_mx_cq(n1, MxEndpointConfig::user(bb.asid), cq)
             .unwrap();
         let us = transport_pingpong_us(&mut w, ea, eb, ba.iov(n), bb.iov(n), 3);
         s.push(n, n as f64 / us);
@@ -249,12 +251,9 @@ pub fn fig5b() -> Figure {
     let mut s = Series::new("MX Kernel Physical");
     for &n in &sizes {
         let (mut w, n0, n1) = two_nodes();
-        let ea = w
-            .open_mx(n0, MxEndpointConfig::kernel(), Owner::Driver)
-            .unwrap();
-        let eb = w
-            .open_mx(n1, MxEndpointConfig::kernel(), Owner::Driver)
-            .unwrap();
+        let cq = w.new_cq();
+        let ea = w.open_mx_cq(n0, MxEndpointConfig::kernel(), cq).unwrap();
+        let eb = w.open_mx_cq(n1, MxEndpointConfig::kernel(), cq).unwrap();
         let ka = kbuf(&mut w, n0, (1 << 20).max(n));
         let kb = kbuf(&mut w, n1, (1 << 20).max(n));
         let pa = MemRef::physical(ka.addr.kernel_to_phys().unwrap(), n);
@@ -290,13 +289,14 @@ pub fn fig6() -> Figure {
     let mut user = Series::new("MX User");
     for &n in &sizes {
         let (mut w, n0, n1) = two_nodes();
+        let cq = w.new_cq();
         let ba = ubuf(&mut w, n0, n);
         let bb = ubuf(&mut w, n1, n);
         let ea = w
-            .open_mx(n0, MxEndpointConfig::user(ba.asid), Owner::Driver)
+            .open_mx_cq(n0, MxEndpointConfig::user(ba.asid), cq)
             .unwrap();
         let eb = w
-            .open_mx(n1, MxEndpointConfig::user(bb.asid), Owner::Driver)
+            .open_mx_cq(n1, MxEndpointConfig::user(bb.asid), cq)
             .unwrap();
         let us = transport_pingpong_us(&mut w, ea, eb, ba.iov(n), bb.iov(n), 3);
         user.push(n, n as f64 / us);
@@ -323,9 +323,10 @@ pub fn fig6() -> Figure {
         let mut s = Series::new(name);
         for &n in &sizes {
             let (mut w, n0, n1) = two_nodes();
+            let cq = w.new_cq();
             let cfg = MxEndpointConfig::kernel().with_opts(opts);
-            let ea = w.open_mx(n0, cfg, Owner::Driver).unwrap();
-            let eb = w.open_mx(n1, cfg, Owner::Driver).unwrap();
+            let ea = w.open_mx_cq(n0, cfg, cq).unwrap();
+            let eb = w.open_mx_cq(n1, cfg, cq).unwrap();
             let ka = kbuf(&mut w, n0, n);
             let kb = kbuf(&mut w, n1, n);
             let us = transport_pingpong_us(&mut w, ea, eb, ka.iov(n), kb.iov(n), 3);
@@ -416,12 +417,8 @@ pub fn fs_fixture(opts: FsOpts) -> FsFixture {
 
     let (client_ep, server_ep) = match opts.kind {
         TransportKind::Mx => {
-            let c = w
-                .open_mx(n0, MxEndpointConfig::kernel(), Owner::Driver)
-                .unwrap();
-            let s = w
-                .open_mx(n1, MxEndpointConfig::kernel(), Owner::Driver)
-                .unwrap();
+            let c = w.open_mx(n0, MxEndpointConfig::kernel()).unwrap();
+            let s = w.open_mx(n1, MxEndpointConfig::kernel()).unwrap();
             (c, s)
         }
         TransportKind::Gm => {
@@ -441,13 +438,12 @@ pub fn fs_fixture(opts: FsOpts) -> FsFixture {
                 .with_physical_api()
                 .with_regcache(4096)
                 .with_blocking_notify();
-            let c = w.open_gm(n0, ccfg, Owner::Driver).unwrap();
-            let s = w.open_gm(n1, scfg, Owner::Driver).unwrap();
+            let c = w.open_gm(n0, ccfg).unwrap();
+            let s = w.open_gm(n1, scfg).unwrap();
             (c, s)
         }
     };
     let server = server_create(&mut w, server_ep, SimFs::with_defaults()).unwrap();
-    w.set_owner(server_ep, Owner::OrfsServer(server));
     let cid = client_create(
         &mut w,
         client_ep,
@@ -460,7 +456,6 @@ pub fn fs_fixture(opts: FsOpts) -> FsFixture {
         },
     )
     .unwrap();
-    w.set_owner(client_ep, Owner::OrfsClient(cid));
     make_server_file(&mut w, server, "/data", opts.file_len);
     FsFixture {
         w,
@@ -608,20 +603,8 @@ pub fn fig7(direct: bool) -> Figure {
     };
     let mode = if direct { "Direct" } else { "Buffered" };
     let series = vec![
-        fs_read_series(
-            &format!("ORFS/GM {mode}"),
-            &sizes,
-            gm_opts,
-            direct,
-            false,
-        ),
-        fs_read_series(
-            &format!("ORFS/MX {mode}"),
-            &sizes,
-            mx_opts,
-            direct,
-            false,
-        ),
+        fs_read_series(&format!("ORFS/GM {mode}"), &sizes, gm_opts, direct, false),
+        fs_read_series(&format!("ORFS/MX {mode}"), &sizes, mx_opts, direct, false),
     ];
     Figure {
         id: if direct { "fig7a" } else { "fig7b" },
@@ -639,31 +622,35 @@ pub fn fig7(direct: bool) -> Figure {
 // ---------------------------------------------------------------- Figure 8
 
 /// Build a SOCKETS-GM or SOCKETS-MX pair on the PCI-XE world.
-fn sock_fixture(kind: TransportKind) -> (ClusterWorld, knet_zsock::SockId, knet_zsock::SockId, harness::UBuf, harness::UBuf) {
+fn sock_fixture(
+    kind: TransportKind,
+) -> (
+    ClusterWorld,
+    knet_zsock::SockId,
+    knet_zsock::SockId,
+    harness::UBuf,
+    harness::UBuf,
+) {
     let (mut w, n0, n1) = two_nodes_xe();
     let ba = ubuf(&mut w, n0, 2 << 20);
     let bb = ubuf(&mut w, n1, 2 << 20);
     let (ea, eb) = match kind {
         TransportKind::Mx => (
-            w.open_mx(n0, MxEndpointConfig::kernel(), Owner::Driver)
-                .unwrap(),
-            w.open_mx(n1, MxEndpointConfig::kernel(), Owner::Driver)
-                .unwrap(),
+            w.open_mx(n0, MxEndpointConfig::kernel()).unwrap(),
+            w.open_mx(n1, MxEndpointConfig::kernel()).unwrap(),
         ),
         TransportKind::Gm => {
             let cfg = GmPortConfig::kernel()
                 .with_physical_api()
                 .with_regcache(4096);
             (
-                w.open_gm(n0, cfg.clone(), Owner::Driver).unwrap(),
-                w.open_gm(n1, cfg, Owner::Driver).unwrap(),
+                w.open_gm(n0, cfg.clone()).unwrap(),
+                w.open_gm(n1, cfg).unwrap(),
             )
         }
     };
     let sa = sock_create(&mut w, ea, eb).unwrap();
     let sb = sock_create(&mut w, eb, ea).unwrap();
-    w.set_owner(ea, Owner::Sock(sa));
-    w.set_owner(eb, Owner::Sock(sb));
     (w, sa, sb, ba, bb)
 }
 
@@ -783,7 +770,10 @@ pub fn table1() -> Vec<Table1Row> {
         Table1Row {
             metric: "Buffered remote file access (64kB records)",
             gm: format!("{buf_gm:.0} MB/s (needs physical API patch)"),
-            mx: format!("{buf_mx:.0} MB/s (+{:.0} %)", (buf_mx / buf_gm - 1.0) * 100.0),
+            mx: format!(
+                "{buf_mx:.0} MB/s (+{:.0} %)",
+                (buf_mx / buf_gm - 1.0) * 100.0
+            ),
         },
         Table1Row {
             metric: "Direct remote file access (1MB records)",

@@ -31,11 +31,10 @@ impl KBuf {
 
 /// Allocate a kernel buffer on `node`.
 pub fn kbuf(w: &mut ClusterWorld, node: NodeId, len: u64) -> KBuf {
-    let addr = w
-        .os
-        .node_mut(node)
-        .kalloc(len)
-        .expect("kernel buffer allocation");
+    let addr =
+        w.os.node_mut(node)
+            .kalloc(len)
+            .expect("kernel buffer allocation");
     KBuf { node, addr, len }
 }
 
@@ -65,11 +64,10 @@ impl UBuf {
 /// Create a process with one mapped buffer on `node`.
 pub fn ubuf(w: &mut ClusterWorld, node: NodeId, len: u64) -> UBuf {
     let asid = w.os.node_mut(node).create_process();
-    let addr = w
-        .os
-        .node_mut(node)
-        .map_anon(asid, len, Prot::RW)
-        .expect("user mapping");
+    let addr =
+        w.os.node_mut(node)
+            .map_anon(asid, len, Prot::RW)
+            .expect("user mapping");
     UBuf {
         node,
         asid,
@@ -82,7 +80,11 @@ pub fn ubuf(w: &mut ClusterWorld, node: NodeId, len: u64) -> UBuf {
 /// Panics if the simulation drains first (a protocol bug).
 pub fn await_event(w: &mut ClusterWorld, ep: Endpoint) -> TransportEvent {
     let outcome = run_until(w, |w| w.has_event(ep));
-    assert_eq!(outcome, RunOutcome::Satisfied, "no event arrived for {ep:?}");
+    assert_eq!(
+        outcome,
+        RunOutcome::Satisfied,
+        "no event arrived for {ep:?}"
+    );
     w.take_event(ep).expect("event present")
 }
 
@@ -142,13 +144,13 @@ pub fn transport_bandwidth_mb(
 /// Block until ORFS syscall `sid` completes on client `cid`.
 pub fn orfs_wait(w: &mut ClusterWorld, cid: OrfsClientId, sid: SyscallId) -> SysResult {
     let outcome = run_until(w, |w| {
-        w.orfs
-            .client(cid)
-            .completed
-            .iter()
-            .any(|(s, _)| *s == sid)
+        w.orfs.client(cid).completed.iter().any(|(s, _)| *s == sid)
     });
-    assert_eq!(outcome, RunOutcome::Satisfied, "syscall {sid} never completed");
+    assert_eq!(
+        outcome,
+        RunOutcome::Satisfied,
+        "syscall {sid} never completed"
+    );
     let c = w.orfs.clients.get_mut(cid.0 as usize).expect("client");
     let pos = c
         .completed
@@ -162,8 +164,8 @@ pub fn orfs_wait(w: &mut ClusterWorld, cid: OrfsClientId, sid: SyscallId) -> Sys
 pub mod fsops {
     use super::*;
     use knet_orfs::{
-        op_close, op_create, op_fsync, op_mkdir, op_open, op_read, op_readdir, op_stat,
-        op_unlink, op_write, OrfsError, SysRet, WireAttr, WireDirEntry,
+        op_close, op_create, op_fsync, op_mkdir, op_open, op_read, op_readdir, op_stat, op_unlink,
+        op_write, OrfsError, SysRet, WireAttr, WireDirEntry,
     };
 
     pub fn open(
@@ -311,7 +313,11 @@ pub fn sock_wait(w: &mut ClusterWorld, sid: SockId, op: SockOpId) -> u64 {
     assert_eq!(outcome, RunOutcome::Satisfied, "socket op never completed");
     let s = w.zsock.sock_mut(sid);
     let pos = s.completed.iter().position(|(o, _)| *o == op).expect("op");
-    s.completed.remove(pos).expect("op").1.expect("socket op ok")
+    s.completed
+        .remove(pos)
+        .expect("op")
+        .1
+        .expect("socket op ok")
 }
 
 /// NetPIPE ping-pong over a socket pair: one-way latency in µs.

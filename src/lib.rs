@@ -16,13 +16,33 @@
 //! | `knet-simcore` | discrete-event engine, virtual time, timed resources |
 //! | `knet-simos`   | CPU cost models, physical memory, address spaces, page-cache, VMA SPY |
 //! | `knet-simnic`  | Myrinet-like NIC: DMA, translation table, links, crossbar |
-//! | `knet-core`    | the paper's API: address classes, io-vectors, GMKRC, transport |
+//! | `knet-core`    | the paper's API: address classes, io-vectors, GMKRC, transport, **channels + completion queues + consumer registry** |
 //! | `knet-gm`      | GM driver: registration, event queues, kernel port, physical patch |
 //! | `knet-mx`      | MX driver: matching, small/medium/large protocols, copy removal |
 //! | `knet-simfs`   | ext2-like server file system |
 //! | `knet-orfs`    | ORFA/ORFS remote file access (server, user & kernel clients) |
 //! | `knet-zsock`   | SOCKETS-GM / SOCKETS-MX + TCP/IP-GigE baseline |
 //! | `knet` (this)  | the composed world, builder, benchmark harness, figures |
+//!
+//! ## How applications attach
+//!
+//! The composed [`ClusterWorld`] knows no application. Endpoints are opened
+//! raw ([`ClusterWorld::open_gm`] / [`ClusterWorld::open_mx`]) and events
+//! for them are routed by the **consumer registry** (`knet_core::api`):
+//!
+//! * in-kernel services (ORFS, NBD, sockets) register an upcall handler at
+//!   creation — `server_create`, `client_create`, `sock_create`,
+//!   `nbd_*_create` all bind their endpoints themselves;
+//! * polling drivers bind endpoints to a **completion queue**
+//!   ([`ClusterWorld::open_mx_cq`] / [`ClusterWorld::attach_cq`]) and pop
+//!   [`knet_core::CqEntry`]s;
+//! * connected, tagged, vectored message pipes are **channels**
+//!   (`knet_core::api::channel_connect` / `channel_accept`), which also
+//!   coalesce multi-segment io-vectors on GM so vectored sends work on
+//!   every transport.
+//!
+//! Events arriving at a not-yet-bound endpoint park in the registry and
+//! replay when a consumer binds — wiring order never loses traffic.
 //!
 //! ## Quickstart
 //!
@@ -31,12 +51,23 @@
 //!
 //! // Two Xeon nodes on PCI-XD Myrinet, as in the paper's testbed.
 //! let (mut w, n0, n1) = knet::build::two_nodes();
-//! let a = w.open_mx(n0, MxEndpointConfig::kernel(), Owner::Driver).unwrap();
-//! let b = w.open_mx(n1, MxEndpointConfig::kernel(), Owner::Driver).unwrap();
+//! let cq = w.new_cq();
+//! let a = w.open_mx_cq(n0, MxEndpointConfig::kernel(), cq).unwrap();
+//! let b = w.open_mx_cq(n1, MxEndpointConfig::kernel(), cq).unwrap();
 //! let ka = knet::harness::kbuf(&mut w, n0, 4096);
 //! let kb = knet::harness::kbuf(&mut w, n1, 4096);
 //! let lat = knet::harness::transport_pingpong_us(&mut w, a, b, ka.iov(1), kb.iov(1), 10);
 //! assert!((3.0..6.0).contains(&lat), "MX 1-byte latency ≈ 4.2 µs, got {lat}");
+//!
+//! // The same endpoints as a typed channel: tagged, vectored sends with
+//! // completions on the channel's CQ.
+//! let ch = knet_core::api::channel_connect(&mut w, a, b, cq);
+//! let ctx = knet_core::api::channel_send(&mut w, ch, 7, ka.iov(64)).unwrap();
+//! knet_simcore::run_to_quiescence(&mut w);
+//! assert!(matches!(
+//!     w.registry.cq_pop_for(cq, a),
+//!     Some(CqEntry { event: TransportEvent::SendDone { ctx: c }, .. }) if c == ctx
+//! ));
 //! ```
 
 pub mod build;
@@ -46,18 +77,25 @@ pub mod report;
 pub mod world;
 
 pub use build::ClusterBuilder;
-pub use world::{ClusterWorld, Owner};
+pub use world::ClusterWorld;
 
 /// Everything needed to script experiments.
 pub mod prelude {
     pub use crate::build::{two_nodes, two_nodes_xe, ClusterBuilder};
     pub use crate::harness::{fsops, kbuf, ubuf, KBuf, UBuf};
-    pub use crate::world::{ClusterWorld, Owner};
-    pub use knet_core::{Endpoint, IoVec, MemRef, NetError, TransportEvent, TransportKind};
+    pub use crate::world::ClusterWorld;
+    pub use knet_core::api::{
+        bind, channel_accept, channel_cancel_recv, channel_close, channel_connect, channel_peer,
+        channel_post_recv, channel_send,
+    };
+    pub use knet_core::{
+        ChannelId, ConsumerId, CqEntry, CqId, DispatchWorld, Endpoint, IoVec, MemRef, NetError,
+        TransportEvent, TransportKind,
+    };
     pub use knet_gm::{GmParams, GmPortConfig};
     pub use knet_mx::{MxEndpointConfig, MxOpts, MxParams};
     pub use knet_orfs::{ClientKind, VfsConfig};
     pub use knet_simcore::{now, run_to_quiescence, run_until, RunOutcome, SimTime};
-    pub use knet_simos::{Asid, CpuModel, NodeId, PAGE_SIZE};
     pub use knet_simnic::NicModel;
+    pub use knet_simos::{Asid, CpuModel, NodeId, PAGE_SIZE};
 }

@@ -64,16 +64,10 @@ pub fn render_csv(fig: &Figure) -> String {
 /// Render Table 1.
 pub fn render_table1(rows: &[Table1Row]) -> String {
     let mut out = String::new();
-    out.push_str(&format!(
-        "{:<46}  {:<42}  {:<42}\n",
-        "Metric", "GM", "MX"
-    ));
+    out.push_str(&format!("{:<46}  {:<42}  {:<42}\n", "Metric", "GM", "MX"));
     out.push_str(&format!("{}\n", "-".repeat(134)));
     for r in rows {
-        out.push_str(&format!(
-            "{:<46}  {:<42}  {:<42}\n",
-            r.metric, r.gm, r.mx
-        ));
+        out.push_str(&format!("{:<46}  {:<42}  {:<42}\n", r.metric, r.gm, r.mx));
     }
     out
 }

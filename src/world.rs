@@ -6,17 +6,19 @@
 //!
 //! * `nic_rx` → GM or MX firmware, by packet protocol;
 //! * `vma_event` → the GM registration caches (VMA SPY subscribers);
-//! * `gm_dispatch`/`mx_dispatch` → the endpoint's owner (benchmark driver
-//!   mailbox, ORFS server/client, or a socket), converting driver events to
-//!   unified [`TransportEvent`]s;
+//! * `gm_dispatch`/`mx_dispatch` → unified [`TransportEvent`]s handed to
+//!   [`knet_core::api::deliver`], which routes each endpoint's events to
+//!   whatever consumer registered for it — a completion queue for polling
+//!   drivers, or an application handler (ORFS, NBD, sockets). The world
+//!   itself names no application: new workloads attach through the
+//!   registry, not by editing this file.
 //! * [`TransportWorld`] (`t_send`/`t_post_recv`) → the owning driver, with
 //!   the GM glue inserting GMKRC registration for user-virtual buffers
 //!   exactly where the paper's in-kernel clients needed it.
 
-use std::collections::{BTreeMap, VecDeque};
-
+use knet_core::api::{self, ConsumerId, CqId, Registry};
 use knet_core::{
-    Endpoint, IoVec, MemRef, NetError, TransportEvent, TransportKind, TransportWorld,
+    DispatchWorld, Endpoint, IoVec, MemRef, NetError, TransportEvent, TransportKind, TransportWorld,
 };
 use knet_gm::{
     gm_ensure_cached, gm_next_event, gm_on_packet, gm_on_vma_event, gm_open_port,
@@ -26,24 +28,12 @@ use knet_mx::{
     mx_irecv, mx_isend, mx_next_event, mx_on_packet, mx_open_endpoint, MxEndpointConfig,
     MxEndpointId, MxEvent, MxLayer, MxWorld,
 };
-use knet_nbd::{nbd_on_client_event, nbd_on_server_event, NbdClientId, NbdLayer, NbdServerId, NbdWorld};
-use knet_orfs::{client_on_event, server_on_event, OrfsClientId, OrfsLayer, OrfsServerId, OrfsWorld};
+use knet_nbd::{NbdLayer, NbdWorld};
+use knet_orfs::{OrfsLayer, OrfsWorld};
 use knet_simcore::{Scheduler, SimWorld};
 use knet_simnic::{NicId, NicLayer, NicWorld, Packet, Proto};
 use knet_simos::{NodeId, OsLayer, OsWorld, VmaEvent};
-use knet_zsock::{sock_on_event, SockId, TcpLayer, TcpWorld, ZsockLayer, ZsockWorld};
-
-/// Who consumes the events of a transport endpoint.
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
-pub enum Owner {
-    /// A benchmark driver: events accumulate in the world's mailbox.
-    Driver,
-    OrfsServer(OrfsServerId),
-    OrfsClient(OrfsClientId),
-    Sock(SockId),
-    NbdServer(NbdServerId),
-    NbdClient(NbdClientId),
-}
+use knet_zsock::{TcpLayer, TcpWorld, ZsockLayer, ZsockWorld};
 
 /// The fully composed world.
 pub struct ClusterWorld {
@@ -56,10 +46,8 @@ pub struct ClusterWorld {
     pub zsock: ZsockLayer,
     pub tcp: TcpLayer,
     pub nbd: NbdLayer,
-    gm_owners: BTreeMap<u32, Owner>,
-    mx_owners: BTreeMap<u32, Owner>,
-    /// Events for driver-owned endpoints.
-    pub mailbox: BTreeMap<(TransportKind, u32), VecDeque<TransportEvent>>,
+    /// Endpoint → consumer dispatch, completion queues, channels.
+    pub registry: Registry<ClusterWorld>,
 }
 
 impl ClusterWorld {
@@ -81,21 +69,20 @@ impl ClusterWorld {
             zsock,
             tcp,
             nbd: NbdLayer::new(),
-            gm_owners: BTreeMap::new(),
-            mx_owners: BTreeMap::new(),
-            mailbox: BTreeMap::new(),
+            registry: Registry::new(),
         }
     }
 
-    /// Open a GM port wrapped as a transport endpoint.
-    pub fn open_gm(
-        &mut self,
-        node: NodeId,
-        cfg: GmPortConfig,
-        owner: Owner,
-    ) -> Result<Endpoint, NetError> {
+    /// Create a completion queue.
+    pub fn new_cq(&mut self) -> CqId {
+        self.registry.create_cq()
+    }
+
+    /// Open a GM port wrapped as a transport endpoint. The endpoint starts
+    /// unbound: events park in the registry until a consumer attaches
+    /// (application handler or [`Self::attach_cq`]).
+    pub fn open_gm(&mut self, node: NodeId, cfg: GmPortConfig) -> Result<Endpoint, NetError> {
         let port = gm_open_port(self, node, cfg)?;
-        self.gm_owners.insert(port.0, owner);
         Ok(Endpoint {
             kind: TransportKind::Gm,
             node,
@@ -105,14 +92,9 @@ impl ClusterWorld {
 
     /// Open an MX endpoint wrapped as a transport endpoint. Unexpected
     /// delivery is always enabled — the transport contract requires it.
-    pub fn open_mx(
-        &mut self,
-        node: NodeId,
-        cfg: MxEndpointConfig,
-        owner: Owner,
-    ) -> Result<Endpoint, NetError> {
+    /// The endpoint starts unbound (see [`Self::open_gm`]).
+    pub fn open_mx(&mut self, node: NodeId, cfg: MxEndpointConfig) -> Result<Endpoint, NetError> {
         let ep = mx_open_endpoint(self, node, cfg.with_unexpected_delivery())?;
-        self.mx_owners.insert(ep.0, owner);
         Ok(Endpoint {
             kind: TransportKind::Mx,
             node,
@@ -120,50 +102,46 @@ impl ClusterWorld {
         })
     }
 
-    /// Reassign an endpoint's owner (used when wiring clients/servers that
-    /// need their endpoint before they exist).
-    pub fn set_owner(&mut self, ep: Endpoint, owner: Owner) {
-        match ep.kind {
-            TransportKind::Gm => self.gm_owners.insert(ep.idx, owner),
-            TransportKind::Mx => self.mx_owners.insert(ep.idx, owner),
-        };
+    /// Open a GM endpoint for a polling driver: bound to `cq` on creation.
+    pub fn open_gm_cq(
+        &mut self,
+        node: NodeId,
+        cfg: GmPortConfig,
+        cq: CqId,
+    ) -> Result<Endpoint, NetError> {
+        let ep = self.open_gm(node, cfg)?;
+        self.attach_cq(ep, cq);
+        Ok(ep)
     }
 
-    fn owner_of(&self, kind: TransportKind, idx: u32) -> Owner {
-        let map = match kind {
-            TransportKind::Gm => &self.gm_owners,
-            TransportKind::Mx => &self.mx_owners,
-        };
-        map.get(&idx).copied().unwrap_or(Owner::Driver)
+    /// Open an MX endpoint for a polling driver: bound to `cq` on creation.
+    pub fn open_mx_cq(
+        &mut self,
+        node: NodeId,
+        cfg: MxEndpointConfig,
+        cq: CqId,
+    ) -> Result<Endpoint, NetError> {
+        let ep = self.open_mx(node, cfg)?;
+        self.attach_cq(ep, cq);
+        Ok(ep)
     }
 
-    /// Pop the next driver-mailbox event for `ep`.
+    /// Bind an endpoint's events to a completion queue (replacing any
+    /// previous consumer; parked events replay into the queue).
+    pub fn attach_cq(&mut self, ep: Endpoint, cq: CqId) -> ConsumerId {
+        let cid = self.registry.register_cq("driver-cq", cq);
+        api::bind(self, ep, cid);
+        cid
+    }
+
+    /// Pop the next completion-queue event for `ep`.
     pub fn take_event(&mut self, ep: Endpoint) -> Option<TransportEvent> {
-        self.mailbox.get_mut(&(ep.kind, ep.idx))?.pop_front()
+        self.registry.take_event(ep)
     }
 
-    /// Peek whether a driver-mailbox event is waiting for `ep`.
+    /// Peek whether a completion-queue event is waiting for `ep`.
     pub fn has_event(&self, ep: Endpoint) -> bool {
-        self.mailbox
-            .get(&(ep.kind, ep.idx))
-            .map(|q| !q.is_empty())
-            .unwrap_or(false)
-    }
-
-    fn route(&mut self, ep: Endpoint, ev: TransportEvent) {
-        match self.owner_of(ep.kind, ep.idx) {
-            Owner::Driver => {
-                self.mailbox
-                    .entry((ep.kind, ep.idx))
-                    .or_default()
-                    .push_back(ev);
-            }
-            Owner::OrfsServer(id) => server_on_event(self, id, ep, ev),
-            Owner::OrfsClient(id) => client_on_event(self, id, ev),
-            Owner::Sock(id) => sock_on_event(self, id, ev),
-            Owner::NbdServer(id) => nbd_on_server_event(self, id, ev),
-            Owner::NbdClient(id) => nbd_on_client_event(self, id, ev),
-        }
+        self.registry.has_event(ep)
     }
 }
 
@@ -205,6 +183,15 @@ impl NicWorld for ClusterWorld {
     }
 }
 
+impl DispatchWorld for ClusterWorld {
+    fn registry(&self) -> &Registry<Self> {
+        &self.registry
+    }
+    fn registry_mut(&mut self) -> &mut Registry<Self> {
+        &mut self.registry
+    }
+}
+
 impl GmWorld for ClusterWorld {
     fn gm(&self) -> &GmLayer {
         &self.gm
@@ -220,8 +207,23 @@ impl GmWorld for ClusterWorld {
         while let Some(ev) = gm_next_event(self, port) {
             let tev = match ev {
                 GmEvent::SendDone { ctx } => TransportEvent::SendDone { ctx },
-                GmEvent::RecvDone { ctx, tag, len, .. } => {
-                    TransportEvent::RecvDone { ctx, tag, len }
+                GmEvent::RecvDone {
+                    ctx,
+                    tag,
+                    len,
+                    from,
+                } => {
+                    let from_node = self.gm.port(from).map(|p| p.node).unwrap_or(node);
+                    TransportEvent::RecvDone {
+                        ctx,
+                        tag,
+                        len,
+                        from: Endpoint {
+                            kind: TransportKind::Gm,
+                            node: from_node,
+                            idx: from.0,
+                        },
+                    }
                 }
                 GmEvent::Unexpected { tag, data, from } => {
                     let from_node = self.gm.port(from).map(|p| p.node).unwrap_or(node);
@@ -241,7 +243,7 @@ impl GmWorld for ClusterWorld {
                 node,
                 idx: port.0,
             };
-            self.route(ep, tev);
+            api::deliver(self, ep, tev);
         }
     }
 }
@@ -261,8 +263,23 @@ impl MxWorld for ClusterWorld {
         while let Some(ev) = mx_next_event(self, ep_id) {
             let tev = match ev {
                 MxEvent::SendDone { ctx } => TransportEvent::SendDone { ctx },
-                MxEvent::RecvDone { ctx, tag, len, .. } => {
-                    TransportEvent::RecvDone { ctx, tag, len }
+                MxEvent::RecvDone {
+                    ctx,
+                    tag,
+                    len,
+                    from,
+                } => {
+                    let from_node = self.mx.ep(from).map(|e| e.node).unwrap_or(node);
+                    TransportEvent::RecvDone {
+                        ctx,
+                        tag,
+                        len,
+                        from: Endpoint {
+                            kind: TransportKind::Mx,
+                            node: from_node,
+                            idx: from.0,
+                        },
+                    }
                 }
                 MxEvent::Unexpected { tag, data, from } => {
                     let from_node = self.mx.ep(from).map(|e| e.node).unwrap_or(node);
@@ -282,7 +299,7 @@ impl MxWorld for ClusterWorld {
                 node,
                 idx: ep_id.0,
             };
-            self.route(ep, tev);
+            api::deliver(self, ep, tev);
         }
     }
 }
@@ -306,20 +323,36 @@ impl TransportWorld for ClusterWorld {
                 ctx,
             ),
             TransportKind::Gm => {
-                // GM is not vectorial (§4.1): single-segment sends only;
-                // clients coalesce above this layer.
+                // GM is not vectorial (§4.1): single-segment sends only.
+                // The channel layer (`knet_core::api::channel_send`)
+                // coalesces above this point; raw callers see the driver's
+                // real contract.
                 if iov.seg_count() != 1 {
                     return Err(NetError::Unsupported);
                 }
                 let seg = iov.segs()[0];
-                // On-the-fly registration through GMKRC for pageable memory.
-                if let MemRef::UserVirtual { asid, addr, len } = seg {
-                    let port = GmPortId(from.idx);
-                    if self.gm.port(port)?.regcache.is_some() {
-                        gm_ensure_cached(self, port, asid, addr, len)?;
+                let port = GmPortId(from.idx);
+                match seg {
+                    // On-the-fly registration through GMKRC for pageable
+                    // memory.
+                    MemRef::UserVirtual { asid, addr, len } => {
+                        if self.gm.port(port)?.regcache.is_some() {
+                            gm_ensure_cached(self, port, asid, addr, len)?;
+                        }
                     }
+                    // Stock GM (no physical-address patch) needs kernel
+                    // buffers registered too; the cache absorbs the cost the
+                    // same way (the channel layer's coalescing staging
+                    // buffers take this path).
+                    MemRef::KernelVirtual { addr, len } => {
+                        let p = self.gm.port(port)?;
+                        if p.regcache.is_some() && !p.physical_api {
+                            gm_ensure_cached(self, port, knet_simos::Asid::KERNEL, addr, len)?;
+                        }
+                    }
+                    MemRef::Physical { .. } => {}
                 }
-                gm_send(self, GmPortId(from.idx), seg, GmPortId(to.idx), tag, ctx)
+                gm_send(self, port, seg, GmPortId(to.idx), tag, ctx)
             }
         }
     }
@@ -350,9 +383,7 @@ impl TransportWorld for ClusterWorld {
     fn t_cancel_recv(&mut self, ep: Endpoint, tag: u64) -> bool {
         match ep.kind {
             TransportKind::Mx => knet_mx::mx_cancel_recv(self, MxEndpointId(ep.idx), tag),
-            TransportKind::Gm => {
-                knet_gm::gm_cancel_receive_buffer(self, GmPortId(ep.idx), tag)
-            }
+            TransportKind::Gm => knet_gm::gm_cancel_receive_buffer(self, GmPortId(ep.idx), tag),
         }
     }
 }

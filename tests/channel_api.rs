@@ -1,0 +1,424 @@
+//! Tests of the typed Channel + completion-queue API (`knet_core::api`):
+//! connect/accept, tagged send/recv with contexts, vectored I/O with
+//! API-layer coalescing on GM, and the `t_cancel_recv` contract.
+
+use knet::harness::{kbuf, ubuf, KBuf};
+use knet::prelude::*;
+use knet_core::api::{self, channel_send};
+use knet_core::{TransportEvent, TransportWorld};
+use knet_simos::VirtAddr;
+
+fn write_kernel(w: &mut ClusterWorld, node: NodeId, addr: VirtAddr, data: &[u8]) {
+    w.os.node_mut(node)
+        .write_virt(Asid::KERNEL, addr, data)
+        .unwrap();
+}
+
+fn read_kernel(w: &ClusterWorld, node: NodeId, addr: VirtAddr, len: usize) -> Vec<u8> {
+    let mut out = vec![0u8; len];
+    w.os.node(node)
+        .read_virt(Asid::KERNEL, addr, &mut out)
+        .unwrap();
+    out
+}
+
+/// Run until the CQ has an entry for `ep`, then pop it.
+fn await_cq(w: &mut ClusterWorld, cq: CqId, ep: Endpoint) -> TransportEvent {
+    let outcome = run_until(w, |w| {
+        w.registry.cq_len(cq) > 0 && {
+            // Peek: take_event only pops entries for `ep`.
+            w.registry.has_event(ep)
+        }
+    });
+    assert_eq!(outcome, RunOutcome::Satisfied, "no CQ entry for {ep:?}");
+    w.take_event(ep).expect("entry present")
+}
+
+/// A connected GM or MX endpoint pair with per-side CQs and channels.
+fn channel_pair(
+    w: &mut ClusterWorld,
+    kind: TransportKind,
+    n0: NodeId,
+    n1: NodeId,
+) -> (ChannelId, ChannelId, CqId, CqId, Endpoint, Endpoint) {
+    let cq_a = w.new_cq();
+    let cq_b = w.new_cq();
+    let (ea, eb) = match kind {
+        TransportKind::Mx => (
+            w.open_mx(n0, MxEndpointConfig::kernel()).unwrap(),
+            w.open_mx(n1, MxEndpointConfig::kernel()).unwrap(),
+        ),
+        TransportKind::Gm => {
+            let cfg = GmPortConfig::kernel()
+                .with_physical_api()
+                .with_regcache(4096);
+            (
+                w.open_gm(n0, cfg.clone()).unwrap(),
+                w.open_gm(n1, cfg).unwrap(),
+            )
+        }
+    };
+    let ch_a = channel_connect(w, ea, eb, cq_a);
+    let ch_b = api::channel_accept(w, eb, cq_b);
+    (ch_a, ch_b, cq_a, cq_b, ea, eb)
+}
+
+#[test]
+fn connect_accept_learns_the_peer_and_talks_both_ways() {
+    for kind in [TransportKind::Mx, TransportKind::Gm] {
+        let (mut w, n0, n1) = two_nodes();
+        let (ch_a, ch_b, cq_a, cq_b, ea, eb) = channel_pair(&mut w, kind, n0, n1);
+        assert_eq!(channel_peer(&w, ch_a), Some(eb));
+        assert_eq!(
+            channel_peer(&w, ch_b),
+            None,
+            "accept side not yet connected"
+        );
+        // Sends on the half-open accept side fail cleanly.
+        let ka = kbuf(&mut w, n0, 4096);
+        let kb = kbuf(&mut w, n1, 4096);
+        assert_eq!(
+            channel_send(&mut w, ch_b, 1, kb.iov(4)).unwrap_err(),
+            NetError::BadDestination,
+            "{kind:?}"
+        );
+        // First message teaches the accept side its peer.
+        write_kernel(&mut w, n0, ka.addr, b"hello");
+        let ctx = channel_send(&mut w, ch_a, 7, ka.iov(5)).unwrap();
+        match await_cq(&mut w, cq_b, eb) {
+            TransportEvent::Unexpected { tag, data, from } => {
+                assert_eq!((tag, &data[..], from), (7, &b"hello"[..], ea), "{kind:?}");
+            }
+            other => panic!("{kind:?}: {other:?}"),
+        }
+        assert_eq!(channel_peer(&w, ch_b), Some(ea), "{kind:?}: peer learned");
+        // The sender's completion carries the context channel_send returned.
+        match await_cq(&mut w, cq_a, ea) {
+            TransportEvent::SendDone { ctx: c } => assert_eq!(c, ctx, "{kind:?}"),
+            other => panic!("{kind:?}: {other:?}"),
+        }
+        // Now the accept side can answer.
+        write_kernel(&mut w, n1, kb.addr, b"hi back!");
+        channel_send(&mut w, ch_b, 8, kb.iov(8)).unwrap();
+        match await_cq(&mut w, cq_a, ea) {
+            TransportEvent::Unexpected { tag, data, .. } => {
+                assert_eq!((tag, &data[..]), (8, &b"hi back!"[..]), "{kind:?}");
+            }
+            other => panic!("{kind:?}: {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn posted_receives_complete_with_channel_contexts() {
+    for kind in [TransportKind::Mx, TransportKind::Gm] {
+        let (mut w, n0, n1) = two_nodes();
+        let (ch_a, ch_b, _cq_a, cq_b, _ea, eb) = channel_pair(&mut w, kind, n0, n1);
+        let ka = kbuf(&mut w, n0, 4096);
+        let kb = kbuf(&mut w, n1, 4096);
+        let rctx = api::channel_post_recv(&mut w, ch_b, 3, kb.iov(4096)).unwrap();
+        write_kernel(&mut w, n0, ka.addr, b"landed in the posted buffer");
+        channel_send(&mut w, ch_a, 3, ka.iov(27)).unwrap();
+        match await_cq(&mut w, cq_b, eb) {
+            TransportEvent::RecvDone { ctx, tag, len, .. } => {
+                assert_eq!((ctx, tag, len), (rctx, 3, 27), "{kind:?}");
+            }
+            other => panic!("{kind:?}: {other:?}"),
+        }
+        assert_eq!(
+            read_kernel(&w, n1, kb.addr, 27),
+            b"landed in the posted buffer",
+            "{kind:?}"
+        );
+        // The accept side saw only a RecvDone (no Unexpected), which still
+        // teaches it the peer: it can answer now.
+        assert_eq!(channel_peer(&w, ch_b), Some(_ea), "{kind:?}");
+        write_kernel(&mut w, n1, kb.addr, b"ack");
+        channel_send(&mut w, ch_b, 4, kb.iov(3)).unwrap();
+        loop {
+            match await_cq(&mut w, _cq_a, _ea) {
+                TransportEvent::Unexpected { tag, data, .. } => {
+                    assert_eq!((tag, &data[..]), (4, &b"ack"[..]), "{kind:?}");
+                    break;
+                }
+                TransportEvent::SendDone { .. } => continue,
+                other => panic!("{kind:?}: {other:?}"),
+            }
+        }
+    }
+}
+
+/// Build a three-segment kernel io-vector with a recognizable pattern.
+fn scattered_iov(
+    w: &mut ClusterWorld,
+    node: NodeId,
+    lens: [u64; 3],
+) -> (IoVec, Vec<u8>, Vec<KBuf>) {
+    let mut iov = IoVec::new();
+    let mut expect = Vec::new();
+    let mut bufs = Vec::new();
+    for (i, &len) in lens.iter().enumerate() {
+        let kb = kbuf(w, node, len.max(1));
+        let chunk: Vec<u8> = (0..len)
+            .map(|j| ((i as u64 * 101 + j * 13 + 7) % 251) as u8)
+            .collect();
+        write_kernel(w, node, kb.addr, &chunk);
+        iov.push(kb.memref(len));
+        expect.extend(chunk);
+        bufs.push(kb);
+    }
+    (iov, expect, bufs)
+}
+
+#[test]
+fn multi_segment_sends_are_coalesced_on_gm_and_delivered_byte_exact() {
+    // The acceptance test for API-layer coalescing: a 3-segment io-vector
+    // sent over GM — where the raw driver takes single segments only —
+    // arrives byte-exact, with no caller-visible `Unsupported`.
+    let (mut w, n0, n1) = two_nodes();
+    let (ch_a, ch_b, cq_a, cq_b, ea, eb) = channel_pair(&mut w, TransportKind::Gm, n0, n1);
+    let (iov, expect, _bufs) = scattered_iov(&mut w, n0, [1000, 3000, 500]);
+    let total = expect.len() as u64;
+
+    // The raw transport refuses the vector (GM's documented limitation)…
+    assert_eq!(
+        w.t_send(ea, eb, 9, iov.clone(), 0).unwrap_err(),
+        NetError::Unsupported,
+        "raw GM stays single-segment"
+    );
+    // …the channel layer coalesces it.
+    let kb = kbuf(&mut w, n1, 8192);
+    let rctx = api::channel_post_recv(&mut w, ch_b, 9, kb.iov(8192)).unwrap();
+    let ctx = channel_send(&mut w, ch_a, 9, iov).unwrap();
+    match await_cq(&mut w, cq_b, eb) {
+        TransportEvent::RecvDone { ctx, tag, len, .. } => {
+            assert_eq!((ctx, tag, len), (rctx, 9, total));
+        }
+        other => panic!("{other:?}"),
+    }
+    assert_eq!(
+        read_kernel(&w, n1, kb.addr, expect.len()),
+        expect,
+        "byte-exact"
+    );
+    match await_cq(&mut w, cq_a, ea) {
+        TransportEvent::SendDone { ctx: c } => assert_eq!(c, ctx),
+        other => panic!("{other:?}"),
+    }
+    // The gather copy went through the staging buffer and was accounted.
+    let ch = w.registry.channel(ch_a).unwrap();
+    assert_eq!(ch.coalesced_bytes, total);
+}
+
+#[test]
+fn coalescing_works_on_stock_gm_through_the_registration_cache() {
+    // Without the physical-address patch the kernel staging buffer must be
+    // registered like any other memory; GMKRC absorbs it.
+    let (mut w, n0, n1) = two_nodes();
+    let cq_a = w.new_cq();
+    let cq_b = w.new_cq();
+    let cfg = GmPortConfig::kernel().with_regcache(4096); // stock + GMKRC
+    let ea = w.open_gm(n0, cfg.clone()).unwrap();
+    let eb = w.open_gm(n1, cfg).unwrap();
+    let ch_a = channel_connect(&mut w, ea, eb, cq_a);
+    let _ch_b = api::channel_accept(&mut w, eb, cq_b);
+    let (iov, expect, _bufs) = scattered_iov(&mut w, n0, [2000, 100, 900]);
+    channel_send(&mut w, ch_a, 4, iov).unwrap();
+    let data = loop {
+        match await_cq(&mut w, cq_b, eb) {
+            TransportEvent::Unexpected { data, .. } => break data,
+            _ => continue,
+        }
+    };
+    assert_eq!(&data[..], &expect[..], "stock GM, cache-registered staging");
+
+    // Regrow the staging buffer with a larger vector: the old buffer's
+    // cached registrations are invalidated (VMA-SPY style) before the
+    // kernel memory is freed, and the bigger payload still lands intact.
+    let tt_after_first = {
+        let nic = w.nics.nic_of_node(n0).unwrap();
+        w.nics.get(nic).ttable.len()
+    };
+    let (iov2, expect2, _bufs2) = scattered_iov(&mut w, n0, [5000, 2500, 1000]);
+    channel_send(&mut w, ch_a, 6, iov2).unwrap();
+    let data2 = loop {
+        match await_cq(&mut w, cq_b, eb) {
+            TransportEvent::Unexpected { data, .. } => break data,
+            _ => continue,
+        }
+    };
+    assert_eq!(&data2[..], &expect2[..], "regrown staging delivers intact");
+    let nic = w.nics.nic_of_node(n0).unwrap();
+    let cache =
+        w.gm.port(knet_gm::GmPortId(ea.idx))
+            .unwrap()
+            .regcache
+            .as_ref()
+            .unwrap();
+    assert!(
+        cache.stats.invalidations > 0,
+        "freed staging pages were invalidated from GMKRC"
+    );
+    // The table holds entries for the new staging only, not the freed one.
+    assert!(
+        w.nics.get(nic).ttable.len() <= tt_after_first + 3,
+        "no stale translations accumulate across regrows"
+    );
+}
+
+#[test]
+fn multi_segment_sends_pass_through_untouched_on_mx() {
+    // MX is vectorial: the channel layer must not copy.
+    let (mut w, n0, n1) = two_nodes();
+    let (ch_a, _ch_b, _cq_a, cq_b, _ea, eb) = channel_pair(&mut w, TransportKind::Mx, n0, n1);
+    let (iov, expect, _bufs) = scattered_iov(&mut w, n0, [1000, 3000, 500]);
+    channel_send(&mut w, ch_a, 5, iov).unwrap();
+    let data = loop {
+        match await_cq(&mut w, cq_b, eb) {
+            TransportEvent::Unexpected { data, .. } => break data,
+            _ => continue,
+        }
+    };
+    assert_eq!(&data[..], &expect[..]);
+    assert_eq!(
+        w.registry.channel(ch_a).unwrap().coalesced_bytes,
+        0,
+        "no staging copy on a vectorial transport"
+    );
+}
+
+#[test]
+fn closed_channels_stop_routing_and_release_state() {
+    let (mut w, n0, n1) = two_nodes();
+    let (ch_a, ch_b, _cq_a, _cq_b, ea, eb) = channel_pair(&mut w, TransportKind::Mx, n0, n1);
+    let ka = kbuf(&mut w, n0, 4096);
+    api::channel_close(&mut w, ch_b);
+    assert!(w.registry.channel(ch_b).is_none());
+    // Traffic for the closed side parks (no consumer) instead of crashing.
+    channel_send(&mut w, ch_a, 1, ka.iov(8)).unwrap();
+    knet_simcore::run_to_quiescence(&mut w);
+    assert!(w.registry.parked_len(eb) > 0);
+    // Closing the connect side too: sends now fail on a dead handle.
+    api::channel_close(&mut w, ch_a);
+    assert_eq!(
+        channel_send(&mut w, ch_a, 2, ka.iov(8)).unwrap_err(),
+        NetError::BadEndpoint
+    );
+    let _ = ea;
+}
+
+// --------------------------------------------------------------- cancel
+
+#[test]
+fn cancel_recv_contract_is_identical_on_gm_and_mx() {
+    // The documented `t_cancel_recv` contract, exercised case by case on
+    // both drivers with identical expectations.
+    for kind in [TransportKind::Mx, TransportKind::Gm] {
+        let (mut w, n0, n1) = two_nodes();
+        let cq = w.new_cq();
+        let (ea, eb) = match kind {
+            TransportKind::Mx => (
+                w.open_mx_cq(n0, MxEndpointConfig::kernel(), cq).unwrap(),
+                w.open_mx_cq(n1, MxEndpointConfig::kernel(), cq).unwrap(),
+            ),
+            TransportKind::Gm => {
+                let cfg = GmPortConfig::kernel()
+                    .with_physical_api()
+                    .with_regcache(4096);
+                (
+                    w.open_gm_cq(n0, cfg.clone(), cq).unwrap(),
+                    w.open_gm_cq(n1, cfg, cq).unwrap(),
+                )
+            }
+        };
+        let ka = kbuf(&mut w, n0, 65536);
+        let kb = kbuf(&mut w, n1, 65536);
+
+        // 1. Nothing posted: cancel is false.
+        assert!(!w.t_cancel_recv(eb, 77), "{kind:?}: nothing posted");
+
+        // 2. Posted, unmatched: cancel withdraws (true), second cancel false.
+        w.t_post_recv(eb, 77, kb.iov(4096), 1).unwrap();
+        assert!(w.t_cancel_recv(eb, 77), "{kind:?}: posted → withdrawn");
+        assert!(!w.t_cancel_recv(eb, 77), "{kind:?}: idempotent");
+
+        // 3. A cancelled receive never completes: the message surfaces as
+        //    Unexpected instead of landing in the withdrawn buffer.
+        write_kernel(&mut w, n0, ka.addr, b"orphan");
+        w.t_send(ea, eb, 77, ka.iov(6), 0).unwrap();
+        knet_simcore::run_to_quiescence(&mut w);
+        let mut saw_unexpected = false;
+        while let Some(ev) = w.take_event(eb) {
+            match ev {
+                TransportEvent::Unexpected { tag, data, .. } => {
+                    assert_eq!((tag, &data[..]), (77, &b"orphan"[..]), "{kind:?}");
+                    saw_unexpected = true;
+                }
+                TransportEvent::RecvDone { .. } => {
+                    panic!("{kind:?}: withdrawn receive must not complete")
+                }
+                TransportEvent::SendDone { .. } => {}
+            }
+        }
+        assert!(saw_unexpected, "{kind:?}");
+        while w.take_event(ea).is_some() {}
+
+        // 4. Completed receive: cancel returns false afterwards.
+        w.t_post_recv(eb, 88, kb.iov(4096), 2).unwrap();
+        w.t_send(ea, eb, 88, ka.iov(100), 0).unwrap();
+        knet_simcore::run_to_quiescence(&mut w);
+        let mut recv_done = false;
+        while let Some(ev) = w.take_event(eb) {
+            if matches!(ev, TransportEvent::RecvDone { tag: 88, .. }) {
+                recv_done = true;
+            }
+        }
+        assert!(recv_done, "{kind:?}");
+        assert!(!w.t_cancel_recv(eb, 88), "{kind:?}: already completed");
+        while w.take_event(ea).is_some() {}
+
+        // 5. Payload overtakes descriptor (the zsock case): the message
+        //    arrives first (Unexpected), the receive is posted afterwards
+        //    and stays armed — cancel withdraws it (true), exactly once.
+        write_kernel(&mut w, n0, ka.addr, b"early bird");
+        w.t_send(ea, eb, 99, ka.iov(10), 0).unwrap();
+        knet_simcore::run_to_quiescence(&mut w);
+        let mut early = false;
+        while let Some(ev) = w.take_event(eb) {
+            if let TransportEvent::Unexpected { tag, data, .. } = ev {
+                assert_eq!((tag, &data[..]), (99, &b"early bird"[..]), "{kind:?}");
+                early = true;
+            }
+        }
+        assert!(early, "{kind:?}: payload delivered unexpectedly");
+        w.t_post_recv(eb, 99, kb.iov(4096), 3).unwrap();
+        knet_simcore::run_to_quiescence(&mut w);
+        assert!(!w.has_event(eb), "{kind:?}: no retroactive match");
+        assert!(
+            w.t_cancel_recv(eb, 99),
+            "{kind:?}: overtaken descriptor is withdrawable"
+        );
+        assert!(!w.t_cancel_recv(eb, 99), "{kind:?}: …exactly once");
+    }
+}
+
+#[test]
+fn cancelled_mx_receive_releases_its_pins() {
+    // MX pins user pages when arming a receive; withdrawal must unpin.
+    let (mut w, n0, _n1) = two_nodes();
+    let cq = w.new_cq();
+    let buf = ubuf(&mut w, n0, 256 * 1024);
+    let ep = w
+        .open_mx_cq(n0, MxEndpointConfig::user(buf.asid), cq)
+        .unwrap();
+    w.t_post_recv(ep, 5, buf.iov(256 * 1024), 1).unwrap();
+    let frame =
+        w.os.node(n0)
+            .space(buf.asid)
+            .unwrap()
+            .frame_of(buf.addr)
+            .unwrap();
+    assert_eq!(w.os.node(n0).mem.pin_count(frame), 1, "armed receive pins");
+    assert!(w.t_cancel_recv(ep, 5));
+    assert_eq!(w.os.node(n0).mem.pin_count(frame), 0, "withdrawal unpins");
+}

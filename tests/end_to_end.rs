@@ -6,7 +6,6 @@
 use knet::figures::{fs_fixture, FsOpts};
 use knet::harness::{fsops, make_server_file, pattern_byte, sock_pingpong_us, ubuf};
 use knet::prelude::*;
-use knet::Owner;
 use knet_simfs::SimFs;
 use knet_zsock::sock_create;
 
@@ -39,7 +38,12 @@ fn direct_reads_deliver_correct_bytes_over_mx_and_gm() {
         });
         let fd = fsops::open(&mut fx.w, fx.cid, "/data", true).unwrap();
         // Several sizes, several offsets, same user buffer (cache-friendly).
-        for (off, len) in [(0u64, 100usize), (4096, 4096), (123_456, 65_536), (1 << 19, 300_000)] {
+        for (off, len) in [
+            (0u64, 100usize),
+            (4096, 4096),
+            (123_456, 65_536),
+            (1 << 19, 300_000),
+        ] {
             let n = fsops::read(&mut fx.w, fx.cid, fd, fx.user.memref(len as u64), off).unwrap();
             assert_eq!(n, len as u64, "{kind:?} read at {off}");
             let got = read_user_buf(&fx.w, &fx.user, len);
@@ -208,30 +212,34 @@ fn sockets_echo_bytes_intact_over_both_transports() {
         let bb = ubuf(&mut w, n1, 1 << 20);
         let (ea, eb) = match kind {
             TransportKind::Mx => (
-                w.open_mx(n0, MxEndpointConfig::kernel(), Owner::Driver).unwrap(),
-                w.open_mx(n1, MxEndpointConfig::kernel(), Owner::Driver).unwrap(),
+                w.open_mx(n0, MxEndpointConfig::kernel()).unwrap(),
+                w.open_mx(n1, MxEndpointConfig::kernel()).unwrap(),
             ),
             TransportKind::Gm => {
-                let cfg = GmPortConfig::kernel().with_physical_api().with_regcache(4096);
+                let cfg = GmPortConfig::kernel()
+                    .with_physical_api()
+                    .with_regcache(4096);
                 (
-                    w.open_gm(n0, cfg.clone(), Owner::Driver).unwrap(),
-                    w.open_gm(n1, cfg, Owner::Driver).unwrap(),
+                    w.open_gm(n0, cfg.clone()).unwrap(),
+                    w.open_gm(n1, cfg).unwrap(),
                 )
             }
         };
         let sa = sock_create(&mut w, ea, eb).unwrap();
         let sb = sock_create(&mut w, eb, ea).unwrap();
-        w.set_owner(ea, Owner::Sock(sa));
-        w.set_owner(eb, Owner::Sock(sb));
         for size in [1u64, 100, 4096, 100_000, 600_000] {
             let data: Vec<u8> = (0..size).map(|i| ((i * 31 + 5) % 251) as u8).collect();
-            w.os.node_mut(n0).write_virt(ba.asid, ba.addr, &data).unwrap();
+            w.os.node_mut(n0)
+                .write_virt(ba.asid, ba.addr, &data)
+                .unwrap();
             let r = knet_zsock::sock_recv(&mut w, sb, bb.memref(size));
             knet_zsock::sock_send(&mut w, sa, ba.memref(size));
             let got = knet::harness::sock_wait(&mut w, sb, r);
             assert_eq!(got, size, "{kind:?} size {size}");
             let mut back = vec![0u8; size as usize];
-            w.os.node(n1).read_virt(bb.asid, bb.addr, &mut back).unwrap();
+            w.os.node(n1)
+                .read_virt(bb.asid, bb.addr, &mut back)
+                .unwrap();
             assert_eq!(back, data, "{kind:?} payload at {size}");
         }
         // Ping-pong latency is sane (SOCKETS-MX ≈5 µs, SOCKETS-GM ≈15 µs).
@@ -256,13 +264,17 @@ fn tcp_baseline_echoes_and_is_slow() {
     let bb = ubuf(&mut w, n1, 1 << 20);
     let (ta, tb) = knet_zsock::tcp_pair(&mut w, n0, n1);
     let data: Vec<u8> = (0..50_000u64).map(|i| (i % 233) as u8).collect();
-    w.os.node_mut(n0).write_virt(ba.asid, ba.addr, &data).unwrap();
+    w.os.node_mut(n0)
+        .write_virt(ba.asid, ba.addr, &data)
+        .unwrap();
     let r = knet_zsock::tcp_recv(&mut w, tb, bb.memref(50_000));
     knet_zsock::tcp_send(&mut w, ta, ba.memref(50_000));
     let got = knet::harness::tcp_wait(&mut w, tb, r);
     assert_eq!(got, 50_000);
     let mut back = vec![0u8; 50_000];
-    w.os.node(n1).read_virt(bb.asid, bb.addr, &mut back).unwrap();
+    w.os.node(n1)
+        .read_virt(bb.asid, bb.addr, &mut back)
+        .unwrap();
     assert_eq!(back, data);
     let us = knet::harness::tcp_pingpong_us(&mut w, ta, tb, ba.memref(1), bb.memref(1), 3);
     assert!(
@@ -276,31 +288,36 @@ fn two_clients_share_one_server_consistently() {
     // A writer client (MX) and a reader client (GM) against one server:
     // after the writer's direct write, the reader (O_DIRECT, no stale page
     // cache) sees the new data.
-    let mut w = ClusterBuilder::new().nodes(3, CpuModel::xeon_2600()).build();
+    let mut w = ClusterBuilder::new()
+        .nodes(3, CpuModel::xeon_2600())
+        .build();
     let (n0, n1, n2) = (NodeId(0), NodeId(1), NodeId(2));
-    let server_ep = w.open_mx(n2, MxEndpointConfig::kernel(), Owner::Driver).unwrap();
+    let server_ep = w.open_mx(n2, MxEndpointConfig::kernel()).unwrap();
     let server = knet_orfs::server_create(&mut w, server_ep, SimFs::with_defaults()).unwrap();
-    w.set_owner(server_ep, Owner::OrfsServer(server));
     make_server_file(&mut w, server, "/shared", 64 * 1024);
 
     let ua = ubuf(&mut w, n0, 1 << 20);
     let ub = ubuf(&mut w, n1, 1 << 20);
-    let ca_ep = w.open_mx(n0, MxEndpointConfig::kernel(), Owner::Driver).unwrap();
+    let ca_ep = w.open_mx(n0, MxEndpointConfig::kernel()).unwrap();
     let cb_ep = w
         .open_gm(
             n1,
-            GmPortConfig::kernel().with_physical_api().with_regcache(1024),
-            Owner::Driver,
+            GmPortConfig::kernel()
+                .with_physical_api()
+                .with_regcache(1024),
         )
         .unwrap();
-    // The GM server endpoint for the GM client.
+    // The GM server endpoint for the GM client: a second endpoint served by
+    // the same registered server consumer.
     let server_gm_ep = w
         .open_gm(
             n2,
-            GmPortConfig::kernel().with_physical_api().with_regcache(1024),
-            Owner::OrfsServer(server),
+            GmPortConfig::kernel()
+                .with_physical_api()
+                .with_regcache(1024),
         )
         .unwrap();
+    knet_orfs::server_attach_endpoint(&mut w, server, server_gm_ep);
     let writer = knet_orfs::client_create(
         &mut w,
         ca_ep,
@@ -310,7 +327,6 @@ fn two_clients_share_one_server_consistently() {
         VfsConfig::default(),
     )
     .unwrap();
-    w.set_owner(ca_ep, Owner::OrfsClient(writer));
     let reader = knet_orfs::client_create(
         &mut w,
         cb_ep,
@@ -320,7 +336,6 @@ fn two_clients_share_one_server_consistently() {
         VfsConfig::default(),
     )
     .unwrap();
-    w.set_owner(cb_ep, Owner::OrfsClient(reader));
 
     let wfd = fsops::open(&mut w, writer, "/shared", true).unwrap();
     let msg = b"written by the MX client";
@@ -331,6 +346,8 @@ fn two_clients_share_one_server_consistently() {
     let n = fsops::read(&mut w, reader, rfd, ub.memref(msg.len() as u64), 4096).unwrap();
     assert_eq!(n, msg.len() as u64);
     let mut back = vec![0u8; msg.len()];
-    w.os.node(n1).read_virt(ub.asid, ub.addr, &mut back).unwrap();
+    w.os.node(n1)
+        .read_virt(ub.asid, ub.addr, &mut back)
+        .unwrap();
     assert_eq!(&back, msg, "cross-transport, cross-client consistency");
 }

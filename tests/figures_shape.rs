@@ -6,7 +6,6 @@
 use knet::figures::{self, fs_fixture, FsOpts};
 use knet::harness::{fsops, seq_read_mb, sock_pingpong_us, ubuf};
 use knet::prelude::*;
-use knet::Owner;
 use knet_gm::GmParams;
 use knet_simos::PAGE_SIZE as P;
 use knet_zsock::sock_create;
@@ -26,7 +25,10 @@ fn fig1b_registration_vs_copy_shapes() {
     // Deregistration is dominated by its ~200 µs base: nearly flat.
     let d_small = dereg.exact(4096).unwrap();
     let d_big = dereg.exact(big).unwrap();
-    assert!(d_small >= 195.0 && d_big <= 1.2 * d_small, "dereg base dominates");
+    assert!(
+        d_small >= 195.0 && d_big <= 1.2 * d_small,
+        "dereg base dominates"
+    );
     // Registration (3 µs/page) is cheaper than a P3 copy at 256 kB but far
     // more expensive than any copy for one page — the paper's motivation
     // for copying small buffers instead of registering them (§2.2.2).
@@ -249,21 +251,21 @@ fn sock_pair(
     let bb = ubuf(&mut w, n1, 2 << 20);
     let (ea, eb) = match kind {
         TransportKind::Mx => (
-            w.open_mx(n0, MxEndpointConfig::kernel(), Owner::Driver).unwrap(),
-            w.open_mx(n1, MxEndpointConfig::kernel(), Owner::Driver).unwrap(),
+            w.open_mx(n0, MxEndpointConfig::kernel()).unwrap(),
+            w.open_mx(n1, MxEndpointConfig::kernel()).unwrap(),
         ),
         TransportKind::Gm => {
-            let cfg = GmPortConfig::kernel().with_physical_api().with_regcache(4096);
+            let cfg = GmPortConfig::kernel()
+                .with_physical_api()
+                .with_regcache(4096);
             (
-                w.open_gm(n0, cfg.clone(), Owner::Driver).unwrap(),
-                w.open_gm(n1, cfg, Owner::Driver).unwrap(),
+                w.open_gm(n0, cfg.clone()).unwrap(),
+                w.open_gm(n1, cfg).unwrap(),
             )
         }
     };
     let sa = sock_create(&mut w, ea, eb).unwrap();
     let sb = sock_create(&mut w, eb, ea).unwrap();
-    w.set_owner(ea, Owner::Sock(sa));
-    w.set_owner(eb, Owner::Sock(sb));
     (w, sa, sb, ba, bb)
 }
 
@@ -273,12 +275,24 @@ fn fig8_socket_latency_and_capacity_claims() {
     let (gm_lat, gm_peak) = sock_lat_and_peak(TransportKind::Gm);
     // §5.3: "5 µs one-way latency ... with SOCKETS-MX"; "SOCKETS-GM gets
     // 15 µs".
-    assert!((4.0..=6.5).contains(&mx_lat), "Sockets-MX 1B = {mx_lat:.1} µs");
-    assert!((12.0..=18.0).contains(&gm_lat), "Sockets-GM 1B = {gm_lat:.1} µs");
+    assert!(
+        (4.0..=6.5).contains(&mx_lat),
+        "Sockets-MX 1B = {mx_lat:.1} µs"
+    );
+    assert!(
+        (12.0..=18.0).contains(&gm_lat),
+        "Sockets-GM 1B = {gm_lat:.1} µs"
+    );
     assert!(gm_lat / mx_lat > 2.5, "the 3× latency gap holds");
     // Table 1: Sockets-GM under 70 % of the 500 MB/s link; MX near it.
-    assert!(gm_peak < 0.70 * 500.0, "Sockets-GM peak = {gm_peak:.0} MB/s");
-    assert!(mx_peak > 0.85 * 500.0, "Sockets-MX peak = {mx_peak:.0} MB/s");
+    assert!(
+        gm_peak < 0.70 * 500.0,
+        "Sockets-GM peak = {gm_peak:.0} MB/s"
+    );
+    assert!(
+        mx_peak > 0.85 * 500.0,
+        "Sockets-MX peak = {mx_peak:.0} MB/s"
+    );
     assert!(
         mx_peak / gm_peak - 1.0 > 0.35,
         "large-message improvement (paper: up to 50 %)"
@@ -293,8 +307,9 @@ fn fig8_socket_latency_and_capacity_claims() {
 fn fig6_regime_change_at_the_medium_boundary() {
     let run = |n: u64| {
         let (mut w, n0, n1) = two_nodes();
-        let a = w.open_mx(n0, MxEndpointConfig::kernel(), Owner::Driver).unwrap();
-        let b = w.open_mx(n1, MxEndpointConfig::kernel(), Owner::Driver).unwrap();
+        let cq = w.new_cq();
+        let a = w.open_mx_cq(n0, MxEndpointConfig::kernel(), cq).unwrap();
+        let b = w.open_mx_cq(n1, MxEndpointConfig::kernel(), cq).unwrap();
         let ka = knet::harness::kbuf(&mut w, n0, n);
         let kb = knet::harness::kbuf(&mut w, n1, n);
         let us = knet::harness::transport_pingpong_us(&mut w, a, b, ka.iov(n), kb.iov(n), 3);

@@ -4,7 +4,6 @@
 
 use knet::harness::{await_recv, fsops, kbuf, make_server_file, seq_read_mb, ubuf};
 use knet::prelude::*;
-use knet::Owner;
 use knet_core::TransportWorld;
 use knet_gm::{gm_close_port, gm_register, GmPortId};
 use knet_mx::{mx_close_endpoint, MxEndpointId};
@@ -16,13 +15,18 @@ fn gm_port_close_releases_registrations_and_table_entries() {
     let (mut w, n0, _n1) = two_nodes();
     let buf = ubuf(&mut w, n0, 64 * 1024);
     let ep = w
-        .open_gm(n0, GmPortConfig::user(buf.asid).with_regcache(256), Owner::Driver)
+        .open_gm(n0, GmPortConfig::user(buf.asid).with_regcache(256))
         .unwrap();
     let port = GmPortId(ep.idx);
     gm_register(&mut w, port, buf.asid, buf.addr, 64 * 1024).unwrap();
     let nic = w.nics.nic_of_node(n0).unwrap();
     assert_eq!(w.nics.get(nic).ttable.len(), 16);
-    let frame = w.os.node(n0).space(buf.asid).unwrap().frame_of(buf.addr).unwrap();
+    let frame =
+        w.os.node(n0)
+            .space(buf.asid)
+            .unwrap()
+            .frame_of(buf.addr)
+            .unwrap();
     assert_eq!(w.os.node(n0).mem.pin_count(frame), 1);
 
     gm_close_port(&mut w, port).unwrap();
@@ -36,12 +40,15 @@ fn gm_port_close_releases_registrations_and_table_entries() {
 fn mx_endpoint_close_releases_posted_pins() {
     let (mut w, n0, _n1) = two_nodes();
     let buf = ubuf(&mut w, n0, 256 * 1024);
-    let ep = w
-        .open_mx(n0, MxEndpointConfig::user(buf.asid), Owner::Driver)
-        .unwrap();
+    let ep = w.open_mx(n0, MxEndpointConfig::user(buf.asid)).unwrap();
     // Posting a large receive pins its pages.
     w.t_post_recv(ep, 1, buf.iov(256 * 1024), 1).unwrap();
-    let frame = w.os.node(n0).space(buf.asid).unwrap().frame_of(buf.addr).unwrap();
+    let frame =
+        w.os.node(n0)
+            .space(buf.asid)
+            .unwrap()
+            .frame_of(buf.addr)
+            .unwrap();
     assert_eq!(w.os.node(n0).mem.pin_count(frame), 1);
     mx_close_endpoint(&mut w, MxEndpointId(ep.idx)).unwrap();
     assert_eq!(w.os.node(n0).mem.pin_count(frame), 0);
@@ -56,19 +63,19 @@ fn translation_table_pressure_is_survivable() {
     let mut w = ClusterBuilder::new().nic(nic).build();
     let (n0, n1) = (NodeId(0), NodeId(1));
     let big = ubuf(&mut w, n0, 1 << 20); // 256 pages >> 64 entries
+    let cq = w.new_cq();
     let tx = w
-        .open_gm(n0, GmPortConfig::kernel().with_regcache(48), Owner::Driver)
+        .open_gm_cq(n0, GmPortConfig::kernel().with_regcache(48), cq)
         .unwrap();
     let rx_buf = kbuf(&mut w, n1, 64 * 1024);
     let rx = w
-        .open_gm(n1, GmPortConfig::kernel().with_physical_api(), Owner::Driver)
+        .open_gm_cq(n1, GmPortConfig::kernel().with_physical_api(), cq)
         .unwrap();
     // Walk the big buffer in 64 kB windows: every send misses the cache.
     for i in 0..16u64 {
         let off = i * 64 * 1024;
         let msg = format!("window {i:02}");
-        w.os
-            .node_mut(n0)
+        w.os.node_mut(n0)
             .write_virt(big.asid, big.addr.add(off), msg.as_bytes())
             .unwrap();
         w.t_post_recv(
@@ -85,8 +92,7 @@ fn translation_table_pressure_is_survivable() {
             .unwrap();
         await_recv(&mut w, rx);
         let mut back = vec![0u8; msg.len()];
-        w.os
-            .node(n1)
+        w.os.node(n1)
             .read_virt(Asid::KERNEL, rx_buf.addr, &mut back)
             .unwrap();
         assert_eq!(back, msg.as_bytes(), "window {i}");
@@ -106,22 +112,19 @@ fn three_clients_contend_for_one_server() {
     // One MX server node, three client nodes reading the same file
     // concurrently. Aggregate work is conserved and the server CPU
     // serializes: each client sees lower throughput than it would alone.
-    let mut w = ClusterBuilder::new().nodes(4, CpuModel::xeon_2600()).build();
+    let mut w = ClusterBuilder::new()
+        .nodes(4, CpuModel::xeon_2600())
+        .build();
     let server_node = NodeId(3);
-    let sep = w
-        .open_mx(server_node, MxEndpointConfig::kernel(), Owner::Driver)
-        .unwrap();
+    let sep = w.open_mx(server_node, MxEndpointConfig::kernel()).unwrap();
     let server = server_create(&mut w, sep, SimFs::with_defaults()).unwrap();
-    w.set_owner(sep, Owner::OrfsServer(server));
     make_server_file(&mut w, server, "/shared", 2 << 20);
 
     let mut clients = Vec::new();
     for i in 0..3u32 {
         let node = NodeId(i);
         let user = ubuf(&mut w, node, 1 << 20);
-        let cep = w
-            .open_mx(node, MxEndpointConfig::kernel(), Owner::Driver)
-            .unwrap();
+        let cep = w.open_mx(node, MxEndpointConfig::kernel()).unwrap();
         let cid = client_create(
             &mut w,
             cep,
@@ -131,7 +134,6 @@ fn three_clients_contend_for_one_server() {
             VfsConfig::default(),
         )
         .unwrap();
-        w.set_owner(cep, Owner::OrfsClient(cid));
         clients.push((cid, user));
     }
     // All three open and issue interleaved direct reads.
@@ -176,9 +178,14 @@ fn three_clients_contend_for_one_server() {
     // server-side handle table is shared state; verify bytes anyway).
     for (_cid, user) in &clients {
         let mut got = vec![0u8; 1024];
-        w.os.node(user.node).read_virt(user.asid, user.addr, &mut got).unwrap();
+        w.os.node(user.node)
+            .read_virt(user.asid, user.addr, &mut got)
+            .unwrap();
         for (i, &b) in got.iter().enumerate() {
-            assert_eq!(b, knet::harness::pattern_byte(((7u64 * record) % (2 << 20)) + i as u64));
+            assert_eq!(
+                b,
+                knet::harness::pattern_byte(((7u64 * record) % (2 << 20)) + i as u64)
+            );
         }
     }
 }
@@ -188,12 +195,10 @@ fn nbd_end_to_end_data_integrity() {
     use knet_nbd::*;
     let (mut w, n0, n1) = two_nodes();
     let user = ubuf(&mut w, n0, 1 << 20);
-    let cep = w.open_mx(n0, MxEndpointConfig::kernel(), Owner::Driver).unwrap();
-    let sep = w.open_mx(n1, MxEndpointConfig::kernel(), Owner::Driver).unwrap();
-    let server = nbd_server_create(&mut w, sep, 4096).unwrap();
-    w.set_owner(sep, Owner::NbdServer(server));
+    let cep = w.open_mx(n0, MxEndpointConfig::kernel()).unwrap();
+    let sep = w.open_mx(n1, MxEndpointConfig::kernel()).unwrap();
+    let _server = nbd_server_create(&mut w, sep, 4096).unwrap();
     let client = nbd_client_create(&mut w, cep, sep, 42).unwrap();
-    w.set_owner(cep, Owner::NbdClient(client));
 
     let wait = |w: &mut ClusterWorld, op| {
         let outcome = knet_simcore::run_until(w, |w| {
@@ -211,25 +216,39 @@ fn nbd_end_to_end_data_integrity() {
     // Write 512 kB of pattern, evict, read back buffered and raw.
     let len = 512 * 1024u64;
     let pattern: Vec<u8> = (0..len).map(|i| ((i * 11 + 3) % 251) as u8).collect();
-    w.os.node_mut(n0).write_virt(user.asid, user.addr, &pattern).unwrap();
+    w.os.node_mut(n0)
+        .write_virt(user.asid, user.addr, &pattern)
+        .unwrap();
     let op = knet_nbd::nbd_write(&mut w, client, user.memref(len), 4096);
     assert_eq!(wait(&mut w, op), len);
     // Clobber the user buffer, then read back through the cache.
-    w.os.node_mut(n0).write_virt(user.asid, user.addr, &vec![0u8; len as usize]).unwrap();
+    w.os.node_mut(n0)
+        .write_virt(user.asid, user.addr, &vec![0u8; len as usize])
+        .unwrap();
     let op = knet_nbd::nbd_read(&mut w, client, user.memref(len), 4096);
     assert_eq!(wait(&mut w, op), len);
     let mut back = vec![0u8; len as usize];
-    w.os.node(n0).read_virt(user.asid, user.addr, &mut back).unwrap();
+    w.os.node(n0)
+        .read_virt(user.asid, user.addr, &mut back)
+        .unwrap();
     assert_eq!(back, pattern, "buffered read-back");
     // Raw read of a sector in the middle.
     let op = knet_nbd::nbd_read_raw(&mut w, client, user.memref(4096), 1 + 17);
     assert_eq!(wait(&mut w, op), 4096);
-    w.os.node(n0).read_virt(user.asid, user.addr, &mut back[..4096]).unwrap();
-    assert_eq!(&back[..4096], &pattern[17 * 4096..18 * 4096], "raw read-back");
+    w.os.node(n0)
+        .read_virt(user.asid, user.addr, &mut back[..4096])
+        .unwrap();
+    assert_eq!(
+        &back[..4096],
+        &pattern[17 * 4096..18 * 4096],
+        "raw read-back"
+    );
     // Unwritten sectors read as zeroes.
     let op = knet_nbd::nbd_read(&mut w, client, user.memref(4096), 0);
     assert_eq!(wait(&mut w, op), 4096);
-    w.os.node(n0).read_virt(user.asid, user.addr, &mut back[..4096]).unwrap();
+    w.os.node(n0)
+        .read_virt(user.asid, user.addr, &mut back[..4096])
+        .unwrap();
     assert!(back[..4096].iter().all(|&b| b == 0));
 }
 
@@ -239,16 +258,14 @@ fn orfa_and_orfs_can_share_a_server_process() {
     // against one server: the paper's deployment story (the library for
     // legacy binaries, the kernel client for everyone else).
     let (mut w, n0, n1) = two_nodes();
-    let sep = w.open_mx(n1, MxEndpointConfig::kernel(), Owner::Driver).unwrap();
+    let sep = w.open_mx(n1, MxEndpointConfig::kernel()).unwrap();
     let server = server_create(&mut w, sep, SimFs::with_defaults()).unwrap();
-    w.set_owner(sep, Owner::OrfsServer(server));
     make_server_file(&mut w, server, "/f", 256 * 1024);
 
     let mk = |w: &mut ClusterWorld, kind| {
         let user = ubuf(w, n0, 512 * 1024);
-        let cep = w.open_mx(n0, MxEndpointConfig::kernel(), Owner::Driver).unwrap();
+        let cep = w.open_mx(n0, MxEndpointConfig::kernel()).unwrap();
         let cid = client_create(w, cep, sep, kind, user.asid, VfsConfig::default()).unwrap();
-        w.set_owner(cep, Owner::OrfsClient(cid));
         (cid, user)
     };
     let (orfa, ua) = mk(&mut w, ClientKind::UserLib);
@@ -261,7 +278,9 @@ fn orfa_and_orfs_can_share_a_server_process() {
     assert_eq!((na, nb), (100_000, 100_000));
     for (user, _) in [(&ua, 0), (&ub, 1)] {
         let mut got = vec![0u8; 100_000];
-        w.os.node(n0).read_virt(user.asid, user.addr, &mut got).unwrap();
+        w.os.node(n0)
+            .read_virt(user.asid, user.addr, &mut got)
+            .unwrap();
         for (i, &b) in got.iter().enumerate() {
             assert_eq!(b, knet::harness::pattern_byte(5 + i as u64));
         }
@@ -273,12 +292,11 @@ fn orfa_and_orfs_can_share_a_server_process() {
 fn single_client_direct_read_rate_is_wire_bound() {
     let mut w = ClusterBuilder::new().build();
     let (n0, n1) = (NodeId(0), NodeId(1));
-    let sep = w.open_mx(n1, MxEndpointConfig::kernel(), Owner::Driver).unwrap();
+    let sep = w.open_mx(n1, MxEndpointConfig::kernel()).unwrap();
     let server = server_create(&mut w, sep, SimFs::with_defaults()).unwrap();
-    w.set_owner(sep, Owner::OrfsServer(server));
     make_server_file(&mut w, server, "/f", 4 << 20);
     let user = ubuf(&mut w, n0, 1 << 20);
-    let cep = w.open_mx(n0, MxEndpointConfig::kernel(), Owner::Driver).unwrap();
+    let cep = w.open_mx(n0, MxEndpointConfig::kernel()).unwrap();
     let cid = client_create(
         &mut w,
         cep,
@@ -288,10 +306,12 @@ fn single_client_direct_read_rate_is_wire_bound() {
         VfsConfig::default(),
     )
     .unwrap();
-    w.set_owner(cep, Owner::OrfsClient(cid));
     let fd = fsops::open(&mut w, cid, "/f", true).unwrap();
     let mb = seq_read_mb(&mut w, cid, fd, 1 << 20, 3 << 20, move |_w, _i| {
         user.memref(1 << 20)
     });
-    assert!((180.0..=250.0).contains(&mb), "direct 1MB reads: {mb:.1} MB/s");
+    assert!(
+        (180.0..=250.0).contains(&mb),
+        "direct 1MB reads: {mb:.1} MB/s"
+    );
 }

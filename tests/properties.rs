@@ -5,7 +5,6 @@
 use knet::figures::{fs_fixture, FsOpts};
 use knet::harness::{fsops, ubuf};
 use knet::prelude::*;
-use knet::Owner;
 use knet_zsock::sock_create;
 use proptest::prelude::*;
 
@@ -71,21 +70,19 @@ proptest! {
         let bb = ubuf(&mut w, n1, 1 << 20);
         let (ea, eb) = match kind {
             TransportKind::Mx => (
-                w.open_mx(n0, MxEndpointConfig::kernel(), Owner::Driver).unwrap(),
-                w.open_mx(n1, MxEndpointConfig::kernel(), Owner::Driver).unwrap(),
+                w.open_mx(n0, MxEndpointConfig::kernel()).unwrap(),
+                w.open_mx(n1, MxEndpointConfig::kernel()).unwrap(),
             ),
             TransportKind::Gm => {
                 let cfg = GmPortConfig::kernel().with_physical_api().with_regcache(4096);
                 (
-                    w.open_gm(n0, cfg.clone(), Owner::Driver).unwrap(),
-                    w.open_gm(n1, cfg, Owner::Driver).unwrap(),
+                    w.open_gm(n0, cfg.clone()).unwrap(),
+                    w.open_gm(n1, cfg).unwrap(),
                 )
             }
         };
         let sa = sock_create(&mut w, ea, eb).unwrap();
         let sb = sock_create(&mut w, eb, ea).unwrap();
-        w.set_owner(ea, Owner::Sock(sa));
-        w.set_owner(eb, Owner::Sock(sb));
         for (i, &size) in sizes.iter().enumerate() {
             let fill = (i as u8).wrapping_mul(37).wrapping_add(11);
             let data = vec![fill; size as usize];
@@ -130,8 +127,9 @@ proptest! {
             let (mut w, n0, n1) = two_nodes();
             let ka = knet::harness::kbuf(&mut w, n0, 128 * 1024);
             let kb = knet::harness::kbuf(&mut w, n1, 128 * 1024);
-            let a = w.open_mx(n0, MxEndpointConfig::kernel(), Owner::Driver).unwrap();
-            let b = w.open_mx(n1, MxEndpointConfig::kernel(), Owner::Driver).unwrap();
+            let cq = w.new_cq();
+            let a = w.open_mx_cq(n0, MxEndpointConfig::kernel(), cq).unwrap();
+            let b = w.open_mx_cq(n1, MxEndpointConfig::kernel(), cq).unwrap();
             for &s in sizes {
                 knet::harness::transport_pingpong_us(&mut w, a, b, ka.iov(s), kb.iov(s), 1);
             }
@@ -153,8 +151,9 @@ proptest! {
         let (mut w, n0, n1) = two_nodes();
         let ba = ubuf(&mut w, n0, 1 << 20);
         let bb = ubuf(&mut w, n1, 1 << 20);
-        let a = w.open_mx(n0, MxEndpointConfig::user(ba.asid), Owner::Driver).unwrap();
-        let b = w.open_mx(n1, MxEndpointConfig::user(bb.asid), Owner::Driver).unwrap();
+        let cq = w.new_cq();
+        let a = w.open_mx_cq(n0, MxEndpointConfig::user(ba.asid), cq).unwrap();
+        let b = w.open_mx_cq(n1, MxEndpointConfig::user(bb.asid), cq).unwrap();
         for &s in &sizes {
             knet::harness::transport_pingpong_us(&mut w, a, b, ba.iov(s), bb.iov(s), 1);
         }

@@ -4,44 +4,49 @@
 
 use knet::harness::ubuf;
 use knet::prelude::*;
-use knet::Owner;
 use knet_zsock::{sock_create, sock_recv, sock_send, SockId};
 
-fn pair(kind: TransportKind) -> (ClusterWorld, SockId, SockId, knet::harness::UBuf, knet::harness::UBuf) {
+fn pair(
+    kind: TransportKind,
+) -> (
+    ClusterWorld,
+    SockId,
+    SockId,
+    knet::harness::UBuf,
+    knet::harness::UBuf,
+) {
     let (mut w, n0, n1) = two_nodes_xe();
     let ba = ubuf(&mut w, n0, 1 << 20);
     let bb = ubuf(&mut w, n1, 1 << 20);
     let (ea, eb) = match kind {
         TransportKind::Mx => (
-            w.open_mx(n0, MxEndpointConfig::kernel(), Owner::Driver).unwrap(),
-            w.open_mx(n1, MxEndpointConfig::kernel(), Owner::Driver).unwrap(),
+            w.open_mx(n0, MxEndpointConfig::kernel()).unwrap(),
+            w.open_mx(n1, MxEndpointConfig::kernel()).unwrap(),
         ),
         TransportKind::Gm => {
-            let cfg = GmPortConfig::kernel().with_physical_api().with_regcache(4096);
+            let cfg = GmPortConfig::kernel()
+                .with_physical_api()
+                .with_regcache(4096);
             (
-                w.open_gm(n0, cfg.clone(), Owner::Driver).unwrap(),
-                w.open_gm(n1, cfg, Owner::Driver).unwrap(),
+                w.open_gm(n0, cfg.clone()).unwrap(),
+                w.open_gm(n1, cfg).unwrap(),
             )
         }
     };
     let sa = sock_create(&mut w, ea, eb).unwrap();
     let sb = sock_create(&mut w, eb, ea).unwrap();
-    w.set_owner(ea, Owner::Sock(sa));
-    w.set_owner(eb, Owner::Sock(sb));
     (w, sa, sb, ba, bb)
 }
 
 fn fill(w: &mut ClusterWorld, buf: &knet::harness::UBuf, data: &[u8]) {
-    w.os
-        .node_mut(buf.node)
+    w.os.node_mut(buf.node)
         .write_virt(buf.asid, buf.addr, data)
         .unwrap();
 }
 
 fn read_back(w: &ClusterWorld, buf: &knet::harness::UBuf, len: usize) -> Vec<u8> {
     let mut v = vec![0u8; len];
-    w.os
-        .node(buf.node)
+    w.os.node(buf.node)
         .read_virt(buf.asid, buf.addr, &mut v)
         .unwrap();
     v
@@ -89,11 +94,7 @@ fn queued_readers_drain_in_fifo_order() {
         let (mut w, sa, sb, ba, bb) = pair(kind);
         // Two readers queued before any data.
         let r1 = sock_recv(&mut w, sb, bb.memref(4));
-        let r2 = sock_recv(
-            &mut w,
-            sb,
-            MemRef::user(bb.asid, bb.addr.add(4096), 4),
-        );
+        let r2 = sock_recv(&mut w, sb, MemRef::user(bb.asid, bb.addr.add(4096), 4));
         fill(&mut w, &ba, b"AAAABBBB");
         sock_send(&mut w, sa, ba.memref(8));
         let n1 = knet::harness::sock_wait(&mut w, sb, r1);
@@ -101,8 +102,7 @@ fn queued_readers_drain_in_fifo_order() {
         assert_eq!((n1, n2), (4, 4), "{kind:?}");
         assert_eq!(&read_back(&w, &bb, 4), b"AAAA");
         let mut second = vec![0u8; 4];
-        w.os
-            .node(bb.node)
+        w.os.node(bb.node)
             .read_virt(bb.asid, bb.addr.add(4096), &mut second)
             .unwrap();
         assert_eq!(&second, b"BBBB", "{kind:?} second reader gets the tail");
@@ -120,8 +120,7 @@ fn pipelined_messages_preserve_stream_order() {
         let mut off = 0u64;
         for (i, &s) in sizes.iter().enumerate() {
             let chunk: Vec<u8> = (0..s).map(|j| ((i as u64 * 131 + j) % 251) as u8).collect();
-            w.os
-                .node_mut(ba.node)
+            w.os.node_mut(ba.node)
                 .write_virt(ba.asid, ba.addr.add(off), &chunk)
                 .unwrap();
             sock_send(&mut w, sa, ba.memref_at(off, s));
@@ -160,6 +159,10 @@ fn zero_copy_steering_is_used_when_the_reader_waits() {
     knet_simcore::run_to_quiescence(&mut w);
     let r = sock_recv(&mut w, sb, bb.memref(n));
     knet::harness::sock_wait(&mut w, sb, r);
-    assert_eq!(w.zsock.sock(sb).stats.zero_copy_receives, 1, "second was buffered");
+    assert_eq!(
+        w.zsock.sock(sb).stats.zero_copy_receives,
+        1,
+        "second was buffered"
+    );
     assert!(w.zsock.sock(sb).stats.buffered_receives >= 1);
 }

@@ -1,23 +1,30 @@
-//! Tests of the composed world's plumbing: endpoint ownership routing,
-//! driver mailboxes, VMA SPY fan-out, and cross-driver isolation.
+//! Tests of the composed world's plumbing: the consumer dispatch registry
+//! (registration, rebinding, deregistration, parked-event replay, ordering),
+//! completion queues, VMA SPY fan-out, and cross-driver isolation.
 
 use knet::harness::{await_event, kbuf, ubuf};
 use knet::prelude::*;
-use knet::Owner;
+use knet_core::api;
 use knet_core::{TransportEvent, TransportWorld};
 use knet_gm::GmPortId;
+use knet_simos::VirtAddr;
+
+fn write_kernel(w: &mut ClusterWorld, node: NodeId, addr: VirtAddr, data: &[u8]) {
+    w.os.node_mut(node)
+        .write_virt(Asid::KERNEL, addr, data)
+        .unwrap();
+}
 
 #[test]
-fn driver_mailboxes_are_per_endpoint() {
+fn cq_events_are_per_endpoint() {
+    // Two endpoints sharing one CQ: each pops only its own traffic.
     let (mut w, n0, n1) = two_nodes();
-    let a = w.open_mx(n0, MxEndpointConfig::kernel(), Owner::Driver).unwrap();
-    let b1 = w.open_mx(n1, MxEndpointConfig::kernel(), Owner::Driver).unwrap();
-    let b2 = w.open_mx(n1, MxEndpointConfig::kernel(), Owner::Driver).unwrap();
+    let cq = w.new_cq();
+    let a = w.open_mx_cq(n0, MxEndpointConfig::kernel(), cq).unwrap();
+    let b1 = w.open_mx_cq(n1, MxEndpointConfig::kernel(), cq).unwrap();
+    let b2 = w.open_mx_cq(n1, MxEndpointConfig::kernel(), cq).unwrap();
     let ka = kbuf(&mut w, n0, 4096);
-    w.os
-        .node_mut(n0)
-        .write_virt(Asid::KERNEL, ka.addr, b"to-b2")
-        .unwrap();
+    write_kernel(&mut w, n0, ka.addr, b"to-b2");
     w.t_send(a, b2, 9, ka.iov(5), 0).unwrap();
     knet_simcore::run_to_quiescence(&mut w);
     assert!(!w.has_event(b1), "b1 must not see b2's traffic");
@@ -29,26 +36,199 @@ fn driver_mailboxes_are_per_endpoint() {
         }
         other => panic!("expected delivery at b2, got {other:?}"),
     }
+    // The sender's completion is on the same queue, keyed by `a`.
+    assert!(matches!(
+        w.take_event(a),
+        Some(TransportEvent::SendDone { .. })
+    ));
 }
 
 #[test]
-fn reassigning_ownership_reroutes_events() {
+fn rebinding_a_consumer_reroutes_events() {
     let (mut w, n0, n1) = two_nodes();
-    let a = w.open_mx(n0, MxEndpointConfig::kernel(), Owner::Driver).unwrap();
-    let b = w.open_mx(n1, MxEndpointConfig::kernel(), Owner::Driver).unwrap();
+    let cq = w.new_cq();
+    let a = w.open_mx_cq(n0, MxEndpointConfig::kernel(), cq).unwrap();
+    let b = w.open_mx_cq(n1, MxEndpointConfig::kernel(), cq).unwrap();
     let ka = kbuf(&mut w, n0, 4096);
-    // First message lands in the driver mailbox.
+    // First message lands on b's completion queue.
     w.t_send(a, b, 1, ka.iov(8), 0).unwrap();
     knet_simcore::run_to_quiescence(&mut w);
     assert!(w.has_event(b));
     w.take_event(b);
-    // Hand the endpoint to a socket; traffic now flows to the socket layer,
-    // not the mailbox.
-    let sock_b = knet_zsock::sock_create(&mut w, b, a).unwrap();
-    w.set_owner(b, Owner::Sock(sock_b));
+    // Hand the endpoint to a socket; `sock_create` binds it to the socket
+    // consumer, so traffic now flows to the socket layer, not the queue.
+    let sb = knet_zsock::sock_create(&mut w, b, a).unwrap();
     w.t_send(a, b, 2, ka.iov(8), 0).unwrap();
     knet_simcore::run_to_quiescence(&mut w);
-    assert!(!w.has_event(b), "socket-owned endpoint bypasses the mailbox");
+    assert!(!w.has_event(b), "socket-owned endpoint bypasses the queue");
+    assert_eq!(
+        w.registry
+            .consumer_of(b)
+            .and_then(|c| w.registry.consumer_name(c).map(str::to_string)),
+        Some(format!("zsock-{}", sb.0))
+    );
+}
+
+#[test]
+fn unbound_endpoints_park_events_and_replay_on_bind() {
+    // Traffic sent before any consumer exists is not lost: it parks in the
+    // registry and replays, in order, when a consumer binds.
+    let (mut w, n0, n1) = two_nodes();
+    let cq_a = w.new_cq();
+    let a = w.open_mx_cq(n0, MxEndpointConfig::kernel(), cq_a).unwrap();
+    let b = w.open_mx(n1, MxEndpointConfig::kernel()).unwrap(); // unbound
+    let ka = kbuf(&mut w, n0, 4096);
+    for (i, msg) in [b"one..", b"two.."].iter().enumerate() {
+        write_kernel(&mut w, n0, ka.addr, *msg);
+        w.t_send(a, b, i as u64, ka.iov(5), 0).unwrap();
+        knet_simcore::run_to_quiescence(&mut w);
+    }
+    assert!(!w.has_event(b), "unbound endpoint has no queue");
+    assert_eq!(w.registry.parked_len(b), 2);
+    let cq_b = w.new_cq();
+    w.attach_cq(b, cq_b);
+    assert_eq!(w.registry.parked_len(b), 0, "drained on bind");
+    let tags: Vec<u64> = std::iter::from_fn(|| w.take_event(b))
+        .map(|ev| match ev {
+            TransportEvent::Unexpected { tag, .. } => tag,
+            other => panic!("{other:?}"),
+        })
+        .collect();
+    assert_eq!(tags, vec![0, 1], "replayed in arrival order");
+}
+
+#[test]
+fn deregistering_a_consumer_parks_future_events() {
+    let (mut w, n0, n1) = two_nodes();
+    let cq = w.new_cq();
+    let a = w.open_mx_cq(n0, MxEndpointConfig::kernel(), cq).unwrap();
+    let b = w.open_mx_cq(n1, MxEndpointConfig::kernel(), cq).unwrap();
+    let ka = kbuf(&mut w, n0, 4096);
+    let cid = w.registry.consumer_of(b).expect("bound");
+    assert!(w.registry.deregister(cid));
+    assert!(!w.registry.deregister(cid), "double deregister is a no-op");
+    assert_eq!(w.registry.consumer_of(b), None, "routes dropped");
+    w.t_send(a, b, 5, ka.iov(4), 0).unwrap();
+    knet_simcore::run_to_quiescence(&mut w);
+    assert_eq!(w.registry.parked_len(b), 1, "events park after deregister");
+    assert!(!w.has_event(b));
+}
+
+#[test]
+fn per_endpoint_event_order_is_preserved() {
+    // Several messages with distinct tags: the receiving endpoint's events
+    // pop in arrival order even though the CQ is shared with the sender.
+    let (mut w, n0, n1) = two_nodes();
+    let cq = w.new_cq();
+    let a = w.open_mx_cq(n0, MxEndpointConfig::kernel(), cq).unwrap();
+    let b = w.open_mx_cq(n1, MxEndpointConfig::kernel(), cq).unwrap();
+    let ka = kbuf(&mut w, n0, 4096);
+    for tag in 10..15u64 {
+        w.t_send(a, b, tag, ka.iov(16), tag).unwrap();
+        knet_simcore::run_to_quiescence(&mut w);
+    }
+    let tags: Vec<u64> = std::iter::from_fn(|| w.take_event(b))
+        .map(|ev| match ev {
+            TransportEvent::Unexpected { tag, .. } => tag,
+            other => panic!("{other:?}"),
+        })
+        .collect();
+    assert_eq!(tags, vec![10, 11, 12, 13, 14]);
+    // Sender saw its five completions, in issue order.
+    let ctxs: Vec<u64> = std::iter::from_fn(|| w.take_event(a))
+        .map(|ev| match ev {
+            TransportEvent::SendDone { ctx } => ctx,
+            other => panic!("{other:?}"),
+        })
+        .collect();
+    assert_eq!(ctxs, vec![10, 11, 12, 13, 14]);
+}
+
+#[test]
+fn unexpected_roundtrip_over_both_transports() {
+    // An Unexpected delivery each way (GM and MX), through the registry,
+    // with byte-exact payloads and correct `from` attribution.
+    for kind in [TransportKind::Mx, TransportKind::Gm] {
+        let (mut w, n0, n1) = two_nodes();
+        let cq = w.new_cq();
+        let (ea, eb) = match kind {
+            TransportKind::Mx => (
+                w.open_mx_cq(n0, MxEndpointConfig::kernel(), cq).unwrap(),
+                w.open_mx_cq(n1, MxEndpointConfig::kernel(), cq).unwrap(),
+            ),
+            TransportKind::Gm => {
+                let cfg = GmPortConfig::kernel().with_physical_api();
+                (
+                    w.open_gm_cq(n0, cfg.clone(), cq).unwrap(),
+                    w.open_gm_cq(n1, cfg, cq).unwrap(),
+                )
+            }
+        };
+        let ka = kbuf(&mut w, n0, 4096);
+        let kb = kbuf(&mut w, n1, 4096);
+        write_kernel(&mut w, n0, ka.addr, b"ping!");
+        w.t_send(ea, eb, 1, ka.iov(5), 0).unwrap();
+        let (tag, data, from) = loop {
+            match await_event(&mut w, eb) {
+                TransportEvent::Unexpected { tag, data, from } => break (tag, data, from),
+                _ => continue,
+            }
+        };
+        assert_eq!((tag, &data[..], from), (1, &b"ping!"[..], ea), "{kind:?}");
+        // And back.
+        write_kernel(&mut w, n1, kb.addr, b"pong!");
+        w.t_send(eb, ea, 2, kb.iov(5), 0).unwrap();
+        let (tag, data, from) = loop {
+            match await_event(&mut w, ea) {
+                TransportEvent::Unexpected { tag, data, from } => break (tag, data, from),
+                _ => continue,
+            }
+        };
+        assert_eq!((tag, &data[..], from), (2, &b"pong!"[..], eb), "{kind:?}");
+    }
+}
+
+#[test]
+fn new_workloads_attach_without_touching_the_world() {
+    // The acceptance test for the registry redesign: wire a brand-new
+    // "echo service" workload purely through consumer registration — no
+    // `ClusterWorld` edits, no enum variants, just a handler.
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    let (mut w, n0, n1) = two_nodes();
+    let cq = w.new_cq();
+    let client = w.open_mx_cq(n0, MxEndpointConfig::kernel(), cq).unwrap();
+    let service = w.open_mx(n1, MxEndpointConfig::kernel()).unwrap();
+    let echo_buf = kbuf(&mut w, n1, 4096);
+    let log: Rc<RefCell<Vec<u64>>> = Rc::default();
+
+    let log2 = Rc::clone(&log);
+    let cid = w.registry.register("echo-service", move |w, ep, ev| {
+        if let TransportEvent::Unexpected { tag, data, from } = ev {
+            log2.borrow_mut().push(tag);
+            // Echo the payload back, tag + 1000.
+            let n = data.len() as u64;
+            w.os.node_mut(ep.node)
+                .write_virt(Asid::KERNEL, echo_buf.addr, &data)
+                .unwrap();
+            w.t_send(ep, from, tag + 1000, echo_buf.iov(n), 0).unwrap();
+        }
+    });
+    api::bind(&mut w, service, cid);
+
+    let ka = kbuf(&mut w, n0, 4096);
+    write_kernel(&mut w, n0, ka.addr, b"hello, echo");
+    w.t_send(client, service, 42, ka.iov(11), 0).unwrap();
+    let (tag, data) = loop {
+        match await_event(&mut w, client) {
+            TransportEvent::Unexpected { tag, data, .. } => break (tag, data),
+            _ => continue,
+        }
+    };
+    assert_eq!(tag, 1042);
+    assert_eq!(&data[..], b"hello, echo");
+    assert_eq!(*log.borrow(), vec![42]);
 }
 
 #[test]
@@ -57,18 +237,22 @@ fn vma_events_fan_out_to_all_gm_caches_on_the_node() {
     let buf = ubuf(&mut w, n0, 16 * 4096);
     // Two kernel ports with caches on the same node.
     let p1 = w
-        .open_gm(n0, GmPortConfig::kernel().with_regcache(64), Owner::Driver)
+        .open_gm(n0, GmPortConfig::kernel().with_regcache(64))
         .unwrap();
     let p2 = w
-        .open_gm(n0, GmPortConfig::kernel().with_regcache(64), Owner::Driver)
+        .open_gm(n0, GmPortConfig::kernel().with_regcache(64))
         .unwrap();
     for p in [p1, p2] {
-        knet_gm::gm_ensure_cached(&mut w, GmPortId(p.idx), buf.asid, buf.addr, 8 * 4096)
-            .unwrap();
+        knet_gm::gm_ensure_cached(&mut w, GmPortId(p.idx), buf.asid, buf.addr, 8 * 4096).unwrap();
     }
     knet_simos::munmap(&mut w, n0, buf.asid, buf.addr, 8 * 4096).unwrap();
     for p in [p1, p2] {
-        let cache = w.gm.port(GmPortId(p.idx)).unwrap().regcache.as_ref().unwrap();
+        let cache =
+            w.gm.port(GmPortId(p.idx))
+                .unwrap()
+                .regcache
+                .as_ref()
+                .unwrap();
         assert_eq!(cache.stats.invalidations, 8, "both caches notified");
         assert!(cache.is_empty());
     }
@@ -81,22 +265,26 @@ fn gm_and_mx_coexist_on_one_node_pair() {
     // Both drivers on the same NICs at once: traffic stays separated by
     // protocol and the translation table is shared without interference.
     let (mut w, n0, n1) = two_nodes();
+    let cq = w.new_cq();
     let ka = kbuf(&mut w, n0, 8192);
     let kb = kbuf(&mut w, n1, 8192);
     let gm_cfg = GmPortConfig::kernel().with_physical_api();
-    let ga = w.open_gm(n0, gm_cfg.clone(), Owner::Driver).unwrap();
-    let gb = w.open_gm(n1, gm_cfg, Owner::Driver).unwrap();
-    let ma = w.open_mx(n0, MxEndpointConfig::kernel(), Owner::Driver).unwrap();
-    let mb = w.open_mx(n1, MxEndpointConfig::kernel(), Owner::Driver).unwrap();
-    w.os
-        .node_mut(n0)
-        .write_virt(Asid::KERNEL, ka.addr, b"via GM !via MX ?")
-        .unwrap();
+    let ga = w.open_gm_cq(n0, gm_cfg.clone(), cq).unwrap();
+    let gb = w.open_gm_cq(n1, gm_cfg, cq).unwrap();
+    let ma = w.open_mx_cq(n0, MxEndpointConfig::kernel(), cq).unwrap();
+    let mb = w.open_mx_cq(n1, MxEndpointConfig::kernel(), cq).unwrap();
+    write_kernel(&mut w, n0, ka.addr, b"via GM !via MX ?");
     // Interleave sends on both drivers.
     let phys = MemRef::physical(ka.addr.kernel_to_phys().unwrap(), 7);
     w.t_send(ga, gb, 1, IoVec::single(phys), 0).unwrap();
-    w.t_send(ma, mb, 2, IoVec::single(MemRef::kernel(ka.addr.add(8), 7)), 0)
-        .unwrap();
+    w.t_send(
+        ma,
+        mb,
+        2,
+        IoVec::single(MemRef::kernel(ka.addr.add(8), 7)),
+        0,
+    )
+    .unwrap();
     let _ = kb;
     // Both arrive, each at its own driver's endpoint.
     let (gm_tag, gm_len) = match await_event(&mut w, gb) {
@@ -117,7 +305,8 @@ fn gm_and_mx_coexist_on_one_node_pair() {
 #[test]
 fn unknown_destination_fails_cleanly() {
     let (mut w, n0, _n1) = two_nodes();
-    let a = w.open_mx(n0, MxEndpointConfig::kernel(), Owner::Driver).unwrap();
+    let cq = w.new_cq();
+    let a = w.open_mx_cq(n0, MxEndpointConfig::kernel(), cq).unwrap();
     let ka = kbuf(&mut w, n0, 4096);
     let bogus = knet_core::Endpoint {
         kind: TransportKind::Mx,
@@ -126,7 +315,9 @@ fn unknown_destination_fails_cleanly() {
     };
     assert!(w.t_send(a, bogus, 1, ka.iov(16), 0).is_err());
     // GM: sending via a closed port errors too.
-    let g = w.open_gm(n0, GmPortConfig::kernel().with_physical_api(), Owner::Driver).unwrap();
+    let g = w
+        .open_gm_cq(n0, GmPortConfig::kernel().with_physical_api(), cq)
+        .unwrap();
     knet_gm::gm_close_port(&mut w, GmPortId(g.idx)).unwrap();
     let phys = MemRef::physical(ka.addr.kernel_to_phys().unwrap(), 4);
     assert!(w.t_send(g, g, 1, IoVec::single(phys), 0).is_err());
