@@ -2,9 +2,10 @@
 //! handle-based face of the kernel network API.
 //!
 //! The raw [`TransportWorld`](crate::transport::TransportWorld) interface
-//! moves bytes but leaves two problems to its callers: *who* consumes an
-//! endpoint's completion events, and *how* driver quirks (GM's
-//! single-segment sends) surface. This module answers both:
+//! moves bytes but leaves three problems to its callers: *who* consumes an
+//! endpoint's completion events, *how* driver quirks (GM's single-segment
+//! sends, bounded send tokens) surface, and *where* batching policy lives.
+//! This module answers all three:
 //!
 //! * A **[`Registry`]** maps endpoints to *consumers*. A consumer is either
 //!   a **completion queue** ([`CqId`]) that accumulates [`CqEntry`]s for a
@@ -13,12 +14,24 @@
 //!   with no consumer yet are *parked* and replayed on bind, so wiring
 //!   order never loses traffic. The composed world routes every driver
 //!   event through [`deliver`]; it needs no knowledge of any application.
+//!   Queues keep a **per-endpoint index** so [`Registry::cq_pop_for`] /
+//!   [`Registry::has_event`] stay cheap when thousands of endpoints share
+//!   one queue (no linear scans; see [`RegistryStats::indexed_pops`]).
 //! * A **[`Channel`]** is a connected, tagged, vectored message pipe
-//!   between two endpoints, backed by a CQ. [`channel_send`] accepts
-//!   multi-segment [`IoVec`]s on *every* transport: on GM (not vectorial,
-//!   §4.1) the segments are coalesced through a per-channel kernel staging
-//!   buffer — the copy is charged to the CPU model, and the caller never
-//!   sees [`NetError::Unsupported`].
+//!   between two endpoints. Completions go to the channel's consumer: a CQ
+//!   ([`channel_connect`] / [`channel_accept`]) or an in-kernel upcall
+//!   ([`channel_connect_handler`] — how the zero-copy socket layer
+//!   attaches). [`channel_send`] accepts multi-segment [`IoVec`]s on
+//!   *every* transport: on GM (not vectorial, §4.1) the segments are
+//!   coalesced through a per-channel kernel staging buffer — the copy is
+//!   charged to the CPU model, and the caller never sees
+//!   [`NetError::Unsupported`].
+//! * **Send backpressure** lives in the channel, not in every caller: when
+//!   the transport rejects a send for lack of tokens
+//!   ([`NetError::NoSendTokens`]), the channel queues it and retries in
+//!   order on the next `SendDone`, bounded by
+//!   [`Channel::send_queue_cap`] — overflow surfaces as
+//!   [`NetError::SendQueueFull`].
 //!
 //! Worlds participate by implementing [`DispatchWorld`]; applications
 //! attach with [`Registry::register`] + [`bind`] and are never named by the
@@ -94,7 +107,37 @@ pub struct RegistryStats {
     pub replayed: u64,
     /// Events dropped because their completion queue was destroyed.
     pub dropped: u64,
+    /// Per-endpoint CQ pops served by the endpoint index (no linear scan).
+    pub indexed_pops: u64,
+    /// Channel sends queued because the transport was out of tokens.
+    pub queued_sends: u64,
+    /// Queued channel sends successfully retried after a `SendDone`.
+    pub retried_sends: u64,
+    /// Queued channel sends that failed their retry with a non-transient
+    /// error and were dropped (the original caller already holds the
+    /// context; no completion will arrive for it).
+    pub failed_retries: u64,
 }
+
+/// One completion queue: entries in arrival order (`seq`), plus a
+/// per-endpoint index of those sequence numbers so pops and peeks for a
+/// single endpoint never scan past other endpoints' traffic.
+#[derive(Default)]
+struct Cq {
+    entries: BTreeMap<u64, CqEntry>,
+    by_ep: BTreeMap<(TransportKind, u32), VecDeque<u64>>,
+    next_seq: u64,
+}
+
+/// A channel send waiting for transport tokens.
+struct QueuedSend {
+    tag: u64,
+    iov: IoVec,
+    ctx: u64,
+}
+
+/// Default bound of the per-channel backpressure queue.
+pub const DEFAULT_SEND_QUEUE_CAP: usize = 64;
 
 /// Per-channel state.
 pub struct Channel {
@@ -102,13 +145,30 @@ pub struct Channel {
     /// `None` until the accepting side learns its peer from the first
     /// inbound message.
     pub peer: Option<Endpoint>,
-    pub cq: CqId,
+    /// The backing completion queue, when the consumer is queue-backed
+    /// (`None` for handler-backed channels).
+    pub cq: Option<CqId>,
     consumer: ConsumerId,
     /// Kernel staging buffer for coalescing vectored sends on GM.
     staging: Option<(VirtAddr, u64)>,
     next_ctx: u64,
     /// Bytes copied through the staging buffer (coalescing cost indicator).
     pub coalesced_bytes: u64,
+    /// Sends the transport refused for lack of tokens, retried in order on
+    /// the next `SendDone`.
+    pending: VecDeque<QueuedSend>,
+    /// Bound of `pending`; a send arriving at a full queue fails with
+    /// [`NetError::SendQueueFull`]. `0` disables queueing — token
+    /// exhaustion then surfaces as [`NetError::NoSendTokens`], the raw
+    /// transport contract.
+    pub send_queue_cap: usize,
+}
+
+impl Channel {
+    /// Sends currently parked in the backpressure queue.
+    pub fn queued_len(&self) -> usize {
+        self.pending.len()
+    }
 }
 
 /// Endpoint → consumer dispatch, completion queues, channels.
@@ -116,11 +176,11 @@ pub struct Registry<W> {
     consumers: BTreeMap<u32, Consumer<W>>,
     next_consumer: u32,
     routes: BTreeMap<(TransportKind, u32), ConsumerId>,
-    cqs: BTreeMap<u32, VecDeque<CqEntry>>,
+    cqs: BTreeMap<u32, Cq>,
     next_cq: u32,
     parked: BTreeMap<(TransportKind, u32), VecDeque<TransportEvent>>,
     channels: BTreeMap<u32, Channel>,
-    /// Endpoint → channel, for peer learning on accept.
+    /// Endpoint → channel, for peer learning and send retries.
     channel_routes: BTreeMap<(TransportKind, u32), ChannelId>,
     next_channel: u32,
     pub stats: RegistryStats,
@@ -158,7 +218,7 @@ impl<W> Registry<W> {
     pub fn create_cq(&mut self) -> CqId {
         let id = CqId(self.next_cq);
         self.next_cq += 1;
-        self.cqs.insert(id.0, VecDeque::new());
+        self.cqs.insert(id.0, Cq::default());
         id
     }
 
@@ -167,30 +227,65 @@ impl<W> Registry<W> {
         self.cqs.remove(&cq.0);
     }
 
-    fn cq_push(&mut self, cq: CqId, ep: Endpoint, event: TransportEvent) {
+    /// Append an entry (used by [`deliver`]; public so tests can drive
+    /// queues directly).
+    pub fn cq_push(&mut self, cq: CqId, ep: Endpoint, event: TransportEvent) {
         // A destroyed queue stays destroyed: events for it are dropped, not
         // silently resurrected into a queue nobody polls.
         match self.cqs.get_mut(&cq.0) {
-            Some(q) => q.push_back(CqEntry { ep, event }),
+            Some(q) => {
+                let seq = q.next_seq;
+                q.next_seq += 1;
+                q.entries.insert(seq, CqEntry { ep, event });
+                q.by_ep.entry(key(ep)).or_default().push_back(seq);
+            }
             None => self.stats.dropped += 1,
         }
     }
 
     /// Pop the oldest entry of the queue.
     pub fn cq_pop(&mut self, cq: CqId) -> Option<CqEntry> {
-        self.cqs.get_mut(&cq.0)?.pop_front()
+        let q = self.cqs.get_mut(&cq.0)?;
+        let (seq, e) = q.entries.pop_first()?;
+        if let Some(dq) = q.by_ep.get_mut(&key(e.ep)) {
+            // The oldest entry overall is also the oldest for its endpoint.
+            debug_assert_eq!(dq.front(), Some(&seq));
+            dq.pop_front();
+            if dq.is_empty() {
+                q.by_ep.remove(&key(e.ep));
+            }
+        }
+        Some(e)
     }
 
     /// Pop the oldest entry of the queue *for this endpoint* (entries for
-    /// other endpoints sharing the queue keep their order).
+    /// other endpoints sharing the queue keep their order). Served by the
+    /// per-endpoint index — O(log n), not a scan over the queue.
     pub fn cq_pop_for(&mut self, cq: CqId, ep: Endpoint) -> Option<CqEntry> {
-        let q = self.cqs.get_mut(&cq.0)?;
-        let pos = q.iter().position(|e| e.ep == ep)?;
-        q.remove(pos)
+        let e = {
+            let q = self.cqs.get_mut(&cq.0)?;
+            let dq = q.by_ep.get_mut(&key(ep))?;
+            let seq = dq.pop_front()?;
+            if dq.is_empty() {
+                q.by_ep.remove(&key(ep));
+            }
+            q.entries.remove(&seq)
+        }?;
+        self.stats.indexed_pops += 1;
+        Some(e)
     }
 
     pub fn cq_len(&self, cq: CqId) -> usize {
-        self.cqs.get(&cq.0).map(VecDeque::len).unwrap_or(0)
+        self.cqs.get(&cq.0).map(|q| q.entries.len()).unwrap_or(0)
+    }
+
+    /// Entries waiting in the queue for this endpoint.
+    pub fn cq_len_for(&self, cq: CqId, ep: Endpoint) -> usize {
+        self.cqs
+            .get(&cq.0)
+            .and_then(|q| q.by_ep.get(&key(ep)))
+            .map(VecDeque::len)
+            .unwrap_or(0)
     }
 
     /// The queue the endpoint's consumer feeds, when it is queue-backed.
@@ -206,7 +301,7 @@ impl<W> Registry<W> {
     pub fn has_event(&self, ep: Endpoint) -> bool {
         self.cq_of(ep)
             .and_then(|cq| self.cqs.get(&cq.0))
-            .map(|q| q.iter().any(|e| e.ep == ep))
+            .map(|q| q.by_ep.contains_key(&key(ep)))
             .unwrap_or(false)
     }
 
@@ -281,6 +376,11 @@ impl<W> Registry<W> {
         self.channels.get(&ch.0)
     }
 
+    /// The channel owning `ep`, if any.
+    pub fn channel_of(&self, ep: Endpoint) -> Option<ChannelId> {
+        self.channel_routes.get(&key(ep)).copied()
+    }
+
     /// Record the peer of an accept-side channel from its first inbound
     /// message (unexpected delivery or posted-receive completion).
     fn note_channel_event(&mut self, ep: Endpoint, ev: &TransportEvent) {
@@ -288,7 +388,7 @@ impl<W> Registry<W> {
             TransportEvent::Unexpected { from, .. } | TransportEvent::RecvDone { from, .. } => {
                 *from
             }
-            TransportEvent::SendDone { .. } => return,
+            TransportEvent::SendDone { .. } | TransportEvent::SendFailed { .. } => return,
         };
         if let Some(chid) = self.channel_routes.get(&key(ep)) {
             if let Some(ch) = self.channels.get_mut(&chid.0) {
@@ -304,8 +404,23 @@ impl<W> Registry<W> {
 /// replaying events that parked while the endpoint was unbound. A displaced
 /// queue-backed consumer with no remaining routes is garbage-collected
 /// (handler consumers stay registered — services may bind them to other
-/// endpoints later).
+/// endpoints later). A *channel* owning the endpoint is torn down
+/// coherently: its state, route entry and consumer all go together, so a
+/// rebind can never leave a dangling channel learning peers or a
+/// `channel_close` deregistering someone else's consumer.
 pub fn bind<W: DispatchWorld>(w: &mut W, ep: Endpoint, cid: ConsumerId) {
+    let stale_channel = {
+        let r = w.registry();
+        r.channel_of(ep).filter(|chid| {
+            r.channels
+                .get(&chid.0)
+                .map(|c| c.consumer != cid)
+                .unwrap_or(true)
+        })
+    };
+    if let Some(chid) = stale_channel {
+        teardown_channel(w, chid);
+    }
     let r = w.registry_mut();
     let displaced = r.routes.insert(key(ep), cid);
     if let Some(prev) = displaced.filter(|p| *p != cid) {
@@ -326,7 +441,11 @@ pub fn bind<W: DispatchWorld>(w: &mut W, ep: Endpoint, cid: ConsumerId) {
 
 /// Route one transport event to the endpoint's consumer. This is the single
 /// entry point the composed world calls from its driver dispatch loops.
+///
+/// A `SendDone` additionally releases transport tokens, so it is the moment
+/// the endpoint's channel (if any) retries sends parked by backpressure.
 pub fn deliver<W: DispatchWorld>(w: &mut W, ep: Endpoint, ev: TransportEvent) {
+    let is_send_done = matches!(ev, TransportEvent::SendDone { .. });
     let sink = {
         let r = w.registry_mut();
         r.note_channel_event(ep, &ev);
@@ -351,6 +470,11 @@ pub fn deliver<W: DispatchWorld>(w: &mut W, ep: Endpoint, ev: TransportEvent) {
             h(w, ep, ev);
         }
     }
+    if is_send_done {
+        if let Some(chid) = w.registry().channel_of(ep) {
+            flush_channel_sends(w, chid);
+        }
+    }
 }
 
 // ------------------------------------------------------------------ channels
@@ -359,12 +483,20 @@ fn create_channel<W: DispatchWorld>(
     w: &mut W,
     local: Endpoint,
     peer: Option<Endpoint>,
-    cq: CqId,
+    sink: Sink<W>,
 ) -> ChannelId {
+    // A previous channel on this endpoint is replaced, not leaked.
+    if let Some(old) = w.registry().channel_of(local) {
+        teardown_channel(w, old);
+    }
+    let cq = match sink {
+        Sink::Cq(cq) => Some(cq),
+        Sink::Handler(_) => None,
+    };
     let r = w.registry_mut();
     let id = ChannelId(r.next_channel);
     r.next_channel += 1;
-    let consumer = r.register_cq(&format!("channel-{}", id.0), cq);
+    let consumer = r.insert_consumer(&format!("channel-{}", id.0), sink);
     r.channels.insert(
         id.0,
         Channel {
@@ -375,6 +507,8 @@ fn create_channel<W: DispatchWorld>(
             staging: None,
             next_ctx: 1,
             coalesced_bytes: 0,
+            pending: VecDeque::new(),
+            send_queue_cap: DEFAULT_SEND_QUEUE_CAP,
         },
     );
     r.channel_routes.insert(key(local), id);
@@ -390,14 +524,36 @@ pub fn channel_connect<W: DispatchWorld>(
     peer: Endpoint,
     cq: CqId,
 ) -> ChannelId {
-    create_channel(w, local, Some(peer), cq)
+    create_channel(w, local, Some(peer), Sink::Cq(cq))
 }
 
 /// Open the passive side: the peer is learned from the first inbound
 /// message (visible via [`channel_peer`]); sends before that fail with
 /// [`NetError::BadDestination`].
 pub fn channel_accept<W: DispatchWorld>(w: &mut W, local: Endpoint, cq: CqId) -> ChannelId {
-    create_channel(w, local, None, cq)
+    create_channel(w, local, None, Sink::Cq(cq))
+}
+
+/// Open a channel whose completions are delivered as in-kernel upcalls
+/// instead of accumulating on a queue — how handler-based services (the
+/// zero-copy socket layer) get channel semantics (vectored sends with GM
+/// coalescing, ordered backpressure) on top of their event-driven shape.
+pub fn channel_connect_handler<W: DispatchWorld>(
+    w: &mut W,
+    local: Endpoint,
+    peer: Endpoint,
+    name: &str,
+    handler: impl Fn(&mut W, Endpoint, TransportEvent) + 'static,
+) -> ChannelId {
+    let id = create_channel(w, local, Some(peer), Sink::Handler(Rc::new(handler)));
+    // Give the consumer the service's name for diagnostics.
+    let r = w.registry_mut();
+    if let Some(c) = r.channels.get(&id.0).map(|c| c.consumer) {
+        if let Some(consumer) = r.consumers.get_mut(&c.0) {
+            consumer.name = name.to_string();
+        }
+    }
+    id
 }
 
 /// The channel's peer, once known.
@@ -405,9 +561,18 @@ pub fn channel_peer<W: DispatchWorld>(w: &W, ch: ChannelId) -> Option<Endpoint> 
     w.registry().channel(ch).and_then(|c| c.peer)
 }
 
-/// The channel's completion queue.
+/// The channel's completion queue (queue-backed channels only).
 pub fn channel_cq<W: DispatchWorld>(w: &W, ch: ChannelId) -> Option<CqId> {
-    w.registry().channel(ch).map(|c| c.cq)
+    w.registry().channel(ch).and_then(|c| c.cq)
+}
+
+/// Bound the channel's backpressure queue (see [`channel_send`]); `0`
+/// disables queueing and restores the raw [`NetError::NoSendTokens`]
+/// contract.
+pub fn channel_set_send_queue_cap<W: DispatchWorld>(w: &mut W, ch: ChannelId, cap: usize) {
+    if let Some(c) = w.registry_mut().channels.get_mut(&ch.0) {
+        c.send_queue_cap = cap;
+    }
 }
 
 /// Send a tagged, possibly multi-segment message on the channel. Returns
@@ -417,37 +582,125 @@ pub fn channel_cq<W: DispatchWorld>(w: &W, ch: ChannelId) -> Option<CqId> {
 /// io-vectors are transparently gathered into the channel's kernel staging
 /// buffer (one memcpy, charged to the CPU model) so the caller-visible
 /// contract is vectored I/O on every transport.
+///
+/// **Backpressure contract:** when the transport is out of send tokens
+/// ([`NetError::NoSendTokens`]), the send is queued and retried — in
+/// submission order — each time a `SendDone` frees a token; the caller
+/// still gets `Ok(ctx)` and the completion arrives later. The queue is
+/// bounded by [`Channel::send_queue_cap`]; a send arriving at a full queue
+/// fails with [`NetError::SendQueueFull`]. Every other transport error
+/// still surfaces synchronously.
 pub fn channel_send<W: DispatchWorld>(
     w: &mut W,
     ch: ChannelId,
     tag: u64,
     iov: IoVec,
 ) -> Result<u64, NetError> {
-    let (local, peer, ctx) = {
+    let (local, peer, ctx, busy, cap, qlen) = {
         let r = w.registry_mut();
         let c = r.channels.get_mut(&ch.0).ok_or(NetError::BadEndpoint)?;
         let peer = c.peer.ok_or(NetError::BadDestination)?;
         let ctx = c.next_ctx;
         c.next_ctx += 1;
-        (c.local, peer, ctx)
+        (
+            c.local,
+            peer,
+            ctx,
+            !c.pending.is_empty(),
+            c.send_queue_cap,
+            c.pending.len(),
+        )
     };
-    let (iov, coalesced) = coalesce_for_transport(w, ch, local, iov)?;
-    w.t_send(local, peer, tag, iov, ctx)?;
-    // Account the gather copy only once the send is accepted, so a failed
-    // send (e.g. out of tokens) retried later is not double-charged.
-    if coalesced > 0 {
-        let node = local.node;
-        let cost = w.os().node(node).cpu.model.memcpy_cost(coalesced);
-        cpu_charge(w, node, cost);
-        if let Some(c) = w.registry_mut().channels.get_mut(&ch.0) {
-            c.coalesced_bytes += coalesced;
+    // Earlier sends are already waiting for tokens: keep order, join the
+    // queue (or overflow).
+    if busy {
+        if qlen >= cap {
+            return Err(NetError::SendQueueFull);
+        }
+        let r = w.registry_mut();
+        if let Some(c) = r.channels.get_mut(&ch.0) {
+            c.pending.push_back(QueuedSend { tag, iov, ctx });
+        }
+        r.stats.queued_sends += 1;
+        return Ok(ctx);
+    }
+    let (wire_iov, coalesced) = coalesce_for_transport(w, ch, local, iov.clone())?;
+    match w.t_send(local, peer, tag, wire_iov, ctx) {
+        Ok(()) => {
+            charge_coalesce(w, ch, local.node, coalesced);
+            Ok(ctx)
+        }
+        Err(NetError::NoSendTokens) if cap > 0 => {
+            let r = w.registry_mut();
+            if let Some(c) = r.channels.get_mut(&ch.0) {
+                // Queue the *original* io-vector; coalescing (and its
+                // charge) reruns when the retry is accepted.
+                c.pending.push_back(QueuedSend { tag, iov, ctx });
+            }
+            r.stats.queued_sends += 1;
+            Ok(ctx)
+        }
+        Err(e) => Err(e),
+    }
+}
+
+/// Retry queued sends of `ch` until the queue drains or the transport runs
+/// out of tokens again. Called from [`deliver`] on every `SendDone` for the
+/// channel's endpoint.
+fn flush_channel_sends<W: DispatchWorld>(w: &mut W, ch: ChannelId) {
+    loop {
+        let Some((local, peer, qs)) = ({
+            let r = w.registry_mut();
+            r.channels.get_mut(&ch.0).and_then(|c| {
+                let peer = c.peer?;
+                c.pending.pop_front().map(|qs| (c.local, peer, qs))
+            })
+        }) else {
+            return;
+        };
+        let failed = match coalesce_for_transport(w, ch, local, qs.iov.clone()) {
+            Ok((wire_iov, coalesced)) => match w.t_send(local, peer, qs.tag, wire_iov, qs.ctx) {
+                Ok(()) => {
+                    charge_coalesce(w, ch, local.node, coalesced);
+                    w.registry_mut().stats.retried_sends += 1;
+                    None
+                }
+                Err(NetError::NoSendTokens) => {
+                    // Still dry: put it back and wait for the next SendDone.
+                    if let Some(c) = w.registry_mut().channels.get_mut(&ch.0) {
+                        c.pending.push_front(qs);
+                    }
+                    return;
+                }
+                Err(e) => Some(e),
+            },
+            Err(e) => Some(e),
+        };
+        if let Some(error) = failed {
+            // Non-transient failure on retry: the channel's consumer gets a
+            // `SendFailed` completion so resources tied to the context are
+            // released (the original caller already holds `Ok(ctx)`).
+            w.registry_mut().stats.failed_retries += 1;
+            deliver(w, local, TransportEvent::SendFailed { ctx: qs.ctx, error });
         }
     }
-    Ok(ctx)
+}
+
+fn charge_coalesce<W: DispatchWorld>(w: &mut W, ch: ChannelId, node: NodeId, coalesced: u64) {
+    // Account the gather copy only once the send is accepted, so a failed
+    // send (e.g. out of tokens) retried later is not double-charged.
+    if coalesced == 0 {
+        return;
+    }
+    let cost = w.os().node(node).cpu.model.memcpy_cost(coalesced);
+    cpu_charge(w, node, cost);
+    if let Some(c) = w.registry_mut().channels.get_mut(&ch.0) {
+        c.coalesced_bytes += coalesced;
+    }
 }
 
 /// Arm a tagged receive on the channel; completion (`RecvDone` with the
-/// returned context) arrives on the channel's CQ.
+/// returned context) arrives at the channel's consumer.
 pub fn channel_post_recv<W: DispatchWorld>(
     w: &mut W,
     ch: ChannelId,
@@ -475,26 +728,56 @@ pub fn channel_cancel_recv<W: DispatchWorld>(w: &mut W, ch: ChannelId, tag: u64)
     w.t_cancel_recv(local, tag)
 }
 
-/// Close a channel: unbind its endpoint (future events park), release the
-/// staging buffer, drop its state. The CQ is caller-owned and survives.
-pub fn channel_close<W: DispatchWorld>(w: &mut W, ch: ChannelId) {
-    let Some(c) = w.registry_mut().channels.remove(&ch.0) else {
-        return;
-    };
-    let r = w.registry_mut();
-    r.channel_routes.remove(&key(c.local));
-    r.unbind(c.local);
-    r.deregister(c.consumer);
+/// Remove a channel's state — route entry, consumer, staging buffer,
+/// queued sends — without touching the endpoint's *current* binding.
+/// Returns the channel's endpoint when it existed.
+fn teardown_channel<W: DispatchWorld>(w: &mut W, ch: ChannelId) -> Option<Endpoint> {
+    let mut c = w.registry_mut().channels.remove(&ch.0)?;
+    // Backpressure-queued sends can never go out now. Complete them as
+    // `SendFailed` while the channel's consumer is still bound, so every
+    // `Ok(ctx)` the caller holds gets its completion and the resources
+    // tied to those contexts are released.
+    for qs in c.pending.drain(..) {
+        w.registry_mut().stats.failed_retries += 1;
+        deliver(
+            w,
+            c.local,
+            TransportEvent::SendFailed {
+                ctx: qs.ctx,
+                error: NetError::BadEndpoint,
+            },
+        );
+    }
+    {
+        let r = w.registry_mut();
+        if r.channel_routes.get(&key(c.local)) == Some(&ch) {
+            r.channel_routes.remove(&key(c.local));
+        }
+        r.deregister(c.consumer);
+    }
     if let Some((addr, len)) = c.staging {
-        free_staging(w, c.local.node, addr, len);
+        release_kernel_buffer(w, c.local.node, addr, len);
+    }
+    Some(c.local)
+}
+
+/// Close a channel: unbind its endpoint (future events park), release the
+/// staging buffer, drop its state. Queued backpressure sends complete as
+/// [`TransportEvent::SendFailed`] before the consumer detaches. A
+/// caller-owned CQ survives. Closing an id already invalidated (e.g. by a
+/// rebind of its endpoint) is a no-op.
+pub fn channel_close<W: DispatchWorld>(w: &mut W, ch: ChannelId) {
+    if let Some(local) = teardown_channel(w, ch) {
+        w.registry_mut().unbind(local);
     }
 }
 
-/// Release a kernel staging buffer, first invalidating any registrations
-/// the drivers cached for it. Kernel `kfree` emits no VMA-SPY event of its
-/// own, so registration caches (and through them the NIC translation
-/// tables) would otherwise keep entries for freed pages.
-fn free_staging<W: DispatchWorld>(w: &mut W, node: NodeId, addr: VirtAddr, len: u64) {
+/// Free a kernel buffer that drivers may hold cached registrations for:
+/// the VMA-SPY unmap notification runs first, so registration caches (and
+/// through them the NIC translation tables) drop their entries before the
+/// memory is reused. Kernel `kfree` emits no VMA event of its own — every
+/// layer that hands kernel staging memory back must go through here.
+pub fn release_kernel_buffer<W: DispatchWorld>(w: &mut W, node: NodeId, addr: VirtAddr, len: u64) {
     w.vma_event(node, VmaEvent::unmap(Asid::KERNEL, addr, len));
     let _ = w.os_mut().node_mut(node).kfree(addr, len);
 }
@@ -527,7 +810,7 @@ fn coalesce_for_transport<W: DispatchWorld>(
             Some((addr, cap)) if cap >= len => addr,
             other => {
                 if let Some((addr, cap)) = other {
-                    free_staging(w, node, addr, cap);
+                    release_kernel_buffer(w, node, addr, cap);
                 }
                 let addr = w.os_mut().node_mut(node).kalloc(len)?;
                 if let Some(c) = w.registry_mut().channels.get_mut(&ch.0) {

@@ -17,6 +17,10 @@ pub enum NetError {
     TableFull,
     /// The port ran out of send tokens (GM bounds pending requests).
     NoSendTokens,
+    /// A channel's bounded backpressure queue overflowed: the transport was
+    /// out of tokens *and* the channel already holds `send_queue_cap`
+    /// deferred sends.
+    SendQueueFull,
     /// No receive buffer of a suitable size class was provided (GM).
     NoRecvBuffer,
     /// Unknown or closed endpoint/port.
@@ -61,6 +65,7 @@ impl fmt::Display for NetError {
             NetError::NotRegistered => f.write_str("buffer not registered with the NIC"),
             NetError::TableFull => f.write_str("NIC translation table full"),
             NetError::NoSendTokens => f.write_str("no send tokens available"),
+            NetError::SendQueueFull => f.write_str("channel send backpressure queue full"),
             NetError::NoRecvBuffer => f.write_str("no receive buffer provided"),
             NetError::BadEndpoint => f.write_str("unknown or closed endpoint"),
             NetError::BadDestination => f.write_str("unknown destination endpoint"),

@@ -26,9 +26,10 @@ pub mod regcache;
 pub mod transport;
 
 pub use api::{
-    bind, channel_accept, channel_cancel_recv, channel_close, channel_connect, channel_cq,
-    channel_peer, channel_post_recv, channel_send, deliver, Channel, ChannelId, ConsumerId,
-    CqEntry, CqId, DispatchWorld, Registry, RegistryStats,
+    bind, channel_accept, channel_cancel_recv, channel_close, channel_connect,
+    channel_connect_handler, channel_cq, channel_peer, channel_post_recv, channel_send,
+    channel_set_send_queue_cap, deliver, release_kernel_buffer, Channel, ChannelId, ConsumerId,
+    CqEntry, CqId, DispatchWorld, Registry, RegistryStats, DEFAULT_SEND_QUEUE_CAP,
 };
 pub use error::NetError;
 pub use iovec::{

@@ -52,6 +52,11 @@ pub enum TransportEvent {
         data: Bytes,
         from: Endpoint,
     },
+    /// A send the channel layer had accepted (queued under backpressure)
+    /// failed its retry non-transiently: no bytes left the node and no
+    /// `SendDone` will ever arrive for `ctx`. Consumers must release
+    /// whatever resources they tied to the context.
+    SendFailed { ctx: u64, error: NetError },
 }
 
 /// World capability: send/receive over whichever driver owns the endpoint.

@@ -1,0 +1,130 @@
+//! Equivalence tests for the per-endpoint completion-queue index: under
+//! any interleaving of pushes and pops, the indexed `cq_pop_for` must
+//! behave exactly like the old linear scan (pop the oldest entry for the
+//! endpoint, leave every other endpoint's order untouched), and `cq_pop`
+//! must stay globally FIFO.
+
+use std::collections::VecDeque;
+
+use knet_core::api::{CqEntry, CqId};
+use knet_core::{Endpoint, Registry, TransportEvent, TransportKind};
+use knet_simos::NodeId;
+use proptest::prelude::*;
+
+fn ep(idx: u32) -> Endpoint {
+    Endpoint {
+        kind: if idx.is_multiple_of(2) {
+            TransportKind::Gm
+        } else {
+            TransportKind::Mx
+        },
+        node: NodeId(idx % 3),
+        idx,
+    }
+}
+
+/// The reference model: one deque, popped by linear scan — the
+/// implementation `cq_pop_for` had before the index.
+#[derive(Default)]
+struct Model {
+    q: VecDeque<(Endpoint, u64)>,
+}
+
+impl Model {
+    fn push(&mut self, e: Endpoint, ctx: u64) {
+        self.q.push_back((e, ctx));
+    }
+    fn pop(&mut self) -> Option<(Endpoint, u64)> {
+        self.q.pop_front()
+    }
+    fn pop_for(&mut self, e: Endpoint) -> Option<(Endpoint, u64)> {
+        let pos = self.q.iter().position(|(p, _)| *p == e)?;
+        self.q.remove(pos)
+    }
+}
+
+fn ctx_of(e: &CqEntry) -> u64 {
+    match e.event {
+        TransportEvent::SendDone { ctx } => ctx,
+        _ => unreachable!("test pushes SendDone only"),
+    }
+}
+
+/// One scripted operation: push to a random endpoint, pop globally, or pop
+/// for a random endpoint.
+#[derive(Clone, Copy, Debug)]
+enum Op {
+    Push(u32),
+    Pop,
+    PopFor(u32),
+}
+
+fn arb_ops() -> impl Strategy<Value = Vec<Op>> {
+    prop::collection::vec(
+        prop_oneof![
+            (0u32..6).prop_map(Op::Push),
+            Just(Op::Pop),
+            (0u32..6).prop_map(Op::PopFor),
+        ],
+        1..200,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn indexed_pops_match_the_linear_scan(ops in arb_ops()) {
+        // The registry's world type is irrelevant here: only queue plumbing
+        // is exercised.
+        let mut r: Registry<()> = Registry::new();
+        let cq: CqId = r.create_cq();
+        let mut model = Model::default();
+        let mut ctx = 0u64;
+        for op in ops {
+            match op {
+                Op::Push(i) => {
+                    ctx += 1;
+                    r.cq_push(cq, ep(i), TransportEvent::SendDone { ctx });
+                    model.push(ep(i), ctx);
+                }
+                Op::Pop => {
+                    let got = r.cq_pop(cq).map(|e| (e.ep, ctx_of(&e)));
+                    prop_assert_eq!(got, model.pop(), "global FIFO");
+                }
+                Op::PopFor(i) => {
+                    let got = r.cq_pop_for(cq, ep(i)).map(|e| (e.ep, ctx_of(&e)));
+                    prop_assert_eq!(got, model.pop_for(ep(i)), "per-endpoint FIFO");
+                }
+            }
+            prop_assert_eq!(r.cq_len(cq), model.q.len());
+        }
+        // Drain: the remaining entries agree in global order too.
+        while let Some(e) = r.cq_pop(cq) {
+            prop_assert_eq!(Some((e.ep, ctx_of(&e))), model.pop());
+        }
+        prop_assert!(model.pop().is_none());
+        prop_assert!(r.stats.indexed_pops > 0 || ctx == 0 || r.stats.delivered == 0);
+    }
+}
+
+#[test]
+fn index_survives_destroy_and_len_for_reports() {
+    let mut r: Registry<()> = Registry::new();
+    let cq = r.create_cq();
+    for i in 0..5u64 {
+        r.cq_push(cq, ep(0), TransportEvent::SendDone { ctx: i });
+        r.cq_push(cq, ep(1), TransportEvent::SendDone { ctx: 100 + i });
+    }
+    assert_eq!(r.cq_len(cq), 10);
+    assert_eq!(r.cq_len_for(cq, ep(0)), 5);
+    assert_eq!(r.cq_len_for(cq, ep(2)), 0);
+    assert_eq!(ctx_of(&r.cq_pop_for(cq, ep(1)).unwrap()), 100);
+    assert_eq!(r.cq_len_for(cq, ep(1)), 4);
+    r.destroy_cq(cq);
+    assert_eq!(r.cq_len(cq), 0);
+    assert!(r.cq_pop_for(cq, ep(0)).is_none());
+    // Pushes to a destroyed queue are dropped, not resurrected.
+    r.cq_push(cq, ep(0), TransportEvent::SendDone { ctx: 1 });
+    assert_eq!(r.stats.dropped, 1);
+}

@@ -506,7 +506,7 @@ pub fn nbd_on_client_event<W: NbdWorld>(w: &mut W, cid: NbdClientId, ev: Transpo
     let (tag, len) = match ev {
         TransportEvent::RecvDone { ctx, len, .. } => (ctx, len),
         TransportEvent::Unexpected { tag, data, .. } => (tag, data.len() as u64),
-        TransportEvent::SendDone { .. } => return,
+        TransportEvent::SendDone { .. } | TransportEvent::SendFailed { .. } => return,
     };
     let Some(op) = w.nbd_mut().clients[cid.0 as usize].pending.remove(&tag) else {
         return;

@@ -1380,7 +1380,7 @@ pub fn client_on_event<W: OrfsWorld>(w: &mut W, cid: OrfsClientId, ev: Transport
             };
             on_data(w, cid, p.syscall, len);
         }
-        TransportEvent::SendDone { .. } => {}
+        TransportEvent::SendDone { .. } | TransportEvent::SendFailed { .. } => {}
     }
 }
 

@@ -298,7 +298,7 @@ pub fn server_on_event<W: OrfsWorld>(
             // staging ring.
             complete_pending_write(w, sid, ctx, len);
         }
-        TransportEvent::SendDone { .. } => {}
+        TransportEvent::SendDone { .. } | TransportEvent::SendFailed { .. } => {}
     }
 }
 

@@ -2,10 +2,12 @@
 //!
 //! The paper's second in-kernel application (§5.3): SOCKETS-GM and
 //! SOCKETS-MX give unmodified socket applications the Myrinet network by
-//! adding a socket protocol that bypasses TCP/IP. Both are implemented over
-//! the unified transport ([`stream`]); the SOCKETS-GM dispatcher-thread
-//! penalty and the zero-copy receive steering are where the figure-8 gap
-//! comes from. [`tcp`] provides the TCP/IP-over-GigE reference.
+//! adding a socket protocol that bypasses TCP/IP. Both ride the channel
+//! API ([`stream`] opens a handler-backed channel per socket and sends
+//! every frame through `channel_send`/`channel_post_recv`); the SOCKETS-GM
+//! dispatcher-thread penalty and the zero-copy receive steering are where
+//! the figure-8 gap comes from. [`tcp`] provides the TCP/IP-over-GigE
+//! reference.
 
 pub mod params;
 pub mod stream;

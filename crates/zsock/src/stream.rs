@@ -5,12 +5,25 @@
 //! socket function calls": a new socket protocol passes data directly onto
 //! the network, bypassing TCP/IP.
 //!
-//! Wire protocol per message: a 16-byte header (sequence, length), then the
-//! payload as a separate tagged transport message. When the reader has
-//! already blocked in `recv` with a large-enough buffer, the payload is
-//! steered **zero-copy** into user memory (the transport pins/registers as
-//! its driver requires); otherwise it lands in a kernel socket buffer and is
-//! copied out on the next `recv`.
+//! The socket layer is a **channel consumer**: each socket opens a
+//! handler-backed channel ([`knet_core::channel_connect_handler`]) over its
+//! endpoint pair and moves every message through
+//! `channel_send`/`channel_post_recv`/`channel_cancel_recv` — batching,
+//! GM coalescing of vectored frames, and send backpressure all live in the
+//! channel layer, not here.
+//!
+//! Wire protocol per message: a 16-byte header (sequence, length); payloads
+//! up to the inline threshold ride behind the header in the *same* message
+//! as a two-segment io-vector (coalesced by the channel on GM, vectored
+//! natively on MX), larger payloads follow as a separate tagged message.
+//! When the reader has already blocked in `recv` with a large-enough
+//! buffer, the payload is steered **zero-copy** into user memory (the
+//! transport pins/registers as its driver requires); otherwise it lands in
+//! a kernel socket buffer and is copied out on the next `recv`. Kernel
+//! staging comes from a per-socket ring of tracked extents; a payload the
+//! ring cannot hold (oversized, or every byte in flight) falls back to a
+//! dedicated kernel allocation freed when the bytes land — staging never
+//! overwrites in-flight data and never writes past the ring.
 //!
 //! The SOCKETS-GM peculiarity the paper measures — "limited completion
 //! notification mechanisms in GM require the use of an extra (dispatching)
@@ -20,7 +33,11 @@
 use std::collections::{BTreeMap, VecDeque};
 
 use bytes::Bytes;
-use knet_core::{Endpoint, IoVec, MemRef, NetError, TransportEvent, TransportKind};
+use knet_core::api::{
+    channel_cancel_recv, channel_connect_handler, channel_post_recv, channel_send,
+    release_kernel_buffer,
+};
+use knet_core::{ChannelId, Endpoint, IoVec, MemRef, NetError, TransportEvent, TransportKind};
 use knet_simos::{cpu_charge, Asid, VirtAddr};
 
 use crate::params::ZsockParams;
@@ -48,6 +65,34 @@ pub struct SockStats {
     pub zero_copy_receives: u64,
     pub buffered_receives: u64,
     pub dispatch_wakeups: u64,
+    /// Staging requests the ring could not hold (oversized payload or ring
+    /// exhausted) served by a dedicated kernel allocation instead.
+    pub oversize_allocs: u64,
+}
+
+/// A staging reservation: a tracked extent of the socket ring, or a
+/// dedicated kernel allocation when the ring cannot hold the payload.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum SockBuf {
+    Ring { off: u64, len: u64 },
+    Heap { addr: VirtAddr, len: u64 },
+}
+
+impl SockBuf {
+    fn len(&self) -> u64 {
+        match *self {
+            SockBuf::Ring { len, .. } | SockBuf::Heap { len, .. } => len,
+        }
+    }
+}
+
+/// What a send completion releases and reports.
+#[derive(Debug)]
+struct TxDone {
+    /// The socket op to complete (`None` for header-only frames).
+    op: Option<SockOpId>,
+    /// Staging to release (header bytes, GM payload copies).
+    buf: Option<SockBuf>,
 }
 
 /// How an in-flight inbound message will land.
@@ -57,8 +102,8 @@ enum Inbound {
     /// a payload that overtakes the posted descriptor can still be copied
     /// in.
     Direct { op: SockOpId, len: u64, dst: MemRef },
-    /// Landing in the kernel socket buffer at this ring address.
-    ToRing { addr: VirtAddr, len: u64 },
+    /// Landing in kernel staging (ring extent or dedicated allocation).
+    ToRing { buf: SockBuf },
 }
 
 /// A pending blocked `recv`.
@@ -91,27 +136,79 @@ pub struct Sock {
     /// Kernel socket buffer ring.
     ring: VirtAddr,
     ring_len: u64,
+    /// Next-fit cursor into the ring.
     ring_off: u64,
+    /// Live ring extents (`offset → len`), so a reservation never
+    /// overwrites bytes still in flight.
+    ring_live: BTreeMap<u64, u64>,
+    /// In-flight sends by channel context: what to release/complete on
+    /// `SendDone`.
+    tx_inflight: BTreeMap<u64, TxDone>,
     next_op: u64,
+    /// Set when a frame was lost (a send failed after its sequence number
+    /// was committed): the stream can never be whole again, so the socket
+    /// is poisoned and every subsequent op fails fast with this error.
+    error: Option<NetError>,
     /// Completed operations for the driver.
     pub completed: VecDeque<(SockOpId, SockResult)>,
     pub stats: SockStats,
 }
 
 impl Sock {
-    fn ring_reserve(&mut self, len: u64) -> VirtAddr {
-        debug_assert!(len <= self.ring_len);
-        if self.ring_off + len > self.ring_len {
-            self.ring_off = 0;
+    /// First free ring offset `>= start` with room for `len` bytes, walking
+    /// the live extents (which are sorted and disjoint).
+    fn fit_from(&self, start: u64, len: u64) -> Option<u64> {
+        let mut pos = start;
+        for (&off, &l) in &self.ring_live {
+            let end = off + l;
+            if end <= pos {
+                continue;
+            }
+            if off >= pos + len {
+                break; // the gap before this extent fits
+            }
+            pos = end;
         }
-        let a = self.ring.add(self.ring_off);
-        self.ring_off += len;
-        a
+        (pos + len <= self.ring_len).then_some(pos)
+    }
+
+    /// Reserve `len` bytes of the ring, next-fit with wrap-around. Returns
+    /// `None` when the ring cannot hold the reservation — the caller falls
+    /// back to a dedicated allocation; in-flight ring data is never
+    /// overwritten and nothing is ever written past the ring.
+    fn ring_reserve(&mut self, len: u64) -> Option<SockBuf> {
+        if len > self.ring_len {
+            return None;
+        }
+        let off = self
+            .fit_from(self.ring_off, len)
+            .or_else(|| self.fit_from(0, len))?;
+        self.ring_live.insert(off, len);
+        self.ring_off = (off + len) % self.ring_len;
+        Some(SockBuf::Ring { off, len })
+    }
+
+    fn ring_release(&mut self, off: u64) {
+        self.ring_live.remove(&off);
+    }
+
+    /// Kernel-virtual address of a staging reservation.
+    fn addr_of(&self, buf: SockBuf) -> VirtAddr {
+        match buf {
+            SockBuf::Ring { off, .. } => self.ring.add(off),
+            SockBuf::Heap { addr, .. } => addr,
+        }
     }
 
     /// Bytes currently buffered in the kernel (not yet consumed).
     pub fn buffered(&self) -> u64 {
         self.rx_buffered
+    }
+
+    /// The error that poisoned this socket, if a send ever failed after
+    /// its sequence number was committed to the stream.
+    pub fn error(&self) -> Option<NetError> {
+        self.error
     }
 }
 
@@ -151,9 +248,42 @@ pub trait ZsockWorld: knet_core::DispatchWorld {
 
 const SOCK_RING: u64 = 4 << 20;
 
+/// The channel carrying this socket's traffic.
+fn chan<W: ZsockWorld>(w: &W, sid: SockId) -> ChannelId {
+    w.registry()
+        .channel_of(w.zsock().sock(sid).ep)
+        .expect("socket endpoint owns a channel")
+}
+
+/// Reserve `len` bytes of kernel staging: from the socket ring when it
+/// fits, otherwise (oversized payload, or every ring byte in flight) a
+/// dedicated kernel allocation released with the reservation.
+fn stage_alloc<W: ZsockWorld>(w: &mut W, sid: SockId, len: u64) -> Result<SockBuf, NetError> {
+    let want = len.max(1);
+    if let Some(buf) = w.zsock_mut().sock_mut(sid).ring_reserve(want) {
+        return Ok(buf);
+    }
+    let node = w.zsock().sock(sid).ep.node;
+    let addr = w.os_mut().node_mut(node).kalloc(want)?;
+    w.zsock_mut().sock_mut(sid).stats.oversize_allocs += 1;
+    Ok(SockBuf::Heap { addr, len: want })
+}
+
+/// Release a staging reservation (ring extent or dedicated allocation).
+fn stage_release<W: ZsockWorld>(w: &mut W, sid: SockId, buf: SockBuf) {
+    match buf {
+        SockBuf::Ring { off, .. } => w.zsock_mut().sock_mut(sid).ring_release(off),
+        SockBuf::Heap { addr, len } => {
+            let node = w.zsock().sock(sid).ep.node;
+            release_kernel_buffer(w, node, addr, len);
+        }
+    }
+}
+
 /// Create one socket endpoint bound to transport endpoint `ep`, already
 /// connected to `peer_ep` (the benchmarks connect explicit pairs, as
-/// NETPIPE does).
+/// NETPIPE does). The socket attaches to the API as a handler-backed
+/// channel: all of its sends and posted receives go through the channel.
 pub fn sock_create<W: ZsockWorld>(
     w: &mut W,
     ep: Endpoint,
@@ -176,16 +306,20 @@ pub fn sock_create<W: ZsockWorld>(
         ring,
         ring_len: SOCK_RING,
         ring_off: 0,
+        ring_live: BTreeMap::new(),
+        tx_inflight: BTreeMap::new(),
         next_op: 1,
+        error: None,
         completed: VecDeque::new(),
         stats: SockStats::default(),
     });
-    let cid = w
-        .registry_mut()
-        .register(&format!("zsock-{}", id.0), move |w, _via, ev| {
-            sock_on_event(w, id, ev)
-        });
-    knet_core::api::bind(w, ep, cid);
+    channel_connect_handler(
+        w,
+        ep,
+        peer_ep,
+        &format!("zsock-{}", id.0),
+        move |w, _via, ev| sock_on_event(w, id, ev),
+    );
     Ok(id)
 }
 
@@ -196,22 +330,76 @@ fn charge_call<W: ZsockWorld>(w: &mut W, sid: SockId) {
     cpu_charge(w, node, cost);
 }
 
+/// Record an accepted channel send so its `SendDone` releases staging and
+/// completes the right op; on submission failure, release immediately and
+/// surface the error on `op`.
+fn track_send<W: ZsockWorld>(
+    w: &mut W,
+    sid: SockId,
+    sent: Result<u64, NetError>,
+    op: Option<SockOpId>,
+    buf: Option<SockBuf>,
+) {
+    match sent {
+        Ok(ctx) => {
+            w.zsock_mut()
+                .sock_mut(sid)
+                .tx_inflight
+                .insert(ctx, TxDone { op, buf });
+        }
+        Err(e) => {
+            if let Some(buf) = buf {
+                stage_release(w, sid, buf);
+            }
+            poison(w, sid, e, op);
+        }
+    }
+}
+
+/// A frame was lost after its sequence number was committed — the peer can
+/// never reassemble the stream past it. Fail loudly: complete `op`, every
+/// reader already parked in `waiting`, and every later op with the error,
+/// instead of letting anyone stall.
+fn poison<W: ZsockWorld>(w: &mut W, sid: SockId, e: NetError, op: Option<SockOpId>) {
+    let s = w.zsock_mut().sock_mut(sid);
+    s.error.get_or_insert(e);
+    if let Some(op) = op {
+        s.completed.push_back((op, Err(e)));
+    }
+    while let Some(p) = s.waiting.pop_front() {
+        s.completed.push_back((p.op, Err(e)));
+    }
+}
+
+/// Fail an op immediately when the socket is already poisoned. Returns the
+/// op id to hand back when it fired.
+fn fail_fast_if_poisoned<W: ZsockWorld>(w: &mut W, sid: SockId) -> Option<SockOpId> {
+    let s = w.zsock_mut().sock_mut(sid);
+    let e = s.error?;
+    let op = s.next_op;
+    s.next_op += 1;
+    s.completed.push_back((op, Err(e)));
+    Some(op)
+}
+
 /// `send(fd, buf)`: frame and transmit; completes when the transport
 /// releases the buffer.
 ///
 /// Protocol shape per backend (what the paper's two implementations did):
-/// * **MX**: payloads up to `inline_max_mx` ride *inside* the header
-///   message (one message, one completion); larger payloads follow as a
-///   separate zero-copy message the receiver steers into the blocked
-///   reader's buffer.
-/// * **GM**: small payloads inline; everything else is copied into the
-///   pre-registered socket ring and sent from there — Sockets-GM dodged its
-///   "memory registration problems" with copies (§5.3), which is also why
-///   it cannot reach the link rate.
+/// * payloads up to the inline threshold ride behind the header in one
+///   two-segment message — vectored natively on MX, gathered through the
+///   channel staging buffer on GM (one accounted memcpy);
+/// * larger payloads follow as a separate zero-copy message on MX, while
+///   GM copies them into pre-registered kernel staging first — Sockets-GM
+///   dodged its "memory registration problems" with copies (§5.3), which
+///   is also why it cannot reach the link rate.
 pub fn sock_send<W: ZsockWorld>(w: &mut W, sid: SockId, src: MemRef) -> SockOpId {
     charge_call(w, sid);
+    if let Some(op) = fail_fast_if_poisoned(w, sid) {
+        return op;
+    }
     let len = src.len();
-    let (op, seq, ep, peer, node) = {
+    let (op, seq, ep, node) = {
         let s = w.zsock_mut().sock_mut(sid);
         let op = s.next_op;
         s.next_op += 1;
@@ -219,91 +407,78 @@ pub fn sock_send<W: ZsockWorld>(w: &mut W, sid: SockId, src: MemRef) -> SockOpId
         s.tx_seq += 1;
         s.stats.sends += 1;
         s.stats.bytes_sent += len;
-        (op, seq, s.ep, s.peer_ep, s.ep.node)
+        (op, seq, s.ep, s.ep.node)
     };
+    let ch = chan(w, sid);
     let params = w.zsock().params.clone();
     let inline_max = match ep.kind {
         TransportKind::Mx => params.inline_max_mx,
         TransportKind::Gm => params.inline_max_gm,
     };
-    // Header: [seq, len] little-endian.
+    // Header: [seq, len] little-endian, staged through the ring.
     let mut hdr = [0u8; 16];
     hdr[..8].copy_from_slice(&seq.to_le_bytes());
     hdr[8..].copy_from_slice(&len.to_le_bytes());
+    let hbuf = match stage_alloc(w, sid, 16) {
+        Ok(b) => b,
+        Err(e) => {
+            // seq was already committed: the stream has a permanent hole.
+            poison(w, sid, e, Some(op));
+            return op;
+        }
+    };
+    let hdr_addr = w.zsock().sock(sid).addr_of(hbuf);
+    w.os_mut()
+        .node_mut(node)
+        .write_virt(Asid::KERNEL, hdr_addr, &hdr)
+        .expect("sock staging mapped");
 
     if len <= inline_max {
-        // One message: header ++ payload, staged through the socket ring.
-        let total = 16 + len;
-        let hdr_addr = {
-            let s = w.zsock_mut().sock_mut(sid);
-            s.ring_reserve(total)
-        };
-        w.os_mut()
-            .node_mut(node)
-            .write_virt(Asid::KERNEL, hdr_addr, &hdr)
-            .expect("sock ring mapped");
-        let data =
-            knet_core::read_iovec(w.os().node(node), &IoVec::single(src)).unwrap_or_default();
-        w.os_mut()
-            .node_mut(node)
-            .write_virt(Asid::KERNEL, hdr_addr.add(16), &data)
-            .expect("sock ring mapped");
-        let copy = w.os().node(node).cpu.model.ring_copy_cost(len);
-        cpu_charge(w, node, copy);
-        let r = w.t_send(
-            ep,
-            peer,
-            TAG_HDR_BASE + seq,
-            IoVec::single(MemRef::kernel(hdr_addr, total)),
-            op,
-        );
-        if let Err(e) = r {
-            let s = w.zsock_mut().sock_mut(sid);
-            s.completed.push_back((op, Err(e)));
-        }
+        // One message: header ++ payload as a two-segment io-vector. The
+        // channel coalesces it on GM; MX takes the vector as-is.
+        let mut iov = IoVec::new();
+        iov.push(MemRef::kernel(hdr_addr, 16));
+        iov.push(src);
+        let sent = channel_send(w, ch, TAG_HDR_BASE + seq, iov);
+        track_send(w, sid, sent, Some(op), Some(hbuf));
         return op;
     }
 
     // Header first, then the bulk payload.
-    let hdr_addr = {
-        let s = w.zsock_mut().sock_mut(sid);
-        s.ring_reserve(16)
-    };
-    w.os_mut()
-        .node_mut(node)
-        .write_virt(Asid::KERNEL, hdr_addr, &hdr)
-        .expect("sock ring mapped");
-    let _ = w.t_send(
-        ep,
-        peer,
+    let sent = channel_send(
+        w,
+        ch,
         TAG_HDR_BASE + seq,
         IoVec::single(MemRef::kernel(hdr_addr, 16)),
-        0,
     );
-    let data_src = match ep.kind {
-        TransportKind::Mx => src,
+    track_send(w, sid, sent, None, Some(hbuf));
+    let (data_src, dbuf) = match ep.kind {
+        TransportKind::Mx => (src, None),
         TransportKind::Gm => {
-            // Copy into the pre-registered ring; send from kernel memory.
-            let addr = {
-                let s = w.zsock_mut().sock_mut(sid);
-                s.ring_reserve(len)
+            // Copy into pre-registered kernel staging; send from there.
+            let buf = match stage_alloc(w, sid, len) {
+                Ok(b) => b,
+                Err(e) => {
+                    // The header announcing seq is already out but its data
+                    // can never follow: the stream is dead.
+                    poison(w, sid, e, Some(op));
+                    return op;
+                }
             };
+            let addr = w.zsock().sock(sid).addr_of(buf);
             let data =
                 knet_core::read_iovec(w.os().node(node), &IoVec::single(src)).unwrap_or_default();
             w.os_mut()
                 .node_mut(node)
                 .write_virt(Asid::KERNEL, addr, &data)
-                .expect("sock ring mapped");
+                .expect("sock staging mapped");
             let copy = w.os().node(node).cpu.model.ring_copy_cost(len);
             cpu_charge(w, node, copy);
-            MemRef::kernel(addr, len)
+            (MemRef::kernel(addr, len), Some(buf))
         }
     };
-    let r = w.t_send(ep, peer, TAG_DATA_BASE + seq, IoVec::single(data_src), op);
-    if let Err(e) = r {
-        let s = w.zsock_mut().sock_mut(sid);
-        s.completed.push_back((op, Err(e)));
-    }
+    let sent = channel_send(w, ch, TAG_DATA_BASE + seq, IoVec::single(data_src));
+    track_send(w, sid, sent, Some(op), dbuf);
     op
 }
 
@@ -311,6 +486,9 @@ pub fn sock_send<W: ZsockWorld>(w: &mut W, sid: SockId, src: MemRef) -> SockOpId
 /// semantics: any in-order buffered bytes satisfy it immediately).
 pub fn sock_recv<W: ZsockWorld>(w: &mut W, sid: SockId, dst: MemRef) -> SockOpId {
     charge_call(w, sid);
+    if let Some(op) = fail_fast_if_poisoned(w, sid) {
+        return op;
+    }
     let op = {
         let s = w.zsock_mut().sock_mut(sid);
         let op = s.next_op;
@@ -365,7 +543,8 @@ fn drain_rx<W: ZsockWorld>(w: &mut W, sid: SockId) {
     }
 }
 
-/// Transport upcall for socket `sid`.
+/// Transport upcall for socket `sid` (delivered through its channel's
+/// handler consumer).
 pub fn sock_on_event<W: ZsockWorld>(w: &mut W, sid: SockId, ev: TransportEvent) {
     // The SOCKETS-GM dispatcher thread: every completion is picked up by an
     // extra kernel thread before the socket layer sees it.
@@ -404,26 +583,31 @@ pub fn sock_on_event<W: ZsockWorld>(w: &mut W, sid: SockId, ev: TransportEvent) 
             // header itself). Withdraw any now-useless posted receive and
             // land the bytes by copy.
             let seq = tag - TAG_DATA_BASE;
-            let ep = w.zsock().sock(sid).ep;
+            let ch = chan(w, sid);
             let inbound = w.zsock_mut().sock_mut(sid).inbound.remove(&seq);
             match inbound {
                 Some(Inbound::Direct { op, len, dst }) => {
-                    w.t_cancel_recv(ep, TAG_DATA_BASE + seq);
-                    let node = ep.node;
+                    channel_cancel_recv(w, ch, TAG_DATA_BASE + seq);
                     let n = (data.len() as u64).min(len);
                     knet_core::write_iovec(w.os_mut().node_mut(node), &IoVec::single(dst), &data)
                         .ok();
                     let copy = w.os().node(node).cpu.model.memcpy_cost(n);
                     cpu_charge(w, node, copy);
-                    let s = w.zsock_mut().sock_mut(sid);
-                    s.rx_next = s.rx_next.max(seq + 1);
-                    s.stats.buffered_receives += 1;
-                    s.stats.bytes_received += n;
-                    s.completed.push_back((op, Ok(n)));
+                    {
+                        let s = w.zsock_mut().sock_mut(sid);
+                        s.rx_next = s.rx_next.max(seq + 1);
+                        s.stats.buffered_receives += 1;
+                        s.stats.bytes_received += n;
+                        s.completed.push_back((op, Ok(n)));
+                        // The consumed sequence may unblock successors
+                        // already parked out of order.
+                        promote_reorder(s);
+                    }
                     drain_rx(w, sid);
                 }
-                Some(Inbound::ToRing { .. }) => {
-                    w.t_cancel_recv(ep, TAG_DATA_BASE + seq);
+                Some(Inbound::ToRing { buf }) => {
+                    channel_cancel_recv(w, ch, TAG_DATA_BASE + seq);
+                    stage_release(w, sid, buf);
                     accept_in_order(w, sid, seq, data);
                     drain_rx(w, sid);
                 }
@@ -436,28 +620,49 @@ pub fn sock_on_event<W: ZsockWorld>(w: &mut W, sid: SockId, ev: TransportEvent) 
                 }
             }
         }
-        TransportEvent::RecvDone { ctx, len, .. } => {
-            on_data_landed(w, sid, ctx, len);
+        TransportEvent::RecvDone { tag, len, .. } if tag >= TAG_DATA_BASE => {
+            on_data_landed(w, sid, tag - TAG_DATA_BASE, len);
         }
         TransportEvent::SendDone { ctx } => {
-            if ctx != 0 {
-                let s = w.zsock_mut().sock_mut(sid);
-                s.completed.push_back((ctx, Ok(0)));
+            let done = w.zsock_mut().sock_mut(sid).tx_inflight.remove(&ctx);
+            if let Some(t) = done {
+                if let Some(buf) = t.buf {
+                    stage_release(w, sid, buf);
+                }
+                if let Some(op) = t.op {
+                    let s = w.zsock_mut().sock_mut(sid);
+                    s.completed.push_back((op, Ok(0)));
+                }
             }
         }
-        TransportEvent::Unexpected { .. } => {}
+        TransportEvent::SendFailed { ctx, error } => {
+            // A backpressure-queued frame was dropped by its retry: the
+            // stream has a hole the peer can never fill. Release the
+            // staging, fail the op, poison the socket.
+            let done = w.zsock_mut().sock_mut(sid).tx_inflight.remove(&ctx);
+            if let Some(t) = done {
+                if let Some(buf) = t.buf {
+                    stage_release(w, sid, buf);
+                }
+                poison(w, sid, error, t.op);
+            } else {
+                poison(w, sid, error, None);
+            }
+        }
+        TransportEvent::RecvDone { .. } | TransportEvent::Unexpected { .. } => {}
     }
 }
 
 /// A header announced `len` bytes with sequence `seq`: decide where the
-/// payload will land and post the receive.
+/// payload will land and post the receive on the channel.
 fn on_header<W: ZsockWorld>(w: &mut W, sid: SockId, seq: u64, len: u64) {
     // If the payload already landed (it overtook the header), there is
     // nothing to post.
     if w.zsock_mut().sock_mut(sid).arrived_early.remove(&seq) {
         return;
     }
-    let (ep, can_direct) = {
+    let ch = chan(w, sid);
+    let can_direct = {
         let s = w.zsock().sock(sid);
         let in_order = seq == s.rx_next && s.rx_buffered == 0 && s.inbound.is_empty();
         let fits = s
@@ -468,7 +673,7 @@ fn on_header<W: ZsockWorld>(w: &mut W, sid: SockId, seq: u64, len: u64) {
         // Sockets-GM never steers into user buffers (registration trouble);
         // everything lands in the ring and is copied out.
         let steer = s.ep.kind == TransportKind::Mx;
-        (s.ep, steer && in_order && fits)
+        steer && in_order && fits
     };
     if can_direct {
         // Zero-copy: steer into the blocked reader's buffer.
@@ -477,24 +682,31 @@ fn on_header<W: ZsockWorld>(w: &mut W, sid: SockId, seq: u64, len: u64) {
             s.waiting.pop_front().expect("checked")
         };
         let dst = clamp_memref(&p.dst, len);
-        let _ = w.t_post_recv(ep, TAG_DATA_BASE + seq, IoVec::single(dst), seq);
+        let _ = channel_post_recv(w, ch, TAG_DATA_BASE + seq, IoVec::single(dst));
         let s = w.zsock_mut().sock_mut(sid);
         s.inbound
             .insert(seq, Inbound::Direct { op: p.op, len, dst });
     } else {
-        // Kernel socket buffer path.
-        let addr = {
-            let s = w.zsock_mut().sock_mut(sid);
-            s.ring_reserve(len.max(1))
+        // Kernel staging path (ring extent, or a dedicated allocation for
+        // payloads the ring cannot hold). An allocation failure means the
+        // announced frame can never land: the stream is dead — poison the
+        // socket (failing any parked readers) rather than crash or stall.
+        let buf = match stage_alloc(w, sid, len) {
+            Ok(b) => b,
+            Err(e) => {
+                poison(w, sid, e, None);
+                return;
+            }
         };
-        let _ = w.t_post_recv(
-            ep,
+        let addr = w.zsock().sock(sid).addr_of(buf);
+        let _ = channel_post_recv(
+            w,
+            ch,
             TAG_DATA_BASE + seq,
-            IoVec::single(MemRef::kernel(addr, len)),
-            seq,
+            IoVec::single(MemRef::kernel(addr, buf.len())),
         );
         let s = w.zsock_mut().sock_mut(sid);
-        s.inbound.insert(seq, Inbound::ToRing { addr, len });
+        s.inbound.insert(seq, Inbound::ToRing { buf });
     }
 }
 
@@ -505,23 +717,43 @@ fn on_data_landed<W: ZsockWorld>(w: &mut W, sid: SockId, seq: u64, got: u64) {
     match inbound {
         Some(Inbound::Direct { op, len, dst: _ }) => {
             let n = got.min(len);
-            let s = w.zsock_mut().sock_mut(sid);
-            s.rx_next = s.rx_next.max(seq + 1);
-            s.stats.zero_copy_receives += 1;
-            s.stats.bytes_received += n;
-            s.completed.push_back((op, Ok(n)));
+            {
+                let s = w.zsock_mut().sock_mut(sid);
+                s.rx_next = s.rx_next.max(seq + 1);
+                s.stats.zero_copy_receives += 1;
+                s.stats.bytes_received += n;
+                s.completed.push_back((op, Ok(n)));
+                // A zero-copy completion consumes its sequence without
+                // passing through `accept_in_order` — promote successors
+                // already parked in the reorder map, or a blocked reader
+                // stalls forever.
+                promote_reorder(s);
+            }
+            drain_rx(w, sid);
         }
-        Some(Inbound::ToRing { addr, len }) => {
-            let n = got.min(len);
+        Some(Inbound::ToRing { buf }) => {
+            let n = got.min(buf.len());
             let mut data = vec![0u8; n as usize];
+            let addr = w.zsock().sock(sid).addr_of(buf);
             w.os()
                 .node(node)
                 .read_virt(Asid::KERNEL, addr, &mut data)
-                .expect("ring mapped");
+                .expect("staging mapped");
+            stage_release(w, sid, buf);
             accept_in_order(w, sid, seq, Bytes::from(data));
             drain_rx(w, sid);
         }
         None => {}
+    }
+}
+
+/// Promote contiguous segments from the reorder map into the in-order
+/// stream buffer. Must run every time `rx_next` advances.
+fn promote_reorder(s: &mut Sock) {
+    while let Some(d) = s.reorder.remove(&s.rx_next) {
+        s.rx_buffered += d.len() as u64;
+        s.rx_buf.push_back(d);
+        s.rx_next += 1;
     }
 }
 
@@ -532,11 +764,7 @@ fn on_data_landed<W: ZsockWorld>(w: &mut W, sid: SockId, seq: u64, got: u64) {
 fn accept_in_order<W: ZsockWorld>(w: &mut W, sid: SockId, seq: u64, data: Bytes) {
     let s = w.zsock_mut().sock_mut(sid);
     s.reorder.insert(seq, data);
-    while let Some(d) = s.reorder.remove(&s.rx_next) {
-        s.rx_buffered += d.len() as u64;
-        s.rx_buf.push_back(d);
-        s.rx_next += 1;
-    }
+    promote_reorder(s);
 }
 
 fn clamp_memref(m: &MemRef, len: u64) -> MemRef {

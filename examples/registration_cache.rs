@@ -6,7 +6,6 @@
 
 use knet::harness::{await_recv, ubuf};
 use knet::prelude::*;
-use knet_core::TransportWorld;
 use knet_gm::GmPortId;
 use knet_simos::munmap;
 
@@ -14,7 +13,8 @@ fn main() {
     println!("GM kernel registration cache (GMKRC) + VMA SPY demo\n");
     let (mut w, n0, n1) = two_nodes();
 
-    // A shared kernel port with a 256-page GMKRC, and a receiver.
+    // A shared kernel port with a 256-page GMKRC, and a receiver. The pair
+    // talks over channels — the application-facing send path.
     let cq = w.new_cq();
     let tx = w
         .open_gm_cq(n0, GmPortConfig::kernel().with_regcache(256), cq)
@@ -24,6 +24,8 @@ fn main() {
         .open_gm_cq(n1, GmPortConfig::user(rx_buf.asid), cq)
         .unwrap();
     knet_gm::gm_register(&mut w, GmPortId(rx.idx), rx_buf.asid, rx_buf.addr, 1 << 20).unwrap();
+    let ch_tx = channel_connect(&mut w, tx, rx, cq);
+    let ch_rx = channel_connect(&mut w, rx, tx, cq);
 
     // A user process on node 0 with a 64 kB buffer.
     // Let the setup work (receiver registration: 256 pages) retire before
@@ -37,9 +39,9 @@ fn main() {
         .unwrap();
 
     let send = |w: &mut ClusterWorld, b: &knet::harness::UBuf, label: &str| {
-        w.t_post_recv(rx, 7, rx_buf.iov(64 * 1024), 0).unwrap();
+        channel_post_recv(w, ch_rx, 7, rx_buf.iov(64 * 1024)).unwrap();
         let before = knet_simcore::now(w);
-        w.t_send(tx, rx, 7, b.iov(64 * 1024), 0).unwrap();
+        channel_send(w, ch_tx, 7, b.iov(64 * 1024)).unwrap();
         await_recv(w, rx);
         let stats = w.gm.port(GmPortId(tx.idx)).unwrap().stats;
         let cache =

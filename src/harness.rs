@@ -3,7 +3,8 @@
 //! These helpers are shared by the figure regenerators in [`crate::figures`],
 //! the examples, and the integration tests. All times are *virtual*.
 
-use knet_core::{Endpoint, IoVec, MemRef, TransportEvent, TransportWorld};
+use knet_core::api::{channel_close, channel_connect, channel_post_recv, channel_send};
+use knet_core::{Endpoint, IoVec, MemRef, TransportEvent};
 use knet_orfs::{OrfsClientId, SysResult, SyscallId};
 use knet_simcore::{run_until, RunOutcome, SimTime};
 use knet_simos::{Asid, NodeId, Prot, VirtAddr};
@@ -76,8 +77,9 @@ pub fn ubuf(w: &mut ClusterWorld, node: NodeId, len: u64) -> UBuf {
     }
 }
 
-/// Run until a driver-mailbox event is available for `ep`, then pop it.
-/// Panics if the simulation drains first (a protocol bug).
+/// Run until the endpoint's completion queue holds an event, then pop it
+/// (served by the registry's per-endpoint index). Panics if the simulation
+/// drains first (a protocol bug).
 pub fn await_event(w: &mut ClusterWorld, ep: Endpoint) -> TransportEvent {
     let outcome = run_until(w, |w| w.has_event(ep));
     assert_eq!(
@@ -95,13 +97,26 @@ pub fn await_recv(w: &mut ClusterWorld, ep: Endpoint) -> (u64, u64) {
             TransportEvent::RecvDone { tag, len, .. } => return (tag, len),
             TransportEvent::SendDone { .. } => continue,
             TransportEvent::Unexpected { tag, data, .. } => return (tag, data.len() as u64),
+            TransportEvent::SendFailed { ctx, error } => {
+                panic!("benchmark send {ctx} failed: {error}")
+            }
         }
     }
 }
 
 /// One-way latency (µs) of a ping-pong of `size` bytes between two
-/// driver-owned endpoints using the provided buffers, averaged over `iters`
-/// round trips after one warm-up.
+/// endpoints using the provided buffers, averaged over `iters` round trips
+/// after one warm-up.
+///
+/// The endpoints are wrapped in a **channel pair** for the duration of the
+/// measurement — channels are the application-facing send path (batching,
+/// GM coalescing and backpressure live there), so the benchmark drivers
+/// exercise exactly what applications run on. Endpoints already bound to a
+/// CQ keep their queue (the channels feed it, and the binding is restored
+/// when the measurement ends); unbound endpoints get a fresh queue they
+/// stay bound to afterwards. Endpoints owned by a *service* (a handler
+/// consumer — e.g. a zsock socket) are refused: stealing one would tear
+/// the service's channel down.
 pub fn transport_pingpong_us(
     w: &mut ClusterWorld,
     a: Endpoint,
@@ -110,12 +125,23 @@ pub fn transport_pingpong_us(
     buf_b: IoVec,
     iters: u32,
 ) -> f64 {
+    for ep in [a, b] {
+        assert!(
+            w.registry.consumer_of(ep).is_none() || w.registry.cq_of(ep).is_some(),
+            "transport_pingpong_us needs a CQ-bound or unbound endpoint; \
+             {ep:?} is owned by a handler consumer (a service)"
+        );
+    }
+    let cq_a = w.registry.cq_of(a).unwrap_or_else(|| w.new_cq());
+    let cq_b = w.registry.cq_of(b).unwrap_or_else(|| w.new_cq());
+    let ch_a = channel_connect(w, a, b, cq_a);
+    let ch_b = channel_connect(w, b, a, cq_b);
     let round = |w: &mut ClusterWorld| {
-        w.t_post_recv(b, 1, buf_b.clone(), 1).expect("post recv b");
-        w.t_send(a, b, 1, buf_a.clone(), 0).expect("send a->b");
+        channel_post_recv(w, ch_b, 1, buf_b.clone()).expect("post recv b");
+        channel_send(w, ch_a, 1, buf_a.clone()).expect("send a->b");
         await_recv(w, b);
-        w.t_post_recv(a, 2, buf_a.clone(), 2).expect("post recv a");
-        w.t_send(b, a, 2, buf_b.clone(), 0).expect("send b->a");
+        channel_post_recv(w, ch_a, 2, buf_a.clone()).expect("post recv a");
+        channel_send(w, ch_b, 2, buf_b.clone()).expect("send b->a");
         await_recv(w, a);
     };
     round(w);
@@ -124,6 +150,13 @@ pub fn transport_pingpong_us(
         round(w);
     }
     let elapsed = knet_simcore::now(w) - t0;
+    // Close the channels and hand the endpoints back as plain CQ-bound
+    // consumers (replaying anything that parked in between), so callers
+    // can keep polling them or run another measurement.
+    channel_close(w, ch_a);
+    channel_close(w, ch_b);
+    w.attach_cq(a, cq_a);
+    w.attach_cq(b, cq_b);
     elapsed.micros() / (2.0 * iters as f64)
 }
 

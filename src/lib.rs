@@ -35,11 +35,16 @@
 //!   `nbd_*_create` all bind their endpoints themselves;
 //! * polling drivers bind endpoints to a **completion queue**
 //!   ([`ClusterWorld::open_mx_cq`] / [`ClusterWorld::attach_cq`]) and pop
-//!   [`knet_core::CqEntry`]s;
-//! * connected, tagged, vectored message pipes are **channels**
-//!   (`knet_core::api::channel_connect` / `channel_accept`), which also
-//!   coalesce multi-segment io-vectors on GM so vectored sends work on
-//!   every transport.
+//!   [`knet_core::CqEntry`]s — queues are indexed per endpoint, so popping
+//!   one endpoint's events never scans past the others';
+//! * **channels are the one application-facing send path**
+//!   (`knet_core::api::channel_connect` / `channel_accept` /
+//!   `channel_connect_handler`): connected, tagged, vectored message pipes
+//!   that coalesce multi-segment io-vectors on GM and absorb transport
+//!   token exhaustion in a bounded backpressure queue retried on
+//!   `SendDone`. Raw `t_send`/`t_post_recv` are the driver seam; nothing
+//!   above the channel layer calls them (enforced by
+//!   `tests/api_boundaries.rs` and the CI grep gate).
 //!
 //! Events arriving at a not-yet-bound endpoint park in the registry and
 //! replay when a consumer binds — wiring order never loses traffic.
@@ -85,8 +90,9 @@ pub mod prelude {
     pub use crate::harness::{fsops, kbuf, ubuf, KBuf, UBuf};
     pub use crate::world::ClusterWorld;
     pub use knet_core::api::{
-        bind, channel_accept, channel_cancel_recv, channel_close, channel_connect, channel_peer,
-        channel_post_recv, channel_send,
+        bind, channel_accept, channel_cancel_recv, channel_close, channel_connect,
+        channel_connect_handler, channel_peer, channel_post_recv, channel_send,
+        channel_set_send_queue_cap,
     };
     pub use knet_core::{
         ChannelId, ConsumerId, CqEntry, CqId, DispatchWorld, Endpoint, IoVec, MemRef, NetError,

@@ -14,7 +14,10 @@
 //!   registry, not by editing this file.
 //! * [`TransportWorld`] (`t_send`/`t_post_recv`) → the owning driver, with
 //!   the GM glue inserting GMKRC registration for user-virtual buffers
-//!   exactly where the paper's in-kernel clients needed it.
+//!   exactly where the paper's in-kernel clients needed it. This is the
+//!   *driver seam*: applications and benchmarks send through channels
+//!   (`knet_core::api::channel_send`), never through the raw transport —
+//!   enforced by `tests/api_boundaries.rs`.
 
 use knet_core::api::{self, ConsumerId, CqId, Registry};
 use knet_core::{

@@ -1,0 +1,59 @@
+//! The transport-boundary gate: raw `t_send`/`t_post_recv` calls are the
+//! *driver seam*, not the application API. Channels (`knet_core::api`) are
+//! the one application-facing send path — batching, GM coalescing and
+//! backpressure live there — so nothing above that layer may call the raw
+//! transport. CI runs the same check as a grep step; this test makes the
+//! tier-1 suite self-enforcing.
+//!
+//! Allowed callers: `crates/core` (the channel layer itself), `crates/gm`
+//! and `crates/mx` (the drivers), `crates/orfs`/`crates/nbd` (handler-based
+//! in-kernel services still queued for migration — see ROADMAP), and
+//! driver-level integration tests under `tests/`.
+
+use std::fs;
+use std::path::Path;
+
+/// Directories that must not contain raw transport calls.
+const FORBIDDEN: &[&str] = &[
+    "src",
+    "examples",
+    "crates/zsock",
+    "crates/bench",
+    "crates/simfs",
+];
+
+fn scan(dir: &Path, offenders: &mut Vec<String>) {
+    let Ok(entries) = fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.is_dir() {
+            scan(&path, offenders);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            let Ok(text) = fs::read_to_string(&path) else {
+                continue;
+            };
+            for (i, line) in text.lines().enumerate() {
+                if line.contains(".t_send(") || line.contains(".t_post_recv(") {
+                    offenders.push(format!("{}:{}: {}", path.display(), i + 1, line.trim()));
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn raw_transport_calls_stay_below_the_channel_layer() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let mut offenders = Vec::new();
+    for dir in FORBIDDEN {
+        scan(&root.join(dir), &mut offenders);
+    }
+    assert!(
+        offenders.is_empty(),
+        "raw t_send/t_post_recv callers above the channel layer \
+         (use channel_send/channel_post_recv):\n{}",
+        offenders.join("\n")
+    );
+}

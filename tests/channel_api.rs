@@ -307,6 +307,353 @@ fn closed_channels_stop_routing_and_release_state() {
     let _ = ea;
 }
 
+// ----------------------------------------------------- rebind coherence
+
+#[test]
+fn rebinding_a_channel_endpoint_invalidates_the_channel() {
+    // `bind()` over an endpoint owned by a channel must take the channel's
+    // whole identity with it: state, `channel_routes` entry and consumer.
+    // Pre-fix, the consumer was garbage-collected but the channel kept
+    // learning peers from a dead route and `channel_close` deregistered an
+    // id that now belonged to nobody (or, worse, to the new consumer).
+    let (mut w, n0, n1) = two_nodes();
+    let (ch_a, ch_b, _cq_a, _cq_b, ea, eb) = channel_pair(&mut w, TransportKind::Mx, n0, n1);
+    let ka = kbuf(&mut w, n0, 4096);
+    let kb = kbuf(&mut w, n1, 4096);
+
+    // Rebind the connect side to a fresh driver CQ.
+    let cq2 = w.new_cq();
+    w.attach_cq(ea, cq2);
+    assert!(
+        w.registry.channel(ch_a).is_none(),
+        "rebinding closed the channel coherently"
+    );
+    assert!(
+        w.registry.channel_of(ea).is_none(),
+        "no dangling channel_routes entry"
+    );
+    assert_eq!(
+        channel_send(&mut w, ch_a, 1, ka.iov(4)).unwrap_err(),
+        NetError::BadEndpoint,
+        "sends on the invalidated handle fail cleanly"
+    );
+
+    // Closing the dead id is a no-op that must not disturb the new binding.
+    let new_consumer = w.registry.consumer_of(ea).expect("rebound");
+    api::channel_close(&mut w, ch_a);
+    assert_eq!(
+        w.registry.consumer_of(ea),
+        Some(new_consumer),
+        "channel_close of a dead id leaves the new consumer alone"
+    );
+
+    // Traffic for the rebound endpoint flows into the new CQ (not into the
+    // dead channel's peer learning). Raw driver send: this is a
+    // driver-level test of the rebinding seam.
+    write_kernel(&mut w, n1, kb.addr, b"post");
+    w.t_send(eb, ea, 2, kb.iov(4), 0).unwrap();
+    match await_cq(&mut w, cq2, ea) {
+        TransportEvent::Unexpected { tag, data, .. } => {
+            assert_eq!((tag, &data[..]), (2, &b"post"[..]));
+        }
+        other => panic!("{other:?}"),
+    }
+    let _ = ch_b;
+}
+
+#[test]
+fn reconnecting_a_channel_endpoint_replaces_the_old_channel() {
+    // `channel_connect` over an endpoint that already owns a channel (how
+    // the benchmark harness reuses endpoint pairs) replaces it rather than
+    // leaking state.
+    let (mut w, n0, n1) = two_nodes();
+    let (ch_a, _ch_b, cq_a, _cq_b, ea, eb) = channel_pair(&mut w, TransportKind::Mx, n0, n1);
+    let ch_a2 = channel_connect(&mut w, ea, eb, cq_a);
+    assert!(w.registry.channel(ch_a).is_none(), "old channel replaced");
+    assert_eq!(w.registry.channel_of(ea), Some(ch_a2));
+}
+
+// --------------------------------------------------------- backpressure
+
+#[test]
+fn channel_sends_queue_on_token_exhaustion_and_retry_in_order() {
+    // GM bounds pending requests with send tokens (16 by default); a burst
+    // beyond that used to surface NoSendTokens to every caller. The
+    // channel now queues the overflow and retries on SendDone, in
+    // submission order.
+    let (mut w, n0, n1) = two_nodes();
+    let (ch_a, _ch_b, cq_a, cq_b, ea, eb) = channel_pair(&mut w, TransportKind::Gm, n0, n1);
+    let ka = kbuf(&mut w, n0, 4096);
+    let burst = 40u64;
+    assert!(
+        burst as usize > knet_gm::GmParams::default().send_tokens,
+        "the burst must overrun the token pool"
+    );
+    // Raw transport refuses the burst...
+    for i in 0..knet_gm::GmParams::default().send_tokens {
+        w.t_send(ea, eb, 100 + i as u64, ka.iov(8), 0).unwrap();
+    }
+    assert_eq!(
+        w.t_send(ea, eb, 999, ka.iov(8), 0).unwrap_err(),
+        NetError::NoSendTokens,
+        "raw GM contract unchanged"
+    );
+    knet_simcore::run_to_quiescence(&mut w);
+    while w.registry.cq_pop(cq_a).is_some() {}
+    while w.registry.cq_pop(cq_b).is_some() {}
+
+    // ...the channel absorbs it.
+    let mut ctxs = Vec::new();
+    for i in 0..burst {
+        ctxs.push(channel_send(&mut w, ch_a, i, ka.iov(16)).expect("queued, not refused"));
+    }
+    assert!(
+        w.registry.stats.queued_sends > 0,
+        "the burst exercised the backpressure queue"
+    );
+    knet_simcore::run_to_quiescence(&mut w);
+    assert_eq!(
+        w.registry.stats.retried_sends, w.registry.stats.queued_sends,
+        "every queued send was retried successfully"
+    );
+    assert_eq!(w.registry.stats.failed_retries, 0);
+    assert_eq!(
+        w.registry.channel(ch_a).unwrap().queued_len(),
+        0,
+        "queue drained"
+    );
+    // Every send completed (each ctx got its SendDone)...
+    let mut done = Vec::new();
+    while let Some(e) = w.registry.cq_pop(cq_a) {
+        if let TransportEvent::SendDone { ctx } = e.event {
+            done.push(ctx);
+        }
+    }
+    assert_eq!(done, ctxs, "completions in submission order");
+    // ...and the receiver saw the messages in submission order.
+    let mut tags = Vec::new();
+    while let Some(e) = w.registry.cq_pop(cq_b) {
+        if let TransportEvent::Unexpected { tag, .. } = e.event {
+            tags.push(tag);
+        }
+    }
+    assert_eq!(tags, (0..burst).collect::<Vec<_>>(), "wire order preserved");
+}
+
+#[test]
+fn send_queue_overflow_surfaces_a_neterror() {
+    let (mut w, n0, n1) = two_nodes();
+    let (ch_a, _ch_b, _cq_a, _cq_b, _ea, _eb) = channel_pair(&mut w, TransportKind::Gm, n0, n1);
+    let ka = kbuf(&mut w, n0, 4096);
+    api::channel_set_send_queue_cap(&mut w, ch_a, 4);
+    let tokens = knet_gm::GmParams::default().send_tokens;
+    let mut overflowed = None;
+    for i in 0..(tokens + 10) as u64 {
+        if let Err(e) = channel_send(&mut w, ch_a, i, ka.iov(8)) {
+            overflowed = Some((i, e));
+            break;
+        }
+    }
+    let (at, err) = overflowed.expect("bounded queue must overflow");
+    assert_eq!(err, NetError::SendQueueFull);
+    assert_eq!(
+        at,
+        (tokens + 4) as u64,
+        "tokens, then the full queue, then overflow"
+    );
+    // The world still drains and the accepted sends complete.
+    knet_simcore::run_to_quiescence(&mut w);
+    assert_eq!(w.registry.channel(ch_a).unwrap().queued_len(), 0);
+}
+
+#[test]
+fn failed_retries_deliver_send_failed_completions() {
+    // A send queued under backpressure whose retry fails non-transiently
+    // (the peer port closed meanwhile) must not vanish: the channel's
+    // consumer gets a `SendFailed { ctx }` so resources tied to the
+    // context are released.
+    let (mut w, n0, n1) = two_nodes();
+    let (ch_a, _ch_b, cq_a, _cq_b, ea, eb) = channel_pair(&mut w, TransportKind::Gm, n0, n1);
+    let ka = kbuf(&mut w, n0, 4096);
+    let tokens = knet_gm::GmParams::default().send_tokens;
+    let mut ctxs = Vec::new();
+    for i in 0..(tokens + 3) as u64 {
+        ctxs.push(channel_send(&mut w, ch_a, i, ka.iov(8)).unwrap());
+    }
+    assert_eq!(w.registry.channel(ch_a).unwrap().queued_len(), 3);
+    // The peer dies before the queued sends can retry.
+    knet_gm::gm_close_port(&mut w, knet_gm::GmPortId(eb.idx)).unwrap();
+    knet_simcore::run_to_quiescence(&mut w);
+    assert_eq!(w.registry.stats.failed_retries, 3);
+    let mut done = Vec::new();
+    let mut failed = Vec::new();
+    while let Some(e) = w.registry.cq_pop(cq_a) {
+        match e.event {
+            TransportEvent::SendDone { ctx } => done.push(ctx),
+            TransportEvent::SendFailed { ctx, error } => {
+                assert_eq!(error, NetError::BadEndpoint);
+                failed.push(ctx);
+            }
+            _ => {}
+        }
+    }
+    assert_eq!(done, ctxs[..tokens], "accepted sends completed");
+    assert_eq!(failed, ctxs[tokens..], "queued sends failed loudly");
+    let _ = ea;
+}
+
+#[test]
+fn closing_a_channel_fails_its_queued_sends() {
+    // channel_close with sends still parked in the backpressure queue:
+    // every accepted context must still complete — as SendFailed — so the
+    // caller can release what it tied to them.
+    let (mut w, n0, n1) = two_nodes();
+    let (ch_a, _ch_b, cq_a, _cq_b, ea, _eb) = channel_pair(&mut w, TransportKind::Gm, n0, n1);
+    let ka = kbuf(&mut w, n0, 4096);
+    let tokens = knet_gm::GmParams::default().send_tokens;
+    let mut ctxs = Vec::new();
+    for i in 0..(tokens + 2) as u64 {
+        ctxs.push(channel_send(&mut w, ch_a, i, ka.iov(8)).unwrap());
+    }
+    api::channel_close(&mut w, ch_a);
+    let mut failed = Vec::new();
+    while let Some(e) = w.registry.cq_pop_for(cq_a, ea) {
+        if let TransportEvent::SendFailed { ctx, .. } = e.event {
+            failed.push(ctx);
+        }
+    }
+    assert_eq!(
+        failed,
+        ctxs[tokens..],
+        "queued contexts completed as failed"
+    );
+}
+
+#[test]
+fn a_send_failure_poisons_the_socket_instead_of_stalling() {
+    // A stream socket cannot renumber a lost frame; once a send fails
+    // after its sequence was committed, every subsequent op must fail
+    // fast (locally loud) rather than letting readers block forever.
+    let (mut w, n0, n1) = two_nodes();
+    let ba = ubuf(&mut w, n0, 1 << 20);
+    let cfg = GmPortConfig::kernel()
+        .with_physical_api()
+        .with_regcache(4096);
+    let ea = w.open_gm(n0, cfg.clone()).unwrap();
+    let eb = w.open_gm(n1, cfg).unwrap();
+    let sa = knet_zsock::sock_create(&mut w, ea, eb).unwrap();
+    let _sb = knet_zsock::sock_create(&mut w, eb, ea).unwrap();
+    // Disable the socket channel's backpressure queue so token exhaustion
+    // surfaces synchronously, as any hard send failure would.
+    let ch = w.registry.channel_of(ea).unwrap();
+    api::channel_set_send_queue_cap(&mut w, ch, 0);
+    let tokens = knet_gm::GmParams::default().send_tokens as u64;
+    // A reader parked before the failure must be failed too, not stalled.
+    let parked = knet_zsock::sock_recv(&mut w, sa, ba.memref(64));
+    let mut ops = Vec::new();
+    for _ in 0..tokens + 2 {
+        ops.push(knet_zsock::sock_send(&mut w, sa, ba.memref(64)));
+    }
+    let failed: Vec<_> = w
+        .zsock
+        .sock(sa)
+        .completed
+        .iter()
+        .filter(|(_, r)| r.is_err())
+        .map(|(o, _)| *o)
+        .collect();
+    assert!(!failed.is_empty(), "the overrun send failed synchronously");
+    assert_eq!(
+        w.zsock.sock(sa).error(),
+        Some(NetError::NoSendTokens),
+        "socket is poisoned"
+    );
+    assert!(
+        w.zsock
+            .sock(sa)
+            .completed
+            .iter()
+            .any(|(o, r)| *o == parked && r.is_err()),
+        "the parked reader was failed, not left to stall"
+    );
+    // Later ops fail fast instead of hanging a reader forever.
+    let op = knet_zsock::sock_send(&mut w, sa, ba.memref(64));
+    let err = w
+        .zsock
+        .sock(sa)
+        .completed
+        .iter()
+        .find(|(o, _)| *o == op)
+        .expect("completed immediately")
+        .1;
+    assert_eq!(err, Err(NetError::NoSendTokens));
+}
+
+#[test]
+fn a_zero_queue_cap_restores_the_raw_token_contract() {
+    let (mut w, n0, n1) = two_nodes();
+    let (ch_a, _ch_b, _cq_a, _cq_b, _ea, _eb) = channel_pair(&mut w, TransportKind::Gm, n0, n1);
+    let ka = kbuf(&mut w, n0, 4096);
+    api::channel_set_send_queue_cap(&mut w, ch_a, 0);
+    let tokens = knet_gm::GmParams::default().send_tokens;
+    for i in 0..tokens as u64 {
+        channel_send(&mut w, ch_a, i, ka.iov(8)).unwrap();
+    }
+    assert_eq!(
+        channel_send(&mut w, ch_a, 99, ka.iov(8)).unwrap_err(),
+        NetError::NoSendTokens,
+        "queueing disabled: the transport error surfaces"
+    );
+}
+
+// ------------------------------------------------------------ CQ index
+
+#[test]
+fn per_endpoint_cq_pops_are_served_by_the_index() {
+    // Two endpoints share one queue; per-endpoint pops preserve each
+    // endpoint's FIFO order and are accounted as indexed (no linear scan).
+    let (mut w, n0, n1) = two_nodes();
+    let cq = w.new_cq();
+    let ea = w.open_mx_cq(n0, MxEndpointConfig::kernel(), cq).unwrap();
+    let eb = w.open_mx_cq(n1, MxEndpointConfig::kernel(), cq).unwrap();
+    let ka = kbuf(&mut w, n0, 4096);
+    let kb = kbuf(&mut w, n1, 4096);
+    let before = w.registry.stats.indexed_pops;
+    // Interleave traffic in both directions.
+    for i in 0..4u64 {
+        w.t_send(ea, eb, 10 + i, ka.iov(8), i).unwrap();
+        w.t_send(eb, ea, 20 + i, kb.iov(8), i).unwrap();
+    }
+    knet_simcore::run_to_quiescence(&mut w);
+    assert_eq!(
+        w.registry.cq_len_for(cq, ea),
+        8,
+        "4 SendDone + 4 Unexpected"
+    );
+    assert_eq!(w.registry.cq_len_for(cq, eb), 8);
+    // Per-endpoint pops see only their endpoint's entries, in FIFO order.
+    let mut tags_b = Vec::new();
+    while let Some(e) = w.registry.cq_pop_for(cq, eb) {
+        assert_eq!(e.ep, eb);
+        if let TransportEvent::Unexpected { tag, .. } = e.event {
+            tags_b.push(tag);
+        }
+    }
+    assert_eq!(tags_b, vec![10, 11, 12, 13]);
+    assert!(
+        w.registry.stats.indexed_pops >= before + 8,
+        "pops went through the per-endpoint index"
+    );
+    // The other endpoint's entries are untouched and still ordered.
+    let mut tags_a = Vec::new();
+    while let Some(e) = w.registry.take_event(ea) {
+        if let TransportEvent::Unexpected { tag, .. } = e {
+            tags_a.push(tag);
+        }
+    }
+    assert_eq!(tags_a, vec![20, 21, 22, 23]);
+}
+
 // --------------------------------------------------------------- cancel
 
 #[test]
@@ -357,7 +704,7 @@ fn cancel_recv_contract_is_identical_on_gm_and_mx() {
                 TransportEvent::RecvDone { .. } => {
                     panic!("{kind:?}: withdrawn receive must not complete")
                 }
-                TransportEvent::SendDone { .. } => {}
+                TransportEvent::SendDone { .. } | TransportEvent::SendFailed { .. } => {}
             }
         }
         assert!(saw_unexpected, "{kind:?}");
