@@ -1,0 +1,384 @@
+//! The hot-path wall-clock benchmark: how fast does the *simulator's own*
+//! steady-state send/recv machinery run on the host?
+//!
+//! The paper's argument (§3.2, Fig. 1/3) is that registration caching and
+//! copy avoidance make the per-message API cost tiny; this benchmark holds
+//! our Rust implementation to the same standard. Two phases:
+//!
+//! * **channels** — N endpoints (N/2 GM channel pairs across two nodes)
+//!   exchange M rounds of messages through the application-facing channel
+//!   API, with completions drained from shared per-node completion queues.
+//!   One *op* is one message moved end to end (submit → wire → completion
+//!   popped).
+//! * **regcache** — one GMKRC instance at translation-table scale
+//!   (default 1M pages) driven with a hit-heavy working set plus a trickle
+//!   of fresh pages, each of which forces a capacity eviction, plus
+//!   periodic VMA-style range invalidations. One *op* is one
+//!   `plan_range`/invalidate call.
+//!
+//! Wall-clock time and heap allocations (counting global allocator) are
+//! measured per phase and emitted as `BENCH_hotpath.json`, together with
+//! the pre-PR baseline measured on the same workload before the O(1)
+//! hot-path rework (commit b225c3f), so the file carries its own
+//! before/after trajectory.
+//!
+//! Scale knobs (env): `HOTPATH_ENDPOINTS` (default 10000),
+//! `HOTPATH_ROUNDS` (4), `HOTPATH_PAGES` (1000000), `HOTPATH_REG_OPS`
+//! (60000), `HOTPATH_FRESH_EVERY` (600), `HOTPATH_OUT` (output path).
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use knet::build::ClusterBuilder;
+use knet::harness::kbuf;
+use knet::world::ClusterWorld;
+use knet_core::api::{channel_connect, channel_post_recv, channel_send};
+use knet_core::{RegCache, RegKey, TransportEvent};
+use knet_gm::GmPortConfig;
+use knet_simos::{Asid, CpuModel, FrameIdx, NodeId, VirtAddr, VmaEvent, PAGE_SIZE};
+
+// ---------------------------------------------------------------- allocator
+
+/// Counts every heap allocation so the benchmark can report allocations per
+/// op alongside ops/sec (the "allocation-free hot path" claim is measured,
+/// not asserted, here; `tests/hotpath_alloc.rs` asserts it).
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn allocs() -> u64 {
+    ALLOCS.load(Ordering::Relaxed)
+}
+
+// ---------------------------------------------------------------- config
+
+struct Config {
+    endpoints: usize,
+    rounds: u64,
+    pages: usize,
+    reg_ops: u64,
+    fresh_every: u64,
+}
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+impl Config {
+    fn from_env() -> Self {
+        Config {
+            endpoints: env_u64("HOTPATH_ENDPOINTS", 10_000) as usize,
+            rounds: env_u64("HOTPATH_ROUNDS", 4),
+            pages: env_u64("HOTPATH_PAGES", 1_000_000) as usize,
+            reg_ops: env_u64("HOTPATH_REG_OPS", 60_000),
+            fresh_every: env_u64("HOTPATH_FRESH_EVERY", 600),
+        }
+    }
+}
+
+struct PhaseResult {
+    ops: u64,
+    secs: f64,
+    allocs: u64,
+}
+
+impl PhaseResult {
+    fn ops_per_sec(&self) -> f64 {
+        if self.secs > 0.0 {
+            self.ops as f64 / self.secs
+        } else {
+            0.0
+        }
+    }
+}
+
+// ---------------------------------------------------------------- phases
+
+/// N/2 channel pairs exchange `rounds` messages of 1 kB kernel payloads.
+fn phase_channels(cfg: &Config) -> PhaseResult {
+    let pairs = (cfg.endpoints / 2).max(1);
+    let mut w = ClusterBuilder::new()
+        .nodes(2, CpuModel::xeon_2600())
+        .mem_frames(262_144)
+        .build();
+    let (n0, n1) = (NodeId(0), NodeId(1));
+    let cq0 = w.new_cq();
+    let cq1 = w.new_cq();
+    let mut eps = Vec::with_capacity(pairs);
+    let mut chans = Vec::with_capacity(pairs);
+    let mut bufs = Vec::with_capacity(pairs);
+    for _ in 0..pairs {
+        let cfg_port = GmPortConfig::kernel().with_physical_api();
+        let a = w.open_gm_cq(n0, cfg_port.clone(), cq0).expect("gm port a");
+        let b = w.open_gm_cq(n1, cfg_port, cq1).expect("gm port b");
+        let ka = kbuf(&mut w, n0, 1024);
+        let kb = kbuf(&mut w, n1, 1024);
+        let ch_a = channel_connect(&mut w, a, b, cq0);
+        let ch_b = channel_connect(&mut w, b, a, cq1);
+        eps.push((a, b));
+        chans.push((ch_a, ch_b));
+        bufs.push((ka, kb));
+    }
+
+    // Warm-up round (registrations, scheduler warm structures).
+    let mut batch = Vec::new();
+    run_round(&mut w, &eps, &chans, &bufs, 0, &mut batch);
+
+    let a0 = allocs();
+    let t0 = Instant::now();
+    for r in 1..=cfg.rounds {
+        run_round(&mut w, &eps, &chans, &bufs, r, &mut batch);
+    }
+    let secs = t0.elapsed().as_secs_f64();
+    PhaseResult {
+        ops: pairs as u64 * cfg.rounds,
+        secs,
+        allocs: allocs() - a0,
+    }
+}
+
+fn run_round(
+    w: &mut ClusterWorld,
+    eps: &[(knet_core::Endpoint, knet_core::Endpoint)],
+    chans: &[(knet_core::ChannelId, knet_core::ChannelId)],
+    bufs: &[(knet::harness::KBuf, knet::harness::KBuf)],
+    round: u64,
+    batch: &mut Vec<knet_core::CqEntry>,
+) {
+    let tag = round + 1;
+    for (i, (ch_a, _ch_b)) in chans.iter().enumerate() {
+        let (ka, kb) = bufs[i];
+        channel_post_recv(w, chans[i].1, tag, kb.iov(1024)).expect("post recv");
+        channel_send(w, *ch_a, tag, ka.iov(1024)).expect("send");
+    }
+    knet_simcore::run_to_quiescence(w);
+    // Drain all completions (SendDone on the a side, RecvDone on the b
+    // side) through the batched per-endpoint drain.
+    let mut delivered = 0usize;
+    for (a, b) in eps {
+        w.take_events(*a, usize::MAX, batch);
+        w.take_events(*b, usize::MAX, batch);
+        delivered += batch
+            .iter()
+            .filter(|e| matches!(e.event, TransportEvent::RecvDone { .. }))
+            .count();
+    }
+    assert_eq!(delivered, eps.len(), "every message must land");
+}
+
+/// GMKRC at `pages` capacity: hit-heavy plan_range stream with a trickle of
+/// fresh pages (each one forces a capacity eviction) and periodic range
+/// invalidations — exactly the driver's steady-state usage.
+fn phase_regcache(cfg: &Config) -> PhaseResult {
+    let asid = Asid(1);
+    let mut cache = RegCache::new(cfg.pages);
+    // Fill to capacity.
+    for i in 0..cfg.pages as u64 {
+        cache.commit(RegKey { asid, vpn: i }, FrameIdx((i & 0xFFFF_FFFF) as u32));
+    }
+    let hot = 1024u64.min(cfg.pages as u64); // hot working set (pure hits)
+    let mut fresh_vpn = cfg.pages as u64; // first never-seen page
+    let mut ops = 0u64;
+
+    // Warm-up: touch the hot set once so the measured loop is steady state.
+    for i in 0..hot {
+        let addr = VirtAddr::new((cfg.pages as u64 - hot + i) << 12);
+        let _ = cache.plan_range(asid, addr, PAGE_SIZE);
+    }
+
+    let a0 = allocs();
+    let t0 = Instant::now();
+    for i in 0..cfg.reg_ops {
+        if cfg.fresh_every > 0 && i % cfg.fresh_every == cfg.fresh_every - 1 {
+            // A brand-new page: miss, capacity pressure, LRU eviction —
+            // the path the paper's GMKRC pays on translation-table
+            // pressure.
+            let addr = VirtAddr::new(fresh_vpn << 12);
+            fresh_vpn += 1;
+            let plan = cache.plan_range(asid, addr, PAGE_SIZE);
+            let over = cache.pressure(plan.missing.len());
+            if over > 0 {
+                let evicted = cache.evict_lru(over);
+                assert_eq!(evicted.len(), over);
+            }
+            for page in &plan.missing {
+                cache.commit(RegKey::of(asid, *page), FrameIdx(0));
+            }
+        } else if i % 10_000 == 5_000 {
+            // VMA SPY coherence: unmap a small cold range.
+            let base = (i / 10_000) * 16 % (cfg.pages as u64 / 2);
+            let ev = VmaEvent::unmap(asid, VirtAddr::new(base << 12), 16 * PAGE_SIZE);
+            let dropped = cache.invalidate(&ev);
+            for (k, f) in dropped {
+                cache.commit(k, f); // re-register so occupancy stays stable
+            }
+        } else {
+            // Steady state: a hit in the hot set.
+            let vpn = cfg.pages as u64 - hot + (i % hot);
+            let plan = cache.plan_range(asid, VirtAddr::new(vpn << 12), PAGE_SIZE);
+            assert_eq!(plan.hit_pages, 1);
+        }
+        ops += 1;
+    }
+    let secs = t0.elapsed().as_secs_f64();
+    PhaseResult {
+        ops,
+        secs,
+        allocs: allocs() - a0,
+    }
+}
+
+/// Pure-hit probe: exact allocation count of 10k cache-hit plans (the
+/// steady-state send path's registration lookup). Zero after the O(1)
+/// rework.
+fn probe_hit_allocs(cache_pages: usize) -> u64 {
+    let asid = Asid(7);
+    let mut cache = RegCache::new(cache_pages.min(65_536));
+    for i in 0..1024u64 {
+        cache.commit(RegKey { asid, vpn: i }, FrameIdx(i as u32));
+    }
+    let _ = cache.plan_range(asid, VirtAddr::new(0), PAGE_SIZE);
+    let a0 = allocs();
+    for i in 0..10_000u64 {
+        let vpn = i % 1024;
+        let _ = cache.plan_range(asid, VirtAddr::new(vpn << 12), PAGE_SIZE);
+    }
+    allocs() - a0
+}
+
+// ---------------------------------------------------------------- baseline
+
+/// Measured on this workload *before* the O(1) hot-path rework (repo at
+/// commit b225c3f: BTreeMap GMKRC whose `evict_lru` collects and sorts every
+/// entry, BTreeMap CQs, per-op allocations throughout), at the default
+/// scale: 10_000 endpoints × 4 rounds, 1_000_000 pages, 60_000 regcache
+/// ops. Recorded here so `BENCH_hotpath.json` always carries the trajectory
+/// start.
+struct Baseline {
+    channel_ops_per_sec: f64,
+    regcache_ops_per_sec: f64,
+    total_ops_per_sec: f64,
+    channel_allocs_per_op: f64,
+    regcache_allocs_per_op: f64,
+}
+
+const BASELINE: Option<Baseline> = Some(Baseline {
+    channel_ops_per_sec: 236_375.2,
+    regcache_ops_per_sec: 17_696.2,
+    total_ops_per_sec: 23_020.5,
+    channel_allocs_per_op: 16.666,
+    regcache_allocs_per_op: 0.005,
+});
+
+// ---------------------------------------------------------------- main
+
+fn main() {
+    let cfg = Config::from_env();
+    eprintln!(
+        "hotpath: endpoints={} rounds={} pages={} reg_ops={} fresh_every={}",
+        cfg.endpoints, cfg.rounds, cfg.pages, cfg.reg_ops, cfg.fresh_every
+    );
+
+    let ch = phase_channels(&cfg);
+    eprintln!(
+        "channels: {} msgs in {:.3}s = {:.0} msgs/s ({} allocs, {:.1}/msg)",
+        ch.ops,
+        ch.secs,
+        ch.ops_per_sec(),
+        ch.allocs,
+        ch.allocs as f64 / ch.ops.max(1) as f64
+    );
+
+    let rc = phase_regcache(&cfg);
+    eprintln!(
+        "regcache: {} ops in {:.3}s = {:.0} ops/s ({} allocs, {:.1}/op)",
+        rc.ops,
+        rc.secs,
+        rc.ops_per_sec(),
+        rc.allocs,
+        rc.allocs as f64 / rc.ops.max(1) as f64
+    );
+
+    let hit_allocs = probe_hit_allocs(cfg.pages);
+    eprintln!("hit-probe: {hit_allocs} allocs over 10k pure-hit plans");
+
+    let total_ops = ch.ops + rc.ops;
+    let total_secs = ch.secs + rc.secs;
+    let total_ops_per_sec = total_ops as f64 / total_secs.max(1e-9);
+    eprintln!("total: {total_ops} ops in {total_secs:.3}s = {total_ops_per_sec:.0} ops/s");
+
+    // ---- JSON emit (hand-rolled; the workspace is offline) ----
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"bench\": \"hotpath\",\n");
+    json.push_str(&format!(
+        "  \"config\": {{\"endpoints\": {}, \"rounds\": {}, \"pages\": {}, \"reg_ops\": {}, \"fresh_every\": {}}},\n",
+        cfg.endpoints, cfg.rounds, cfg.pages, cfg.reg_ops, cfg.fresh_every
+    ));
+    json.push_str(&format!(
+        "  \"current\": {{\n    \"channel_ops_per_sec\": {:.1},\n    \"regcache_ops_per_sec\": {:.1},\n    \"total_ops_per_sec\": {:.1},\n    \"channel_allocs_per_op\": {:.3},\n    \"regcache_allocs_per_op\": {:.3},\n    \"steady_state_hit_allocs_per_10k\": {}\n  }},\n",
+        ch.ops_per_sec(),
+        rc.ops_per_sec(),
+        total_ops_per_sec,
+        ch.allocs as f64 / ch.ops.max(1) as f64,
+        rc.allocs as f64 / rc.ops.max(1) as f64,
+        hit_allocs
+    ));
+    match BASELINE {
+        Some(b) => {
+            json.push_str(&format!(
+                "  \"baseline\": {{\n    \"recorded_at\": \"pre-PR commit b225c3f, same workload at default scale\",\n    \"channel_ops_per_sec\": {:.1},\n    \"regcache_ops_per_sec\": {:.1},\n    \"total_ops_per_sec\": {:.1},\n    \"channel_allocs_per_op\": {:.3},\n    \"regcache_allocs_per_op\": {:.3}\n  }},\n",
+                b.channel_ops_per_sec,
+                b.regcache_ops_per_sec,
+                b.total_ops_per_sec,
+                b.channel_allocs_per_op,
+                b.regcache_allocs_per_op
+            ));
+            json.push_str(&format!(
+                "  \"speedup\": {{\n    \"channel\": {:.2},\n    \"regcache\": {:.2},\n    \"total\": {:.2}\n  }}\n",
+                ch.ops_per_sec() / b.channel_ops_per_sec,
+                rc.ops_per_sec() / b.regcache_ops_per_sec,
+                total_ops_per_sec / b.total_ops_per_sec
+            ));
+        }
+        None => {
+            json.push_str("  \"baseline\": null,\n  \"speedup\": null\n");
+        }
+    }
+    json.push_str("}\n");
+
+    // Relative paths resolve against the *workspace* root (cargo runs
+    // benches with the package directory as cwd).
+    let out = std::env::var("HOTPATH_OUT").unwrap_or_else(|_| "BENCH_hotpath.json".to_string());
+    let out = if std::path::Path::new(&out).is_absolute() {
+        std::path::PathBuf::from(out)
+    } else {
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("../..")
+            .join(out)
+    };
+    std::fs::write(&out, &json).expect("write benchmark json");
+    println!("{json}");
+    eprintln!("wrote {}", out.display());
+}

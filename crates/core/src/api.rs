@@ -37,7 +37,7 @@
 //! attach with [`Registry::register`] + [`bind`] and are never named by the
 //! world again.
 
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::rc::Rc;
 
 use knet_simos::{cpu_charge, Asid, NodeId, VirtAddr, VmaEvent};
@@ -117,20 +117,237 @@ pub struct RegistryStats {
     /// error and were dropped (the original caller already holds the
     /// context; no completion will arrive for it).
     pub failed_retries: u64,
+    /// Send contexts served by recycling a pooled slot (no growth).
+    pub ctx_pool_reuses: u64,
+    /// Send-context slots ever created (the pool's high-water mark).
+    pub ctx_pool_slots: u64,
+    /// Entries drained through [`Registry::cq_pop_batch`].
+    pub batched_pops: u64,
 }
 
-/// One completion queue: entries in arrival order (`seq`), plus a
-/// per-endpoint index of those sequence numbers so pops and peeks for a
-/// single endpoint never scan past other endpoints' traffic.
+// ------------------------------------------------------------- send contexts
+
+/// Pooled send contexts: bit 63 tags a pooled value, the low 32 bits are
+/// the slot, and bits 32..63 carry the slot's generation so a recycled slot
+/// never produces the same context value twice. The pool is **per
+/// channel**, so slot numbers are dense within one channel's in-flight
+/// window — consumers that key in-flight state by context can therefore
+/// use a small dense slab indexed by [`ctx_slot`] instead of a map (the
+/// zero-copy socket layer does), bounded by their own concurrency rather
+/// than the whole world's.
+const CTX_POOL_BIT: u64 = 1 << 63;
+
+/// The slab slot of a pooled send context (None for non-pooled contexts,
+/// e.g. receive contexts or raw-transport cookies).
+pub fn ctx_slot(ctx: u64) -> Option<usize> {
+    (ctx & CTX_POOL_BIT != 0).then_some((ctx & 0xFFFF_FFFF) as usize)
+}
+
+/// Allocator of send-context values. Slots recycle on `SendDone` /
+/// `SendFailed`; steady state performs zero heap allocations once the pool
+/// reaches the workload's in-flight high-water mark.
+#[derive(Default)]
+struct CtxPool {
+    /// Generation per slot; bumped on release.
+    gens: Vec<u32>,
+    free: Vec<u32>,
+}
+
+impl CtxPool {
+    fn encode(slot: u32, gen: u32) -> u64 {
+        CTX_POOL_BIT | ((gen as u64 & 0x7FFF_FFFF) << 32) | slot as u64
+    }
+
+    /// Take a context; `reused` reports whether a slot was recycled.
+    fn alloc(&mut self) -> (u64, bool) {
+        match self.free.pop() {
+            Some(slot) => (Self::encode(slot, self.gens[slot as usize]), true),
+            None => {
+                let slot = self.gens.len() as u32;
+                self.gens.push(0);
+                (Self::encode(slot, 0), false)
+            }
+        }
+    }
+
+    /// Return a context's slot to the pool. Ignores non-pooled and stale
+    /// values (a second release of the same context is a no-op).
+    fn release(&mut self, ctx: u64) {
+        if ctx & CTX_POOL_BIT == 0 {
+            return;
+        }
+        let slot = (ctx & 0xFFFF_FFFF) as usize;
+        let gen = ((ctx >> 32) & 0x7FFF_FFFF) as u32;
+        if let Some(g) = self.gens.get_mut(slot) {
+            if *g == gen {
+                *g = g.wrapping_add(1) & 0x7FFF_FFFF;
+                self.free.push(slot as u32);
+            }
+        }
+    }
+}
+
+/// Sentinel slot index for the completion-queue slab.
+const CQ_NIL: u32 = u32::MAX;
+
+struct CqSlot {
+    /// `None` when the slot is free (payloads drop eagerly).
+    entry: Option<CqEntry>,
+    /// Global arrival order (doubly linked; `prev` toward the oldest).
+    prev: u32,
+    next: u32,
+    /// Next entry for the same endpoint (singly linked, oldest first).
+    ep_next: u32,
+}
+
+#[derive(Clone, Copy)]
+struct EpQueue {
+    head: u32,
+    tail: u32,
+    len: u32,
+}
+
+/// One completion queue: a slab of entries threaded by two intrusive lists
+/// — global arrival order, and a per-endpoint chain so pops and peeks for a
+/// single endpoint never scan past other endpoints' traffic. Pushes and
+/// pops are O(1) and allocation-free once the slab and the per-endpoint map
+/// reach their high-water marks (slots and `EpQueue` records are recycled,
+/// never removed).
 #[derive(Default)]
 struct Cq {
-    entries: BTreeMap<u64, CqEntry>,
-    by_ep: BTreeMap<(TransportKind, u32), VecDeque<u64>>,
-    next_seq: u64,
+    slots: Vec<CqSlot>,
+    free: Vec<u32>,
+    /// Oldest entry overall.
+    head: u32,
+    /// Newest entry overall.
+    tail: u32,
+    by_ep: HashMap<(TransportKind, u32), EpQueue>,
+    len: usize,
+}
+
+impl Cq {
+    fn new() -> Self {
+        Cq {
+            slots: Vec::new(),
+            free: Vec::new(),
+            head: CQ_NIL,
+            tail: CQ_NIL,
+            by_ep: HashMap::new(),
+            len: 0,
+        }
+    }
+
+    fn push(&mut self, ep: Endpoint, event: TransportEvent) {
+        let entry = CqEntry { ep, event };
+        let slot = match self.free.pop() {
+            Some(i) => {
+                self.slots[i as usize] = CqSlot {
+                    entry: Some(entry),
+                    prev: self.tail,
+                    next: CQ_NIL,
+                    ep_next: CQ_NIL,
+                };
+                i
+            }
+            None => {
+                let i = self.slots.len() as u32;
+                assert!(i < CQ_NIL, "completion queue slab overflow");
+                self.slots.push(CqSlot {
+                    entry: Some(entry),
+                    prev: self.tail,
+                    next: CQ_NIL,
+                    ep_next: CQ_NIL,
+                });
+                i
+            }
+        };
+        match self.tail {
+            CQ_NIL => self.head = slot,
+            t => self.slots[t as usize].next = slot,
+        }
+        self.tail = slot;
+        let q = self.by_ep.entry(key(ep)).or_insert(EpQueue {
+            head: CQ_NIL,
+            tail: CQ_NIL,
+            len: 0,
+        });
+        match q.tail {
+            CQ_NIL => q.head = slot,
+            t => self.slots[t as usize].ep_next = slot,
+        }
+        q.tail = slot;
+        q.len += 1;
+        self.len += 1;
+    }
+
+    /// Unlink `slot` from the global list and recycle it.
+    fn take_global(&mut self, slot: u32) -> CqEntry {
+        let (prev, next) = {
+            let s = &self.slots[slot as usize];
+            (s.prev, s.next)
+        };
+        match prev {
+            CQ_NIL => self.head = next,
+            p => self.slots[p as usize].next = next,
+        }
+        match next {
+            CQ_NIL => self.tail = prev,
+            n => self.slots[n as usize].prev = prev,
+        }
+        self.free.push(slot);
+        self.len -= 1;
+        self.slots[slot as usize].entry.take().expect("occupied")
+    }
+
+    /// Pop the oldest entry overall.
+    fn pop(&mut self) -> Option<CqEntry> {
+        let slot = self.head;
+        if slot == CQ_NIL {
+            return None;
+        }
+        // The oldest entry overall is also the oldest for its endpoint.
+        let ep = self.slots[slot as usize]
+            .entry
+            .as_ref()
+            .expect("occupied")
+            .ep;
+        let ep_next = self.slots[slot as usize].ep_next;
+        let q = self.by_ep.get_mut(&key(ep)).expect("indexed");
+        debug_assert_eq!(q.head, slot);
+        q.head = ep_next;
+        if q.head == CQ_NIL {
+            q.tail = CQ_NIL;
+        }
+        q.len -= 1;
+        Some(self.take_global(slot))
+    }
+
+    /// Pop the oldest entry for one endpoint (others keep their order).
+    fn pop_for(&mut self, ep: Endpoint) -> Option<CqEntry> {
+        let q = self.by_ep.get_mut(&key(ep))?;
+        let slot = q.head;
+        if slot == CQ_NIL {
+            return None;
+        }
+        q.head = self.slots[slot as usize].ep_next;
+        if q.head == CQ_NIL {
+            q.tail = CQ_NIL;
+        }
+        q.len -= 1;
+        Some(self.take_global(slot))
+    }
+
+    fn len_for(&self, ep: Endpoint) -> usize {
+        self.by_ep
+            .get(&key(ep))
+            .map(|q| q.len as usize)
+            .unwrap_or(0)
+    }
 }
 
 /// A channel send waiting for transport tokens.
 struct QueuedSend {
+    to: Endpoint,
     tag: u64,
     iov: IoVec,
     ctx: u64,
@@ -162,6 +379,9 @@ pub struct Channel {
     /// exhaustion then surfaces as [`NetError::NoSendTokens`], the raw
     /// transport contract.
     pub send_queue_cap: usize,
+    /// Recycled send contexts (slots dense within this channel; see
+    /// [`ctx_slot`]).
+    pool: CtxPool,
 }
 
 impl Channel {
@@ -218,7 +438,7 @@ impl<W> Registry<W> {
     pub fn create_cq(&mut self) -> CqId {
         let id = CqId(self.next_cq);
         self.next_cq += 1;
-        self.cqs.insert(id.0, Cq::default());
+        self.cqs.insert(id.0, Cq::new());
         id
     }
 
@@ -228,64 +448,65 @@ impl<W> Registry<W> {
     }
 
     /// Append an entry (used by [`deliver`]; public so tests can drive
-    /// queues directly).
+    /// queues directly). O(1), allocation-free at the slab's high-water
+    /// mark.
     pub fn cq_push(&mut self, cq: CqId, ep: Endpoint, event: TransportEvent) {
         // A destroyed queue stays destroyed: events for it are dropped, not
         // silently resurrected into a queue nobody polls.
         match self.cqs.get_mut(&cq.0) {
-            Some(q) => {
-                let seq = q.next_seq;
-                q.next_seq += 1;
-                q.entries.insert(seq, CqEntry { ep, event });
-                q.by_ep.entry(key(ep)).or_default().push_back(seq);
-            }
+            Some(q) => q.push(ep, event),
             None => self.stats.dropped += 1,
         }
     }
 
     /// Pop the oldest entry of the queue.
     pub fn cq_pop(&mut self, cq: CqId) -> Option<CqEntry> {
-        let q = self.cqs.get_mut(&cq.0)?;
-        let (seq, e) = q.entries.pop_first()?;
-        if let Some(dq) = q.by_ep.get_mut(&key(e.ep)) {
-            // The oldest entry overall is also the oldest for its endpoint.
-            debug_assert_eq!(dq.front(), Some(&seq));
-            dq.pop_front();
-            if dq.is_empty() {
-                q.by_ep.remove(&key(e.ep));
-            }
-        }
-        Some(e)
+        self.cqs.get_mut(&cq.0)?.pop()
     }
 
     /// Pop the oldest entry of the queue *for this endpoint* (entries for
     /// other endpoints sharing the queue keep their order). Served by the
-    /// per-endpoint index — O(log n), not a scan over the queue.
+    /// per-endpoint chain — O(1), not a scan over the queue.
     pub fn cq_pop_for(&mut self, cq: CqId, ep: Endpoint) -> Option<CqEntry> {
-        let e = {
-            let q = self.cqs.get_mut(&cq.0)?;
-            let dq = q.by_ep.get_mut(&key(ep))?;
-            let seq = dq.pop_front()?;
-            if dq.is_empty() {
-                q.by_ep.remove(&key(ep));
-            }
-            q.entries.remove(&seq)
-        }?;
+        let e = self.cqs.get_mut(&cq.0)?.pop_for(ep)?;
         self.stats.indexed_pops += 1;
         Some(e)
     }
 
+    /// Drain up to `max` entries for `ep` into `out` (cleared first),
+    /// oldest first. One call amortizes the registry access over a whole
+    /// burst of completions — the batched form polling drivers should
+    /// prefer. Returns the number of entries drained.
+    pub fn cq_pop_batch(
+        &mut self,
+        cq: CqId,
+        ep: Endpoint,
+        max: usize,
+        out: &mut Vec<CqEntry>,
+    ) -> usize {
+        out.clear();
+        let Some(q) = self.cqs.get_mut(&cq.0) else {
+            return 0;
+        };
+        while out.len() < max {
+            match q.pop_for(ep) {
+                Some(e) => out.push(e),
+                None => break,
+            }
+        }
+        let n = out.len();
+        self.stats.indexed_pops += n as u64;
+        self.stats.batched_pops += n as u64;
+        n
+    }
+
     pub fn cq_len(&self, cq: CqId) -> usize {
-        self.cqs.get(&cq.0).map(|q| q.entries.len()).unwrap_or(0)
+        self.cqs.get(&cq.0).map(|q| q.len).unwrap_or(0)
     }
 
     /// Entries waiting in the queue for this endpoint.
     pub fn cq_len_for(&self, cq: CqId, ep: Endpoint) -> usize {
-        self.cqs
-            .get(&cq.0)
-            .and_then(|q| q.by_ep.get(&key(ep)))
-            .map(VecDeque::len)
-            .unwrap_or(0)
+        self.cqs.get(&cq.0).map(|q| q.len_for(ep)).unwrap_or(0)
     }
 
     /// The queue the endpoint's consumer feeds, when it is queue-backed.
@@ -301,7 +522,7 @@ impl<W> Registry<W> {
     pub fn has_event(&self, ep: Endpoint) -> bool {
         self.cq_of(ep)
             .and_then(|cq| self.cqs.get(&cq.0))
-            .map(|q| q.by_ep.contains_key(&key(ep)))
+            .map(|q| q.len_for(ep) > 0)
             .unwrap_or(false)
     }
 
@@ -446,6 +667,12 @@ pub fn bind<W: DispatchWorld>(w: &mut W, ep: Endpoint, cid: ConsumerId) {
 /// the endpoint's channel (if any) retries sends parked by backpressure.
 pub fn deliver<W: DispatchWorld>(w: &mut W, ep: Endpoint, ev: TransportEvent) {
     let is_send_done = matches!(ev, TransportEvent::SendDone { .. });
+    // A send completion retires its pooled context: the slot recycles for
+    // the next send (the context *value* stays unique — generations).
+    let retired_ctx = match ev {
+        TransportEvent::SendDone { ctx } | TransportEvent::SendFailed { ctx, .. } => Some(ctx),
+        _ => None,
+    };
     let sink = {
         let r = w.registry_mut();
         r.note_channel_event(ep, &ev);
@@ -468,6 +695,16 @@ pub fn deliver<W: DispatchWorld>(w: &mut W, ep: Endpoint, ev: TransportEvent) {
         Some(Sink::Handler(h)) => {
             w.registry_mut().stats.delivered += 1;
             h(w, ep, ev);
+        }
+    }
+    // Release *after* routing: a handler consumer has processed the event
+    // by now, so a recycled slot can never collide with its bookkeeping.
+    if let Some(ctx) = retired_ctx {
+        let r = w.registry_mut();
+        if let Some(chid) = r.channel_routes.get(&key(ep)).copied() {
+            if let Some(c) = r.channels.get_mut(&chid.0) {
+                c.pool.release(ctx);
+            }
         }
     }
     if is_send_done {
@@ -509,6 +746,7 @@ fn create_channel<W: DispatchWorld>(
             coalesced_bytes: 0,
             pending: VecDeque::new(),
             send_queue_cap: DEFAULT_SEND_QUEUE_CAP,
+            pool: CtxPool::default(),
         },
     );
     r.channel_routes.insert(key(local), id);
@@ -546,14 +784,35 @@ pub fn channel_connect_handler<W: DispatchWorld>(
     handler: impl Fn(&mut W, Endpoint, TransportEvent) + 'static,
 ) -> ChannelId {
     let id = create_channel(w, local, Some(peer), Sink::Handler(Rc::new(handler)));
-    // Give the consumer the service's name for diagnostics.
+    name_channel_consumer(w, id, name);
+    id
+}
+
+/// Open the passive side of a handler-backed channel: no fixed peer, every
+/// inbound message is upcalled into `handler`. This is the *server* shape —
+/// one endpoint serving many clients (ORFS, NBD) — so replies go out with
+/// [`channel_send_to`], which addresses an explicit destination while still
+/// getting channel semantics (GM coalescing, pooled contexts, ordered
+/// backpressure).
+pub fn channel_accept_handler<W: DispatchWorld>(
+    w: &mut W,
+    local: Endpoint,
+    name: &str,
+    handler: impl Fn(&mut W, Endpoint, TransportEvent) + 'static,
+) -> ChannelId {
+    let id = create_channel(w, local, None, Sink::Handler(Rc::new(handler)));
+    name_channel_consumer(w, id, name);
+    id
+}
+
+/// Give a channel's consumer the service's name for diagnostics.
+fn name_channel_consumer<W: DispatchWorld>(w: &mut W, ch: ChannelId, name: &str) {
     let r = w.registry_mut();
-    if let Some(c) = r.channels.get(&id.0).map(|c| c.consumer) {
+    if let Some(c) = r.channels.get(&ch.0).map(|c| c.consumer) {
         if let Some(consumer) = r.consumers.get_mut(&c.0) {
             consumer.name = name.to_string();
         }
     }
-    id
 }
 
 /// The channel's peer, once known.
@@ -596,36 +855,67 @@ pub fn channel_send<W: DispatchWorld>(
     tag: u64,
     iov: IoVec,
 ) -> Result<u64, NetError> {
-    let (local, peer, ctx, busy, cap, qlen) = {
+    let peer = {
+        let r = w.registry();
+        let c = r.channels.get(&ch.0).ok_or(NetError::BadEndpoint)?;
+        c.peer.ok_or(NetError::BadDestination)?
+    };
+    channel_send_to(w, ch, peer, tag, iov)
+}
+
+/// [`channel_send`] with an explicit destination — the reply path of
+/// accept-side server channels ([`channel_accept_handler`]), whose one
+/// endpoint talks to many peers. Ordering within the channel's backpressure
+/// queue is preserved across destinations (submission order).
+pub fn channel_send_to<W: DispatchWorld>(
+    w: &mut W,
+    ch: ChannelId,
+    to: Endpoint,
+    tag: u64,
+    iov: IoVec,
+) -> Result<u64, NetError> {
+    // Contexts come from the channel's own pool: recycled slots, unique
+    // values (see `ctx_slot`). The slot returns on SendDone/SendFailed.
+    let (local, busy, cap, qlen, ctx) = {
         let r = w.registry_mut();
         let c = r.channels.get_mut(&ch.0).ok_or(NetError::BadEndpoint)?;
-        let peer = c.peer.ok_or(NetError::BadDestination)?;
-        let ctx = c.next_ctx;
-        c.next_ctx += 1;
-        (
+        let (ctx, reused) = c.pool.alloc();
+        let state = (
             c.local,
-            peer,
-            ctx,
             !c.pending.is_empty(),
             c.send_queue_cap,
             c.pending.len(),
-        )
+            ctx,
+        );
+        if reused {
+            r.stats.ctx_pool_reuses += 1;
+        } else {
+            r.stats.ctx_pool_slots += 1;
+        }
+        state
     };
     // Earlier sends are already waiting for tokens: keep order, join the
     // queue (or overflow).
     if busy {
         if qlen >= cap {
+            release_channel_ctx(w, ch, ctx);
             return Err(NetError::SendQueueFull);
         }
         let r = w.registry_mut();
         if let Some(c) = r.channels.get_mut(&ch.0) {
-            c.pending.push_back(QueuedSend { tag, iov, ctx });
+            c.pending.push_back(QueuedSend { to, tag, iov, ctx });
         }
         r.stats.queued_sends += 1;
         return Ok(ctx);
     }
-    let (wire_iov, coalesced) = coalesce_for_transport(w, ch, local, iov.clone())?;
-    match w.t_send(local, peer, tag, wire_iov, ctx) {
+    let (wire_iov, coalesced) = match coalesce_for_transport(w, ch, local, iov.clone()) {
+        Ok(x) => x,
+        Err(e) => {
+            release_channel_ctx(w, ch, ctx);
+            return Err(e);
+        }
+    };
+    match w.t_send(local, to, tag, wire_iov, ctx) {
         Ok(()) => {
             charge_coalesce(w, ch, local.node, coalesced);
             Ok(ctx)
@@ -635,12 +925,23 @@ pub fn channel_send<W: DispatchWorld>(
             if let Some(c) = r.channels.get_mut(&ch.0) {
                 // Queue the *original* io-vector; coalescing (and its
                 // charge) reruns when the retry is accepted.
-                c.pending.push_back(QueuedSend { tag, iov, ctx });
+                c.pending.push_back(QueuedSend { to, tag, iov, ctx });
             }
             r.stats.queued_sends += 1;
             Ok(ctx)
         }
-        Err(e) => Err(e),
+        Err(e) => {
+            release_channel_ctx(w, ch, ctx);
+            Err(e)
+        }
+    }
+}
+
+/// Return a send context to its channel's pool (no-op if the channel is
+/// gone — the pool dies with it).
+fn release_channel_ctx<W: DispatchWorld>(w: &mut W, ch: ChannelId, ctx: u64) {
+    if let Some(c) = w.registry_mut().channels.get_mut(&ch.0) {
+        c.pool.release(ctx);
     }
 }
 
@@ -649,17 +950,16 @@ pub fn channel_send<W: DispatchWorld>(
 /// channel's endpoint.
 fn flush_channel_sends<W: DispatchWorld>(w: &mut W, ch: ChannelId) {
     loop {
-        let Some((local, peer, qs)) = ({
+        let Some((local, qs)) = ({
             let r = w.registry_mut();
-            r.channels.get_mut(&ch.0).and_then(|c| {
-                let peer = c.peer?;
-                c.pending.pop_front().map(|qs| (c.local, peer, qs))
-            })
+            r.channels
+                .get_mut(&ch.0)
+                .and_then(|c| c.pending.pop_front().map(|qs| (c.local, qs)))
         }) else {
             return;
         };
         let failed = match coalesce_for_transport(w, ch, local, qs.iov.clone()) {
-            Ok((wire_iov, coalesced)) => match w.t_send(local, peer, qs.tag, wire_iov, qs.ctx) {
+            Ok((wire_iov, coalesced)) => match w.t_send(local, qs.to, qs.tag, wire_iov, qs.ctx) {
                 Ok(()) => {
                     charge_coalesce(w, ch, local.node, coalesced);
                     w.registry_mut().stats.retried_sends += 1;

@@ -14,8 +14,15 @@
 //! buffer travel as one request.
 
 use knet_simos::{pages_spanned, Asid, NodeOs, OsError, PhysAddr, PhysSeg, VirtAddr};
+use smallvec::SmallVec;
 
 use crate::error::NetError;
+
+/// Segments stored inline in an [`IoVec`] before spilling to the heap.
+/// Every hot pattern (single buffer, header+payload, header+payload+pad)
+/// fits inline, so constructing and cloning an io-vector on the send path
+/// allocates nothing.
+pub const IOVEC_INLINE_SEGS: usize = 4;
 
 /// The three address classes of the MX kernel API.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -45,6 +52,18 @@ pub enum MemRef {
         addr: PhysAddr,
         len: u64,
     },
+}
+
+impl Default for MemRef {
+    /// An empty kernel reference — the inert filler value inline
+    /// small-vectors need; never observable through the [`IoVec`] API
+    /// (empty segments are dropped on push).
+    fn default() -> Self {
+        MemRef::KernelVirtual {
+            addr: VirtAddr::new(0),
+            len: 0,
+        }
+    }
 }
 
 impl MemRef {
@@ -92,10 +111,12 @@ impl MemRef {
 }
 
 /// A vectorial buffer description: an ordered list of memory references,
-/// possibly of mixed address classes.
+/// possibly of mixed address classes. Up to [`IOVEC_INLINE_SEGS`] segments
+/// are stored inline — constructing, cloning and queueing the common
+/// shapes (single buffer, header+payload) performs no heap allocation.
 #[derive(Clone, PartialEq, Eq, Debug, Default)]
 pub struct IoVec {
-    segs: Vec<MemRef>,
+    segs: SmallVec<MemRef, IOVEC_INLINE_SEGS>,
 }
 
 impl IoVec {
@@ -104,11 +125,15 @@ impl IoVec {
     }
 
     pub fn single(seg: MemRef) -> Self {
-        IoVec { segs: vec![seg] }
+        let mut segs = SmallVec::new();
+        segs.push(seg);
+        IoVec { segs }
     }
 
     pub fn from_segs(segs: Vec<MemRef>) -> Self {
-        IoVec { segs }
+        IoVec {
+            segs: SmallVec::from_vec(segs),
+        }
     }
 
     pub fn push(&mut self, seg: MemRef) {
@@ -174,6 +199,17 @@ impl Resolution {
     }
 }
 
+impl Resolution {
+    /// Reset for reuse, retaining every vector's capacity.
+    pub fn clear(&mut self) {
+        self.segs.clear();
+        self.pinned.clear();
+        self.user_pages = 0;
+        self.kernel_pages = 0;
+        self.physical_bytes = 0;
+    }
+}
+
 /// Resolve an [`IoVec`] into physical segments on `node`, pinning user pages
 /// when `pin_user` is set (the MX kernel path pins; the GM path instead
 /// requires prior registration and never calls this for user memory).
@@ -183,6 +219,20 @@ pub fn resolve_iovec(
     pin_user: bool,
 ) -> Result<Resolution, NetError> {
     let mut r = Resolution::default();
+    resolve_iovec_into(node, iov, pin_user, &mut r)?;
+    Ok(r)
+}
+
+/// [`resolve_iovec`] into a caller-owned [`Resolution`] scratch (cleared
+/// first, capacities retained) — the allocation-free form for per-send
+/// resolution.
+pub fn resolve_iovec_into(
+    node: &mut NodeOs,
+    iov: &IoVec,
+    pin_user: bool,
+    r: &mut Resolution,
+) -> Result<(), NetError> {
+    r.clear();
     for seg in iov.segs() {
         match *seg {
             MemRef::Physical { addr, len } => {
@@ -209,12 +259,21 @@ pub fn resolve_iovec(
             }
         }
     }
-    Ok(r)
+    Ok(())
 }
 
 /// Read the bytes an [`IoVec`] describes (for copy-based protocol paths).
 pub fn read_iovec(node: &NodeOs, iov: &IoVec) -> Result<Vec<u8>, NetError> {
     let mut out = Vec::with_capacity(iov.total_len() as usize);
+    read_iovec_into(node, iov, &mut out)?;
+    Ok(out)
+}
+
+/// [`read_iovec`] into a caller-owned buffer (cleared first, capacity
+/// retained) — the allocation-free form for per-send gathers.
+pub fn read_iovec_into(node: &NodeOs, iov: &IoVec, out: &mut Vec<u8>) -> Result<(), NetError> {
+    out.clear();
+    out.reserve(iov.total_len() as usize);
     for seg in iov.segs() {
         let start = out.len();
         out.resize(start + seg.len() as usize, 0);
@@ -230,7 +289,7 @@ pub fn read_iovec(node: &NodeOs, iov: &IoVec) -> Result<Vec<u8>, NetError> {
             }
         }
     }
-    Ok(out)
+    Ok(())
 }
 
 /// Write bytes into the memory an [`IoVec`] describes; returns bytes written
@@ -257,6 +316,14 @@ pub fn write_iovec(node: &mut NodeOs, iov: &IoVec, data: &[u8]) -> Result<u64, N
 /// MTU chunk at its offset within a posted receive buffer.
 pub fn seg_window(segs: &[PhysSeg], offset: u64, len: u64) -> Vec<PhysSeg> {
     let mut out = Vec::new();
+    seg_window_into(segs, offset, len, &mut out);
+    out
+}
+
+/// [`seg_window`] into a caller-owned scratch vector (cleared first) — the
+/// allocation-free form for the per-chunk receive path.
+pub fn seg_window_into(segs: &[PhysSeg], offset: u64, len: u64, out: &mut Vec<PhysSeg>) {
+    out.clear();
     let mut skip = offset;
     let mut want = len;
     for seg in segs {
@@ -268,11 +335,53 @@ pub fn seg_window(segs: &[PhysSeg], offset: u64, len: u64) -> Vec<PhysSeg> {
             continue;
         }
         let take = (seg.len - skip).min(want);
-        PhysSeg::push_merged(&mut out, PhysSeg::new(seg.addr.add(skip), take));
+        PhysSeg::push_merged(out, PhysSeg::new(seg.addr.add(skip), take));
         want -= take;
         skip = 0;
     }
-    out
+}
+
+/// Streaming cursor over the MTU chunks of a resolved segment list — the
+/// allocation-free replacement for materializing [`chunk_segments`]'s
+/// `Vec<Vec<PhysSeg>>` on the send path. Feed it the same `segs`/`mtu` on
+/// every call; each [`next_chunk`] fills `out` with the next chunk and
+/// advances in O(pieces of this chunk), linear over the whole message.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ChunkCursor {
+    seg: usize,
+    off: u64,
+}
+
+/// Fill `out` (cleared first) with the next chunk of at most `mtu` bytes.
+/// Returns `false` — leaving `out` empty — once the segment list is
+/// exhausted.
+pub fn next_chunk(
+    segs: &[PhysSeg],
+    cur: &mut ChunkCursor,
+    mtu: u64,
+    out: &mut Vec<PhysSeg>,
+) -> bool {
+    assert!(mtu > 0);
+    out.clear();
+    let mut room = mtu;
+    while room > 0 && cur.seg < segs.len() {
+        let seg = segs[cur.seg];
+        let rem = seg.len - cur.off;
+        if rem == 0 {
+            cur.seg += 1;
+            cur.off = 0;
+            continue;
+        }
+        let take = rem.min(room);
+        PhysSeg::push_merged(out, PhysSeg::new(seg.addr.add(cur.off), take));
+        room -= take;
+        cur.off += take;
+        if cur.off == seg.len {
+            cur.seg += 1;
+            cur.off = 0;
+        }
+    }
+    !out.is_empty()
 }
 
 /// Split a resolved segment list into MTU-sized chunks for packetization.
@@ -432,6 +541,41 @@ mod tests {
         // Window larger than what remains clamps.
         assert_eq!(PhysSeg::total_len(&seg_window(&segs, 150, 500)), 50);
         assert!(seg_window(&segs, 200, 10).is_empty());
+    }
+
+    #[test]
+    fn chunk_cursor_matches_chunk_segments() {
+        let segs = vec![
+            PhysSeg::new(PhysAddr::new(0x1000), 5000),
+            PhysSeg::new(PhysAddr::new(0x9000), 3000),
+            PhysSeg::new(PhysAddr::new(0x20000), 1),
+        ];
+        for mtu in [1u64, 100, 4096, 10_000] {
+            let expect = chunk_segments(&segs, mtu);
+            let mut cur = ChunkCursor::default();
+            let mut out = Vec::new();
+            let mut got = Vec::new();
+            while next_chunk(&segs, &mut cur, mtu, &mut out) {
+                got.push(out.clone());
+            }
+            assert_eq!(got, expect, "mtu {mtu}");
+        }
+        // Exhausted and empty lists report false.
+        let mut cur = ChunkCursor::default();
+        let mut out = Vec::new();
+        assert!(!next_chunk(&[], &mut cur, 4096, &mut out));
+    }
+
+    #[test]
+    fn iovec_inline_construction_is_allocation_free_shape() {
+        // Up to IOVEC_INLINE_SEGS segments stay inline (the SmallVec shim
+        // reports storage mode; the allocation test in tests/ measures it
+        // with a counting allocator).
+        let mut iov = IoVec::single(MemRef::physical(PhysAddr::new(0), 10));
+        iov.push(MemRef::physical(PhysAddr::new(0x1000), 10));
+        assert_eq!(iov.seg_count(), 2);
+        let clone = iov.clone();
+        assert_eq!(clone, iov);
     }
 
     #[test]

@@ -26,15 +26,17 @@ pub mod regcache;
 pub mod transport;
 
 pub use api::{
-    bind, channel_accept, channel_cancel_recv, channel_close, channel_connect,
-    channel_connect_handler, channel_cq, channel_peer, channel_post_recv, channel_send,
-    channel_set_send_queue_cap, deliver, release_kernel_buffer, Channel, ChannelId, ConsumerId,
-    CqEntry, CqId, DispatchWorld, Registry, RegistryStats, DEFAULT_SEND_QUEUE_CAP,
+    bind, channel_accept, channel_accept_handler, channel_cancel_recv, channel_close,
+    channel_connect, channel_connect_handler, channel_cq, channel_peer, channel_post_recv,
+    channel_send, channel_send_to, channel_set_send_queue_cap, ctx_slot, deliver,
+    release_kernel_buffer, Channel, ChannelId, ConsumerId, CqEntry, CqId, DispatchWorld, Registry,
+    RegistryStats, DEFAULT_SEND_QUEUE_CAP,
 };
 pub use error::NetError;
 pub use iovec::{
-    chunk_segments, read_iovec, resolve_iovec, seg_window, write_iovec, AddrClass, IoVec, MemRef,
-    Resolution,
+    chunk_segments, next_chunk, read_iovec, read_iovec_into, resolve_iovec, resolve_iovec_into,
+    seg_window, seg_window_into, write_iovec, AddrClass, ChunkCursor, IoVec, MemRef, Resolution,
+    IOVEC_INLINE_SEGS,
 };
 pub use regcache::{RangePlan, RegCache, RegCacheStats, RegKey};
 pub use transport::{Endpoint, TransportEvent, TransportKind, TransportWorld};

@@ -10,14 +10,33 @@
 //! This type is pure bookkeeping — the GM layer performs (and charges for)
 //! the actual NIC registration work; keeping it passive makes it reusable and
 //! directly testable.
+//!
+//! ## Hot-path structure
+//!
+//! The cache is sized to (a share of) the NIC translation table — up to
+//! millions of pages — so its own cost must not depend on occupancy:
+//!
+//! The storage is one [`LruSlab`] (`knet_simcore::lru`, shared with the
+//! NIC translation table): a hash index over an intrusive doubly-linked
+//! LRU slab, so a hit's recency touch is two pointer swings and the
+//! eviction victim is read off the tail — no scan, no sort (the previous
+//! implementation collected *every* entry into a `Vec` and sorted it on
+//! each capacity miss). Its ordered secondary index (over `RegKey`, which
+//! sorts by `(asid, vpn)`) serves VMA-range invalidation and ASID teardown
+//! without touching unrelated entries, and is only maintained on the miss
+//! path — steady-state hits never touch it.
+//!
+//! Steady-state hits perform **zero heap allocations** (asserted by
+//! `tests/hotpath_alloc.rs`): the hash map and slab are at their high-water
+//! capacity after warm-up, and [`RegCache::plan_range_into`] reuses the
+//! caller's [`RangePlan`] scratch.
 
-use std::collections::BTreeMap;
-
+use knet_simcore::LruSlab;
 use knet_simos::{page_slices, Asid, FrameIdx, VirtAddr};
 use knet_simos::{VmaChange, VmaEvent};
 
 /// Identity of one cached page registration.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct RegKey {
     pub asid: Asid,
     pub vpn: u64,
@@ -36,12 +55,6 @@ impl RegKey {
     }
 }
 
-#[derive(Clone, Copy, Debug)]
-struct RegEntry {
-    frame: FrameIdx,
-    last_use: u64,
-}
-
 /// Counters for figures and tests.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct RegCacheStats {
@@ -56,7 +69,8 @@ pub struct RegCacheStats {
 }
 
 /// The plan for using a buffer: which pages are already cached, which must
-/// be registered first.
+/// be registered first. Reusable scratch — [`RegCache::plan_range_into`]
+/// clears and refills it, retaining the `missing` vector's capacity.
 #[derive(Clone, Debug, Default)]
 pub struct RangePlan {
     /// Page-base virtual addresses that need registration, in order.
@@ -65,23 +79,29 @@ pub struct RangePlan {
     pub hit_pages: u64,
 }
 
+impl RangePlan {
+    fn clear(&mut self) {
+        self.missing.clear();
+        self.hit_pages = 0;
+    }
+}
+
 /// A GMKRC instance (one per GM kernel port / user library instance).
 pub struct RegCache {
-    entries: BTreeMap<RegKey, RegEntry>,
+    entries: LruSlab<RegKey, FrameIdx>,
     capacity_pages: usize,
-    clock: u64,
     pub stats: RegCacheStats,
 }
 
 impl RegCache {
     /// A cache that will hold at most `capacity_pages` registrations —
-    /// bounded by (a share of) the NIC translation table.
+    /// bounded by (a share of) the NIC translation table. Fully reserved:
+    /// churn at or below capacity never rehashes or reallocates.
     pub fn new(capacity_pages: usize) -> Self {
         assert!(capacity_pages > 0);
         RegCache {
-            entries: BTreeMap::new(),
+            entries: LruSlab::with_reserve(capacity_pages),
             capacity_pages,
-            clock: 0,
             stats: RegCacheStats::default(),
         }
     }
@@ -99,12 +119,22 @@ impl RegCache {
     }
 
     pub fn contains(&self, key: RegKey) -> bool {
-        self.entries.contains_key(&key)
+        self.entries.contains(&key)
     }
+
+    // ---------------------------------------------------------- planning
 
     /// Plan the use of `[addr, addr+len)` in `asid`: touch hits, list misses.
     pub fn plan_range(&mut self, asid: Asid, addr: VirtAddr, len: u64) -> RangePlan {
         let mut plan = RangePlan::default();
+        self.plan_range_into(asid, addr, len, &mut plan);
+        plan
+    }
+
+    /// [`Self::plan_range`] into a caller-owned scratch plan — the
+    /// allocation-free form the drivers use per send.
+    pub fn plan_range_into(&mut self, asid: Asid, addr: VirtAddr, len: u64, plan: &mut RangePlan) {
+        plan.clear();
         let mut last_vpn = None;
         for (page, _, _) in page_slices(addr, len) {
             if last_vpn == Some(page.vpn()) {
@@ -112,10 +142,8 @@ impl RegCache {
             }
             last_vpn = Some(page.vpn());
             let key = RegKey::of(asid, page);
-            self.clock += 1;
-            match self.entries.get_mut(&key) {
-                Some(e) => {
-                    e.last_use = self.clock;
+            match self.entries.touch_get(&key) {
+                Some(_) => {
                     plan.hit_pages += 1;
                     self.stats.page_hits += 1;
                 }
@@ -125,19 +153,11 @@ impl RegCache {
                 }
             }
         }
-        plan
     }
 
     /// Record that `key` is now registered and pinned into `frame`.
     pub fn commit(&mut self, key: RegKey, frame: FrameIdx) {
-        self.clock += 1;
-        self.entries.insert(
-            key,
-            RegEntry {
-                frame,
-                last_use: self.clock,
-            },
-        );
+        self.entries.insert(key, frame);
     }
 
     /// How many entries must be evicted before `need` more pages fit.
@@ -145,21 +165,32 @@ impl RegCache {
         (self.entries.len() + need).saturating_sub(self.capacity_pages)
     }
 
+    /// Pop the least-recently-used entry in O(1); the caller must
+    /// deregister it from the NIC and unpin its frame.
+    pub fn pop_lru(&mut self) -> Option<(RegKey, FrameIdx)> {
+        let victim = self.entries.pop_lru()?;
+        self.stats.evictions += 1;
+        Some(victim)
+    }
+
     /// Remove the `n` least-recently-used entries; the caller must
     /// deregister them from the NIC and unpin their frames.
     pub fn evict_lru(&mut self, n: usize) -> Vec<(RegKey, FrameIdx)> {
-        let mut by_age: Vec<(u64, RegKey)> =
-            self.entries.iter().map(|(k, e)| (e.last_use, *k)).collect();
-        by_age.sort_unstable();
-        let victims: Vec<RegKey> = by_age.into_iter().take(n).map(|(_, k)| k).collect();
-        let mut out = Vec::with_capacity(victims.len());
-        for k in victims {
-            if let Some(e) = self.entries.remove(&k) {
-                self.stats.evictions += 1;
-                out.push((k, e.frame));
+        let mut out = Vec::with_capacity(n.min(self.len()));
+        self.evict_lru_into(n, &mut out);
+        out
+    }
+
+    /// [`Self::evict_lru`] into a caller-owned scratch vector (cleared
+    /// first) — the allocation-free form the drivers use under pressure.
+    pub fn evict_lru_into(&mut self, n: usize, out: &mut Vec<(RegKey, FrameIdx)>) {
+        out.clear();
+        for _ in 0..n {
+            match self.pop_lru() {
+                Some(e) => out.push(e),
+                None => break,
             }
         }
-        out
     }
 
     /// Apply a VMA SPY notification: drop every entry the event makes stale.
@@ -169,57 +200,46 @@ impl RegCache {
     /// child gets new physical pages) — but callers that registered on
     /// behalf of the child must plan afresh, which the ASID in [`RegKey`]
     /// guarantees.
+    ///
+    /// Served by the per-ASID ordered index: O(log n + k) for k dropped
+    /// entries, never a full scan.
     pub fn invalidate(&mut self, ev: &VmaEvent) -> Vec<(RegKey, FrameIdx)> {
-        let range = match ev.change {
-            VmaChange::Unmap { start, len } | VmaChange::Protect { start, len } => Some((
-                start.vpn(),
-                VirtAddr::new(start.raw() + len.max(1) - 1).vpn(),
-            )),
-            VmaChange::Exit => None, // the whole space
-            VmaChange::Fork { .. } => return Vec::new(),
-        };
-        let keys: Vec<RegKey> = match range {
-            Some((lo, hi)) => self
-                .entries
-                .range(
-                    RegKey {
-                        asid: ev.asid,
-                        vpn: lo,
-                    }..=RegKey {
-                        asid: ev.asid,
-                        vpn: hi,
-                    },
-                )
-                .map(|(k, _)| *k)
-                .collect(),
-            None => self
-                .entries
-                .range(
-                    RegKey {
-                        asid: ev.asid,
-                        vpn: 0,
-                    }..=RegKey {
-                        asid: ev.asid,
-                        vpn: u64::MAX,
-                    },
-                )
-                .map(|(k, _)| *k)
-                .collect(),
-        };
-        let mut out = Vec::with_capacity(keys.len());
-        for k in keys {
-            if let Some(e) = self.entries.remove(&k) {
-                self.stats.invalidations += 1;
-                out.push((k, e.frame));
-            }
-        }
+        let mut out = Vec::new();
+        self.invalidate_into(ev, &mut out);
         out
     }
 
-    /// Drop everything (port close); returns entries to deregister.
+    /// [`Self::invalidate`] into a caller-owned scratch vector (cleared
+    /// first).
+    pub fn invalidate_into(&mut self, ev: &VmaEvent, out: &mut Vec<(RegKey, FrameIdx)>) {
+        out.clear();
+        let (lo, hi) = match ev.change {
+            VmaChange::Unmap { start, len } | VmaChange::Protect { start, len } => (
+                start.vpn(),
+                VirtAddr::new(start.raw() + len.max(1) - 1).vpn(),
+            ),
+            VmaChange::Exit => (0, u64::MAX), // the whole space
+            VmaChange::Fork { .. } => return,
+        };
+        // Entries come back in (asid, vpn) order, as the range iteration
+        // did in the flat-map implementation.
+        let range = RegKey {
+            asid: ev.asid,
+            vpn: lo,
+        }..=RegKey {
+            asid: ev.asid,
+            vpn: hi,
+        };
+        while let Some(entry) = self.entries.pop_in_range(range.clone()) {
+            self.stats.invalidations += 1;
+            out.push(entry);
+        }
+    }
+
+    /// Drop everything (port close); returns entries to deregister, in
+    /// `(asid, vpn)` order.
     pub fn drain(&mut self) -> Vec<(RegKey, FrameIdx)> {
-        let out: Vec<(RegKey, FrameIdx)> =
-            self.entries.iter().map(|(k, e)| (*k, e.frame)).collect();
+        let out: Vec<(RegKey, FrameIdx)> = self.entries.iter_ordered().collect();
         self.entries.clear();
         out
     }
@@ -301,6 +321,66 @@ mod tests {
         assert_eq!(evicted[0].0.vpn, 2);
         assert_eq!(c.len(), 3);
         assert_eq!(c.stats.evictions, 1);
+    }
+
+    #[test]
+    fn pop_lru_returns_oldest_first() {
+        let mut c = RegCache::new(8);
+        for i in 0..4u64 {
+            c.commit(
+                RegKey {
+                    asid: Asid(1),
+                    vpn: i,
+                },
+                FrameIdx(i as u32),
+            );
+        }
+        // Re-touch 0: eviction order becomes 1, 2, 3, 0.
+        c.plan_range(Asid(1), va(0), P);
+        for expect in [1u64, 2, 3, 0] {
+            assert_eq!(c.pop_lru().expect("entry").0.vpn, expect);
+        }
+        assert!(c.pop_lru().is_none());
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn slots_are_recycled_without_growth() {
+        let mut c = RegCache::new(4);
+        for round in 0..100u64 {
+            for i in 0..4u64 {
+                c.commit(
+                    RegKey {
+                        asid: Asid(1),
+                        vpn: round * 4 + i,
+                    },
+                    FrameIdx(i as u32),
+                );
+            }
+            let over = c.pressure(4).min(c.len());
+            c.evict_lru(over);
+        }
+        assert!(
+            c.entries.slab_size() <= 8,
+            "slab must stay at its high-water mark, got {}",
+            c.entries.slab_size()
+        );
+    }
+
+    #[test]
+    fn plan_range_into_reuses_scratch() {
+        let mut c = RegCache::new(16);
+        let mut plan = RangePlan::default();
+        c.plan_range_into(Asid(1), va(0), 3 * P, &mut plan);
+        assert_eq!(plan.missing.len(), 3);
+        let cap = plan.missing.capacity();
+        for page in plan.missing.clone() {
+            c.commit(RegKey::of(Asid(1), page), FrameIdx(0));
+        }
+        c.plan_range_into(Asid(1), va(0), 3 * P, &mut plan);
+        assert_eq!(plan.hit_pages, 3);
+        assert!(plan.missing.is_empty());
+        assert_eq!(plan.missing.capacity(), cap, "capacity retained");
     }
 
     #[test]

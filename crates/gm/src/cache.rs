@@ -36,28 +36,33 @@ pub fn gm_ensure_cached<W: GmWorld>(
         }
         (p.node, p.nic, p.mode.is_kernel())
     };
-    let params = w.gm().params.clone();
+    let params = w.gm().params;
 
-    // Take the cache out of the port while we work (split borrows).
+    // Take the cache and the layer's scratch out while we work (split
+    // borrows; the scratch makes the steady-state hit path allocation-free).
     let mut cache = w
         .gm_mut()
         .port_mut(port_id)?
         .regcache
         .take()
         .expect("checked above");
+    let mut plan = std::mem::take(&mut w.gm_mut().scratch.plan);
+    let mut victims = std::mem::take(&mut w.gm_mut().scratch.victims);
+    let cap_before = plan.missing.capacity() + victims.capacity();
 
-    let plan = cache.plan_range(asid, addr, len);
+    cache.plan_range_into(asid, addr, len, &mut plan);
     let mut registered_pages = 0u64;
     let mut deregistered_pages = 0u64;
     let mut dereg_batches = 0u64;
     let mut failure: Option<NetError> = None;
 
     if !plan.missing.is_empty() {
-        // Budget pressure: evict a batch before registering.
+        // Budget pressure: evict a batch before registering. Victim
+        // selection is O(1) per entry off the cache's intrusive LRU tail.
         let over = cache.pressure(plan.missing.len());
         if over > 0 {
             let batch = over.max(cache.capacity() / EVICT_BATCH_DIVISOR);
-            let victims = cache.evict_lru(batch.min(cache.len()));
+            cache.evict_lru_into(batch.min(cache.len()), &mut victims);
             deregistered_pages += victims.len() as u64;
             dereg_batches += 1;
             drop_registrations(w, nic, node, &victims);
@@ -70,7 +75,7 @@ pub fn gm_ensure_cached<W: GmWorld>(
                 }
                 Err(NetError::TableFull) => {
                     // Someone else exhausted the NIC table: evict harder.
-                    let victims = cache.evict_lru((cache.len() / 2).max(1));
+                    cache.evict_lru_into((cache.len() / 2).max(1), &mut victims);
                     if victims.is_empty() {
                         failure = Some(NetError::TableFull);
                         break;
@@ -97,7 +102,15 @@ pub fn gm_ensure_cached<W: GmWorld>(
         }
     }
 
-    // Put the cache back and account.
+    // Put the cache and the scratch back, and account.
+    {
+        let cap_after = plan.missing.capacity() + victims.capacity();
+        let scratch = &mut w.gm_mut().scratch;
+        victims.clear();
+        scratch.plan = plan;
+        scratch.victims = victims;
+        scratch.note(cap_before, cap_after);
+    }
     {
         let p = w.gm_mut().port_mut(port_id)?;
         p.regcache = Some(cache);
@@ -193,8 +206,9 @@ pub fn gm_send_cached<W: GmWorld>(
 /// event touches, deregistering and unpinning the stale pages. The composed
 /// world routes `OsWorld::vma_event` here.
 pub fn gm_on_vma_event<W: GmWorld>(w: &mut W, node: NodeId, ev: &VmaEvent) {
-    let params = w.gm().params.clone();
+    let params = w.gm().params;
     let ports: Vec<GmPortId> = w.gm().ports_on(node).collect();
+    let mut dropped = std::mem::take(&mut w.gm_mut().scratch.victims);
     for pid in ports {
         let Ok(port) = w.gm_mut().port_mut(pid) else {
             continue;
@@ -203,7 +217,7 @@ pub fn gm_on_vma_event<W: GmWorld>(w: &mut W, node: NodeId, ev: &VmaEvent) {
             continue;
         };
         let nic = port.nic;
-        let dropped = cache.invalidate(ev);
+        cache.invalidate_into(ev, &mut dropped);
         if let Ok(p) = w.gm_mut().port_mut(pid) {
             p.regcache = Some(cache);
             if !dropped.is_empty() {
@@ -218,4 +232,6 @@ pub fn gm_on_vma_event<W: GmWorld>(w: &mut W, node: NodeId, ev: &VmaEvent) {
             cpu_charge(w, node, cost);
         }
     }
+    dropped.clear();
+    w.gm_mut().scratch.victims = dropped;
 }

@@ -17,7 +17,9 @@
 use std::collections::{BTreeMap, VecDeque};
 
 use bytes::Bytes;
-use knet_core::{chunk_segments, seg_window, IoVec, MemRef, NetError, RegCache, RegKey};
+use knet_core::{
+    next_chunk, seg_window_into, ChunkCursor, IoVec, MemRef, NetError, RangePlan, RegCache, RegKey,
+};
 use knet_simcore::SimTime;
 use knet_simnic::{
     dma_charge, dma_gather, dma_scatter, fw_charge, wire_send, NicId, NicWorld, Packet, Proto,
@@ -190,12 +192,55 @@ impl GmPort {
     }
 }
 
+/// Reusable hot-path scratch: every per-operation buffer the steady-state
+/// send/receive path needs, recycled across operations so the data path
+/// performs no heap allocation once each vector reaches its high-water
+/// capacity. Single-threaded worlds make this safe; each user takes a
+/// buffer out of the layer for the duration of one operation.
+#[derive(Default)]
+pub struct GmScratch {
+    /// Resolved physical segments of the buffer being sent.
+    pub(crate) segs: Vec<PhysSeg>,
+    /// The MTU chunk currently being DMA'd.
+    pub(crate) chunk: Vec<PhysSeg>,
+    /// Receive-side scatter window of one inbound chunk.
+    pub(crate) window: Vec<PhysSeg>,
+    /// LRU victims drained from a registration cache under pressure.
+    pub(crate) victims: Vec<(RegKey, FrameIdx)>,
+    /// Registration page plan of the buffer being sent.
+    pub(crate) plan: RangePlan,
+    pub stats: GmScratchStats,
+}
+
+/// Observability for the scratch pools (see `tests/hotpath_alloc.rs`):
+/// steady state shows `uses` growing while `grows` stays flat.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct GmScratchStats {
+    /// Operations that borrowed scratch buffers.
+    pub uses: u64,
+    /// Borrows that had to grow a buffer (warm-up only, in steady state).
+    pub grows: u64,
+}
+
+impl GmScratch {
+    /// Account one borrow whose capacity footprint went from `before` to
+    /// `after`.
+    pub(crate) fn note(&mut self, before: usize, after: usize) {
+        self.stats.uses += 1;
+        if after > before {
+            self.stats.grows += 1;
+        }
+    }
+}
+
 /// All GM state in the world.
 pub struct GmLayer {
     pub params: GmParams,
     ports: Vec<GmPort>,
     assemblies: BTreeMap<(u32, u64), Assembly>,
     next_msg_id: u64,
+    /// Recycled per-operation buffers (see [`GmScratch`]).
+    pub scratch: GmScratch,
 }
 
 impl GmLayer {
@@ -205,6 +250,7 @@ impl GmLayer {
             ports: Vec::new(),
             assemblies: BTreeMap::new(),
             next_msg_id: 1,
+            scratch: GmScratch::default(),
         }
     }
 
@@ -311,7 +357,7 @@ pub fn gm_register<W: GmWorld>(
         let p = w.gm().port(port_id)?;
         (p.node, p.nic, p.mode.is_kernel())
     };
-    let params = w.gm().params.clone();
+    let params = w.gm().params;
     let mut pages = 0u64;
     let mut inserted: Vec<(RegKey, Option<FrameIdx>)> = Vec::new();
     for (page, _, _) in page_slices(addr, len) {
@@ -387,7 +433,7 @@ pub fn gm_deregister<W: GmWorld>(
         let p = w.gm().port(port_id)?;
         (p.node, p.nic)
     };
-    let params = w.gm().params.clone();
+    let params = w.gm().params;
     let mut pages = 0u64;
     for (page, _, _) in page_slices(addr, len) {
         let key = RegKey::of(asid, page);
@@ -409,8 +455,11 @@ pub fn gm_deregister<W: GmWorld>(
     Ok(cpu_charge(w, node, cost))
 }
 
-/// Resolve a send/receive buffer on this port into physical segments and the
-/// firmware translation cost it will incur.
+/// Resolve a send/receive buffer on this port into physical segments
+/// (*appended* to `out`, merged where adjacent) and the firmware
+/// translation cost it will incur. Appending lets callers accumulate a
+/// whole io-vector into one reusable scratch list without intermediate
+/// allocations.
 ///
 /// * `Physical` refs need the physical-address patch and cost the firmware
 ///   nothing (§3.3: "the NIC does not require to translate").
@@ -422,7 +471,8 @@ fn resolve_for_wire<W: GmWorld>(
     w: &mut W,
     port_id: GmPortId,
     seg: &MemRef,
-) -> Result<(Vec<PhysSeg>, SimTime), NetError> {
+    out: &mut Vec<PhysSeg>,
+) -> Result<SimTime, NetError> {
     let (nic, physical_api) = {
         let p = w.gm().port(port_id)?;
         (p.nic, p.physical_api)
@@ -431,48 +481,38 @@ fn resolve_for_wire<W: GmWorld>(
         let p = w.gm().port(port_id)?;
         buffer_asid(p, seg)?
     };
-    let params = w.gm().params.clone();
+    let (fw_translate_base, fw_translate_page) = {
+        let p = &w.gm().params;
+        (p.fw_translate_base, p.fw_translate_page)
+    };
     match *seg {
         MemRef::Physical { addr, len } => {
             if !physical_api {
                 return Err(NetError::Unsupported);
             }
-            Ok((vec![PhysSeg::new(addr, len)], SimTime::ZERO))
+            PhysSeg::push_merged(out, PhysSeg::new(addr, len));
+            Ok(SimTime::ZERO)
         }
-        MemRef::KernelVirtual { addr, len } => {
-            if physical_api {
-                // Patched GM: the kernel hands over the direct-mapped
-                // physical address; no NIC lookup.
-                let p = addr.kernel_to_phys().ok_or(NetError::BadAddressClass)?;
-                return Ok((vec![PhysSeg::new(p, len)], SimTime::ZERO));
-            }
-            // Stock GM: kernel memory must be registered like any other
-            // buffer and pays the translation lookup (the "needs kernel
-            // patching" row of Table 1).
-            let mut segs: Vec<PhysSeg> = Vec::new();
-            let mut pages = 0u64;
-            for (page, off, n) in page_slices(addr, len) {
-                pages += 1;
-                let tt = &mut w.nics_mut().get_mut(nic).ttable;
-                let phys = tt.lookup(Asid::KERNEL, page)?;
-                PhysSeg::push_merged(&mut segs, PhysSeg::new(phys.add(off), n));
-            }
-            let cost =
-                params.fw_translate_base + params.fw_translate_page * pages.saturating_sub(1);
-            Ok((segs, cost))
+        MemRef::KernelVirtual { addr, len } if physical_api => {
+            // Patched GM: the kernel hands over the direct-mapped
+            // physical address; no NIC lookup.
+            let p = addr.kernel_to_phys().ok_or(NetError::BadAddressClass)?;
+            PhysSeg::push_merged(out, PhysSeg::new(p, len));
+            Ok(SimTime::ZERO)
         }
-        MemRef::UserVirtual { addr, len, .. } => {
-            let mut segs: Vec<PhysSeg> = Vec::new();
+        // Stock GM: kernel memory must be registered like any other buffer
+        // and pays the translation lookup (the "needs kernel patching" row
+        // of Table 1); user memory always translates.
+        MemRef::KernelVirtual { addr, len } | MemRef::UserVirtual { addr, len, .. } => {
             let mut pages = 0u64;
             for (page, off, n) in page_slices(addr, len) {
                 pages += 1;
                 let tt = &mut w.nics_mut().get_mut(nic).ttable;
                 let phys = tt.lookup(asid, page)?;
-                PhysSeg::push_merged(&mut segs, PhysSeg::new(phys.add(off), n));
+                PhysSeg::push_merged(out, PhysSeg::new(phys.add(off), n));
             }
-            let cost =
-                params.fw_translate_base + params.fw_translate_page * pages.saturating_sub(1);
-            Ok((segs, cost))
+            let cost = fw_translate_base + fw_translate_page * pages.saturating_sub(1);
+            Ok(cost)
         }
     }
 }
@@ -529,7 +569,7 @@ pub fn gm_send<W: GmWorld>(
     tag: u64,
     ctx: u64,
 ) -> Result<(), NetError> {
-    let params = w.gm().params.clone();
+    let params = w.gm().params;
     let (node, nic, is_kernel) = {
         let p = w.gm().port(port_id)?;
         (p.node, p.nic, p.mode.is_kernel())
@@ -548,8 +588,13 @@ pub fn gm_send<W: GmWorld>(
         p.stats.bytes_sent += buf.len();
     }
 
-    let (segs, translate_cost) = match resolve_for_wire(w, port_id, &buf) {
-        Ok(x) => x,
+    // Resolve into the layer's recycled segment scratch (no allocation at
+    // the steady-state high-water mark).
+    let mut segs = std::mem::take(&mut w.gm_mut().scratch.segs);
+    let cap_before = segs.capacity();
+    segs.clear();
+    let translate_cost = match resolve_for_wire(w, port_id, &buf, &mut segs) {
+        Ok(cost) => cost,
         Err(e) => {
             // Return the token on failure.
             if let Ok(p) = w.gm_mut().port_mut(port_id) {
@@ -557,6 +602,7 @@ pub fn gm_send<W: GmWorld>(
                 p.stats.sends -= 1;
                 p.stats.bytes_sent -= buf.len();
             }
+            w.gm_mut().scratch.segs = segs;
             return Err(e);
         }
     };
@@ -571,25 +617,41 @@ pub fn gm_send<W: GmWorld>(
     // Firmware picks the command up and resolves addressing.
     let fw_done = fw_charge(w, nic, host_done, params.fw_send + translate_cost);
 
-    // Cut into MTU chunks; DMA and wire pipeline chunk by chunk.
+    // Cut into MTU chunks; DMA and wire pipeline chunk by chunk, streaming
+    // through the recycled chunk scratch (no per-send chunk lists).
     let mtu = w.nics().get(nic).model.mtu;
     let total = PhysSeg::total_len(&segs);
-    let mut chunks = chunk_segments(&segs, mtu);
-    if chunks.is_empty() {
-        chunks.push(Vec::new()); // zero-length message still carries an envelope
-    }
     let msg_id = {
         let l = w.gm_mut();
         l.next_msg_id += 1;
         l.next_msg_id
     };
+    let mut chunk = std::mem::take(&mut w.gm_mut().scratch.chunk);
+    let chunk_cap_before = chunk.capacity();
+    let mut cursor = ChunkCursor::default();
     let mut ready = fw_done;
     let mut offset = 0u64;
-    let n_chunks = chunks.len();
-    for (i, chunk) in chunks.into_iter().enumerate() {
+    let mut first = true;
+    loop {
+        let produced = next_chunk(&segs, &mut cursor, mtu, &mut chunk);
+        if !produced {
+            if !first {
+                break;
+            }
+            // A zero-length message still carries an envelope: fall through
+            // with the empty chunk once.
+            chunk.clear();
+        }
         let chunk_len = PhysSeg::total_len(&chunk);
-        let (data, dma_done) = dma_gather(w, nic, ready, &chunk)?;
-        let fw_ready = if i == 0 {
+        let (data, dma_done) = match dma_gather(w, nic, ready, &chunk) {
+            Ok(x) => x,
+            Err(e) => {
+                w.gm_mut().scratch.segs = segs;
+                w.gm_mut().scratch.chunk = chunk;
+                return Err(e.into());
+            }
+        };
+        let fw_ready = if first {
             dma_done
         } else {
             fw_charge(w, nic, dma_done, params.fw_chunk)
@@ -609,7 +671,7 @@ pub fn gm_send<W: GmWorld>(
         offset += chunk_len;
         // After the last chunk leaves host memory the buffer is reusable:
         // complete the send and return the token.
-        if i == n_chunks - 1 {
+        if offset >= total {
             let ev_done = dma_charge(w, nic, dma_done, 64); // completion record DMA
             knet_simcore::at(w, ev_done, move |w: &mut W| {
                 if let Ok(p) = w.gm_mut().port_mut(port_id) {
@@ -618,8 +680,15 @@ pub fn gm_send<W: GmWorld>(
                 }
                 w.gm_dispatch(port_id);
             });
+            break;
         }
+        first = false;
     }
+    let cap_after = segs.capacity() + chunk.capacity();
+    let scratch = &mut w.gm_mut().scratch;
+    scratch.segs = segs;
+    scratch.chunk = chunk;
+    scratch.note(cap_before + chunk_cap_before, cap_after);
     Ok(())
 }
 
@@ -632,19 +701,16 @@ pub fn gm_provide_receive_buffer<W: GmWorld>(
     tag: u64,
     ctx: u64,
 ) -> Result<(), NetError> {
-    let params = w.gm().params.clone();
+    let params = w.gm().params;
     let (node, is_kernel) = {
         let p = w.gm().port(port_id)?;
         (p.node, p.mode.is_kernel())
     };
+    // Owned, not scratch: the buffer stays queued until a message lands.
     let mut segs: Vec<PhysSeg> = Vec::new();
     let mut translate_cost = SimTime::ZERO;
     for seg in iov.segs() {
-        let (s, c) = resolve_for_wire(w, port_id, seg)?;
-        translate_cost += c;
-        for x in s {
-            PhysSeg::push_merged(&mut segs, x);
-        }
+        translate_cost += resolve_for_wire(w, port_id, seg, &mut segs)?;
     }
     let capacity = PhysSeg::total_len(&segs);
     let mut host_cost = params.host_send_post;
@@ -670,7 +736,7 @@ pub fn gm_provide_receive_buffer<W: GmWorld>(
 pub fn gm_on_packet<W: GmWorld>(w: &mut W, nic: NicId, pkt: Packet) {
     debug_assert_eq!(pkt.proto, Proto::Gm);
     let m = unpack_meta(&pkt.meta);
-    let params = w.gm().params.clone();
+    let params = w.gm().params;
     let now = knet_simcore::now(w);
 
     // Locate the destination port; a stale port swallows the packet (real GM
@@ -719,17 +785,21 @@ pub fn gm_on_packet<W: GmWorld>(w: &mut W, nic: NicId, pkt: Packet) {
         fw_done = fw_charge(w, nic, now, params.fw_chunk);
     }
 
-    // Land the chunk.
+    // Land the chunk, scattering through the recycled window scratch.
     let payload_len = pkt.payload.len() as u64;
-    let (is_matched, target_segs) = {
+    let mut window = std::mem::take(&mut w.gm_mut().scratch.window);
+    let is_matched = {
         let a = w.gm().assemblies.get(&akey).expect("assembly exists");
         match &a.matched {
-            Some(buf) => (true, seg_window(&buf.segs, m.offset, payload_len)),
-            None => (false, Vec::new()),
+            Some(buf) => {
+                seg_window_into(&buf.segs, m.offset, payload_len, &mut window);
+                true
+            }
+            None => false,
         }
     };
     let dma_done = if is_matched {
-        dma_scatter(w, nic, fw_done, &target_segs, &pkt.payload).unwrap_or(fw_done)
+        dma_scatter(w, nic, fw_done, &window, &pkt.payload).unwrap_or(fw_done)
     } else {
         // Bounce pool: DMA into pre-registered kernel ring.
         let t = dma_charge(w, nic, fw_done, payload_len);
@@ -741,6 +811,7 @@ pub fn gm_on_packet<W: GmWorld>(w: &mut W, nic: NicId, pkt: Packet) {
         a.bounce[off..off + payload_len as usize].copy_from_slice(&pkt.payload);
         t
     };
+    w.gm_mut().scratch.window = window;
 
     let complete = {
         let a = w.gm_mut().assemblies.get_mut(&akey).expect("assembly");
@@ -841,7 +912,7 @@ pub fn gm_close_port<W: GmWorld>(w: &mut W, port_id: GmPortId) -> Result<SimTime
         let p = w.gm().port(port_id)?;
         (p.node, p.nic)
     };
-    let params = w.gm().params.clone();
+    let params = w.gm().params;
     // Drain the registration cache.
     let cached = {
         let p = w.gm_mut().port_mut(port_id)?;

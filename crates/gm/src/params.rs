@@ -10,8 +10,9 @@
 
 use knet_simcore::SimTime;
 
-/// Host- and firmware-side costs of the GM driver.
-#[derive(Clone, Debug)]
+/// Host- and firmware-side costs of the GM driver. Plain scalars — `Copy`,
+/// so the hot path reads it by value instead of cloning per operation.
+#[derive(Clone, Copy, Debug)]
 pub struct GmParams {
     /// Host cost to post a send from user space (library + doorbell PIO).
     pub host_send_post: SimTime,

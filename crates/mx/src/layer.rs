@@ -19,7 +19,10 @@
 use std::collections::{BTreeMap, VecDeque};
 
 use bytes::Bytes;
-use knet_core::{read_iovec, resolve_iovec, seg_window, write_iovec, AddrClass, IoVec, NetError};
+use knet_core::{
+    next_chunk, read_iovec_into, resolve_iovec, resolve_iovec_into, seg_window_into, write_iovec,
+    AddrClass, ChunkCursor, IoVec, NetError,
+};
 use knet_simcore::SimTime;
 use knet_simnic::{
     dma_charge, dma_gather, dma_scatter, fw_charge, wire_send, NicId, NicWorld, Packet, Proto,
@@ -213,6 +216,42 @@ impl MxEndpoint {
     }
 }
 
+/// Reusable hot-path scratch (see `GmScratch` in `knet-gm` for the
+/// pattern): per-operation buffers recycled across sends and receives so
+/// the steady-state data path stops allocating once each buffer reaches
+/// its high-water capacity.
+#[derive(Default)]
+pub struct MxScratch {
+    /// Gathered payload bytes of the send being posted.
+    pub(crate) payload: Vec<u8>,
+    /// Send-side address resolution (the copy-avoidance check).
+    pub(crate) resolution: knet_core::Resolution,
+    /// Receive-side scatter window of one inbound chunk.
+    pub(crate) window: Vec<PhysSeg>,
+    /// The MTU chunk currently streaming out of a rendezvous source.
+    pub(crate) chunk: Vec<PhysSeg>,
+    pub stats: MxScratchStats,
+}
+
+/// Scratch-pool observability: steady state shows `uses` growing while
+/// `grows` stays flat.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct MxScratchStats {
+    /// Operations that borrowed scratch buffers.
+    pub uses: u64,
+    /// Borrows that had to grow a buffer (warm-up only, in steady state).
+    pub grows: u64,
+}
+
+impl MxScratch {
+    pub(crate) fn note(&mut self, before: usize, after: usize) {
+        self.stats.uses += 1;
+        if after > before {
+            self.stats.grows += 1;
+        }
+    }
+}
+
 /// All MX state in the world.
 pub struct MxLayer {
     pub params: MxParams,
@@ -221,6 +260,8 @@ pub struct MxLayer {
     rndv_send: BTreeMap<u64, RndvSend>,
     rndv_recv: BTreeMap<(u32, u64), RndvRecv>,
     next_msg_id: u64,
+    /// Recycled per-operation buffers (see [`MxScratch`]).
+    pub scratch: MxScratch,
 }
 
 impl MxLayer {
@@ -232,6 +273,7 @@ impl MxLayer {
             rndv_send: BTreeMap::new(),
             rndv_recv: BTreeMap::new(),
             next_msg_id: 1,
+            scratch: MxScratch::default(),
         }
     }
 
@@ -355,6 +397,21 @@ fn unpack_meta(meta: &[u64; 4]) -> WireMeta {
     }
 }
 
+/// Gather an io-vector's bytes into a `Bytes` payload through the layer's
+/// recycled scratch buffer: one copy, one allocation (the `Bytes` itself),
+/// no intermediate `Vec` per send.
+fn gather_payload<W: MxWorld>(w: &mut W, node: NodeId, iov: &IoVec) -> Result<Bytes, NetError> {
+    let mut payload = std::mem::take(&mut w.mx_mut().scratch.payload);
+    let cap_before = payload.capacity();
+    let r = read_iovec_into(w.os().node(node), iov, &mut payload);
+    let data = r.map(|()| Bytes::copy_from_slice(&payload));
+    let cap_after = payload.capacity();
+    let scratch = &mut w.mx_mut().scratch;
+    scratch.payload = payload;
+    scratch.note(cap_before, cap_after);
+    data
+}
+
 /// Can the send-side copy be elided for this resolution? (§5.1: possible for
 /// physically contiguous buffers whose residency the kernel guarantees —
 /// kernel virtual or physical address classes.)
@@ -377,7 +434,7 @@ pub fn mx_isend<W: MxWorld>(
     iov: &IoVec,
     ctx: u64,
 ) -> Result<(), NetError> {
-    let params = w.mx().params.clone();
+    let params = w.mx().params;
     let (node, nic) = {
         let e = w.mx().ep(from)?;
         check_classes(e, iov)?;
@@ -399,8 +456,8 @@ pub fn mx_isend<W: MxWorld>(
     match params.protocol_for(total) {
         MxProtocol::Small => {
             // Host inlines the payload by PIO; the buffer is immediately
-            // reusable.
-            let data = Bytes::from(read_iovec(w.os().node(node), iov)?);
+            // reusable. Gather through the recycled payload scratch.
+            let data = gather_payload(w, node, iov)?;
             let host_cost = params.host_post + params.pio_cost(total);
             let host_done = knet_simos::cpu_charge(w, node, host_cost);
             let fw_done = fw_charge(w, nic, host_done, params.fw_send);
@@ -423,20 +480,30 @@ pub fn mx_isend<W: MxWorld>(
             });
         }
         MxProtocol::Medium => {
-            let mut resolution_segs: Vec<PhysSeg> = Vec::new();
             let avoidable = {
                 // Resolve without pinning: kernel/physical classes resolve
                 // freely; user memory is read through the copy path anyway.
+                // The resolution lives in the layer's recycled scratch.
+                let mut resolution = std::mem::take(&mut w.mx_mut().scratch.resolution);
+                resolution.clear();
                 if iov.uniform_class() == Some(AddrClass::KernelVirtual)
                     || iov.uniform_class() == Some(AddrClass::Physical)
                 {
-                    let r = resolve_iovec(w.os_mut().node_mut(node), iov, false)?;
-                    resolution_segs = r.segs;
+                    if let Err(e) =
+                        resolve_iovec_into(w.os_mut().node_mut(node), iov, false, &mut resolution)
+                    {
+                        w.mx_mut().scratch.resolution = resolution;
+                        return Err(e);
+                    }
                 }
-                let e = w.mx().ep(from)?;
-                send_copy_avoidable(e, iov, &resolution_segs)
+                let avoidable = {
+                    let e = w.mx().ep(from)?;
+                    send_copy_avoidable(e, iov, &resolution.segs)
+                };
+                w.mx_mut().scratch.resolution = resolution;
+                avoidable
             };
-            let data = Bytes::from(read_iovec(w.os().node(node), iov)?);
+            let data = gather_payload(w, node, iov)?;
             let host_cost = if avoidable {
                 // No copy: just the doorbell. (The paper's optimization.)
                 w.mx_mut().ep_mut(from)?.stats.send_copies_avoided += 1;
@@ -535,7 +602,7 @@ pub fn mx_irecv<W: MxWorld>(
     iov: &IoVec,
     ctx: u64,
 ) -> Result<(), NetError> {
-    let params = w.mx().params.clone();
+    let params = w.mx().params;
     let (node, _nic) = {
         let e = w.mx().ep(ep_id)?;
         check_classes(e, iov)?;
@@ -625,7 +692,7 @@ fn accept_rendezvous<W: MxWorld>(
     msg_id: u64,
     src_nic: NicId,
 ) -> Result<(), NetError> {
-    let params = w.mx().params.clone();
+    let params = w.mx().params;
     let nic = w.mx().ep(ep_id)?.nic;
     w.mx_mut().rndv_recv.insert(
         (ep_id.0, msg_id),
@@ -667,7 +734,7 @@ pub fn mx_on_packet<W: MxWorld>(w: &mut W, nic: NicId, pkt: Packet) {
 
 fn eager_rx<W: MxWorld>(w: &mut W, nic: NicId, pkt: Packet) {
     let m = unpack_meta(&pkt.meta);
-    let params = w.mx().params.clone();
+    let params = w.mx().params;
     let now = knet_simcore::now(w);
     let Ok(_) = w.mx().ep(m.dst) else { return };
 
@@ -709,12 +776,16 @@ fn eager_rx<W: MxWorld>(w: &mut W, nic: NicId, pkt: Packet) {
 
     let payload_len = pkt.payload.len() as u64;
     // Land the chunk: directly into the posted buffer (no_recv_copy), or
-    // into the receive ring.
-    let (direct, window) = {
+    // into the receive ring. The scatter window is recycled scratch.
+    let mut window = std::mem::take(&mut w.mx_mut().scratch.window);
+    let direct = {
         let a = w.mx().eager.get(&akey).expect("assembly");
         match (&a.matched, a.direct) {
-            (Some(p), true) => (true, seg_window(&p.segs, m.offset, payload_len)),
-            _ => (false, Vec::new()),
+            (Some(p), true) => {
+                seg_window_into(&p.segs, m.offset, payload_len, &mut window);
+                true
+            }
+            _ => false,
         }
     };
     let dma_done = if direct {
@@ -729,6 +800,7 @@ fn eager_rx<W: MxWorld>(w: &mut W, nic: NicId, pkt: Packet) {
         a.ring[off..off + payload_len as usize].copy_from_slice(&pkt.payload);
         t
     };
+    w.mx_mut().scratch.window = window;
 
     let complete = {
         let a = w.mx_mut().eager.get_mut(&akey).expect("assembly");
@@ -826,7 +898,7 @@ fn eager_rx<W: MxWorld>(w: &mut W, nic: NicId, pkt: Packet) {
 
 fn rts_rx<W: MxWorld>(w: &mut W, nic: NicId, pkt: Packet) {
     let m = unpack_meta(&pkt.meta);
-    let params = w.mx().params.clone();
+    let params = w.mx().params;
     let now = knet_simcore::now(w);
     let Ok(_) = w.mx().ep(m.dst) else { return };
     fw_charge(w, nic, now, params.fw_rndv);
@@ -859,29 +931,32 @@ fn rts_rx<W: MxWorld>(w: &mut W, nic: NicId, pkt: Packet) {
 
 fn cts_rx<W: MxWorld>(w: &mut W, nic: NicId, pkt: Packet) {
     let m = unpack_meta(&pkt.meta);
-    let params = w.mx().params.clone();
+    let params = w.mx().params;
     let now = knet_simcore::now(w);
     let Some(r) = w.mx_mut().rndv_send.remove(&m.msg_id) else {
         return;
     };
     let dst_nic = pkt.src;
     let fw_done = fw_charge(w, nic, now, params.fw_rndv);
-    // Stream the message, zero-copy from the pinned source segments.
+    // Stream the message, zero-copy from the pinned source segments,
+    // chunk by chunk through the recycled scratch (no chunk lists).
     let mtu = w.nics().get(nic).model.mtu;
-    let chunks = knet_core::chunk_segments(&r.segs, mtu);
+    let mut chunk = std::mem::take(&mut w.mx_mut().scratch.chunk);
+    let mut cursor = ChunkCursor::default();
     let mut ready = fw_done;
     let mut offset = 0u64;
-    let n = chunks.len().max(1);
-    for (i, chunk) in chunks.into_iter().enumerate() {
+    let mut first = true;
+    while next_chunk(&r.segs, &mut cursor, mtu, &mut chunk) {
         let chunk_len = PhysSeg::total_len(&chunk);
         let Ok((data, dma_done)) = dma_gather(w, nic, ready, &chunk) else {
             break;
         };
-        let fw_ready = if i == 0 {
+        let fw_ready = if first {
             dma_done
         } else {
             fw_charge(w, nic, dma_done, params.fw_chunk)
         };
+        first = false;
         let meta = pack_meta(r.dst_ep, r.from_ep, r.tag, m.msg_id, offset, r.total);
         let pkt = Packet::new(
             nic,
@@ -895,7 +970,7 @@ fn cts_rx<W: MxWorld>(w: &mut W, nic: NicId, pkt: Packet) {
         wire_send(w, pkt, fw_ready);
         ready = dma_done;
         offset += chunk_len;
-        if i == n - 1 {
+        if offset >= r.total {
             // Source drained: unpin and complete the send.
             let node = w.mx().ep(r.from_ep).map(|e| e.node).ok();
             let pinned = r.pinned.clone();
@@ -921,11 +996,13 @@ fn cts_rx<W: MxWorld>(w: &mut W, nic: NicId, pkt: Packet) {
             }
         }
     }
+    chunk.clear();
+    w.mx_mut().scratch.chunk = chunk;
 }
 
 fn large_rx<W: MxWorld>(w: &mut W, nic: NicId, pkt: Packet) {
     let m = unpack_meta(&pkt.meta);
-    let params = w.mx().params.clone();
+    let params = w.mx().params;
     let now = knet_simcore::now(w);
     let key = (m.dst.0, m.msg_id);
     if !w.mx().rndv_recv.contains_key(&key) {
@@ -933,11 +1010,13 @@ fn large_rx<W: MxWorld>(w: &mut W, nic: NicId, pkt: Packet) {
     }
     let fw_done = fw_charge(w, nic, now, params.fw_chunk);
     let payload_len = pkt.payload.len() as u64;
-    let window = {
+    let mut window = std::mem::take(&mut w.mx_mut().scratch.window);
+    {
         let r = w.mx().rndv_recv.get(&key).expect("checked");
-        seg_window(&r.posted.segs, m.offset, payload_len)
-    };
+        seg_window_into(&r.posted.segs, m.offset, payload_len, &mut window);
+    }
     let dma_done = dma_scatter(w, nic, fw_done, &window, &pkt.payload).unwrap_or(fw_done);
+    w.mx_mut().scratch.window = window;
     let complete = {
         let r = w.mx_mut().rndv_recv.get_mut(&key).expect("checked");
         r.received += payload_len;

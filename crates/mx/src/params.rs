@@ -12,8 +12,9 @@
 
 use knet_simcore::SimTime;
 
-/// Host- and firmware-side costs of the MX driver.
-#[derive(Clone, Debug)]
+/// Host- and firmware-side costs of the MX driver. Plain scalars — `Copy`,
+/// so the hot path reads it by value instead of cloning per operation.
+#[derive(Clone, Copy, Debug)]
 pub struct MxParams {
     /// Host cost to post a send or receive (identical user/kernel — the
     /// "very generic core infrastructure" of §5.1).

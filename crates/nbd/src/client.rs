@@ -14,7 +14,10 @@
 use std::collections::{BTreeMap, VecDeque};
 
 use bytes::Bytes;
-use knet_core::{Endpoint, IoVec, MemRef, NetError, TransportEvent};
+use knet_core::api::{
+    channel_cancel_recv, channel_connect_handler, channel_post_recv, channel_send,
+};
+use knet_core::{ChannelId, Endpoint, IoVec, MemRef, NetError, TransportEvent};
 use knet_simos::{cpu_charge, PageKey, VirtAddr, PAGE_SIZE};
 
 use crate::proto::{NbdRequest, SECTOR_SIZE};
@@ -68,6 +71,8 @@ enum OpState {
 pub struct NbdClient {
     pub id: NbdClientId,
     pub ep: Endpoint,
+    /// The handler-backed channel wrapping `ep` (peer = the server).
+    pub ch: ChannelId,
     pub server: Endpoint,
     /// Page-cache namespace for this device (disjoint from ORFS mounts).
     pub device_id: u32,
@@ -102,9 +107,19 @@ pub fn nbd_client_create<W: NbdWorld>(
 ) -> Result<NbdClientId, NetError> {
     let ring = w.os_mut().node_mut(ep.node).kalloc(RING)?;
     let id = NbdClientId(w.nbd().clients.len() as u32);
+    // Attach as a handler-backed channel (the zsock shape): requests and
+    // posted buffers inherit coalescing, pooled contexts and backpressure.
+    let ch = channel_connect_handler(
+        w,
+        ep,
+        server,
+        &format!("nbd-client-{}", id.0),
+        move |w, _via, ev| nbd_on_client_event(w, id, ev),
+    );
     w.nbd_mut().clients.push(NbdClient {
         id,
         ep,
+        ch,
         server,
         device_id,
         next_reqid: 1,
@@ -117,12 +132,6 @@ pub fn nbd_client_create<W: NbdWorld>(
         completed: VecDeque::new(),
         stats: NbdClientStats::default(),
     });
-    let cid = w
-        .registry_mut()
-        .register(&format!("nbd-client-{}", id.0), move |w, _via, ev| {
-            nbd_on_client_event(w, id, ev)
-        });
-    knet_core::api::bind(w, ep, cid);
     Ok(id)
 }
 
@@ -152,6 +161,20 @@ fn charge_entry<W: NbdWorld>(w: &mut W, cid: NbdClientId) {
     cpu_charge(w, node, cost);
 }
 
+/// A request's send was rejected by the channel: withdraw any posted reply
+/// buffer, drop the op and complete it with the error — silently dropping
+/// it would hang the block operation forever.
+fn fail_send<W: NbdWorld>(w: &mut W, cid: NbdClientId, reqid: u64, e: NetError) {
+    let ch = w.nbd().clients[cid.0 as usize].ch;
+    channel_cancel_recv(w, ch, reqid);
+    let c = &mut w.nbd_mut().clients[cid.0 as usize];
+    let Some(op) = c.pending.remove(&reqid) else {
+        return;
+    };
+    c.ops.remove(&op);
+    c.completed.push_back((op, Err(e)));
+}
+
 fn send_request<W: NbdWorld>(
     w: &mut W,
     cid: NbdClientId,
@@ -162,13 +185,13 @@ fn send_request<W: NbdWorld>(
     let node = w.nbd().clients[cid.0 as usize].ep.node;
     let bytes = req.encode();
     let total = bytes.len() as u64 + payload.map(|p| p.len() as u64).unwrap_or(0);
-    let (reqid, ep, server, addr) = {
+    let (reqid, ch, addr) = {
         let c = &mut w.nbd_mut().clients[cid.0 as usize];
         let reqid = c.next_reqid;
         c.next_reqid += 1;
         c.pending.insert(reqid, op);
         let addr = c.ring_reserve(total);
-        (reqid, c.ep, c.server, addr)
+        (reqid, c.ch, addr)
     };
     w.os_mut()
         .node_mut(node)
@@ -180,13 +203,9 @@ fn send_request<W: NbdWorld>(
             .write_virt(knet_simos::Asid::KERNEL, addr.add(bytes.len() as u64), p)
             .expect("ring mapped");
     }
-    let _ = w.t_send(
-        ep,
-        server,
-        reqid,
-        IoVec::single(MemRef::kernel(addr, total)),
-        reqid,
-    );
+    if let Err(e) = channel_send(w, ch, reqid, IoVec::single(MemRef::kernel(addr, total))) {
+        fail_send(w, cid, reqid, e);
+    }
     reqid
 }
 
@@ -218,13 +237,13 @@ pub fn nbd_read<W: NbdWorld>(w: &mut W, cid: NbdClientId, dest: MemRef, offset: 
 pub fn nbd_read_raw<W: NbdWorld>(w: &mut W, cid: NbdClientId, dest: MemRef, sector: u64) -> NbdOp {
     charge_entry(w, cid);
     let count = (dest.len() / SECTOR_SIZE).max(1) as u32;
-    let (op, ep) = {
+    let (op, ch) = {
         let c = &mut w.nbd_mut().clients[cid.0 as usize];
         let op = c.next_op;
         c.next_op += 1;
         c.stats.reads += 1;
         c.ops.insert(op, OpState::Raw);
-        (op, c.ep)
+        (op, c.ch)
     };
     // Buffer first, then the request (the reply must never race it).
     let reqid = {
@@ -234,7 +253,7 @@ pub fn nbd_read_raw<W: NbdWorld>(w: &mut W, cid: NbdClientId, dest: MemRef, sect
         c.pending.insert(reqid, op);
         reqid
     };
-    let _ = w.t_post_recv(ep, reqid, IoVec::single(dest), reqid);
+    let _ = channel_post_recv(w, ch, reqid, IoVec::single(dest));
     // Send header under the same id without re-registering it.
     let node = w.nbd().clients[cid.0 as usize].ep.node;
     let bytes = NbdRequest::Read { sector, count }.encode();
@@ -246,14 +265,14 @@ pub fn nbd_read_raw<W: NbdWorld>(w: &mut W, cid: NbdClientId, dest: MemRef, sect
         .node_mut(node)
         .write_virt(knet_simos::Asid::KERNEL, addr, &bytes)
         .expect("ring mapped");
-    let server = w.nbd().clients[cid.0 as usize].server;
-    let _ = w.t_send(
-        ep,
-        server,
+    if let Err(e) = channel_send(
+        w,
+        ch,
         reqid,
         IoVec::single(MemRef::kernel(addr, bytes.len() as u64)),
-        reqid,
-    );
+    ) {
+        fail_send(w, cid, reqid, e);
+    }
     op
 }
 
@@ -366,9 +385,9 @@ fn issue_next_write_chunk<W: NbdWorld>(w: &mut W, cid: NbdClientId, op: NbdOp) -
 pub fn nbd_flush<W: NbdWorld>(_w: &mut W, _cid: NbdClientId) {}
 
 fn advance_buffered<W: NbdWorld>(w: &mut W, cid: NbdClientId, op: NbdOp) {
-    let (node, device, ep) = {
+    let (node, device, ch) = {
         let c = &w.nbd().clients[cid.0 as usize];
-        (c.ep.node, c.device_id, c.ep)
+        (c.ep.node, c.device_id, c.ch)
     };
     let _ = device;
     loop {
@@ -468,7 +487,7 @@ fn advance_buffered<W: NbdWorld>(w: &mut W, cid: NbdClientId, op: NbdOp) {
                     reqid
                 };
                 let iov = IoVec::single(MemRef::physical(frame.base(), PAGE_SIZE));
-                let _ = w.t_post_recv(ep, reqid, iov, reqid);
+                let _ = channel_post_recv(w, ch, reqid, iov);
                 let node2 = node;
                 let bytes = NbdRequest::Read { sector, count: 1 }.encode();
                 let addr = {
@@ -479,14 +498,14 @@ fn advance_buffered<W: NbdWorld>(w: &mut W, cid: NbdClientId, op: NbdOp) {
                     .node_mut(node2)
                     .write_virt(knet_simos::Asid::KERNEL, addr, &bytes)
                     .expect("ring mapped");
-                let server = w.nbd().clients[cid.0 as usize].server;
-                let _ = w.t_send(
-                    ep,
-                    server,
+                if let Err(e) = channel_send(
+                    w,
+                    ch,
                     reqid,
                     IoVec::single(MemRef::kernel(addr, bytes.len() as u64)),
-                    reqid,
-                );
+                ) {
+                    fail_send(w, cid, reqid, e);
+                }
                 return;
             }
         }
@@ -503,8 +522,10 @@ fn shift(m: &MemRef, delta: u64, len: u64) -> MemRef {
 
 /// Transport upcall for NBD client `cid`.
 pub fn nbd_on_client_event<W: NbdWorld>(w: &mut W, cid: NbdClientId, ev: TransportEvent) {
+    // Correlate by tag (= the request id); receive contexts are
+    // channel-assigned now.
     let (tag, len) = match ev {
-        TransportEvent::RecvDone { ctx, len, .. } => (ctx, len),
+        TransportEvent::RecvDone { tag, len, .. } => (tag, len),
         TransportEvent::Unexpected { tag, data, .. } => (tag, data.len() as u64),
         TransportEvent::SendDone { .. } | TransportEvent::SendFailed { .. } => return,
     };

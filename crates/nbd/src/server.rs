@@ -1,7 +1,8 @@
 //! The NBD server: a virtual disk behind a transport endpoint.
 
 use bytes::Bytes;
-use knet_core::{Endpoint, IoVec, MemRef, NetError, TransportEvent};
+use knet_core::api::{channel_accept_handler, channel_send_to};
+use knet_core::{ChannelId, Endpoint, IoVec, MemRef, NetError, TransportEvent};
 use knet_simcore::SimTime;
 use knet_simos::{cpu_charge, Asid, VirtAddr};
 
@@ -72,6 +73,9 @@ impl VirtualDisk {
 pub struct NbdServer {
     pub id: NbdServerId,
     pub ep: Endpoint,
+    /// The accept-side channel serving every client of `ep` (replies go
+    /// out with [`channel_send_to`]).
+    pub ch: ChannelId,
     pub disk: VirtualDisk,
     ring: VirtAddr,
     ring_len: u64,
@@ -91,9 +95,17 @@ pub fn nbd_server_create<W: NbdWorld>(
 ) -> Result<NbdServerId, NetError> {
     let ring = w.os_mut().node_mut(ep.node).kalloc(RING)?;
     let id = NbdServerId(w.nbd().servers.len() as u32);
+    // Accept-side handler-backed channel: one endpoint, many clients.
+    let ch = channel_accept_handler(
+        w,
+        ep,
+        &format!("nbd-server-{}", id.0),
+        move |w, _via, ev| nbd_on_server_event(w, id, ev),
+    );
     w.nbd_mut().servers.push(NbdServer {
         id,
         ep,
+        ch,
         disk: VirtualDisk::new(sector_count),
         ring,
         ring_len: RING,
@@ -102,12 +114,6 @@ pub fn nbd_server_create<W: NbdWorld>(
         bytes_read: 0,
         bytes_written: 0,
     });
-    let cid = w
-        .registry_mut()
-        .register(&format!("nbd-server-{}", id.0), move |w, _via, ev| {
-            nbd_on_server_event(w, id, ev)
-        });
-    knet_core::api::bind(w, ep, cid);
     Ok(id)
 }
 
@@ -132,7 +138,7 @@ pub fn nbd_on_server_event<W: NbdWorld>(w: &mut W, sid: NbdServerId, ev: Transpo
         return;
     };
     let node = w.nbd().servers[sid.0 as usize].ep.node;
-    let ep = w.nbd().servers[sid.0 as usize].ep;
+    let ch = w.nbd().servers[sid.0 as usize].ch;
     // Request dispatch cost.
     cpu_charge(w, node, SimTime::from_nanos(600));
     w.nbd_mut().servers[sid.0 as usize].requests += 1;
@@ -155,7 +161,7 @@ pub fn nbd_on_server_event<W: NbdWorld>(w: &mut W, sid: NbdServerId, ev: Transpo
                 .write_virt(Asid::KERNEL, addr, &payload)
                 .expect("ring mapped");
             w.nbd_mut().servers[sid.0 as usize].bytes_read += n;
-            let _ = w.t_send(ep, from, tag, IoVec::single(MemRef::kernel(addr, n)), tag);
+            let _ = channel_send_to(w, ch, from, tag, IoVec::single(MemRef::kernel(addr, n)));
         }
         NbdRequest::Write { sector, .. } => {
             let payload = data.slice(used..);
@@ -173,7 +179,7 @@ pub fn nbd_on_server_event<W: NbdWorld>(w: &mut W, sid: NbdServerId, ev: Transpo
                 .node_mut(node)
                 .write_virt(Asid::KERNEL, addr, &[0u8])
                 .expect("ring mapped");
-            let _ = w.t_send(ep, from, tag, IoVec::single(MemRef::kernel(addr, 1)), tag);
+            let _ = channel_send_to(w, ch, from, tag, IoVec::single(MemRef::kernel(addr, 1)));
         }
     }
     let _ = Bytes::new();

@@ -18,7 +18,10 @@
 
 use std::collections::{BTreeMap, VecDeque};
 
-use knet_core::{Endpoint, IoVec, MemRef, NetError, TransportEvent, TransportKind};
+use knet_core::api::{
+    channel_cancel_recv, channel_connect_handler, channel_post_recv, channel_send,
+};
+use knet_core::{ChannelId, Endpoint, IoVec, MemRef, NetError, TransportEvent, TransportKind};
 use knet_simcore::SimTime;
 use knet_simfs::FsError;
 use knet_simos::{cpu_charge, Asid, PageKey, VirtAddr, PAGE_SIZE};
@@ -205,6 +208,9 @@ struct Pending {
 pub struct OrfsClient {
     pub id: OrfsClientId,
     pub ep: Endpoint,
+    /// The handler-backed channel wrapping `ep` (peer = the server): every
+    /// request, payload and posted reply buffer moves through it.
+    pub ch: ChannelId,
     pub server: Endpoint,
     pub kind: ClientKind,
     pub config: VfsConfig,
@@ -256,9 +262,19 @@ pub fn client_create<W: OrfsWorld>(
     };
     let id = OrfsClientId(w.orfs().clients.len() as u32);
     let mount_id = id.0 + 1;
+    // Attach to the API as a handler-backed channel (the zsock shape):
+    // sends inherit coalescing, pooled contexts and ordered backpressure.
+    let ch = channel_connect_handler(
+        w,
+        ep,
+        server,
+        &format!("orfs-client-{}", id.0),
+        move |w, _via, ev| client_on_event(w, id, ev),
+    );
     w.orfs_mut().clients.push(OrfsClient {
         id,
         ep,
+        ch,
         server,
         kind,
         config,
@@ -278,12 +294,6 @@ pub fn client_create<W: OrfsWorld>(
         ring_off: 0,
         stats: ClientStats::default(),
     });
-    let cid = w
-        .registry_mut()
-        .register(&format!("orfs-client-{}", id.0), move |w, _via, ev| {
-            client_on_event(w, id, ev)
-        });
-    knet_core::api::bind(w, ep, cid);
     Ok(id)
 }
 
@@ -510,8 +520,8 @@ pub fn op_read<W: OrfsWorld>(
         // pinning) must be ready before the server can reply into it.
         let reqid = alloc_reqid(w, cid, sid);
         let shrunk = offset_memref(&dest, 0, len, Asid::KERNEL);
-        let ep = w.orfs().client(cid).ep;
-        let _ = w.t_post_recv(ep, reqid, IoVec::single(shrunk), reqid);
+        let ch = w.orfs().client(cid).ch;
+        let _ = channel_post_recv(w, ch, reqid, IoVec::single(shrunk));
         send_request_with_id(
             w,
             cid,
@@ -882,6 +892,19 @@ fn alloc_reqid<W: OrfsWorld>(w: &mut W, cid: OrfsClientId, sid: SyscallId) -> u6
     reqid
 }
 
+/// A request's send was rejected by the channel (a non-transient transport
+/// error, or backpressure-queue overflow): withdraw any reply buffer posted
+/// under the request id and fail the syscall — silently dropping it would
+/// hang the operation forever.
+fn fail_send<W: OrfsWorld>(w: &mut W, cid: OrfsClientId, reqid: u64) {
+    let ch = w.orfs().client(cid).ch;
+    channel_cancel_recv(w, ch, reqid);
+    let Some(p) = w.orfs_mut().client_mut(cid).pending.remove(&reqid) else {
+        return;
+    };
+    finish(w, cid, p.syscall, Err(OrfsError::Net));
+}
+
 /// Encode and send a metadata request (small message from the staging ring).
 fn send_request<W: OrfsWorld>(w: &mut W, cid: OrfsClientId, sid: SyscallId, req: &Request) -> u64 {
     let reqid = alloc_reqid(w, cid, sid);
@@ -894,18 +917,20 @@ fn send_request_with_id<W: OrfsWorld>(w: &mut W, cid: OrfsClientId, reqid: u64, 
     let node = w.orfs().client(cid).ep.node;
     cpu_charge(w, node, codec_cost());
     let bytes = req.encode();
-    let (ep, server, addr, ring_asid, seg) = {
+    let (ch, addr, ring_asid, seg) = {
         let c = w.orfs_mut().client_mut(cid);
         c.stats.requests += 1;
         let addr = c.ring_reserve(bytes.len() as u64);
         let seg = c.ring_memref(addr, bytes.len() as u64);
-        (c.ep, c.server, addr, c.ring_asid, seg)
+        (c.ch, addr, c.ring_asid, seg)
     };
     w.os_mut()
         .node_mut(node)
         .write_virt(ring_asid, addr, &bytes)
         .expect("client ring mapped");
-    let _ = w.t_send(ep, server, reqid, IoVec::single(seg), reqid);
+    if channel_send(w, ch, reqid, IoVec::single(seg)).is_err() {
+        fail_send(w, cid, reqid);
+    }
 }
 
 /// Send a write request with payload: vectorial on MX (header ++ data, no
@@ -927,13 +952,13 @@ fn send_write_request<W: OrfsWorld>(
     };
     cpu_charge(w, node, codec_cost());
     let header = req.encode();
-    let (reqid, ep, server) = {
+    let (reqid, ep, ch) = {
         let c = w.orfs_mut().client_mut(cid);
         let reqid = c.next_reqid;
         c.next_reqid += 1;
         c.pending.insert(reqid, Pending { syscall: sid });
         c.stats.requests += 1;
-        (reqid, c.ep, c.server)
+        (reqid, c.ep, c.ch)
     };
     if len > WRITE_INLINE_MAX {
         // Announced write: header first; the payload follows as a separate
@@ -949,14 +974,11 @@ fn send_write_request<W: OrfsWorld>(
             .node_mut(node)
             .write_virt(ring_asid, addr, &header)
             .expect("ring mapped");
-        let _ = w.t_send(ep, server, reqid, IoVec::single(seg), reqid);
-        let _ = w.t_send(
-            ep,
-            server,
-            reqid | DATA_TAG_BIT,
-            IoVec::single(src),
-            reqid | DATA_TAG_BIT,
-        );
+        if channel_send(w, ch, reqid, IoVec::single(seg)).is_err()
+            || channel_send(w, ch, reqid | DATA_TAG_BIT, IoVec::single(src)).is_err()
+        {
+            fail_send(w, cid, reqid);
+        }
         return reqid;
     }
     let iov = match ep.kind {
@@ -998,7 +1020,9 @@ fn send_write_request<W: OrfsWorld>(
             IoVec::single(seg)
         }
     };
-    let _ = w.t_send(ep, server, reqid, iov, reqid);
+    if channel_send(w, ch, reqid, iov).is_err() {
+        fail_send(w, cid, reqid);
+    }
     reqid
 }
 
@@ -1008,7 +1032,7 @@ fn send_write_request<W: OrfsWorld>(
 /// missing page (run) from the server into freshly allocated page-cache
 /// frames whose *physical* addresses are handed to the transport.
 fn advance_buffered_read<W: OrfsWorld>(w: &mut W, cid: OrfsClientId, sid: SyscallId) {
-    let (node, mount, asid, combine, max_combine, ep) = {
+    let (node, mount, asid, combine, max_combine) = {
         let c = w.orfs().client(cid);
         (
             c.ep.node,
@@ -1016,7 +1040,6 @@ fn advance_buffered_read<W: OrfsWorld>(w: &mut W, cid: OrfsClientId, sid: Syscal
             c.asid,
             c.config.combine_pages && c.ep.kind == TransportKind::Mx,
             c.config.max_combine,
-            c.ep,
         )
     };
     loop {
@@ -1124,7 +1147,8 @@ fn advance_buffered_read<W: OrfsWorld>(w: &mut W, cid: OrfsClientId, sid: Syscal
                     }
                 }
                 let reqid = alloc_reqid(w, cid, sid);
-                let _ = w.t_post_recv(ep, reqid, iov, reqid);
+                let ch = w.orfs().client(cid).ch;
+                let _ = channel_post_recv(w, ch, reqid, iov);
                 send_request_with_id(
                     w,
                     cid,
@@ -1153,9 +1177,9 @@ fn offset_memref(m: &MemRef, delta: u64, len: u64, _asid: Asid) -> MemRef {
 /// Advance a buffered write: fill page-cache pages (read-modify-write for
 /// partial pages over existing data), mark dirty; completion is local.
 fn advance_buffered_write<W: OrfsWorld>(w: &mut W, cid: OrfsClientId, sid: SyscallId) {
-    let (node, mount, ep) = {
+    let (node, mount) = {
         let c = w.orfs().client(cid);
-        (c.ep.node, c.mount_id, c.ep)
+        (c.ep.node, c.mount_id)
     };
     loop {
         let bw = {
@@ -1274,7 +1298,8 @@ fn advance_buffered_write<W: OrfsWorld>(w: &mut W, cid: OrfsClientId, sid: Sysca
                 }
                 let reqid = alloc_reqid(w, cid, sid);
                 let iov = IoVec::single(MemRef::physical(frame.base(), PAGE_SIZE));
-                let _ = w.t_post_recv(ep, reqid, iov, reqid);
+                let ch = w.orfs().client(cid).ch;
+                let _ = channel_post_recv(w, ch, reqid, iov);
                 send_request_with_id(
                     w,
                     cid,
@@ -1374,8 +1399,10 @@ pub fn client_on_event<W: OrfsWorld>(w: &mut W, cid: OrfsClientId, ev: Transport
             let resp = Response::decode(&data).unwrap_or(Response::Err(OrfsError::Decode));
             on_response(w, cid, p.syscall, resp);
         }
-        TransportEvent::RecvDone { ctx, len, .. } => {
-            let Some(p) = w.orfs_mut().client_mut(cid).pending.remove(&ctx) else {
+        TransportEvent::RecvDone { tag, len, .. } => {
+            // Correlate by tag: receive contexts are channel-assigned now,
+            // but the reply's tag is the request id the client posted.
+            let Some(p) = w.orfs_mut().client_mut(cid).pending.remove(&tag) else {
                 return;
             };
             on_data(w, cid, p.syscall, len);

@@ -9,7 +9,8 @@
 
 use std::collections::BTreeMap;
 
-use knet_core::{Endpoint, IoVec, MemRef, NetError, TransportEvent};
+use knet_core::api::{channel_accept_handler, channel_post_recv, channel_send_to};
+use knet_core::{ChannelId, Endpoint, IoVec, MemRef, NetError, TransportEvent};
 use knet_simcore::SimTime;
 use knet_simfs::{FsError, InodeNo, SimFs};
 use knet_simos::{cpu_charge, Asid, VirtAddr};
@@ -84,16 +85,26 @@ pub fn server_create<W: OrfsWorld>(
     Ok(id)
 }
 
-/// Register the server as the consumer of `ep`'s events. `server_create`
-/// attaches the primary endpoint; call this again to serve additional
-/// endpoints (e.g. a GM port next to an MX endpoint on the same server).
+/// Attach the server to `ep` as an accept-side handler-backed channel
+/// (no fixed peer — one endpoint serves every client; replies address
+/// their destination through [`channel_send_to`]). `server_create` attaches
+/// the primary endpoint; call this again to serve additional endpoints
+/// (e.g. a GM port next to an MX endpoint on the same server).
 pub fn server_attach_endpoint<W: OrfsWorld>(w: &mut W, sid: OrfsServerId, ep: Endpoint) {
-    let cid = w
-        .registry_mut()
-        .register(&format!("orfs-server-{}", sid.0), move |w, via, ev| {
-            server_on_event(w, sid, via, ev)
-        });
-    knet_core::api::bind(w, ep, cid);
+    channel_accept_handler(
+        w,
+        ep,
+        &format!("orfs-server-{}", sid.0),
+        move |w, via, ev| server_on_event(w, sid, via, ev),
+    );
+}
+
+/// The accept-side channel serving `via` (attached in
+/// [`server_attach_endpoint`]).
+fn server_channel<W: OrfsWorld>(w: &W, via: Endpoint) -> ChannelId {
+    w.registry()
+        .channel_of(via)
+        .expect("server endpoint is channel-attached")
 }
 
 impl OrfsServer {
@@ -293,10 +304,11 @@ pub fn server_on_event<W: OrfsWorld>(
         TransportEvent::Unexpected { tag, data, from } => {
             server_handle_request(w, sid, via, tag, &data, from);
         }
-        TransportEvent::RecvDone { ctx, len, .. } => {
+        TransportEvent::RecvDone { tag, len, .. } => {
             // The payload of an announced (rendezvous) write landed in the
-            // staging ring.
-            complete_pending_write(w, sid, ctx, len);
+            // staging ring (correlated by tag — receive contexts are
+            // channel-assigned).
+            complete_pending_write(w, sid, tag, len);
         }
         TransportEvent::SendDone { .. } | TransportEvent::SendFailed { .. } => {}
     }
@@ -399,15 +411,16 @@ fn server_handle_request<W: OrfsWorld>(
                     s.stats.bytes_read += n;
                     s.stats.replies += 1;
                     let iov = IoVec::single(MemRef::kernel(addr, n));
-                    let _ = w.t_send(via, from, tag, iov, tag);
+                    let ch = server_channel(w, via);
+                    let _ = channel_send_to(w, ch, from, tag, iov);
                 }
                 Err(e) => {
                     w.orfs_mut().server_mut(sid).stats.errors += 1;
                     // Zero-length data reply signals EOF/error to the posted
                     // buffer; benchmarks never hit this path.
                     let _ = e;
-                    let iov = IoVec::new();
-                    let _ = w.t_send(via, from, tag, iov, tag);
+                    let ch = server_channel(w, via);
+                    let _ = channel_send_to(w, ch, from, tag, IoVec::new());
                 }
             }
         }
@@ -434,12 +447,8 @@ fn server_handle_request<W: OrfsWorld>(
                     },
                 );
                 let iov = IoVec::single(MemRef::kernel(ring_addr, len));
-                let _ = w.t_post_recv(
-                    via,
-                    tag | crate::proto::DATA_TAG_BIT,
-                    iov,
-                    tag | crate::proto::DATA_TAG_BIT,
-                );
+                let ch = server_channel(w, via);
+                let _ = channel_post_recv(w, ch, tag | crate::proto::DATA_TAG_BIT, iov);
                 return;
             }
             debug_assert_eq!(data.len() as u64, len, "write payload length");
@@ -505,5 +514,6 @@ fn reply_meta<W: OrfsWorld>(
     let s = w.orfs_mut().server_mut(sid);
     s.stats.replies += 1;
     let iov = IoVec::single(MemRef::kernel(addr, bytes.len() as u64));
-    let _ = w.t_send(via, to, tag, iov, tag);
+    let ch = server_channel(w, via);
+    let _ = channel_send_to(w, ch, to, tag, iov);
 }

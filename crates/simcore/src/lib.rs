@@ -19,12 +19,14 @@
 //!   harness are virtual-time measurements of the modeled 2005 hardware, not
 //!   host-machine timings.
 
+pub mod lru;
 pub mod resource;
 pub mod rng;
 pub mod sched;
 pub mod stats;
 pub mod time;
 
+pub use lru::LruSlab;
 pub use resource::{Busy, LaneBank};
 pub use rng::SplitMix64;
 pub use sched::{

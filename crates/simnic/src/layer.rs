@@ -62,6 +62,9 @@ impl Nic {
 #[derive(Default)]
 pub struct NicLayer {
     nics: Vec<Nic>,
+    /// Recycled gather buffer for [`dma_gather`]: one payload copy per
+    /// chunk (into the packet's `Bytes`), no intermediate `Vec` per DMA.
+    gather_scratch: Vec<u8>,
 }
 
 impl NicLayer {
@@ -115,14 +118,21 @@ pub fn dma_gather<W: NicWorld>(
 ) -> Result<(Bytes, SimTime), OsError> {
     let now = knet_simcore::now(w);
     let node = w.nics().get(nic).node;
-    let mut data = Vec::with_capacity(PhysSeg::total_len(segs) as usize);
-    w.os().node(node).mem.gather(segs, &mut data)?;
+    let mut data = std::mem::take(&mut w.nics_mut().gather_scratch);
+    data.clear();
+    data.reserve(PhysSeg::total_len(segs) as usize);
+    if let Err(e) = w.os().node(node).mem.gather(segs, &mut data) {
+        w.nics_mut().gather_scratch = data;
+        return Err(e);
+    }
+    let bytes = Bytes::copy_from_slice(&data);
     let n = w.nics_mut().get_mut(nic);
     let dur = n.model.dma_setup * segs.len().max(1) as u64
         + n.model.dma_bw.transfer_time(data.len() as u64);
     let (_, end) = n.dma.acquire(ready.max(now), dur);
     n.stats.dma_from_host_bytes += data.len() as u64;
-    Ok((Bytes::from(data), end))
+    w.nics_mut().gather_scratch = data;
+    Ok((bytes, end))
 }
 
 /// DMA from the NIC into host memory: scatters `data` into `segs` and

@@ -11,13 +11,19 @@
 //! 32-bit hosts" firmware patch, which stores an address-space descriptor in
 //! the pointer's most significant bits so a *shared* kernel port can serve
 //! several processes without virtual-address collisions (§3.2).
+//!
+//! Like the GMKRC (`knet_core::RegCache`), the table is on the per-message
+//! fast path — every virtually-addressed send pays one lookup per page —
+//! so it is one [`LruSlab`] (`knet_simcore::lru`, the shared intrusive-LRU
+//! structure): lookups, inserts, removes and the LRU probe are all O(1),
+//! and the slab's `(asid, vpn)`-ordered secondary index serves
+//! [`TransTable::purge_asid`] without scanning unrelated spaces.
 
-use std::collections::BTreeMap;
-
+use knet_simcore::LruSlab;
 use knet_simos::{Asid, PhysAddr, VirtAddr};
 
 /// A translation-table key: (address space, virtual page number).
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct TransKey {
     pub asid: Asid,
     pub vpn: u64,
@@ -30,12 +36,6 @@ impl TransKey {
             vpn: addr.vpn(),
         }
     }
-}
-
-#[derive(Clone, Copy, Debug)]
-struct TransEntry {
-    pfn: u64,
-    last_use: u64,
 }
 
 /// Errors from the translation table.
@@ -60,8 +60,8 @@ pub struct TtStats {
 /// The bounded on-card translation table.
 pub struct TransTable {
     capacity: usize,
-    entries: BTreeMap<TransKey, TransEntry>,
-    clock: u64,
+    /// key → physical frame number.
+    entries: LruSlab<TransKey, u64>,
     pub stats: TtStats,
 }
 
@@ -69,8 +69,7 @@ impl TransTable {
     pub fn new(capacity: usize) -> Self {
         TransTable {
             capacity,
-            entries: BTreeMap::new(),
-            clock: 0,
+            entries: LruSlab::with_reserve(capacity),
             stats: TtStats::default(),
         }
     }
@@ -93,18 +92,11 @@ impl TransTable {
 
     /// Install one page translation. Fails when the table is full.
     pub fn insert(&mut self, key: TransKey, phys: PhysAddr) -> Result<(), TtError> {
-        if !self.entries.contains_key(&key) && self.entries.len() >= self.capacity {
+        if !self.entries.contains(&key) && self.entries.len() >= self.capacity {
             self.stats.full_failures += 1;
             return Err(TtError::Full);
         }
-        self.clock += 1;
-        self.entries.insert(
-            key,
-            TransEntry {
-                pfn: phys.pfn(),
-                last_use: self.clock,
-            },
-        );
+        self.entries.insert(key, phys.pfn());
         self.stats.inserts += 1;
         Ok(())
     }
@@ -120,14 +112,11 @@ impl TransTable {
 
     /// Resolve a virtual address through the table (touches LRU state).
     pub fn lookup(&mut self, asid: Asid, addr: VirtAddr) -> Result<PhysAddr, TtError> {
-        self.clock += 1;
-        let clock = self.clock;
-        match self.entries.get_mut(&TransKey::of(asid, addr)) {
-            Some(e) => {
-                e.last_use = clock;
+        match self.entries.touch_get(&TransKey::of(asid, addr)) {
+            Some(pfn) => {
                 self.stats.hits += 1;
                 Ok(PhysAddr::new(
-                    (e.pfn << knet_simos::PAGE_SHIFT) + addr.page_offset(),
+                    (pfn << knet_simos::PAGE_SHIFT) + addr.page_offset(),
                 ))
             }
             None => {
@@ -139,35 +128,28 @@ impl TransTable {
 
     /// Whether a page is currently registered (no LRU touch).
     pub fn contains(&self, key: TransKey) -> bool {
-        self.entries.contains_key(&key)
+        self.entries.contains(&key)
     }
 
     /// The least-recently-used key — what a registration cache evicts when
-    /// the table fills up.
+    /// the table fills up. O(1): the tail of the intrusive list.
     pub fn lru_key(&self) -> Option<TransKey> {
-        self.entries
-            .iter()
-            .min_by_key(|(_, e)| e.last_use)
-            .map(|(k, _)| *k)
+        self.entries.lru_key()
     }
 
     /// Drop every translation belonging to an address space (process exit).
+    /// Served by the ordered index: O(log n + k) for k dropped entries.
     pub fn purge_asid(&mut self, asid: Asid) -> usize {
-        let keys: Vec<TransKey> = self
-            .entries
-            .range(
-                TransKey { asid, vpn: 0 }..=TransKey {
-                    asid,
-                    vpn: u64::MAX,
-                },
-            )
-            .map(|(k, _)| *k)
-            .collect();
-        for k in &keys {
-            self.entries.remove(k);
+        let range = TransKey { asid, vpn: 0 }..=TransKey {
+            asid,
+            vpn: u64::MAX,
+        };
+        let mut purged = 0usize;
+        while self.entries.pop_in_range(range.clone()).is_some() {
             self.stats.removes += 1;
+            purged += 1;
         }
-        keys.len()
+        purged
     }
 }
 
@@ -258,5 +240,21 @@ mod tests {
         assert_eq!(t.len(), 4);
         assert!(t.contains(key(2, 0)));
         assert!(!t.contains(key(1, 0)));
+    }
+
+    #[test]
+    fn slots_recycle_under_insert_remove_churn() {
+        let mut t = TransTable::new(4);
+        for round in 0..50u64 {
+            for vpn in 0..4 {
+                t.insert(key(1, round * 4 + vpn), PhysAddr::new(vpn << 12))
+                    .unwrap();
+            }
+            while let Some(k) = t.lru_key() {
+                t.remove(k);
+            }
+        }
+        assert!(t.is_empty());
+        assert!(t.entries.slab_size() <= 4, "slab at high-water mark");
     }
 }

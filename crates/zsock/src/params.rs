@@ -10,7 +10,7 @@
 use knet_simcore::{Bandwidth, SimTime};
 
 /// Costs of the zero-copy socket layers.
-#[derive(Clone, Debug)]
+#[derive(Clone, Copy, Debug)]
 pub struct ZsockParams {
     /// Socket-layer bookkeeping per call (after the syscall itself).
     pub sock_layer: SimTime,
@@ -46,7 +46,7 @@ impl Default for ZsockParams {
 }
 
 /// The TCP/IP-over-Gigabit-Ethernet baseline model.
-#[derive(Clone, Debug)]
+#[derive(Clone, Copy, Debug)]
 pub struct TcpParams {
     /// Wire rate of the GigE link.
     pub wire_bw: Bandwidth,

@@ -141,9 +141,11 @@ pub struct Sock {
     /// Live ring extents (`offset → len`), so a reservation never
     /// overwrites bytes still in flight.
     ring_live: BTreeMap<u64, u64>,
-    /// In-flight sends by channel context: what to release/complete on
-    /// `SendDone`.
-    tx_inflight: BTreeMap<u64, TxDone>,
+    /// In-flight sends, slab-indexed by the channel context's pooled slot
+    /// ([`knet_core::ctx_slot`]): O(1), allocation-free at the in-flight
+    /// high-water mark. Each slot stores the full context value so a
+    /// recycled slot can never complete someone else's frame.
+    tx_inflight: Vec<Option<(u64, TxDone)>>,
     next_op: u64,
     /// Set when a frame was lost (a send failed after its sequence number
     /// was committed): the stream can never be whole again, so the socket
@@ -307,7 +309,7 @@ pub fn sock_create<W: ZsockWorld>(
         ring_len: SOCK_RING,
         ring_off: 0,
         ring_live: BTreeMap::new(),
-        tx_inflight: BTreeMap::new(),
+        tx_inflight: Vec::new(),
         next_op: 1,
         error: None,
         completed: VecDeque::new(),
@@ -342,10 +344,16 @@ fn track_send<W: ZsockWorld>(
 ) {
     match sent {
         Ok(ctx) => {
-            w.zsock_mut()
-                .sock_mut(sid)
-                .tx_inflight
-                .insert(ctx, TxDone { op, buf });
+            let slot = knet_core::ctx_slot(ctx).expect("channel send contexts are pooled");
+            let s = w.zsock_mut().sock_mut(sid);
+            if s.tx_inflight.len() <= slot {
+                s.tx_inflight.resize_with(slot + 1, || None);
+            }
+            debug_assert!(
+                s.tx_inflight[slot].is_none(),
+                "slot recycled while in flight"
+            );
+            s.tx_inflight[slot] = Some((ctx, TxDone { op, buf }));
         }
         Err(e) => {
             if let Some(buf) = buf {
@@ -353,6 +361,20 @@ fn track_send<W: ZsockWorld>(
             }
             poison(w, sid, e, op);
         }
+    }
+}
+
+/// Take the in-flight record of `ctx`, if this socket owns it (full
+/// context values are compared, so a recycled pool slot never matches a
+/// stale record).
+fn tx_take<W: ZsockWorld>(w: &mut W, sid: SockId, ctx: u64) -> Option<TxDone> {
+    let slot = knet_core::ctx_slot(ctx)?;
+    let s = w.zsock_mut().sock_mut(sid);
+    let entry = s.tx_inflight.get_mut(slot)?;
+    if entry.as_ref().is_some_and(|(c, _)| *c == ctx) {
+        entry.take().map(|(_, t)| t)
+    } else {
+        None
     }
 }
 
@@ -410,7 +432,7 @@ pub fn sock_send<W: ZsockWorld>(w: &mut W, sid: SockId, src: MemRef) -> SockOpId
         (op, seq, s.ep, s.ep.node)
     };
     let ch = chan(w, sid);
-    let params = w.zsock().params.clone();
+    let params = w.zsock().params;
     let inline_max = match ep.kind {
         TransportKind::Mx => params.inline_max_mx,
         TransportKind::Gm => params.inline_max_gm,
@@ -553,7 +575,7 @@ pub fn sock_on_event<W: ZsockWorld>(w: &mut W, sid: SockId, ev: TransportEvent) 
         (s.ep.node, s.ep.kind)
     };
     if kind == TransportKind::Gm {
-        let p = w.zsock().params.clone();
+        let p = w.zsock().params;
         let cost =
             w.os().node(node).cpu.model.ctx_switch * p.gm_dispatch_switches as u64 + p.gm_interrupt;
         cpu_charge(w, node, cost);
@@ -624,7 +646,7 @@ pub fn sock_on_event<W: ZsockWorld>(w: &mut W, sid: SockId, ev: TransportEvent) 
             on_data_landed(w, sid, tag - TAG_DATA_BASE, len);
         }
         TransportEvent::SendDone { ctx } => {
-            let done = w.zsock_mut().sock_mut(sid).tx_inflight.remove(&ctx);
+            let done = tx_take(w, sid, ctx);
             if let Some(t) = done {
                 if let Some(buf) = t.buf {
                     stage_release(w, sid, buf);
@@ -639,7 +661,7 @@ pub fn sock_on_event<W: ZsockWorld>(w: &mut W, sid: SockId, ev: TransportEvent) 
             // A backpressure-queued frame was dropped by its retry: the
             // stream has a hole the peer can never fill. Release the
             // staging, fail the op, poison the socket.
-            let done = w.zsock_mut().sock_mut(sid).tx_inflight.remove(&ctx);
+            let done = tx_take(w, sid, ctx);
             if let Some(t) = done {
                 if let Some(buf) = t.buf {
                     stage_release(w, sid, buf);

@@ -113,7 +113,7 @@ pub fn tcp_pair<W: TcpWorld>(w: &mut W, a: NodeId, b: NodeId) -> (TcpSockId, Tcp
 
 /// `send(fd, buf)` through the TCP/IP stack.
 pub fn tcp_send<W: TcpWorld>(w: &mut W, sid: TcpSockId, src: MemRef) -> TcpOpId {
-    let params = w.tcp().params.clone();
+    let params = w.tcp().params;
     let (node, peer, op) = {
         let s = w.tcp_mut().sock_mut(sid);
         let op = s.next_op;
@@ -140,7 +140,7 @@ pub fn tcp_send<W: TcpWorld>(w: &mut W, sid: TcpSockId, src: MemRef) -> TcpOpId 
     let arrival = wire_end + params.wire_latency;
     // Receiver stack then delivery.
     knet_simcore::at(w, arrival, move |w: &mut W| {
-        let p = w.tcp().params.clone();
+        let p = w.tcp().params;
         let rx_node = w.tcp().sock(peer).node;
         let done = cpu_charge(w, rx_node, p.host_cost(len));
         knet_simcore::at(w, done, move |w: &mut W| {

@@ -91,15 +91,46 @@ pub fn await_event(w: &mut ClusterWorld, ep: Endpoint) -> TransportEvent {
 }
 
 /// Run until a `RecvDone` arrives for `ep` (discarding send completions).
+///
+/// Completions are drained in batches ([`ClusterWorld::take_events`]) —
+/// one registry access per burst instead of per event. The harness drivers
+/// are lock-step (at most one data event outstanding per await), which the
+/// drain asserts.
 pub fn await_recv(w: &mut ClusterWorld, ep: Endpoint) -> (u64, u64) {
+    let mut batch = Vec::new();
     loop {
-        match await_event(w, ep) {
-            TransportEvent::RecvDone { tag, len, .. } => return (tag, len),
-            TransportEvent::SendDone { .. } => continue,
-            TransportEvent::Unexpected { tag, data, .. } => return (tag, data.len() as u64),
-            TransportEvent::SendFailed { ctx, error } => {
-                panic!("benchmark send {ctx} failed: {error}")
+        let outcome = run_until(w, |w| w.has_event(ep));
+        assert_eq!(
+            outcome,
+            RunOutcome::Satisfied,
+            "no event arrived for {ep:?}"
+        );
+        w.take_events(ep, 64, &mut batch);
+        let mut data: Option<(u64, u64)> = None;
+        for e in batch.drain(..) {
+            match e.event {
+                TransportEvent::RecvDone { tag, len, .. } => {
+                    assert!(
+                        data.is_none(),
+                        "lock-step driver saw concurrent data events"
+                    );
+                    data = Some((tag, len));
+                }
+                TransportEvent::Unexpected { tag, data: d, .. } => {
+                    assert!(
+                        data.is_none(),
+                        "lock-step driver saw concurrent data events"
+                    );
+                    data = Some((tag, d.len() as u64));
+                }
+                TransportEvent::SendDone { .. } => {}
+                TransportEvent::SendFailed { ctx, error } => {
+                    panic!("benchmark send {ctx} failed: {error}")
+                }
             }
+        }
+        if let Some(d) = data {
+            return d;
         }
     }
 }

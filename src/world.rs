@@ -142,6 +142,23 @@ impl ClusterWorld {
         self.registry.take_event(ep)
     }
 
+    /// Drain up to `max` pending events for `ep` from its bound queue into
+    /// `out` (cleared first), oldest first — the batched form
+    /// ([`Registry::cq_pop_batch`]); one registry access amortizes over a
+    /// burst of completions. Returns the number drained.
+    pub fn take_events(
+        &mut self,
+        ep: Endpoint,
+        max: usize,
+        out: &mut Vec<knet_core::CqEntry>,
+    ) -> usize {
+        let Some(cq) = self.registry.cq_of(ep) else {
+            out.clear();
+            return 0;
+        };
+        self.registry.cq_pop_batch(cq, ep, max, out)
+    }
+
     /// Peek whether a completion-queue event is waiting for `ep`.
     pub fn has_event(&self, ep: Endpoint) -> bool {
         self.registry.has_event(ep)

@@ -6,9 +6,9 @@
 //! tier-1 suite self-enforcing.
 //!
 //! Allowed callers: `crates/core` (the channel layer itself), `crates/gm`
-//! and `crates/mx` (the drivers), `crates/orfs`/`crates/nbd` (handler-based
-//! in-kernel services still queued for migration — see ROADMAP), and
-//! driver-level integration tests under `tests/`.
+//! and `crates/mx` (the drivers), and driver-level integration tests under
+//! `tests/`. Every in-kernel service — the socket layer, ORFS and NBD —
+//! now attaches through handler-backed channels.
 
 use std::fs;
 use std::path::Path;
@@ -20,6 +20,8 @@ const FORBIDDEN: &[&str] = &[
     "crates/zsock",
     "crates/bench",
     "crates/simfs",
+    "crates/orfs",
+    "crates/nbd",
 ];
 
 fn scan(dir: &Path, offenders: &mut Vec<String>) {

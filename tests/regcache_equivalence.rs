@@ -1,0 +1,260 @@
+//! The O(1) GMKRC must be *observationally identical* to the flat-map
+//! implementation it replaced: same hits, same miss lists, same eviction
+//! victims in the same order, same invalidation sets, same drain contents,
+//! same statistics — on arbitrary interleavings of register / plan /
+//! evict / invalidate / drain.
+//!
+//! `ModelCache` below is a line-for-line reimplementation of the pre-rework
+//! `RegCache` (a `BTreeMap` keyed by `RegKey` with a logical clock per
+//! entry, `evict_lru` collecting and sorting every entry); the property
+//! drives it in lock-step with the real cache over seeded random op
+//! streams.
+
+use std::collections::BTreeMap;
+
+use knet_core::{RegCache, RegKey};
+use knet_simos::{page_slices, Asid, FrameIdx, VirtAddr, VmaChange, VmaEvent, PAGE_SIZE};
+use proptest::TestRng;
+
+// ---------------------------------------------------------------- model
+
+#[derive(Clone, Copy)]
+struct ModelEntry {
+    frame: FrameIdx,
+    last_use: u64,
+}
+
+/// The previous `RegCache` implementation, kept as the executable spec.
+struct ModelCache {
+    entries: BTreeMap<RegKey, ModelEntry>,
+    capacity: usize,
+    clock: u64,
+    page_hits: u64,
+    page_misses: u64,
+    evictions: u64,
+    invalidations: u64,
+}
+
+impl ModelCache {
+    fn new(capacity: usize) -> Self {
+        ModelCache {
+            entries: BTreeMap::new(),
+            capacity,
+            clock: 0,
+            page_hits: 0,
+            page_misses: 0,
+            evictions: 0,
+            invalidations: 0,
+        }
+    }
+
+    fn plan_range(&mut self, asid: Asid, addr: VirtAddr, len: u64) -> (Vec<VirtAddr>, u64) {
+        let mut missing = Vec::new();
+        let mut hits = 0u64;
+        let mut last_vpn = None;
+        for (page, _, _) in page_slices(addr, len) {
+            if last_vpn == Some(page.vpn()) {
+                continue;
+            }
+            last_vpn = Some(page.vpn());
+            let key = RegKey::of(asid, page);
+            self.clock += 1;
+            match self.entries.get_mut(&key) {
+                Some(e) => {
+                    e.last_use = self.clock;
+                    hits += 1;
+                    self.page_hits += 1;
+                }
+                None => {
+                    missing.push(page);
+                    self.page_misses += 1;
+                }
+            }
+        }
+        (missing, hits)
+    }
+
+    fn commit(&mut self, key: RegKey, frame: FrameIdx) {
+        self.clock += 1;
+        self.entries.insert(
+            key,
+            ModelEntry {
+                frame,
+                last_use: self.clock,
+            },
+        );
+    }
+
+    fn pressure(&self, need: usize) -> usize {
+        (self.entries.len() + need).saturating_sub(self.capacity)
+    }
+
+    fn evict_lru(&mut self, n: usize) -> Vec<(RegKey, FrameIdx)> {
+        let mut by_age: Vec<(u64, RegKey)> =
+            self.entries.iter().map(|(k, e)| (e.last_use, *k)).collect();
+        by_age.sort_unstable();
+        let victims: Vec<RegKey> = by_age.into_iter().take(n).map(|(_, k)| k).collect();
+        let mut out = Vec::new();
+        for k in victims {
+            if let Some(e) = self.entries.remove(&k) {
+                self.evictions += 1;
+                out.push((k, e.frame));
+            }
+        }
+        out
+    }
+
+    fn invalidate(&mut self, ev: &VmaEvent) -> Vec<(RegKey, FrameIdx)> {
+        let range = match ev.change {
+            VmaChange::Unmap { start, len } | VmaChange::Protect { start, len } => Some((
+                start.vpn(),
+                VirtAddr::new(start.raw() + len.max(1) - 1).vpn(),
+            )),
+            VmaChange::Exit => None,
+            VmaChange::Fork { .. } => return Vec::new(),
+        };
+        let (lo, hi) = range.unwrap_or((0, u64::MAX));
+        let keys: Vec<RegKey> = self
+            .entries
+            .range(
+                RegKey {
+                    asid: ev.asid,
+                    vpn: lo,
+                }..=RegKey {
+                    asid: ev.asid,
+                    vpn: hi,
+                },
+            )
+            .map(|(k, _)| *k)
+            .collect();
+        let mut out = Vec::new();
+        for k in keys {
+            if let Some(e) = self.entries.remove(&k) {
+                self.invalidations += 1;
+                out.push((k, e.frame));
+            }
+        }
+        out
+    }
+
+    fn drain(&mut self) -> Vec<(RegKey, FrameIdx)> {
+        let out: Vec<(RegKey, FrameIdx)> =
+            self.entries.iter().map(|(k, e)| (*k, e.frame)).collect();
+        self.entries.clear();
+        out
+    }
+}
+
+// ---------------------------------------------------------------- property
+
+fn key_list(v: &[(RegKey, FrameIdx)]) -> Vec<(u32, u64, u32)> {
+    v.iter().map(|(k, f)| (k.asid.0, k.vpn, f.0)).collect()
+}
+
+/// One random op stream, model and implementation in lock-step.
+fn run_stream(seed: u64, ops: usize, capacity: usize) {
+    let mut rng = TestRng::new(seed);
+    let mut model = ModelCache::new(capacity);
+    let mut real = RegCache::new(capacity);
+    let asids = [Asid(1), Asid(2), Asid(7)];
+
+    for step in 0..ops {
+        let ctx = format!("seed {seed} step {step}");
+        match rng.below(100) {
+            // Plan a range (the hot path): must agree on hits and misses.
+            0..=44 => {
+                let asid = asids[rng.below(asids.len() as u64) as usize];
+                let addr = VirtAddr::new(rng.below(64) * PAGE_SIZE + rng.below(PAGE_SIZE));
+                let len = rng.below(6 * PAGE_SIZE) + 1;
+                let (m_missing, m_hits) = model.plan_range(asid, addr, len);
+                let plan = real.plan_range(asid, addr, len);
+                assert_eq!(plan.missing, m_missing, "{ctx}: miss list");
+                assert_eq!(plan.hit_pages, m_hits, "{ctx}: hit count");
+                // Register what was missing (as the driver would).
+                for page in m_missing {
+                    let key = RegKey::of(asid, page);
+                    let frame = FrameIdx(rng.below(1 << 20) as u32);
+                    model.commit(key, frame);
+                    real.commit(key, frame);
+                }
+            }
+            // Direct commit (re-registration of a possibly-known page).
+            45..=59 => {
+                let key = RegKey {
+                    asid: asids[rng.below(asids.len() as u64) as usize],
+                    vpn: rng.below(64),
+                };
+                let frame = FrameIdx(rng.below(1 << 20) as u32);
+                model.commit(key, frame);
+                real.commit(key, frame);
+            }
+            // Evict under (possibly synthetic) pressure: victims must match
+            // exactly, order included.
+            60..=74 => {
+                let n = (rng.below(8) + 1) as usize;
+                assert_eq!(model.pressure(n), real.pressure(n), "{ctx}: pressure");
+                let m = model.evict_lru(n);
+                let r = real.evict_lru(n);
+                assert_eq!(key_list(&r), key_list(&m), "{ctx}: eviction victims");
+            }
+            // VMA SPY events: identical invalidation sets.
+            75..=92 => {
+                let asid = asids[rng.below(asids.len() as u64) as usize];
+                let ev = match rng.below(4) {
+                    0 => VmaEvent::unmap(
+                        asid,
+                        VirtAddr::new(rng.below(64) * PAGE_SIZE),
+                        (rng.below(8) + 1) * PAGE_SIZE,
+                    ),
+                    1 => VmaEvent::protect(
+                        asid,
+                        VirtAddr::new(rng.below(64) * PAGE_SIZE),
+                        (rng.below(8) + 1) * PAGE_SIZE,
+                    ),
+                    2 => VmaEvent::exit(asid),
+                    _ => VmaEvent::fork(asid, Asid(99)),
+                };
+                let m = model.invalidate(&ev);
+                let r = real.invalidate(&ev);
+                assert_eq!(key_list(&r), key_list(&m), "{ctx}: invalidation set");
+            }
+            // Occasional full drain (port close).
+            _ => {
+                let m = model.drain();
+                let r = real.drain();
+                assert_eq!(key_list(&r), key_list(&m), "{ctx}: drain");
+            }
+        }
+        assert_eq!(real.len(), model.entries.len(), "{ctx}: occupancy");
+    }
+
+    // Lifetime statistics agree too.
+    assert_eq!(real.stats.page_hits, model.page_hits, "hits (seed {seed})");
+    assert_eq!(
+        real.stats.page_misses, model.page_misses,
+        "misses (seed {seed})"
+    );
+    assert_eq!(
+        real.stats.evictions, model.evictions,
+        "evictions (seed {seed})"
+    );
+    assert_eq!(
+        real.stats.invalidations, model.invalidations,
+        "invalidations (seed {seed})"
+    );
+}
+
+#[test]
+fn o1_regcache_matches_the_flat_map_model() {
+    for seed in 0..32u64 {
+        run_stream(0xC0FFEE ^ seed.wrapping_mul(0x9E3779B97F4A7C15), 400, 24);
+    }
+}
+
+#[test]
+fn o1_regcache_matches_under_tight_capacity_thrash() {
+    // Capacity 4 with a 64-page universe: constant eviction churn.
+    for seed in 0..16u64 {
+        run_stream(0xBEEF ^ seed.wrapping_mul(0x2545F4914F6CDD1D), 300, 4);
+    }
+}

@@ -1,0 +1,239 @@
+//! Offline shim of an inline small-vector: up to `N` elements live inline
+//! (no heap allocation), longer sequences spill to a `Vec`. The API is the
+//! small subset this workspace needs for io-vector segment lists and
+//! driver scratch — not the real `smallvec` crate's interface.
+//!
+//! Elements must be `Copy + Default` so the shim can stay entirely safe
+//! Rust (the inline storage is a plain array, no `MaybeUninit`): exactly
+//! the shape of `MemRef` / `PhysSeg` segment descriptors.
+//!
+//! Invariant: when `spill` is non-empty it holds *all* elements and the
+//! inline buffer is dead; otherwise the first `inline_len` inline slots are
+//! live. A vector that spilled stays spilled until [`SmallVec::clear`].
+
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::ops::{Deref, DerefMut};
+
+/// A vector of `T` that stores up to `N` elements inline.
+#[derive(Clone)]
+pub struct SmallVec<T: Copy + Default, const N: usize> {
+    inline_len: usize,
+    inline: [T; N],
+    spill: Vec<T>,
+}
+
+impl<T: Copy + Default, const N: usize> SmallVec<T, N> {
+    pub fn new() -> Self {
+        SmallVec {
+            inline_len: 0,
+            inline: [T::default(); N],
+            spill: Vec::new(),
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        if self.spill.is_empty() {
+            self.inline_len
+        } else {
+            self.spill.len()
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// True while the elements live inline (no heap allocation).
+    pub fn is_inline(&self) -> bool {
+        self.spill.is_empty()
+    }
+
+    pub fn push(&mut self, v: T) {
+        if !self.spill.is_empty() {
+            self.spill.push(v);
+        } else if self.inline_len < N {
+            self.inline[self.inline_len] = v;
+            self.inline_len += 1;
+        } else {
+            self.spill.reserve(N + 1);
+            self.spill
+                .extend_from_slice(&self.inline[..self.inline_len]);
+            self.spill.push(v);
+            self.inline_len = 0;
+        }
+    }
+
+    pub fn pop(&mut self) -> Option<T> {
+        if !self.spill.is_empty() {
+            self.spill.pop()
+        } else if self.inline_len > 0 {
+            self.inline_len -= 1;
+            Some(self.inline[self.inline_len])
+        } else {
+            None
+        }
+    }
+
+    /// Drop every element; a spilled vector keeps its heap capacity but
+    /// returns to inline storage for subsequent pushes.
+    pub fn clear(&mut self) {
+        self.inline_len = 0;
+        self.spill.clear();
+    }
+
+    pub fn as_slice(&self) -> &[T] {
+        if self.spill.is_empty() {
+            &self.inline[..self.inline_len]
+        } else {
+            &self.spill
+        }
+    }
+
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
+        if self.spill.is_empty() {
+            &mut self.inline[..self.inline_len]
+        } else {
+            &mut self.spill
+        }
+    }
+
+    pub fn iter(&self) -> std::slice::Iter<'_, T> {
+        self.as_slice().iter()
+    }
+
+    pub fn to_vec(&self) -> Vec<T> {
+        self.as_slice().to_vec()
+    }
+
+    pub fn from_vec(v: Vec<T>) -> Self {
+        if v.len() <= N {
+            let mut s = Self::new();
+            for x in v {
+                s.push(x);
+            }
+            s
+        } else {
+            SmallVec {
+                inline_len: 0,
+                inline: [T::default(); N],
+                spill: v,
+            }
+        }
+    }
+}
+
+impl<T: Copy + Default, const N: usize> Default for SmallVec<T, N> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T: Copy + Default, const N: usize> Deref for SmallVec<T, N> {
+    type Target = [T];
+    fn deref(&self) -> &[T] {
+        self.as_slice()
+    }
+}
+
+impl<T: Copy + Default, const N: usize> DerefMut for SmallVec<T, N> {
+    fn deref_mut(&mut self) -> &mut [T] {
+        self.as_mut_slice()
+    }
+}
+
+impl<T: Copy + Default, const N: usize> From<Vec<T>> for SmallVec<T, N> {
+    fn from(v: Vec<T>) -> Self {
+        Self::from_vec(v)
+    }
+}
+
+impl<T: Copy + Default, const N: usize> FromIterator<T> for SmallVec<T, N> {
+    fn from_iter<I: IntoIterator<Item = T>>(iter: I) -> Self {
+        let mut s = Self::new();
+        for x in iter {
+            s.push(x);
+        }
+        s
+    }
+}
+
+impl<T: Copy + Default, const N: usize> Extend<T> for SmallVec<T, N> {
+    fn extend<I: IntoIterator<Item = T>>(&mut self, iter: I) {
+        for x in iter {
+            self.push(x);
+        }
+    }
+}
+
+impl<'a, T: Copy + Default, const N: usize> IntoIterator for &'a SmallVec<T, N> {
+    type Item = &'a T;
+    type IntoIter = std::slice::Iter<'a, T>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_slice().iter()
+    }
+}
+
+impl<T: Copy + Default + PartialEq, const N: usize> PartialEq for SmallVec<T, N> {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl<T: Copy + Default + Eq, const N: usize> Eq for SmallVec<T, N> {}
+
+impl<T: Copy + Default + Hash, const N: usize> Hash for SmallVec<T, N> {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.as_slice().hash(state);
+    }
+}
+
+impl<T: Copy + Default + fmt::Debug, const N: usize> fmt::Debug for SmallVec<T, N> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.as_slice().fmt(f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stays_inline_up_to_n() {
+        let mut v: SmallVec<u32, 4> = SmallVec::new();
+        for i in 0..4 {
+            v.push(i);
+            assert!(v.is_inline());
+        }
+        assert_eq!(v.as_slice(), &[0, 1, 2, 3]);
+        v.push(4);
+        assert!(!v.is_inline());
+        assert_eq!(v.as_slice(), &[0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn pop_and_clear_restore_inline_mode() {
+        let mut v: SmallVec<u32, 2> = SmallVec::from_vec(vec![1, 2, 3]);
+        assert!(!v.is_inline());
+        assert_eq!(v.pop(), Some(3));
+        v.clear();
+        assert!(v.is_inline());
+        v.push(9);
+        assert_eq!(v.as_slice(), &[9]);
+    }
+
+    #[test]
+    fn equality_ignores_representation() {
+        let a: SmallVec<u32, 2> = SmallVec::from_vec(vec![1, 2, 3]);
+        let mut b: SmallVec<u32, 2> = SmallVec::new();
+        b.extend([1, 2, 3]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn from_vec_small_goes_inline() {
+        let v: SmallVec<u32, 4> = SmallVec::from_vec(vec![1, 2]);
+        assert!(v.is_inline());
+        assert_eq!(v.len(), 2);
+    }
+}
