@@ -343,6 +343,25 @@ impl Cq {
             .map(|q| q.len as usize)
             .unwrap_or(0)
     }
+
+    /// Drop every entry queued for `ep` (the endpoint's chain empties; the
+    /// `EpQueue` record recycles as usual). Returns the number purged.
+    fn purge_ep(&mut self, ep: Endpoint) -> usize {
+        let Some(q) = self.by_ep.get_mut(&key(ep)) else {
+            return 0;
+        };
+        let mut slot = q.head;
+        let purged = q.len as usize;
+        q.head = CQ_NIL;
+        q.tail = CQ_NIL;
+        q.len = 0;
+        while slot != CQ_NIL {
+            let next = self.slots[slot as usize].ep_next;
+            self.take_global(slot);
+            slot = next;
+        }
+        purged
+    }
 }
 
 /// A channel send waiting for transport tokens.
@@ -402,6 +421,10 @@ pub struct Registry<W> {
     channels: BTreeMap<u32, Channel>,
     /// Endpoint → channel, for peer learning and send retries.
     channel_routes: BTreeMap<(TransportKind, u32), ChannelId>,
+    /// The last queue that accumulated entries for each endpoint — so a
+    /// channel taking over a recycled endpoint can purge its predecessor's
+    /// ghosts even when it feeds a different queue (or none).
+    ep_cqs: HashMap<(TransportKind, u32), CqId>,
     next_channel: u32,
     pub stats: RegistryStats,
 }
@@ -417,6 +440,7 @@ impl<W> Default for Registry<W> {
             parked: BTreeMap::new(),
             channels: BTreeMap::new(),
             channel_routes: BTreeMap::new(),
+            ep_cqs: HashMap::new(),
             next_channel: 0,
             stats: RegistryStats::default(),
         }
@@ -442,9 +466,22 @@ impl<W> Registry<W> {
         id
     }
 
-    /// Destroy a queue, dropping any entries still in it.
+    /// Destroy a queue, dropping any entries still in it. Consumers backed
+    /// by the queue are deregistered and their routes dropped — endpoints
+    /// that fed the dead queue park future events instead of feeding a
+    /// stale [`CqId`] through [`Registry::cq_of`]/[`Registry::has_event`]
+    /// (the lifecycle bug regression-tested in `tests/channel_api.rs`).
     pub fn destroy_cq(&mut self, cq: CqId) {
         self.cqs.remove(&cq.0);
+        let stale: Vec<ConsumerId> = self
+            .consumers
+            .iter()
+            .filter(|(_, c)| matches!(c.sink, Sink::Cq(q) if q == cq))
+            .map(|(id, _)| ConsumerId(*id))
+            .collect();
+        for cid in stale {
+            self.deregister(cid);
+        }
     }
 
     /// Append an entry (used by [`deliver`]; public so tests can drive
@@ -454,7 +491,22 @@ impl<W> Registry<W> {
         // A destroyed queue stays destroyed: events for it are dropped, not
         // silently resurrected into a queue nobody polls.
         match self.cqs.get_mut(&cq.0) {
-            Some(q) => q.push(ep, event),
+            Some(q) => {
+                q.push(ep, event);
+                // Record the endpoint's accumulating queue; write only on
+                // change (the mapping is almost always stable — keep the
+                // per-completion path read-mostly).
+                match self.ep_cqs.entry(key(ep)) {
+                    std::collections::hash_map::Entry::Occupied(mut e) => {
+                        if *e.get() != cq {
+                            e.insert(cq);
+                        }
+                    }
+                    std::collections::hash_map::Entry::Vacant(e) => {
+                        e.insert(cq);
+                    }
+                }
+            }
             None => self.stats.dropped += 1,
         }
     }
@@ -609,7 +661,9 @@ impl<W> Registry<W> {
             TransportEvent::Unexpected { from, .. } | TransportEvent::RecvDone { from, .. } => {
                 *from
             }
-            TransportEvent::SendDone { .. } | TransportEvent::SendFailed { .. } => return,
+            TransportEvent::SendDone { .. }
+            | TransportEvent::SendFailed { .. }
+            | TransportEvent::PeerDown { .. } => return,
         };
         if let Some(chid) = self.channel_routes.get(&key(ep)) {
             if let Some(ch) = self.channels.get_mut(&chid.0) {
@@ -730,6 +784,26 @@ fn create_channel<W: DispatchWorld>(
         Sink::Cq(cq) => Some(cq),
         Sink::Handler(_) => None,
     };
+    // Purge the endpoint's undrained entries from the queue this channel
+    // will feed *and* from the last queue that accumulated for it: send
+    // contexts are pooled *per channel* (slot 0 restarts every
+    // incarnation), so a leftover completion from a closed channel on this
+    // endpoint would alias the new channel's contexts — also when the new
+    // channel feeds a different queue, or a handler. Completions of a
+    // closed channel stay poppable until someone reuses the endpoint —
+    // then they are ghosts, and dropped (counted in `dropped`). This is
+    // the recycled-endpoint lifecycle bug regression-tested in
+    // `tests/channel_api.rs`.
+    {
+        let r = w.registry_mut();
+        let previous = r.ep_cqs.get(&key(local)).copied();
+        for target in [cq, previous].into_iter().flatten() {
+            if let Some(q) = r.cqs.get_mut(&target.0) {
+                let purged = q.purge_ep(local);
+                r.stats.dropped += purged as u64;
+            }
+        }
+    }
     let r = w.registry_mut();
     let id = ChannelId(r.next_channel);
     r.next_channel += 1;
@@ -828,9 +902,42 @@ pub fn channel_cq<W: DispatchWorld>(w: &W, ch: ChannelId) -> Option<CqId> {
 /// Bound the channel's backpressure queue (see [`channel_send`]); `0`
 /// disables queueing and restores the raw [`NetError::NoSendTokens`]
 /// contract.
+///
+/// Shrinking the cap below the current [`Channel::queued_len`] does not
+/// silently strand the excess: parked sends past the new cap are failed
+/// deterministically, newest first, each completing as
+/// [`TransportEvent::SendFailed`] with [`NetError::SendQueueFull`] (the
+/// caller holds `Ok(ctx)` for them, so a completion must arrive).
 pub fn channel_set_send_queue_cap<W: DispatchWorld>(w: &mut W, ch: ChannelId, cap: usize) {
-    if let Some(c) = w.registry_mut().channels.get_mut(&ch.0) {
+    let local = {
+        let r = w.registry_mut();
+        let Some(c) = r.channels.get_mut(&ch.0) else {
+            return;
+        };
         c.send_queue_cap = cap;
+        c.local
+    };
+    loop {
+        let evicted = {
+            let r = w.registry_mut();
+            let Some(c) = r.channels.get_mut(&ch.0) else {
+                return;
+            };
+            if c.pending.len() <= cap {
+                return;
+            }
+            let qs = c.pending.pop_back().expect("len > cap >= 0");
+            r.stats.failed_retries += 1;
+            qs.ctx
+        };
+        deliver(
+            w,
+            local,
+            TransportEvent::SendFailed {
+                ctx: evicted,
+                error: NetError::SendQueueFull,
+            },
+        );
     }
 }
 
@@ -1069,6 +1176,68 @@ fn teardown_channel<W: DispatchWorld>(w: &mut W, ch: ChannelId) -> Option<Endpoi
 pub fn channel_close<W: DispatchWorld>(w: &mut W, ch: ChannelId) {
     if let Some(local) = teardown_channel(w, ch) {
         w.registry_mut().unbind(local);
+    }
+}
+
+/// Propagate a dead link into the channel layer: the driver's reliability
+/// window exhausted its retry budget against `remote_node` (or the node was
+/// killed). Every channel of `kind` whose endpoint lives on `local_node`:
+///
+/// * has its backpressure-queued sends toward the dead node completed as
+///   [`TransportEvent::SendFailed`] with [`NetError::PeerUnreachable`]
+///   (their bytes can never leave), and
+/// * receives one [`TransportEvent::PeerDown`] so its consumer can fail
+///   in-flight operations instead of stalling forever — zsock poisons the
+///   socket, ORFS/NBD clients fail pending ops with a typed error.
+///
+/// Channels whose recorded peer is a *different* live node still get the
+/// event (accept-side server channels serve many peers and may hold state
+/// for the dead one); consumers key their cleanup on `peer.node`.
+pub fn peer_down<W: DispatchWorld>(
+    w: &mut W,
+    kind: TransportKind,
+    local_node: NodeId,
+    remote_node: NodeId,
+) {
+    let affected: Vec<(ChannelId, Endpoint, Option<Endpoint>)> = w
+        .registry()
+        .channels
+        .iter()
+        .filter(|(_, c)| c.local.kind == kind && c.local.node == local_node)
+        .map(|(id, c)| (ChannelId(*id), c.local, c.peer))
+        .collect();
+    for (chid, local, peer) in affected {
+        // Fail queued sends addressed to the dead node, in order.
+        loop {
+            let ctx = {
+                let r = w.registry_mut();
+                let Some(c) = r.channels.get_mut(&chid.0) else {
+                    break;
+                };
+                let pos = c.pending.iter().position(|qs| qs.to.node == remote_node);
+                let Some(pos) = pos else { break };
+                let qs = c.pending.remove(pos).expect("position valid");
+                r.stats.failed_retries += 1;
+                qs.ctx
+            };
+            deliver(
+                w,
+                local,
+                TransportEvent::SendFailed {
+                    ctx,
+                    error: NetError::PeerUnreachable,
+                },
+            );
+        }
+        let peer_ep = match peer {
+            Some(p) if p.node == remote_node => p,
+            _ => Endpoint {
+                kind,
+                node: remote_node,
+                idx: u32::MAX,
+            },
+        };
+        deliver(w, local, TransportEvent::PeerDown { peer: peer_ep });
     }
 }
 

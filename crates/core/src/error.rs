@@ -41,6 +41,11 @@ pub enum NetError {
     /// An address class was used where it is not allowed (e.g. a user
     /// virtual address on a port opened without an address space).
     BadAddressClass,
+    /// The driver's reliability window exhausted its retry budget against
+    /// this peer (or the peer was already declared dead): no further
+    /// traffic can reach it. Accompanied by a `TransportEvent::PeerDown`
+    /// delivered to every channel bound to the peer.
+    PeerUnreachable,
 }
 
 impl From<OsError> for NetError {
@@ -75,6 +80,7 @@ impl fmt::Display for NetError {
             NetError::OutOfPorts => f.write_str("no free ports"),
             NetError::UnknownRequest => f.write_str("unknown request id"),
             NetError::BadAddressClass => f.write_str("address class not allowed here"),
+            NetError::PeerUnreachable => f.write_str("peer unreachable (retry budget exhausted)"),
         }
     }
 }

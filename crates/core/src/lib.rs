@@ -28,7 +28,7 @@ pub mod transport;
 pub use api::{
     bind, channel_accept, channel_accept_handler, channel_cancel_recv, channel_close,
     channel_connect, channel_connect_handler, channel_cq, channel_peer, channel_post_recv,
-    channel_send, channel_send_to, channel_set_send_queue_cap, ctx_slot, deliver,
+    channel_send, channel_send_to, channel_set_send_queue_cap, ctx_slot, deliver, peer_down,
     release_kernel_buffer, Channel, ChannelId, ConsumerId, CqEntry, CqId, DispatchWorld, Registry,
     RegistryStats, DEFAULT_SEND_QUEUE_CAP,
 };

@@ -57,6 +57,16 @@ pub enum TransportEvent {
     /// `SendDone` will ever arrive for `ctx`. Consumers must release
     /// whatever resources they tied to the context.
     SendFailed { ctx: u64, error: NetError },
+    /// The driver's reliability window declared the peer's node dead (retry
+    /// budget exhausted, or the node was killed). Delivered to every
+    /// channel on the affected transport whose node faces the dead peer;
+    /// further sends toward it fail with [`NetError::PeerUnreachable`].
+    ///
+    /// `peer` is the channel's recorded peer endpoint when one is known and
+    /// lives on the dead node; otherwise (accept-side channels serving many
+    /// peers) `peer.idx` is `u32::MAX` and only `peer.kind`/`peer.node`
+    /// identify the casualty — consumers key their cleanup on the node.
+    PeerDown { peer: Endpoint },
 }
 
 /// World capability: send/receive over whichever driver owns the endpoint.

@@ -22,8 +22,8 @@ use knet_core::{
 };
 use knet_simcore::SimTime;
 use knet_simnic::{
-    dma_charge, dma_gather, dma_scatter, fw_charge, wire_send, NicId, NicWorld, Packet, Proto,
-    TransKey,
+    dma_charge, dma_gather, dma_scatter, fw_charge, rel_on_packet, rel_send, NicId, NicWorld,
+    Packet, Proto, RelVerdict, TransKey,
 };
 use knet_simos::{cpu_charge, page_slices, Asid, FrameIdx, NodeId, PhysSeg};
 
@@ -577,6 +577,11 @@ pub fn gm_send<W: GmWorld>(
     // Destination must exist (GM routes are static; a bad route is an error
     // at open time in real GM — at send time here).
     let dst_nic = w.gm().port(dest)?.nic;
+    // A peer whose reliability window died is unreachable: fail before any
+    // tokens, registrations or DMA are committed.
+    if w.nics().rel.link_dead(Proto::Gm, nic, dst_nic) {
+        return Err(NetError::PeerUnreachable);
+    }
 
     {
         let p = w.gm_mut().port_mut(port_id)?;
@@ -666,7 +671,7 @@ pub fn gm_send<W: GmWorld>(
             data,
             params.header_bytes,
         );
-        wire_send(w, pkt, fw_ready);
+        rel_send(w, pkt, fw_ready);
         ready = dma_done;
         offset += chunk_len;
         // After the last chunk leaves host memory the buffer is reusable:
@@ -735,6 +740,11 @@ pub fn gm_provide_receive_buffer<W: GmWorld>(
 /// packets arriving at `nic`.
 pub fn gm_on_packet<W: GmWorld>(w: &mut W, nic: NicId, pkt: Packet) {
     debug_assert_eq!(pkt.proto, Proto::Gm);
+    // NIC-level reliability first: acks and duplicates never reach the
+    // protocol logic; fresh packets are acked cumulatively.
+    if rel_on_packet(w, &pkt) == RelVerdict::Consumed {
+        return;
+    }
     let m = unpack_meta(&pkt.meta);
     let params = w.gm().params;
     let now = knet_simcore::now(w);

@@ -25,7 +25,8 @@ use knet_core::{
 };
 use knet_simcore::SimTime;
 use knet_simnic::{
-    dma_charge, dma_gather, dma_scatter, fw_charge, wire_send, NicId, NicWorld, Packet, Proto,
+    dma_charge, dma_gather, dma_scatter, fw_charge, rel_on_packet, rel_send, NicId, NicWorld,
+    Packet, Proto, RelVerdict,
 };
 use knet_simos::{Asid, FrameIdx, NodeId, PhysSeg};
 
@@ -441,6 +442,11 @@ pub fn mx_isend<W: MxWorld>(
         (e.node, e.nic)
     };
     let dst_nic = w.mx().ep(dest)?.nic;
+    // A peer whose reliability window died is unreachable: fail before any
+    // copies, pins or DMA are committed.
+    if w.nics().rel.link_dead(Proto::Mx, nic, dst_nic) {
+        return Err(NetError::PeerUnreachable);
+    }
     let total = iov.total_len();
     {
         let e = w.mx_mut().ep_mut(from)?;
@@ -471,7 +477,7 @@ pub fn mx_isend<W: MxWorld>(
                 data,
                 params.header_bytes,
             );
-            wire_send(w, pkt, fw_done);
+            rel_send(w, pkt, fw_done);
             knet_simcore::at(w, host_done, move |w: &mut W| {
                 if let Ok(e) = w.mx_mut().ep_mut(from) {
                     e.events.push_back(MxEvent::SendDone { ctx });
@@ -539,7 +545,7 @@ pub fn mx_isend<W: MxWorld>(
                     chunk,
                     params.header_bytes,
                 );
-                wire_send(w, pkt, fw_ready);
+                rel_send(w, pkt, fw_ready);
                 ready = dma_done;
                 offset += chunk_len;
             }
@@ -587,7 +593,7 @@ pub fn mx_isend<W: MxWorld>(
                 Bytes::new(),
                 params.header_bytes,
             );
-            wire_send(w, pkt, fw_done);
+            rel_send(w, pkt, fw_done);
         }
     }
     Ok(())
@@ -716,13 +722,18 @@ fn accept_rendezvous<W: MxWorld>(
         Bytes::new(),
         params.header_bytes,
     );
-    wire_send(w, pkt, fw_done);
+    rel_send(w, pkt, fw_done);
     Ok(())
 }
 
 /// Firmware receive path for `Proto::Mx` packets.
 pub fn mx_on_packet<W: MxWorld>(w: &mut W, nic: NicId, pkt: Packet) {
     debug_assert_eq!(pkt.proto, Proto::Mx);
+    // NIC-level reliability first: acks and duplicates never reach the
+    // protocol logic; fresh packets are acked cumulatively.
+    if rel_on_packet(w, &pkt) == RelVerdict::Consumed {
+        return;
+    }
     match pkt.kind {
         KIND_EAGER => eager_rx(w, nic, pkt),
         KIND_RTS => rts_rx(w, nic, pkt),
@@ -967,7 +978,7 @@ fn cts_rx<W: MxWorld>(w: &mut W, nic: NicId, pkt: Packet) {
             data,
             params.header_bytes,
         );
-        wire_send(w, pkt, fw_ready);
+        rel_send(w, pkt, fw_ready);
         ready = dma_done;
         offset += chunk_len;
         if offset >= r.total {

@@ -79,6 +79,9 @@ pub struct NbdClient {
     next_reqid: u64,
     next_op: u64,
     pending: BTreeMap<u64, NbdOp>,
+    /// In-flight channel send contexts → request id, so a `SendFailed`
+    /// fails exactly that request's op instead of hanging it.
+    tx_ctxs: BTreeMap<u64, u64>,
     ops: BTreeMap<NbdOp, OpState>,
     ring: VirtAddr,
     ring_len: u64,
@@ -125,6 +128,7 @@ pub fn nbd_client_create<W: NbdWorld>(
         next_reqid: 1,
         next_op: 1,
         pending: BTreeMap::new(),
+        tx_ctxs: BTreeMap::new(),
         ops: BTreeMap::new(),
         ring,
         ring_len: RING,
@@ -175,6 +179,26 @@ fn fail_send<W: NbdWorld>(w: &mut W, cid: NbdClientId, reqid: u64, e: NetError) 
     c.completed.push_back((op, Err(e)));
 }
 
+/// Submit one channel send for request `reqid`, recording its context so a
+/// later `SendFailed` fails exactly this request (or failing it now on a
+/// synchronous rejection).
+fn send_tracked<W: NbdWorld>(
+    w: &mut W,
+    cid: NbdClientId,
+    ch: knet_core::ChannelId,
+    reqid: u64,
+    iov: IoVec,
+) {
+    match channel_send(w, ch, reqid, iov) {
+        Ok(ctx) => {
+            w.nbd_mut().clients[cid.0 as usize]
+                .tx_ctxs
+                .insert(ctx, reqid);
+        }
+        Err(e) => fail_send(w, cid, reqid, e),
+    }
+}
+
 fn send_request<W: NbdWorld>(
     w: &mut W,
     cid: NbdClientId,
@@ -203,9 +227,13 @@ fn send_request<W: NbdWorld>(
             .write_virt(knet_simos::Asid::KERNEL, addr.add(bytes.len() as u64), p)
             .expect("ring mapped");
     }
-    if let Err(e) = channel_send(w, ch, reqid, IoVec::single(MemRef::kernel(addr, total))) {
-        fail_send(w, cid, reqid, e);
-    }
+    send_tracked(
+        w,
+        cid,
+        ch,
+        reqid,
+        IoVec::single(MemRef::kernel(addr, total)),
+    );
     reqid
 }
 
@@ -265,14 +293,13 @@ pub fn nbd_read_raw<W: NbdWorld>(w: &mut W, cid: NbdClientId, dest: MemRef, sect
         .node_mut(node)
         .write_virt(knet_simos::Asid::KERNEL, addr, &bytes)
         .expect("ring mapped");
-    if let Err(e) = channel_send(
+    send_tracked(
         w,
+        cid,
         ch,
         reqid,
         IoVec::single(MemRef::kernel(addr, bytes.len() as u64)),
-    ) {
-        fail_send(w, cid, reqid, e);
-    }
+    );
     op
 }
 
@@ -498,14 +525,13 @@ fn advance_buffered<W: NbdWorld>(w: &mut W, cid: NbdClientId, op: NbdOp) {
                     .node_mut(node2)
                     .write_virt(knet_simos::Asid::KERNEL, addr, &bytes)
                     .expect("ring mapped");
-                if let Err(e) = channel_send(
+                send_tracked(
                     w,
+                    cid,
                     ch,
                     reqid,
                     IoVec::single(MemRef::kernel(addr, bytes.len() as u64)),
-                ) {
-                    fail_send(w, cid, reqid, e);
-                }
+                );
                 return;
             }
         }
@@ -527,7 +553,49 @@ pub fn nbd_on_client_event<W: NbdWorld>(w: &mut W, cid: NbdClientId, ev: Transpo
     let (tag, len) = match ev {
         TransportEvent::RecvDone { tag, len, .. } => (tag, len),
         TransportEvent::Unexpected { tag, data, .. } => (tag, data.len() as u64),
-        TransportEvent::SendDone { .. } | TransportEvent::SendFailed { .. } => return,
+        TransportEvent::SendDone { ctx } => {
+            w.nbd_mut().clients[cid.0 as usize].tx_ctxs.remove(&ctx);
+            return;
+        }
+        TransportEvent::SendFailed { ctx, error } => {
+            // A queued request frame was dropped by its retry: the reply
+            // will never come. Fail exactly that request's op.
+            let reqid = w.nbd_mut().clients[cid.0 as usize].tx_ctxs.remove(&ctx);
+            if let Some(reqid) = reqid {
+                fail_send(w, cid, reqid, error);
+            }
+            return;
+        }
+        TransportEvent::PeerDown { peer } => {
+            // The server's node died: every in-flight block op completes
+            // with a typed error — nothing may stall on a dead disk.
+            if peer.node != w.nbd().clients[cid.0 as usize].server.node {
+                return;
+            }
+            let ch = w.nbd().clients[cid.0 as usize].ch;
+            let reqids: Vec<u64> = {
+                let c = &mut w.nbd_mut().clients[cid.0 as usize];
+                c.tx_ctxs.clear();
+                c.pending.keys().copied().collect()
+            };
+            for reqid in reqids {
+                channel_cancel_recv(w, ch, reqid);
+                let c = &mut w.nbd_mut().clients[cid.0 as usize];
+                if let Some(op) = c.pending.remove(&reqid) {
+                    if c.ops.remove(&op).is_some() {
+                        c.completed.push_back((op, Err(NetError::PeerUnreachable)));
+                    }
+                }
+            }
+            // Ops with no outstanding request (should not exist) fail too.
+            let c = &mut w.nbd_mut().clients[cid.0 as usize];
+            let orphans: Vec<NbdOp> = c.ops.keys().copied().collect();
+            for op in orphans {
+                c.ops.remove(&op);
+                c.completed.push_back((op, Err(NetError::PeerUnreachable)));
+            }
+            return;
+        }
     };
     let Some(op) = w.nbd_mut().clients[cid.0 as usize].pending.remove(&tag) else {
         return;

@@ -221,6 +221,10 @@ pub struct OrfsClient {
     next_reqid: u64,
     next_syscall: u64,
     pending: BTreeMap<u64, Pending>,
+    /// In-flight channel send contexts → the request they carry, so a
+    /// `SendFailed` completion can fail exactly that request instead of
+    /// leaving its syscall hanging forever.
+    tx_ctxs: BTreeMap<u64, u64>,
     ops: BTreeMap<SyscallId, OpState>,
     /// Completed operations for the driver to collect.
     pub completed: VecDeque<(SyscallId, SysResult)>,
@@ -283,6 +287,7 @@ pub fn client_create<W: OrfsWorld>(
         next_reqid: 1,
         next_syscall: 1,
         pending: BTreeMap::new(),
+        tx_ctxs: BTreeMap::new(),
         ops: BTreeMap::new(),
         completed: VecDeque::new(),
         dentries: BTreeMap::new(),
@@ -905,6 +910,29 @@ fn fail_send<W: OrfsWorld>(w: &mut W, cid: OrfsClientId, reqid: u64) {
     finish(w, cid, p.syscall, Err(OrfsError::Net));
 }
 
+/// Submit one channel send under request `reqid`, recording its context so
+/// a later `SendFailed` fails exactly this request (or failing it now on a
+/// synchronous rejection). Returns whether the send was accepted.
+fn send_tracked<W: OrfsWorld>(
+    w: &mut W,
+    cid: OrfsClientId,
+    ch: ChannelId,
+    tag: u64,
+    reqid: u64,
+    iov: IoVec,
+) -> bool {
+    match channel_send(w, ch, tag, iov) {
+        Ok(ctx) => {
+            w.orfs_mut().client_mut(cid).tx_ctxs.insert(ctx, reqid);
+            true
+        }
+        Err(_) => {
+            fail_send(w, cid, reqid);
+            false
+        }
+    }
+}
+
 /// Encode and send a metadata request (small message from the staging ring).
 fn send_request<W: OrfsWorld>(w: &mut W, cid: OrfsClientId, sid: SyscallId, req: &Request) -> u64 {
     let reqid = alloc_reqid(w, cid, sid);
@@ -928,9 +956,7 @@ fn send_request_with_id<W: OrfsWorld>(w: &mut W, cid: OrfsClientId, reqid: u64, 
         .node_mut(node)
         .write_virt(ring_asid, addr, &bytes)
         .expect("client ring mapped");
-    if channel_send(w, ch, reqid, IoVec::single(seg)).is_err() {
-        fail_send(w, cid, reqid);
-    }
+    send_tracked(w, cid, ch, reqid, reqid, IoVec::single(seg));
 }
 
 /// Send a write request with payload: vectorial on MX (header ++ data, no
@@ -974,10 +1000,8 @@ fn send_write_request<W: OrfsWorld>(
             .node_mut(node)
             .write_virt(ring_asid, addr, &header)
             .expect("ring mapped");
-        if channel_send(w, ch, reqid, IoVec::single(seg)).is_err()
-            || channel_send(w, ch, reqid | DATA_TAG_BIT, IoVec::single(src)).is_err()
-        {
-            fail_send(w, cid, reqid);
+        if send_tracked(w, cid, ch, reqid, reqid, IoVec::single(seg)) {
+            send_tracked(w, cid, ch, reqid | DATA_TAG_BIT, reqid, IoVec::single(src));
         }
         return reqid;
     }
@@ -1020,9 +1044,7 @@ fn send_write_request<W: OrfsWorld>(
             IoVec::single(seg)
         }
     };
-    if channel_send(w, ch, reqid, iov).is_err() {
-        fail_send(w, cid, reqid);
-    }
+    send_tracked(w, cid, ch, reqid, reqid, iov);
     reqid
 }
 
@@ -1407,7 +1429,41 @@ pub fn client_on_event<W: OrfsWorld>(w: &mut W, cid: OrfsClientId, ev: Transport
             };
             on_data(w, cid, p.syscall, len);
         }
-        TransportEvent::SendDone { .. } | TransportEvent::SendFailed { .. } => {}
+        TransportEvent::SendDone { ctx } => {
+            w.orfs_mut().client_mut(cid).tx_ctxs.remove(&ctx);
+        }
+        TransportEvent::SendFailed { ctx, .. } => {
+            // A queued request (or write payload) frame was dropped by its
+            // retry: the reply will never come. Fail exactly that request's
+            // syscall with a typed error instead of hanging it.
+            let reqid = w.orfs_mut().client_mut(cid).tx_ctxs.remove(&ctx);
+            if let Some(reqid) = reqid {
+                fail_send(w, cid, reqid);
+            }
+        }
+        TransportEvent::PeerDown { peer } => {
+            // The server's node is gone: every in-flight operation fails
+            // with a typed error — nothing may stall waiting for a reply
+            // that can never arrive.
+            if peer.node != w.orfs().client(cid).server.node {
+                return;
+            }
+            let ch = w.orfs().client(cid).ch;
+            let (reqids, sids) = {
+                let c = w.orfs_mut().client_mut(cid);
+                c.tx_ctxs.clear();
+                let reqids: Vec<u64> = c.pending.keys().copied().collect();
+                let sids: Vec<SyscallId> = c.ops.keys().copied().collect();
+                (reqids, sids)
+            };
+            for reqid in reqids {
+                channel_cancel_recv(w, ch, reqid);
+                w.orfs_mut().client_mut(cid).pending.remove(&reqid);
+            }
+            for sid in sids {
+                finish(w, cid, sid, Err(OrfsError::Net));
+            }
+        }
     }
 }
 

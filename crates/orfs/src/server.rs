@@ -9,6 +9,7 @@
 
 use std::collections::BTreeMap;
 
+use bytes::Bytes;
 use knet_core::api::{channel_accept_handler, channel_post_recv, channel_send_to};
 use knet_core::{ChannelId, Endpoint, IoVec, MemRef, NetError, TransportEvent};
 use knet_simcore::SimTime;
@@ -48,6 +49,14 @@ pub struct OrfsServer {
     handles: Vec<Option<InodeNo>>,
     free_handles: Vec<u32>,
     pending_writes: BTreeMap<u64, PendingWrite>,
+    /// Write payloads that overtook their announcement (possible on a
+    /// delay-reordering fabric): stashed by data tag until the header
+    /// arrives, then consumed directly instead of posting a buffer for
+    /// bytes that already passed. Keyed by tag *and* attributed to their
+    /// sender — per-client request ids restart at 1, so a stale entry from
+    /// one client must never satisfy another client's same-tag write
+    /// (PeerDown cleanup purges a dead client's stash).
+    early_payloads: BTreeMap<u64, (Endpoint, Bytes)>,
     /// Kernel staging ring for outgoing replies.
     ring: VirtAddr,
     ring_len: u64,
@@ -75,6 +84,7 @@ pub fn server_create<W: OrfsWorld>(
         handles: Vec::new(),
         free_handles: Vec::new(),
         pending_writes: BTreeMap::new(),
+        early_payloads: BTreeMap::new(),
         ring,
         ring_len: RING_LEN,
         ring_off: 0,
@@ -301,6 +311,52 @@ pub fn server_on_event<W: OrfsWorld>(
     ev: TransportEvent,
 ) {
     match ev {
+        TransportEvent::Unexpected { tag, data, from } if tag & crate::proto::DATA_TAG_BIT != 0 => {
+            // An announced write's payload, delivered unexpectedly: it
+            // overtook the announcement (delay-reordering fabric), or the
+            // driver started assembling it before the staging buffer was
+            // posted. Never a decodable request — consume it as data.
+            // Tags collide across clients (per-client reqids restart at
+            // 1), so a pending write is consumed only by *its own*
+            // client's payload; a colliding stranger's payload is stashed
+            // under its sender instead.
+            let own_pending = {
+                let s = w.orfs_mut().server_mut(sid);
+                if s.pending_writes
+                    .get(&tag)
+                    .is_some_and(|pw| pw.reply_to == from)
+                {
+                    s.pending_writes.remove(&tag)
+                } else {
+                    None
+                }
+            };
+            if let Some(pw) = own_pending {
+                // The announcement was processed and a buffer posted, but
+                // the payload bounced past it: withdraw the useless post
+                // and apply the write from the bounced bytes.
+                let ch = server_channel(w, pw.via);
+                knet_core::api::channel_cancel_recv(w, ch, tag);
+                let n = (data.len() as u64).min(pw.len);
+                apply_write(
+                    w,
+                    sid,
+                    pw.via,
+                    pw.reply_to,
+                    pw.tag,
+                    pw.handle,
+                    pw.offset,
+                    &data[..n as usize],
+                );
+            } else {
+                // Payload before its announcement: stash until the header
+                // arrives.
+                w.orfs_mut()
+                    .server_mut(sid)
+                    .early_payloads
+                    .insert(tag, (from, data));
+            }
+        }
         TransportEvent::Unexpected { tag, data, from } => {
             server_handle_request(w, sid, via, tag, &data, from);
         }
@@ -310,6 +366,32 @@ pub fn server_on_event<W: OrfsWorld>(
             // channel-assigned).
             complete_pending_write(w, sid, tag, len);
         }
+        TransportEvent::PeerDown { peer } => {
+            // A client's node died: withdraw the staging buffers posted for
+            // its announced writes — their payloads can never arrive, and
+            // the posted receives would otherwise hold driver resources
+            // forever.
+            let stale: Vec<(u64, Endpoint)> = w
+                .orfs()
+                .server(sid)
+                .pending_writes
+                .iter()
+                .filter(|(_, pw)| pw.reply_to.node == peer.node)
+                .map(|(tag, pw)| (*tag, pw.via))
+                .collect();
+            for (tag, via) in stale {
+                let ch = server_channel(w, via);
+                knet_core::api::channel_cancel_recv(w, ch, tag);
+                w.orfs_mut().server_mut(sid).pending_writes.remove(&tag);
+            }
+            // And the dead client's stashed early payloads: never applied,
+            // never leaked, never misattributed to a later client reusing
+            // the same request ids.
+            w.orfs_mut()
+                .server_mut(sid)
+                .early_payloads
+                .retain(|_, (f, _)| f.node != peer.node);
+        }
         TransportEvent::SendDone { .. } | TransportEvent::SendFailed { .. } => {}
     }
 }
@@ -318,19 +400,44 @@ fn complete_pending_write<W: OrfsWorld>(w: &mut W, sid: OrfsServerId, tag: u64, 
     let Some(pw) = w.orfs_mut().server_mut(sid).pending_writes.remove(&tag) else {
         return;
     };
-    let now = knet_simcore::now(w);
     let node = w.orfs().server(sid).ep.node;
     let mut data = vec![0u8; got.min(pw.len) as usize];
     w.os()
         .node(node)
         .read_virt(Asid::KERNEL, pw.ring_addr, &mut data)
         .expect("ring mapped");
+    apply_write(
+        w,
+        sid,
+        pw.via,
+        pw.reply_to,
+        pw.tag,
+        pw.handle,
+        pw.offset,
+        &data,
+    );
+}
+
+/// Execute an announced write's payload against the file system and send
+/// the `Written` (or error) reply.
+#[allow(clippy::too_many_arguments)]
+fn apply_write<W: OrfsWorld>(
+    w: &mut W,
+    sid: OrfsServerId,
+    via: Endpoint,
+    reply_to: Endpoint,
+    tag: u64,
+    handle: u32,
+    offset: u64,
+    data: &[u8],
+) {
+    let now = knet_simcore::now(w);
+    let node = w.orfs().server(sid).ep.node;
     let (resp, fs_cost) = {
         let s = w.orfs_mut().server_mut(sid);
-        let r = s.handle_ino(pw.handle).and_then(|ino| {
-            s.fs.write(ino, pw.offset, &data, now)
-                .map_err(OrfsError::from)
-        });
+        let r = s
+            .handle_ino(handle)
+            .and_then(|ino| s.fs.write(ino, offset, data, now).map_err(OrfsError::from));
         let cost = s.fs.take_cost();
         match r {
             Ok(n) => {
@@ -344,7 +451,7 @@ fn complete_pending_write<W: OrfsWorld>(w: &mut W, sid: OrfsServerId, tag: u64, 
         }
     };
     cpu_charge(w, node, fs_cost);
-    reply_meta(w, sid, pw.tag, pw.via, pw.reply_to, resp);
+    reply_meta(w, sid, tag, via, reply_to, resp);
 }
 
 fn server_handle_request<W: OrfsWorld>(
@@ -432,7 +539,25 @@ fn server_handle_request<W: OrfsWorld>(
             let data = &payload[header_len..];
             if data.is_empty() && len > 0 {
                 // Announced (rendezvous) write: the payload follows as a
-                // separate tagged message. Post a staging-ring buffer.
+                // separate tagged message — unless it already overtook the
+                // announcement and was stashed.
+                let key = tag | crate::proto::DATA_TAG_BIT;
+                let early = {
+                    let s = w.orfs_mut().server_mut(sid);
+                    // Consume only the *announcing client's own* payload —
+                    // tags collide across clients (per-client reqids).
+                    if s.early_payloads.get(&key).is_some_and(|(f, _)| *f == from) {
+                        s.early_payloads.remove(&key).map(|(_, b)| b)
+                    } else {
+                        None
+                    }
+                };
+                if let Some(bytes) = early {
+                    let n = (bytes.len() as u64).min(len);
+                    apply_write(w, sid, via, from, tag, handle, offset, &bytes[..n as usize]);
+                    return;
+                }
+                // Post a staging-ring buffer for the payload to land in.
                 let ring_addr = w.orfs_mut().server_mut(sid).ring_reserve(len);
                 w.orfs_mut().server_mut(sid).pending_writes.insert(
                     tag | crate::proto::DATA_TAG_BIT,

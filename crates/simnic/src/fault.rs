@@ -1,0 +1,241 @@
+//! Fault injection for the fabric: a seeded, deterministic link model.
+//!
+//! The simulator's wire is perfect by default — every recovery contract
+//! above the driver seam (retransmission windows, `SendFailed`, socket
+//! poisoning) is dead code until something actually misbehaves. A
+//! [`FaultPlan`] makes the fabric misbehave *reproducibly*: per-packet
+//! drop / duplicate / delay-reorder dice drawn from a seeded SplitMix64,
+//! plus deterministic one-shot faults ("kill node N at t=T", modeling a
+//! NIC power-off: every packet to or from the node is dropped from that
+//! instant on).
+//!
+//! Determinism: the RNG is consumed once per packet in scheduling order,
+//! which the discrete-event engine makes identical across runs — the same
+//! seed always yields the same fault sequence, so a chaos failure
+//! reproduces exactly.
+
+use knet_simcore::{SimTime, SplitMix64};
+use knet_simos::NodeId;
+
+/// What the fabric does to packets. Build with the fluent setters; install
+/// with `NicLayer::set_fault_plan` (or the cluster builder's knob).
+#[derive(Clone, Debug)]
+pub struct FaultPlan {
+    /// RNG seed; same seed ⇒ same fault sequence.
+    pub seed: u64,
+    /// Per-packet probability of silent loss.
+    pub drop_p: f64,
+    /// Per-packet probability of duplication (the copy arrives after an
+    /// extra delay drawn from the delay range).
+    pub dup_p: f64,
+    /// Per-packet probability of extra latency (reordering relative to
+    /// later packets on the same link).
+    pub delay_p: f64,
+    /// Extra-latency range for delayed packets and duplicate copies.
+    pub delay_min: SimTime,
+    pub delay_max: SimTime,
+    /// One-shot faults: node `n` drops off the fabric at instant `t`.
+    pub kill_at: Vec<(NodeId, SimTime)>,
+}
+
+impl FaultPlan {
+    /// A plan that injects nothing (all dice zero) — the base for the
+    /// fluent setters.
+    pub fn new(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            drop_p: 0.0,
+            dup_p: 0.0,
+            delay_p: 0.0,
+            delay_min: SimTime::from_micros(1),
+            delay_max: SimTime::from_micros(50),
+            kill_at: Vec::new(),
+        }
+    }
+
+    /// Drop each packet with probability `p`.
+    pub fn with_drop(mut self, p: f64) -> Self {
+        self.drop_p = p;
+        self
+    }
+
+    /// Duplicate each packet with probability `p`.
+    pub fn with_dup(mut self, p: f64) -> Self {
+        self.dup_p = p;
+        self
+    }
+
+    /// Delay each packet with probability `p` by a uniform draw from
+    /// `[min, max]` — consecutive packets reorder when the draws cross.
+    pub fn with_delay(mut self, p: f64, min: SimTime, max: SimTime) -> Self {
+        self.delay_p = p;
+        self.delay_min = min;
+        self.delay_max = max;
+        self
+    }
+
+    /// Kill `node` (NIC power-off) at instant `t`.
+    pub fn with_kill(mut self, node: NodeId, t: SimTime) -> Self {
+        self.kill_at.push((node, t));
+        self
+    }
+}
+
+/// Counters of injected faults (observable by tests and reports).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FaultStats {
+    /// Packets silently dropped by the dice.
+    pub dropped: u64,
+    /// Extra copies delivered by the duplication dice.
+    pub duplicated: u64,
+    /// Packets delivered late by the delay dice.
+    pub delayed: u64,
+    /// Packets dropped because an endpoint node was killed.
+    pub dead_node_drops: u64,
+}
+
+/// The fabric's decision for one packet.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum FaultVerdict {
+    /// Never arrives.
+    Drop,
+    /// Arrives with `extra` added to its latency; when `duplicate` is set a
+    /// second copy arrives `dup_extra` after the first.
+    Deliver {
+        extra: SimTime,
+        duplicate: bool,
+        dup_extra: SimTime,
+    },
+}
+
+pub(crate) const CLEAN: FaultVerdict = FaultVerdict::Deliver {
+    extra: SimTime::ZERO,
+    duplicate: false,
+    dup_extra: SimTime::ZERO,
+};
+
+/// Installed plan plus its RNG stream.
+#[derive(Clone, Debug)]
+pub(crate) struct FaultState {
+    pub(crate) plan: FaultPlan,
+    rng: SplitMix64,
+    pub(crate) stats: FaultStats,
+}
+
+impl FaultState {
+    pub(crate) fn new(plan: FaultPlan) -> Self {
+        let rng = SplitMix64::new(plan.seed);
+        FaultState {
+            plan,
+            rng,
+            stats: FaultStats::default(),
+        }
+    }
+
+    fn unit(&mut self) -> f64 {
+        (self.rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    fn delay_draw(&mut self) -> SimTime {
+        let lo = self.plan.delay_min.nanos();
+        let hi = self.plan.delay_max.nanos().max(lo);
+        SimTime::from_nanos(self.rng.next_range(lo, hi))
+    }
+
+    pub(crate) fn node_dead(&self, node: NodeId, now: SimTime) -> bool {
+        self.plan
+            .kill_at
+            .iter()
+            .any(|&(n, t)| n == node && now >= t)
+    }
+
+    /// Roll the dice for one packet between `src_node` and `dst_node`.
+    pub(crate) fn verdict(
+        &mut self,
+        src_node: NodeId,
+        dst_node: NodeId,
+        now: SimTime,
+    ) -> FaultVerdict {
+        if self.node_dead(src_node, now) || self.node_dead(dst_node, now) {
+            self.stats.dead_node_drops += 1;
+            return FaultVerdict::Drop;
+        }
+        if self.plan.drop_p > 0.0 && self.unit() < self.plan.drop_p {
+            self.stats.dropped += 1;
+            return FaultVerdict::Drop;
+        }
+        let mut extra = SimTime::ZERO;
+        if self.plan.delay_p > 0.0 && self.unit() < self.plan.delay_p {
+            extra = self.delay_draw();
+            self.stats.delayed += 1;
+        }
+        let mut duplicate = false;
+        let mut dup_extra = SimTime::ZERO;
+        if self.plan.dup_p > 0.0 && self.unit() < self.plan.dup_p {
+            duplicate = true;
+            dup_extra = self.delay_draw();
+            self.stats.duplicated += 1;
+        }
+        FaultVerdict::Deliver {
+            extra,
+            duplicate,
+            dup_extra,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_fault_sequence() {
+        let plan = FaultPlan::new(7).with_drop(0.3).with_dup(0.2).with_delay(
+            0.2,
+            SimTime::from_micros(1),
+            SimTime::from_micros(9),
+        );
+        let mut a = FaultState::new(plan.clone());
+        let mut b = FaultState::new(plan);
+        for _ in 0..200 {
+            assert_eq!(
+                a.verdict(NodeId(0), NodeId(1), SimTime::ZERO),
+                b.verdict(NodeId(0), NodeId(1), SimTime::ZERO)
+            );
+        }
+    }
+
+    #[test]
+    fn killed_node_drops_everything_after_the_instant() {
+        let plan = FaultPlan::new(1).with_kill(NodeId(1), SimTime::from_micros(10));
+        let mut f = FaultState::new(plan);
+        assert_eq!(
+            f.verdict(NodeId(0), NodeId(1), SimTime::from_micros(9)),
+            CLEAN
+        );
+        assert_eq!(
+            f.verdict(NodeId(0), NodeId(1), SimTime::from_micros(10)),
+            FaultVerdict::Drop
+        );
+        assert_eq!(
+            f.verdict(NodeId(1), NodeId(0), SimTime::from_micros(11)),
+            FaultVerdict::Drop,
+            "a dead node cannot send either"
+        );
+        assert_eq!(
+            f.verdict(NodeId(0), NodeId(2), SimTime::from_micros(11)),
+            CLEAN,
+            "other links unaffected"
+        );
+        assert_eq!(f.stats.dead_node_drops, 2);
+    }
+
+    #[test]
+    fn lossless_plan_never_touches_a_packet() {
+        let mut f = FaultState::new(FaultPlan::new(42));
+        for _ in 0..100 {
+            assert_eq!(f.verdict(NodeId(0), NodeId(1), SimTime::ZERO), CLEAN);
+        }
+        assert_eq!(f.stats.dropped + f.stats.duplicated + f.stats.delayed, 0);
+    }
+}

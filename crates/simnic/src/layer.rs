@@ -11,8 +11,10 @@ use bytes::Bytes;
 use knet_simcore::{Busy, LaneBank, SimTime};
 use knet_simos::{NodeId, OsError, OsWorld, PhysSeg};
 
+use crate::fault::{FaultPlan, FaultState, FaultStats, FaultVerdict, CLEAN};
 use crate::model::NicModel;
-use crate::packet::{NicId, Packet};
+use crate::packet::{NicId, Packet, Proto};
+use crate::rel::RelState;
 use crate::ttable::TransTable;
 
 /// Counters exposed to figures and tests.
@@ -65,11 +67,45 @@ pub struct NicLayer {
     /// Recycled gather buffer for [`dma_gather`]: one payload copy per
     /// chunk (into the packet's `Bytes`), no intermediate `Vec` per DMA.
     gather_scratch: Vec<u8>,
+    /// Installed fault plan, if any. `None` keeps the fabric perfect and
+    /// consumes no randomness (bit-identical to the pre-fault simulator).
+    fault: Option<FaultState>,
+    /// NIC-level reliability windows (see [`crate::rel`]); GM and MX route
+    /// every protocol packet through them.
+    pub rel: RelState,
 }
 
 impl NicLayer {
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Install (or replace) a fault plan; the fabric starts rolling its
+    /// dice from the plan's seed.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.fault = Some(FaultState::new(plan));
+    }
+
+    /// Remove the fault plan: the fabric is perfect again.
+    pub fn clear_fault_plan(&mut self) {
+        self.fault = None;
+    }
+
+    /// Counters of injected faults (zeros when no plan is installed).
+    pub fn fault_stats(&self) -> FaultStats {
+        self.fault.as_ref().map(|f| f.stats).unwrap_or_default()
+    }
+
+    /// Is `node` killed by the installed plan at instant `now`?
+    pub fn node_dead(&self, node: NodeId, now: SimTime) -> bool {
+        self.fault.as_ref().is_some_and(|f| f.node_dead(node, now))
+    }
+
+    pub(crate) fn fault_verdict(&mut self, src: NodeId, dst: NodeId, now: SimTime) -> FaultVerdict {
+        match self.fault.as_mut() {
+            Some(f) => f.verdict(src, dst, now),
+            None => CLEAN,
+        }
     }
 
     /// Install a NIC in `node`; returns its id.
@@ -105,6 +141,12 @@ pub trait NicWorld: OsWorld {
     /// A packet arrived at `nic`. The composed world routes this to the
     /// firmware of whichever driver (GM or MX) owns the card.
     fn nic_rx(&mut self, nic: NicId, pkt: Packet);
+
+    /// A reliability window exhausted its retry budget: the `(proto,
+    /// local, remote)` link is dead. The composed world propagates this as
+    /// `PeerDown` to every channel above; the default (raw fabric tests,
+    /// benchmark substrates) ignores it.
+    fn nic_link_dead(&mut self, _proto: Proto, _local: NicId, _remote: NicId) {}
 }
 
 /// DMA from host memory into the NIC: gathers the bytes described by `segs`
@@ -175,14 +217,35 @@ pub fn dma_charge<W: NicWorld>(w: &mut W, nic: NicId, ready: SimTime, bytes: u64
 pub fn wire_send<W: NicWorld>(w: &mut W, pkt: Packet, ready: SimTime) -> SimTime {
     let now = knet_simcore::now(w);
     let dst = pkt.dst;
-    let (tx_done, arrival) = {
+    let (tx_done, arrival, src_node, dst_node) = {
+        let src_node = w.nics().get(pkt.src).node;
+        let dst_node = w.nics().get(dst).node;
         let n = w.nics_mut().get_mut(pkt.src);
         let occupancy = n.model.link_bw.transfer_time(pkt.wire_len);
         let (_, _, end) = n.tx.acquire(ready.max(now), occupancy);
         n.stats.tx_packets += 1;
         n.stats.tx_bytes += pkt.wire_len;
-        (end, end + n.model.wire_latency)
+        (end, end + n.model.wire_latency, src_node, dst_node)
     };
+    // The fault plan rolls its dice once the bits are on the wire: the
+    // sender's link time is spent either way.
+    let FaultVerdict::Deliver {
+        extra,
+        duplicate,
+        dup_extra,
+    } = w.nics_mut().fault_verdict(src_node, dst_node, now)
+    else {
+        return tx_done; // lost in the fabric
+    };
+    let arrival = arrival + extra;
+    if duplicate {
+        deliver_at(w, dst, pkt.clone(), arrival + dup_extra);
+    }
+    deliver_at(w, dst, pkt, arrival);
+    tx_done
+}
+
+fn deliver_at<W: NicWorld>(w: &mut W, dst: NicId, pkt: Packet, arrival: SimTime) {
     {
         let d = w.nics_mut().get_mut(dst);
         d.stats.rx_packets += 1;
@@ -191,7 +254,6 @@ pub fn wire_send<W: NicWorld>(w: &mut W, pkt: Packet, ready: SimTime) -> SimTime
     knet_simcore::at(w, arrival, move |w: &mut W| {
         w.nic_rx(dst, pkt);
     });
-    tx_done
 }
 
 /// Charge firmware processing time on a NIC starting no earlier than

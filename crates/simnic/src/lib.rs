@@ -13,14 +13,18 @@
 //! The GM and MX *firmware* logic lives in `knet-gm`/`knet-mx`; this crate
 //! only provides the hardware they program.
 
+pub mod fault;
 pub mod layer;
 pub mod model;
 pub mod packet;
+pub mod rel;
 pub mod ttable;
 
+pub use fault::{FaultPlan, FaultStats};
 pub use layer::{
     dma_charge, dma_gather, dma_scatter, fw_charge, wire_send, Nic, NicLayer, NicStats, NicWorld,
 };
 pub use model::NicModel;
 pub use packet::{NicId, Packet, Proto};
+pub use rel::{rel_on_packet, rel_send, RelParams, RelState, RelStats, RelVerdict};
 pub use ttable::{TransKey, TransTable, TtError, TtStats};

@@ -13,7 +13,7 @@ use bytes::Bytes;
 pub struct NicId(pub u32);
 
 /// Driver protocol discriminator carried in every packet.
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum Proto {
     /// GM message-passing firmware.
     Gm,
@@ -39,6 +39,13 @@ pub struct Packet {
     /// Wire-level size: payload plus the driver's header overhead. This is
     /// what occupies the link.
     pub wire_len: u64,
+    /// Reliability sequence number on this packet's `(proto, src, dst)`
+    /// link, assigned by the NIC-level window (`crate::rel`). `0` marks an
+    /// unsequenced packet (raw fabric traffic). **Raw field** — only the
+    /// reliability layer and the two drivers may touch it (grep-gated).
+    /// (Acks are not packets: they ride the control stream inside the
+    /// reliability layer.)
+    pub rel_seq: u64,
 }
 
 impl Packet {
@@ -61,6 +68,7 @@ impl Packet {
             meta,
             payload,
             wire_len,
+            rel_seq: 0,
         }
     }
 }

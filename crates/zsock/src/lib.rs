@@ -15,8 +15,8 @@ pub mod tcp;
 
 pub use params::{TcpParams, ZsockParams};
 pub use stream::{
-    sock_create, sock_on_event, sock_recv, sock_send, Sock, SockId, SockOpId, SockResult,
-    SockStats, ZsockLayer, ZsockWorld,
+    sock_close, sock_create, sock_on_event, sock_recv, sock_send, Sock, SockId, SockOpId,
+    SockResult, SockStats, ZsockLayer, ZsockWorld, SOCK_SLOT_BITS,
 };
 pub use tcp::{
     tcp_pair, tcp_recv, tcp_send, TcpLayer, TcpOpId, TcpSock, TcpSockId, TcpStats, TcpWorld,

@@ -34,7 +34,7 @@ use std::collections::{BTreeMap, VecDeque};
 
 use bytes::Bytes;
 use knet_core::api::{
-    channel_cancel_recv, channel_connect_handler, channel_post_recv, channel_send,
+    channel_cancel_recv, channel_close, channel_connect_handler, channel_post_recv, channel_send,
     release_kernel_buffer,
 };
 use knet_core::{ChannelId, Endpoint, IoVec, MemRef, NetError, TransportEvent, TransportKind};
@@ -43,8 +43,33 @@ use knet_simos::{cpu_charge, Asid, VirtAddr};
 use crate::params::ZsockParams;
 
 /// Identifier of one socket endpoint.
+///
+/// Generation-tagged: the low [`SOCK_SLOT_BITS`] bits index the layer's
+/// slot table, the high bits carry the slot's generation, bumped on every
+/// [`sock_close`]. A close-heavy workload therefore never aliases a stale
+/// id onto a recycled slot — the stale id simply stops resolving
+/// (regression-tested in `tests/zsock_regressions.rs`).
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct SockId(pub u32);
+
+/// Bits of a [`SockId`] that index the slot table (65 536 concurrent
+/// sockets; the remaining 16 bits are the generation).
+pub const SOCK_SLOT_BITS: u32 = 16;
+
+impl SockId {
+    fn slot(self) -> usize {
+        (self.0 & ((1 << SOCK_SLOT_BITS) - 1)) as usize
+    }
+
+    fn generation(self) -> u32 {
+        self.0 >> SOCK_SLOT_BITS
+    }
+
+    fn encode(slot: usize, generation: u32) -> Self {
+        assert!(slot < (1 << SOCK_SLOT_BITS), "socket slot table full");
+        SockId(((generation & 0xFFFF) << SOCK_SLOT_BITS) | slot as u32)
+    }
+}
 
 /// Identifier of an in-flight socket operation.
 pub type SockOpId = u64;
@@ -214,11 +239,14 @@ impl Sock {
     }
 }
 
-/// All sockets in the world.
+/// All sockets in the world: a slab of slots with a free list and
+/// per-slot generations (see [`SockId`]).
 #[derive(Default)]
 pub struct ZsockLayer {
     pub params: ZsockParams,
-    socks: Vec<Sock>,
+    socks: Vec<Option<Sock>>,
+    gens: Vec<u32>,
+    free: Vec<u32>,
 }
 
 impl ZsockLayer {
@@ -226,19 +254,40 @@ impl ZsockLayer {
         ZsockLayer {
             params,
             socks: Vec::new(),
+            gens: Vec::new(),
+            free: Vec::new(),
         }
     }
 
+    /// Resolve a socket id, `None` when stale (closed, or the slot was
+    /// recycled by a later [`sock_create`]).
+    pub fn try_sock(&self, id: SockId) -> Option<&Sock> {
+        let slot = id.slot();
+        if self.gens.get(slot).copied()? & 0xFFFF != id.generation() {
+            return None;
+        }
+        self.socks.get(slot)?.as_ref()
+    }
+
+    fn try_sock_mut(&mut self, id: SockId) -> Option<&mut Sock> {
+        let slot = id.slot();
+        if self.gens.get(slot).copied()? & 0xFFFF != id.generation() {
+            return None;
+        }
+        self.socks.get_mut(slot)?.as_mut()
+    }
+
     pub fn sock(&self, id: SockId) -> &Sock {
-        &self.socks[id.0 as usize]
+        self.try_sock(id).expect("stale or closed SockId")
     }
 
     pub fn sock_mut(&mut self, id: SockId) -> &mut Sock {
-        &mut self.socks[id.0 as usize]
+        self.try_sock_mut(id).expect("stale or closed SockId")
     }
 
+    /// Live (open) sockets.
     pub fn count(&self) -> usize {
-        self.socks.len()
+        self.socks.iter().flatten().count()
     }
 }
 
@@ -249,6 +298,10 @@ pub trait ZsockWorld: knet_core::DispatchWorld {
 }
 
 const SOCK_RING: u64 = 4 << 20;
+
+/// Virtual-time grace between [`sock_close`] and the release of the
+/// socket's staging memory (see the deferred free in `sock_close`).
+const SOCK_CLOSE_GRACE: knet_simcore::SimTime = knet_simcore::SimTime::from_millis(50);
 
 /// The channel carrying this socket's traffic.
 fn chan<W: ZsockWorld>(w: &W, sid: SockId) -> ChannelId {
@@ -292,8 +345,19 @@ pub fn sock_create<W: ZsockWorld>(
     peer_ep: Endpoint,
 ) -> Result<SockId, NetError> {
     let ring = w.os_mut().node_mut(ep.node).kalloc(SOCK_RING)?;
-    let id = SockId(w.zsock().socks.len() as u32);
-    w.zsock_mut().socks.push(Sock {
+    let id = {
+        let l = w.zsock_mut();
+        let slot = match l.free.pop() {
+            Some(s) => s as usize,
+            None => {
+                l.socks.push(None);
+                l.gens.push(0);
+                l.socks.len() - 1
+            }
+        };
+        SockId::encode(slot, l.gens[slot] & 0xFFFF)
+    };
+    let sock = Sock {
         id,
         ep,
         peer_ep,
@@ -314,7 +378,8 @@ pub fn sock_create<W: ZsockWorld>(
         error: None,
         completed: VecDeque::new(),
         stats: SockStats::default(),
-    });
+    };
+    w.zsock_mut().socks[id.slot()] = Some(sock);
     channel_connect_handler(
         w,
         ep,
@@ -323,6 +388,80 @@ pub fn sock_create<W: ZsockWorld>(
         move |w, _via, ev| sock_on_event(w, id, ev),
     );
     Ok(id)
+}
+
+/// Close a socket: tear its channel down (backpressure-queued frames
+/// complete as `SendFailed` while the handler is still bound), release
+/// every staging reservation still referenced by in-flight state, free the
+/// ring, and recycle the slot under a bumped generation — the closed
+/// [`SockId`] stops resolving and can never alias a later socket.
+/// Closing a stale id is a no-op.
+pub fn sock_close<W: ZsockWorld>(w: &mut W, sid: SockId) {
+    let Some(ep) = w.zsock().try_sock(sid).map(|s| s.ep) else {
+        return;
+    };
+    // Withdraw the posted receives of in-flight inbound payloads *before*
+    // the channel (and then the staging memory) goes away: a payload
+    // landing after the ring is freed would scatter into recycled kernel
+    // memory.
+    let pending_tags: Vec<u64> = w
+        .zsock()
+        .try_sock(sid)
+        .map(|s| s.inbound.keys().map(|seq| TAG_DATA_BASE + seq).collect())
+        .unwrap_or_default();
+    // Channel teardown next: SendFailed completions for queued frames
+    // reach the handler while the socket still exists.
+    if let Some(ch) = w.registry().channel_of(ep) {
+        for tag in pending_tags {
+            channel_cancel_recv(w, ch, tag);
+        }
+        channel_close(w, ch);
+    }
+    let Some(sock) = w.zsock_mut().socks[sid.slot()].take() else {
+        return;
+    };
+    let node = sock.ep.node;
+    // Dedicated heap staging still in flight dies with the socket.
+    let mut heaps: Vec<(VirtAddr, u64)> = Vec::new();
+    for entry in sock.tx_inflight.iter().flatten() {
+        if let (
+            _,
+            TxDone {
+                buf: Some(SockBuf::Heap { addr, len }),
+                ..
+            },
+        ) = entry
+        {
+            heaps.push((*addr, *len));
+        }
+    }
+    for inbound in sock.inbound.values() {
+        if let Inbound::ToRing {
+            buf: SockBuf::Heap { addr, len },
+        } = inbound
+        {
+            heaps.push((*addr, *len));
+        }
+    }
+    // Release the staging memory only after a grace period: a transfer the
+    // driver matched mid-assembly is *consumed*, not pending
+    // (`t_cancel_recv`'s contract), and keeps scattering chunks into these
+    // frames at later instants — an immediate free would let a subsequent
+    // kalloc reuse them under the incoming DMA. Slot generations protect
+    // the SockId, not the frames; the deferred free does. The grace bound
+    // comfortably exceeds the reliability layer's worst case (retry budget
+    // × rto plus a full window's wire time), and virtual time is free.
+    let ring = sock.ring;
+    let ring_len = sock.ring_len;
+    knet_simcore::after(w, SOCK_CLOSE_GRACE, move |w: &mut W| {
+        for (addr, len) in heaps {
+            release_kernel_buffer(w, node, addr, len);
+        }
+        release_kernel_buffer(w, node, ring, ring_len);
+    });
+    let l = w.zsock_mut();
+    l.gens[sid.slot()] = l.gens[sid.slot()].wrapping_add(1);
+    l.free.push(sid.slot() as u32);
 }
 
 /// Charge the entry cost of a socket call (syscall + socket layer).
@@ -568,12 +707,26 @@ fn drain_rx<W: ZsockWorld>(w: &mut W, sid: SockId) {
 /// Transport upcall for socket `sid` (delivered through its channel's
 /// handler consumer).
 pub fn sock_on_event<W: ZsockWorld>(w: &mut W, sid: SockId, ev: TransportEvent) {
+    // A completion can race a close (e.g. teardown-time SendFailed replay
+    // ordering): a stale socket id is simply ignored.
+    let Some((node, kind, peer_node)) = w
+        .zsock()
+        .try_sock(sid)
+        .map(|s| (s.ep.node, s.ep.kind, s.peer_ep.node))
+    else {
+        return;
+    };
+    if let TransportEvent::PeerDown { peer } = ev {
+        // The driver's reliability window declared the peer dead: the
+        // stream can never be whole again. Fail every parked reader and
+        // all future ops instead of stalling.
+        if peer.node == peer_node {
+            poison(w, sid, NetError::PeerUnreachable, None);
+        }
+        return;
+    }
     // The SOCKETS-GM dispatcher thread: every completion is picked up by an
     // extra kernel thread before the socket layer sees it.
-    let (node, kind) = {
-        let s = w.zsock().sock(sid);
-        (s.ep.node, s.ep.kind)
-    };
     if kind == TransportKind::Gm {
         let p = w.zsock().params;
         let cost =
@@ -672,6 +825,7 @@ pub fn sock_on_event<W: ZsockWorld>(w: &mut W, sid: SockId, ev: TransportEvent) 
             }
         }
         TransportEvent::RecvDone { .. } | TransportEvent::Unexpected { .. } => {}
+        TransportEvent::PeerDown { .. } => unreachable!("handled before the dispatcher charge"),
     }
 }
 

@@ -2,7 +2,7 @@
 
 use knet_gm::{GmLayer, GmParams};
 use knet_mx::{MxLayer, MxParams};
-use knet_simnic::{NicLayer, NicModel};
+use knet_simnic::{FaultPlan, NicLayer, NicModel};
 use knet_simos::{CpuModel, NodeId, OsLayer};
 use knet_zsock::{TcpLayer, TcpParams, ZsockLayer, ZsockParams};
 
@@ -17,6 +17,7 @@ pub struct ClusterBuilder {
     mx_params: MxParams,
     zsock_params: ZsockParams,
     tcp_params: TcpParams,
+    fault: Option<FaultPlan>,
 }
 
 impl Default for ClusterBuilder {
@@ -36,6 +37,7 @@ impl ClusterBuilder {
             mx_params: MxParams::default(),
             zsock_params: ZsockParams::default(),
             tcp_params: TcpParams::default(),
+            fault: None,
         }
     }
 
@@ -78,6 +80,14 @@ impl ClusterBuilder {
         self
     }
 
+    /// Make the fabric lossy: install a seeded fault plan (drop /
+    /// duplicate / delay-reorder dice, one-shot node kills). The drivers'
+    /// reliability windows absorb the injected faults.
+    pub fn fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault = Some(plan);
+        self
+    }
+
     /// Build the world.
     pub fn build(self) -> ClusterWorld {
         let mut os = OsLayer::new();
@@ -85,6 +95,9 @@ impl ClusterBuilder {
         for cpu in &self.cpus {
             let node = os.add_node(cpu.clone(), self.mem_frames);
             nics.add_nic(node, self.nic.clone());
+        }
+        if let Some(plan) = self.fault {
+            nics.set_fault_plan(plan);
         }
         ClusterWorld::from_layers(
             os,

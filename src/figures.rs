@@ -409,6 +409,17 @@ impl Default for FsOpts {
     }
 }
 
+/// [`fs_fixture`] over a faulty fabric — the lossy-link scenario knob: the
+/// same deployment, with a seeded `FaultPlan` installed before any traffic
+/// flows. The drivers' reliability windows absorb the injected faults, so
+/// every figure and test driven off the fixture must produce identical
+/// bytes (the chaos suite asserts exactly that).
+pub fn fs_fixture_faulty(opts: FsOpts, plan: knet_simnic::FaultPlan) -> FsFixture {
+    let mut fx = fs_fixture(opts);
+    fx.w.set_fault_plan(plan);
+    fx
+}
+
 /// Build a server (node 1) + client (node 0) world with `/data` populated.
 pub fn fs_fixture(opts: FsOpts) -> FsFixture {
     let mut w = ClusterBuilder::new().mem_frames(131_072).build();

@@ -127,6 +127,9 @@ pub fn await_recv(w: &mut ClusterWorld, ep: Endpoint) -> (u64, u64) {
                 TransportEvent::SendFailed { ctx, error } => {
                     panic!("benchmark send {ctx} failed: {error}")
                 }
+                TransportEvent::PeerDown { peer } => {
+                    panic!("benchmark peer {peer:?} died (reliability window exhausted)")
+                }
             }
         }
         if let Some(d) = data {

@@ -163,6 +163,14 @@ impl ClusterWorld {
     pub fn has_event(&self, ep: Endpoint) -> bool {
         self.registry.has_event(ep)
     }
+
+    /// Install a fault plan on the fabric (see `knet_simnic::FaultPlan`):
+    /// seeded drop/duplicate/delay dice plus one-shot node kills. The
+    /// driver-level reliability windows absorb the injected faults; an
+    /// exhausted retry budget surfaces as `TransportEvent::PeerDown`.
+    pub fn set_fault_plan(&mut self, plan: knet_simnic::FaultPlan) {
+        self.nics.set_fault_plan(plan);
+    }
 }
 
 impl SimWorld for ClusterWorld {
@@ -200,6 +208,18 @@ impl NicWorld for ClusterWorld {
             Proto::Mx => mx_on_packet(self, nic, pkt),
             Proto::Raw => {}
         }
+    }
+    fn nic_link_dead(&mut self, proto: Proto, local: NicId, remote: NicId) {
+        // A reliability window exhausted its retry budget: surface the dead
+        // peer to every channel above the driver seam.
+        let kind = match proto {
+            Proto::Gm => TransportKind::Gm,
+            Proto::Mx => TransportKind::Mx,
+            Proto::Raw => return,
+        };
+        let local_node = self.nics.get(local).node;
+        let remote_node = self.nics.get(remote).node;
+        api::peer_down(self, kind, local_node, remote_node);
     }
 }
 

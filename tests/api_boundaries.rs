@@ -24,20 +24,40 @@ const FORBIDDEN: &[&str] = &[
     "crates/nbd",
 ];
 
-fn scan(dir: &Path, offenders: &mut Vec<String>) {
+/// Directories that must not touch the raw reliability packet fields
+/// (the sequence/ack members of `Packet`): sequencing and acking belong to
+/// the NIC-level window (`knet_simnic::rel`) and the two drivers that feed it —
+/// everything else sees only the transport contract. (Same idea, one
+/// layer down: the reliability seam is as load-bearing as the driver
+/// seam.)
+const REL_FORBIDDEN: &[&str] = &[
+    "src",
+    "examples",
+    "tests",
+    "crates/core",
+    "crates/zsock",
+    "crates/bench",
+    "crates/simfs",
+    "crates/orfs",
+    "crates/nbd",
+    "crates/simos",
+    "crates/simcore",
+];
+
+fn scan(dir: &Path, patterns: &[String], offenders: &mut Vec<String>) {
     let Ok(entries) = fs::read_dir(dir) else {
         return;
     };
     for entry in entries.flatten() {
         let path = entry.path();
         if path.is_dir() {
-            scan(&path, offenders);
+            scan(&path, patterns, offenders);
         } else if path.extension().is_some_and(|e| e == "rs") {
             let Ok(text) = fs::read_to_string(&path) else {
                 continue;
             };
             for (i, line) in text.lines().enumerate() {
-                if line.contains(".t_send(") || line.contains(".t_post_recv(") {
+                if patterns.iter().any(|p| line.contains(p.as_str())) {
                     offenders.push(format!("{}:{}: {}", path.display(), i + 1, line.trim()));
                 }
             }
@@ -45,17 +65,36 @@ fn scan(dir: &Path, offenders: &mut Vec<String>) {
     }
 }
 
-#[test]
-fn raw_transport_calls_stay_below_the_channel_layer() {
+fn offenders_for(dirs: &[&str], patterns: &[String]) -> Vec<String> {
     let root = Path::new(env!("CARGO_MANIFEST_DIR"));
     let mut offenders = Vec::new();
-    for dir in FORBIDDEN {
-        scan(&root.join(dir), &mut offenders);
+    for dir in dirs {
+        scan(&root.join(dir), patterns, &mut offenders);
     }
+    offenders
+}
+
+#[test]
+fn raw_transport_calls_stay_below_the_channel_layer() {
+    let patterns = vec![".t_send(".to_string(), ".t_post_recv(".to_string()];
+    let offenders = offenders_for(FORBIDDEN, &patterns);
     assert!(
         offenders.is_empty(),
         "raw t_send/t_post_recv callers above the channel layer \
          (use channel_send/channel_post_recv):\n{}",
+        offenders.join("\n")
+    );
+}
+
+#[test]
+fn reliability_packet_fields_stay_inside_the_window_and_drivers() {
+    // Patterns assembled at runtime so this file never matches itself.
+    let patterns = vec![format!("rel_{}", "seq"), format!("rel_{}", "ack")];
+    let offenders = offenders_for(REL_FORBIDDEN, &patterns);
+    assert!(
+        offenders.is_empty(),
+        "raw sequence/ack packet fields touched above the reliability \
+         window (only knet-simnic's rel module and the gm/mx drivers may):\n{}",
         offenders.join("\n")
     );
 }

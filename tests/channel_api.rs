@@ -704,7 +704,9 @@ fn cancel_recv_contract_is_identical_on_gm_and_mx() {
                 TransportEvent::RecvDone { .. } => {
                     panic!("{kind:?}: withdrawn receive must not complete")
                 }
-                TransportEvent::SendDone { .. } | TransportEvent::SendFailed { .. } => {}
+                TransportEvent::SendDone { .. }
+                | TransportEvent::SendFailed { .. }
+                | TransportEvent::PeerDown { .. } => {}
             }
         }
         assert!(saw_unexpected, "{kind:?}");
@@ -768,4 +770,167 @@ fn cancelled_mx_receive_releases_its_pins() {
     assert_eq!(w.os.node(n0).mem.pin_count(frame), 1, "armed receive pins");
     assert!(w.t_cancel_recv(ep, 5));
     assert_eq!(w.os.node(n0).mem.pin_count(frame), 0, "withdrawal unpins");
+}
+
+// ------------------------------------------------- lifecycle regressions
+// (flushed out by the fault-injection work: stale per-endpoint CQ state
+// after teardown, and parked sends stranded by a cap shrink)
+
+#[test]
+fn recycled_endpoint_never_pops_a_previous_channels_ghosts() {
+    // Send contexts are pooled per channel (slot 0 restarts every
+    // incarnation), so undrained completions of a closed channel must not
+    // be popped by a later channel on the same endpoint + queue — their
+    // ctx values genuinely alias. Before the fix, the new consumer
+    // observed the dead incarnation's entries through
+    // has_event/cq_pop_for.
+    for kind in [TransportKind::Mx, TransportKind::Gm] {
+        let (mut w, n0, n1) = two_nodes();
+        let (ch_a, _ch_b, cq_a, _cq_b, ea, eb) = channel_pair(&mut w, kind, n0, n1);
+        let ka = kbuf(&mut w, n0, 4096);
+        let ctx = channel_send(&mut w, ch_a, 1, ka.iov(64)).unwrap();
+        knet_simcore::run_to_quiescence(&mut w);
+        assert!(w.has_event(ea), "{kind:?}: completion waiting");
+        // Close without draining; the entries become ghosts the moment the
+        // endpoint is reused with the same queue.
+        api::channel_close(&mut w, ch_a);
+        let ch_a2 = channel_connect(&mut w, ea, eb, cq_a);
+        assert!(
+            !w.has_event(ea),
+            "{kind:?}: new channel must not observe the dead incarnation"
+        );
+        assert!(w.take_event(ea).is_none(), "{kind:?}: nothing to pop");
+        // The new channel's first context re-issues the very same pooled
+        // value — completions must now be its own.
+        let ctx2 = channel_send(&mut w, ch_a2, 2, ka.iov(64)).unwrap();
+        assert_eq!(
+            ctx, ctx2,
+            "{kind:?}: pooled slot 0 aliases across incarnations"
+        );
+        knet_simcore::run_to_quiescence(&mut w);
+        match await_cq(&mut w, cq_a, ea) {
+            TransportEvent::SendDone { ctx: c } => assert_eq!(c, ctx2, "{kind:?}"),
+            other => panic!("{kind:?}: {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn destroy_cq_detaches_its_consumers() {
+    // Before the fix, destroying a queue left routes pointing at the dead
+    // CqId: cq_of/has_event observed a queue that no longer existed and
+    // traffic was silently dropped forever. Now the consumers deregister
+    // and events park for the next binding.
+    let (mut w, n0, n1) = two_nodes();
+    let cq = w.new_cq();
+    let ea = w.open_mx_cq(n0, MxEndpointConfig::kernel(), cq).unwrap();
+    let eb = w.open_mx(n1, MxEndpointConfig::kernel()).unwrap();
+    assert_eq!(w.registry.cq_of(ea), Some(cq));
+    w.registry.destroy_cq(cq);
+    assert_eq!(
+        w.registry.cq_of(ea),
+        None,
+        "no route may observe the dead queue"
+    );
+    assert!(!w.has_event(ea));
+    // Traffic for the endpoint now parks instead of vanishing.
+    let cq_b = w.new_cq();
+    let ch_b = channel_connect(&mut w, eb, ea, cq_b);
+    let kb = kbuf(&mut w, n1, 4096);
+    channel_send(&mut w, ch_b, 3, kb.iov(32)).unwrap();
+    knet_simcore::run_to_quiescence(&mut w);
+    assert!(
+        w.registry.parked_len(ea) > 0,
+        "events park for the next consumer instead of dropping"
+    );
+    // A fresh queue picks the parked traffic up.
+    let cq2 = w.new_cq();
+    w.attach_cq(ea, cq2);
+    assert!(w.has_event(ea), "parked events replay into the new queue");
+}
+
+#[test]
+fn shrinking_the_send_queue_cap_fails_excess_parked_sends() {
+    // Shrinking the backpressure cap below queued_len used to strand the
+    // excess silently: they stayed parked but uncounted against the new
+    // cap. Now they complete deterministically as SendFailed
+    // (SendQueueFull), newest first.
+    let (mut w, n0, n1) = (
+        ClusterBuilder::new()
+            .gm_params(GmParams {
+                send_tokens: 1,
+                ..GmParams::default()
+            })
+            .build(),
+        NodeId(0),
+        NodeId(1),
+    );
+    let (ch_a, _ch_b, cq_a, _cq_b, ea, _eb) = channel_pair(&mut w, TransportKind::Gm, n0, n1);
+    let ka = kbuf(&mut w, n0, 4096);
+    let mut ctxs = Vec::new();
+    for i in 0..5u64 {
+        ctxs.push(channel_send(&mut w, ch_a, i, ka.iov(16)).unwrap());
+    }
+    assert_eq!(w.registry.channel(ch_a).unwrap().queued_len(), 4);
+    channel_set_send_queue_cap(&mut w, ch_a, 2);
+    assert_eq!(
+        w.registry.channel(ch_a).unwrap().queued_len(),
+        2,
+        "the queue respects the new cap"
+    );
+    let mut failed = Vec::new();
+    while let Some(e) = w.registry.cq_pop_for(cq_a, ea) {
+        if let TransportEvent::SendFailed { ctx, error } = e.event {
+            assert_eq!(error, NetError::SendQueueFull);
+            failed.push(ctx);
+        }
+    }
+    assert_eq!(
+        failed,
+        vec![ctxs[4], ctxs[3]],
+        "excess sends fail newest-first with SendQueueFull"
+    );
+    // The survivors still go out in order.
+    knet_simcore::run_to_quiescence(&mut w);
+    let mut done = Vec::new();
+    while let Some(e) = w.registry.cq_pop_for(cq_a, ea) {
+        if let TransportEvent::SendDone { ctx } = e.event {
+            done.push(ctx);
+        }
+    }
+    assert_eq!(done, ctxs[..3], "in-cap sends complete normally");
+}
+
+#[test]
+fn ghost_purge_covers_reuse_with_a_different_queue() {
+    // The aliasing hazard doesn't care which queue the *new* channel
+    // feeds: ghosts live wherever the old incarnation accumulated. Reuse
+    // the endpoint with a different CQ (and then with a handler-backed
+    // channel) and assert the old queue's entries for it are gone.
+    let (mut w, n0, n1) = two_nodes();
+    let (ch_a, _ch_b, cq_a, _cq_b, ea, eb) = channel_pair(&mut w, TransportKind::Mx, n0, n1);
+    let ka = kbuf(&mut w, n0, 4096);
+    channel_send(&mut w, ch_a, 1, ka.iov(64)).unwrap();
+    knet_simcore::run_to_quiescence(&mut w);
+    assert_eq!(w.registry.cq_len_for(cq_a, ea), 1, "ghost staged in cq_a");
+    api::channel_close(&mut w, ch_a);
+    // Reuse with a *different* queue: the ghost in cq_a must still die.
+    let cq_new = w.new_cq();
+    let ch_a2 = channel_connect(&mut w, ea, eb, cq_new);
+    assert_eq!(
+        w.registry.cq_len_for(cq_a, ea),
+        0,
+        "old queue holds no ghosts for the recycled endpoint"
+    );
+    // And again via a handler-backed incarnation (no queue at all).
+    channel_send(&mut w, ch_a2, 2, ka.iov(64)).unwrap();
+    knet_simcore::run_to_quiescence(&mut w);
+    assert_eq!(w.registry.cq_len_for(cq_new, ea), 1);
+    api::channel_close(&mut w, ch_a2);
+    channel_connect_handler(&mut w, ea, eb, "probe", |_w, _ep, _ev| {});
+    assert_eq!(
+        w.registry.cq_len_for(cq_new, ea),
+        0,
+        "handler-backed reuse also purges the previous queue"
+    );
 }

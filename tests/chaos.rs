@@ -1,0 +1,370 @@
+//! Chaos: the full zsock + ORFS + NBD stacks under a seeded faulty fabric.
+//!
+//! A `FaultPlan` makes the wire drop, duplicate and delay-reorder packets;
+//! the driver-level reliability windows (`knet_simnic::rel`) must absorb
+//! every injected fault so the layers above see exactly the contract they
+//! see on a perfect fabric: byte-exact streams, no stalled readers, no
+//! leaked context-pool slots. Separately, an *unsurvivable* fault (the peer
+//! node killed) must fail every in-flight operation with a typed error —
+//! nothing may stall forever.
+//!
+//! Everything is seeded and deterministic: a failing case reproduces
+//! exactly from its printed inputs.
+
+use knet::figures::{fs_fixture_faulty, FsOpts};
+use knet::harness::{fsops, pattern_byte, sock_wait};
+use knet::prelude::*;
+use knet_nbd::{nbd_client_create, nbd_read, nbd_read_raw, nbd_server_create, nbd_write, NbdOp};
+use knet_simnic::FaultPlan;
+use knet_zsock::{sock_create, sock_recv, sock_send};
+use proptest::prelude::*;
+
+/// A lossy-link plan: `loss_pct`% drop, optional duplication and
+/// delay-reordering, all drawn from `seed`.
+fn plan(seed: u64, loss_pct: u64, dup: bool, reorder: bool) -> FaultPlan {
+    let mut p = FaultPlan::new(seed).with_drop(loss_pct as f64 / 100.0);
+    if dup {
+        p = p.with_dup(0.04);
+    }
+    if reorder {
+        // Delays stay below the reliability rto so recovery, not spurious
+        // go-back-N, is what reorders exercise.
+        p = p.with_delay(0.08, SimTime::from_micros(2), SimTime::from_micros(80));
+    }
+    p
+}
+
+fn endpoints(
+    w: &mut ClusterWorld,
+    kind: TransportKind,
+    n0: NodeId,
+    n1: NodeId,
+) -> (Endpoint, Endpoint) {
+    match kind {
+        TransportKind::Mx => (
+            w.open_mx(n0, MxEndpointConfig::kernel()).unwrap(),
+            w.open_mx(n1, MxEndpointConfig::kernel()).unwrap(),
+        ),
+        TransportKind::Gm => {
+            let cfg = GmPortConfig::kernel()
+                .with_physical_api()
+                .with_regcache(4096);
+            (
+                w.open_gm(n0, cfg.clone()).unwrap(),
+                w.open_gm(n1, cfg).unwrap(),
+            )
+        }
+    }
+}
+
+fn fill_user(w: &mut ClusterWorld, buf: &UBuf, data: &[u8]) {
+    w.os.node_mut(buf.node)
+        .write_virt(buf.asid, buf.addr, data)
+        .unwrap();
+}
+
+fn read_user(w: &ClusterWorld, buf: &UBuf, len: usize) -> Vec<u8> {
+    let mut out = vec![0u8; len];
+    w.os.node(buf.node)
+        .read_virt(buf.asid, buf.addr, &mut out)
+        .unwrap();
+    out
+}
+
+/// Socket pair moving a mixed-size stream; every byte must arrive intact
+/// and in order, every op must complete.
+fn zsock_scenario(kind: TransportKind, fault: FaultPlan) -> u64 {
+    let mut w = ClusterBuilder::new()
+        .nic(NicModel::pci_xe())
+        .fault_plan(fault)
+        .build();
+    let (n0, n1) = (NodeId(0), NodeId(1));
+    let ba = ubuf(&mut w, n0, 1 << 20);
+    let bb = ubuf(&mut w, n1, 1 << 20);
+    let (ea, eb) = endpoints(&mut w, kind, n0, n1);
+    let sa = sock_create(&mut w, ea, eb).unwrap();
+    let sb = sock_create(&mut w, eb, ea).unwrap();
+    for (i, size) in [1u64, 100, 4_000, 30_000, 150_000].into_iter().enumerate() {
+        let data: Vec<u8> = (0..size)
+            .map(|j| pattern_byte(i as u64 * 1_000_003 + j))
+            .collect();
+        fill_user(&mut w, &ba, &data);
+        let r = sock_recv(&mut w, sb, bb.memref(size));
+        sock_send(&mut w, sa, ba.memref(size));
+        let got = sock_wait(&mut w, sb, r);
+        assert_eq!(got, size, "{kind:?}: op completed fully at {size}");
+        assert_eq!(
+            read_user(&w, &bb, size as usize),
+            data,
+            "{kind:?}: byte-exact stream at {size}"
+        );
+        // And a small reverse echo, so both directions recover.
+        let r2 = sock_recv(&mut w, sa, ba.memref(64));
+        sock_send(&mut w, sb, bb.memref(64));
+        assert_eq!(sock_wait(&mut w, sa, r2), 64, "{kind:?}: reverse leg");
+    }
+    run_to_quiescence(&mut w);
+    assert_eq!(w.zsock.sock(sa).error(), None, "{kind:?}: never poisoned");
+    assert_eq!(w.zsock.sock(sb).error(), None);
+    // Context-pool slots stay bounded (released on completion — no leak)
+    // while recycling keeps happening.
+    let st = w.registry.stats;
+    assert!(
+        st.ctx_pool_slots <= 192,
+        "{kind:?}: ctx slots leaked: {}",
+        st.ctx_pool_slots
+    );
+    assert!(st.ctx_pool_reuses > 0, "{kind:?}: pool recycles");
+    w.sched.executed()
+}
+
+/// The ORFS end-to-end flows (direct + buffered reads, buffered write +
+/// fsync, direct write) under faults: same bytes as a perfect fabric.
+fn orfs_scenario(kind: TransportKind, fault: FaultPlan) {
+    let mut fx = fs_fixture_faulty(
+        FsOpts {
+            kind,
+            file_len: 256 * 1024,
+            ..FsOpts::default()
+        },
+        fault,
+    );
+    // Direct (O_DIRECT) reads, several shapes.
+    let fd = fsops::open(&mut fx.w, fx.cid, "/data", true).unwrap();
+    for (off, len) in [(0u64, 500usize), (4096, 4096), (100_000, 120_000)] {
+        let n = fsops::read(&mut fx.w, fx.cid, fd, fx.user.memref(len as u64), off).unwrap();
+        assert_eq!(n, len as u64, "{kind:?} direct read at {off}");
+        let got = read_user(&fx.w, &fx.user, len);
+        for (i, &b) in got.iter().enumerate() {
+            assert_eq!(
+                b,
+                pattern_byte(off + i as u64),
+                "{kind:?} byte {i} at {off}"
+            );
+        }
+    }
+    // Direct write (announced, payload rides separately), then read back.
+    let msg: Vec<u8> = (0..60_000u64).map(|i| (i % 249) as u8).collect();
+    fill_user(&mut fx.w, &fx.user, &msg);
+    let n = fsops::write(&mut fx.w, fx.cid, fd, fx.user.memref(60_000), 8_192).unwrap();
+    assert_eq!(n, 60_000, "{kind:?} direct write");
+    fsops::close(&mut fx.w, fx.cid, fd).unwrap();
+    // Buffered read + write through the page-cache, flushed by fsync.
+    let fd = fsops::open(&mut fx.w, fx.cid, "/data", false).unwrap();
+    let n = fsops::read(&mut fx.w, fx.cid, fd, fx.user.memref(10_000), 8_192).unwrap();
+    assert_eq!(n, 10_000);
+    assert_eq!(read_user(&fx.w, &fx.user, 10_000), msg[..10_000]);
+    fill_user(&mut fx.w, &fx.user, b"chaos-proof");
+    fsops::write(&mut fx.w, fx.cid, fd, fx.user.memref(11), 70_000).unwrap();
+    fsops::fsync(&mut fx.w, fx.cid, fd).unwrap();
+    fsops::close(&mut fx.w, fx.cid, fd).unwrap();
+    let server = &mut fx.w.orfs.servers[0];
+    let ino = server.fs.lookup_path("/data").unwrap();
+    let mut back = vec![0u8; 11];
+    server
+        .fs
+        .read(ino, 70_000, &mut back, SimTime::ZERO)
+        .unwrap();
+    assert_eq!(
+        &back, b"chaos-proof",
+        "{kind:?} write-back reached the server"
+    );
+    run_to_quiescence(&mut fx.w);
+}
+
+fn nbd_wait(w: &mut ClusterWorld, cid: knet_nbd::NbdClientId, op: NbdOp) -> knet_nbd::NbdResult {
+    let outcome = run_until(w, |w| {
+        w.nbd.clients[cid.0 as usize]
+            .completed
+            .iter()
+            .any(|(o, _)| *o == op)
+    });
+    assert_eq!(
+        outcome,
+        RunOutcome::Satisfied,
+        "nbd op {op} never completed"
+    );
+    let c = &mut w.nbd.clients[cid.0 as usize];
+    let pos = c.completed.iter().position(|(o, _)| *o == op).unwrap();
+    c.completed.remove(pos).unwrap().1
+}
+
+/// NBD block traffic (windowed chunked writes, buffered + raw reads) under
+/// faults.
+fn nbd_scenario(fault: FaultPlan) {
+    let mut w = ClusterBuilder::new().fault_plan(fault).build();
+    let (n0, n1) = (NodeId(0), NodeId(1));
+    let (ce, se) = (
+        w.open_mx(n0, MxEndpointConfig::kernel()).unwrap(),
+        w.open_mx(n1, MxEndpointConfig::kernel()).unwrap(),
+    );
+    nbd_server_create(&mut w, se, 4096).unwrap();
+    let cid = nbd_client_create(&mut w, ce, se, 7).unwrap();
+    let ub = ubuf(&mut w, n0, 1 << 20);
+    let data: Vec<u8> = (0..64 * 1024u64).map(|i| pattern_byte(i * 3)).collect();
+    fill_user(&mut w, &ub, &data);
+    let op = nbd_write(&mut w, cid, ub.memref(64 * 1024), 0);
+    assert_eq!(nbd_wait(&mut w, cid, op), Ok(64 * 1024));
+    // Buffered read through the page-cache (fetches from the server).
+    let op = nbd_read(&mut w, cid, ub.memref_at(512 * 1024, 40_000), 1_000);
+    assert_eq!(nbd_wait(&mut w, cid, op), Ok(40_000));
+    let mut got = vec![0u8; 40_000];
+    w.os.node(n0)
+        .read_virt(ub.asid, ub.addr.add(512 * 1024), &mut got)
+        .unwrap();
+    assert_eq!(got, data[1_000..41_000], "buffered read bytes");
+    // Raw (zero-copy) read of a sector range (sectors are 4 kB).
+    use knet_nbd::SECTOR_SIZE;
+    let raw_len = 2 * SECTOR_SIZE;
+    let op = nbd_read_raw(&mut w, cid, ub.memref_at(512 * 1024, raw_len), 8);
+    assert_eq!(nbd_wait(&mut w, cid, op), Ok(raw_len));
+    let mut got = vec![0u8; raw_len as usize];
+    w.os.node(n0)
+        .read_virt(ub.asid, ub.addr.add(512 * 1024), &mut got)
+        .unwrap();
+    assert_eq!(
+        got,
+        data[(8 * SECTOR_SIZE) as usize..(10 * SECTOR_SIZE) as usize],
+        "raw read bytes"
+    );
+    run_to_quiescence(&mut w);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(5))]
+
+    /// The headline chaos property: 1–10 % loss, optional duplication and
+    /// reorder — every end-to-end flow on every transport stays byte-exact
+    /// with nothing stalled.
+    #[test]
+    fn full_stack_survives_lossy_links(
+        seed in any::<u64>(),
+        loss in 1u64..11,
+        dup in any::<bool>(),
+        reorder in any::<bool>(),
+    ) {
+        for kind in [TransportKind::Mx, TransportKind::Gm] {
+            zsock_scenario(kind, plan(seed, loss, dup, reorder));
+            orfs_scenario(kind, plan(seed.wrapping_add(1), loss, dup, reorder));
+        }
+        nbd_scenario(plan(seed.wrapping_add(2), loss, dup, reorder));
+    }
+}
+
+/// Fixed-seed smoke entry for CI: loss rate from `CHAOS_LOSS_PCT` (default
+/// 5), everything else fixed — one deterministic pass over all scenarios.
+#[test]
+fn chaos_smoke_fixed_seed() {
+    let loss: u64 = std::env::var("CHAOS_LOSS_PCT")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(5);
+    for kind in [TransportKind::Mx, TransportKind::Gm] {
+        zsock_scenario(kind, plan(0xC0FFEE, loss, true, true));
+        orfs_scenario(kind, plan(0xC0FFEE ^ 1, loss, true, true));
+    }
+    nbd_scenario(plan(0xC0FFEE ^ 2, loss, true, true));
+}
+
+/// Same seed ⇒ same simulation, event for event.
+#[test]
+fn chaos_is_deterministic_per_seed() {
+    let a = zsock_scenario(TransportKind::Mx, plan(42, 7, true, true));
+    let b = zsock_scenario(TransportKind::Mx, plan(42, 7, true, true));
+    assert_eq!(a, b, "executed-event fingerprints match across runs");
+}
+
+/// Killing the server node mid-workload: every in-flight and subsequent
+/// operation completes with a typed error; nothing stalls forever.
+#[test]
+fn killing_the_server_fails_all_ops_typed() {
+    for kind in [TransportKind::Mx, TransportKind::Gm] {
+        let mut fx = knet::figures::fs_fixture(FsOpts {
+            kind,
+            file_len: 128 * 1024,
+            ..FsOpts::default()
+        });
+        let fd = fsops::open(&mut fx.w, fx.cid, "/data", true).unwrap();
+        // A healthy op first.
+        let n = fsops::read(&mut fx.w, fx.cid, fd, fx.user.memref(4096), 0).unwrap();
+        assert_eq!(n, 4096);
+        // The server drops off the fabric *now*.
+        fx.w.set_fault_plan(FaultPlan::new(1).with_kill(NodeId(1), SimTime::ZERO));
+        // In-flight ops fail with a typed error once the retry budget
+        // exhausts — they must not hang.
+        // (Both ops must reach the wire: O_DIRECT reads always do; a stat
+        // would be served from the client's attribute cache.)
+        let sid1 = knet_orfs::op_read(&mut fx.w, fx.cid, fd, fx.user.memref(8192), 0);
+        let sid2 = knet_orfs::op_read(&mut fx.w, fx.cid, fd, fx.user.memref(4096), 65_536);
+        let outcome = run_until(&mut fx.w, |w| {
+            let c = w.orfs.client(fx.cid);
+            [sid1, sid2]
+                .iter()
+                .all(|s| c.completed.iter().any(|(o, _)| o == s))
+        });
+        assert_eq!(
+            outcome,
+            RunOutcome::Satisfied,
+            "{kind:?}: ops must not stall"
+        );
+        for sid in [sid1, sid2] {
+            let r = knet::harness::orfs_wait(&mut fx.w, fx.cid, sid);
+            assert_eq!(r, Err(knet_orfs::OrfsError::Net), "{kind:?}: typed failure");
+        }
+        // Later ops fail fast too (the link is dead).
+        let sid3 = knet_orfs::op_read(&mut fx.w, fx.cid, fd, fx.user.memref(4096), 0);
+        let r = knet::harness::orfs_wait(&mut fx.w, fx.cid, sid3);
+        assert_eq!(
+            r,
+            Err(knet_orfs::OrfsError::Net),
+            "{kind:?}: fail-fast after death"
+        );
+        run_to_quiescence(&mut fx.w);
+    }
+}
+
+/// Killing the peer of a socket pair poisons the socket with
+/// `PeerUnreachable`: parked readers fail, later ops fail fast.
+#[test]
+fn killing_the_peer_poisons_sockets() {
+    let mut w = ClusterBuilder::new().build();
+    let (n0, n1) = (NodeId(0), NodeId(1));
+    let ba = ubuf(&mut w, n0, 1 << 20);
+    let bb = ubuf(&mut w, n1, 1 << 20);
+    let (ea, eb) = endpoints(&mut w, TransportKind::Mx, n0, n1);
+    let sa = sock_create(&mut w, ea, eb).unwrap();
+    let sb = sock_create(&mut w, eb, ea).unwrap();
+    // Healthy echo first.
+    let r = sock_recv(&mut w, sb, bb.memref(64));
+    sock_send(&mut w, sa, ba.memref(64));
+    assert_eq!(sock_wait(&mut w, sb, r), 64);
+    // Node 1 dies; a parked reader and an in-flight send must both fail.
+    w.set_fault_plan(FaultPlan::new(9).with_kill(NodeId(1), SimTime::ZERO));
+    let r = sock_recv(&mut w, sa, ba.memref(64)); // parked reader
+    sock_send(&mut w, sa, ba.memref(100_000)); // its bytes can never be acked... but completes locally
+    let outcome = run_until(&mut w, |w| {
+        w.zsock.sock(sa).completed.iter().any(|(o, _)| *o == r)
+    });
+    assert_eq!(
+        outcome,
+        RunOutcome::Satisfied,
+        "parked reader must not stall"
+    );
+    let (_, res) = {
+        let s = w.zsock.sock_mut(sa);
+        let pos = s.completed.iter().position(|(o, _)| *o == r).unwrap();
+        s.completed.remove(pos).unwrap()
+    };
+    assert_eq!(res, Err(NetError::PeerUnreachable), "typed reader failure");
+    assert_eq!(w.zsock.sock(sa).error(), Some(NetError::PeerUnreachable));
+    // Subsequent ops fail fast.
+    let op = sock_recv(&mut w, sa, ba.memref(16));
+    let s = w.zsock.sock_mut(sa);
+    let pos = s.completed.iter().position(|(o, _)| *o == op).unwrap();
+    assert_eq!(
+        s.completed.remove(pos).unwrap().1,
+        Err(NetError::PeerUnreachable)
+    );
+    run_to_quiescence(&mut w);
+    let _ = sb;
+}

@@ -222,12 +222,14 @@ fn channel_send_path_recycles_pools_in_steady_state() {
     }
     let scratch0 = w.gm.scratch.stats;
     let pool0 = w.registry.stats;
+    let rel0 = w.nics.rel.stats;
 
     for tag in 17..=116u64 {
         round(&mut w, tag);
     }
     let scratch1 = w.gm.scratch.stats;
     let pool1 = w.registry.stats;
+    let rel1 = w.nics.rel.stats;
 
     assert!(
         scratch1.uses >= scratch0.uses + 100,
@@ -249,4 +251,24 @@ fn channel_send_path_recycles_pools_in_steady_state() {
         pool1.batched_pops > pool0.batched_pops,
         "completions drained through cq_pop_batch"
     );
+    // The reliability window rides the same contract: every packet flows
+    // through it (sequencing, the unacked ring, cumulative acks) with zero
+    // steady-state allocations — link states and ring capacities reach
+    // their high-water mark during warm-up and never grow again. Retained
+    // packets clone `Bytes` payloads (refcount, no copy), so the lossless
+    // path stays exactly as allocation-free as before the window existed.
+    assert!(
+        rel1.data_packets >= rel0.data_packets + 100,
+        "every send crosses the reliability window"
+    );
+    assert_eq!(
+        rel1.grows, rel0.grows,
+        "steady state must not grow the window rings"
+    );
+    assert_eq!(rel1.links, rel0.links, "no new link states in steady state");
+    assert_eq!(
+        rel1.retransmits, rel0.retransmits,
+        "a lossless fabric never retransmits"
+    );
+    assert_eq!(rel1.dup_dropped, 0, "no duplicates without faults");
 }

@@ -217,3 +217,54 @@ proptest! {
         prop_assert_eq!(got, expect, "stream is in order and complete");
     }
 }
+
+// --------------------------------------------------- socket id recycling
+
+#[test]
+fn socket_ids_never_alias_across_close_create_churn() {
+    // SockId used to be allocated from `socks.len()`, so once slots were
+    // recycled a close-heavy workload aliased stale ids onto new sockets.
+    // Ids are generation-tagged now: a closed id stops resolving, a
+    // recycled slot mints a distinct id, and traffic still flows
+    // end-to-end after every generation.
+    let (mut w, n0, n1) = two_nodes_xe();
+    let ba = ubuf(&mut w, n0, 1 << 20);
+    let bb = ubuf(&mut w, n1, 1 << 20);
+    let mut seen = std::collections::BTreeSet::new();
+    let mut prev: Option<(SockId, SockId)> = None;
+    for round in 0..4u64 {
+        let ea = w.open_mx(n0, MxEndpointConfig::kernel()).unwrap();
+        let eb = w.open_mx(n1, MxEndpointConfig::kernel()).unwrap();
+        let sa = sock_create(&mut w, ea, eb).unwrap();
+        let sb = sock_create(&mut w, eb, ea).unwrap();
+        assert!(
+            seen.insert(sa),
+            "round {round}: sa id {sa:?} recycled verbatim"
+        );
+        assert!(
+            seen.insert(sb),
+            "round {round}: sb id {sb:?} recycled verbatim"
+        );
+        if let Some((dead_a, dead_b)) = prev {
+            // Stale ids resolve to nothing — not to the new sockets now
+            // occupying their slots.
+            assert!(w.zsock.try_sock(dead_a).is_none(), "round {round}");
+            assert!(w.zsock.try_sock(dead_b).is_none(), "round {round}");
+        }
+        // The new pair still moves bytes.
+        let data = pattern(round, 20_000);
+        fill_at(&mut w, &ba, 0, &data);
+        let r = sock_recv(&mut w, sb, bb.memref(20_000));
+        sock_send(&mut w, sa, ba.memref(20_000));
+        assert_eq!(sock_wait(&mut w, sb, r), 20_000, "round {round}");
+        assert_eq!(read_back(&w, &bb, 0, 20_000), data, "round {round}");
+        knet_zsock::sock_close(&mut w, sa);
+        knet_zsock::sock_close(&mut w, sb);
+        assert!(w.zsock.try_sock(sa).is_none(), "closed id stops resolving");
+        // Closing a stale id is a no-op, not a panic.
+        knet_zsock::sock_close(&mut w, sa);
+        prev = Some((sa, sb));
+    }
+    assert_eq!(w.zsock.count(), 0, "all sockets closed");
+    run_to_quiescence(&mut w);
+}
