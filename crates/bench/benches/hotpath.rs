@@ -33,9 +33,12 @@ use std::time::Instant;
 use knet::build::ClusterBuilder;
 use knet::harness::kbuf;
 use knet::world::ClusterWorld;
-use knet_core::api::{channel_connect, channel_post_recv, channel_send};
+use knet_core::api::{
+    channel_connect, channel_post_recv, channel_send, channel_set_send_queue_cap,
+};
 use knet_core::{RegCache, RegKey, TransportEvent};
 use knet_gm::GmPortConfig;
+use knet_simnic::FaultPlan;
 use knet_simos::{Asid, CpuModel, FrameIdx, NodeId, VirtAddr, VmaEvent, PAGE_SIZE};
 
 // ---------------------------------------------------------------- allocator
@@ -249,6 +252,103 @@ fn phase_regcache(cfg: &Config) -> PhaseResult {
     }
 }
 
+// ---------------------------------------------------------------- loss sweep
+
+/// One point of the goodput-vs-loss sweep.
+struct SweepPoint {
+    loss_pct: u64,
+    /// Goodput in MB/s of *virtual* time: bytes delivered end-to-end divided
+    /// by the simulated duration from first send to last RecvDone. Virtual
+    /// time makes the number deterministic for a fixed seed — the sweep is a
+    /// protocol property, not a host-speed property.
+    goodput_mbps: f64,
+    retransmits: u64,
+    timeouts: u64,
+    sack_repairs: u64,
+    spurious_rtos: u64,
+}
+
+/// Goodput vs loss: one GM channel pair streams `HOTPATH_SWEEP_MSGS` 4 kB
+/// messages through the default 64-deep reliability window while the fabric
+/// drops packets at each sweep rate. Measured in virtual time, so the curve
+/// is a deterministic property of the retransmission protocol — this is the
+/// number that moved when go-back-N became selective repeat.
+fn phase_loss_sweep(losses: &[u64], msgs: u64) -> Vec<SweepPoint> {
+    let mut points = Vec::new();
+    for &loss in losses {
+        let mut w = ClusterBuilder::new().build();
+        if loss > 0 {
+            w.set_fault_plan(FaultPlan::new(0xD1CE + loss).with_drop(loss as f64 / 100.0));
+        }
+        let (n0, n1) = (NodeId(0), NodeId(1));
+        let cq0 = w.new_cq();
+        let cq1 = w.new_cq();
+        let cfg = GmPortConfig::kernel().with_physical_api();
+        let a = w.open_gm_cq(n0, cfg.clone(), cq0).expect("gm port a");
+        let b = w.open_gm_cq(n1, cfg, cq1).expect("gm port b");
+        let ka = kbuf(&mut w, n0, 4096);
+        let kb = kbuf(&mut w, n1, 4096);
+        let ch_a = channel_connect(&mut w, a, b, cq0);
+        let _ch_b = channel_connect(&mut w, b, a, cq1);
+        channel_set_send_queue_cap(&mut w, ch_a, msgs as usize + 8);
+        for tag in 1..=msgs {
+            channel_post_recv(&mut w, _ch_b, tag, kb.iov(4096)).expect("post recv");
+        }
+        let t0 = knet_simcore::now(&w);
+        for tag in 1..=msgs {
+            channel_send(&mut w, ch_a, tag, ka.iov(4096)).expect("send");
+        }
+        // Drain completions as they land; stop at the last RecvDone so the
+        // elapsed virtual time measures delivery, not trailing retransmit
+        // timers firing idle.
+        let mut batch = Vec::new();
+        let mut delivered = 0u64;
+        while delivered < msgs {
+            let outcome = knet_simcore::run_until(&mut w, |w: &ClusterWorld| w.has_event(b));
+            if outcome != knet_simcore::RunOutcome::Satisfied {
+                panic!("loss sweep at {loss}%: stalled with {delivered}/{msgs} delivered");
+            }
+            w.take_events(b, usize::MAX, &mut batch);
+            delivered += batch
+                .iter()
+                .filter(|e| matches!(e.event, TransportEvent::RecvDone { .. }))
+                .count() as u64;
+        }
+        let elapsed = (knet_simcore::now(&w) - t0).secs();
+        // Goodput is bounded at the last delivery, but the protocol
+        // counters must cover the whole run — the final window's lost acks
+        // can trigger recovery rounds after the last RecvDone, so snapshot
+        // the stats only once everything has settled.
+        knet_simcore::run_to_quiescence(&mut w);
+        let rel = w.nics.rel.stats;
+        points.push(SweepPoint {
+            loss_pct: loss,
+            goodput_mbps: (msgs * 4096) as f64 / elapsed.max(1e-12) / 1e6,
+            retransmits: rel.retransmits,
+            timeouts: rel.timeouts,
+            sack_repairs: rel.sack_repairs,
+            spurious_rtos: rel.spurious_rtos,
+        });
+    }
+    points
+}
+
+/// Recorded goodput of the go-back-N window (the pre-selective-repeat
+/// reliability protocol, repo at commit 1236018) on this exact workload:
+/// default scale (400 messages x 4 kB, window 64, PCI-XD), seeds
+/// `0xD1CE + loss`. Kept so `BENCH_hotpath.json` always carries the
+/// before/after curve.
+const GBN_BASELINE: &[(u64, f64)] = &[
+    (0, 247.89),
+    (2, 154.71),
+    (5, 128.33),
+    (10, 91.51),
+    (15, 81.11),
+    (20, 82.05),
+];
+
+// ---------------------------------------------------------------- probes
+
 /// Pure-hit probe: exact allocation count of 10k cache-hit plans (the
 /// steady-state send path's registration lookup). Zero after the O(1)
 /// rework.
@@ -323,6 +423,15 @@ fn main() {
     let hit_allocs = probe_hit_allocs(cfg.pages);
     eprintln!("hit-probe: {hit_allocs} allocs over 10k pure-hit plans");
 
+    let sweep_msgs = env_u64("HOTPATH_SWEEP_MSGS", 400);
+    let sweep = phase_loss_sweep(&[0, 2, 5, 10, 15, 20], sweep_msgs);
+    for p in &sweep {
+        eprintln!(
+            "loss-sweep: {:2}% loss -> {:.2} MB/s (retx {}, timeouts {}, sack-repairs {}, spurious-rtos {})",
+            p.loss_pct, p.goodput_mbps, p.retransmits, p.timeouts, p.sack_repairs, p.spurious_rtos
+        );
+    }
+
     let total_ops = ch.ops + rc.ops;
     let total_secs = ch.secs + rc.secs;
     let total_ops_per_sec = total_ops as f64 / total_secs.max(1e-9);
@@ -366,6 +475,48 @@ fn main() {
             json.push_str("  \"baseline\": null,\n  \"speedup\": null\n");
         }
     }
+    // Goodput-vs-loss curve: current protocol vs the recorded go-back-N
+    // baseline (only losses present in both appear in the speedup map).
+    json.push_str(",  \"loss_sweep\": {\n");
+    json.push_str(&format!("    \"messages\": {sweep_msgs},\n"));
+    json.push_str(&format!(
+        "    \"message_bytes\": 4096,\n    \"window\": 64,\n    \"points\": [\n{}\n    ],\n",
+        sweep
+            .iter()
+            .map(|p| format!(
+                "      {{\"loss_pct\": {}, \"goodput_mbps\": {:.2}, \"retransmits\": {}, \"timeouts\": {}, \"sack_repairs\": {}, \"spurious_rtos\": {}}}",
+                p.loss_pct, p.goodput_mbps, p.retransmits, p.timeouts, p.sack_repairs, p.spurious_rtos
+            ))
+            .collect::<Vec<_>>()
+            .join(",\n")
+    ));
+    json.push_str(&format!(
+        "    \"go_back_n_baseline\": [\n{}\n    ],\n",
+        GBN_BASELINE
+            .iter()
+            .map(|(l, g)| format!("      {{\"loss_pct\": {l}, \"goodput_mbps\": {g:.2}}}"))
+            .collect::<Vec<_>>()
+            .join(",\n")
+    ));
+    json.push_str(&format!(
+        "    \"speedup_vs_go_back_n\": [\n{}\n    ]\n  }}\n",
+        sweep
+            .iter()
+            .filter_map(|p| {
+                GBN_BASELINE
+                    .iter()
+                    .find(|(l, _)| *l == p.loss_pct)
+                    .map(|(l, g)| {
+                        format!(
+                            "      {{\"loss_pct\": {}, \"speedup\": {:.2}}}",
+                            l,
+                            p.goodput_mbps / g.max(1e-9)
+                        )
+                    })
+            })
+            .collect::<Vec<_>>()
+            .join(",\n")
+    ));
     json.push_str("}\n");
 
     // Relative paths resolve against the *workspace* root (cargo runs

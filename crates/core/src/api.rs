@@ -123,6 +123,24 @@ pub struct RegistryStats {
     pub ctx_pool_slots: u64,
     /// Entries drained through [`Registry::cq_pop_batch`].
     pub batched_pops: u64,
+    /// Mirrors of the NIC-level reliability counters (`knet_simnic::rel`),
+    /// filled by the composed world's stats snapshot so consumers above
+    /// the driver seam can assert on retransmission behaviour without
+    /// reaching into the NIC layer. Zero in a bare registry.
+    ///
+    /// Packets resent by selective-repeat rounds (holes only).
+    pub rel_retransmits: u64,
+    /// Packets a retransmission round skipped because SACK state showed
+    /// the receiver already holds them (go-back-N would have resent them).
+    pub rel_sack_repairs: u64,
+    /// RTT samples fed to the reliability layer's estimator.
+    pub rel_rtt_samples: u64,
+    /// Retransmission rounds proven unnecessary by timestamp echo.
+    pub rel_spurious_rtos: u64,
+    /// Latest smoothed RTT observed by the reliability layer, in ns.
+    pub rel_srtt_ns: u64,
+    /// Latest adaptive RTO derived by the reliability layer, in ns.
+    pub rel_rto_ns: u64,
 }
 
 // ------------------------------------------------------------- send contexts

@@ -730,7 +730,9 @@ fn accept_rendezvous<W: MxWorld>(
 pub fn mx_on_packet<W: MxWorld>(w: &mut W, nic: NicId, pkt: Packet) {
     debug_assert_eq!(pkt.proto, Proto::Mx);
     // NIC-level reliability first: acks and duplicates never reach the
-    // protocol logic; fresh packets are acked cumulatively.
+    // protocol logic; fresh packets are acked with the cumulative point
+    // plus the SACK bitmap of everything received beyond it, echoing the
+    // packet's wire-departure timestamp for the sender's RTT estimator.
     if rel_on_packet(w, &pkt) == RelVerdict::Consumed {
         return;
     }

@@ -66,6 +66,16 @@ pub struct OrfsServer {
     pub stats: ServerStats,
 }
 
+impl OrfsServer {
+    /// Per-peer write staging currently held (pending write announcements
+    /// plus stashed early payloads). Tests assert this drains to zero once
+    /// flows quiesce — in particular after a peer dies, whose staging the
+    /// `PeerDown` cleanup must reclaim.
+    pub fn staging_len(&self) -> usize {
+        self.pending_writes.len() + self.early_payloads.len()
+    }
+}
+
 /// Size of the reply staging ring.
 const RING_LEN: u64 = 4 << 20;
 

@@ -9,10 +9,26 @@
 //! NIC power-off: every packet to or from the node is dropped from that
 //! instant on).
 //!
-//! Determinism: the RNG is consumed once per packet in scheduling order,
-//! which the discrete-event engine makes identical across runs — the same
-//! seed always yields the same fault sequence, so a chaos failure
-//! reproduces exactly.
+//! **Per-link asymmetric plans** ([`FaultPlan::for_link`]): a directed
+//! `(src, dst)` node pair can carry its *own* dice and its own RNG stream,
+//! overriding the base plan for packets in that direction only — one lossy
+//! direction, or one flaky node pair, can coexist with an otherwise clean
+//! fabric. Links with no plan installed fall through to the base dice and
+//! consume **no** randomness of their own; if the base dice are zero they
+//! consume none at all, so traffic on planless links is bit-identical to a
+//! fabric with no plan installed (the chaos suite fingerprints this).
+//!
+//! Determinism: each RNG stream is consumed once per packet in scheduling
+//! order, which the discrete-event engine makes identical across runs — the
+//! same seed always yields the same fault sequence, so a chaos failure
+//! reproduces exactly. Per-link streams are independent of the base stream
+//! and of each other; note that installing a link plan *reroutes* that
+//! link's packets off the base stream, so when the base dice are nonzero
+//! the base stream's draw positions shift for everyone else — only a
+//! zero-dice base (the common asymmetric setup) gives the full
+//! "other links bit-identical" guarantee.
+
+use std::collections::HashMap;
 
 use knet_simcore::{SimTime, SplitMix64};
 use knet_simos::NodeId;
@@ -36,6 +52,11 @@ pub struct FaultPlan {
     pub delay_max: SimTime,
     /// One-shot faults: node `n` drops off the fabric at instant `t`.
     pub kill_at: Vec<(NodeId, SimTime)>,
+    /// Directed per-link overrides: packets from the first node to the
+    /// second roll *these* dice (with their own seed/stream) instead of the
+    /// base dice. A sub-plan's `kill_at` and `links` are ignored — kills
+    /// are node-level faults and nesting does not compose.
+    pub links: Vec<(NodeId, NodeId, FaultPlan)>,
 }
 
 impl FaultPlan {
@@ -50,6 +71,7 @@ impl FaultPlan {
             delay_min: SimTime::from_micros(1),
             delay_max: SimTime::from_micros(50),
             kill_at: Vec::new(),
+            links: Vec::new(),
         }
     }
 
@@ -79,6 +101,16 @@ impl FaultPlan {
         self.kill_at.push((node, t));
         self
     }
+
+    /// Install `plan`'s dice for packets travelling `src → dst` only (the
+    /// reverse direction keeps the base dice — asymmetric links). The
+    /// sub-plan's own seed keys an independent RNG stream; with a
+    /// zero-dice base, every other link stays bit-identical to a planless
+    /// fabric (see the module docs for the nonzero-base caveat).
+    pub fn for_link(mut self, src: NodeId, dst: NodeId, plan: FaultPlan) -> Self {
+        self.links.push((src, dst, plan));
+        self
+    }
 }
 
 /// Counters of injected faults (observable by tests and reports).
@@ -92,6 +124,8 @@ pub struct FaultStats {
     pub delayed: u64,
     /// Packets dropped because an endpoint node was killed.
     pub dead_node_drops: u64,
+    /// Packets judged by a per-link plan instead of the base dice.
+    pub link_plan_packets: u64,
 }
 
 /// The fabric's decision for one packet.
@@ -114,21 +148,27 @@ pub(crate) const CLEAN: FaultVerdict = FaultVerdict::Deliver {
     dup_extra: SimTime::ZERO,
 };
 
-/// Installed plan plus its RNG stream.
+/// One set of dice plus the RNG stream that rolls them (the base plan has
+/// one; every per-link plan has its own).
 #[derive(Clone, Debug)]
-pub(crate) struct FaultState {
-    pub(crate) plan: FaultPlan,
+struct DiceState {
+    drop_p: f64,
+    dup_p: f64,
+    delay_p: f64,
+    delay_min: SimTime,
+    delay_max: SimTime,
     rng: SplitMix64,
-    pub(crate) stats: FaultStats,
 }
 
-impl FaultState {
-    pub(crate) fn new(plan: FaultPlan) -> Self {
-        let rng = SplitMix64::new(plan.seed);
-        FaultState {
-            plan,
-            rng,
-            stats: FaultStats::default(),
+impl DiceState {
+    fn new(plan: &FaultPlan) -> Self {
+        DiceState {
+            drop_p: plan.drop_p,
+            dup_p: plan.dup_p,
+            delay_p: plan.delay_p,
+            delay_min: plan.delay_min,
+            delay_max: plan.delay_max,
+            rng: SplitMix64::new(plan.seed),
         }
     }
 
@@ -137,9 +177,64 @@ impl FaultState {
     }
 
     fn delay_draw(&mut self) -> SimTime {
-        let lo = self.plan.delay_min.nanos();
-        let hi = self.plan.delay_max.nanos().max(lo);
+        let lo = self.delay_min.nanos();
+        let hi = self.delay_max.nanos().max(lo);
         SimTime::from_nanos(self.rng.next_range(lo, hi))
+    }
+
+    /// Roll the dice for one packet. Dice at zero probability consume no
+    /// randomness — a zero plan never touches its stream.
+    fn roll(&mut self, stats: &mut FaultStats) -> FaultVerdict {
+        if self.drop_p > 0.0 && self.unit() < self.drop_p {
+            stats.dropped += 1;
+            return FaultVerdict::Drop;
+        }
+        let mut extra = SimTime::ZERO;
+        if self.delay_p > 0.0 && self.unit() < self.delay_p {
+            extra = self.delay_draw();
+            stats.delayed += 1;
+        }
+        let mut duplicate = false;
+        let mut dup_extra = SimTime::ZERO;
+        if self.dup_p > 0.0 && self.unit() < self.dup_p {
+            duplicate = true;
+            dup_extra = self.delay_draw();
+            stats.duplicated += 1;
+        }
+        FaultVerdict::Deliver {
+            extra,
+            duplicate,
+            dup_extra,
+        }
+    }
+}
+
+/// Installed plan plus its RNG streams.
+#[derive(Clone, Debug)]
+pub(crate) struct FaultState {
+    pub(crate) plan: FaultPlan,
+    base: DiceState,
+    /// Per-link dice, keyed by directed `(src, dst)` node pair. Lookups for
+    /// links with no entry touch nothing here — the "no plan = zero
+    /// randomness" contract extends link by link.
+    links: HashMap<(u32, u32), DiceState>,
+    pub(crate) stats: FaultStats,
+}
+
+impl FaultState {
+    pub(crate) fn new(plan: FaultPlan) -> Self {
+        let base = DiceState::new(&plan);
+        let links = plan
+            .links
+            .iter()
+            .map(|(s, d, p)| ((s.0, d.0), DiceState::new(p)))
+            .collect();
+        FaultState {
+            plan,
+            base,
+            links,
+            stats: FaultStats::default(),
+        }
     }
 
     pub(crate) fn node_dead(&self, node: NodeId, now: SimTime) -> bool {
@@ -149,7 +244,10 @@ impl FaultState {
             .any(|&(n, t)| n == node && now >= t)
     }
 
-    /// Roll the dice for one packet between `src_node` and `dst_node`.
+    /// Roll the dice for one packet between `src_node` and `dst_node`. A
+    /// per-link plan for the directed pair overrides the base dice and
+    /// rolls its own stream; otherwise the base dice roll (consuming
+    /// nothing when they are all zero).
     pub(crate) fn verdict(
         &mut self,
         src_node: NodeId,
@@ -160,27 +258,11 @@ impl FaultState {
             self.stats.dead_node_drops += 1;
             return FaultVerdict::Drop;
         }
-        if self.plan.drop_p > 0.0 && self.unit() < self.plan.drop_p {
-            self.stats.dropped += 1;
-            return FaultVerdict::Drop;
+        if let Some(dice) = self.links.get_mut(&(src_node.0, dst_node.0)) {
+            self.stats.link_plan_packets += 1;
+            return dice.roll(&mut self.stats);
         }
-        let mut extra = SimTime::ZERO;
-        if self.plan.delay_p > 0.0 && self.unit() < self.plan.delay_p {
-            extra = self.delay_draw();
-            self.stats.delayed += 1;
-        }
-        let mut duplicate = false;
-        let mut dup_extra = SimTime::ZERO;
-        if self.plan.dup_p > 0.0 && self.unit() < self.plan.dup_p {
-            duplicate = true;
-            dup_extra = self.delay_draw();
-            self.stats.duplicated += 1;
-        }
-        FaultVerdict::Deliver {
-            extra,
-            duplicate,
-            dup_extra,
-        }
+        self.base.roll(&mut self.stats)
     }
 }
 
@@ -237,5 +319,59 @@ mod tests {
             assert_eq!(f.verdict(NodeId(0), NodeId(1), SimTime::ZERO), CLEAN);
         }
         assert_eq!(f.stats.dropped + f.stats.duplicated + f.stats.delayed, 0);
+    }
+
+    #[test]
+    fn link_plan_applies_to_its_direction_only() {
+        let plan =
+            FaultPlan::new(3).for_link(NodeId(0), NodeId(1), FaultPlan::new(9).with_drop(1.0));
+        let mut f = FaultState::new(plan);
+        for _ in 0..50 {
+            assert_eq!(
+                f.verdict(NodeId(0), NodeId(1), SimTime::ZERO),
+                FaultVerdict::Drop,
+                "the planned direction drops everything"
+            );
+            assert_eq!(
+                f.verdict(NodeId(1), NodeId(0), SimTime::ZERO),
+                CLEAN,
+                "the reverse direction keeps the (clean) base dice"
+            );
+            assert_eq!(
+                f.verdict(NodeId(2), NodeId(3), SimTime::ZERO),
+                CLEAN,
+                "unrelated links keep the base dice"
+            );
+        }
+        assert_eq!(f.stats.dropped, 50);
+        assert_eq!(f.stats.link_plan_packets, 50);
+    }
+
+    #[test]
+    fn planless_links_consume_no_randomness_next_to_a_link_plan() {
+        // Two states: one with a per-link plan on (2→3), one with none.
+        // Rolling the (2→3) link dice must not advance the base stream:
+        // with a lossy *base*, (0→1) sees identical draws whether or not
+        // the link plan's own stream is being consumed in between. (This
+        // is the per-link-stream independence guarantee; rerouting a
+        // link's packets *off* a nonzero base stream naturally shifts the
+        // base draw positions — see the module docs.)
+        let base = FaultPlan::new(11).with_drop(0.3);
+        let with_link =
+            base.clone()
+                .for_link(NodeId(2), NodeId(3), FaultPlan::new(77).with_drop(0.9));
+        let mut a = FaultState::new(base);
+        let mut b = FaultState::new(with_link);
+        for i in 0..200 {
+            // Interleave (2→3) rolls on `b` only: they must not shift the
+            // base stream that (0→1) consumes.
+            if i % 3 == 0 {
+                let _ = b.verdict(NodeId(2), NodeId(3), SimTime::ZERO);
+            }
+            assert_eq!(
+                a.verdict(NodeId(0), NodeId(1), SimTime::ZERO),
+                b.verdict(NodeId(0), NodeId(1), SimTime::ZERO)
+            );
+        }
     }
 }

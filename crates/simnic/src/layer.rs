@@ -214,7 +214,7 @@ pub fn dma_charge<W: NicWorld>(w: &mut W, nic: NicId, ready: SimTime, bytes: u64
 /// Each packet occupies one transmit link for `wire_len / link_bw`; the
 /// crossbar adds cut-through latency. Packets between the same pair of NICs
 /// arrive in order per link.
-pub fn wire_send<W: NicWorld>(w: &mut W, pkt: Packet, ready: SimTime) -> SimTime {
+pub fn wire_send<W: NicWorld>(w: &mut W, mut pkt: Packet, ready: SimTime) -> SimTime {
     let now = knet_simcore::now(w);
     let dst = pkt.dst;
     let (tx_done, arrival, src_node, dst_node) = {
@@ -227,6 +227,13 @@ pub fn wire_send<W: NicWorld>(w: &mut W, pkt: Packet, ready: SimTime) -> SimTime
         n.stats.tx_bytes += pkt.wire_len;
         (end, end + n.model.wire_latency, src_node, dst_node)
     };
+    // Sequenced packets carry their wire-departure instant; the ack they
+    // trigger echoes it back, feeding the sender's RTT estimator
+    // (`crate::rel`). Stamped here — after link acquisition — so queueing
+    // behind earlier packets never inflates the RTT sample.
+    if pkt.rel_seq != 0 {
+        pkt.rel_tsval = tx_done;
+    }
     // The fault plan rolls its dice once the bits are on the wire: the
     // sender's link time is spent either way.
     let FaultVerdict::Deliver {

@@ -7,6 +7,7 @@
 //! copies are explicit cost-model charges.
 
 use bytes::Bytes;
+use knet_simcore::SimTime;
 
 /// Identifier of a NIC attached to the fabric.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
@@ -44,8 +45,17 @@ pub struct Packet {
     /// unsequenced packet (raw fabric traffic). **Raw field** — only the
     /// reliability layer and the two drivers may touch it (grep-gated).
     /// (Acks are not packets: they ride the control stream inside the
-    /// reliability layer.)
+    /// reliability layer; the cumulative ack and the 64-bit SACK bitmap
+    /// therefore never appear as packet fields.)
     pub rel_seq: u64,
+    /// Reliability timestamp: the instant this copy's last bit left the
+    /// source link, stamped by [`crate::layer::wire_send`] on sequenced
+    /// packets and echoed back in the ack it triggers — the sender's RTT
+    /// estimator (SRTT/RTTVAR, `crate::rel`) feeds on the echo. Stamped at
+    /// wire departure, not submission, so host/DMA pipeline backlog never
+    /// inflates the RTT estimate. **Raw field**, grep-gated like the
+    /// sequence number.
+    pub rel_tsval: SimTime,
 }
 
 impl Packet {
@@ -69,6 +79,7 @@ impl Packet {
             payload,
             wire_len,
             rel_seq: 0,
+            rel_tsval: SimTime::ZERO,
         }
     }
 }

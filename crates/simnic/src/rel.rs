@@ -1,5 +1,5 @@
-//! Driver-level reliability: a go-back-N ack/retransmit window per
-//! `(proto, src, dst)` link.
+//! Driver-level reliability: a **selective-repeat** ack/retransmit window
+//! per `(proto, src, dst)` link.
 //!
 //! GM and MX present a *reliable* message service to their clients; on real
 //! Myrinet hardware that reliability is implemented by the NIC control
@@ -18,26 +18,42 @@
 //!   sends park in submission order and go out as acks arrive;
 //! * the receiver dedupes against a 64-bit window bitmap, delivers fresh
 //!   packets immediately (upper-layer reassembly is offset-based, so
-//!   arrival order does not matter), and returns a **cumulative ack**;
+//!   arrival order does not matter), and returns a **cumulative ack plus a
+//!   64-bit SACK bitmap** of everything received beyond the cumulative
+//!   point;
 //! * acks are not packets: they ride the Myrinet control stream as
 //!   control symbols — cut-through latency, no data-link bandwidth, no
 //!   host/firmware charge (the drivers' calibrated per-message costs
 //!   already subsume the real firmware's internal ack handling), and the
 //!   arrival event updates the sender's window directly without
-//!   re-entering the drivers;
-//! * a retransmit timer per link fires every [`RelParams::rto`]; if no ack
-//!   progress happened in a full period the sender goes back to the window
-//!   base and resends everything unacked. [`RelParams::max_retries`]
-//!   fruitless rounds declare the link **dead**: the window is torn down,
-//!   subsequent sends fail synchronously, and the composed world is told
-//!   through [`NicWorld::nic_link_dead`] so `PeerDown` reaches every
-//!   channel above.
+//!   re-entering the drivers. Each ack also echoes the wire-departure
+//!   timestamp of the packet that triggered it (`Packet::rel_tsval`,
+//!   stamped by `wire_send`), feeding the sender's RTT estimator;
+//! * the retransmit timer is **adaptive**: SRTT/RTTVAR in virtual time
+//!   (RFC 6298 smoothing over the ack-echoed timestamps), RTO =
+//!   `clamp(srtt + 4·rttvar, min_rto, max_rto)`, doubled on every
+//!   fruitless round (exponential backoff) and re-derived from the
+//!   estimator once acks progress again;
+//! * when the timer finds a stale link it performs **selective repeat**:
+//!   only the *holes* — unacked packets the SACK state has not covered —
+//!   are resent; SACKed packets inside the window are never retransmitted
+//!   (counted in [`RelStats::sack_repairs`] as the resends a go-back-N
+//!   round would have wasted). [`RelParams::max_retries`] fruitless rounds
+//!   declare the link **dead**: the window is torn down, subsequent sends
+//!   fail synchronously, and the composed world is told through
+//!   [`NicWorld::nic_link_dead`] so `PeerDown` reaches every channel above.
+//! * a retransmission that turns out to have been unnecessary — the ack
+//!   that finally progresses echoes a timestamp *older* than the last RTO
+//!   round, so the original copy had arrived all along (Eifel detection) —
+//!   is counted in [`RelStats::spurious_rtos`].
 //!
 //! Lossless-path invariance: within the window, transmissions are the very
 //! same `wire_send` calls at the very same instants as without the window,
 //! and acks are cost-free — so calibrated latency/bandwidth figures do not
 //! move. The window structures are recycled (`RelStats::grows` stays flat
-//! in steady state, asserted by `tests/hotpath_alloc.rs`).
+//! in steady state, asserted by `tests/hotpath_alloc.rs`); the SACK bitmap
+//! is one machine word per link and the RTT estimator three inline fields,
+//! so ack processing allocates nothing.
 
 use std::collections::hash_map::Entry;
 use std::collections::{HashMap, VecDeque};
@@ -52,12 +68,18 @@ use crate::packet::{NicId, Packet, Proto};
 #[derive(Clone, Copy, Debug)]
 pub struct RelParams {
     /// Maximum unacked packets per link (≤ 64: the receiver dedupe bitmap
-    /// is one word).
+    /// and the SACK bitmap are one word).
     pub window: usize,
-    /// Retransmit-timer period: a link with zero ack progress for a full
-    /// period goes back to its window base.
+    /// Initial retransmit-timer period, used until the first RTT sample
+    /// seeds the estimator.
     pub rto: SimTime,
-    /// Fruitless go-back-N rounds before the link is declared dead.
+    /// Floor of the adaptive RTO: even on a fast fabric the timer never
+    /// fires earlier than this after the last transmission/ack progress
+    /// (guards against spurious retransmits from ack-processing jitter).
+    pub min_rto: SimTime,
+    /// Ceiling of the adaptive RTO and of its exponential backoff.
+    pub max_rto: SimTime,
+    /// Fruitless retransmission rounds before the link is declared dead.
     pub max_retries: u32,
 }
 
@@ -66,6 +88,8 @@ impl Default for RelParams {
         RelParams {
             window: 64,
             rto: SimTime::from_micros(200),
+            min_rto: SimTime::from_micros(50),
+            max_rto: SimTime::from_millis(2),
             max_retries: 8,
         }
     }
@@ -80,7 +104,8 @@ pub struct RelStats {
     pub acks_sent: u64,
     /// Inbound packets dropped as duplicates (loss recovery working).
     pub dup_dropped: u64,
-    /// Packets resent by go-back-N rounds.
+    /// Packets resent by retransmission rounds (holes only — a SACKed
+    /// packet is never among them).
     pub retransmits: u64,
     /// Timer periods that elapsed with zero ack progress.
     pub timeouts: u64,
@@ -97,6 +122,29 @@ pub struct RelStats {
     /// Structure-growth events — ring reallocations while queueing
     /// (warm-up only in steady state).
     pub grows: u64,
+    /// Window entries marked received via the SACK bitmap (ahead of the
+    /// cumulative ack).
+    pub sacked: u64,
+    /// Packets a retransmission round *skipped* because SACK state showed
+    /// the receiver already has them — exactly the resends go-back-N would
+    /// have wasted.
+    pub sack_repairs: u64,
+    /// RTT samples fed to the estimator (one per ack arrival).
+    pub rtt_samples: u64,
+    /// Retransmission rounds later proven unnecessary: the ack that
+    /// progressed echoed a pre-RTO timestamp (Eifel detection).
+    pub spurious_rtos: u64,
+    /// Latest smoothed RTT observed on any link, in nanoseconds.
+    pub srtt_ns: u64,
+    /// Latest adaptive RTO derived on any link, in nanoseconds.
+    pub rto_ns: u64,
+}
+
+/// One transmitted-but-unacked packet in a sender window.
+struct TxEntry {
+    pkt: Packet,
+    /// Receiver has SACKed this sequence: never retransmit it.
+    acked: bool,
 }
 
 /// Sender half of one link.
@@ -104,12 +152,12 @@ struct TxLink {
     /// Next sequence number to assign (sequences start at 1; 0 marks an
     /// unsequenced packet).
     next_seq: u64,
-    /// Lowest unacked sequence.
+    /// Lowest unacked sequence. The front entry of `unacked` always has
+    /// exactly this sequence, so `seq - base` indexes the ring.
     base: u64,
     /// Transmitted, unacked packets (`rel_seq` ∈ `[base, base+window)`),
-    /// kept for go-back-N retransmission with their original wire-ready
-    /// instants.
-    unacked: VecDeque<(Packet, SimTime)>,
+    /// kept for selective retransmission.
+    unacked: VecDeque<TxEntry>,
     /// Sequenced but not yet transmitted: the window was full.
     parked: VecDeque<(Packet, SimTime)>,
     /// Fruitless timer rounds since the last ack progress.
@@ -121,13 +169,24 @@ struct TxLink {
     last_tx_done: SimTime,
     /// Instant of the latest ack progress (window-base advance).
     last_progress: SimTime,
+    /// Smoothed RTT in nanoseconds (None until the first sample).
+    srtt_ns: Option<u64>,
+    /// RTT variance in nanoseconds.
+    rttvar_ns: u64,
+    /// Current retransmission timeout: seeded from `RelParams::rto`,
+    /// re-derived from the estimator on ack progress, doubled on backoff.
+    rto_cur: SimTime,
+    /// Instant of the most recent retransmission round (Eifel baseline).
+    last_rto_at: SimTime,
+    /// A retransmission round happened since the last ack progress.
+    rto_outstanding: bool,
     /// A retransmit timer is scheduled.
     armed: bool,
     dead: bool,
 }
 
 impl TxLink {
-    fn new() -> Self {
+    fn new(initial_rto: SimTime) -> Self {
         TxLink {
             next_seq: 1,
             base: 1,
@@ -136,15 +195,50 @@ impl TxLink {
             retries: 0,
             last_tx_done: SimTime::ZERO,
             last_progress: SimTime::ZERO,
+            srtt_ns: None,
+            rttvar_ns: 0,
+            rto_cur: initial_rto,
+            last_rto_at: SimTime::ZERO,
+            rto_outstanding: false,
             armed: false,
             dead: false,
         }
     }
 
     /// A link is stale at `deadline` if neither a transmission completed
-    /// nor an ack progressed after `deadline - rto`.
-    fn deadline(&self, rto: SimTime) -> SimTime {
-        self.last_tx_done.max(self.last_progress) + rto
+    /// nor an ack progressed after `deadline - rto_cur`.
+    fn deadline(&self) -> SimTime {
+        self.last_tx_done.max(self.last_progress) + self.rto_cur
+    }
+
+    /// Feed one RTT sample (RFC 6298 smoothing) and, outside backoff,
+    /// re-derive the adaptive RTO.
+    fn rtt_sample(&mut self, rtt: SimTime, p: &RelParams) -> (u64, u64) {
+        let r = rtt.nanos();
+        let (srtt, rttvar) = match self.srtt_ns {
+            None => (r, r / 2),
+            Some(s) => {
+                let diff = s.abs_diff(r);
+                ((7 * s + r) / 8, (3 * self.rttvar_ns + diff) / 4)
+            }
+        };
+        self.srtt_ns = Some(srtt);
+        self.rttvar_ns = rttvar;
+        if self.retries == 0 {
+            // Backoffed links keep their inflated RTO until progress.
+            self.derive_rto(p);
+        }
+        (srtt, self.rto_cur.nanos())
+    }
+
+    /// `RTO = clamp(srtt + 4·rttvar, min, max)` — the one place the
+    /// formula lives (no-op until the estimator has sampled).
+    fn derive_rto(&mut self, p: &RelParams) {
+        if let Some(s) = self.srtt_ns {
+            self.rto_cur = SimTime::from_nanos(s + 4 * self.rttvar_ns)
+                .max(p.min_rto)
+                .min(p.max_rto);
+        }
     }
 }
 
@@ -152,7 +246,9 @@ impl TxLink {
 struct RxLink {
     /// All sequences `< rx_next` received (the cumulative ack value).
     rx_next: u64,
-    /// Bitmap of received sequences in `[rx_next, rx_next + 64)`.
+    /// Bitmap of received sequences in `[rx_next, rx_next + 64)` — bit 0
+    /// is always clear (else `rx_next` would have advanced), so the set
+    /// bits are exactly the out-of-order packets the SACK advertises.
     seen: u64,
 }
 
@@ -184,7 +280,7 @@ impl RelState {
     pub fn new(params: RelParams) -> Self {
         assert!(
             (1..=64).contains(&params.window),
-            "reliability window must be 1..=64 (one-word receiver bitmap)"
+            "reliability window must be 1..=64 (one-word receiver/SACK bitmaps)"
         );
         RelState {
             params,
@@ -211,6 +307,31 @@ impl RelState {
             .map(|l| l.unacked.len() + l.parked.len())
             .unwrap_or(0)
     }
+
+    /// Packets occupying the unacked window of a link — never exceeds
+    /// [`RelParams::window`] (tests assert this under chaos schedules).
+    pub fn window_load(&self, proto: Proto, src: NicId, dst: NicId) -> usize {
+        self.tx
+            .get(&key(proto, src, dst))
+            .map(|l| l.unacked.len())
+            .unwrap_or(0)
+    }
+
+    /// Sum of unacked + parked packets across every link (tests: bounded
+    /// teardown — zero once flows quiesce or die).
+    pub fn buffered_total(&self) -> usize {
+        self.tx
+            .values()
+            .map(|l| l.unacked.len() + l.parked.len())
+            .sum()
+    }
+
+    /// The RTT estimator of a link: `(srtt, current rto)`, if it has
+    /// sampled at least once (tests, figures).
+    pub fn link_rtt(&self, proto: Proto, src: NicId, dst: NicId) -> Option<(SimTime, SimTime)> {
+        let l = self.tx.get(&key(proto, src, dst))?;
+        l.srtt_ns.map(|s| (SimTime::from_nanos(s), l.rto_cur))
+    }
 }
 
 /// Verdict of [`rel_on_packet`].
@@ -235,11 +356,12 @@ pub fn rel_send<W: NicWorld>(w: &mut W, mut pkt: Packet, ready: SimTime) {
     let action = {
         let rel = &mut w.nics_mut().rel;
         let window = rel.params.window;
+        let initial_rto = rel.params.rto;
         let link = match rel.tx.entry(k) {
             Entry::Occupied(e) => e.into_mut(),
             Entry::Vacant(e) => {
                 rel.stats.links += 1;
-                e.insert(TxLink::new())
+                e.insert(TxLink::new(initial_rto))
             }
         };
         if link.dead {
@@ -251,7 +373,10 @@ pub fn rel_send<W: NicWorld>(w: &mut W, mut pkt: Packet, ready: SimTime) {
         let in_window = (pkt.rel_seq - link.base) < window as u64;
         if in_window {
             let cap = link.unacked.capacity();
-            link.unacked.push_back((pkt.clone(), ready));
+            link.unacked.push_back(TxEntry {
+                pkt: pkt.clone(),
+                acked: false,
+            });
             if link.unacked.capacity() > cap {
                 rel.stats.grows += 1;
             }
@@ -285,7 +410,6 @@ fn note_tx<W: NicWorld>(w: &mut W, k: LinkKey, tx_done: SimTime) {
 fn arm_timer<W: NicWorld>(w: &mut W, k: LinkKey) {
     let deadline = {
         let rel = &mut w.nics_mut().rel;
-        let rto = rel.params.rto;
         let Some(link) = rel.tx.get_mut(&k) else {
             return;
         };
@@ -293,15 +417,16 @@ fn arm_timer<W: NicWorld>(w: &mut W, k: LinkKey) {
             return;
         }
         link.armed = true;
-        link.deadline(rto)
+        link.deadline()
     };
     knet_simcore::at(w, deadline, move |w: &mut W| rel_timeout(w, k));
 }
 
 /// The per-link retransmit timer. Fires at the link's staleness deadline;
 /// when neither a transmission completed nor an ack progressed for a full
-/// rto, the sender goes back to the window base, and `max_retries`
-/// fruitless rounds declare the link dead.
+/// adaptive RTO, the sender performs a selective-repeat round — resending
+/// only the holes the SACK state has not covered — and backs the RTO off.
+/// `max_retries` fruitless rounds declare the link dead.
 fn rel_timeout<W: NicWorld>(w: &mut W, k: LinkKey) {
     enum Outcome {
         Idle,
@@ -312,14 +437,14 @@ fn rel_timeout<W: NicWorld>(w: &mut W, k: LinkKey) {
     let now = knet_simcore::now(w);
     let outcome = {
         let rel = &mut w.nics_mut().rel;
-        let rto = rel.params.rto;
+        let max_rto = rel.params.max_rto;
         let Some(link) = rel.tx.get_mut(&k) else {
             return;
         };
         link.armed = false;
         if link.dead || link.unacked.is_empty() {
             Outcome::Idle
-        } else if now < link.deadline(rto) {
+        } else if now < link.deadline() {
             // Progress since arming, or the pipeline is still feeding the
             // wire: keep watching from the new deadline.
             Outcome::Rearm
@@ -333,14 +458,27 @@ fn rel_timeout<W: NicWorld>(w: &mut W, k: LinkKey) {
                 rel.stats.dead_links += 1;
                 Outcome::Dead
             } else {
-                // Go-back-N: resend everything from the window base, now.
+                // Selective repeat: resend the holes, and only the holes —
+                // a SACKed packet is already in the receiver's reassembly
+                // window and never crosses the wire again.
                 let mut burst = std::mem::take(&mut rel.burst);
                 burst.clear();
-                for (pkt, _) in &link.unacked {
-                    burst.push((pkt.clone(), SimTime::ZERO));
+                let mut spared = 0u64;
+                for e in &mut link.unacked {
+                    if e.acked {
+                        spared += 1;
+                    } else {
+                        burst.push((e.pkt.clone(), SimTime::ZERO));
+                    }
                 }
                 rel.stats.retransmits += burst.len() as u64;
+                rel.stats.sack_repairs += spared;
                 rel.burst = burst;
+                link.last_rto_at = now;
+                link.rto_outstanding = true;
+                // Exponential backoff until acks progress again.
+                link.rto_cur =
+                    SimTime::from_nanos(link.rto_cur.nanos().saturating_mul(2)).min(max_rto);
                 Outcome::Retransmit
             }
         }
@@ -368,14 +506,16 @@ fn rel_timeout<W: NicWorld>(w: &mut W, k: LinkKey) {
 /// Filter an inbound GM/MX packet through the reliability layer at `nic`.
 ///
 /// Acks advance the local sender window (releasing parked packets);
-/// sequenced data is deduped against the receive bitmap and acked
-/// cumulatively. Returns whether the driver should process the packet.
+/// sequenced data is deduped against the receive bitmap and acked with the
+/// cumulative point plus the SACK bitmap of everything received beyond it.
+/// Returns whether the driver should process the packet.
 pub fn rel_on_packet<W: NicWorld>(w: &mut W, pkt: &Packet) -> RelVerdict {
     if pkt.rel_seq == 0 {
         return RelVerdict::Deliver; // unsequenced (raw fabric tests)
     }
     let k = key(pkt.proto, pkt.src, pkt.dst);
-    let (fresh, cum) = {
+    let echo = pkt.rel_tsval;
+    let (fresh, cum, sack) = {
         let rel = &mut w.nics_mut().rel;
         let rx = rel.rx.entry(k).or_insert(RxLink {
             rx_next: 1,
@@ -403,11 +543,12 @@ pub fn rel_on_packet<W: NicWorld>(w: &mut W, pkt: &Packet) -> RelVerdict {
             rel.stats.dup_dropped += 1;
         }
         rel.stats.acks_sent += 1;
-        (fresh, rx.rx_next)
+        (fresh, rx.rx_next, rx.seen)
     };
-    // Cumulative ack back to the sender — also for duplicates, so a lost
-    // ack is repaired by the retransmission it caused.
-    schedule_ack(w, k, cum);
+    // Cumulative ack + SACK bitmap back to the sender — also for
+    // duplicates, so a lost ack is repaired by the retransmission it
+    // caused.
+    schedule_ack(w, k, cum, sack, echo);
     if fresh {
         RelVerdict::Deliver
     } else {
@@ -415,14 +556,17 @@ pub fn rel_on_packet<W: NicWorld>(w: &mut W, pkt: &Packet) -> RelVerdict {
     }
 }
 
-/// Put a cumulative ack on the control stream. Acks are not packets: they
-/// ride the Myrinet control symbols interleaved with the data stream, so
-/// they traverse the crossbar with cut-through latency but occupy no link
+/// Put an ack on the control stream. Acks are not packets: they ride the
+/// Myrinet control symbols interleaved with the data stream, so they
+/// traverse the crossbar with cut-through latency but occupy no link
 /// bandwidth, charge no host/firmware time, and never re-enter the
 /// drivers — the arrival event updates the sender's window directly. They
-/// are subject to the same fault plan as data packets (acks get lost,
-/// delayed and duplicated too; cumulative acking absorbs all three).
-fn schedule_ack<W: NicWorld>(w: &mut W, k: LinkKey, cum: u64) {
+/// carry the cumulative ack, the 64-bit SACK bitmap (bit `i` =
+/// `cum + i` received out of order) and the echoed wire-departure
+/// timestamp of the packet that triggered them. They are subject to the
+/// same fault plan as data packets (acks get lost, delayed and duplicated
+/// too; cumulative acking absorbs all three).
+fn schedule_ack<W: NicWorld>(w: &mut W, k: LinkKey, cum: u64, sack: u64, echo: SimTime) {
     let now = knet_simcore::now(w);
     let (data_src, data_dst) = (NicId(k.1), NicId(k.2));
     let (latency, ack_src_node, ack_dst_node) = {
@@ -444,31 +588,73 @@ fn schedule_ack<W: NicWorld>(w: &mut W, k: LinkKey, cum: u64) {
     let arrival = now + latency + extra;
     if duplicate {
         let at2 = arrival + dup_extra;
-        knet_simcore::at(w, at2, move |w: &mut W| ack_arrival(w, k, cum));
+        knet_simcore::at(w, at2, move |w: &mut W| ack_arrival(w, k, cum, sack, echo));
     }
-    knet_simcore::at(w, arrival, move |w: &mut W| ack_arrival(w, k, cum));
+    knet_simcore::at(w, arrival, move |w: &mut W| {
+        ack_arrival(w, k, cum, sack, echo)
+    });
 }
 
-/// A cumulative ack arrived: drop acked packets from the window, release
-/// parked packets into the freed slots, reset the retry budget.
-fn ack_arrival<W: NicWorld>(w: &mut W, k: LinkKey, cum: u64) {
+/// An ack arrived: sample the RTT from the echoed timestamp, mark SACKed
+/// window entries (they will never be retransmitted), and on cumulative
+/// progress drop acked packets from the window, release parked packets
+/// into the freed slots and reset the retry budget.
+fn ack_arrival<W: NicWorld>(w: &mut W, k: LinkKey, cum: u64, sack: u64, echo: SimTime) {
     let now = knet_simcore::now(w);
     {
         let rel = &mut w.nics_mut().rel;
         rel.stats.acks_recv += 1;
+        let params = rel.params;
         let Some(link) = rel.tx.get_mut(&k) else {
             return;
         };
-        if link.dead || cum <= link.base {
-            return; // stale or no progress
+        if link.dead {
+            return;
         }
+        // Every ack carries a valid echo — even a duplicate's tells the
+        // true RTT of the copy that triggered it.
+        let (srtt, rto) = link.rtt_sample(now.saturating_sub(echo), &params);
+        rel.stats.rtt_samples += 1;
+        rel.stats.srtt_ns = srtt;
+        rel.stats.rto_ns = rto;
+        // SACK bits are relative to *this ack's* cumulative point; stale
+        // acks (smaller cum than our base) still carry true information —
+        // a receiver never un-receives a packet.
+        let mut bits = sack;
+        while bits != 0 {
+            let i = bits.trailing_zeros() as u64;
+            bits &= bits - 1;
+            let seq = cum + i;
+            if seq >= link.base {
+                if let Some(e) = link.unacked.get_mut((seq - link.base) as usize) {
+                    debug_assert_eq!(e.pkt.rel_seq, seq, "window ring indexed by seq - base");
+                    if !e.acked {
+                        e.acked = true;
+                        rel.stats.sacked += 1;
+                    }
+                }
+            }
+        }
+        if cum <= link.base {
+            return; // no cumulative progress (stale or duplicate ack)
+        }
+        // Eifel detection: progress whose echo predates the last
+        // retransmission round means the original copy had arrived all
+        // along — that RTO was spurious.
+        if link.rto_outstanding && echo < link.last_rto_at {
+            rel.stats.spurious_rtos += 1;
+        }
+        link.rto_outstanding = false;
         rel.stats.ack_progress += 1;
-        while link.unacked.front().is_some_and(|(p, _)| p.rel_seq < cum) {
+        while link.unacked.front().is_some_and(|e| e.pkt.rel_seq < cum) {
             link.unacked.pop_front();
         }
         link.base = cum;
         link.retries = 0;
         link.last_progress = now;
+        // Progress ends any backoff: re-derive the RTO from the estimator
+        // (rtt_sample above skipped the re-derive while retries > 0).
+        link.derive_rto(&params);
         // Release parked packets into the freed window slots.
         let window = rel.params.window;
         let mut burst = std::mem::take(&mut rel.burst);
@@ -477,7 +663,10 @@ fn ack_arrival<W: NicWorld>(w: &mut W, k: LinkKey, cum: u64) {
             let Some((pkt, ready)) = link.parked.pop_front() else {
                 break;
             };
-            link.unacked.push_back((pkt.clone(), ready));
+            link.unacked.push_back(TxEntry {
+                pkt: pkt.clone(),
+                acked: false,
+            });
             burst.push((pkt, ready));
         }
         rel.burst = burst;
@@ -490,4 +679,205 @@ fn ack_arrival<W: NicWorld>(w: &mut W, k: LinkKey, cum: u64) {
     w.nics_mut().rel.burst = burst;
     note_tx(w, k, last);
     arm_timer(w, k);
+}
+
+#[cfg(test)]
+mod tests {
+    //! White-box checks of the selective-repeat sender: these reach into
+    //! the private state machine (ack injection, hole accounting) that the
+    //! black-box equivalence suite (`tests/rel_equivalence.rs`) can only
+    //! observe statistically.
+
+    use super::*;
+    use crate::layer::NicLayer;
+    use crate::model::NicModel;
+    use bytes::Bytes;
+    use knet_simcore::{run_to_quiescence, run_until, RunOutcome, Scheduler, SimWorld};
+    use knet_simos::{CpuModel, OsLayer, OsWorld};
+
+    struct TestWorld {
+        sched: Scheduler<TestWorld>,
+        os: OsLayer,
+        nics: NicLayer,
+        delivered: Vec<u64>,
+        dead: Vec<(Proto, NicId, NicId)>,
+    }
+
+    impl SimWorld for TestWorld {
+        fn sched(&self) -> &Scheduler<Self> {
+            &self.sched
+        }
+        fn sched_mut(&mut self) -> &mut Scheduler<Self> {
+            &mut self.sched
+        }
+    }
+    impl OsWorld for TestWorld {
+        fn os(&self) -> &OsLayer {
+            &self.os
+        }
+        fn os_mut(&mut self) -> &mut OsLayer {
+            &mut self.os
+        }
+    }
+    impl NicWorld for TestWorld {
+        fn nics(&self) -> &NicLayer {
+            &self.nics
+        }
+        fn nics_mut(&mut self) -> &mut NicLayer {
+            &mut self.nics
+        }
+        fn nic_rx(&mut self, _nic: NicId, pkt: Packet) {
+            self.delivered.push(pkt.meta[0]);
+        }
+        fn nic_link_dead(&mut self, proto: Proto, local: NicId, remote: NicId) {
+            self.dead.push((proto, local, remote));
+        }
+    }
+
+    fn world() -> (TestWorld, NicId, NicId) {
+        let mut w = TestWorld {
+            sched: Scheduler::new(),
+            os: OsLayer::new(),
+            nics: NicLayer::new(),
+            delivered: Vec::new(),
+            dead: Vec::new(),
+        };
+        let n0 = w.os.add_node(CpuModel::xeon_2600(), 64);
+        let n1 = w.os.add_node(CpuModel::xeon_2600(), 64);
+        let a = w.nics.add_nic(n0, NicModel::pci_xd());
+        let b = w.nics.add_nic(n1, NicModel::pci_xd());
+        (w, a, b)
+    }
+
+    fn pkt(src: NicId, dst: NicId, idx: u64) -> Packet {
+        Packet::new(
+            src,
+            dst,
+            Proto::Gm,
+            0,
+            [idx; 4],
+            Bytes::from_static(b"payload"),
+            16,
+        )
+    }
+
+    /// The heart of selective repeat: with the receiver's SACK state
+    /// showing two of five packets received, a retransmission round resends
+    /// exactly the three holes.
+    #[test]
+    fn retransmission_round_resends_only_the_holes() {
+        // Drop all data on the wire so acks must be injected by hand (the
+        // per-link plan keeps the reverse direction semantically clean).
+        let (mut w, a, b) = world();
+        let (na, nb) = (w.nics.get(a).node, w.nics.get(b).node);
+        w.nics.set_fault_plan(crate::FaultPlan::new(1).for_link(
+            na,
+            nb,
+            crate::FaultPlan::new(2).with_drop(1.0),
+        ));
+        for i in 0..5 {
+            rel_send(&mut w, pkt(a, b, i), SimTime::ZERO);
+        }
+        let k = key(Proto::Gm, a, b);
+        // Receiver-side state after "seq 1 lost, seqs 2 and 3 arrived":
+        // cum = 1, SACK bits 1 and 2 (relative to cum).
+        ack_arrival(&mut w, k, 1, 0b110, SimTime::ZERO);
+        assert_eq!(w.nics.rel.stats.sacked, 2);
+        // Let the retransmit timer fire once.
+        let outcome = run_until(&mut w, |w: &TestWorld| w.nics.rel.stats.timeouts >= 1);
+        assert_eq!(outcome, RunOutcome::Satisfied);
+        // Holes are seqs 1, 4, 5 — three resends; the two SACKed packets
+        // (seqs 2, 3) were spared.
+        assert_eq!(w.nics.rel.stats.retransmits, 3, "only holes are resent");
+        assert_eq!(
+            w.nics.rel.stats.sack_repairs, 2,
+            "SACKed packets are never retransmitted"
+        );
+    }
+
+    /// Acks echo wire-departure timestamps; the estimator converges on the
+    /// true network RTT and derives a clamped RTO.
+    #[test]
+    fn rtt_estimator_feeds_on_echoed_timestamps() {
+        let (mut w, a, b) = world();
+        for i in 0..8 {
+            rel_send(&mut w, pkt(a, b, i), SimTime::ZERO);
+        }
+        // TestWorld::nic_rx does not ack, so no samples flow on their own.
+        // Inject an ack at t=100µs echoing a 90µs departure: rtt == 10 µs
+        // (well before the first 200µs timer round, so no backoff is in
+        // play).
+        let k = key(Proto::Gm, a, b);
+        knet_simcore::at(
+            &mut w,
+            SimTime::from_micros(100),
+            move |w: &mut TestWorld| {
+                ack_arrival(w, k, 3, 0, SimTime::from_micros(90));
+            },
+        );
+        let outcome = run_until(&mut w, |w: &TestWorld| w.nics.rel.stats.rtt_samples >= 1);
+        assert_eq!(outcome, RunOutcome::Satisfied);
+        assert_eq!(w.nics.rel.stats.srtt_ns, 10_000, "first sample seeds SRTT");
+        // rto = srtt + 4*rttvar = 10 + 20 = 30 µs, clamped to min_rto 50 µs.
+        assert_eq!(w.nics.rel.stats.rto_ns, 50_000, "RTO clamps to the floor");
+        let (srtt, rto) = w.nics.rel.link_rtt(Proto::Gm, a, b).unwrap();
+        assert_eq!(srtt, SimTime::from_micros(10));
+        assert_eq!(rto, SimTime::from_micros(50));
+    }
+
+    /// A link whose packets never arrive dies after exactly
+    /// `max_retries + 1` fruitless timer rounds, with exponential backoff
+    /// between them, and tears its rings down.
+    #[test]
+    fn retry_budget_exhaustion_kills_the_link() {
+        let (mut w, a, b) = world();
+        let (na, nb) = (w.nics.get(a).node, w.nics.get(b).node);
+        w.nics.set_fault_plan(crate::FaultPlan::new(1).for_link(
+            na,
+            nb,
+            crate::FaultPlan::new(2).with_drop(1.0),
+        ));
+        for i in 0..3 {
+            rel_send(&mut w, pkt(a, b, i), SimTime::ZERO);
+        }
+        run_to_quiescence(&mut w);
+        let max_retries = w.nics.rel.params.max_retries;
+        assert_eq!(
+            w.nics.rel.stats.timeouts,
+            max_retries as u64 + 1,
+            "death happens exactly when the budget is exhausted"
+        );
+        assert_eq!(w.nics.rel.stats.dead_links, 1);
+        assert!(w.nics.rel.link_dead(Proto::Gm, a, b));
+        assert_eq!(w.nics.rel.in_flight(Proto::Gm, a, b), 0, "rings torn down");
+        assert_eq!(w.dead, vec![(Proto::Gm, a, b)], "world told exactly once");
+        // Backoff doubled the RTO on the way down: 9 rounds from 200 µs,
+        // capped at 2 ms, is far beyond the initial period.
+        assert!(
+            knet_simcore::now(&w) > SimTime::from_millis(5),
+            "exponential backoff spaced the rounds out"
+        );
+    }
+
+    /// An ack that progresses but echoes a pre-RTO timestamp proves the
+    /// retransmission was unnecessary — Eifel detection counts it.
+    #[test]
+    fn spurious_rto_detected_via_timestamp_echo() {
+        let (mut w, a, b) = world();
+        let (na, nb) = (w.nics.get(a).node, w.nics.get(b).node);
+        w.nics.set_fault_plan(crate::FaultPlan::new(1).for_link(
+            na,
+            nb,
+            crate::FaultPlan::new(2).with_drop(1.0),
+        ));
+        rel_send(&mut w, pkt(a, b, 0), SimTime::ZERO);
+        let original_departure = SimTime::from_micros(1); // before any RTO
+        let k = key(Proto::Gm, a, b);
+        let outcome = run_until(&mut w, |w: &TestWorld| w.nics.rel.stats.timeouts >= 1);
+        assert_eq!(outcome, RunOutcome::Satisfied);
+        // The "original" ack limps in after the retransmission round.
+        ack_arrival(&mut w, k, 2, 0, original_departure);
+        assert_eq!(w.nics.rel.stats.spurious_rtos, 1);
+        assert_eq!(w.nics.rel.stats.ack_progress, 1, "progress still counted");
+    }
 }

@@ -81,10 +81,22 @@ impl ClusterBuilder {
     }
 
     /// Make the fabric lossy: install a seeded fault plan (drop /
-    /// duplicate / delay-reorder dice, one-shot node kills). The drivers'
-    /// reliability windows absorb the injected faults.
+    /// duplicate / delay-reorder dice, one-shot node kills, per-link
+    /// overrides). The drivers' reliability windows absorb the injected
+    /// faults.
     pub fn fault_plan(mut self, plan: FaultPlan) -> Self {
         self.fault = Some(plan);
+        self
+    }
+
+    /// Make one *direction* of one node pair misbehave: install `plan`'s
+    /// dice for packets `src → dst` only, leaving the rest of the fabric
+    /// on whatever base plan is (or is not) installed. Asymmetric links —
+    /// a flaky uplink next to a clean downlink — compose by calling this
+    /// repeatedly.
+    pub fn fault_link(mut self, src: NodeId, dst: NodeId, plan: FaultPlan) -> Self {
+        let base = self.fault.take().unwrap_or_else(|| FaultPlan::new(0));
+        self.fault = Some(base.for_link(src, dst, plan));
         self
     }
 

@@ -411,13 +411,27 @@ impl Default for FsOpts {
 
 /// [`fs_fixture`] over a faulty fabric — the lossy-link scenario knob: the
 /// same deployment, with a seeded `FaultPlan` installed before any traffic
-/// flows. The drivers' reliability windows absorb the injected faults, so
-/// every figure and test driven off the fixture must produce identical
-/// bytes (the chaos suite asserts exactly that).
+/// flows (including per-link asymmetric overrides built with
+/// `FaultPlan::for_link`). The drivers' reliability windows absorb the
+/// injected faults, so every figure and test driven off the fixture must
+/// produce identical bytes (the chaos suite asserts exactly that).
 pub fn fs_fixture_faulty(opts: FsOpts, plan: knet_simnic::FaultPlan) -> FsFixture {
     let mut fx = fs_fixture(opts);
     fx.w.set_fault_plan(plan);
     fx
+}
+
+/// [`fs_fixture`] with an *asymmetric* faulty fabric: `plan`'s dice apply
+/// only to the client→server direction (node 0 → node 1); the reply path
+/// stays clean. Exercises one-sided recovery — data/announcement loss with
+/// a lossless ack/reply channel — which go-back-N and selective repeat
+/// handle very differently.
+pub fn fs_fixture_asym(opts: FsOpts, plan: knet_simnic::FaultPlan) -> FsFixture {
+    let seed = plan.seed;
+    fs_fixture_faulty(
+        opts,
+        knet_simnic::FaultPlan::new(seed).for_link(NodeId(0), NodeId(1), plan),
+    )
 }
 
 /// Build a server (node 1) + client (node 0) world with `/data` populated.

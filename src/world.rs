@@ -165,11 +165,28 @@ impl ClusterWorld {
     }
 
     /// Install a fault plan on the fabric (see `knet_simnic::FaultPlan`):
-    /// seeded drop/duplicate/delay dice plus one-shot node kills. The
-    /// driver-level reliability windows absorb the injected faults; an
-    /// exhausted retry budget surfaces as `TransportEvent::PeerDown`.
+    /// seeded drop/duplicate/delay dice plus one-shot node kills, and —
+    /// via [`knet_simnic::FaultPlan::for_link`] — per-link asymmetric
+    /// overrides with their own independent dice streams. The driver-level
+    /// reliability windows absorb the injected faults; an exhausted retry
+    /// budget surfaces as `TransportEvent::PeerDown`.
     pub fn set_fault_plan(&mut self, plan: knet_simnic::FaultPlan) {
         self.nics.set_fault_plan(plan);
+    }
+
+    /// The registry counters with the NIC-level reliability counters
+    /// (`knet_simnic::RelStats`) mirrored in: one snapshot tests, figures
+    /// and the bench can assert on without reaching below the driver seam.
+    pub fn stats_snapshot(&self) -> knet_core::RegistryStats {
+        let mut st = self.registry.stats;
+        let rel = self.nics.rel.stats;
+        st.rel_retransmits = rel.retransmits;
+        st.rel_sack_repairs = rel.sack_repairs;
+        st.rel_rtt_samples = rel.rtt_samples;
+        st.rel_spurious_rtos = rel.spurious_rtos;
+        st.rel_srtt_ns = rel.srtt_ns;
+        st.rel_rto_ns = rel.rto_ns;
+        st
     }
 }
 

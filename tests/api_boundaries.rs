@@ -25,11 +25,14 @@ const FORBIDDEN: &[&str] = &[
 ];
 
 /// Directories that must not touch the raw reliability packet fields
-/// (the sequence/ack members of `Packet`): sequencing and acking belong to
-/// the NIC-level window (`knet_simnic::rel`) and the two drivers that feed it —
-/// everything else sees only the transport contract. (Same idea, one
-/// layer down: the reliability seam is as load-bearing as the driver
-/// seam.)
+/// (the sequence/ack/timestamp members of `Packet`): sequencing, SACKing
+/// and RTT echoing belong to the NIC-level window (`knet_simnic::rel`) and
+/// the two drivers that feed it — everything else sees only the transport
+/// contract. (Same idea, one layer down: the reliability seam is as
+/// load-bearing as the driver seam. The cumulative ack and the SACK bitmap
+/// themselves ride the control stream and never appear as packet fields;
+/// the echoed wire-departure timestamp is the one selective-repeat
+/// addition to the wire format.)
 const REL_FORBIDDEN: &[&str] = &[
     "src",
     "examples",
@@ -89,12 +92,17 @@ fn raw_transport_calls_stay_below_the_channel_layer() {
 #[test]
 fn reliability_packet_fields_stay_inside_the_window_and_drivers() {
     // Patterns assembled at runtime so this file never matches itself.
-    let patterns = vec![format!("rel_{}", "seq"), format!("rel_{}", "ack")];
+    let patterns = vec![
+        format!("rel_{}", "seq"),
+        format!("rel_{}", "ack"),
+        format!("rel_{}", "tsval"),
+    ];
     let offenders = offenders_for(REL_FORBIDDEN, &patterns);
     assert!(
         offenders.is_empty(),
-        "raw sequence/ack packet fields touched above the reliability \
-         window (only knet-simnic's rel module and the gm/mx drivers may):\n{}",
+        "raw sequence/ack/timestamp packet fields touched above the \
+         reliability window (only knet-simnic's rel module and the gm/mx \
+         drivers may):\n{}",
         offenders.join("\n")
     );
 }

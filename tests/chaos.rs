@@ -27,8 +27,8 @@ fn plan(seed: u64, loss_pct: u64, dup: bool, reorder: bool) -> FaultPlan {
         p = p.with_dup(0.04);
     }
     if reorder {
-        // Delays stay below the reliability rto so recovery, not spurious
-        // go-back-N, is what reorders exercise.
+        // Delays stay mostly below the adaptive rto floor so recovery, not
+        // spurious retransmission rounds, is what reorders exercise.
         p = p.with_delay(0.08, SimTime::from_micros(2), SimTime::from_micros(80));
     }
     p
@@ -274,6 +274,62 @@ fn chaos_is_deterministic_per_seed() {
     assert_eq!(a, b, "executed-event fingerprints match across runs");
 }
 
+/// An asymmetric per-link plan keyed to one node pair must not consume
+/// fault dice for any other link: with a zero base plan, a run whose plan
+/// carries a (heavily lossy) override for an *uninvolved* pair is
+/// event-for-event identical to a run with no dice at all — the
+/// "no plan = zero randomness, bit-identical fabric" contract, extended
+/// link by link.
+#[test]
+fn asymmetric_plans_leave_planless_links_bit_identical() {
+    let clean = zsock_scenario(TransportKind::Mx, FaultPlan::new(42));
+    let with_unrelated_link = zsock_scenario(
+        TransportKind::Mx,
+        FaultPlan::new(42).for_link(
+            NodeId(6),
+            NodeId(7),
+            FaultPlan::new(99).with_drop(0.5).with_dup(0.3).with_delay(
+                0.4,
+                SimTime::from_micros(1),
+                SimTime::from_micros(90),
+            ),
+        ),
+    );
+    assert_eq!(
+        clean, with_unrelated_link,
+        "a per-link plan on an uninvolved pair must not perturb the fabric"
+    );
+}
+
+/// Fixed-seed asymmetric smoke entry for CI: one direction of the fabric
+/// is lossy (drop + dup + delay-reorder), the reverse direction is clean —
+/// the shape where go-back-N and selective repeat differ most (data loss
+/// with a lossless ack path). Every scenario must stay byte-exact.
+#[test]
+fn chaos_smoke_asymmetric() {
+    let loss: u64 = std::env::var("CHAOS_LOSS_PCT")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(10);
+    let asym = |seed: u64| {
+        FaultPlan::new(seed).for_link(NodeId(0), NodeId(1), plan(seed ^ 0xA5, loss, true, true))
+    };
+    for kind in [TransportKind::Mx, TransportKind::Gm] {
+        zsock_scenario(kind, asym(0xA11C));
+        orfs_scenario(kind, asym(0xA11D));
+    }
+    nbd_scenario(asym(0xA11E));
+    // And the reverse asymmetry (lossy replies, clean requests).
+    let asym_rev = |seed: u64| {
+        FaultPlan::new(seed).for_link(NodeId(1), NodeId(0), plan(seed ^ 0x5A, loss, true, true))
+    };
+    for kind in [TransportKind::Mx, TransportKind::Gm] {
+        zsock_scenario(kind, asym_rev(0xB22C));
+        orfs_scenario(kind, asym_rev(0xB22D));
+    }
+    nbd_scenario(asym_rev(0xB22E));
+}
+
 /// Killing the server node mid-workload: every in-flight and subsequent
 /// operation completes with a typed error; nothing stalls forever.
 #[test]
@@ -367,4 +423,185 @@ fn killing_the_peer_poisons_sockets() {
     );
     run_to_quiescence(&mut w);
     let _ = sb;
+}
+
+// ------------------------------------------------------- surviving-node failover
+
+/// ORFS failover: two servers on different nodes, one dies mid-workload.
+/// Every in-flight op toward the dead server fails typed, the surviving
+/// client's traffic to the other node completes byte-exact with no stall,
+/// and the dead peer's state is fully reclaimed — context pools bounded,
+/// server staging empty, reliability window rings drained.
+#[test]
+fn orfs_server_kill_spares_surviving_traffic() {
+    let mut w = ClusterBuilder::new()
+        .nodes(3, CpuModel::xeon_2600())
+        .mem_frames(131_072)
+        .build();
+    let (n0, n1, n2) = (NodeId(0), NodeId(1), NodeId(2));
+    let user = ubuf(&mut w, n0, 4 << 20);
+    let vfs = VfsConfig {
+        combine_pages: false,
+        max_combine: 16,
+    };
+    let deploy = |w: &mut ClusterWorld, server_node: NodeId, path: &str| {
+        let c = w.open_mx(n0, MxEndpointConfig::kernel()).unwrap();
+        let s = w.open_mx(server_node, MxEndpointConfig::kernel()).unwrap();
+        let sid = knet_orfs::server_create(w, s, knet_simfs::SimFs::with_defaults()).unwrap();
+        let cid = knet_orfs::client_create(w, c, s, ClientKind::KernelVfs, user.asid, vfs).unwrap();
+        knet::harness::make_server_file(w, sid, path, 128 * 1024);
+        (sid, cid)
+    };
+    let (_sid_a, cid_a) = deploy(&mut w, n1, "/a");
+    let (sid_b, cid_b) = deploy(&mut w, n2, "/b");
+
+    // Healthy ops on both deployments first.
+    let fd_a = fsops::open(&mut w, cid_a, "/a", true).unwrap();
+    let fd_b = fsops::open(&mut w, cid_b, "/b", true).unwrap();
+    assert_eq!(
+        fsops::read(&mut w, cid_a, fd_a, user.memref(4096), 0).unwrap(),
+        4096
+    );
+    assert_eq!(
+        fsops::read(&mut w, cid_b, fd_b, user.memref(4096), 0).unwrap(),
+        4096
+    );
+
+    // Mid-workload: reads in flight toward both servers when node 1 dies.
+    let dead1 = knet_orfs::op_read(&mut w, cid_a, fd_a, user.memref(8192), 0);
+    let dead2 = knet_orfs::op_read(&mut w, cid_a, fd_a, user.memref(4096), 65_536);
+    let live1 = knet_orfs::op_read(&mut w, cid_b, fd_b, user.memref_at(64 * 1024, 8192), 0);
+    let live2 = knet_orfs::op_read(
+        &mut w,
+        cid_b,
+        fd_b,
+        user.memref_at(128 * 1024, 4096),
+        65_536,
+    );
+    w.set_fault_plan(FaultPlan::new(3).with_kill(n1, SimTime::ZERO));
+
+    let outcome = run_until(&mut w, |w| {
+        let done = |cid: knet_orfs::OrfsClientId, sid| {
+            w.orfs.client(cid).completed.iter().any(|(o, _)| *o == sid)
+        };
+        done(cid_a, dead1) && done(cid_a, dead2) && done(cid_b, live1) && done(cid_b, live2)
+    });
+    assert_eq!(outcome, RunOutcome::Satisfied, "nothing may stall");
+    for sid in [dead1, dead2] {
+        assert_eq!(
+            knet::harness::orfs_wait(&mut w, cid_a, sid),
+            Err(knet_orfs::OrfsError::Net),
+            "in-flight ops toward the dead server fail typed"
+        );
+    }
+    for (sid, off) in [(live1, 0u64), (live2, 65_536)] {
+        assert!(matches!(
+            knet::harness::orfs_wait(&mut w, cid_b, sid),
+            Ok(knet_orfs::SysRet::Bytes(_))
+        ));
+        let _ = (sid, off);
+    }
+    // Surviving deployment keeps full service: byte-exact reads and a
+    // write + readback round-trip, at full size.
+    for (off, len) in [(0u64, 500usize), (4096, 4096), (60_000, 50_000)] {
+        let n = fsops::read(&mut w, cid_b, fd_b, user.memref(len as u64), off).unwrap();
+        assert_eq!(n, len as u64);
+        let got = read_user(&w, &user, len);
+        for (i, &b) in got.iter().enumerate() {
+            assert_eq!(b, pattern_byte(off + i as u64), "byte {i} at {off}");
+        }
+    }
+    let msg: Vec<u8> = (0..40_000u64).map(|i| (i % 241) as u8).collect();
+    fill_user(&mut w, &user, &msg);
+    assert_eq!(
+        fsops::write(&mut w, cid_b, fd_b, user.memref(40_000), 4096).unwrap(),
+        40_000
+    );
+    fsops::close(&mut w, cid_b, fd_b).unwrap();
+    run_to_quiescence(&mut w);
+
+    // Dead-peer state fully reclaimed.
+    assert_eq!(
+        w.nics.rel.buffered_total(),
+        0,
+        "window rings drained everywhere (dead link torn down)"
+    );
+    assert_eq!(
+        w.orfs.servers[sid_b.0 as usize].staging_len(),
+        0,
+        "surviving server holds no stale staging"
+    );
+    let st = w.stats_snapshot();
+    assert!(
+        st.ctx_pool_slots <= 256,
+        "ctx slots bounded after failover: {}",
+        st.ctx_pool_slots
+    );
+    assert!(st.rel_rtt_samples > 0, "surviving links kept sampling RTT");
+}
+
+/// NBD failover: the same shape over the block layer — kill one of two
+/// block servers mid-workload; the surviving client's traffic stays
+/// byte-exact, the dead client ops fail typed, nothing leaks.
+#[test]
+fn nbd_server_kill_spares_surviving_traffic() {
+    let mut w = ClusterBuilder::new()
+        .nodes(3, CpuModel::xeon_2600())
+        .mem_frames(131_072)
+        .build();
+    let (n0, n1, n2) = (NodeId(0), NodeId(1), NodeId(2));
+    let deploy = |w: &mut ClusterWorld, server_node: NodeId, disk_id: u32| {
+        let c = w.open_mx(n0, MxEndpointConfig::kernel()).unwrap();
+        let s = w.open_mx(server_node, MxEndpointConfig::kernel()).unwrap();
+        nbd_server_create(w, s, 4096).unwrap();
+        nbd_client_create(w, c, s, disk_id).unwrap()
+    };
+    let cid_a = deploy(&mut w, n1, 7);
+    let cid_b = deploy(&mut w, n2, 8);
+    let ub = ubuf(&mut w, n0, 1 << 20);
+    let data: Vec<u8> = (0..64 * 1024u64).map(|i| pattern_byte(i * 5)).collect();
+    fill_user(&mut w, &ub, &data);
+
+    // Healthy writes land on both disks.
+    let op = nbd_write(&mut w, cid_a, ub.memref(64 * 1024), 0);
+    assert_eq!(nbd_wait(&mut w, cid_a, op), Ok(64 * 1024));
+    let op = nbd_write(&mut w, cid_b, ub.memref(64 * 1024), 0);
+    assert_eq!(nbd_wait(&mut w, cid_b, op), Ok(64 * 1024));
+
+    // Reads in flight toward both servers when node 1 dies. The dead
+    // server's read targets sectors beyond the written (client-cached)
+    // range, so it must fetch over the wire.
+    let dead_op = nbd_read(&mut w, cid_a, ub.memref_at(512 * 1024, 20_000), 1_000_000);
+    let live_op = nbd_read(&mut w, cid_b, ub.memref_at(640 * 1024, 20_000), 100);
+    w.set_fault_plan(FaultPlan::new(5).with_kill(n1, SimTime::ZERO));
+
+    assert_eq!(
+        nbd_wait(&mut w, cid_a, dead_op),
+        Err(NetError::PeerUnreachable),
+        "in-flight op toward the dead server fails typed"
+    );
+    assert_eq!(nbd_wait(&mut w, cid_b, live_op), Ok(20_000));
+    let mut got = vec![0u8; 20_000];
+    w.os.node(n0)
+        .read_virt(ub.asid, ub.addr.add(640 * 1024), &mut got)
+        .unwrap();
+    assert_eq!(got, data[100..20_100], "surviving read byte-exact");
+
+    // Later ops toward the dead server fail fast; the survivor keeps
+    // serving raw zero-copy reads.
+    let op = nbd_read(&mut w, cid_a, ub.memref_at(512 * 1024, 4096), 2_000_000);
+    assert_eq!(nbd_wait(&mut w, cid_a, op), Err(NetError::PeerUnreachable));
+    use knet_nbd::SECTOR_SIZE;
+    let raw_len = 2 * SECTOR_SIZE;
+    let op = nbd_read_raw(&mut w, cid_b, ub.memref_at(512 * 1024, raw_len), 4);
+    assert_eq!(nbd_wait(&mut w, cid_b, op), Ok(raw_len));
+    run_to_quiescence(&mut w);
+
+    assert_eq!(w.nics.rel.buffered_total(), 0, "window rings drained");
+    let st = w.stats_snapshot();
+    assert!(
+        st.ctx_pool_slots <= 256,
+        "ctx slots bounded after failover: {}",
+        st.ctx_pool_slots
+    );
 }

@@ -252,8 +252,8 @@ fn channel_send_path_recycles_pools_in_steady_state() {
         "completions drained through cq_pop_batch"
     );
     // The reliability window rides the same contract: every packet flows
-    // through it (sequencing, the unacked ring, cumulative acks) with zero
-    // steady-state allocations — link states and ring capacities reach
+    // through it (sequencing, the unacked ring, SACK-bearing acks) with
+    // zero steady-state allocations — link states and ring capacities reach
     // their high-water mark during warm-up and never grow again. Retained
     // packets clone `Bytes` payloads (refcount, no copy), so the lossless
     // path stays exactly as allocation-free as before the window existed.
@@ -271,4 +271,28 @@ fn channel_send_path_recycles_pools_in_steady_state() {
         "a lossless fabric never retransmits"
     );
     assert_eq!(rel1.dup_dropped, 0, "no duplicates without faults");
+    // The selective-repeat additions keep the same discipline: the SACK
+    // bitmap is one machine word per link and the RTT estimator three
+    // inline fields — both recycled with the link state (`grows` flat
+    // above covers them) — and every ack feeds a sample without the
+    // adaptive timer ever firing a false round on a clean fabric.
+    assert!(
+        rel1.rtt_samples >= rel0.rtt_samples + 100,
+        "every ack samples the RTT estimator"
+    );
+    assert_eq!(
+        rel1.spurious_rtos, 0,
+        "a lossless fabric never has a spurious RTO"
+    );
+    assert_eq!(rel1.sacked, 0, "in-order lossless arrivals never need SACK");
+    assert!(
+        rel1.srtt_ns > 0 && rel1.rto_ns >= rel1.srtt_ns,
+        "the estimator holds a live SRTT and a derived RTO"
+    );
+    // The mirrored view through the registry snapshot matches the source.
+    let snap = w.stats_snapshot();
+    assert_eq!(snap.rel_rtt_samples, rel1.rtt_samples);
+    assert_eq!(snap.rel_retransmits, rel1.retransmits);
+    assert_eq!(snap.rel_spurious_rtos, 0);
+    assert_eq!(snap.rel_srtt_ns, rel1.srtt_ns);
 }
