@@ -141,6 +141,20 @@ pub struct RegistryStats {
     pub rel_srtt_ns: u64,
     /// Latest adaptive RTO derived by the reliability layer, in ns.
     pub rel_rto_ns: u64,
+    /// Mirrors of the collective-subsystem counters (`knet_coll` +
+    /// `knet_simnic::coll`), filled by the composed world's stats
+    /// snapshot. Zero in a bare registry.
+    ///
+    /// Collective operations posted (bcast/barrier/reduce, any member).
+    pub coll_started: u64,
+    /// Collective contexts completed (`CollectiveDone`).
+    pub coll_completed: u64,
+    /// Collective contexts resolved as failures (`CollectiveFailed`).
+    pub coll_failed: u64,
+    /// Collective frames processed by the NIC tree engines.
+    pub coll_frames: u64,
+    /// In-NIC lane combines performed by the tree engines.
+    pub coll_combines: u64,
 }
 
 // ------------------------------------------------------------- send contexts
@@ -681,7 +695,10 @@ impl<W> Registry<W> {
             }
             TransportEvent::SendDone { .. }
             | TransportEvent::SendFailed { .. }
-            | TransportEvent::PeerDown { .. } => return,
+            | TransportEvent::PeerDown { .. }
+            | TransportEvent::CollectiveDone { .. }
+            | TransportEvent::CollectiveRecv { .. }
+            | TransportEvent::CollectiveFailed { .. } => return,
         };
         if let Some(chid) = self.channel_routes.get(&key(ep)) {
             if let Some(ch) = self.channels.get_mut(&chid.0) {

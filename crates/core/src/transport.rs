@@ -67,6 +67,25 @@ pub enum TransportEvent {
     /// peers) `peer.idx` is `u32::MAX` and only `peer.kind`/`peer.node`
     /// identify the casualty — consumers key their cleanup on the node.
     PeerDown { peer: Endpoint },
+    /// A collective this endpoint initiated (or contributed to) completed.
+    /// At the root of a broadcast/barrier/reduce this is the single
+    /// aggregated completion; at a non-root member it is the local
+    /// completion (contribution combined and forwarded / release wave
+    /// arrived). For a reduce root, `data` carries the combined lane
+    /// vector; otherwise it is empty.
+    CollectiveDone { ctx: u64, group: u32, data: Bytes },
+    /// A broadcast payload arrived at this member of `group` (delivered
+    /// NIC-to-NIC down the tree; no posted receive is involved).
+    CollectiveRecv { group: u32, tag: u64, data: Bytes },
+    /// An outstanding collective cannot complete — typically a member died
+    /// mid-round (`error` is [`NetError::PeerUnreachable`]). Delivered to
+    /// every member with an outstanding context in the group; the group
+    /// rejects further operations until re-created.
+    CollectiveFailed {
+        ctx: u64,
+        group: u32,
+        error: NetError,
+    },
 }
 
 /// World capability: send/receive over whichever driver owns the endpoint.

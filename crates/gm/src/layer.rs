@@ -22,8 +22,8 @@ use knet_core::{
 };
 use knet_simcore::SimTime;
 use knet_simnic::{
-    dma_charge, dma_gather, dma_scatter, fw_charge, rel_on_packet, rel_send, NicId, NicWorld,
-    Packet, Proto, RelVerdict, TransKey,
+    coll_inject, coll_on_packet, dma_charge, dma_gather, dma_scatter, fw_charge, is_coll_frame,
+    rel_on_packet, rel_send, CollCmd, NicId, NicWorld, Packet, Proto, RelVerdict, TransKey,
 };
 use knet_simos::{cpu_charge, page_slices, Asid, FrameIdx, NodeId, PhysSeg};
 
@@ -736,6 +736,30 @@ pub fn gm_provide_receive_buffer<W: GmWorld>(
     Ok(())
 }
 
+/// Post a collective descriptor through a GM port: the host pays its usual
+/// post cost, the firmware picks the descriptor up, and from then on the
+/// whole collective progresses NIC-to-NIC ([`coll_inject`]) — the host is
+/// off the critical path until the completion event comes back up.
+pub fn gm_coll_post<W: GmWorld>(
+    w: &mut W,
+    port_id: GmPortId,
+    cmd: CollCmd,
+) -> Result<(), NetError> {
+    let params = w.gm().params;
+    let (node, nic, is_kernel) = {
+        let p = w.gm().port(port_id)?;
+        (p.node, p.nic, p.mode.is_kernel())
+    };
+    let mut host_cost = params.host_send_post;
+    if is_kernel {
+        host_cost += params.kernel_op_extra;
+    }
+    let host_done = cpu_charge(w, node, host_cost);
+    let fw_done = fw_charge(w, nic, host_done, params.fw_send);
+    coll_inject(w, Proto::Gm, nic, cmd, fw_done);
+    Ok(())
+}
+
 /// Firmware receive path: called by the composed world for `Proto::Gm`
 /// packets arriving at `nic`.
 pub fn gm_on_packet<W: GmWorld>(w: &mut W, nic: NicId, pkt: Packet) {
@@ -746,6 +770,11 @@ pub fn gm_on_packet<W: GmWorld>(w: &mut W, nic: NicId, pkt: Packet) {
     // packet's wire-departure timestamp for the sender's RTT estimator.
     if rel_on_packet(w, &pkt) == RelVerdict::Consumed {
         return;
+    }
+    // Collective frames (reserved kind range) belong to the NIC-resident
+    // tree engine: forward/combine/ack without re-entering the GM logic.
+    if is_coll_frame(pkt.kind) {
+        return coll_on_packet(w, nic, pkt);
     }
     let m = unpack_meta(&pkt.meta);
     let params = w.gm().params;

@@ -25,8 +25,8 @@ use knet_core::{
 };
 use knet_simcore::SimTime;
 use knet_simnic::{
-    dma_charge, dma_gather, dma_scatter, fw_charge, rel_on_packet, rel_send, NicId, NicWorld,
-    Packet, Proto, RelVerdict,
+    coll_inject, coll_on_packet, dma_charge, dma_gather, dma_scatter, fw_charge, is_coll_frame,
+    rel_on_packet, rel_send, CollCmd, NicId, NicWorld, Packet, Proto, RelVerdict,
 };
 use knet_simos::{Asid, FrameIdx, NodeId, PhysSeg};
 
@@ -726,6 +726,27 @@ fn accept_rendezvous<W: MxWorld>(
     Ok(())
 }
 
+/// Post a collective descriptor through an MX endpoint: the host pays one
+/// post, the firmware picks the descriptor up, and the collective then
+/// progresses NIC-to-NIC ([`coll_inject`]) without further host involvement
+/// until the completion event comes back up. Same cost from user space and
+/// from the kernel — the MX property the paper is about.
+pub fn mx_coll_post<W: MxWorld>(
+    w: &mut W,
+    ep_id: MxEndpointId,
+    cmd: CollCmd,
+) -> Result<(), NetError> {
+    let params = w.mx().params;
+    let (node, nic) = {
+        let e = w.mx().ep(ep_id)?;
+        (e.node, e.nic)
+    };
+    let host_done = knet_simos::cpu_charge(w, node, params.host_post);
+    let fw_done = fw_charge(w, nic, host_done, params.fw_send);
+    coll_inject(w, Proto::Mx, nic, cmd, fw_done);
+    Ok(())
+}
+
 /// Firmware receive path for `Proto::Mx` packets.
 pub fn mx_on_packet<W: MxWorld>(w: &mut W, nic: NicId, pkt: Packet) {
     debug_assert_eq!(pkt.proto, Proto::Mx);
@@ -735,6 +756,11 @@ pub fn mx_on_packet<W: MxWorld>(w: &mut W, nic: NicId, pkt: Packet) {
     // packet's wire-departure timestamp for the sender's RTT estimator.
     if rel_on_packet(w, &pkt) == RelVerdict::Consumed {
         return;
+    }
+    // Collective frames (reserved kind range) belong to the NIC-resident
+    // tree engine: forward/combine/ack without re-entering the MX logic.
+    if is_coll_frame(pkt.kind) {
+        return coll_on_packet(w, nic, pkt);
     }
     match pkt.kind {
         KIND_EAGER => eager_rx(w, nic, pkt),

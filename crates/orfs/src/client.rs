@@ -1464,6 +1464,10 @@ pub fn client_on_event<W: OrfsWorld>(w: &mut W, cid: OrfsClientId, ev: Transport
                 finish(w, cid, sid, Err(OrfsError::Net));
             }
         }
+        // The file client does not participate in collective groups.
+        TransportEvent::CollectiveDone { .. }
+        | TransportEvent::CollectiveRecv { .. }
+        | TransportEvent::CollectiveFailed { .. } => {}
     }
 }
 

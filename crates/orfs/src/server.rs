@@ -403,6 +403,10 @@ pub fn server_on_event<W: OrfsWorld>(
                 .retain(|_, (f, _)| f.node != peer.node);
         }
         TransportEvent::SendDone { .. } | TransportEvent::SendFailed { .. } => {}
+        // The file server does not participate in collective groups.
+        TransportEvent::CollectiveDone { .. }
+        | TransportEvent::CollectiveRecv { .. }
+        | TransportEvent::CollectiveFailed { .. } => {}
     }
 }
 

@@ -11,6 +11,7 @@ use bytes::Bytes;
 use knet_simcore::{Busy, LaneBank, SimTime};
 use knet_simos::{NodeId, OsError, OsWorld, PhysSeg};
 
+use crate::coll::{CollEvent, CollState};
 use crate::fault::{FaultPlan, FaultState, FaultStats, FaultVerdict, CLEAN};
 use crate::model::NicModel;
 use crate::packet::{NicId, Packet, Proto};
@@ -73,6 +74,10 @@ pub struct NicLayer {
     /// NIC-level reliability windows (see [`crate::rel`]); GM and MX route
     /// every protocol packet through them.
     pub rel: RelState,
+    /// NIC-resident collective trees (see [`crate::coll`]): fan-out/fan-in
+    /// state progressed entirely at the firmware layer. Empty (and cost-
+    /// and event-free) until a group is installed.
+    pub coll: CollState,
 }
 
 impl NicLayer {
@@ -147,6 +152,13 @@ pub trait NicWorld: OsWorld {
     /// `PeerDown` to every channel above; the default (raw fabric tests,
     /// benchmark substrates) ignores it.
     fn nic_link_dead(&mut self, _proto: Proto, _local: NicId, _remote: NicId) {}
+
+    /// The collective engine (see [`crate::coll`]) has something for the
+    /// host at `nic`: a reassembled broadcast payload, a barrier release,
+    /// or the root's aggregated completion. The composed world maps these
+    /// to channel-level events; the default (raw fabric tests) ignores
+    /// them.
+    fn coll_event(&mut self, _proto: Proto, _nic: NicId, _ev: CollEvent) {}
 }
 
 /// DMA from host memory into the NIC: gathers the bytes described by `segs`

@@ -13,6 +13,7 @@
 //! The GM and MX *firmware* logic lives in `knet-gm`/`knet-mx`; this crate
 //! only provides the hardware they program.
 
+pub mod coll;
 pub mod fault;
 pub mod layer;
 pub mod model;
@@ -20,11 +21,15 @@ pub mod packet;
 pub mod rel;
 pub mod ttable;
 
+pub use coll::{
+    coll_inject, coll_on_packet, combine_lanes, is_coll_frame, CollCmd, CollEvent, CollNicStats,
+    CollOp, CollParams, CollState, ReduceOp,
+};
 pub use fault::{FaultPlan, FaultStats};
 pub use layer::{
     dma_charge, dma_gather, dma_scatter, fw_charge, wire_send, Nic, NicLayer, NicStats, NicWorld,
 };
 pub use model::NicModel;
 pub use packet::{NicId, Packet, Proto};
-pub use rel::{rel_on_packet, rel_send, RelParams, RelState, RelStats, RelVerdict};
+pub use rel::{rel_on_packet, rel_send, RelLinkStats, RelParams, RelState, RelStats, RelVerdict};
 pub use ttable::{TransKey, TransTable, TtError, TtStats};

@@ -147,6 +147,53 @@ struct TxEntry {
     acked: bool,
 }
 
+/// Per-link slice of the aggregate [`RelStats`] counters (sender side),
+/// kept inline in the link state — no extra map, no steady-state cost
+/// beyond a few adds.
+#[derive(Clone, Copy, Default, Debug)]
+struct LinkCounters {
+    data_packets: u64,
+    retransmits: u64,
+    timeouts: u64,
+    sacked: u64,
+    sack_repairs: u64,
+    rtt_samples: u64,
+    spurious_rtos: u64,
+}
+
+/// One row of the per-link reliability breakdown
+/// ([`RelState::link_breakdown`]): the counters of a single directed link,
+/// so a hot link (a collective tree's root edge, an asymmetric-loss
+/// victim) is attributable instead of averaged into [`RelStats`].
+#[derive(Clone, Copy, Debug)]
+pub struct RelLinkStats {
+    pub proto: Proto,
+    pub src: NicId,
+    pub dst: NicId,
+    /// Data packets sequenced onto this link.
+    pub data_packets: u64,
+    /// Hole packets resent by selective-repeat rounds.
+    pub retransmits: u64,
+    /// Retransmission rounds fired.
+    pub timeouts: u64,
+    /// Window entries marked received-out-of-order by SACK.
+    pub sacked: u64,
+    /// Resends a go-back-N would have made that SACK state spared.
+    pub sack_repairs: u64,
+    /// RTT samples fed to this link's estimator.
+    pub rtt_samples: u64,
+    /// Retransmission rounds proven unnecessary by timestamp echo.
+    pub spurious_rtos: u64,
+    /// Smoothed RTT in ns (0 until the first sample).
+    pub srtt_ns: u64,
+    /// Current adaptive RTO in ns.
+    pub rto_ns: u64,
+    /// Packets currently unacked + parked.
+    pub in_flight: usize,
+    /// Retry budget exhausted — the link is dead.
+    pub dead: bool,
+}
+
 /// Sender half of one link.
 struct TxLink {
     /// Next sequence number to assign (sequences start at 1; 0 marks an
@@ -183,6 +230,8 @@ struct TxLink {
     /// A retransmit timer is scheduled.
     armed: bool,
     dead: bool,
+    /// This link's slice of the aggregate counters.
+    counts: LinkCounters,
 }
 
 impl TxLink {
@@ -202,6 +251,7 @@ impl TxLink {
             rto_outstanding: false,
             armed: false,
             dead: false,
+            counts: LinkCounters::default(),
         }
     }
 
@@ -332,6 +382,41 @@ impl RelState {
         let l = self.tx.get(&key(proto, src, dst))?;
         l.srtt_ns.map(|s| (SimTime::from_nanos(s), l.rto_cur))
     }
+
+    fn link_row(&self, k: &LinkKey, l: &TxLink) -> RelLinkStats {
+        RelLinkStats {
+            proto: k.0,
+            src: NicId(k.1),
+            dst: NicId(k.2),
+            data_packets: l.counts.data_packets,
+            retransmits: l.counts.retransmits,
+            timeouts: l.counts.timeouts,
+            sacked: l.counts.sacked,
+            sack_repairs: l.counts.sack_repairs,
+            rtt_samples: l.counts.rtt_samples,
+            spurious_rtos: l.counts.spurious_rtos,
+            srtt_ns: l.srtt_ns.unwrap_or(0),
+            rto_ns: l.rto_cur.nanos(),
+            in_flight: l.unacked.len() + l.parked.len(),
+            dead: l.dead,
+        }
+    }
+
+    /// The counters of one directed link, if it has ever sent.
+    pub fn link_stats(&self, proto: Proto, src: NicId, dst: NicId) -> Option<RelLinkStats> {
+        let k = key(proto, src, dst);
+        self.tx.get(&k).map(|l| self.link_row(&k, l))
+    }
+
+    /// Every link's counters, deterministically ordered (protocol, then
+    /// source, then destination) — the per-link breakdown behind the
+    /// aggregate [`RelStats`], summing back to it on the shared fields.
+    pub fn link_breakdown(&self) -> Vec<RelLinkStats> {
+        let mut rows: Vec<RelLinkStats> =
+            self.tx.iter().map(|(k, l)| self.link_row(k, l)).collect();
+        rows.sort_by_key(|r| (r.proto as u8, r.src.0, r.dst.0));
+        rows
+    }
 }
 
 /// Verdict of [`rel_on_packet`].
@@ -369,6 +454,7 @@ pub fn rel_send<W: NicWorld>(w: &mut W, mut pkt: Packet, ready: SimTime) {
         }
         pkt.rel_seq = link.next_seq;
         link.next_seq += 1;
+        link.counts.data_packets += 1;
         rel.stats.data_packets += 1;
         let in_window = (pkt.rel_seq - link.base) < window as u64;
         if in_window {
@@ -450,6 +536,7 @@ fn rel_timeout<W: NicWorld>(w: &mut W, k: LinkKey) {
             Outcome::Rearm
         } else {
             link.retries += 1;
+            link.counts.timeouts += 1;
             rel.stats.timeouts += 1;
             if link.retries > rel.params.max_retries {
                 link.dead = true;
@@ -471,6 +558,8 @@ fn rel_timeout<W: NicWorld>(w: &mut W, k: LinkKey) {
                         burst.push((e.pkt.clone(), SimTime::ZERO));
                     }
                 }
+                link.counts.retransmits += burst.len() as u64;
+                link.counts.sack_repairs += spared;
                 rel.stats.retransmits += burst.len() as u64;
                 rel.stats.sack_repairs += spared;
                 rel.burst = burst;
@@ -614,6 +703,7 @@ fn ack_arrival<W: NicWorld>(w: &mut W, k: LinkKey, cum: u64, sack: u64, echo: Si
         // Every ack carries a valid echo — even a duplicate's tells the
         // true RTT of the copy that triggered it.
         let (srtt, rto) = link.rtt_sample(now.saturating_sub(echo), &params);
+        link.counts.rtt_samples += 1;
         rel.stats.rtt_samples += 1;
         rel.stats.srtt_ns = srtt;
         rel.stats.rto_ns = rto;
@@ -630,6 +720,7 @@ fn ack_arrival<W: NicWorld>(w: &mut W, k: LinkKey, cum: u64, sack: u64, echo: Si
                     debug_assert_eq!(e.pkt.rel_seq, seq, "window ring indexed by seq - base");
                     if !e.acked {
                         e.acked = true;
+                        link.counts.sacked += 1;
                         rel.stats.sacked += 1;
                     }
                 }
@@ -642,6 +733,7 @@ fn ack_arrival<W: NicWorld>(w: &mut W, k: LinkKey, cum: u64, sack: u64, echo: Si
         // retransmission round means the original copy had arrived all
         // along — that RTO was spurious.
         if link.rto_outstanding && echo < link.last_rto_at {
+            link.counts.spurious_rtos += 1;
             rel.stats.spurious_rtos += 1;
         }
         link.rto_outstanding = false;

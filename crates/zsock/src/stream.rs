@@ -825,6 +825,10 @@ pub fn sock_on_event<W: ZsockWorld>(w: &mut W, sid: SockId, ev: TransportEvent) 
             }
         }
         TransportEvent::RecvDone { .. } | TransportEvent::Unexpected { .. } => {}
+        // Streams never join collective groups.
+        TransportEvent::CollectiveDone { .. }
+        | TransportEvent::CollectiveRecv { .. }
+        | TransportEvent::CollectiveFailed { .. } => {}
         TransportEvent::PeerDown { .. } => unreachable!("handled before the dispatcher charge"),
     }
 }

@@ -817,3 +817,52 @@ pub fn table1() -> Vec<Table1Row> {
         },
     ]
 }
+
+// --------------------------------------------------------------- collectives
+
+/// A cluster with one kernel endpoint per node, all joined into a single
+/// collective group — the deployment every collective test, chaos scenario
+/// and `BENCH_collectives` mode drives.
+pub struct CollFixture {
+    pub w: ClusterWorld,
+    pub group: knet_coll::GroupId,
+    /// Member endpoints, root first (member `i` lives on node `i`).
+    pub eps: Vec<knet_core::Endpoint>,
+    /// One 64 KiB kernel buffer per node (payload staging for broadcasts).
+    pub bufs: Vec<harness::KBuf>,
+}
+
+/// Build an `n`-node cluster (GM or MX kernel endpoints, one per node,
+/// each bound to its own completion queue) and wire all of them into one
+/// collective group with fan-out `fanout`, rooted at node 0.
+pub fn coll_fixture(kind: TransportKind, n: usize, fanout: usize) -> CollFixture {
+    let frames = 32_768.max(n as u32 * 512);
+    let mut w = ClusterBuilder::new()
+        .nodes(n, CpuModel::xeon_2600())
+        .mem_frames(frames)
+        .build();
+    let mut eps = Vec::with_capacity(n);
+    let mut bufs = Vec::with_capacity(n);
+    for i in 0..n {
+        let node = NodeId(i as u32);
+        let cq = w.new_cq();
+        let ep = match kind {
+            TransportKind::Gm => w
+                .open_gm_cq(node, GmPortConfig::kernel().with_physical_api(), cq)
+                .unwrap(),
+            TransportKind::Mx => w.open_mx_cq(node, MxEndpointConfig::kernel(), cq).unwrap(),
+        };
+        eps.push(ep);
+        bufs.push(kbuf(&mut w, node, 64 << 10));
+    }
+    let group = knet_coll::group_create(&mut w, eps[0], fanout).unwrap();
+    for &ep in &eps[1..] {
+        knet_coll::group_join(&mut w, group, ep).unwrap();
+    }
+    CollFixture {
+        w,
+        group,
+        eps,
+        bufs,
+    }
+}

@@ -89,6 +89,10 @@ pub mod prelude {
     pub use crate::build::{two_nodes, two_nodes_xe, ClusterBuilder};
     pub use crate::harness::{fsops, kbuf, ubuf, KBuf, UBuf};
     pub use crate::world::ClusterWorld;
+    pub use knet_coll::{
+        channel_barrier, channel_bcast, channel_reduce, group_create, group_join, group_leave,
+        CollWorld, GroupId,
+    };
     pub use knet_core::api::{
         bind, channel_accept, channel_cancel_recv, channel_close, channel_connect,
         channel_connect_handler, channel_peer, channel_post_recv, channel_send,
@@ -102,6 +106,6 @@ pub mod prelude {
     pub use knet_mx::{MxEndpointConfig, MxOpts, MxParams};
     pub use knet_orfs::{ClientKind, VfsConfig};
     pub use knet_simcore::{now, run_to_quiescence, run_until, RunOutcome, SimTime};
-    pub use knet_simnic::NicModel;
+    pub use knet_simnic::{CollOp, NicModel, ReduceOp};
     pub use knet_simos::{Asid, CpuModel, NodeId, PAGE_SIZE};
 }

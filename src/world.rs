@@ -19,6 +19,7 @@
 //!   (`knet_core::api::channel_send`), never through the raw transport —
 //!   enforced by `tests/api_boundaries.rs`.
 
+use knet_coll::{CollLayer, CollWorld};
 use knet_core::api::{self, ConsumerId, CqId, Registry};
 use knet_core::{
     DispatchWorld, Endpoint, IoVec, MemRef, NetError, TransportEvent, TransportKind, TransportWorld,
@@ -34,7 +35,7 @@ use knet_mx::{
 use knet_nbd::{NbdLayer, NbdWorld};
 use knet_orfs::{OrfsLayer, OrfsWorld};
 use knet_simcore::{Scheduler, SimWorld};
-use knet_simnic::{NicId, NicLayer, NicWorld, Packet, Proto};
+use knet_simnic::{CollCmd, CollEvent, NicId, NicLayer, NicWorld, Packet, Proto};
 use knet_simos::{NodeId, OsLayer, OsWorld, VmaEvent};
 use knet_zsock::{TcpLayer, TcpWorld, ZsockLayer, ZsockWorld};
 
@@ -49,6 +50,8 @@ pub struct ClusterWorld {
     pub zsock: ZsockLayer,
     pub tcp: TcpLayer,
     pub nbd: NbdLayer,
+    /// Collective groups (rosters, round counters, completion contexts).
+    pub coll: CollLayer,
     /// Endpoint → consumer dispatch, completion queues, channels.
     pub registry: Registry<ClusterWorld>,
 }
@@ -72,6 +75,7 @@ impl ClusterWorld {
             zsock,
             tcp,
             nbd: NbdLayer::new(),
+            coll: CollLayer::default(),
             registry: Registry::new(),
         }
     }
@@ -186,7 +190,22 @@ impl ClusterWorld {
         st.rel_spurious_rtos = rel.spurious_rtos;
         st.rel_srtt_ns = rel.srtt_ns;
         st.rel_rto_ns = rel.rto_ns;
+        let coll = self.coll.stats;
+        st.coll_started = coll.started;
+        st.coll_completed = coll.completed;
+        st.coll_failed = coll.failed;
+        let nic_coll = self.nics.coll.stats;
+        st.coll_frames = nic_coll.frames;
+        st.coll_combines = nic_coll.combines;
         st
+    }
+
+    /// Per-link reliability counters, one row per live link state,
+    /// deterministically ordered — the breakdown behind the aggregate
+    /// [`Self::stats_snapshot`], so a hot link (e.g. a collective tree's
+    /// root edge) is attributable instead of averaged away.
+    pub fn rel_link_stats(&self) -> Vec<knet_simnic::RelLinkStats> {
+        self.nics.rel.link_breakdown()
     }
 }
 
@@ -228,7 +247,8 @@ impl NicWorld for ClusterWorld {
     }
     fn nic_link_dead(&mut self, proto: Proto, local: NicId, remote: NicId) {
         // A reliability window exhausted its retry budget: surface the dead
-        // peer to every channel above the driver seam.
+        // peer to every channel above the driver seam, and resolve every
+        // collective the dead node was a member of as a typed failure.
         let kind = match proto {
             Proto::Gm => TransportKind::Gm,
             Proto::Mx => TransportKind::Mx,
@@ -237,6 +257,72 @@ impl NicWorld for ClusterWorld {
         let local_node = self.nics.get(local).node;
         let remote_node = self.nics.get(remote).node;
         api::peer_down(self, kind, local_node, remote_node);
+        knet_coll::coll_peer_down(self, kind, remote_node);
+    }
+    fn coll_event(&mut self, proto: Proto, nic: NicId, ev: CollEvent) {
+        let kind = match proto {
+            Proto::Gm => TransportKind::Gm,
+            Proto::Mx => TransportKind::Mx,
+            Proto::Raw => return,
+        };
+        let node = self.nics.get(nic).node;
+        knet_coll::on_nic_event(self, kind, node, ev);
+    }
+}
+
+impl CollWorld for ClusterWorld {
+    fn coll(&self) -> &CollLayer {
+        &self.coll
+    }
+    fn coll_mut(&mut self) -> &mut CollLayer {
+        &mut self.coll
+    }
+    fn coll_post(&mut self, ep: Endpoint, cmd: CollCmd) -> Result<(), NetError> {
+        match ep.kind {
+            TransportKind::Gm => knet_gm::gm_coll_post(self, GmPortId(ep.idx), cmd),
+            TransportKind::Mx => knet_mx::mx_coll_post(self, MxEndpointId(ep.idx), cmd),
+        }
+    }
+    fn coll_install(
+        &mut self,
+        ep: Endpoint,
+        parent: Option<Endpoint>,
+        children: &[Endpoint],
+        group: u32,
+    ) {
+        let proto = match ep.kind {
+            TransportKind::Gm => Proto::Gm,
+            TransportKind::Mx => Proto::Mx,
+        };
+        let Some(nic) = self.nics.nic_of_node(ep.node) else {
+            return;
+        };
+        let parent = parent.and_then(|p| self.nics.nic_of_node(p.node));
+        let mut kids: Vec<NicId> = Vec::with_capacity(children.len());
+        for c in children {
+            if let Some(n) = self.nics.nic_of_node(c.node) {
+                kids.push(n);
+            }
+        }
+        self.nics
+            .coll
+            .install_tree(proto, group, nic, parent, &kids);
+    }
+    fn coll_uninstall(&mut self, ep: Endpoint, group: u32) {
+        let proto = match ep.kind {
+            TransportKind::Gm => Proto::Gm,
+            TransportKind::Mx => Proto::Mx,
+        };
+        if let Some(nic) = self.nics.nic_of_node(ep.node) {
+            self.nics.coll.uninstall_tree(proto, group, nic);
+        }
+    }
+    fn coll_purge(&mut self, kind: TransportKind, group: u32) {
+        let proto = match kind {
+            TransportKind::Gm => Proto::Gm,
+            TransportKind::Mx => Proto::Mx,
+        };
+        self.nics.coll.purge_group(proto, group);
     }
 }
 

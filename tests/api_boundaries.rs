@@ -106,3 +106,43 @@ fn reliability_packet_fields_stay_inside_the_window_and_drivers() {
         offenders.join("\n")
     );
 }
+
+/// Directories that must not touch the collective tree engine's wire
+/// surface: the `0xC?` frame opcodes and the firmware entry points
+/// (`coll_inject` / `coll_on_packet`) belong to `knet-simnic`'s tree
+/// engine and the two drivers that feed it. Everything above — including
+/// `knet-coll`, which is the *control plane* (groups, membership,
+/// completion contexts) — speaks `CollCmd`/`CollEvent` and the
+/// `CollWorld` seam only.
+const COLL_FORBIDDEN: &[&str] = &[
+    "src",
+    "examples",
+    "tests",
+    "crates/core",
+    "crates/coll",
+    "crates/zsock",
+    "crates/bench",
+    "crates/simfs",
+    "crates/orfs",
+    "crates/nbd",
+    "crates/simos",
+    "crates/simcore",
+];
+
+#[test]
+fn collective_opcodes_stay_inside_the_nic_engine_and_drivers() {
+    // Patterns assembled at runtime so this file never matches itself.
+    let patterns = vec![
+        format!("{}_{}_", "COLL", "KIND"),
+        format!("coll_{}(", "inject"),
+        format!("coll_{}(", "on_packet"),
+    ];
+    let offenders = offenders_for(COLL_FORBIDDEN, &patterns);
+    assert!(
+        offenders.is_empty(),
+        "collective frame opcodes / firmware entry points touched above \
+         the NIC tree engine (only knet-simnic's coll module and the gm/mx \
+         drivers may; go through knet-coll's group API):\n{}",
+        offenders.join("\n")
+    );
+}

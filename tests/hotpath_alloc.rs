@@ -296,3 +296,101 @@ fn channel_send_path_recycles_pools_in_steady_state() {
     assert_eq!(snap.rel_spurious_rtos, 0);
     assert_eq!(snap.rel_srtt_ns, rel1.srtt_ns);
 }
+
+// ---------------------------------------------------------------- collectives
+
+/// The in-NIC reduce combiner works lane-wise in place on the recycled
+/// accumulator — the innermost loop of every reduction must not allocate.
+#[test]
+fn combine_lanes_allocates_nothing() {
+    use knet_simnic::{combine_lanes, ReduceOp};
+    let mut acc = vec![0u8; 4096];
+    let chunk: Vec<u8> = (0..2048u64).flat_map(|i| i.to_le_bytes()).collect();
+    let (allocs, _) = count(|| {
+        for op in [
+            ReduceOp::Sum,
+            ReduceOp::Min,
+            ReduceOp::Max,
+            ReduceOp::BitXor,
+        ] {
+            for _ in 0..1_000 {
+                combine_lanes(op, &mut acc, 0, &chunk[..4096]);
+                combine_lanes(op, &mut acc, 2048, &chunk[..2048]);
+            }
+        }
+    });
+    assert_eq!(allocs, 0, "the reduce combiner must not allocate");
+}
+
+/// Warm collective rounds hold every pool to its contract: the NIC tree
+/// engine recycles its payload/progress scratch (`buf_grows` flat while
+/// `buf_uses` climbs), the host layer recycles its staging scratch, and no
+/// round leaves contexts or tree slots behind.
+#[test]
+fn collective_rounds_recycle_pools_in_steady_state() {
+    use knet::figures::{coll_fixture, CollFixture};
+    use knet::prelude::*;
+    let CollFixture {
+        mut w,
+        group,
+        eps,
+        bufs,
+    } = coll_fixture(TransportKind::Gm, 8, 2);
+    let mut batch = Vec::new();
+    let mut round = |w: &mut knet::world::ClusterWorld, r: u64| {
+        channel_bcast(w, group, r, &bufs[0].iov(4096)).unwrap();
+        knet_simcore::run_to_quiescence(w);
+        for &ep in &eps {
+            channel_barrier(w, group, ep).unwrap();
+        }
+        knet_simcore::run_to_quiescence(w);
+        for (m, &ep) in eps.iter().enumerate() {
+            channel_reduce(w, group, ep, ReduceOp::Sum, &[m as u64, r]).unwrap();
+        }
+        knet_simcore::run_to_quiescence(w);
+        for &ep in &eps {
+            w.take_events(ep, usize::MAX, &mut batch);
+        }
+    };
+
+    // Warm-up: reach the pools' high-water marks.
+    for r in 1..=8u64 {
+        round(&mut w, r);
+    }
+    let nic0 = w.nics.coll.stats;
+    let scr0 = w.coll.scratch_stats;
+    let pool0 = w.registry.stats;
+
+    for r in 9..=40u64 {
+        round(&mut w, r);
+    }
+    let nic1 = w.nics.coll.stats;
+    let scr1 = w.coll.scratch_stats;
+    let pool1 = w.registry.stats;
+
+    assert!(
+        nic1.buf_uses >= nic0.buf_uses + 32,
+        "every round borrows NIC tree scratch"
+    );
+    assert_eq!(
+        nic1.buf_grows, nic0.buf_grows,
+        "steady state must not grow the NIC tree pools"
+    );
+    assert!(
+        scr1.uses >= scr0.uses + 32,
+        "every round stages via scratch"
+    );
+    assert_eq!(
+        scr1.grows, scr0.grows,
+        "steady state must not grow the staging scratch"
+    );
+    assert_eq!(
+        pool1.ctx_pool_slots, pool0.ctx_pool_slots,
+        "collectives must not mint point-to-point context slots"
+    );
+    assert_eq!(w.coll.pending_count(), 0, "no stranded host contexts");
+    assert_eq!(w.nics.coll.pending_count(), 0, "no stranded NIC slots");
+    // The point-to-point reliability rings reached their high-water mark
+    // during warm-up too — collective frames ride the same windows.
+    assert_eq!(w.nics.rel.stats.retransmits, 0, "lossless fabric");
+}
