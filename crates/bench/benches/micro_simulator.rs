@@ -14,12 +14,25 @@ fn bench_engine(c: &mut Criterion) {
         b.iter_batched(
             || (),
             |()| {
-                // A self-contained world: chain 10 000 events.
+                // A self-contained world: chain 10 000 typed (arena,
+                // allocation-free) events — the steady-state hot path.
                 struct W {
                     sched: knet_simcore::Scheduler<W>,
                     n: u64,
                 }
+                enum Ev {
+                    Tick,
+                }
+                impl knet_simcore::SimEvent<W> for Ev {
+                    fn from_call(_f: Box<dyn FnOnce(&mut W) + Send>) -> Self {
+                        unimplemented!("micro bench world has no boxed cold path")
+                    }
+                    fn run(self, w: &mut W) {
+                        w.n += 1;
+                    }
+                }
                 impl knet_simcore::SimWorld for W {
+                    type Ev = Ev;
                     fn sched(&self) -> &knet_simcore::Scheduler<Self> {
                         &self.sched
                     }
@@ -32,7 +45,7 @@ fn bench_engine(c: &mut Criterion) {
                     n: 0,
                 };
                 for i in 0..10_000u64 {
-                    w.sched.at(SimTime::from_nanos(i), |w: &mut W| w.n += 1);
+                    knet_simcore::emit_at(&mut w, 0, SimTime::from_nanos(i), Ev::Tick);
                 }
                 knet_simcore::run_to_quiescence(&mut w);
                 assert_eq!(w.n, 10_000);

@@ -81,7 +81,6 @@ struct GroupState {
     fanout: usize,
     members: Vec<Member>,
     bcast_seq: u64,
-    next_ctx: u64,
     /// Outstanding completion contexts: `(class, seq, node)` → ctx.
     /// `BTreeMap` so failure resolution drains in a deterministic order.
     pending: BTreeMap<(u8, u64, u32), u64>,
@@ -215,7 +214,6 @@ pub fn group_create<W: CollWorld>(
             reduce_seq: 0,
         }],
         bcast_seq: 0,
-        next_ctx: 1,
         pending: BTreeMap::new(),
         failed: None,
         stats: GroupStats::default(),
@@ -295,6 +293,13 @@ fn rewire<W: CollWorld>(w: &mut W, g: GroupId) {
 
 // ------------------------------------------------------------- operations
 
+/// Deterministic, engine-invariant context id: `class` in the top bits,
+/// then the member's node, then its per-member operation sequence. Never
+/// zero (class is offset by one), unique per outstanding op.
+fn ctx_for(class: u8, node: u32, seq: u64) -> u64 {
+    ((class as u64 + 1) << 62) | ((node as u64) << 30) | (seq & ((1 << 30) - 1))
+}
+
 fn begin_op<W: CollWorld>(
     w: &mut W,
     g: GroupId,
@@ -326,8 +331,10 @@ fn begin_op<W: CollWorld>(
             seq
         }
     };
-    let ctx = s.next_ctx;
-    s.next_ctx += 1;
+    // Contexts are a pure function of (class, member node, per-member seq)
+    // rather than a shared counter, so every shard of a partitioned run
+    // derives the exact ctx the sequential engine would have handed out.
+    let ctx = ctx_for(class, ep.node.0, seq);
     s.pending.insert((class, seq, ep.node.0), ctx);
     s.stats.started += 1;
     Ok((seq, ctx))

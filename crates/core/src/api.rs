@@ -38,7 +38,7 @@
 //! world again.
 
 use std::collections::{BTreeMap, HashMap, VecDeque};
-use std::rc::Rc;
+use std::sync::Arc;
 
 use knet_simos::{cpu_charge, Asid, NodeId, VirtAddr, VmaEvent};
 
@@ -72,7 +72,7 @@ pub trait DispatchWorld: TransportWorld + Sized {
     fn registry_mut(&mut self) -> &mut Registry<Self>;
 }
 
-type Handler<W> = Rc<dyn Fn(&mut W, Endpoint, TransportEvent)>;
+type Handler<W> = Arc<dyn Fn(&mut W, Endpoint, TransportEvent) + Send + Sync>;
 
 /// Where a consumer's events go.
 enum Sink<W> {
@@ -86,7 +86,7 @@ impl<W> Clone for Sink<W> {
     fn clone(&self) -> Self {
         match self {
             Sink::Cq(cq) => Sink::Cq(*cq),
-            Sink::Handler(h) => Sink::Handler(Rc::clone(h)),
+            Sink::Handler(h) => Sink::Handler(Arc::clone(h)),
         }
     }
 }
@@ -155,6 +155,25 @@ pub struct RegistryStats {
     pub coll_frames: u64,
     /// In-NIC lane combines performed by the tree engines.
     pub coll_combines: u64,
+    /// Mirrors of the event-engine counters (`knet_simcore::EngineStats`),
+    /// summed over every shard by the composed world's stats snapshot.
+    /// Zero in a bare registry.
+    ///
+    /// Events executed by the scheduler(s).
+    pub engine_events: u64,
+    /// Epoch barriers crossed by the parallel engine (0 sequential).
+    pub engine_epochs: u64,
+    /// Cross-shard messages injected through ingress mailboxes.
+    pub engine_mailbox_injected: u64,
+    /// Deepest single-epoch mailbox drain observed on any shard.
+    pub engine_mailbox_high_water: u64,
+    /// Event-arena slots handed out (recycled or fresh).
+    pub engine_arena_uses: u64,
+    /// Event-arena slot allocations that grew the arena (steady state: 0).
+    pub engine_arena_grows: u64,
+    /// Typed engine errors recorded (time regression / causality breach).
+    /// Non-zero means a shard-engine invariant broke — fail the run.
+    pub engine_errors: u64,
 }
 
 // ------------------------------------------------------------- send contexts
@@ -622,9 +641,9 @@ impl<W> Registry<W> {
     pub fn register(
         &mut self,
         name: &str,
-        handler: impl Fn(&mut W, Endpoint, TransportEvent) + 'static,
+        handler: impl Fn(&mut W, Endpoint, TransportEvent) + Send + Sync + 'static,
     ) -> ConsumerId {
-        self.insert_consumer(name, Sink::Handler(Rc::new(handler)))
+        self.insert_consumer(name, Sink::Handler(Arc::new(handler)))
     }
 
     /// Register a queue-backed consumer (how polling drivers attach).
@@ -890,9 +909,9 @@ pub fn channel_connect_handler<W: DispatchWorld>(
     local: Endpoint,
     peer: Endpoint,
     name: &str,
-    handler: impl Fn(&mut W, Endpoint, TransportEvent) + 'static,
+    handler: impl Fn(&mut W, Endpoint, TransportEvent) + Send + Sync + 'static,
 ) -> ChannelId {
-    let id = create_channel(w, local, Some(peer), Sink::Handler(Rc::new(handler)));
+    let id = create_channel(w, local, Some(peer), Sink::Handler(Arc::new(handler)));
     name_channel_consumer(w, id, name);
     id
 }
@@ -907,9 +926,9 @@ pub fn channel_accept_handler<W: DispatchWorld>(
     w: &mut W,
     local: Endpoint,
     name: &str,
-    handler: impl Fn(&mut W, Endpoint, TransportEvent) + 'static,
+    handler: impl Fn(&mut W, Endpoint, TransportEvent) + Send + Sync + 'static,
 ) -> ChannelId {
-    let id = create_channel(w, local, None, Sink::Handler(Rc::new(handler)));
+    let id = create_channel(w, local, None, Sink::Handler(Arc::new(handler)));
     name_channel_consumer(w, id, name);
     id
 }

@@ -288,6 +288,39 @@ impl Default for GmLayer {
 }
 
 /// Capability trait: a world running the GM driver.
+/// Typed engine events for the GM layer: host-side completions that fire
+/// after the completion-record DMA (plus host polling cost) lands. Composed
+/// worlds embed these in their event enum via [`GmWorld::lift_gm`].
+#[derive(Debug)]
+pub enum GmEv {
+    /// Push a completion onto `port`'s event queue (charging the matching
+    /// stats) and run the world's dispatch hook.
+    Complete { port: GmPortId, ev: GmEvent },
+}
+
+/// Execute one GM-layer event.
+pub fn run_gm_ev<W: GmWorld>(w: &mut W, ev: GmEv) {
+    match ev {
+        GmEv::Complete { port, ev } => {
+            if let Ok(p) = w.gm_mut().port_mut(port) {
+                match &ev {
+                    GmEvent::SendDone { .. } => p.send_tokens += 1,
+                    GmEvent::RecvDone { len, .. } => {
+                        p.stats.recvs += 1;
+                        p.stats.bytes_received += *len;
+                    }
+                    GmEvent::Unexpected { data, .. } => {
+                        p.stats.unexpected += 1;
+                        p.stats.bytes_received += data.len() as u64;
+                    }
+                }
+                p.events.push_back(ev);
+            }
+            w.gm_dispatch(port);
+        }
+    }
+}
+
 pub trait GmWorld: NicWorld {
     fn gm(&self) -> &GmLayer;
     fn gm_mut(&mut self) -> &mut GmLayer;
@@ -296,6 +329,13 @@ pub trait GmWorld: NicWorld {
     /// world routes this to the port's owner; the default (benchmark
     /// drivers) leaves events in the queue to be polled.
     fn gm_dispatch(&mut self, _port: GmPortId) {}
+
+    /// Wrap a GM event into the world's typed event enum. The default boxes
+    /// (fine for tests); the composed cluster world overrides it with a
+    /// zero-allocation enum variant.
+    fn lift_gm(ev: GmEv) -> <Self as knet_simcore::SimWorld>::Ev {
+        knet_simcore::SimEvent::from_call(Box::new(move |w: &mut Self| run_gm_ev(w, ev)))
+    }
 }
 
 /// Open a port on `node`. Fails if the node has no NIC.
@@ -678,13 +718,12 @@ pub fn gm_send<W: GmWorld>(
         // complete the send and return the token.
         if offset >= total {
             let ev_done = dma_charge(w, nic, dma_done, 64); // completion record DMA
-            knet_simcore::at(w, ev_done, move |w: &mut W| {
-                if let Ok(p) = w.gm_mut().port_mut(port_id) {
-                    p.send_tokens += 1;
-                    p.events.push_back(GmEvent::SendDone { ctx });
-                }
-                w.gm_dispatch(port_id);
+            let node = w.nics().get(nic).node.0;
+            let ev = W::lift_gm(GmEv::Complete {
+                port: port_id,
+                ev: GmEvent::SendDone { ctx },
             });
+            knet_simcore::emit_at(w, node, ev_done, ev);
             break;
         }
         first = false;
@@ -893,19 +932,16 @@ pub fn gm_on_packet<W: GmWorld>(w: &mut W, nic: NicId, pkt: Packet) {
             };
             let port_id = a.dst_port;
             let (tag, total, src) = (a.tag, a.total, a.src_port);
-            knet_simcore::at(w, done, move |w: &mut W| {
-                if let Ok(p) = w.gm_mut().port_mut(port_id) {
-                    p.stats.recvs += 1;
-                    p.stats.bytes_received += total;
-                    p.events.push_back(GmEvent::RecvDone {
-                        ctx: buf.ctx,
-                        tag,
-                        len: total,
-                        from: src,
-                    });
-                }
-                w.gm_dispatch(port_id);
+            let ev = W::lift_gm(GmEv::Complete {
+                port: port_id,
+                ev: GmEvent::RecvDone {
+                    ctx: buf.ctx,
+                    tag,
+                    len: total,
+                    from: src,
+                },
             });
+            knet_simcore::emit_at(w, node.0, done, ev);
         }
         None => {
             // Unexpected: the host copies the message out of the bounce pool.
@@ -921,20 +957,17 @@ pub fn gm_on_packet<W: GmWorld>(w: &mut W, nic: NicId, pkt: Packet) {
                 end
             };
             let port_id = a.dst_port;
-            let (tag, total, src) = (a.tag, a.total, a.src_port);
+            let (tag, _total, src) = (a.tag, a.total, a.src_port);
             let data = Bytes::from(a.bounce);
-            knet_simcore::at(w, done, move |w: &mut W| {
-                if let Ok(p) = w.gm_mut().port_mut(port_id) {
-                    p.stats.unexpected += 1;
-                    p.stats.bytes_received += total;
-                    p.events.push_back(GmEvent::Unexpected {
-                        tag,
-                        data,
-                        from: src,
-                    });
-                }
-                w.gm_dispatch(port_id);
+            let ev = W::lift_gm(GmEv::Complete {
+                port: port_id,
+                ev: GmEvent::Unexpected {
+                    tag,
+                    data,
+                    from: src,
+                },
             });
+            knet_simcore::emit_at(w, node.0, done, ev);
         }
     }
 }

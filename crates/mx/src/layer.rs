@@ -304,6 +304,58 @@ impl Default for MxLayer {
 }
 
 /// Capability trait: a world running the MX driver.
+/// Typed engine events for the MX layer: host-side completions that fire
+/// once DMA and host processing settle. Composed worlds embed these in
+/// their event enum via [`MxWorld::lift_mx`].
+#[derive(Debug)]
+pub enum MxEv {
+    /// Optionally release pinned frames, then push a completion onto the
+    /// endpoint's event queue (charging the matching stats) and dispatch.
+    Complete {
+        ep: MxEndpointId,
+        ev: MxEvent,
+        /// Frames to unpin on a node before the completion posts
+        /// (rendezvous paths defer the unpin to completion time).
+        unpin: Option<(NodeId, Vec<FrameIdx>)>,
+        /// Count the receive as zero-copy (`recv_copies_avoided`).
+        direct: bool,
+    },
+}
+
+/// Execute one MX-layer event.
+pub fn run_mx_ev<W: MxWorld>(w: &mut W, ev: MxEv) {
+    match ev {
+        MxEv::Complete {
+            ep,
+            ev,
+            unpin,
+            direct,
+        } => {
+            if let Some((node, pinned)) = unpin {
+                release_pins(w, node, &pinned);
+            }
+            if let Ok(e) = w.mx_mut().ep_mut(ep) {
+                match &ev {
+                    MxEvent::SendDone { .. } => {}
+                    MxEvent::RecvDone { len, .. } => {
+                        e.stats.recvs += 1;
+                        e.stats.bytes_received += *len;
+                        if direct {
+                            e.stats.recv_copies_avoided += 1;
+                        }
+                    }
+                    MxEvent::Unexpected { data, .. } => {
+                        e.stats.unexpected += 1;
+                        e.stats.bytes_received += data.len() as u64;
+                    }
+                }
+                e.events.push_back(ev);
+            }
+            w.mx_dispatch(ep);
+        }
+    }
+}
+
 pub trait MxWorld: NicWorld {
     fn mx(&self) -> &MxLayer;
     fn mx_mut(&mut self) -> &mut MxLayer;
@@ -311,6 +363,13 @@ pub trait MxWorld: NicWorld {
     /// Called whenever an event lands in an endpoint queue; the composed
     /// world routes it to the endpoint's owner (default: polled).
     fn mx_dispatch(&mut self, _ep: MxEndpointId) {}
+
+    /// Wrap an MX event into the world's typed event enum. The default
+    /// boxes (fine for tests); the composed cluster world overrides it with
+    /// a zero-allocation enum variant.
+    fn lift_mx(ev: MxEv) -> <Self as knet_simcore::SimWorld>::Ev {
+        knet_simcore::SimEvent::from_call(Box::new(move |w: &mut Self| run_mx_ev(w, ev)))
+    }
 }
 
 /// Open an endpoint on `node`.
@@ -478,12 +537,13 @@ pub fn mx_isend<W: MxWorld>(
                 params.header_bytes,
             );
             rel_send(w, pkt, fw_done);
-            knet_simcore::at(w, host_done, move |w: &mut W| {
-                if let Ok(e) = w.mx_mut().ep_mut(from) {
-                    e.events.push_back(MxEvent::SendDone { ctx });
-                }
-                w.mx_dispatch(from);
+            let ev = W::lift_mx(MxEv::Complete {
+                ep: from,
+                ev: MxEvent::SendDone { ctx },
+                unpin: None,
+                direct: false,
             });
+            knet_simcore::emit_at(w, node.0, host_done, ev);
         }
         MxProtocol::Medium => {
             let avoidable = {
@@ -552,12 +612,13 @@ pub fn mx_isend<W: MxWorld>(
             // Buffer reusable once the host copy (or for the zero-copy path,
             // the last DMA fetch) is done.
             let complete_at = if avoidable { ready } else { host_done };
-            knet_simcore::at(w, complete_at, move |w: &mut W| {
-                if let Ok(e) = w.mx_mut().ep_mut(from) {
-                    e.events.push_back(MxEvent::SendDone { ctx });
-                }
-                w.mx_dispatch(from);
+            let ev = W::lift_mx(MxEv::Complete {
+                ep: from,
+                ev: MxEvent::SendDone { ctx },
+                unpin: None,
+                direct: false,
             });
+            knet_simcore::emit_at(w, node.0, complete_at, ev);
         }
         MxProtocol::Large => {
             // Rendezvous: pin/resolve now, send RTS, stream on CTS.
@@ -653,19 +714,18 @@ pub fn mx_irecv<W: MxWorld>(
             write_iovec(w.os_mut().node_mut(node), &posted.iov, &data)?;
             release_pins(w, node, &posted.pinned);
             let pctx = posted.ctx;
-            knet_simcore::at(w, done, move |w: &mut W| {
-                if let Ok(e) = w.mx_mut().ep_mut(ep_id) {
-                    e.stats.recvs += 1;
-                    e.stats.bytes_received += len;
-                    e.events.push_back(MxEvent::RecvDone {
-                        ctx: pctx,
-                        tag: t,
-                        len,
-                        from,
-                    });
-                }
-                w.mx_dispatch(ep_id);
+            let ev = W::lift_mx(MxEv::Complete {
+                ep: ep_id,
+                ev: MxEvent::RecvDone {
+                    ctx: pctx,
+                    tag: t,
+                    len,
+                    from,
+                },
+                unpin: None,
+                direct: false,
             });
+            knet_simcore::emit_at(w, node.0, done, ev);
         }
         Some(UnexpectedMsg::Rndv {
             tag: t,
@@ -875,23 +935,18 @@ fn eager_rx<W: MxWorld>(w: &mut W, nic: NicId, pkt: Packet) {
             let start = ev_dma.max(knet_simcore::now(w));
             let (_, done) = w.os_mut().node_mut(node).cpu.busy.acquire(start, host_cost);
             let (ep_id, tag, from, pctx) = (m.dst, a.tag, a.from, posted.ctx);
-            let direct = a.direct;
-            knet_simcore::at(w, done, move |w: &mut W| {
-                if let Ok(e) = w.mx_mut().ep_mut(ep_id) {
-                    e.stats.recvs += 1;
-                    e.stats.bytes_received += len;
-                    if direct {
-                        e.stats.recv_copies_avoided += 1;
-                    }
-                    e.events.push_back(MxEvent::RecvDone {
-                        ctx: pctx,
-                        tag,
-                        len,
-                        from,
-                    });
-                }
-                w.mx_dispatch(ep_id);
+            let ev = W::lift_mx(MxEv::Complete {
+                ep: ep_id,
+                ev: MxEvent::RecvDone {
+                    ctx: pctx,
+                    tag,
+                    len,
+                    from,
+                },
+                unpin: None,
+                direct: a.direct,
             });
+            knet_simcore::emit_at(w, node.0, done, ev);
         }
         None => {
             let deliver = w
@@ -911,15 +966,14 @@ fn eager_rx<W: MxWorld>(w: &mut W, nic: NicId, pkt: Packet) {
                     .cpu
                     .busy
                     .acquire(start, params.host_event + copy);
-                let (ep_id, tag, from, total) = (m.dst, a.tag, a.from, a.total);
-                knet_simcore::at(w, done, move |w: &mut W| {
-                    if let Ok(e) = w.mx_mut().ep_mut(ep_id) {
-                        e.stats.unexpected += 1;
-                        e.stats.bytes_received += total;
-                        e.events.push_back(MxEvent::Unexpected { tag, data, from });
-                    }
-                    w.mx_dispatch(ep_id);
+                let (ep_id, tag, from, _total) = (m.dst, a.tag, a.from, a.total);
+                let ev = W::lift_mx(MxEv::Complete {
+                    ep: ep_id,
+                    ev: MxEvent::Unexpected { tag, data, from },
+                    unpin: None,
+                    direct: false,
                 });
+                knet_simcore::emit_at(w, node.0, done, ev);
             } else {
                 // MPI mode: park in the unexpected queue for a later irecv.
                 if let Ok(e) = w.mx_mut().ep_mut(m.dst) {
@@ -1025,13 +1079,13 @@ fn cts_rx<W: MxWorld>(w: &mut W, nic: NicId, pkt: Packet) {
                     .cpu
                     .busy
                     .acquire(start, params.host_event + unpin_cost);
-                knet_simcore::at(w, done, move |w: &mut W| {
-                    release_pins(w, nd, &pinned);
-                    if let Ok(e) = w.mx_mut().ep_mut(from_ep) {
-                        e.events.push_back(MxEvent::SendDone { ctx });
-                    }
-                    w.mx_dispatch(from_ep);
+                let ev = W::lift_mx(MxEv::Complete {
+                    ep: from_ep,
+                    ev: MxEvent::SendDone { ctx },
+                    unpin: Some((nd, pinned)),
+                    direct: false,
                 });
+                knet_simcore::emit_at(w, nd.0, done, ev);
             }
         }
     }
@@ -1086,20 +1140,18 @@ fn large_rx<W: MxWorld>(w: &mut W, nic: NicId, pkt: Packet) {
     let (ep_id, tag, from, total, pctx) = (m.dst, r.posted.tag, r.from, r.total, r.posted.ctx);
     let tag = if tag == MX_ANY_TAG { m.tag } else { tag };
     let pinned = r.posted.pinned.clone();
-    knet_simcore::at(w, done, move |w: &mut W| {
-        release_pins(w, node, &pinned);
-        if let Ok(e) = w.mx_mut().ep_mut(ep_id) {
-            e.stats.recvs += 1;
-            e.stats.bytes_received += total;
-            e.events.push_back(MxEvent::RecvDone {
-                ctx: pctx,
-                tag,
-                len: total,
-                from,
-            });
-        }
-        w.mx_dispatch(ep_id);
+    let ev = W::lift_mx(MxEv::Complete {
+        ep: ep_id,
+        ev: MxEvent::RecvDone {
+            ctx: pctx,
+            tag,
+            len: total,
+            from,
+        },
+        unpin: Some((node, pinned)),
+        direct: false,
     });
+    knet_simcore::emit_at(w, node.0, done, ev);
 }
 
 /// Pop the next pending event (host polling; `mx_wait_any` in MX parlance —

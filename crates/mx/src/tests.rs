@@ -21,6 +21,7 @@ struct World {
 }
 
 impl SimWorld for World {
+    type Ev = knet_simcore::BoxEvent<Self>;
     fn sched(&self) -> &Scheduler<Self> {
         &self.sched
     }

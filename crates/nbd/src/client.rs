@@ -444,7 +444,7 @@ fn advance_buffered<W: NbdWorld>(w: &mut W, cid: NbdClientId, op: NbdOp) {
             let c = &mut w.nbd_mut().clients[cid.0 as usize];
             c.stats.bytes_read += want;
             c.ops.remove(&op);
-            knet_simcore::at(w, t, move |w: &mut W| {
+            knet_simcore::call_at(w, node.0, t, move |w: &mut W| {
                 w.nbd_mut().clients[cid.0 as usize]
                     .completed
                     .push_back((op, Ok(want)));

@@ -388,7 +388,7 @@ fn finish<W: OrfsWorld>(w: &mut W, cid: OrfsClientId, sid: SyscallId, r: SysResu
         .free_at()
         .max(knet_simcore::now(w));
     w.orfs_mut().client_mut(cid).ops.remove(&sid);
-    knet_simcore::at(w, t, move |w: &mut W| {
+    knet_simcore::call_at(w, node.0, t, move |w: &mut W| {
         w.orfs_mut().client_mut(cid).completed.push_back((sid, r));
     });
 }

@@ -1,0 +1,311 @@
+//! The conservative-lookahead parallel engine.
+//!
+//! A cluster split into `k` shards is `k` worlds, each owning the nodes
+//! `n % k == shard_id` and holding only events targeting them (see
+//! [`crate::sched`]). This module steps those worlds on real threads in
+//! *epochs*, the classic Chandy–Misra conservative discipline:
+//!
+//! 1. every shard publishes the timestamp of its next pending event;
+//! 2. the global minimum `T` defines the epoch horizon `T + L`, where `L`
+//!    is the **lookahead** — the minimum latency of any cross-shard link.
+//!    Any event executing at `u ≥ T` can only schedule cross-shard arrivals
+//!    at `u + L ≥ T + L`, so every event strictly before the horizon is
+//!    safe to execute without hearing from other shards;
+//! 3. shards run their local heaps up to (excluding) the horizon, collecting
+//!    cross-shard sends in their outboxes;
+//! 4. outboxes are exchanged into the owning shards' ingress mailboxes at
+//!    the barrier, and the next epoch begins.
+//!
+//! The run terminates when every heap and every mailbox is empty. Because
+//! each event's ordering key `(time, origin, origin_seq)` travels with it,
+//! each shard executes its slice in exactly the order the sequential engine
+//! would have — results are bit-identical per seed, which
+//! `tests/sched_equivalence.rs` asserts across shard counts.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Barrier, Mutex};
+
+use crate::sched::{step, OutMsg, RunOutcome, SimWorld};
+use crate::time::SimTime;
+
+/// Result of a parallel run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EpochReport {
+    pub outcome: RunOutcome,
+    /// Events executed across all shards.
+    pub executed: u64,
+    /// Epochs stepped (barrier rounds).
+    pub epochs: u64,
+}
+
+struct Shared<E> {
+    barrier: Barrier,
+    /// Next-event time per shard (`u64::MAX` = empty heap), re-published
+    /// each epoch.
+    next: Vec<AtomicU64>,
+    /// Final clock per shard, for the quiescence alignment.
+    nows: Vec<AtomicU64>,
+    /// Ingress mailbox per shard.
+    mail: Vec<Mutex<Vec<OutMsg<E>>>>,
+    /// Epoch horizon (exclusive), written by shard 0.
+    horizon: AtomicU64,
+    done: AtomicBool,
+    over_budget: AtomicBool,
+    executed: AtomicU64,
+    epochs: AtomicU64,
+}
+
+/// Drain every shard to quiescence on one thread per shard.
+///
+/// `lookahead` must be a lower bound on the latency of every cross-shard
+/// event (for this simulator: the minimum NIC wire latency). A too-large
+/// lookahead does not corrupt the run silently — the destination shard
+/// records a typed `CausalityViolation` through its engine stats.
+///
+/// With a single shard this is exactly `run_to_quiescence`, no threads.
+pub fn run_shards_to_quiescence<W>(worlds: &mut [W], lookahead: SimTime, budget: u64) -> EpochReport
+where
+    W: SimWorld + Send,
+{
+    assert!(!worlds.is_empty());
+    assert!(lookahead > SimTime::ZERO, "lookahead must be positive");
+    if worlds.len() == 1 {
+        let w = &mut worlds[0];
+        let mut executed = 0;
+        let mut outcome = RunOutcome::Quiescent;
+        while step(w) {
+            executed += 1;
+            if executed >= budget {
+                outcome = RunOutcome::BudgetExhausted;
+                break;
+            }
+        }
+        return EpochReport {
+            outcome,
+            executed,
+            epochs: 0,
+        };
+    }
+
+    let k = worlds.len();
+    let shared: Shared<W::Ev> = Shared {
+        barrier: Barrier::new(k),
+        next: (0..k).map(|_| AtomicU64::new(u64::MAX)).collect(),
+        nows: (0..k).map(|_| AtomicU64::new(0)).collect(),
+        mail: (0..k).map(|_| Mutex::new(Vec::new())).collect(),
+        horizon: AtomicU64::new(0),
+        done: AtomicBool::new(false),
+        over_budget: AtomicBool::new(false),
+        executed: AtomicU64::new(0),
+        epochs: AtomicU64::new(0),
+    };
+    let per_shard_budget = budget / k as u64 + 1;
+
+    std::thread::scope(|s| {
+        for (i, w) in worlds.iter_mut().enumerate() {
+            let shared = &shared;
+            s.spawn(move || worker(i, w, shared, lookahead, per_shard_budget));
+        }
+    });
+
+    EpochReport {
+        outcome: if shared.over_budget.load(Ordering::Relaxed) {
+            RunOutcome::BudgetExhausted
+        } else {
+            RunOutcome::Quiescent
+        },
+        executed: shared.executed.load(Ordering::Relaxed),
+        epochs: shared.epochs.load(Ordering::Relaxed),
+    }
+}
+
+fn worker<W: SimWorld>(
+    i: usize,
+    w: &mut W,
+    shared: &Shared<W::Ev>,
+    lookahead: SimTime,
+    budget: u64,
+) {
+    let k = shared.next.len();
+    let mut outbox: Vec<OutMsg<W::Ev>> = Vec::new();
+    let mut inbox: Vec<OutMsg<W::Ev>> = Vec::new();
+    let mut executed_here = 0u64;
+
+    loop {
+        // (1) Publish this shard's next event time; mailboxes are empty
+        // here (drained at the end of the previous epoch), so the heap top
+        // is the full truth.
+        let next = w.sched().next_at().map_or(u64::MAX, |t| t.nanos());
+        shared.next[i].store(next, Ordering::Relaxed);
+        shared.barrier.wait();
+
+        // (2) Shard 0 computes the epoch horizon from the global minimum.
+        if i == 0 {
+            let t = shared
+                .next
+                .iter()
+                .map(|n| n.load(Ordering::Relaxed))
+                .min()
+                .unwrap_or(u64::MAX);
+            if t == u64::MAX || shared.over_budget.load(Ordering::Relaxed) {
+                shared.done.store(true, Ordering::Relaxed);
+            } else {
+                let horizon = t.saturating_add(lookahead.nanos());
+                shared.horizon.store(horizon, Ordering::Relaxed);
+                shared.epochs.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        shared.barrier.wait();
+        if shared.done.load(Ordering::Relaxed) {
+            break;
+        }
+
+        // (3) Execute everything strictly before the horizon. Events at
+        // exactly `u` schedule cross-shard arrivals at `u + L ≥ horizon`,
+        // so nothing a peer does this epoch can land inside it.
+        let horizon = SimTime::from_nanos(shared.horizon.load(Ordering::Relaxed));
+        while w.sched().next_at().is_some_and(|t| t < horizon) {
+            step(w);
+            executed_here += 1;
+            if executed_here >= budget {
+                shared.over_budget.store(true, Ordering::Relaxed);
+                break;
+            }
+        }
+        w.sched_mut().note_epoch();
+
+        // Route cross-shard sends into the owning shards' mailboxes.
+        w.sched_mut().drain_outbox(&mut outbox);
+        if !outbox.is_empty() {
+            // One lock acquisition per destination shard, not per message.
+            for dest in 0..k {
+                if dest == i || !outbox.iter().any(|m| m.node as usize % k == dest) {
+                    continue;
+                }
+                let mut mailbox = shared.mail[dest].lock().unwrap();
+                let mut j = 0;
+                while j < outbox.len() {
+                    if outbox[j].node as usize % k == dest {
+                        mailbox.push(outbox.swap_remove(j));
+                    } else {
+                        j += 1;
+                    }
+                }
+            }
+            debug_assert!(outbox.is_empty(), "outbox message for our own shard");
+            outbox.clear();
+        }
+        shared.barrier.wait();
+
+        // (4) Drain this shard's mailbox before the next epoch's horizon
+        // computation. Equal keys are impossible (per-origin counters), so
+        // heap insertion order — and therefore mutex acquisition order —
+        // cannot affect the execution order.
+        {
+            let mut mailbox = shared.mail[i].lock().unwrap();
+            std::mem::swap(&mut *mailbox, &mut inbox);
+        }
+        w.sched_mut().inject(&mut inbox);
+        shared.barrier.wait();
+    }
+
+    shared.executed.fetch_add(executed_here, Ordering::Relaxed);
+    // Align every shard's clock to the global maximum, so post-run control
+    // ops observe the same "now" a sequential run would have ended at.
+    shared.nows[i].store(w.sched().now().nanos(), Ordering::Relaxed);
+    shared.barrier.wait();
+    let max_now = shared
+        .nows
+        .iter()
+        .map(|n| n.load(Ordering::Relaxed))
+        .max()
+        .unwrap_or(0);
+    w.sched_mut().align_now(SimTime::from_nanos(max_now));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sched::{call_after, call_at, BoxEvent, Scheduler};
+
+    struct ShardWorld {
+        sched: Scheduler<ShardWorld>,
+        log: Vec<(u64, u32)>,
+    }
+
+    impl SimWorld for ShardWorld {
+        type Ev = BoxEvent<Self>;
+        fn sched(&self) -> &Scheduler<Self> {
+            &self.sched
+        }
+        fn sched_mut(&mut self) -> &mut Scheduler<Self> {
+            &mut self.sched
+        }
+    }
+
+    const LOOKAHEAD: SimTime = SimTime::from_micros(1);
+
+    /// A ping-pong chain between `a` and `b` spaced by the lookahead.
+    fn ping(w: &mut ShardWorld, from: u32, to: u32, hops: u32) {
+        let t = crate::sched::now(w) + LOOKAHEAD;
+        call_at(w, to, t, move |w: &mut ShardWorld| {
+            w.log.push((crate::sched::now(w).nanos(), to));
+            if hops > 0 {
+                ping(w, to, from, hops - 1);
+            }
+        });
+    }
+
+    fn run(k: usize) -> Vec<Vec<(u64, u32)>> {
+        let mut worlds: Vec<ShardWorld> = (0..k)
+            .map(|i| {
+                let mut w = ShardWorld {
+                    sched: Scheduler::new(),
+                    log: Vec::new(),
+                };
+                w.sched.configure_shard(i as u32, k as u32);
+                w
+            })
+            .collect();
+        // Mirrored setup: every shard runs the same code; each keeps its own.
+        for w in &mut worlds {
+            w.sched.set_phase(crate::sched::ShardPhase::Mirror);
+            // Node 0 starts a ping-pong with node 1; node 2 self-ticks.
+            ping(w, 1, 0, 10);
+            for i in 0..5u64 {
+                call_after(
+                    w,
+                    2,
+                    SimTime::from_micros(2 + i),
+                    move |w: &mut ShardWorld| {
+                        w.log.push((crate::sched::now(w).nanos(), 2));
+                    },
+                );
+            }
+            w.sched.set_phase(crate::sched::ShardPhase::Routed);
+        }
+        let report = run_shards_to_quiescence(&mut worlds, LOOKAHEAD, 1_000_000);
+        assert_eq!(report.outcome, RunOutcome::Quiescent);
+        worlds.into_iter().map(|w| w.log).collect()
+    }
+
+    #[test]
+    fn sharded_matches_sequential_order() {
+        let seq = run(1);
+        let all_seq: Vec<_> = seq.into_iter().flatten().collect();
+        for k in [2usize, 3, 4] {
+            let logs = run(k);
+            // Each shard's log is the sequential log filtered to its nodes.
+            for (i, log) in logs.iter().enumerate() {
+                let expect: Vec<_> = all_seq
+                    .iter()
+                    .copied()
+                    .filter(|(_, node)| *node as usize % k == i)
+                    .collect();
+                assert_eq!(log, &expect, "shard {i} of {k} diverged");
+            }
+            let total: usize = logs.iter().map(|l| l.len()).sum();
+            assert_eq!(total, all_seq.len(), "event count fingerprint at k={k}");
+        }
+    }
+}

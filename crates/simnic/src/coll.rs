@@ -39,7 +39,7 @@ use std::collections::BTreeMap;
 use bytes::Bytes;
 use knet_simcore::SimTime;
 
-use crate::layer::{dma_charge, fw_charge, NicWorld};
+use crate::layer::{dma_charge, fw_charge, NicEv, NicWorld};
 use crate::packet::{NicId, Packet, Proto};
 use crate::rel::rel_send;
 
@@ -261,7 +261,9 @@ fn pcode(p: Proto) -> u8 {
 }
 
 type TreeKey = (u8, u32, u32); // (proto, group, nic)
-type PendKey = (u8, u32, u32, u8, u64); // (proto, group, nic, class, seq)
+/// A pending collective slot: `(proto, group, nic, class, seq)`. Public so
+/// the composed world's typed event enum can carry probe timers for it.
+pub type PendKey = (u8, u32, u32, u8, u64);
 
 struct Tree {
     parent: Option<NicId>,
@@ -791,7 +793,9 @@ fn data_arrival<W: NicWorld>(
             tag,
             data,
         };
-        knet_simcore::at(w, d, move |w: &mut W| w.coll_event(proto, nic, ev));
+        let node = w.nics().get(nic).node.0;
+        let ev = W::lift_nic(NicEv::Coll { proto, nic, ev });
+        knet_simcore::emit_at(w, node, d, ev);
         try_advance(w, proto, nic, key, ready);
     }
 }
@@ -923,7 +927,9 @@ fn release_arrival<W: NicWorld>(
     put_targets(w, targets);
     let d = dma_charge(w, nic, ready, 64);
     let ev = CollEvent::Released { group, seq };
-    knet_simcore::at(w, d, move |w: &mut W| w.coll_event(proto, nic, ev));
+    let node = w.nics().get(nic).node.0;
+    let ev = W::lift_nic(NicEv::Coll { proto, nic, ev });
+    knet_simcore::emit_at(w, node, d, ev);
 }
 
 // ------------------------------------------------------------ progression
@@ -1029,7 +1035,9 @@ fn try_advance<W: NicWorld>(w: &mut W, proto: Proto, nic: NicId, key: PendKey, r
             // Local completion: the contribution is combined and on its way.
             let d = dma_charge(w, nic, ready, 64);
             let ev = CollEvent::Flushed { group, seq };
-            knet_simcore::at(w, d, move |w: &mut W| w.coll_event(proto, nic, ev));
+            let node = w.nics().get(nic).node.0;
+            let ev = W::lift_nic(NicEv::Coll { proto, nic, ev });
+            knet_simcore::emit_at(w, node, d, ev);
         }
         Adv::ReduceRoot(data) => {
             retire(w, key);
@@ -1093,7 +1101,9 @@ fn root_done<W: NicWorld>(
         seq,
         data,
     };
-    knet_simcore::at(w, d, move |w: &mut W| w.coll_event(proto, nic, ev));
+    let node = w.nics().get(nic).node.0;
+    let ev = W::lift_nic(NicEv::Coll { proto, nic, ev });
+    knet_simcore::emit_at(w, node, d, ev);
 }
 
 // ----------------------------------------------------------------- probes
@@ -1101,14 +1111,16 @@ fn root_done<W: NicWorld>(
 fn arm_probe<W: NicWorld>(w: &mut W, key: PendKey) {
     let now = knet_simcore::now(w);
     let after = w.nics().coll.params.probe_after;
-    knet_simcore::at(w, now + after, move |w: &mut W| probe_fire(w, key));
+    let node = w.nics().get(NicId(key.2)).node.0;
+    let ev = W::lift_nic(NicEv::CollProbe { key });
+    knet_simcore::emit_at(w, node, now + after, ev);
 }
 
 /// The slot is still incomplete after a probe period: send payload-free
 /// sequenced frames toward the silent side. A dead member never acks them,
 /// the reliability window exhausts its retries, and `nic_link_dead` fires —
 /// which is what turns a would-be silent hang into typed failure events.
-fn probe_fire<W: NicWorld>(w: &mut W, key: PendKey) {
+pub(crate) fn probe_fire<W: NicWorld>(w: &mut W, key: PendKey) {
     let (_, group, nicraw, class, seq) = key;
     let nic = NicId(nicraw);
     let proto = match key.0 {
@@ -1158,7 +1170,9 @@ fn probe_fire<W: NicWorld>(w: &mut W, key: PendKey) {
     }
     put_targets(w, targets);
     let after = w.nics().coll.params.probe_after;
-    knet_simcore::at(w, now + after, move |w: &mut W| probe_fire(w, key));
+    let node = w.nics().get(NicId(key.2)).node.0;
+    let ev = W::lift_nic(NicEv::CollProbe { key });
+    knet_simcore::emit_at(w, node, now + after, ev);
 }
 
 // ------------------------------------------------------------------ tests
@@ -1181,6 +1195,7 @@ mod tests {
     }
 
     impl SimWorld for TestWorld {
+        type Ev = knet_simcore::BoxEvent<Self>;
         fn sched(&self) -> &Scheduler<Self> {
             &self.sched
         }

@@ -18,15 +18,17 @@
 //! consume none at all, so traffic on planless links is bit-identical to a
 //! fabric with no plan installed (the chaos suite fingerprints this).
 //!
-//! Determinism: each RNG stream is consumed once per packet in scheduling
-//! order, which the discrete-event engine makes identical across runs — the
-//! same seed always yields the same fault sequence, so a chaos failure
-//! reproduces exactly. Per-link streams are independent of the base stream
-//! and of each other; note that installing a link plan *reroutes* that
-//! link's packets off the base stream, so when the base dice are nonzero
-//! the base stream's draw positions shift for everyone else — only a
-//! zero-dice base (the common asymmetric setup) gives the full
-//! "other links bit-identical" guarantee.
+//! Determinism: **every directed link owns its RNG stream.** Per-link plans
+//! key their stream off their own seed; links that fall through to the base
+//! dice lazily derive a stream from the base seed mixed with the `(src,
+//! dst)` pair. A link's dice are only ever rolled while the engine executes
+//! an event at its *transmitting* node (`wire_send` at the data source,
+//! ack scheduling at the ack source), so the draw order for each stream is
+//! that node's local event order — identical across runs *and across shard
+//! counts* (the parallel engine never changes a single node's event order).
+//! The same seed always yields the same fault sequence, so a chaos failure
+//! reproduces exactly, and installing a plan on one link never shifts the
+//! draws any other link sees.
 
 use std::collections::HashMap;
 
@@ -54,8 +56,9 @@ pub struct FaultPlan {
     pub kill_at: Vec<(NodeId, SimTime)>,
     /// Directed per-link overrides: packets from the first node to the
     /// second roll *these* dice (with their own seed/stream) instead of the
-    /// base dice. A sub-plan's `kill_at` and `links` are ignored — kills
-    /// are node-level faults and nesting does not compose.
+    /// base dice. Other links are unaffected — every directed link rolls an
+    /// independent stream. A sub-plan's `kill_at` and `links` are ignored —
+    /// kills are node-level faults and nesting does not compose.
     pub links: Vec<(NodeId, NodeId, FaultPlan)>,
 }
 
@@ -104,9 +107,9 @@ impl FaultPlan {
 
     /// Install `plan`'s dice for packets travelling `src → dst` only (the
     /// reverse direction keeps the base dice — asymmetric links). The
-    /// sub-plan's own seed keys an independent RNG stream; with a
-    /// zero-dice base, every other link stays bit-identical to a planless
-    /// fabric (see the module docs for the nonzero-base caveat).
+    /// sub-plan's own seed keys an independent RNG stream; every other
+    /// link's stream is untouched, so with a zero-dice base the rest of
+    /// the fabric stays bit-identical to a planless one.
     pub fn for_link(mut self, src: NodeId, dst: NodeId, plan: FaultPlan) -> Self {
         self.links.push((src, dst, plan));
         self
@@ -158,6 +161,10 @@ struct DiceState {
     delay_min: SimTime,
     delay_max: SimTime,
     rng: SplitMix64,
+    /// True for dice installed by an explicit [`FaultPlan::for_link`]
+    /// override (counted in `link_plan_packets`), false for lazily-derived
+    /// base-dice streams.
+    from_link_plan: bool,
 }
 
 impl DiceState {
@@ -169,6 +176,16 @@ impl DiceState {
             delay_min: plan.delay_min,
             delay_max: plan.delay_max,
             rng: SplitMix64::new(plan.seed),
+            from_link_plan: true,
+        }
+    }
+
+    /// Base dice with a per-link stream derived from the base seed.
+    fn derived(plan: &FaultPlan, stream_seed: u64) -> Self {
+        DiceState {
+            rng: SplitMix64::new(stream_seed),
+            from_link_plan: false,
+            ..Self::new(plan)
         }
     }
 
@@ -213,17 +230,28 @@ impl DiceState {
 #[derive(Clone, Debug)]
 pub(crate) struct FaultState {
     pub(crate) plan: FaultPlan,
-    base: DiceState,
-    /// Per-link dice, keyed by directed `(src, dst)` node pair. Lookups for
-    /// links with no entry touch nothing here — the "no plan = zero
-    /// randomness" contract extends link by link.
+    /// True when the base plan carries any nonzero dice; only then do
+    /// planless links materialise a stream at all (a zero base consumes no
+    /// randomness and allocates nothing).
+    base_rolls: bool,
+    /// Dice per directed `(src, dst)` node pair. Explicit per-link plans
+    /// are installed eagerly; base-dice links materialise lazily with a
+    /// stream seed derived from the base seed and the pair, so every
+    /// directed link owns an independent stream (the shard-invariance
+    /// contract in the module docs).
     links: HashMap<(u32, u32), DiceState>,
     pub(crate) stats: FaultStats,
 }
 
+/// One stream seed per directed link: the base seed mixed with the pair
+/// through a SplitMix64 scramble round.
+fn link_stream_seed(seed: u64, src: u32, dst: u32) -> u64 {
+    SplitMix64::new(seed ^ (((src as u64) << 32) | dst as u64)).next_u64()
+}
+
 impl FaultState {
     pub(crate) fn new(plan: FaultPlan) -> Self {
-        let base = DiceState::new(&plan);
+        let base_rolls = plan.drop_p > 0.0 || plan.dup_p > 0.0 || plan.delay_p > 0.0;
         let links = plan
             .links
             .iter()
@@ -231,7 +259,7 @@ impl FaultState {
             .collect();
         FaultState {
             plan,
-            base,
+            base_rolls,
             links,
             stats: FaultStats::default(),
         }
@@ -245,9 +273,9 @@ impl FaultState {
     }
 
     /// Roll the dice for one packet between `src_node` and `dst_node`. A
-    /// per-link plan for the directed pair overrides the base dice and
-    /// rolls its own stream; otherwise the base dice roll (consuming
-    /// nothing when they are all zero).
+    /// per-link plan for the directed pair overrides the base dice; a
+    /// nonzero base lazily materialises the pair's own base-dice stream;
+    /// a zero base consumes nothing.
     pub(crate) fn verdict(
         &mut self,
         src_node: NodeId,
@@ -258,11 +286,19 @@ impl FaultState {
             self.stats.dead_node_drops += 1;
             return FaultVerdict::Drop;
         }
-        if let Some(dice) = self.links.get_mut(&(src_node.0, dst_node.0)) {
-            self.stats.link_plan_packets += 1;
-            return dice.roll(&mut self.stats);
+        let key = (src_node.0, dst_node.0);
+        if !self.links.contains_key(&key) {
+            if !self.base_rolls {
+                return CLEAN;
+            }
+            let seed = link_stream_seed(self.plan.seed, key.0, key.1);
+            self.links.insert(key, DiceState::derived(&self.plan, seed));
         }
-        self.base.roll(&mut self.stats)
+        let dice = self.links.get_mut(&key).expect("just ensured");
+        if dice.from_link_plan {
+            self.stats.link_plan_packets += 1;
+        }
+        dice.roll(&mut self.stats)
     }
 }
 

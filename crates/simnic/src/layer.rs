@@ -11,11 +11,13 @@ use bytes::Bytes;
 use knet_simcore::{Busy, LaneBank, SimTime};
 use knet_simos::{NodeId, OsError, OsWorld, PhysSeg};
 
-use crate::coll::{CollEvent, CollState};
+use knet_simcore::SimEvent;
+
+use crate::coll::{CollEvent, CollState, PendKey};
 use crate::fault::{FaultPlan, FaultState, FaultStats, FaultVerdict, CLEAN};
 use crate::model::NicModel;
 use crate::packet::{NicId, Packet, Proto};
-use crate::rel::RelState;
+use crate::rel::{LinkKey, RelState};
 use crate::ttable::TransTable;
 
 /// Counters exposed to figures and tests.
@@ -138,10 +140,74 @@ impl NicLayer {
     }
 }
 
+/// A NIC-layer event: everything the fabric schedules into the future.
+///
+/// These are the simulator's hottest events (every packet arrival and every
+/// ack is one), so the composed world embeds them as a variant of its typed
+/// event enum — no boxing, no per-event allocation. The [`NicWorld::lift_nic`]
+/// hook performs that embedding; its default boxes, which is what generic
+/// layer test worlds use.
+pub enum NicEv {
+    /// `pkt` arrives at `nic` (scheduled by [`wire_send`]).
+    Rx { nic: NicId, pkt: Packet },
+    /// The reliability window's retransmission timer for link `key` fires
+    /// at the sender.
+    RelTimer { key: LinkKey },
+    /// A control-stream ack for link `key` arrives back at the sender:
+    /// cumulative ack, SACK bitmap, echoed wire-departure timestamp.
+    RelCtrl {
+        key: LinkKey,
+        cum: u64,
+        sack: u64,
+        echo: SimTime,
+    },
+    /// The collective engine delivers `ev` to the host at `nic` (a DMA
+    /// completion into the host rings).
+    Coll {
+        proto: Proto,
+        nic: NicId,
+        ev: CollEvent,
+    },
+    /// A collective fan-in slot's liveness probe period elapsed.
+    CollProbe { key: PendKey },
+}
+
+/// Execute a [`NicEv`] against the world. The composed world's event enum
+/// dispatches through this; so does the boxed default of
+/// [`NicWorld::lift_nic`].
+pub fn run_nic_ev<W: NicWorld>(w: &mut W, ev: NicEv) {
+    match ev {
+        NicEv::Rx { nic, pkt } => {
+            // Receive-side accounting happens at delivery time (it is the
+            // destination node's state, so the shard owning it does it).
+            let d = w.nics_mut().get_mut(nic);
+            d.stats.rx_packets += 1;
+            d.stats.rx_bytes += pkt.wire_len;
+            w.nic_rx(nic, pkt);
+        }
+        NicEv::RelTimer { key } => crate::rel::rel_timeout(w, key),
+        NicEv::RelCtrl {
+            key,
+            cum,
+            sack,
+            echo,
+        } => crate::rel::ack_arrival(w, key, cum, sack, echo),
+        NicEv::Coll { proto, nic, ev } => w.coll_event(proto, nic, ev),
+        NicEv::CollProbe { key } => crate::coll::probe_fire(w, key),
+    }
+}
+
 /// Capability trait: a world containing NICs.
 pub trait NicWorld: OsWorld {
     fn nics(&self) -> &NicLayer;
     fn nics_mut(&mut self) -> &mut NicLayer;
+
+    /// Embed a NIC event into the world's event representation. Composed
+    /// worlds override this with a plain enum wrap (allocation-free); the
+    /// default boxes a closure, which generic test worlds rely on.
+    fn lift_nic(ev: NicEv) -> <Self as knet_simcore::SimWorld>::Ev {
+        SimEvent::from_call(Box::new(move |w: &mut Self| run_nic_ev(w, ev)))
+    }
 
     /// A packet arrived at `nic`. The composed world routes this to the
     /// firmware of whichever driver (GM or MX) owns the card.
@@ -265,14 +331,9 @@ pub fn wire_send<W: NicWorld>(w: &mut W, mut pkt: Packet, ready: SimTime) -> Sim
 }
 
 fn deliver_at<W: NicWorld>(w: &mut W, dst: NicId, pkt: Packet, arrival: SimTime) {
-    {
-        let d = w.nics_mut().get_mut(dst);
-        d.stats.rx_packets += 1;
-        d.stats.rx_bytes += pkt.wire_len;
-    }
-    knet_simcore::at(w, arrival, move |w: &mut W| {
-        w.nic_rx(dst, pkt);
-    });
+    let node = w.nics().get(dst).node.0;
+    let ev = W::lift_nic(NicEv::Rx { nic: dst, pkt });
+    knet_simcore::emit_at(w, node, arrival, ev);
 }
 
 /// Charge firmware processing time on a NIC starting no earlier than
@@ -299,6 +360,7 @@ mod tests {
     }
 
     impl SimWorld for TestWorld {
+        type Ev = knet_simcore::BoxEvent<Self>;
         fn sched(&self) -> &Scheduler<Self> {
             &self.sched
         }

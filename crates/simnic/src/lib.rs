@@ -23,13 +23,16 @@ pub mod ttable;
 
 pub use coll::{
     coll_inject, coll_on_packet, combine_lanes, is_coll_frame, CollCmd, CollEvent, CollNicStats,
-    CollOp, CollParams, CollState, ReduceOp,
+    CollOp, CollParams, CollState, PendKey, ReduceOp,
 };
 pub use fault::{FaultPlan, FaultStats};
 pub use layer::{
-    dma_charge, dma_gather, dma_scatter, fw_charge, wire_send, Nic, NicLayer, NicStats, NicWorld,
+    dma_charge, dma_gather, dma_scatter, fw_charge, run_nic_ev, wire_send, Nic, NicEv, NicLayer,
+    NicStats, NicWorld,
 };
 pub use model::NicModel;
 pub use packet::{NicId, Packet, Proto};
-pub use rel::{rel_on_packet, rel_send, RelLinkStats, RelParams, RelState, RelStats, RelVerdict};
+pub use rel::{
+    rel_on_packet, rel_send, LinkKey, RelLinkStats, RelParams, RelState, RelStats, RelVerdict,
+};
 pub use ttable::{TransKey, TransTable, TtError, TtStats};

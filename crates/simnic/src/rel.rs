@@ -61,7 +61,7 @@ use std::collections::{HashMap, VecDeque};
 use knet_simcore::SimTime;
 
 use crate::fault::FaultVerdict;
-use crate::layer::{wire_send, NicWorld};
+use crate::layer::{wire_send, NicEv, NicWorld};
 use crate::packet::{NicId, Packet, Proto};
 
 /// Tuning of the reliability window.
@@ -302,7 +302,9 @@ struct RxLink {
     seen: u64,
 }
 
-type LinkKey = (Proto, u32, u32);
+/// A directed reliability link: `(proto, src nic, dst nic)`. Public so the
+/// composed world's typed event enum can carry timer/ack events for it.
+pub type LinkKey = (Proto, u32, u32);
 
 fn key(proto: Proto, src: NicId, dst: NicId) -> LinkKey {
     (proto, src.0, dst.0)
@@ -505,7 +507,11 @@ fn arm_timer<W: NicWorld>(w: &mut W, k: LinkKey) {
         link.armed = true;
         link.deadline()
     };
-    knet_simcore::at(w, deadline, move |w: &mut W| rel_timeout(w, k));
+    // The timer is the sender's event: it targets the node driving the
+    // link's tx side, so the shard owning that node executes it.
+    let node = w.nics().get(NicId(k.1)).node.0;
+    let ev = W::lift_nic(NicEv::RelTimer { key: k });
+    knet_simcore::emit_at(w, node, deadline, ev);
 }
 
 /// The per-link retransmit timer. Fires at the link's staleness deadline;
@@ -513,7 +519,7 @@ fn arm_timer<W: NicWorld>(w: &mut W, k: LinkKey) {
 /// adaptive RTO, the sender performs a selective-repeat round — resending
 /// only the holes the SACK state has not covered — and backs the RTO off.
 /// `max_retries` fruitless rounds declare the link dead.
-fn rel_timeout<W: NicWorld>(w: &mut W, k: LinkKey) {
+pub(crate) fn rel_timeout<W: NicWorld>(w: &mut W, k: LinkKey) {
     enum Outcome {
         Idle,
         Rearm,
@@ -675,20 +681,33 @@ fn schedule_ack<W: NicWorld>(w: &mut W, k: LinkKey, cum: u64, sack: u64, echo: S
         return; // lost in the fabric
     };
     let arrival = now + latency + extra;
+    // Ack arrivals mutate the *sender's* window: they target the data
+    // source's node and cross shards through the engine mailboxes.
+    let node = ack_dst_node.0;
     if duplicate {
         let at2 = arrival + dup_extra;
-        knet_simcore::at(w, at2, move |w: &mut W| ack_arrival(w, k, cum, sack, echo));
+        let ev = W::lift_nic(NicEv::RelCtrl {
+            key: k,
+            cum,
+            sack,
+            echo,
+        });
+        knet_simcore::emit_at(w, node, at2, ev);
     }
-    knet_simcore::at(w, arrival, move |w: &mut W| {
-        ack_arrival(w, k, cum, sack, echo)
+    let ev = W::lift_nic(NicEv::RelCtrl {
+        key: k,
+        cum,
+        sack,
+        echo,
     });
+    knet_simcore::emit_at(w, node, arrival, ev);
 }
 
 /// An ack arrived: sample the RTT from the echoed timestamp, mark SACKed
 /// window entries (they will never be retransmitted), and on cumulative
 /// progress drop acked packets from the window, release parked packets
 /// into the freed slots and reset the retry budget.
-fn ack_arrival<W: NicWorld>(w: &mut W, k: LinkKey, cum: u64, sack: u64, echo: SimTime) {
+pub(crate) fn ack_arrival<W: NicWorld>(w: &mut W, k: LinkKey, cum: u64, sack: u64, echo: SimTime) {
     let now = knet_simcore::now(w);
     {
         let rel = &mut w.nics_mut().rel;
@@ -796,6 +815,7 @@ mod tests {
     }
 
     impl SimWorld for TestWorld {
+        type Ev = knet_simcore::BoxEvent<Self>;
         fn sched(&self) -> &Scheduler<Self> {
             &self.sched
         }
@@ -900,8 +920,9 @@ mod tests {
         // (well before the first 200µs timer round, so no backoff is in
         // play).
         let k = key(Proto::Gm, a, b);
-        knet_simcore::at(
+        knet_simcore::call_at(
             &mut w,
+            0,
             SimTime::from_micros(100),
             move |w: &mut TestWorld| {
                 ack_arrival(w, k, 3, 0, SimTime::from_micros(90));

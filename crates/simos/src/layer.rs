@@ -223,15 +223,16 @@ pub fn cpu_charge<W: OsWorld>(w: &mut W, node: NodeId, dur: SimTime) -> SimTime 
     end
 }
 
-/// Reserve CPU time, then run `f` when it completes.
+/// Reserve CPU time, then run `f` when it completes. The continuation is a
+/// node-local event on `node` — it executes on whichever shard owns it.
 pub fn cpu_run<W: OsWorld>(
     w: &mut W,
     node: NodeId,
     dur: SimTime,
-    f: impl FnOnce(&mut W) + 'static,
+    f: impl FnOnce(&mut W) + Send + 'static,
 ) {
     let end = cpu_charge(w, node, dur);
-    knet_simcore::at(w, end, f);
+    knet_simcore::call_at(w, node.0, end, f);
 }
 
 /// `mmap` anonymous memory in a process.
@@ -321,6 +322,7 @@ mod tests {
     }
 
     impl SimWorld for TestWorld {
+        type Ev = knet_simcore::BoxEvent<Self>;
         fn sched(&self) -> &Scheduler<Self> {
             &self.sched
         }

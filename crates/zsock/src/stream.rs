@@ -453,7 +453,7 @@ pub fn sock_close<W: ZsockWorld>(w: &mut W, sid: SockId) {
     // × rto plus a full window's wire time), and virtual time is free.
     let ring = sock.ring;
     let ring_len = sock.ring_len;
-    knet_simcore::after(w, SOCK_CLOSE_GRACE, move |w: &mut W| {
+    knet_simcore::call_after(w, node.0, SOCK_CLOSE_GRACE, move |w: &mut W| {
         for (addr, len) in heaps {
             release_kernel_buffer(w, node, addr, len);
         }

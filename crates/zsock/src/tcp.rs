@@ -138,12 +138,15 @@ pub fn tcp_send<W: TcpWorld>(w: &mut W, sid: TcpSockId, src: MemRef) -> TcpOpId 
         end
     };
     let arrival = wire_end + params.wire_latency;
-    // Receiver stack then delivery.
-    knet_simcore::at(w, arrival, move |w: &mut W| {
+    // Receiver stack then delivery. The arrival is the receiver node's
+    // event; note the comparison stack's own `wire_latency` is *not*
+    // guaranteed to clear the sharded engine's lookahead — a too-small
+    // setting surfaces as a typed `CausalityViolation`, never silence.
+    knet_simcore::call_at(w, peer_node.0, arrival, move |w: &mut W| {
         let p = w.tcp().params;
         let rx_node = w.tcp().sock(peer).node;
         let done = cpu_charge(w, rx_node, p.host_cost(len));
-        knet_simcore::at(w, done, move |w: &mut W| {
+        knet_simcore::call_at(w, rx_node.0, done, move |w: &mut W| {
             let s = w.tcp_mut().sock_mut(peer);
             s.rx_buffered += data.len() as u64;
             s.rx.push_back(data);
@@ -151,7 +154,7 @@ pub fn tcp_send<W: TcpWorld>(w: &mut W, sid: TcpSockId, src: MemRef) -> TcpOpId 
         });
     });
     // Send completes locally once the stack has copied the buffer.
-    knet_simcore::at(w, host_done, move |w: &mut W| {
+    knet_simcore::call_at(w, node.0, host_done, move |w: &mut W| {
         let s = w.tcp_mut().sock_mut(sid);
         s.completed.push_back((op, len));
     });
@@ -223,6 +226,7 @@ mod tests {
         tcp: TcpLayer,
     }
     impl SimWorld for W {
+        type Ev = knet_simcore::BoxEvent<Self>;
         fn sched(&self) -> &Scheduler<Self> {
             &self.sched
         }

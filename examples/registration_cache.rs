@@ -30,7 +30,7 @@ fn main() {
     // A user process on node 0 with a 64 kB buffer.
     // Let the setup work (receiver registration: 256 pages) retire before
     // measuring.
-    knet_simcore::at(&mut w, SimTime::from_millis(5), |_| {});
+    knet_simcore::call_at(&mut w, 0, SimTime::from_millis(5), |_| {});
     knet_simcore::run_to_quiescence(&mut w);
 
     let buf = ubuf(&mut w, n0, 64 * 1024);

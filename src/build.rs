@@ -6,6 +6,7 @@ use knet_simnic::{FaultPlan, NicLayer, NicModel};
 use knet_simos::{CpuModel, NodeId, OsLayer};
 use knet_zsock::{TcpLayer, TcpParams, ZsockLayer, ZsockParams};
 
+use crate::shard::ShardedCluster;
 use crate::world::ClusterWorld;
 
 /// Builder for a [`ClusterWorld`]: `n` nodes, one NIC each, full crossbar.
@@ -102,14 +103,18 @@ impl ClusterBuilder {
 
     /// Build the world.
     pub fn build(self) -> ClusterWorld {
+        self.build_one()
+    }
+
+    fn build_one(&self) -> ClusterWorld {
         let mut os = OsLayer::new();
         let mut nics = NicLayer::new();
         for cpu in &self.cpus {
             let node = os.add_node(cpu.clone(), self.mem_frames);
             nics.add_nic(node, self.nic.clone());
         }
-        if let Some(plan) = self.fault {
-            nics.set_fault_plan(plan);
+        if let Some(plan) = &self.fault {
+            nics.set_fault_plan(plan.clone());
         }
         ClusterWorld::from_layers(
             os,
@@ -119,6 +124,18 @@ impl ClusterBuilder {
             ZsockLayer::new(self.zsock_params),
             TcpLayer::new(self.tcp_params),
         )
+    }
+
+    /// Build the cluster as `shards` node-partitioned replicas stepped by
+    /// the conservative-lookahead parallel engine. The lookahead is the
+    /// NIC's wire latency — the minimum delay of any cross-node event —
+    /// so sharded execution is bit-identical to `build()` plus the
+    /// sequential loop (see `knet_simcore::engine`).
+    pub fn build_sharded(self, shards: usize) -> ShardedCluster {
+        assert!(shards >= 1, "at least one shard");
+        let lookahead = self.nic.wire_latency;
+        let worlds = (0..shards).map(|_| self.build_one()).collect();
+        ShardedCluster::from_worlds(worlds, lookahead)
     }
 }
 

@@ -76,12 +76,16 @@
 //! ```
 
 pub mod build;
+pub mod event;
 pub mod figures;
 pub mod harness;
 pub mod report;
+pub mod shard;
 pub mod world;
 
 pub use build::ClusterBuilder;
+pub use event::ClusterEv;
+pub use shard::ShardedCluster;
 pub use world::ClusterWorld;
 
 /// Everything needed to script experiments.

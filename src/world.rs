@@ -26,16 +26,18 @@ use knet_core::{
 };
 use knet_gm::{
     gm_ensure_cached, gm_next_event, gm_on_packet, gm_on_vma_event, gm_open_port,
-    gm_provide_receive_buffer, gm_send, GmEvent, GmLayer, GmPortConfig, GmPortId, GmWorld,
+    gm_provide_receive_buffer, gm_send, GmEv, GmEvent, GmLayer, GmPortConfig, GmPortId, GmWorld,
 };
 use knet_mx::{
     mx_irecv, mx_isend, mx_next_event, mx_on_packet, mx_open_endpoint, MxEndpointConfig,
-    MxEndpointId, MxEvent, MxLayer, MxWorld,
+    MxEndpointId, MxEv, MxEvent, MxLayer, MxWorld,
 };
 use knet_nbd::{NbdLayer, NbdWorld};
 use knet_orfs::{OrfsLayer, OrfsWorld};
 use knet_simcore::{Scheduler, SimWorld};
-use knet_simnic::{CollCmd, CollEvent, NicId, NicLayer, NicWorld, Packet, Proto};
+
+use crate::event::ClusterEv;
+use knet_simnic::{CollCmd, CollEvent, NicEv, NicId, NicLayer, NicWorld, Packet, Proto};
 use knet_simos::{NodeId, OsLayer, OsWorld, VmaEvent};
 use knet_zsock::{TcpLayer, TcpWorld, ZsockLayer, ZsockWorld};
 
@@ -197,7 +199,22 @@ impl ClusterWorld {
         let nic_coll = self.nics.coll.stats;
         st.coll_frames = nic_coll.frames;
         st.coll_combines = nic_coll.combines;
+        let eng = self.sched.engine_stats();
+        st.engine_events = eng.executed;
+        st.engine_epochs = eng.epochs;
+        st.engine_mailbox_injected = eng.mailbox_injected;
+        st.engine_mailbox_high_water = eng.mailbox_high_water;
+        st.engine_arena_uses = eng.arena_uses;
+        st.engine_arena_grows = eng.arena_grows;
+        st.engine_errors = eng.errors;
         st
+    }
+
+    /// The raw engine counters of this world's scheduler shard (the
+    /// aggregate view lives in [`Self::stats_snapshot`]; sharded runs sum
+    /// each world's copy).
+    pub fn engine_stats(&self) -> knet_simcore::EngineStats {
+        self.sched.engine_stats()
     }
 
     /// Per-link reliability counters, one row per live link state,
@@ -210,6 +227,7 @@ impl ClusterWorld {
 }
 
 impl SimWorld for ClusterWorld {
+    type Ev = ClusterEv;
     fn sched(&self) -> &Scheduler<Self> {
         &self.sched
     }
@@ -217,6 +235,12 @@ impl SimWorld for ClusterWorld {
         &mut self.sched
     }
 }
+
+/// The parallel engine moves whole worlds onto worker threads.
+const _: fn() = || {
+    fn assert_send<T: Send>() {}
+    assert_send::<ClusterWorld>();
+};
 
 impl OsWorld for ClusterWorld {
     fn os(&self) -> &OsLayer {
@@ -237,6 +261,9 @@ impl NicWorld for ClusterWorld {
     }
     fn nics_mut(&mut self) -> &mut NicLayer {
         &mut self.nics
+    }
+    fn lift_nic(ev: NicEv) -> ClusterEv {
+        ClusterEv::Nic(ev)
     }
     fn nic_rx(&mut self, nic: NicId, pkt: Packet) {
         match pkt.proto {
@@ -342,6 +369,9 @@ impl GmWorld for ClusterWorld {
     fn gm_mut(&mut self) -> &mut GmLayer {
         &mut self.gm
     }
+    fn lift_gm(ev: GmEv) -> ClusterEv {
+        ClusterEv::Gm(ev)
+    }
     fn gm_dispatch(&mut self, port: GmPortId) {
         let node = match self.gm.port(port) {
             Ok(p) => p.node,
@@ -397,6 +427,9 @@ impl MxWorld for ClusterWorld {
     }
     fn mx_mut(&mut self) -> &mut MxLayer {
         &mut self.mx
+    }
+    fn lift_mx(ev: MxEv) -> ClusterEv {
+        ClusterEv::Mx(ev)
     }
     fn mx_dispatch(&mut self, ep_id: MxEndpointId) {
         let node = match self.mx.ep(ep_id) {

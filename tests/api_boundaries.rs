@@ -129,6 +129,64 @@ const COLL_FORBIDDEN: &[&str] = &[
     "crates/simcore",
 ];
 
+/// Directories that must not schedule through the engine's boxed escape
+/// hatches. The sharded engine's zero-allocation contract holds because
+/// steady-state events are *typed* (`lift_nic`/`lift_gm`/`lift_mx` →
+/// `ClusterEv` variants); the old free functions (`at`/`after`/
+/// `immediately`) that boxed every closure are gone from `knet_simcore`'s
+/// surface and must not come back above it. The composed cluster crate,
+/// examples and benches may also not fall back to `BoxEvent` — that type
+/// exists for standalone layer test-worlds only.
+const ENGINE_FORBIDDEN: &[&str] = &[
+    "src",
+    "examples",
+    "tests",
+    "crates/core",
+    "crates/coll",
+    "crates/gm",
+    "crates/mx",
+    "crates/simnic",
+    "crates/simos",
+    "crates/zsock",
+    "crates/bench",
+    "crates/simfs",
+    "crates/orfs",
+    "crates/nbd",
+];
+
+/// Stricter subset: nothing in the composed cluster paths may even name the
+/// boxed-event fallback type.
+const BOXEVENT_FORBIDDEN: &[&str] = &["src", "examples", "crates/bench"];
+
+#[test]
+fn boxed_event_scheduling_stays_inside_the_engine() {
+    // Patterns assembled at runtime so this file never matches itself.
+    let patterns = vec![
+        format!("knet_simcore::{}(", "at"),
+        format!("knet_simcore::{}(", "after"),
+        format!("knet_simcore::{}(", "immediately"),
+        format!(".sched.{}(", "at"),
+        format!(".sched_mut().{}(", "at"),
+    ];
+    let offenders = offenders_for(ENGINE_FORBIDDEN, &patterns);
+    assert!(
+        offenders.is_empty(),
+        "raw boxed scheduling above the engine (use typed lift_* events on \
+         the hot path, or node-tagged call_at/call_after for cold control \
+         code):\n{}",
+        offenders.join("\n")
+    );
+
+    let patterns = vec![format!("Box{}", "Event")];
+    let offenders = offenders_for(BOXEVENT_FORBIDDEN, &patterns);
+    assert!(
+        offenders.is_empty(),
+        "the boxed-event fallback type leaked into the composed cluster \
+         paths (ClusterEv's typed variants are the steady-state contract):\n{}",
+        offenders.join("\n")
+    );
+}
+
 #[test]
 fn collective_opcodes_stay_inside_the_nic_engine_and_drivers() {
     // Patterns assembled at runtime so this file never matches itself.

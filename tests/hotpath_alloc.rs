@@ -9,11 +9,15 @@
 //! * io-vector construction/cloning at inline width,
 //! * completion-queue push/pop at the slab's high-water mark.
 //!
-//! The full end-to-end send path additionally allocates only in the
-//! simulation *engine* (boxed scheduled events, the packet's payload
-//! `Bytes`) — the driver- and API-layer buffers are all recycled, which
-//! the pool statistics assert: scratch `grows` and context-pool `slots`
-//! stay flat in steady state while `uses`/`reuses` keep climbing.
+//! The scheduler itself is held to the same contract: steady-state events
+//! are *typed* enum variants dispatched from a recycled slab arena —
+//! **zero heap allocations per event** once warm
+//! (`typed_event_dispatch_allocates_nothing`), with the engine counters
+//! (`arena_uses` climbing, `arena_grows` flat) as the receipts. The full
+//! end-to-end send path then allocates only the packet's payload `Bytes`
+//! — the driver- and API-layer buffers are all recycled, which the pool
+//! statistics assert: scratch `grows` and context-pool `slots` stay flat
+//! in steady state while `uses`/`reuses` keep climbing.
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::cell::Cell;
@@ -182,6 +186,62 @@ fn cq_steady_state_allocates_nothing() {
     });
     assert_eq!(popped, 32_000);
     assert_eq!(allocs, 0, "warm completion queues must not allocate");
+}
+
+// ---------------------------------------------------------------- engine
+
+/// The scheduler's typed-event path end to end: emit → heap → arena slot →
+/// dispatch, with **zero heap allocations per event** once the arena and
+/// heap have reached their high-water marks. (`RelTimer` on a vacant link
+/// key is the cheapest typed event — it crosses the full dispatch machinery
+/// and returns.)
+#[test]
+fn typed_event_dispatch_allocates_nothing() {
+    use knet::ClusterEv;
+    use knet_simcore::SimTime;
+    use knet_simnic::{NicEv, Proto};
+
+    let mut w = ClusterBuilder::new()
+        .nodes(2, CpuModel::xeon_2600())
+        .build();
+    let burst = |w: &mut knet::world::ClusterWorld| {
+        for i in 0..512u64 {
+            let t = w.sched.now() + SimTime::from_nanos(10 + i);
+            let ev = ClusterEv::Nic(NicEv::RelTimer {
+                key: (Proto::Gm, 0, 1),
+            });
+            knet_simcore::emit_at(w, (i % 2) as u32, t, ev);
+        }
+        knet_simcore::run_to_quiescence(w);
+    };
+
+    // Warm-up: grow the heap and the event arena to their high-water marks.
+    burst(&mut w);
+    let s0 = w.engine_stats();
+
+    let (allocs, _) = count(|| {
+        for _ in 0..4 {
+            burst(&mut w);
+        }
+    });
+    let s1 = w.engine_stats();
+
+    assert_eq!(allocs, 0, "warm typed-event dispatch must not allocate");
+    assert!(
+        s1.arena_uses >= s0.arena_uses + 2048,
+        "every event takes an arena slot"
+    );
+    assert_eq!(
+        s1.arena_grows, s0.arena_grows,
+        "steady state must not grow the event arena"
+    );
+    assert_eq!(s1.errors, 0, "no engine errors on the hot path");
+    // The registry snapshot mirrors the engine counters (satellite view).
+    let snap = w.stats_snapshot();
+    assert_eq!(snap.engine_arena_uses, s1.arena_uses);
+    assert_eq!(snap.engine_arena_grows, s1.arena_grows);
+    assert_eq!(snap.engine_events, s1.executed);
+    assert_eq!(snap.engine_errors, 0);
 }
 
 // ---------------------------------------------------------------- full path

@@ -34,6 +34,7 @@ struct RelWorld {
 }
 
 impl SimWorld for RelWorld {
+    type Ev = knet_simcore::BoxEvent<Self>;
     fn sched(&self) -> &Scheduler<Self> {
         &self.sched
     }

@@ -193,20 +193,19 @@ fn new_workloads_attach_without_touching_the_world() {
     // The acceptance test for the registry redesign: wire a brand-new
     // "echo service" workload purely through consumer registration — no
     // `ClusterWorld` edits, no enum variants, just a handler.
-    use std::cell::RefCell;
-    use std::rc::Rc;
+    use std::sync::{Arc, Mutex};
 
     let (mut w, n0, n1) = two_nodes();
     let cq = w.new_cq();
     let client = w.open_mx_cq(n0, MxEndpointConfig::kernel(), cq).unwrap();
     let service = w.open_mx(n1, MxEndpointConfig::kernel()).unwrap();
     let echo_buf = kbuf(&mut w, n1, 4096);
-    let log: Rc<RefCell<Vec<u64>>> = Rc::default();
+    let log: Arc<Mutex<Vec<u64>>> = Arc::default();
 
-    let log2 = Rc::clone(&log);
+    let log2 = Arc::clone(&log);
     let cid = w.registry.register("echo-service", move |w, ep, ev| {
         if let TransportEvent::Unexpected { tag, data, from } = ev {
-            log2.borrow_mut().push(tag);
+            log2.lock().unwrap().push(tag);
             // Echo the payload back, tag + 1000.
             let n = data.len() as u64;
             w.os.node_mut(ep.node)
@@ -228,7 +227,7 @@ fn new_workloads_attach_without_touching_the_world() {
     };
     assert_eq!(tag, 1042);
     assert_eq!(&data[..], b"hello, echo");
-    assert_eq!(*log.borrow(), vec![42]);
+    assert_eq!(*log.lock().unwrap(), vec![42]);
 }
 
 #[test]
