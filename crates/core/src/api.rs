@@ -174,6 +174,31 @@ pub struct RegistryStats {
     /// Typed engine errors recorded (time regression / causality breach).
     /// Non-zero means a shard-engine invariant broke — fail the run.
     pub engine_errors: u64,
+    /// Queued-but-unobserved `RecvDone` completions withdrawn from a CQ by
+    /// [`channel_cancel_recv`](crate::api::channel_cancel_recv) winning the
+    /// cancel-vs-completion race.
+    pub cancelled_completions: u64,
+    /// Backpressure-parked sends withdrawn by
+    /// [`channel_abort_queued_send`](crate::api::channel_abort_queued_send)
+    /// before the transport ever accepted them.
+    pub aborted_queued_sends: u64,
+    /// Mirrors of the RPC-layer counters (`knet_rpc`), filled by the
+    /// composed world's stats snapshot. Zero in a bare registry.
+    ///
+    /// RPC calls submitted.
+    pub rpc_calls: u64,
+    /// RPC calls resolved with a reply.
+    pub rpc_completed: u64,
+    /// RPC calls resolved with a typed [`RpcError`](crate::RpcError).
+    pub rpc_failed: u64,
+    /// Request transmissions beyond each call's first attempt.
+    pub rpc_retries: u64,
+    /// Requests a server dropped because they arrived already past their
+    /// propagated deadline (no reply is sent for the dead).
+    pub rpc_expired_dropped: u64,
+    /// Retried requests answered from a server's idempotency cache without
+    /// re-executing the handler (exactly-once for retried writes).
+    pub rpc_idem_hits: u64,
 }
 
 // ------------------------------------------------------------- send contexts
@@ -393,6 +418,42 @@ impl Cq {
             .get(&key(ep))
             .map(|q| q.len as usize)
             .unwrap_or(0)
+    }
+
+    /// Withdraw the oldest un-popped `RecvDone` for (`ep`, `tag`), if one
+    /// is queued: unlink it from both intrusive lists and recycle its slot.
+    /// This is the CQ half of the cancel-vs-completion rule (see
+    /// [`channel_cancel_recv`]).
+    fn withdraw_recv(&mut self, ep: Endpoint, tag: u64) -> bool {
+        let Some(q) = self.by_ep.get(&key(ep)) else {
+            return false;
+        };
+        let mut prev = CQ_NIL;
+        let mut slot = q.head;
+        while slot != CQ_NIL {
+            let s = &self.slots[slot as usize];
+            let hit = matches!(
+                s.entry.as_ref().expect("occupied").event,
+                TransportEvent::RecvDone { tag: t, .. } if t == tag
+            );
+            let next = s.ep_next;
+            if hit {
+                let q = self.by_ep.get_mut(&key(ep)).expect("indexed");
+                match prev {
+                    CQ_NIL => q.head = next,
+                    p => self.slots[p as usize].ep_next = next,
+                }
+                if q.tail == slot {
+                    q.tail = prev;
+                }
+                q.len -= 1;
+                self.take_global(slot);
+                return true;
+            }
+            prev = slot;
+            slot = next;
+        }
+        false
     }
 
     /// Drop every entry queued for `ep` (the endpoint's chain empties; the
@@ -717,7 +778,8 @@ impl<W> Registry<W> {
             | TransportEvent::PeerDown { .. }
             | TransportEvent::CollectiveDone { .. }
             | TransportEvent::CollectiveRecv { .. }
-            | TransportEvent::CollectiveFailed { .. } => return,
+            | TransportEvent::CollectiveFailed { .. }
+            | TransportEvent::RpcDone { .. } => return,
         };
         if let Some(chid) = self.channel_routes.get(&key(ep)) {
             if let Some(ch) = self.channels.get_mut(&chid.0) {
@@ -1179,14 +1241,73 @@ pub fn channel_post_recv<W: DispatchWorld>(
     Ok(ctx)
 }
 
-/// Withdraw a posted receive by tag (see
-/// [`TransportWorld::t_cancel_recv`](crate::transport::TransportWorld::t_cancel_recv)
-/// for the contract).
+/// Withdraw a posted receive by tag.
+///
+/// **The cancel-vs-completion rule (one rule, both sink shapes):** cancel
+/// wins every race the consumer has not yet observed. Concretely:
+///
+/// * returns `true` ⇒ the consumer will **never** observe a `RecvDone` for
+///   this tag — either the receive was still pending in the driver
+///   ([`TransportWorld::t_cancel_recv`](crate::transport::TransportWorld::t_cancel_recv)
+///   withdrew it), or its completion had already been delivered to the
+///   channel's CQ but **not yet popped**, in which case the queued entry is
+///   dropped here (counted in [`RegistryStats::cancelled_completions`]);
+/// * returns `false` ⇒ cancel lost deterministically: the completion was
+///   already observed (popped from the CQ / upcalled into a handler), the
+///   transfer was matched in-flight inside the driver and its `RecvDone`
+///   is irrevocably on its way, or no such receive was ever posted.
+///
+/// Handler-backed channels have no queued-but-unobserved window (upcalls
+/// are synchronous), so for them this is exactly the driver contract. RPC
+/// cancellation sits directly on this rule: after a `true` return
+/// `knet-rpc` frees the call context immediately; after a `false` it
+/// parks the context until the in-flight completion drains through it.
 pub fn channel_cancel_recv<W: DispatchWorld>(w: &mut W, ch: ChannelId, tag: u64) -> bool {
-    let Some(local) = w.registry().channel(ch).map(|c| c.local) else {
+    let Some((local, cq)) = w.registry().channel(ch).map(|c| (c.local, c.cq)) else {
         return false;
     };
-    w.t_cancel_recv(local, tag)
+    if w.t_cancel_recv(local, tag) {
+        return true;
+    }
+    // The driver no longer holds it: the completion may already be queued
+    // (delivered, unobserved) on the channel's CQ. Cancel wins that race.
+    if let Some(cq) = cq {
+        let r = w.registry_mut();
+        if let Some(q) = r.cqs.get_mut(&cq.0) {
+            if q.withdraw_recv(local, tag) {
+                r.stats.cancelled_completions += 1;
+                return true;
+            }
+        }
+    }
+    false
+}
+
+/// Withdraw a send still parked in the channel's backpressure queue.
+///
+/// Returns `true` iff `ctx` was waiting for transport tokens and never
+/// reached the wire: the entry is removed, the context returns to the
+/// channel's pool, and **no completion will be delivered for it** (the
+/// caller is withdrawing its `Ok(ctx)`). Returns `false` when the send
+/// already left (its `SendDone`/`SendFailed` will arrive as usual) or the
+/// channel/context is unknown. This is how deadline enforcement reaches
+/// into backpressure: an RPC whose deadline fires while its request is
+/// still queued resolves `Deadline` without ever touching the wire.
+pub fn channel_abort_queued_send<W: DispatchWorld>(w: &mut W, ch: ChannelId, ctx: u64) -> bool {
+    let removed = {
+        let r = w.registry_mut();
+        let Some(c) = r.channels.get_mut(&ch.0) else {
+            return false;
+        };
+        let before = c.pending.len();
+        c.pending.retain(|qs| qs.ctx != ctx);
+        before != c.pending.len()
+    };
+    if removed {
+        release_channel_ctx(w, ch, ctx);
+        w.registry_mut().stats.aborted_queued_sends += 1;
+    }
+    removed
 }
 
 /// Remove a channel's state — route entry, consumer, staging buffer,

@@ -54,6 +54,50 @@ impl From<OsError> for NetError {
     }
 }
 
+/// How an RPC issued through `knet-rpc` can fail. This is the complete
+/// caller-visible taxonomy: every call resolves with exactly one
+/// [`TransportEvent::RpcDone`](crate::TransportEvent::RpcDone) carrying
+/// either a payload length or one of these — never a hang.
+///
+/// The type lives here (next to [`NetError`]) because it rides the
+/// completion-queue dispatch path, which is core vocabulary; the `knet-rpc`
+/// crate re-exports it.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum RpcError {
+    /// The call's virtual-time deadline passed before a reply was
+    /// observed (also used when the retry budget ran out after the
+    /// deadline). Servers drop requests that arrive already expired, so
+    /// the deadline is enforced on both ends of the wire.
+    Deadline,
+    /// The caller withdrew the call with `rpc_cancel`; its posted receive
+    /// was cancelled and no reply will be observed.
+    Cancelled,
+    /// The peer's node is unreachable: the reliability layer declared it
+    /// dead (`PeerDown`), a send failed non-transiently, or the retry
+    /// budget was exhausted before any deadline.
+    PeerUnreachable,
+    /// The peer speaks a different RPC schema version (or the reply failed
+    /// to decode); renegotiation is an application concern.
+    VersionMismatch,
+    /// The server shed the request: its reply pipeline was at capacity.
+    /// Retryable — the retry engine backs off before resending.
+    Overload,
+}
+
+impl fmt::Display for RpcError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RpcError::Deadline => f.write_str("rpc deadline exceeded"),
+            RpcError::Cancelled => f.write_str("rpc cancelled by caller"),
+            RpcError::PeerUnreachable => f.write_str("rpc peer unreachable"),
+            RpcError::VersionMismatch => f.write_str("rpc schema version mismatch"),
+            RpcError::Overload => f.write_str("rpc server overloaded"),
+        }
+    }
+}
+
+impl std::error::Error for RpcError {}
+
 impl From<TtError> for NetError {
     fn from(e: TtError) -> Self {
         match e {

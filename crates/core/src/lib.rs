@@ -32,7 +32,7 @@ pub use api::{
     release_kernel_buffer, Channel, ChannelId, ConsumerId, CqEntry, CqId, DispatchWorld, Registry,
     RegistryStats, DEFAULT_SEND_QUEUE_CAP,
 };
-pub use error::NetError;
+pub use error::{NetError, RpcError};
 pub use iovec::{
     chunk_segments, next_chunk, read_iovec, read_iovec_into, resolve_iovec, resolve_iovec_into,
     seg_window, seg_window_into, write_iovec, AddrClass, ChunkCursor, IoVec, MemRef, Resolution,

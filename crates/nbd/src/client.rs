@@ -569,7 +569,8 @@ pub fn nbd_on_client_event<W: NbdWorld>(w: &mut W, cid: NbdClientId, ev: Transpo
         // The block client does not participate in collective groups.
         TransportEvent::CollectiveDone { .. }
         | TransportEvent::CollectiveRecv { .. }
-        | TransportEvent::CollectiveFailed { .. } => return,
+        | TransportEvent::CollectiveFailed { .. }
+        | TransportEvent::RpcDone { .. } => return,
         TransportEvent::PeerDown { peer } => {
             // The server's node died: every in-flight block op completes
             // with a typed error — nothing may stall on a dead disk.

@@ -1467,7 +1467,8 @@ pub fn client_on_event<W: OrfsWorld>(w: &mut W, cid: OrfsClientId, ev: Transport
         // The file client does not participate in collective groups.
         TransportEvent::CollectiveDone { .. }
         | TransportEvent::CollectiveRecv { .. }
-        | TransportEvent::CollectiveFailed { .. } => {}
+        | TransportEvent::CollectiveFailed { .. }
+        | TransportEvent::RpcDone { .. } => {}
     }
 }
 

@@ -1,0 +1,1657 @@
+//! # knet-rpc — typed request/response on top of channels
+//!
+//! Everything above the channel layer (ORFS, NBD, the socket servers) had
+//! re-invented request/response correlation, timeout handling and failure
+//! recovery by hand. This crate hosts those semantics once, as shared
+//! infrastructure (the NetKernel argument), directly on the channel/CQ
+//! API:
+//!
+//! * **schema-versioned codec** ([`codec`]): request/response frames over
+//!   a transport trait, loopback-testable without a world;
+//! * **correlation ids** from a generation-tagged call slab — a late or
+//!   duplicated reply can never resolve the wrong call;
+//! * **virtual-time deadlines with propagation**: the caller's absolute
+//!   deadline rides the wire, so servers drop work that arrives (or
+//!   un-defers) already expired instead of answering the dead, and the
+//!   client enforces the deadline locally with a typed engine event
+//!   ([`RpcEv::Deadline`] via [`RpcWorld::lift_rpc`] — allocation-free in
+//!   the composed world), reaching into the send-backpressure queue
+//!   (`channel_abort_queued_send`) when the request never left the node;
+//! * **typed cancellation** ([`rpc_cancel`]): withdraws the posted
+//!   receive under the channel layer's cancel-vs-completion rule and
+//!   resolves racing completions deterministically (a matched in-flight
+//!   completion quarantines the call slot until it drains — buffers are
+//!   never reused under an active transfer);
+//! * a **retry policy engine** ([`RetryPolicy`]): per-attempt timers,
+//!   exponential backoff with equal jitter drawn from a per-client seeded
+//!   [`SplitMix64`] stream (deterministic per seed, shard-invariant), and
+//!   idempotency keys so retried writes are answered exactly once from
+//!   the server's reply cache;
+//! * **typed errors** ([`RpcError`]) instead of hangs: every submitted
+//!   call resolves with exactly one completion — reply, `Deadline`,
+//!   `Cancelled`, `PeerUnreachable`, `VersionMismatch` or `Overload`.
+//!
+//! Completions surface as [`TransportEvent::RpcDone`] pushed onto a
+//! completion queue for polling consumers, or as a typed upcall
+//! ([`RpcCompletion`]) for in-kernel consumers (the `knet-kv` store).
+//! The warm path performs zero heap allocations: call slots, per-slot
+//! request/response buffers, encode scratch, send contexts and timer
+//! events are all pooled and recycled (`tests/hotpath_alloc.rs` pins
+//! this down).
+
+pub mod codec;
+
+use std::sync::Arc;
+
+use knet_core::api::{
+    channel_abort_queued_send, channel_accept_handler, channel_cancel_recv, channel_close,
+    channel_connect_handler, channel_post_recv, channel_send, channel_send_to, ctx_slot,
+    DispatchWorld,
+};
+use knet_core::{ChannelId, CqId, Endpoint, IoVec, MemRef, NetError, RpcError, TransportEvent};
+use knet_simcore::{emit_after, emit_at, now, SimEvent, SimTime, SplitMix64};
+use knet_simos::{Asid, NodeId, VirtAddr};
+
+use codec::{
+    decode_request, decode_response, encode_request, encode_response, ReqHeader, RespHeader,
+    NO_DEADLINE, REQ_HEADER_LEN, RESP_HEADER_LEN, RPC_SCHEMA_VERSION,
+};
+
+pub use codec::{Loopback, RpcTransport};
+pub use knet_core::RpcError as Error;
+
+// --------------------------------------------------------------- identifiers
+
+/// Identifier of an RPC client instance.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct RpcClientId(pub u32);
+
+/// Identifier of an RPC server instance.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct RpcServerId(pub u32);
+
+/// A call handle: the generation-tagged correlation id (`gen << 32 |
+/// slot`) minted by the client's call slab. It doubles as the wire tag of
+/// the request, the reply and the posted receive, so the transport's tag
+/// matching *is* the correlation step.
+pub type RpcCall = u64;
+
+fn corr_of(slot: u32, gen: u32) -> u64 {
+    ((gen as u64) << 32) | slot as u64
+}
+
+fn corr_slot(corr: u64) -> u32 {
+    (corr & 0xFFFF_FFFF) as u32
+}
+
+fn corr_gen(corr: u64) -> u32 {
+    (corr >> 32) as u32
+}
+
+// -------------------------------------------------------------- typed events
+
+/// The RPC layer's typed engine events. The composed world lifts these
+/// into its event enum ([`RpcWorld::lift_rpc`]) so deadline and retry
+/// timers move through the scheduler's recycled arena with zero heap
+/// allocation. Every event carries the call's generation — a stale timer
+/// (its call already resolved, slot maybe reused) is a no-op.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum RpcEv {
+    /// A call's virtual-time deadline fired.
+    Deadline { client: u32, slot: u32, gen: u32 },
+    /// A call's retry timer fired: retransmit, or — with the attempt
+    /// budget spent — resolve typed. `seq` discriminates stale timers
+    /// when a server `Overload` push rescheduled the retransmission.
+    Retry {
+        client: u32,
+        slot: u32,
+        gen: u32,
+        seq: u32,
+    },
+}
+
+/// Execute one RPC-layer event.
+pub fn run_rpc_ev<W: RpcWorld>(w: &mut W, ev: RpcEv) {
+    match ev {
+        RpcEv::Deadline { client, slot, gen } => on_deadline(w, RpcClientId(client), slot, gen),
+        RpcEv::Retry {
+            client,
+            slot,
+            gen,
+            seq,
+        } => on_retry(w, RpcClientId(client), slot, gen, seq),
+    }
+}
+
+/// World capability: hosts the RPC layer.
+pub trait RpcWorld: DispatchWorld {
+    fn rpc(&self) -> &RpcLayer<Self>;
+    fn rpc_mut(&mut self) -> &mut RpcLayer<Self>;
+
+    /// Wrap an RPC event into the world's typed event enum. The default
+    /// boxes a closure (fine for unit worlds); the composed cluster world
+    /// overrides it with a zero-allocation enum variant.
+    fn lift_rpc(ev: RpcEv) -> <Self as knet_simcore::SimWorld>::Ev {
+        SimEvent::from_call(Box::new(move |w: &mut Self| run_rpc_ev(w, ev)))
+    }
+}
+
+// ------------------------------------------------------------------- policy
+
+/// The retry policy engine's knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct RetryPolicy {
+    /// Total transmission attempts (the first send included). `1`
+    /// disables retransmission; the attempt timer still bounds the call,
+    /// so it can never hang.
+    pub max_attempts: u32,
+    /// How long to wait for a reply to one attempt. Must sit well above
+    /// the reliability layer's RTO: packet loss is repaired below us; RPC
+    /// retries exist for dropped-expired work, shed load and failover.
+    pub attempt_timeout: SimTime,
+    /// Base of the exponential backoff added between attempts.
+    pub base_backoff: SimTime,
+    /// Backoff ceiling.
+    pub max_backoff: SimTime,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 4,
+            attempt_timeout: SimTime::from_millis(2),
+            base_backoff: SimTime::from_micros(200),
+            max_backoff: SimTime::from_millis(5),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Equal-jitter exponential backoff after transmission `attempt`
+    /// (1-based): uniform in `[b/2, b)` where `b = min(base << (attempt -
+    /// 1), max)`. Drawn from the client's seeded stream — deterministic
+    /// per seed, independent of shard count.
+    fn backoff(&self, rng: &mut SplitMix64, attempt: u32) -> SimTime {
+        let shift = attempt.saturating_sub(1).min(16);
+        let b = self
+            .base_backoff
+            .nanos()
+            .checked_shl(shift)
+            .unwrap_or(u64::MAX)
+            .min(self.max_backoff.nanos())
+            .max(2);
+        SimTime::from_nanos(b / 2 + rng.next_below(b - b / 2))
+    }
+}
+
+/// Options for one call.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RpcCallOpts {
+    /// Absolute virtual-time deadline. `None` = bounded only by the
+    /// retry budget. A deadline already expired at submit resolves
+    /// [`RpcError::Deadline`] through the normal completion path without
+    /// touching the wire.
+    pub deadline: Option<SimTime>,
+    /// Idempotency key (`0` = none). Retransmissions repeat it, so the
+    /// server's reply cache answers duplicates without re-executing —
+    /// retried writes stay exactly-once at the application layer.
+    pub idem: u64,
+}
+
+// ------------------------------------------------------------------- client
+
+/// A handler sink's upcall: invoked once per resolved call.
+pub type RpcSinkFn<W> = Arc<dyn Fn(&mut W, RpcCompletion) + Send + Sync>;
+
+/// Where a client's completions go.
+pub enum RpcSink<W: ?Sized> {
+    /// Push [`TransportEvent::RpcDone`] entries onto this queue, indexed
+    /// under the client's endpoint (poll with `cq_pop` / `cq_pop_for`).
+    Cq(CqId),
+    /// Synchronous typed upcall (in-kernel consumers; the KV store).
+    Handler(RpcSinkFn<W>),
+}
+
+/// A resolved call, as seen by a handler sink.
+#[derive(Clone, Copy, Debug)]
+pub struct RpcCompletion {
+    pub client: RpcClientId,
+    pub call: RpcCall,
+    /// `Ok(payload_len)` — collect the payload with [`rpc_collect`] — or
+    /// the typed failure.
+    pub result: Result<u64, RpcError>,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum CallState {
+    Free,
+    /// Awaiting a reply (or a timer).
+    Pending,
+    /// Resolved successfully; the reply payload parks in the slot's
+    /// response buffer until [`rpc_collect`] copies it out.
+    Done {
+        len: u64,
+    },
+    /// Resolved (cancel / deadline / peer death) while a matched
+    /// in-flight completion was still owed by the driver: the slot is
+    /// quarantined until that completion drains, so its buffers are
+    /// never reused under an active transfer.
+    Draining,
+}
+
+struct CallSlot {
+    gen: u32,
+    state: CallState,
+    deadline: SimTime,
+    idem: u64,
+    /// Transmissions so far (1-based after the first send).
+    attempt: u32,
+    /// Discriminates the live retry timer from superseded ones.
+    retry_seq: u32,
+    /// A tagged receive for this call's reply is posted in the driver.
+    recv_armed: bool,
+    /// Send context of the latest attempt, while in flight or queued.
+    tx_ctx: Option<u64>,
+    req_addr: VirtAddr,
+    req_len: u64,
+    resp_addr: VirtAddr,
+}
+
+/// Per-client counters.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RpcClientStats {
+    pub calls: u64,
+    pub completed: u64,
+    pub failed: u64,
+    pub retries: u64,
+    pub cancelled: u64,
+    pub deadline_failures: u64,
+    pub expired_at_submit: u64,
+    /// Replies that arrived for an already-resolved call (duplicates,
+    /// post-deadline stragglers, drained quarantines) and were dropped by
+    /// the generation check.
+    pub late_replies: u64,
+}
+
+/// Client-side configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct RpcClientConfig {
+    /// Concurrent in-flight call window; submissions past it fail
+    /// synchronously with [`RpcError::Overload`].
+    pub window: u32,
+    /// Per-slot request buffer capacity (header + payload).
+    pub req_cap: u64,
+    /// Per-slot response buffer capacity (header + payload).
+    pub resp_cap: u64,
+    pub policy: RetryPolicy,
+    /// Seed of the client's backoff-jitter stream.
+    pub seed: u64,
+}
+
+impl Default for RpcClientConfig {
+    fn default() -> Self {
+        RpcClientConfig {
+            window: 64,
+            req_cap: 1024,
+            resp_cap: 1024,
+            policy: RetryPolicy::default(),
+            seed: 0x5eed_0000_0000_0001,
+        }
+    }
+}
+
+/// One RPC client: a handler-backed channel to one server endpoint plus
+/// the generation-tagged call slab.
+pub struct RpcClient<W: ?Sized> {
+    pub id: RpcClientId,
+    pub ep: Endpoint,
+    pub server: Endpoint,
+    pub ch: ChannelId,
+    sink: RpcSink<W>,
+    cfg: RpcClientConfig,
+    rng: SplitMix64,
+    calls: Vec<CallSlot>,
+    free: Vec<u32>,
+    /// Dense map: channel send-context slot → call slot + 1 (`0` =
+    /// none). Send contexts are pooled per channel (see `ctx_slot`), so
+    /// this stays bounded by the in-flight window — no per-call map
+    /// insertion on the warm path.
+    tx_slots: Vec<u32>,
+    /// Buffer region: `window` slots of `req_cap + resp_cap` bytes each.
+    region: VirtAddr,
+    pub stats: RpcClientStats,
+}
+
+impl<W: ?Sized> RpcClient<W> {
+    fn slot_req_addr(&self, slot: u32) -> VirtAddr {
+        self.region
+            .add(slot as u64 * (self.cfg.req_cap + self.cfg.resp_cap))
+    }
+
+    fn slot_resp_addr(&self, slot: u32) -> VirtAddr {
+        self.slot_req_addr(slot).add(self.cfg.req_cap)
+    }
+
+    fn free_slot(&mut self, slot: u32) {
+        let s = &mut self.calls[slot as usize];
+        s.state = CallState::Free;
+        s.gen = s.gen.wrapping_add(1);
+        s.recv_armed = false;
+        s.tx_ctx = None;
+        self.free.push(slot);
+    }
+
+    /// Calls currently unresolved (pending or quarantined).
+    pub fn outstanding(&self) -> u32 {
+        self.calls
+            .iter()
+            .filter(|s| matches!(s.state, CallState::Pending | CallState::Draining))
+            .count() as u32
+    }
+}
+
+// ------------------------------------------------------------------- server
+
+/// Passed to the service function for each accepted request.
+#[derive(Clone, Copy, Debug)]
+pub struct RpcRequest {
+    pub server: RpcServerId,
+    pub from: Endpoint,
+    pub method: u16,
+    /// The caller's propagated absolute deadline ([`SimTime::NEVER`] when
+    /// none). Deferred work resolving past it is dropped, not answered.
+    pub deadline: SimTime,
+    pub idem: u64,
+    /// Pre-minted defer token: return [`RpcOutcome::Defer`] and answer
+    /// later through [`rpc_server_reply`] with this token.
+    pub token: u64,
+}
+
+/// What the service function did with a request.
+pub enum RpcOutcome {
+    /// The reply payload was written into the provided scratch buffer.
+    Reply,
+    /// Answer with a typed error.
+    Err(RpcError),
+    /// The reply comes later via [`rpc_server_reply`] (e.g. after a
+    /// replication RPC of the service's own resolves).
+    Defer,
+}
+
+/// Per-server counters.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RpcServerStats {
+    pub requests: u64,
+    pub replies: u64,
+    pub deferred: u64,
+    /// Requests dropped (or deferred replies suppressed) because the
+    /// propagated deadline had already passed — the server never answers
+    /// the dead.
+    pub expired_dropped: u64,
+    /// Duplicate (retried) requests answered from the idempotency cache
+    /// without re-executing the service.
+    pub idem_hits: u64,
+    pub overloads: u64,
+    pub version_mismatches: u64,
+}
+
+/// Server-side configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct RpcServerConfig {
+    /// Reply staging ring size.
+    pub ring: u64,
+    /// Outstanding replies (in-flight sends + deferred) beyond which new
+    /// requests are shed with [`RpcError::Overload`].
+    pub max_pending: u32,
+    /// Idempotency-cache capacity (ring eviction, oldest first).
+    pub idem_capacity: u32,
+}
+
+impl Default for RpcServerConfig {
+    fn default() -> Self {
+        RpcServerConfig {
+            ring: 1 << 20,
+            max_pending: 128,
+            idem_capacity: 256,
+        }
+    }
+}
+
+#[derive(Clone, Copy)]
+enum DeferState {
+    Free,
+    Pending {
+        from: Endpoint,
+        corr: u64,
+        idem: u64,
+        deadline_ns: u64,
+    },
+}
+
+struct DeferSlot {
+    gen: u32,
+    state: DeferState,
+}
+
+struct IdemEntry {
+    key: u64,
+    /// Cached successful reply payload (buffers recycle on eviction).
+    buf: Vec<u8>,
+}
+
+/// Bounded exactly-once reply cache: idempotency key → cached payload,
+/// ring eviction (oldest insertion first).
+struct IdemCache {
+    entries: Vec<IdemEntry>,
+    index: std::collections::BTreeMap<u64, u32>,
+    next: u32,
+    cap: u32,
+}
+
+impl IdemCache {
+    fn new(cap: u32) -> Self {
+        IdemCache {
+            entries: Vec::new(),
+            index: std::collections::BTreeMap::new(),
+            next: 0,
+            cap: cap.max(1),
+        }
+    }
+
+    fn get(&self, key: u64) -> Option<&[u8]> {
+        let slot = *self.index.get(&key)?;
+        Some(&self.entries[slot as usize].buf)
+    }
+
+    fn put(&mut self, key: u64, payload: &[u8]) {
+        if let Some(&slot) = self.index.get(&key) {
+            let e = &mut self.entries[slot as usize];
+            e.buf.clear();
+            e.buf.extend_from_slice(payload);
+            return;
+        }
+        if (self.entries.len() as u32) < self.cap {
+            let slot = self.entries.len() as u32;
+            self.entries.push(IdemEntry {
+                key,
+                buf: payload.to_vec(),
+            });
+            self.index.insert(key, slot);
+            return;
+        }
+        // Evict the ring's next victim, recycling its buffer.
+        let slot = self.next;
+        self.next = (self.next + 1) % self.cap;
+        let e = &mut self.entries[slot as usize];
+        self.index.remove(&e.key);
+        e.key = key;
+        e.buf.clear();
+        e.buf.extend_from_slice(payload);
+        self.index.insert(key, slot);
+    }
+}
+
+/// One RPC server: an accept-side handler channel dispatching into a
+/// service function, with deadline filtering, idempotency caching, load
+/// shedding and deferred replies.
+pub struct RpcServer {
+    pub id: RpcServerId,
+    pub ep: Endpoint,
+    pub ch: ChannelId,
+    cfg: RpcServerConfig,
+    ring: VirtAddr,
+    ring_off: u64,
+    /// Dense map: reply send-context slot → occupied flag.
+    reply_slots: Vec<u8>,
+    replies_in_flight: u32,
+    defers: Vec<DeferSlot>,
+    defer_free: Vec<u32>,
+    defers_pending: u32,
+    idem: IdemCache,
+    pub stats: RpcServerStats,
+}
+
+impl RpcServer {
+    fn ring_reserve(&mut self, len: u64) -> VirtAddr {
+        debug_assert!(len <= self.cfg.ring);
+        if self.ring_off + len > self.cfg.ring {
+            self.ring_off = 0;
+        }
+        let a = self.ring.add(self.ring_off);
+        self.ring_off += len;
+        a
+    }
+
+    fn pending(&self) -> u32 {
+        self.replies_in_flight + self.defers_pending
+    }
+}
+
+type ServiceFn<W> = dyn Fn(&mut W, RpcRequest, &[u8], &mut Vec<u8>) -> RpcOutcome + Send + Sync;
+type PeerDownFn<W> = dyn Fn(&mut W, NodeId) + Send + Sync;
+
+// -------------------------------------------------------------------- layer
+
+/// A recycled scratch buffer with growth accounting.
+#[derive(Default)]
+struct RpcScratch {
+    buf: Vec<u8>,
+    uses: u64,
+    grows: u64,
+}
+
+impl RpcScratch {
+    fn take(&mut self) -> (Vec<u8>, usize) {
+        self.uses += 1;
+        let b = std::mem::take(&mut self.buf);
+        let cap = b.capacity();
+        (b, cap)
+    }
+
+    fn put(&mut self, mut b: Vec<u8>, had_cap: usize) {
+        if b.capacity() > had_cap {
+            self.grows += 1;
+        }
+        b.clear();
+        self.buf = b;
+    }
+}
+
+/// Layer-aggregate counters, mirrored into `RegistryStats` by the
+/// composed world's stats snapshot.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RpcStats {
+    pub calls: u64,
+    pub completed: u64,
+    pub failed: u64,
+    pub retries: u64,
+    pub expired_dropped: u64,
+    pub idem_hits: u64,
+}
+
+/// All RPC state in a world.
+pub struct RpcLayer<W: ?Sized> {
+    pub clients: Vec<RpcClient<W>>,
+    pub servers: Vec<RpcServer>,
+    pub stats: RpcStats,
+    /// Frame-encode scratch (requests and replies).
+    frame_scratch: RpcScratch,
+    /// Service reply-payload scratch.
+    resp_scratch: RpcScratch,
+}
+
+impl<W: ?Sized> Default for RpcLayer<W> {
+    fn default() -> Self {
+        RpcLayer {
+            clients: Vec::new(),
+            servers: Vec::new(),
+            stats: RpcStats::default(),
+            frame_scratch: RpcScratch::default(),
+            resp_scratch: RpcScratch::default(),
+        }
+    }
+}
+
+impl<W: ?Sized> RpcLayer<W> {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Scratch-pool health as `(uses, grows)`: in steady state `grows`
+    /// stops moving while `uses` keeps counting.
+    pub fn scratch_stats(&self) -> (u64, u64) {
+        (
+            self.frame_scratch.uses + self.resp_scratch.uses,
+            self.frame_scratch.grows + self.resp_scratch.grows,
+        )
+    }
+}
+
+// ------------------------------------------------------------ client driver
+
+/// Create a client on `ep` talking to `server`; completions go to `sink`.
+/// The backing channel is handler-based regardless of the sink — the RPC
+/// layer consumes raw transport events itself and emits only typed
+/// completions.
+pub fn rpc_client_create<W: RpcWorld>(
+    w: &mut W,
+    ep: Endpoint,
+    server: Endpoint,
+    name: &str,
+    sink: RpcSink<W>,
+    cfg: RpcClientConfig,
+) -> Result<RpcClientId, NetError> {
+    let region_len = cfg.window as u64 * (cfg.req_cap + cfg.resp_cap);
+    let region = w.os_mut().node_mut(ep.node).kalloc(region_len)?;
+    let id = RpcClientId(w.rpc().clients.len() as u32);
+    let ch = channel_connect_handler(w, ep, server, name, move |w, _via, ev| {
+        rpc_on_client_event(w, id, ev)
+    });
+    w.rpc_mut().clients.push(RpcClient {
+        id,
+        ep,
+        server,
+        ch,
+        sink,
+        cfg,
+        rng: SplitMix64::new(cfg.seed ^ ((id.0 as u64) << 17)),
+        calls: Vec::new(),
+        free: Vec::new(),
+        tx_slots: Vec::new(),
+        region,
+        stats: RpcClientStats::default(),
+    });
+    Ok(id)
+}
+
+/// Point the client at a different server endpoint (failover
+/// re-resolution). Pending calls must already be resolved — `PeerDown`
+/// does that when the old server died. The old channel is torn down
+/// (queued sends complete as `SendFailed` first) and a fresh one
+/// connected; the new channel's context pool restarts, so the dense send
+/// map is cleared.
+pub fn rpc_retarget<W: RpcWorld>(w: &mut W, cid: RpcClientId, server: Endpoint) {
+    let (ep, old_ch) = {
+        let c = &w.rpc().clients[cid.0 as usize];
+        (c.ep, c.ch)
+    };
+    channel_close(w, old_ch);
+    let ch = channel_connect_handler(
+        w,
+        ep,
+        server,
+        &format!("rpc-client-{}", cid.0),
+        move |w, _via, ev| rpc_on_client_event(w, cid, ev),
+    );
+    let c = &mut w.rpc_mut().clients[cid.0 as usize];
+    c.ch = ch;
+    c.server = server;
+    for v in &mut c.tx_slots {
+        *v = 0;
+    }
+}
+
+/// Submit a typed call: `payload` goes out under `method`; the reply (or
+/// typed failure) arrives as exactly one completion. Synchronous errors:
+/// [`RpcError::Overload`] when the in-flight window is full or the
+/// payload exceeds the slot buffer.
+pub fn rpc_call<W: RpcWorld>(
+    w: &mut W,
+    cid: RpcClientId,
+    method: u16,
+    payload: &[u8],
+    opts: RpcCallOpts,
+) -> Result<RpcCall, RpcError> {
+    let t_now = now(w);
+    let (slot, gen, corr, node, expired) = {
+        let c = &mut w.rpc_mut().clients[cid.0 as usize];
+        if (REQ_HEADER_LEN as u64 + payload.len() as u64) > c.cfg.req_cap {
+            return Err(RpcError::Overload);
+        }
+        let slot = match c.free.pop() {
+            Some(s) => s,
+            None if (c.calls.len() as u32) < c.cfg.window => {
+                let s = c.calls.len() as u32;
+                c.calls.push(CallSlot {
+                    gen: 0,
+                    state: CallState::Free,
+                    deadline: SimTime::NEVER,
+                    idem: 0,
+                    attempt: 0,
+                    retry_seq: 0,
+                    recv_armed: false,
+                    tx_ctx: None,
+                    req_addr: VirtAddr::new(0),
+                    req_len: 0,
+                    resp_addr: VirtAddr::new(0),
+                });
+                s
+            }
+            None => return Err(RpcError::Overload),
+        };
+        let deadline = opts.deadline.unwrap_or(SimTime::NEVER);
+        let (req_addr, resp_addr) = (c.slot_req_addr(slot), c.slot_resp_addr(slot));
+        let s = &mut c.calls[slot as usize];
+        debug_assert_eq!(s.state, CallState::Free);
+        s.state = CallState::Pending;
+        s.deadline = deadline;
+        s.idem = opts.idem;
+        s.attempt = 0;
+        s.recv_armed = false;
+        s.tx_ctx = None;
+        s.req_addr = req_addr;
+        s.req_len = 0;
+        s.resp_addr = resp_addr;
+        c.stats.calls += 1;
+        (
+            slot,
+            s.gen,
+            corr_of(slot, s.gen),
+            c.ep.node,
+            deadline <= t_now,
+        )
+    };
+    w.rpc_mut().stats.calls += 1;
+    if expired {
+        // Dead on arrival: resolve through the normal typed-event path —
+        // the completion lands at the submit instant, and the wire never
+        // sees the request.
+        w.rpc_mut().clients[cid.0 as usize].stats.expired_at_submit += 1;
+        emit_at(
+            w,
+            node.0,
+            t_now,
+            W::lift_rpc(RpcEv::Deadline {
+                client: cid.0,
+                slot,
+                gen,
+            }),
+        );
+        return Ok(corr);
+    }
+    // Encode once into the slot's request buffer; retransmissions resend
+    // the same bytes (same corr, same idempotency key).
+    let (mut frame, had_cap) = w.rpc_mut().frame_scratch.take();
+    let deadline = w.rpc().clients[cid.0 as usize].calls[slot as usize].deadline;
+    encode_request(
+        &mut frame,
+        ReqHeader {
+            version: RPC_SCHEMA_VERSION,
+            method,
+            corr,
+            deadline_ns: if deadline == SimTime::NEVER {
+                NO_DEADLINE
+            } else {
+                deadline.nanos()
+            },
+            idem: opts.idem,
+        },
+        payload,
+    );
+    let req_addr = w.rpc().clients[cid.0 as usize].calls[slot as usize].req_addr;
+    w.os_mut()
+        .node_mut(node)
+        .write_virt(Asid::KERNEL, req_addr, &frame)
+        .expect("rpc request staging");
+    w.rpc_mut().clients[cid.0 as usize].calls[slot as usize].req_len = frame.len() as u64;
+    w.rpc_mut().frame_scratch.put(frame, had_cap);
+    if deadline != SimTime::NEVER {
+        emit_at(
+            w,
+            node.0,
+            deadline,
+            W::lift_rpc(RpcEv::Deadline {
+                client: cid.0,
+                slot,
+                gen,
+            }),
+        );
+    }
+    transmit(w, cid, slot);
+    Ok(corr)
+}
+
+/// Send (or resend) the staged request of a pending call, arming the
+/// reply receive when needed, and schedule the next retry timer.
+fn transmit<W: RpcWorld>(w: &mut W, cid: RpcClientId, slot: u32) {
+    let (ch, corr, node, req_addr, req_len, resp_addr, resp_cap, need_recv, policy) = {
+        let c = &w.rpc().clients[cid.0 as usize];
+        let s = &c.calls[slot as usize];
+        debug_assert_eq!(s.state, CallState::Pending);
+        (
+            c.ch,
+            corr_of(slot, s.gen),
+            c.ep.node,
+            s.req_addr,
+            s.req_len,
+            s.resp_addr,
+            c.cfg.resp_cap,
+            !s.recv_armed,
+            c.cfg.policy,
+        )
+    };
+    let gen = corr_gen(corr);
+    if need_recv {
+        match channel_post_recv(
+            w,
+            ch,
+            corr,
+            IoVec::single(MemRef::kernel(resp_addr, resp_cap)),
+        ) {
+            Ok(_) => {
+                w.rpc_mut().clients[cid.0 as usize].calls[slot as usize].recv_armed = true;
+            }
+            Err(_) => {
+                resolve(w, cid, slot, Err(RpcError::PeerUnreachable));
+                return;
+            }
+        }
+    }
+    match channel_send(
+        w,
+        ch,
+        corr,
+        IoVec::single(MemRef::kernel(req_addr, req_len)),
+    ) {
+        Ok(ctx) => {
+            let (seq, delay) = {
+                let layer = w.rpc_mut();
+                let retransmit = layer.clients[cid.0 as usize].calls[slot as usize].attempt > 0;
+                if retransmit {
+                    layer.clients[cid.0 as usize].stats.retries += 1;
+                    layer.stats.retries += 1;
+                }
+                let c = &mut layer.clients[cid.0 as usize];
+                let s = &mut c.calls[slot as usize];
+                s.attempt += 1;
+                s.tx_ctx = Some(ctx);
+                s.retry_seq = s.retry_seq.wrapping_add(1);
+                let attempt = s.attempt;
+                let seq = s.retry_seq;
+                if let Some(cs) = ctx_slot(ctx) {
+                    if cs >= c.tx_slots.len() {
+                        c.tx_slots.resize(cs + 1, 0);
+                    }
+                    c.tx_slots[cs] = slot + 1;
+                }
+                // Fold backoff into the inter-attempt gap: reply window
+                // first, jittered exponential spacing on top.
+                let delay = policy.attempt_timeout + policy.backoff(&mut c.rng, attempt);
+                (seq, delay)
+            };
+            emit_after(
+                w,
+                node.0,
+                delay,
+                W::lift_rpc(RpcEv::Retry {
+                    client: cid.0,
+                    slot,
+                    gen,
+                    seq,
+                }),
+            );
+        }
+        Err(NetError::SendQueueFull) => {
+            // The attempt died at the local queue; spend it and back off.
+            let decision = {
+                let c = &mut w.rpc_mut().clients[cid.0 as usize];
+                let pol = c.cfg.policy;
+                let s = &mut c.calls[slot as usize];
+                s.attempt += 1;
+                if s.attempt < pol.max_attempts {
+                    s.retry_seq = s.retry_seq.wrapping_add(1);
+                    let attempt = s.attempt;
+                    let seq = s.retry_seq;
+                    let d = pol.backoff(&mut c.rng, attempt);
+                    Some((seq, d))
+                } else {
+                    None
+                }
+            };
+            match decision {
+                Some((seq, d)) => emit_after(
+                    w,
+                    node.0,
+                    d,
+                    W::lift_rpc(RpcEv::Retry {
+                        client: cid.0,
+                        slot,
+                        gen,
+                        seq,
+                    }),
+                ),
+                None => resolve(w, cid, slot, Err(RpcError::Overload)),
+            }
+        }
+        Err(_) => resolve(w, cid, slot, Err(RpcError::PeerUnreachable)),
+    }
+}
+
+/// Cancel a pending call. Returns `true` iff the call was pending and is
+/// now resolved [`RpcError::Cancelled`] (the completion is delivered as
+/// usual, so consumers see exactly one resolution either way). The posted
+/// receive is withdrawn under the channel layer's cancel-vs-completion
+/// rule; if a matched completion is irrevocably in flight the slot is
+/// quarantined until it drains — the caller never observes it.
+pub fn rpc_cancel<W: RpcWorld>(w: &mut W, cid: RpcClientId, call: RpcCall) -> bool {
+    let slot = corr_slot(call);
+    let pending = {
+        let c = &w.rpc().clients[cid.0 as usize];
+        matches!(
+            c.calls.get(slot as usize),
+            Some(s) if s.gen == corr_gen(call) && s.state == CallState::Pending
+        )
+    };
+    if !pending {
+        return false;
+    }
+    w.rpc_mut().clients[cid.0 as usize].stats.cancelled += 1;
+    resolve(w, cid, slot, Err(RpcError::Cancelled));
+    true
+}
+
+/// Copy a completed call's reply payload into `out` (cleared first) and
+/// release the call slot. `None` if the call is not in the completed
+/// state (failed calls carry no payload and release eagerly).
+pub fn rpc_collect<W: RpcWorld>(
+    w: &mut W,
+    cid: RpcClientId,
+    call: RpcCall,
+    out: &mut Vec<u8>,
+) -> Option<u64> {
+    let slot = corr_slot(call);
+    let (len, resp_addr, node) = {
+        let c = &w.rpc().clients[cid.0 as usize];
+        let s = c.calls.get(slot as usize)?;
+        if s.gen != corr_gen(call) {
+            return None;
+        }
+        let CallState::Done { len } = s.state else {
+            return None;
+        };
+        (len, s.resp_addr, c.ep.node)
+    };
+    out.clear();
+    out.resize(len as usize, 0);
+    w.os()
+        .node(node)
+        .read_virt(Asid::KERNEL, resp_addr.add(RESP_HEADER_LEN as u64), out)
+        .expect("rpc reply read");
+    w.rpc_mut().clients[cid.0 as usize].free_slot(slot);
+    Some(len)
+}
+
+/// Resolve a pending call with `result`: withdraw whatever transport
+/// state is still live (queued send, posted receive), settle the slot,
+/// then deliver exactly one completion.
+fn resolve<W: RpcWorld>(w: &mut W, cid: RpcClientId, slot: u32, result: Result<u64, RpcError>) {
+    let (corr, ch, recv_armed, tx_ctx) = {
+        let c = &mut w.rpc_mut().clients[cid.0 as usize];
+        let s = &mut c.calls[slot as usize];
+        debug_assert_eq!(s.state, CallState::Pending);
+        (corr_of(slot, s.gen), c.ch, s.recv_armed, s.tx_ctx.take())
+    };
+    if let Some(ctx) = tx_ctx {
+        // Deadline/cancel reaching into backpressure: if the request
+        // never left the node, withdraw it. Either way, a late SendDone
+        // must find no mapping.
+        let _ = channel_abort_queued_send(w, ch, ctx);
+        let c = &mut w.rpc_mut().clients[cid.0 as usize];
+        if let Some(cs) = ctx_slot(ctx) {
+            if cs < c.tx_slots.len() {
+                c.tx_slots[cs] = 0;
+            }
+        }
+    }
+    let mut drain = false;
+    if result.is_err() && recv_armed {
+        // Cancel-vs-completion rule: `false` means a matched completion
+        // is irrevocably on its way — quarantine the slot's buffers.
+        drain = !channel_cancel_recv(w, ch, corr);
+    }
+    {
+        let layer = w.rpc_mut();
+        let c = &mut layer.clients[cid.0 as usize];
+        match result {
+            Ok(len) => {
+                let s = &mut c.calls[slot as usize];
+                s.state = CallState::Done { len };
+                s.recv_armed = false;
+                c.stats.completed += 1;
+                layer.stats.completed += 1;
+            }
+            Err(e) => {
+                c.stats.failed += 1;
+                layer.stats.failed += 1;
+                if e == RpcError::Deadline {
+                    c.stats.deadline_failures += 1;
+                }
+                if drain {
+                    c.calls[slot as usize].state = CallState::Draining;
+                } else {
+                    c.free_slot(slot);
+                }
+            }
+        }
+    }
+    deliver_completion(w, cid, corr, result);
+}
+
+fn deliver_completion<W: RpcWorld>(
+    w: &mut W,
+    cid: RpcClientId,
+    corr: u64,
+    result: Result<u64, RpcError>,
+) {
+    enum Target<W: ?Sized> {
+        Cq(CqId, Endpoint),
+        Handler(RpcSinkFn<W>),
+    }
+    let target = {
+        let c = &w.rpc().clients[cid.0 as usize];
+        match &c.sink {
+            RpcSink::Cq(cq) => Target::Cq(*cq, c.ep),
+            RpcSink::Handler(h) => Target::Handler(h.clone()),
+        }
+    };
+    match target {
+        Target::Cq(cq, ep) => {
+            let (len, error) = match result {
+                Ok(len) => (len, None),
+                Err(e) => (0, Some(e)),
+            };
+            w.registry_mut().cq_push(
+                cq,
+                ep,
+                TransportEvent::RpcDone {
+                    call: corr,
+                    len,
+                    error,
+                },
+            );
+        }
+        Target::Handler(h) => h(
+            w,
+            RpcCompletion {
+                client: cid,
+                call: corr,
+                result,
+            },
+        ),
+    }
+}
+
+fn on_deadline<W: RpcWorld>(w: &mut W, cid: RpcClientId, slot: u32, gen: u32) {
+    let live = {
+        let Some(c) = w.rpc().clients.get(cid.0 as usize) else {
+            return;
+        };
+        matches!(
+            c.calls.get(slot as usize),
+            Some(s) if s.gen == gen && s.state == CallState::Pending
+        )
+    };
+    if live {
+        resolve(w, cid, slot, Err(RpcError::Deadline));
+    }
+}
+
+fn on_retry<W: RpcWorld>(w: &mut W, cid: RpcClientId, slot: u32, gen: u32, seq: u32) {
+    let exhausted = {
+        let Some(c) = w.rpc().clients.get(cid.0 as usize) else {
+            return;
+        };
+        let Some(s) = c.calls.get(slot as usize) else {
+            return;
+        };
+        if s.gen != gen || s.state != CallState::Pending || s.retry_seq != seq {
+            return; // Resolved, reused, or superseded: stale timer.
+        }
+        s.attempt >= c.cfg.policy.max_attempts
+    };
+    if exhausted {
+        resolve(w, cid, slot, Err(RpcError::PeerUnreachable));
+    } else {
+        // A previous copy may still be on the wire; the idempotency key
+        // (server side) and the generation check (client side) make the
+        // duplicate harmless.
+        transmit(w, cid, slot);
+    }
+}
+
+/// The client channel's raw transport events.
+fn rpc_on_client_event<W: RpcWorld>(w: &mut W, cid: RpcClientId, ev: TransportEvent) {
+    match ev {
+        TransportEvent::SendDone { ctx } => {
+            let c = &mut w.rpc_mut().clients[cid.0 as usize];
+            if let Some(cs) = ctx_slot(ctx) {
+                if cs < c.tx_slots.len() && c.tx_slots[cs] != 0 {
+                    let slot = c.tx_slots[cs] - 1;
+                    c.tx_slots[cs] = 0;
+                    let s = &mut c.calls[slot as usize];
+                    if s.tx_ctx == Some(ctx) {
+                        s.tx_ctx = None;
+                    }
+                }
+            }
+        }
+        TransportEvent::SendFailed { ctx, error } => {
+            let slot = {
+                let c = &mut w.rpc_mut().clients[cid.0 as usize];
+                let Some(cs) = ctx_slot(ctx) else { return };
+                if cs >= c.tx_slots.len() || c.tx_slots[cs] == 0 {
+                    return;
+                }
+                let slot = c.tx_slots[cs] - 1;
+                c.tx_slots[cs] = 0;
+                let s = &mut c.calls[slot as usize];
+                if s.tx_ctx != Some(ctx) || s.state != CallState::Pending {
+                    return;
+                }
+                s.tx_ctx = None;
+                slot
+            };
+            let e = match error {
+                NetError::SendQueueFull => RpcError::Overload,
+                _ => RpcError::PeerUnreachable,
+            };
+            resolve(w, cid, slot, Err(e));
+        }
+        TransportEvent::RecvDone { tag, len, .. } => on_reply(w, cid, tag, len),
+        TransportEvent::Unexpected { .. } => {
+            // A reply with no posted receive: a duplicate of a reply we
+            // already consumed, or a straggler past resolution.
+            w.rpc_mut().clients[cid.0 as usize].stats.late_replies += 1;
+        }
+        TransportEvent::PeerDown { .. } => on_client_peer_down(w, cid),
+        _ => {}
+    }
+}
+
+fn on_reply<W: RpcWorld>(w: &mut W, cid: RpcClientId, corr: u64, recv_len: u64) {
+    let slot = corr_slot(corr);
+    let gen = corr_gen(corr);
+    let live = {
+        let c = &mut w.rpc_mut().clients[cid.0 as usize];
+        match c.calls.get(slot as usize).map(|s| (s.gen, s.state)) {
+            Some((g, CallState::Pending)) if g == gen => {
+                c.calls[slot as usize].recv_armed = false;
+                Some((c.calls[slot as usize].resp_addr, c.ep.node))
+            }
+            Some((g, CallState::Draining)) if g == gen => {
+                // The quarantined completion drained; the slot is safe
+                // to reuse now.
+                c.free_slot(slot);
+                c.stats.late_replies += 1;
+                None
+            }
+            _ => {
+                c.stats.late_replies += 1;
+                None
+            }
+        }
+    };
+    let Some((resp_addr, node)) = live else {
+        return;
+    };
+    if recv_len < RESP_HEADER_LEN as u64 {
+        resolve(w, cid, slot, Err(RpcError::VersionMismatch));
+        return;
+    }
+    let mut hdr_buf = [0u8; RESP_HEADER_LEN];
+    w.os()
+        .node(node)
+        .read_virt(Asid::KERNEL, resp_addr, &mut hdr_buf)
+        .expect("rpc reply header read");
+    let Some((hdr, plen)) = decode_response(&hdr_buf) else {
+        resolve(w, cid, slot, Err(RpcError::VersionMismatch));
+        return;
+    };
+    if hdr.version != RPC_SCHEMA_VERSION
+        || hdr.corr != corr
+        || (RESP_HEADER_LEN + plen) as u64 > recv_len
+    {
+        resolve(w, cid, slot, Err(RpcError::VersionMismatch));
+        return;
+    }
+    match hdr.status {
+        None => resolve(w, cid, slot, Ok(plen as u64)),
+        Some(RpcError::Overload) => {
+            // Shed by the server: back off and retry while budget lasts.
+            let decision = {
+                let c = &mut w.rpc_mut().clients[cid.0 as usize];
+                let pol = c.cfg.policy;
+                let s = &mut c.calls[slot as usize];
+                if s.attempt < pol.max_attempts {
+                    s.retry_seq = s.retry_seq.wrapping_add(1);
+                    let attempt = s.attempt.max(1);
+                    let seq = s.retry_seq;
+                    let d = pol.backoff(&mut c.rng, attempt);
+                    Some((seq, d))
+                } else {
+                    None
+                }
+            };
+            match decision {
+                Some((seq, d)) => emit_after(
+                    w,
+                    node.0,
+                    d,
+                    W::lift_rpc(RpcEv::Retry {
+                        client: cid.0,
+                        slot,
+                        gen,
+                        seq,
+                    }),
+                ),
+                None => resolve(w, cid, slot, Err(RpcError::Overload)),
+            }
+        }
+        Some(e) => resolve(w, cid, slot, Err(e)),
+    }
+}
+
+/// The reliability layer declared the server's node dead: every in-flight
+/// call resolves [`RpcError::PeerUnreachable`] (ascending slot order —
+/// deterministic), quarantined slots are released (the completion they
+/// awaited died with the peer; a straggler is dropped by the generation
+/// check).
+fn on_client_peer_down<W: RpcWorld>(w: &mut W, cid: RpcClientId) {
+    let pending: Vec<u32> = {
+        let c = &mut w.rpc_mut().clients[cid.0 as usize];
+        let mut pending = Vec::new();
+        for slot in 0..c.calls.len() as u32 {
+            match c.calls[slot as usize].state {
+                CallState::Pending => pending.push(slot),
+                CallState::Draining => c.free_slot(slot),
+                _ => {}
+            }
+        }
+        pending
+    };
+    for slot in pending {
+        // A handler's reaction to an earlier resolution may have touched
+        // this slot (e.g. reissued into it); re-check.
+        let still_pending = {
+            let c = &w.rpc().clients[cid.0 as usize];
+            c.calls[slot as usize].state == CallState::Pending
+        };
+        if still_pending {
+            resolve(w, cid, slot, Err(RpcError::PeerUnreachable));
+        }
+    }
+}
+
+// ------------------------------------------------------------ server driver
+
+/// Create a server on `ep`: every inbound request frame is decoded,
+/// filtered (schema version, expiry, duplicate, load) and dispatched into
+/// `service`; `on_peer_down` fires when a peer node is declared dead
+/// (failover hooks — this is how the KV store learns a primary died).
+pub fn rpc_server_create<W: RpcWorld>(
+    w: &mut W,
+    ep: Endpoint,
+    name: &str,
+    cfg: RpcServerConfig,
+    service: impl Fn(&mut W, RpcRequest, &[u8], &mut Vec<u8>) -> RpcOutcome + Send + Sync + 'static,
+    on_peer_down: impl Fn(&mut W, NodeId) + Send + Sync + 'static,
+) -> Result<RpcServerId, NetError> {
+    let ring = w.os_mut().node_mut(ep.node).kalloc(cfg.ring)?;
+    let id = RpcServerId(w.rpc().servers.len() as u32);
+    let svc: Arc<ServiceFn<W>> = Arc::new(service);
+    let pd: Arc<PeerDownFn<W>> = Arc::new(on_peer_down);
+    let ch = channel_accept_handler(w, ep, name, move |w, _via, ev| {
+        rpc_on_server_event(w, id, ev, &svc, &pd)
+    });
+    w.rpc_mut().servers.push(RpcServer {
+        id,
+        ep,
+        ch,
+        cfg,
+        ring,
+        ring_off: 0,
+        reply_slots: Vec::new(),
+        replies_in_flight: 0,
+        defers: Vec::new(),
+        defer_free: Vec::new(),
+        defers_pending: 0,
+        idem: IdemCache::new(cfg.idem_capacity),
+        stats: RpcServerStats::default(),
+    });
+    Ok(id)
+}
+
+fn rpc_on_server_event<W: RpcWorld>(
+    w: &mut W,
+    sid: RpcServerId,
+    ev: TransportEvent,
+    svc: &Arc<ServiceFn<W>>,
+    pd: &Arc<PeerDownFn<W>>,
+) {
+    match ev {
+        TransportEvent::Unexpected { data, from, .. } => handle_request(w, sid, from, &data, svc),
+        TransportEvent::SendDone { ctx } | TransportEvent::SendFailed { ctx, .. } => {
+            // A reply left (or died); either way its slot stops counting
+            // toward the overload watermark. Lost replies are repaired by
+            // the client's retry and the idempotency cache.
+            let s = &mut w.rpc_mut().servers[sid.0 as usize];
+            if let Some(cs) = ctx_slot(ctx) {
+                if cs < s.reply_slots.len() && s.reply_slots[cs] != 0 {
+                    s.reply_slots[cs] = 0;
+                    s.replies_in_flight -= 1;
+                }
+            }
+        }
+        TransportEvent::PeerDown { peer } => {
+            // Deferred replies to the dead node can never be delivered.
+            {
+                let s = &mut w.rpc_mut().servers[sid.0 as usize];
+                for slot in 0..s.defers.len() as u32 {
+                    if let DeferState::Pending { from, .. } = s.defers[slot as usize].state {
+                        if from.node == peer.node {
+                            let d = &mut s.defers[slot as usize];
+                            d.state = DeferState::Free;
+                            d.gen = d.gen.wrapping_add(1);
+                            s.defer_free.push(slot);
+                            s.defers_pending -= 1;
+                        }
+                    }
+                }
+            }
+            let pd = pd.clone();
+            pd(w, peer.node);
+        }
+        _ => {}
+    }
+}
+
+fn handle_request<W: RpcWorld>(
+    w: &mut W,
+    sid: RpcServerId,
+    from: Endpoint,
+    data: &[u8],
+    svc: &Arc<ServiceFn<W>>,
+) {
+    let t_now = now(w);
+    let Some((hdr, payload)) = decode_request(data) else {
+        // Not even a parseable request: no correlation id to answer on.
+        w.rpc_mut().servers[sid.0 as usize].stats.version_mismatches += 1;
+        return;
+    };
+    w.rpc_mut().servers[sid.0 as usize].stats.requests += 1;
+    if hdr.version != RPC_SCHEMA_VERSION {
+        w.rpc_mut().servers[sid.0 as usize].stats.version_mismatches += 1;
+        send_reply(w, sid, from, hdr.corr, Some(RpcError::VersionMismatch), &[]);
+        return;
+    }
+    if hdr.deadline_ns != NO_DEADLINE && t_now.nanos() >= hdr.deadline_ns {
+        // Expired in flight (loss, backpressure, a slow queue): the
+        // caller is already resolving Deadline — never answer the dead.
+        let layer = w.rpc_mut();
+        layer.servers[sid.0 as usize].stats.expired_dropped += 1;
+        layer.stats.expired_dropped += 1;
+        return;
+    }
+    if hdr.idem != 0 && w.rpc().servers[sid.0 as usize].idem.get(hdr.idem).is_some() {
+        // A retransmission of work already executed: answer from the
+        // reply cache, exactly-once at the application layer.
+        let layer = w.rpc_mut();
+        layer.servers[sid.0 as usize].stats.idem_hits += 1;
+        layer.stats.idem_hits += 1;
+        send_cached_reply(w, sid, from, hdr.corr, hdr.idem);
+        return;
+    }
+    let overloaded = {
+        let s = &w.rpc().servers[sid.0 as usize];
+        s.pending() >= s.cfg.max_pending
+    };
+    if overloaded {
+        w.rpc_mut().servers[sid.0 as usize].stats.overloads += 1;
+        send_reply(w, sid, from, hdr.corr, Some(RpcError::Overload), &[]);
+        return;
+    }
+    // Mint the defer token up front; the immediate-outcome paths release
+    // it right back.
+    let token = {
+        let s = &mut w.rpc_mut().servers[sid.0 as usize];
+        let slot = s.defer_free.pop().unwrap_or_else(|| {
+            s.defers.push(DeferSlot {
+                gen: 0,
+                state: DeferState::Free,
+            });
+            (s.defers.len() - 1) as u32
+        });
+        let d = &mut s.defers[slot as usize];
+        d.state = DeferState::Pending {
+            from,
+            corr: hdr.corr,
+            idem: hdr.idem,
+            deadline_ns: hdr.deadline_ns,
+        };
+        corr_of(slot, d.gen)
+    };
+    let req = RpcRequest {
+        server: sid,
+        from,
+        method: hdr.method,
+        deadline: if hdr.deadline_ns == NO_DEADLINE {
+            SimTime::NEVER
+        } else {
+            SimTime::from_nanos(hdr.deadline_ns)
+        },
+        idem: hdr.idem,
+        token,
+    };
+    let (mut resp, had_cap) = w.rpc_mut().resp_scratch.take();
+    let outcome = svc(w, req, payload, &mut resp);
+    match outcome {
+        RpcOutcome::Reply => {
+            release_defer(w, sid, token);
+            if hdr.idem != 0 {
+                w.rpc_mut().servers[sid.0 as usize]
+                    .idem
+                    .put(hdr.idem, &resp);
+            }
+            send_reply(w, sid, from, hdr.corr, None, &resp);
+        }
+        RpcOutcome::Err(e) => {
+            // Errors are not cached: a retry may succeed where this
+            // attempt failed.
+            release_defer(w, sid, token);
+            send_reply(w, sid, from, hdr.corr, Some(e), &[]);
+        }
+        RpcOutcome::Defer => {
+            let s = &mut w.rpc_mut().servers[sid.0 as usize];
+            s.stats.deferred += 1;
+            s.defers_pending += 1;
+        }
+    }
+    w.rpc_mut().resp_scratch.put(resp, had_cap);
+}
+
+fn release_defer<W: RpcWorld>(w: &mut W, sid: RpcServerId, token: u64) {
+    let s = &mut w.rpc_mut().servers[sid.0 as usize];
+    let slot = corr_slot(token);
+    let d = &mut s.defers[slot as usize];
+    debug_assert_eq!(d.gen, corr_gen(token));
+    d.state = DeferState::Free;
+    d.gen = d.gen.wrapping_add(1);
+    s.defer_free.push(slot);
+}
+
+/// Complete a deferred request. Returns `false` if the token is stale —
+/// already answered, or its peer died in the meantime (the defer slab is
+/// generation-tagged like the call slab). A deferred reply resolving past
+/// the propagated deadline is suppressed: the caller already resolved
+/// `Deadline` and is not answered late.
+pub fn rpc_server_reply<W: RpcWorld>(
+    w: &mut W,
+    sid: RpcServerId,
+    token: u64,
+    result: Result<&[u8], RpcError>,
+) -> bool {
+    let t_now = now(w);
+    let slot = corr_slot(token);
+    let (from, corr, idem, deadline_ns) = {
+        let s = &mut w.rpc_mut().servers[sid.0 as usize];
+        let Some(d) = s.defers.get_mut(slot as usize) else {
+            return false;
+        };
+        if d.gen != corr_gen(token) {
+            return false;
+        }
+        let DeferState::Pending {
+            from,
+            corr,
+            idem,
+            deadline_ns,
+        } = d.state
+        else {
+            return false;
+        };
+        d.state = DeferState::Free;
+        d.gen = d.gen.wrapping_add(1);
+        s.defer_free.push(slot);
+        s.defers_pending -= 1;
+        (from, corr, idem, deadline_ns)
+    };
+    if deadline_ns != NO_DEADLINE && t_now.nanos() >= deadline_ns {
+        let layer = w.rpc_mut();
+        layer.servers[sid.0 as usize].stats.expired_dropped += 1;
+        layer.stats.expired_dropped += 1;
+        return true;
+    }
+    match result {
+        Ok(payload) => {
+            if idem != 0 {
+                w.rpc_mut().servers[sid.0 as usize].idem.put(idem, payload);
+            }
+            send_reply(w, sid, from, corr, None, payload);
+        }
+        Err(e) => send_reply(w, sid, from, corr, Some(e), &[]),
+    }
+    true
+}
+
+fn send_reply<W: RpcWorld>(
+    w: &mut W,
+    sid: RpcServerId,
+    to: Endpoint,
+    corr: u64,
+    status: Option<RpcError>,
+    payload: &[u8],
+) {
+    let (mut frame, had_cap) = w.rpc_mut().frame_scratch.take();
+    encode_response(
+        &mut frame,
+        RespHeader {
+            version: RPC_SCHEMA_VERSION,
+            status,
+            corr,
+        },
+        payload,
+    );
+    stage_and_send(w, sid, to, corr, frame, had_cap);
+}
+
+fn send_cached_reply<W: RpcWorld>(w: &mut W, sid: RpcServerId, to: Endpoint, corr: u64, key: u64) {
+    let (mut frame, had_cap) = w.rpc_mut().frame_scratch.take();
+    {
+        let s = &w.rpc().servers[sid.0 as usize];
+        let payload = s.idem.get(key).expect("idem hit already checked");
+        encode_response(
+            &mut frame,
+            RespHeader {
+                version: RPC_SCHEMA_VERSION,
+                status: None,
+                corr,
+            },
+            payload,
+        );
+    }
+    stage_and_send(w, sid, to, corr, frame, had_cap);
+}
+
+fn stage_and_send<W: RpcWorld>(
+    w: &mut W,
+    sid: RpcServerId,
+    to: Endpoint,
+    corr: u64,
+    frame: Vec<u8>,
+    had_cap: usize,
+) {
+    let (node, ch, addr) = {
+        let s = &mut w.rpc_mut().servers[sid.0 as usize];
+        let addr = s.ring_reserve(frame.len() as u64);
+        (s.ep.node, s.ch, addr)
+    };
+    w.os_mut()
+        .node_mut(node)
+        .write_virt(Asid::KERNEL, addr, &frame)
+        .expect("rpc reply staging");
+    let len = frame.len() as u64;
+    w.rpc_mut().frame_scratch.put(frame, had_cap);
+    match channel_send_to(w, ch, to, corr, IoVec::single(MemRef::kernel(addr, len))) {
+        Ok(ctx) => {
+            let s = &mut w.rpc_mut().servers[sid.0 as usize];
+            s.stats.replies += 1;
+            if let Some(cs) = ctx_slot(ctx) {
+                if cs >= s.reply_slots.len() {
+                    s.reply_slots.resize(cs + 1, 0);
+                }
+                s.reply_slots[cs] = 1;
+                s.replies_in_flight += 1;
+            }
+        }
+        Err(_) => {
+            // The reply could not even be queued (peer declared dead,
+            // queue overflow): drop it — the client's retry machinery and
+            // the idempotency cache repair the loss.
+        }
+    }
+}
+
+// --------------------------------------------------------------- accessors
+
+/// Per-client counters.
+pub fn rpc_client_stats<W: RpcWorld>(w: &W, cid: RpcClientId) -> RpcClientStats {
+    w.rpc().clients[cid.0 as usize].stats
+}
+
+/// Per-server counters.
+pub fn rpc_server_stats<W: RpcWorld>(w: &W, sid: RpcServerId) -> RpcServerStats {
+    w.rpc().servers[sid.0 as usize].stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_is_deterministic_and_bounded() {
+        let pol = RetryPolicy::default();
+        let mut a = SplitMix64::new(7);
+        let mut b = SplitMix64::new(7);
+        for attempt in 1..=8 {
+            let x = pol.backoff(&mut a, attempt);
+            let y = pol.backoff(&mut b, attempt);
+            assert_eq!(x, y, "same seed, same jitter");
+            let cap = pol
+                .base_backoff
+                .nanos()
+                .checked_shl(attempt - 1)
+                .unwrap_or(u64::MAX)
+                .min(pol.max_backoff.nanos())
+                .max(2);
+            assert!(x.nanos() >= cap / 2 && x.nanos() < cap);
+        }
+        // Different seeds diverge (overwhelmingly likely across 8 draws).
+        let mut c = SplitMix64::new(8);
+        let mut d = SplitMix64::new(7);
+        let diverged = (1..=8u32).any(|i| pol.backoff(&mut c, i) != pol.backoff(&mut d, i));
+        assert!(diverged);
+    }
+
+    #[test]
+    fn idem_cache_overwrites_and_evicts() {
+        let mut c = IdemCache::new(2);
+        c.put(1, b"one");
+        c.put(2, b"two");
+        assert_eq!(c.get(1), Some(&b"one"[..]));
+        assert_eq!(c.get(2), Some(&b"two"[..]));
+        // Same key overwrites in place.
+        c.put(1, b"uno");
+        assert_eq!(c.get(1), Some(&b"uno"[..]));
+        // A third distinct key evicts the oldest ring slot.
+        c.put(3, b"three");
+        assert_eq!(c.get(3), Some(&b"three"[..]));
+        assert!(c.get(1).is_none() || c.get(2).is_none());
+    }
+
+    #[test]
+    fn corr_roundtrip() {
+        let corr = corr_of(17, 0xDEAD);
+        assert_eq!(corr_slot(corr), 17);
+        assert_eq!(corr_gen(corr), 0xDEAD);
+    }
+}

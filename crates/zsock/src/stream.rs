@@ -825,10 +825,11 @@ pub fn sock_on_event<W: ZsockWorld>(w: &mut W, sid: SockId, ev: TransportEvent) 
             }
         }
         TransportEvent::RecvDone { .. } | TransportEvent::Unexpected { .. } => {}
-        // Streams never join collective groups.
+        // Streams never join collective groups nor issue RPCs.
         TransportEvent::CollectiveDone { .. }
         | TransportEvent::CollectiveRecv { .. }
-        | TransportEvent::CollectiveFailed { .. } => {}
+        | TransportEvent::CollectiveFailed { .. }
+        | TransportEvent::RpcDone { .. } => {}
         TransportEvent::PeerDown { .. } => unreachable!("handled before the dispatcher charge"),
     }
 }

@@ -9,7 +9,9 @@
 //! (harness setup, comparison stacks) still box through [`ClusterEv::Call`].
 
 use knet_gm::{run_gm_ev, GmEv};
+use knet_kv::{run_kv_ev, KvEv};
 use knet_mx::{run_mx_ev, MxEv};
+use knet_rpc::{run_rpc_ev, RpcEv};
 use knet_simcore::SimEvent;
 use knet_simnic::{run_nic_ev, NicEv};
 
@@ -24,6 +26,10 @@ pub enum ClusterEv {
     Gm(GmEv),
     /// MX driver completions (sends, matched receives, unexpecteds).
     Mx(MxEv),
+    /// RPC timers: virtual-time deadlines and retry/backoff firings.
+    Rpc(RpcEv),
+    /// KV layer: paced operation reissues after failures.
+    Kv(KvEv),
     /// Boxed cold path: setup code, comparison stacks, deferred frees.
     Call(Box<dyn FnOnce(&mut ClusterWorld) + Send>),
 }
@@ -37,6 +43,8 @@ impl SimEvent<ClusterWorld> for ClusterEv {
             ClusterEv::Nic(ev) => run_nic_ev(w, ev),
             ClusterEv::Gm(ev) => run_gm_ev(w, ev),
             ClusterEv::Mx(ev) => run_mx_ev(w, ev),
+            ClusterEv::Rpc(ev) => run_rpc_ev(w, ev),
+            ClusterEv::Kv(ev) => run_kv_ev(w, ev),
             ClusterEv::Call(f) => f(w),
         }
     }

@@ -104,11 +104,22 @@ pub mod prelude {
     };
     pub use knet_core::{
         ChannelId, ConsumerId, CqEntry, CqId, DispatchWorld, Endpoint, IoVec, MemRef, NetError,
-        TransportEvent, TransportKind,
+        RpcError, TransportEvent, TransportKind,
     };
     pub use knet_gm::{GmParams, GmPortConfig};
+    pub use knet_kv::{
+        kv_add_shards, kv_check, kv_client_create, kv_fingerprint, kv_get, kv_pair, kv_put,
+        kv_replica_create, kv_report_dead, KvClientId, KvConfig, KvOutcome, KvReplicaId, KvResult,
+        KvWorld,
+    };
     pub use knet_mx::{MxEndpointConfig, MxOpts, MxParams};
     pub use knet_orfs::{ClientKind, VfsConfig};
+    pub use knet_rpc::{
+        rpc_call, rpc_cancel, rpc_client_create, rpc_client_stats, rpc_collect, rpc_server_create,
+        rpc_server_reply, rpc_server_stats, RetryPolicy, RpcCall, RpcCallOpts, RpcClientConfig,
+        RpcClientId, RpcCompletion, RpcOutcome, RpcRequest, RpcServerConfig, RpcServerId, RpcSink,
+        RpcWorld,
+    };
     pub use knet_simcore::{now, run_to_quiescence, run_until, RunOutcome, SimTime};
     pub use knet_simnic::{CollOp, NicModel, ReduceOp};
     pub use knet_simos::{Asid, CpuModel, NodeId, PAGE_SIZE};

@@ -28,12 +28,14 @@ use knet_gm::{
     gm_ensure_cached, gm_next_event, gm_on_packet, gm_on_vma_event, gm_open_port,
     gm_provide_receive_buffer, gm_send, GmEv, GmEvent, GmLayer, GmPortConfig, GmPortId, GmWorld,
 };
+use knet_kv::{KvEv, KvLayer, KvWorld};
 use knet_mx::{
     mx_irecv, mx_isend, mx_next_event, mx_on_packet, mx_open_endpoint, MxEndpointConfig,
     MxEndpointId, MxEv, MxEvent, MxLayer, MxWorld,
 };
 use knet_nbd::{NbdLayer, NbdWorld};
 use knet_orfs::{OrfsLayer, OrfsWorld};
+use knet_rpc::{RpcEv, RpcLayer, RpcWorld};
 use knet_simcore::{Scheduler, SimWorld};
 
 use crate::event::ClusterEv;
@@ -54,6 +56,10 @@ pub struct ClusterWorld {
     pub nbd: NbdLayer,
     /// Collective groups (rosters, round counters, completion contexts).
     pub coll: CollLayer,
+    /// Typed RPC over channels: call slabs, servers, deadline/retry state.
+    pub rpc: RpcLayer<ClusterWorld>,
+    /// Replicated KV store (the RPC layer's proof-of-API consumer).
+    pub kv: KvLayer,
     /// Endpoint → consumer dispatch, completion queues, channels.
     pub registry: Registry<ClusterWorld>,
 }
@@ -78,6 +84,8 @@ impl ClusterWorld {
             tcp,
             nbd: NbdLayer::new(),
             coll: CollLayer::default(),
+            rpc: RpcLayer::new(),
+            kv: KvLayer::new(),
             registry: Registry::new(),
         }
     }
@@ -199,6 +207,13 @@ impl ClusterWorld {
         let nic_coll = self.nics.coll.stats;
         st.coll_frames = nic_coll.frames;
         st.coll_combines = nic_coll.combines;
+        let rpc = self.rpc.stats;
+        st.rpc_calls = rpc.calls;
+        st.rpc_completed = rpc.completed;
+        st.rpc_failed = rpc.failed;
+        st.rpc_retries = rpc.retries;
+        st.rpc_expired_dropped = rpc.expired_dropped;
+        st.rpc_idem_hits = rpc.idem_hits;
         let eng = self.sched.engine_stats();
         st.engine_events = eng.executed;
         st.engine_epochs = eng.epochs;
@@ -350,6 +365,30 @@ impl CollWorld for ClusterWorld {
             TransportKind::Mx => Proto::Mx,
         };
         self.nics.coll.purge_group(proto, group);
+    }
+}
+
+impl RpcWorld for ClusterWorld {
+    fn rpc(&self) -> &RpcLayer<Self> {
+        &self.rpc
+    }
+    fn rpc_mut(&mut self) -> &mut RpcLayer<Self> {
+        &mut self.rpc
+    }
+    fn lift_rpc(ev: RpcEv) -> ClusterEv {
+        ClusterEv::Rpc(ev)
+    }
+}
+
+impl KvWorld for ClusterWorld {
+    fn kv(&self) -> &KvLayer {
+        &self.kv
+    }
+    fn kv_mut(&mut self) -> &mut KvLayer {
+        &mut self.kv
+    }
+    fn lift_kv(ev: KvEv) -> ClusterEv {
+        ClusterEv::Kv(ev)
     }
 }
 

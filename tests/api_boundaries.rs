@@ -22,6 +22,8 @@ const FORBIDDEN: &[&str] = &[
     "crates/simfs",
     "crates/orfs",
     "crates/nbd",
+    "crates/rpc",
+    "crates/kv",
 ];
 
 /// Directories that must not touch the raw reliability packet fields
@@ -45,6 +47,8 @@ const REL_FORBIDDEN: &[&str] = &[
     "crates/nbd",
     "crates/simos",
     "crates/simcore",
+    "crates/rpc",
+    "crates/kv",
 ];
 
 fn scan(dir: &Path, patterns: &[String], offenders: &mut Vec<String>) {
@@ -183,6 +187,33 @@ fn boxed_event_scheduling_stays_inside_the_engine() {
         offenders.is_empty(),
         "the boxed-event fallback type leaked into the composed cluster \
          paths (ClusterEv's typed variants are the steady-state contract):\n{}",
+        offenders.join("\n")
+    );
+}
+
+/// The replicated KV store is the tentpole *proof* of the typed RPC layer:
+/// every byte it moves must ride `rpc_call` / `rpc_server_reply`, so that
+/// deadlines, retry budgets, idempotency keys and typed errors apply to
+/// all of its traffic. A raw channel call in `crates/kv` would be a
+/// side-channel around every one of those guarantees. (`crates/rpc` is the
+/// one consumer of the channel API here — the KV store sits strictly above
+/// it. CI runs the same check as a grep step.)
+#[test]
+fn kv_store_speaks_typed_rpc_only() {
+    let patterns = vec![
+        format!("channel_{}(", "send"),
+        format!("channel_{}(", "post_recv"),
+        format!("channel_{}(", "connect"),
+        format!("channel_{}(", "accept"),
+        format!(".t_{}(", "send"),
+        format!(".t_{}(", "post_recv"),
+    ];
+    let offenders = offenders_for(&["crates/kv"], &patterns);
+    assert!(
+        offenders.is_empty(),
+        "the KV store bypassed the typed RPC layer (use rpc_call / \
+         rpc_server_reply — deadlines, retries and cancellation live \
+         there):\n{}",
         offenders.join("\n")
     );
 }

@@ -750,6 +750,137 @@ fn cancel_recv_contract_is_identical_on_gm_and_mx() {
 }
 
 #[test]
+fn channel_cancel_wins_exactly_the_unobserved_races() {
+    // The API-seam rule `channel_cancel_recv` documents: cancel wins every
+    // race the consumer has not yet *observed* — including a completion
+    // already delivered to the channel's CQ but not yet popped — and loses
+    // deterministically otherwise. RPC cancellation sits directly on this:
+    // `true` frees the call slot immediately, `false` parks it to drain.
+    for kind in [TransportKind::Mx, TransportKind::Gm] {
+        let (mut w, n0, n1) = two_nodes();
+        let (ch_a, ch_b, _cq_a, _cq_b, _ea, eb) = channel_pair(&mut w, kind, n0, n1);
+        let ka = kbuf(&mut w, n0, 4096);
+        let kb = kbuf(&mut w, n1, 4096);
+
+        // 1. Nothing posted under the tag: cancel lost.
+        assert!(
+            !api::channel_cancel_recv(&mut w, ch_b, 5),
+            "{kind:?}: no such receive"
+        );
+
+        // 2. Still pending in the driver: cancel wins; the message then
+        //    surfaces `Unexpected` — the consumer never sees a RecvDone.
+        api::channel_post_recv(&mut w, ch_b, 5, kb.iov(4096)).unwrap();
+        assert!(
+            api::channel_cancel_recv(&mut w, ch_b, 5),
+            "{kind:?}: pending receive withdrawn"
+        );
+        write_kernel(&mut w, n0, ka.addr, b"orphan");
+        channel_send(&mut w, ch_a, 5, ka.iov(6)).unwrap();
+        knet_simcore::run_to_quiescence(&mut w);
+        let mut unexpected = false;
+        while let Some(ev) = w.take_event(eb) {
+            match ev {
+                TransportEvent::RecvDone { tag: 5, .. } => {
+                    panic!("{kind:?}: cancelled receive completed")
+                }
+                TransportEvent::Unexpected { tag: 5, .. } => unexpected = true,
+                _ => {}
+            }
+        }
+        assert!(unexpected, "{kind:?}: message surfaces unexpectedly");
+
+        // 3. THE RACE THE RULE EXISTS FOR: the completion is already
+        //    *queued* on the channel's CQ when cancel lands, but nothing
+        //    popped it yet. Cancel must win — the queued entry is dropped
+        //    (counted), and no RecvDone is ever observed for the tag.
+        api::channel_post_recv(&mut w, ch_b, 6, kb.iov(4096)).unwrap();
+        write_kernel(&mut w, n0, ka.addr, b"already landed");
+        channel_send(&mut w, ch_a, 6, ka.iov(14)).unwrap();
+        knet_simcore::run_to_quiescence(&mut w);
+        let before = w.registry.stats.cancelled_completions;
+        assert!(
+            api::channel_cancel_recv(&mut w, ch_b, 6),
+            "{kind:?}: cancel wins the delivered-but-unobserved race"
+        );
+        assert_eq!(
+            w.registry.stats.cancelled_completions,
+            before + 1,
+            "{kind:?}: dropped entry is accounted"
+        );
+        while let Some(ev) = w.take_event(eb) {
+            assert!(
+                !matches!(ev, TransportEvent::RecvDone { tag: 6, .. }),
+                "{kind:?}: dropped completion resurfaced"
+            );
+        }
+        // …and cancelling again finds nothing.
+        assert!(!api::channel_cancel_recv(&mut w, ch_b, 6), "{kind:?}");
+
+        // 4. Already observed: cancel lost, deterministically.
+        api::channel_post_recv(&mut w, ch_b, 7, kb.iov(4096)).unwrap();
+        write_kernel(&mut w, n0, ka.addr, b"popped");
+        channel_send(&mut w, ch_a, 7, ka.iov(6)).unwrap();
+        knet_simcore::run_to_quiescence(&mut w);
+        let mut observed = false;
+        while let Some(ev) = w.take_event(eb) {
+            if matches!(ev, TransportEvent::RecvDone { tag: 7, .. }) {
+                observed = true;
+            }
+        }
+        assert!(observed, "{kind:?}");
+        assert!(
+            !api::channel_cancel_recv(&mut w, ch_b, 7),
+            "{kind:?}: observed completion is not cancellable"
+        );
+    }
+}
+
+#[test]
+fn channel_cancel_loses_to_a_matched_in_flight_rendezvous() {
+    // Third arm of the rule: once the driver matched the receive (MX
+    // rendezvous accepted, DMA in progress) its RecvDone is irrevocably on
+    // its way — cancel must return `false` and the completion must still
+    // arrive, exactly once.
+    let (mut w, n0, n1) = two_nodes();
+    let (ch_a, ch_b, _cq_a, _cq_b, _ea, eb) = channel_pair(&mut w, TransportKind::Mx, n0, n1);
+    const LEN: u64 = 256 * 1024; // > 32 kB ⇒ rendezvous protocol
+    let ka = kbuf(&mut w, n0, LEN);
+    let kb = kbuf(&mut w, n1, LEN);
+    api::channel_post_recv(&mut w, ch_b, 9, kb.iov(LEN)).unwrap();
+    channel_send(&mut w, ch_a, 9, ka.iov(LEN)).unwrap();
+    // Run exactly until the rendezvous matches (the posted descriptor
+    // leaves the queue) — the transfer is now in flight, not complete.
+    let mx_id = knet_mx::MxEndpointId(eb.idx);
+    let outcome = run_until(&mut w, |w| {
+        w.mx.ep(mx_id)
+            .map(|e| e.posted_recvs() == 0)
+            .unwrap_or(false)
+    });
+    assert_eq!(outcome, RunOutcome::Satisfied, "rendezvous must match");
+    assert!(
+        !w.registry.has_event(eb),
+        "completion must not have been delivered yet — the race window"
+    );
+    assert!(
+        !api::channel_cancel_recv(&mut w, ch_b, 9),
+        "matched in-flight: cancel loses"
+    );
+    knet_simcore::run_to_quiescence(&mut w);
+    let mut recv_dones = 0;
+    while let Some(ev) = w.take_event(eb) {
+        if let TransportEvent::RecvDone { tag: 9, len, .. } = ev {
+            recv_dones += 1;
+            assert_eq!(len, LEN);
+        }
+    }
+    assert_eq!(
+        recv_dones, 1,
+        "the in-flight completion arrives exactly once"
+    );
+}
+
+#[test]
 fn cancelled_mx_receive_releases_its_pins() {
     // MX pins user pages when arming a receive; withdrawal must unpin.
     let (mut w, n0, _n1) = two_nodes();

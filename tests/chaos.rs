@@ -57,6 +57,17 @@ fn endpoints(
     }
 }
 
+/// Hard gate on every scenario: an engine error (event on a freed slot,
+/// pool double-release, handler panic absorbed by the engine) is a
+/// simulator bug that fault injection must never be allowed to mask.
+fn assert_no_engine_errors(w: &ClusterWorld) {
+    let st = w.stats_snapshot();
+    assert_eq!(
+        st.engine_errors, 0,
+        "engine errors under chaos are a hard fail"
+    );
+}
+
 fn fill_user(w: &mut ClusterWorld, buf: &UBuf, data: &[u8]) {
     w.os.node_mut(buf.node)
         .write_virt(buf.asid, buf.addr, data)
@@ -115,6 +126,7 @@ fn zsock_scenario(kind: TransportKind, fault: FaultPlan) -> u64 {
         st.ctx_pool_slots
     );
     assert!(st.ctx_pool_reuses > 0, "{kind:?}: pool recycles");
+    assert_no_engine_errors(&w);
     w.sched.executed()
 }
 
@@ -170,6 +182,7 @@ fn orfs_scenario(kind: TransportKind, fault: FaultPlan) {
         "{kind:?} write-back reached the server"
     );
     run_to_quiescence(&mut fx.w);
+    assert_no_engine_errors(&fx.w);
 }
 
 fn nbd_wait(w: &mut ClusterWorld, cid: knet_nbd::NbdClientId, op: NbdOp) -> knet_nbd::NbdResult {
@@ -228,6 +241,7 @@ fn nbd_scenario(fault: FaultPlan) {
         "raw read bytes"
     );
     run_to_quiescence(&mut w);
+    assert_no_engine_errors(&w);
 }
 
 proptest! {
@@ -376,6 +390,7 @@ fn killing_the_server_fails_all_ops_typed() {
             "{kind:?}: fail-fast after death"
         );
         run_to_quiescence(&mut fx.w);
+        assert_no_engine_errors(&fx.w);
     }
 }
 
@@ -422,6 +437,7 @@ fn killing_the_peer_poisons_sockets() {
         Err(NetError::PeerUnreachable)
     );
     run_to_quiescence(&mut w);
+    assert_no_engine_errors(&w);
     let _ = sb;
 }
 
@@ -538,6 +554,7 @@ fn orfs_server_kill_spares_surviving_traffic() {
         st.ctx_pool_slots
     );
     assert!(st.rel_rtt_samples > 0, "surviving links kept sampling RTT");
+    assert_no_engine_errors(&w);
 }
 
 /// NBD failover: the same shape over the block layer — kill one of two
@@ -604,6 +621,7 @@ fn nbd_server_kill_spares_surviving_traffic() {
         "ctx slots bounded after failover: {}",
         st.ctx_pool_slots
     );
+    assert_no_engine_errors(&w);
 }
 
 // ------------------------------------------------------------- collectives
@@ -716,6 +734,7 @@ fn coll_scenario(kind: TransportKind, fault: FaultPlan, n: usize, fanout: usize)
         TransportKind::Gm => Proto::Gm,
         TransportKind::Mx => Proto::Mx,
     };
+    assert_no_engine_errors(&w);
     (
         w.sched.executed(),
         w.nics.coll.tree_fingerprint(proto, group.0),

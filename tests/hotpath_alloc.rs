@@ -357,6 +357,206 @@ fn channel_send_path_recycles_pools_in_steady_state() {
     assert_eq!(snap.rel_srtt_ns, rel1.srtt_ns);
 }
 
+// ---------------------------------------------------------------- rpc
+
+/// The RPC codec's warm path is *strictly* allocation-free: requests and
+/// responses encode into a recycled scratch buffer, and decoding borrows
+/// payload slices out of the frame — no copies, no boxes, nothing.
+#[test]
+fn rpc_codec_warm_encode_decode_allocates_nothing() {
+    use knet_rpc::codec::{
+        decode_request, decode_response, encode_request, encode_response, ReqHeader, RespHeader,
+        NO_DEADLINE, RESP_HEADER_LEN, RPC_SCHEMA_VERSION,
+    };
+    let mut frame = Vec::new();
+    let payload = [7u8; 512];
+    // Warm: one encode of the largest frame grows the scratch to capacity.
+    encode_request(
+        &mut frame,
+        ReqHeader {
+            version: RPC_SCHEMA_VERSION,
+            method: 1,
+            corr: 1,
+            deadline_ns: NO_DEADLINE,
+            idem: 1,
+        },
+        &payload,
+    );
+    let (allocs, checksum) = count(|| {
+        let mut sum = 0u64;
+        for i in 0..10_000u64 {
+            encode_request(
+                &mut frame,
+                ReqHeader {
+                    version: RPC_SCHEMA_VERSION,
+                    method: (i % 7) as u16,
+                    corr: (i << 32) | i,
+                    deadline_ns: 1_000_000 + i,
+                    idem: i,
+                },
+                &payload,
+            );
+            let (hdr, p) = decode_request(&frame).expect("decodes");
+            sum += hdr.corr ^ p[0] as u64;
+            encode_response(
+                &mut frame,
+                RespHeader {
+                    version: RPC_SCHEMA_VERSION,
+                    status: None,
+                    corr: hdr.corr,
+                },
+                &payload[..64],
+            );
+            let (rh, len) = decode_response(&frame).expect("decodes");
+            sum += rh.corr + len as u64 + frame[RESP_HEADER_LEN] as u64;
+        }
+        sum
+    });
+    assert!(checksum > 0);
+    assert_eq!(allocs, 0, "warm codec encode/decode must not allocate");
+}
+
+/// Warm RPC round-trips and warm *retries* hold the layer to the same
+/// contract as the raw channel path: call slots are pooled (the slab stops
+/// minting), the codec scratch is recycled (`grows` flat while `uses`
+/// climbs), and the channel context pool underneath stays at its
+/// high-water mark. A steady-state RPC costs no new buffers anywhere —
+/// only the per-packet payload `Bytes` the driver already accounts.
+#[test]
+fn rpc_round_trips_and_retries_recycle_pools_in_steady_state() {
+    use knet::prelude::*;
+    use std::sync::Arc;
+
+    let mut w = ClusterBuilder::new()
+        .nodes(2, CpuModel::xeon_2600())
+        .build();
+    let (n0, n1) = (NodeId(0), NodeId(1));
+    let sep = w.open_mx(n1, MxEndpointConfig::kernel()).unwrap();
+    let cep = w.open_mx(n0, MxEndpointConfig::kernel()).unwrap();
+    rpc_server_create(
+        &mut w,
+        sep,
+        "echo",
+        RpcServerConfig::default(),
+        |_w, _req, payload, resp| {
+            resp.extend_from_slice(payload);
+            RpcOutcome::Reply
+        },
+        |_w, _node| {},
+    )
+    .unwrap();
+    let cid = rpc_client_create(
+        &mut w,
+        cep,
+        sep,
+        "cli",
+        RpcSink::Handler(Arc::new(|_w, _comp| {})),
+        RpcClientConfig::default(),
+    )
+    .unwrap();
+
+    let mut out = Vec::new();
+    let mut round = |w: &mut knet::world::ClusterWorld, i: u64| {
+        let call = rpc_call(w, cid, 3, b"steady-state payload", RpcCallOpts::default()).unwrap();
+        knet_simcore::run_to_quiescence(w);
+        assert_eq!(
+            rpc_collect(w, cid, call, &mut out),
+            Some(20),
+            "round {i} echoes"
+        );
+    };
+
+    // Warm-up: every pool reaches its high-water mark.
+    for i in 1..=16u64 {
+        round(&mut w, i);
+    }
+    let (uses0, grows0) = w.rpc.scratch_stats();
+    let pool0 = w.registry.stats;
+
+    for i in 17..=116u64 {
+        round(&mut w, i);
+    }
+    let (uses1, grows1) = w.rpc.scratch_stats();
+    let pool1 = w.registry.stats;
+
+    assert!(
+        uses1 >= uses0 + 200,
+        "every round-trip borrows codec scratch on both sides"
+    );
+    assert_eq!(grows1, grows0, "steady state must not grow the RPC scratch");
+    assert_eq!(
+        pool1.ctx_pool_slots, pool0.ctx_pool_slots,
+        "steady-state RPC must not mint channel context slots"
+    );
+    assert!(
+        pool1.ctx_pool_reuses >= pool0.ctx_pool_reuses + 100,
+        "RPC sends recycle pooled contexts"
+    );
+    let cs = rpc_client_stats(&w, cid);
+    assert_eq!(cs.completed, 116);
+    assert_eq!(cs.retries, 0, "a healthy echo pair never retries");
+
+    // The *retry* path rides the same pools: a black-hole server forces
+    // attempt-timer resends until the budget exhausts (typed
+    // `PeerUnreachable`), and none of it may grow a buffer either.
+    let bep = w.open_mx(n1, MxEndpointConfig::kernel()).unwrap();
+    rpc_server_create(
+        &mut w,
+        bep,
+        "blackhole",
+        RpcServerConfig::default(),
+        |_w, _req, _payload, _resp| RpcOutcome::Defer,
+        |_w, _node| {},
+    )
+    .unwrap();
+    let cep2 = w.open_mx(n0, MxEndpointConfig::kernel()).unwrap();
+    let rcid = rpc_client_create(
+        &mut w,
+        cep2,
+        bep,
+        "retrier",
+        RpcSink::Handler(Arc::new(|_w, _comp| {})),
+        RpcClientConfig {
+            policy: RetryPolicy {
+                max_attempts: 3,
+                attempt_timeout: SimTime::from_micros(300),
+                base_backoff: SimTime::from_micros(50),
+                max_backoff: SimTime::from_micros(200),
+            },
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let failed_round = |w: &mut knet::world::ClusterWorld| {
+        rpc_call(
+            w,
+            rcid,
+            9,
+            b"shouting into the void",
+            RpcCallOpts::default(),
+        )
+        .unwrap();
+        knet_simcore::run_to_quiescence(w);
+    };
+    // Warm the retry machinery once (timer events, resend path).
+    failed_round(&mut w);
+    let (_, rgrows0) = w.rpc.scratch_stats();
+    let rpool0 = w.registry.stats.ctx_pool_slots;
+    for _ in 0..24 {
+        failed_round(&mut w);
+    }
+    let (_, rgrows1) = w.rpc.scratch_stats();
+    let rs = rpc_client_stats(&w, rcid);
+    assert_eq!(rs.failed, 25, "every voided call fails typed");
+    assert_eq!(rs.retries, 50, "two resends per call (budget of three)");
+    assert_eq!(rgrows1, rgrows0, "warm retries must not grow the scratch");
+    assert_eq!(
+        w.registry.stats.ctx_pool_slots, rpool0,
+        "warm retries must not mint context slots"
+    );
+    assert_eq!(w.stats_snapshot().engine_errors, 0);
+}
+
 // ---------------------------------------------------------------- collectives
 
 /// The in-NIC reduce combiner works lane-wise in place on the recycled

@@ -124,6 +124,14 @@ fn run_tracking_window(w: &mut RelWorld, a: NicId, b: NicId) -> usize {
 
 /// Exactly-once, byte-exact delivery against the reference model.
 fn assert_delivery(w: &RelWorld, s: u64, n: u64) {
+    // Hard gate: a typed engine error anywhere in the run means the
+    // equivalence evidence is void, whatever the delivery record says.
+    assert_eq!(
+        w.sched.engine_error(),
+        None,
+        "engine errors are a hard fail"
+    );
+    assert_eq!(w.sched.engine_stats().errors, 0);
     let mut got: Vec<_> = w.delivered.clone();
     got.sort_by_key(|(idx, _)| *idx);
     assert_eq!(got.len() as u64, n, "every packet delivered, none twice");
@@ -279,4 +287,9 @@ fn budget_exhaustion_kills_only_the_dead_link() {
     assert_eq!(w.nics.rel.buffered_total(), 0, "all rings torn down");
     let healthy: Vec<_> = w.delivered.iter().filter(|(i, _)| *i >= 1000).collect();
     assert_eq!(healthy.len(), 10, "healthy pair unaffected");
+    assert_eq!(
+        w.sched.engine_error(),
+        None,
+        "engine errors are a hard fail"
+    );
 }

@@ -1,0 +1,383 @@
+//! RPC deadline semantics at the edges, plus the base round-trip contract.
+//!
+//! Deadlines are *absolute virtual-time* points carried on the wire. The
+//! edges pinned here:
+//!
+//! * already expired at submit → typed `Deadline` through the normal
+//!   completion path, zero wire traffic;
+//! * expiring while the send sits in the channel's backpressure queue →
+//!   the queued send is withdrawn (`channel_abort_queued_send`), the call
+//!   resolves `Deadline`, nothing leaks;
+//! * deadline racing the retry/backoff schedule → whichever fires first
+//!   resolves the call exactly once, typed;
+//! * a proptest over randomized virtual-time schedules (deadlines, loss,
+//!   payload sizes): every call resolves exactly once, engine error
+//!   counter stays zero.
+
+use std::sync::{Arc, Mutex};
+
+use knet::prelude::*;
+use knet_simnic::FaultPlan;
+use proptest::prelude::*;
+
+/// (call, result, resolution virtual time in ns). Quiescence keeps
+/// draining stale timers after the last resolution, so assertions about
+/// *when* a call resolved must use the recorded stamp, not final `now()`.
+type Done = Arc<Mutex<Vec<(RpcCall, Result<u64, RpcError>, u64)>>>;
+
+fn sink_into(done: &Done) -> RpcSink<ClusterWorld> {
+    let d = done.clone();
+    RpcSink::Handler(Arc::new(
+        move |w: &mut ClusterWorld, comp: RpcCompletion| {
+            let t = now(w).nanos();
+            d.lock().unwrap().push((comp.call, comp.result, t));
+        },
+    ))
+}
+
+/// Echo server on `n1`, client on `n0`.
+fn echo_pair(
+    w: &mut ClusterWorld,
+    n0: NodeId,
+    n1: NodeId,
+    ccfg: RpcClientConfig,
+    done: &Done,
+) -> (RpcClientId, RpcServerId) {
+    let sep = w.open_mx(n1, MxEndpointConfig::kernel()).unwrap();
+    let cep = w.open_mx(n0, MxEndpointConfig::kernel()).unwrap();
+    let sid = rpc_server_create(
+        w,
+        sep,
+        "echo",
+        RpcServerConfig::default(),
+        |_w, _req, payload, resp| {
+            resp.extend_from_slice(payload);
+            RpcOutcome::Reply
+        },
+        |_w, _node| {},
+    )
+    .unwrap();
+    let cid = rpc_client_create(w, cep, sep, "cli", sink_into(done), ccfg).unwrap();
+    (cid, sid)
+}
+
+/// A server that accepts requests and never answers them (defers and
+/// leaks the token) — the client's timers are the only way out.
+fn black_hole(w: &mut ClusterWorld, n1: NodeId) -> Endpoint {
+    let sep = w.open_mx(n1, MxEndpointConfig::kernel()).unwrap();
+    rpc_server_create(
+        w,
+        sep,
+        "blackhole",
+        RpcServerConfig::default(),
+        |_w, _req, _payload, _resp| RpcOutcome::Defer,
+        |_w, _node| {},
+    )
+    .unwrap();
+    sep
+}
+
+#[test]
+fn echo_roundtrip_completes_and_collects() {
+    let (mut w, n0, n1) = knet::build::two_nodes();
+    let done: Done = Default::default();
+    let (cid, sid) = echo_pair(&mut w, n0, n1, RpcClientConfig::default(), &done);
+
+    let call = rpc_call(&mut w, cid, 7, b"hello rpc", RpcCallOpts::default()).unwrap();
+    run_to_quiescence(&mut w);
+
+    let d = done.lock().unwrap().clone();
+    assert_eq!(d.len(), 1, "exactly one completion");
+    assert_eq!(d[0].0, call);
+    assert_eq!(d[0].1, Ok(9));
+    assert!(d[0].2 > 0, "resolution strictly after submit");
+
+    let mut out = Vec::new();
+    assert_eq!(rpc_collect(&mut w, cid, call, &mut out), Some(9));
+    assert_eq!(&out, b"hello rpc");
+    // Collect frees the slot: a second collect misses.
+    assert_eq!(rpc_collect(&mut w, cid, call, &mut out), None);
+
+    assert_eq!(rpc_server_stats(&w, sid).requests, 1);
+    assert_eq!(rpc_client_stats(&w, cid).completed, 1);
+    assert_eq!(w.stats_snapshot().rpc_completed, 1);
+    assert_eq!(w.stats_snapshot().engine_errors, 0);
+}
+
+#[test]
+fn expired_at_submit_resolves_typed_without_wire_traffic() {
+    let (mut w, n0, n1) = knet::build::two_nodes();
+    // Move virtual time forward so a deadline strictly in the past exists.
+    knet_simcore::emit_after(
+        &mut w,
+        n0.0,
+        SimTime::from_millis(5),
+        ClusterEv_call(|_| {}),
+    );
+    run_to_quiescence(&mut w);
+
+    let done: Done = Default::default();
+    let (cid, sid) = echo_pair(&mut w, n0, n1, RpcClientConfig::default(), &done);
+
+    let opts = RpcCallOpts {
+        deadline: Some(SimTime::from_millis(1)), // long past
+        ..Default::default()
+    };
+    let call = rpc_call(&mut w, cid, 1, b"dead on arrival", opts).unwrap();
+    run_to_quiescence(&mut w);
+
+    let d = done.lock().unwrap().clone();
+    assert_eq!(d.len(), 1);
+    assert_eq!((d[0].0, d[0].1), (call, Err(RpcError::Deadline)));
+    // The wire never saw it: the server never got a request, and the
+    // client never transmitted (no retries either).
+    assert_eq!(rpc_server_stats(&w, sid).requests, 0);
+    let cs = rpc_client_stats(&w, cid);
+    assert_eq!(cs.expired_at_submit, 1);
+    assert_eq!(cs.retries, 0);
+    assert_eq!(cs.deadline_failures, 1);
+    // The slot is free again: the window is not leaked.
+    assert_eq!(w.rpc.clients[cid.0 as usize].outstanding(), 0);
+}
+
+/// Boxed cold-path event helper (test-only; keeps the imports small).
+#[allow(non_snake_case)]
+fn ClusterEv_call(f: impl FnOnce(&mut ClusterWorld) + Send + 'static) -> knet::ClusterEv {
+    knet::ClusterEv::Call(Box::new(f))
+}
+
+#[test]
+fn deadline_expiring_in_send_backpressure_queue_aborts_the_queued_send() {
+    // GM is the transport with a bounded send-token pool; one token
+    // serializes the wire, so a burst parks in the channel's
+    // backpressure queue where the deadline can catch it.
+    let mut w = ClusterBuilder::new()
+        .gm_params(GmParams {
+            send_tokens: 1,
+            ..Default::default()
+        })
+        .build();
+    let (n0, n1) = (NodeId(0), NodeId(1));
+    let done: Done = Default::default();
+
+    let gm_cfg = GmPortConfig::kernel()
+        .with_physical_api()
+        .with_regcache(4096);
+    let sep = w.open_gm(n1, gm_cfg.clone()).unwrap();
+    let cep = w.open_gm(n0, gm_cfg).unwrap();
+    rpc_server_create(
+        &mut w,
+        sep,
+        "echo",
+        RpcServerConfig::default(),
+        |_w, _req, payload, resp| {
+            resp.extend_from_slice(payload);
+            RpcOutcome::Reply
+        },
+        |_w, _node| {},
+    )
+    .unwrap();
+    let ccfg = RpcClientConfig {
+        window: 256,
+        req_cap: 8192,
+        ..Default::default()
+    };
+    let cid = rpc_client_create(&mut w, cep, sep, "cli", sink_into(&done), ccfg).unwrap();
+
+    // The deadline is far shorter than the time the serialized queue
+    // needs to drain 64 × 4 kB.
+    let opts = RpcCallOpts {
+        deadline: Some(SimTime::from_micros(120)),
+        ..Default::default()
+    };
+    let mut calls = Vec::new();
+    for i in 0..64u64 {
+        let payload = vec![i as u8; 4096];
+        calls.push(rpc_call(&mut w, cid, 2, &payload, opts).unwrap());
+    }
+    run_to_quiescence(&mut w);
+
+    let d = done.lock().unwrap().clone();
+    assert_eq!(d.len(), calls.len(), "every call resolves exactly once");
+    let deadline_failures = d
+        .iter()
+        .filter(|(_, r, _)| *r == Err(RpcError::Deadline))
+        .count();
+    assert!(
+        deadline_failures > 0,
+        "some calls must die in the backpressure queue"
+    );
+    let st = w.stats_snapshot();
+    assert!(
+        st.aborted_queued_sends > 0,
+        "expired queued sends must be withdrawn, not left to transmit: {:?}",
+        st
+    );
+    assert_eq!(st.engine_errors, 0);
+    assert_eq!(w.rpc.clients[cid.0 as usize].outstanding(), 0);
+}
+
+#[test]
+fn deadline_beats_slower_retry_schedule() {
+    let (mut w, n0, n1) = knet::build::two_nodes();
+    let done: Done = Default::default();
+    let sep = black_hole(&mut w, n1);
+    let cep = w.open_mx(n0, MxEndpointConfig::kernel()).unwrap();
+    // Attempt timer 2 ms; deadline 500 µs — the deadline must fire first.
+    let cid = rpc_client_create(
+        &mut w,
+        cep,
+        sep,
+        "cli",
+        sink_into(&done),
+        RpcClientConfig::default(),
+    )
+    .unwrap();
+    let opts = RpcCallOpts {
+        deadline: Some(SimTime::from_micros(500)),
+        ..Default::default()
+    };
+    let call = rpc_call(&mut w, cid, 3, b"x", opts).unwrap();
+    run_to_quiescence(&mut w);
+
+    let d = done.lock().unwrap().clone();
+    assert_eq!(d.len(), 1);
+    assert_eq!((d[0].0, d[0].1), (call, Err(RpcError::Deadline)));
+    let cs = rpc_client_stats(&w, cid);
+    assert_eq!(cs.retries, 0, "no retransmission before a 2 ms timer");
+    assert_eq!(d[0].2, 500_000, "resolution exactly at the deadline");
+}
+
+#[test]
+fn retry_budget_beats_slower_deadline() {
+    let (mut w, n0, n1) = knet::build::two_nodes();
+    let done: Done = Default::default();
+    let sep = black_hole(&mut w, n1);
+    let cep = w.open_mx(n0, MxEndpointConfig::kernel()).unwrap();
+    let ccfg = RpcClientConfig {
+        policy: RetryPolicy {
+            max_attempts: 2,
+            attempt_timeout: SimTime::from_micros(300),
+            base_backoff: SimTime::from_micros(50),
+            max_backoff: SimTime::from_micros(100),
+        },
+        ..Default::default()
+    };
+    let cid = rpc_client_create(&mut w, cep, sep, "cli", sink_into(&done), ccfg).unwrap();
+    // Deadline far beyond what two 300 µs attempts need.
+    let opts = RpcCallOpts {
+        deadline: Some(SimTime::from_millis(50)),
+        ..Default::default()
+    };
+    let call = rpc_call(&mut w, cid, 3, b"x", opts).unwrap();
+    run_to_quiescence(&mut w);
+
+    let d = done.lock().unwrap().clone();
+    assert_eq!(d.len(), 1);
+    assert_eq!((d[0].0, d[0].1), (call, Err(RpcError::PeerUnreachable)));
+    let cs = rpc_client_stats(&w, cid);
+    assert_eq!(cs.retries, 1, "one retransmission then the budget is spent");
+    assert!(
+        d[0].2 < 50_000_000,
+        "resolved by the retry budget, not the deadline (at {} ns)",
+        d[0].2
+    );
+}
+
+#[test]
+fn cancellation_is_typed_and_idempotent() {
+    let (mut w, n0, n1) = knet::build::two_nodes();
+    let done: Done = Default::default();
+    let sep = black_hole(&mut w, n1);
+    let cep = w.open_mx(n0, MxEndpointConfig::kernel()).unwrap();
+    let cid = rpc_client_create(
+        &mut w,
+        cep,
+        sep,
+        "cli",
+        sink_into(&done),
+        RpcClientConfig::default(),
+    )
+    .unwrap();
+    let call = rpc_call(&mut w, cid, 4, b"will cancel", RpcCallOpts::default()).unwrap();
+    assert!(rpc_cancel(&mut w, cid, call), "pending call cancels");
+    assert!(!rpc_cancel(&mut w, cid, call), "second cancel is a no-op");
+    run_to_quiescence(&mut w);
+
+    let d = done.lock().unwrap().clone();
+    assert_eq!(d.len(), 1);
+    assert_eq!((d[0].0, d[0].1), (call, Err(RpcError::Cancelled)));
+    assert_eq!(rpc_client_stats(&w, cid).cancelled, 1);
+    assert_eq!(w.stats_snapshot().engine_errors, 0);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Randomized virtual-time schedules: mixed deadlines (some
+    /// satisfiable, some not), mixed payload sizes, a lossy wire. The
+    /// invariants: every call resolves exactly once with a typed result,
+    /// `Ok` calls echo byte-exactly, the engine error counter stays zero,
+    /// and the call window fully drains.
+    #[test]
+    fn every_call_resolves_exactly_once_under_random_schedules(
+        seed in 1u64..5000,
+        loss_pct in 0u64..10,
+        deadlines_us in proptest::collection::vec(50u64..5_000, 4..16),
+    ) {
+        let mut w = ClusterBuilder::new()
+            .fault_plan(FaultPlan::new(seed).with_drop(loss_pct as f64 / 100.0))
+            .build();
+        let (n0, n1) = (NodeId(0), NodeId(1));
+        let done: Done = Default::default();
+        let ccfg = RpcClientConfig {
+            window: 64,
+            policy: RetryPolicy {
+                max_attempts: 6,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let (cid, _sid) = echo_pair(&mut w, n0, n1, ccfg, &done);
+
+        let mut expect = Vec::new();
+        for (i, us) in deadlines_us.iter().enumerate() {
+            let payload = vec![(i as u8).wrapping_mul(31); 1 + (i * 97) % 900];
+            let opts = RpcCallOpts {
+                deadline: Some(SimTime::from_micros(*us)),
+                ..Default::default()
+            };
+            let call = rpc_call(&mut w, cid, i as u16, &payload, opts).unwrap();
+            expect.push((call, payload));
+        }
+        run_to_quiescence(&mut w);
+
+        let d = done.lock().unwrap().clone();
+        prop_assert_eq!(d.len(), expect.len(), "each call resolves exactly once");
+        for (call, payload) in &expect {
+            let got: Vec<_> = d.iter().filter(|(c, _, _)| c == call).collect();
+            prop_assert_eq!(got.len(), 1);
+            match got[0].1 {
+                Ok(len) => {
+                    prop_assert_eq!(len, payload.len() as u64);
+                    let mut out = Vec::new();
+                    prop_assert_eq!(
+                        rpc_collect(&mut w, cid, *call, &mut out),
+                        Some(payload.len() as u64)
+                    );
+                    prop_assert_eq!(&out, payload);
+                }
+                Err(e) => {
+                    // Typed failures only; this workload can only die of
+                    // time or budget.
+                    prop_assert!(
+                        matches!(e, RpcError::Deadline | RpcError::PeerUnreachable),
+                        "unexpected error {:?}", e
+                    );
+                }
+            }
+        }
+        prop_assert_eq!(w.rpc.clients[cid.0 as usize].outstanding(), 0);
+        prop_assert_eq!(w.stats_snapshot().engine_errors, 0);
+    }
+}
