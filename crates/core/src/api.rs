@@ -44,6 +44,7 @@ use knet_simos::{cpu_charge, Asid, NodeId, VirtAddr, VmaEvent};
 
 use crate::error::NetError;
 use crate::iovec::{read_iovec, IoVec, MemRef};
+use crate::tenant::{TenantChannelRow, TenantId, TenantTable, WdrrLanes};
 use crate::transport::{Endpoint, TransportEvent, TransportKind, TransportWorld};
 
 /// Handle to a completion queue.
@@ -199,6 +200,18 @@ pub struct RegistryStats {
     /// Retried requests answered from a server's idempotency cache without
     /// re-executing the handler (exactly-once for retried writes).
     pub rpc_idem_hits: u64,
+    /// Mirrors of the NIC-admission QoS counters (`knet_simnic::qos`),
+    /// summed over every tenant by the composed world's stats snapshot
+    /// (per-tenant rows come from `ClusterWorld::tenant_stats`). Zero in a
+    /// bare registry.
+    ///
+    /// Sends admitted by a token bucket.
+    pub qos_admitted: u64,
+    /// Sends deferred into a driver pacing lane (bucket dry, refill due).
+    pub qos_deferred: u64,
+    /// Sends shed with [`NetError::Overload`] (zero rate, over-burst
+    /// message, or pacing lane full).
+    pub qos_shed: u64,
 }
 
 // ------------------------------------------------------------- send contexts
@@ -484,6 +497,11 @@ struct QueuedSend {
     ctx: u64,
 }
 
+/// WDRR byte cost of a parked send.
+fn send_cost(qs: &QueuedSend) -> u64 {
+    qs.iov.total_len()
+}
+
 /// Default bound of the per-channel backpressure queue.
 pub const DEFAULT_SEND_QUEUE_CAP: usize = 64;
 
@@ -502,13 +520,20 @@ pub struct Channel {
     next_ctx: u64,
     /// Bytes copied through the staging buffer (coalescing cost indicator).
     pub coalesced_bytes: u64,
-    /// Sends the transport refused for lack of tokens, retried in order on
-    /// the next `SendDone`.
-    pending: VecDeque<QueuedSend>,
-    /// Bound of `pending`; a send arriving at a full queue fails with
-    /// [`NetError::SendQueueFull`]. `0` disables queueing — token
-    /// exhaustion then surfaces as [`NetError::NoSendTokens`], the raw
-    /// transport contract.
+    /// The tenant newly attributed sends belong to (inherited from the
+    /// endpoint's registered tenant at channel creation; updated by
+    /// [`Registry::assign_tenant`]).
+    pub tenant: TenantId,
+    /// Sends the transport refused for lack of tokens — one lane per
+    /// tenant, drained in weighted deficit-round-robin order on the next
+    /// `SendDone` (FIFO within each tenant; exact FIFO when only one
+    /// tenant is active).
+    pending: WdrrLanes<QueuedSend>,
+    /// Per-tenant bound of `pending`: each tenant's lane holds at most
+    /// this many parked sends; a send arriving at its tenant's full lane
+    /// fails with [`NetError::SendQueueFull`]. `0` disables queueing —
+    /// token exhaustion then surfaces as [`NetError::NoSendTokens`], the
+    /// raw transport contract.
     pub send_queue_cap: usize,
     /// Recycled send contexts (slots dense within this channel; see
     /// [`ctx_slot`]).
@@ -516,9 +541,25 @@ pub struct Channel {
 }
 
 impl Channel {
-    /// Sends currently parked in the backpressure queue.
+    /// Sends currently parked in the backpressure queue (all tenants).
     pub fn queued_len(&self) -> usize {
         self.pending.len()
+    }
+
+    /// Sends parked for one tenant's lane.
+    pub fn queued_len_for(&self, t: TenantId) -> usize {
+        self.pending.lane_len(t)
+    }
+
+    /// Heap-growth events of the per-tenant queue slab (flat in steady
+    /// state; asserted by `tests/hotpath_alloc.rs`).
+    pub fn queue_grows(&self) -> u64 {
+        self.pending.grows()
+    }
+
+    /// Tenant lanes ever materialized on this channel.
+    pub fn queue_lanes(&self) -> usize {
+        self.pending.lane_count()
     }
 }
 
@@ -538,6 +579,11 @@ pub struct Registry<W> {
     /// ghosts even when it feeds a different queue (or none).
     ep_cqs: HashMap<(TransportKind, u32), CqId>,
     next_channel: u32,
+    /// Tenant directory: ids, weights, per-tenant channel-layer counters.
+    tenants: TenantTable,
+    /// Endpoint → tenant attribution (endpoints never registered to a
+    /// tenant belong to [`TenantId::DEFAULT`]).
+    ep_tenants: BTreeMap<(TransportKind, u32), TenantId>,
     pub stats: RegistryStats,
 }
 
@@ -554,6 +600,8 @@ impl<W> Default for Registry<W> {
             channel_routes: BTreeMap::new(),
             ep_cqs: HashMap::new(),
             next_channel: 0,
+            tenants: TenantTable::default(),
+            ep_tenants: BTreeMap::new(),
             stats: RegistryStats::default(),
         }
     }
@@ -766,6 +814,82 @@ impl<W> Registry<W> {
         self.channel_routes.get(&key(ep)).copied()
     }
 
+    // ----------------------------------------------------------- tenants
+
+    /// Mint a tenant id at registration time (idempotent by name). The id
+    /// is carried on every send the tenant's endpoints issue and honored
+    /// at each queueing point below the channel layer.
+    pub fn tenant_create(&mut self, name: &str, weight: u64) -> TenantId {
+        self.tenants.create(name, weight)
+    }
+
+    /// The tenant an endpoint's sends are attributed to
+    /// ([`TenantId::DEFAULT`] when never assigned).
+    pub fn tenant_of(&self, ep: Endpoint) -> TenantId {
+        self.ep_tenants
+            .get(&key(ep))
+            .copied()
+            .unwrap_or(TenantId::DEFAULT)
+    }
+
+    /// Attribute an endpoint (and its current channel, if any) to a
+    /// tenant. Sends already parked keep the lane they joined under.
+    pub fn assign_tenant(&mut self, ep: Endpoint, t: TenantId) {
+        self.ep_tenants.insert(key(ep), t);
+        if let Some(chid) = self.channel_routes.get(&key(ep)).copied() {
+            if let Some(c) = self.channels.get_mut(&chid.0) {
+                c.tenant = t;
+            }
+        }
+    }
+
+    /// The tenant directory (names, weights, per-tenant counters).
+    pub fn tenant_table(&self) -> &TenantTable {
+        &self.tenants
+    }
+
+    /// Per-tenant channel-layer stats rows (one per registered tenant).
+    pub fn tenant_rows(&self) -> Vec<TenantChannelRow> {
+        (0..self.tenants.count())
+            .map(|i| {
+                let t = TenantId(i as u32);
+                TenantChannelRow {
+                    id: t,
+                    name: self.tenants.name(t).unwrap_or("").to_string(),
+                    weight: self.tenants.weight(t),
+                    stats: self.tenants.stats[i],
+                }
+            })
+            .collect()
+    }
+
+    /// Fold every channel's WDRR scheduler state into a fingerprint
+    /// accumulator — the shard-equivalence hook (`tests/sched_equivalence`
+    /// mixes this next to the event stream so per-tenant queueing cannot
+    /// silently diverge across shard counts).
+    pub fn wdrr_fingerprint(&self, mut mix: impl FnMut(u64)) {
+        for (id, c) in &self.channels {
+            mix(*id as u64);
+            mix(c.tenant.0 as u64);
+            c.pending.fingerprint(&mut mix);
+        }
+    }
+
+    /// [`Self::wdrr_fingerprint`] restricted to channels whose local
+    /// endpoint lives on `node` — the shard-invariant form: a node's
+    /// channel state is authoritative only on the shard world owning the
+    /// node, so equivalence tests fold each node's slice from its owner.
+    pub fn wdrr_fingerprint_node(&self, node: u32, mut mix: impl FnMut(u64)) {
+        for (id, c) in &self.channels {
+            if c.local.node.0 != node {
+                continue;
+            }
+            mix(*id as u64);
+            mix(c.tenant.0 as u64);
+            c.pending.fingerprint(&mut mix);
+        }
+    }
+
     /// Record the peer of an accept-side channel from its first inbound
     /// message (unexpected delivery or posted-receive completion).
     fn note_channel_event(&mut self, ep: Endpoint, ev: &TransportEvent) {
@@ -923,6 +1047,7 @@ fn create_channel<W: DispatchWorld>(
     let r = w.registry_mut();
     let id = ChannelId(r.next_channel);
     r.next_channel += 1;
+    let tenant = r.tenant_of(local);
     let consumer = r.insert_consumer(&format!("channel-{}", id.0), sink);
     r.channels.insert(
         id.0,
@@ -934,7 +1059,8 @@ fn create_channel<W: DispatchWorld>(
             staging: None,
             next_ctx: 1,
             coalesced_bytes: 0,
-            pending: VecDeque::new(),
+            tenant,
+            pending: WdrrLanes::default(),
             send_queue_cap: DEFAULT_SEND_QUEUE_CAP,
             pool: CtxPool::default(),
         },
@@ -1015,13 +1141,15 @@ pub fn channel_cq<W: DispatchWorld>(w: &W, ch: ChannelId) -> Option<CqId> {
     w.registry().channel(ch).and_then(|c| c.cq)
 }
 
-/// Bound the channel's backpressure queue (see [`channel_send`]); `0`
-/// disables queueing and restores the raw [`NetError::NoSendTokens`]
-/// contract.
+/// Bound the channel's backpressure queue (see [`channel_send`]); the cap
+/// applies **per tenant lane**, and `0` disables queueing and restores the
+/// raw [`NetError::NoSendTokens`] contract.
 ///
-/// Shrinking the cap below the current [`Channel::queued_len`] does not
-/// silently strand the excess: parked sends past the new cap are failed
-/// deterministically, newest first, each completing as
+/// Shrinking the cap below a lane's current [`Channel::queued_len_for`]
+/// does not silently strand the excess: parked sends past the new cap are
+/// failed deterministically — newest first *within each tenant's lane*,
+/// lanes visited in tenant order, never evicting one tenant's sends to
+/// make room for another's — each completing as
 /// [`TransportEvent::SendFailed`] with [`NetError::SendQueueFull`] (the
 /// caller holds `Ok(ctx)` for them, so a completion must arrive).
 pub fn channel_set_send_queue_cap<W: DispatchWorld>(w: &mut W, ch: ChannelId, cap: usize) {
@@ -1039,11 +1167,13 @@ pub fn channel_set_send_queue_cap<W: DispatchWorld>(w: &mut W, ch: ChannelId, ca
             let Some(c) = r.channels.get_mut(&ch.0) else {
                 return;
             };
-            if c.pending.len() <= cap {
-                return;
-            }
-            let qs = c.pending.pop_back().expect("len > cap >= 0");
+            let over = (0..c.pending.lane_count())
+                .map(|i| TenantId(i as u32))
+                .find(|t| c.pending.lane_len(*t) > cap);
+            let Some(t) = over else { return };
+            let qs = c.pending.evict_newest(t).expect("lane over cap");
             r.stats.failed_retries += 1;
+            r.tenants.note(t, |s| s.failed_retries += 1);
             qs.ctx
         };
         deliver(
@@ -1099,15 +1229,16 @@ pub fn channel_send_to<W: DispatchWorld>(
 ) -> Result<u64, NetError> {
     // Contexts come from the channel's own pool: recycled slots, unique
     // values (see `ctx_slot`). The slot returns on SendDone/SendFailed.
-    let (local, busy, cap, qlen, ctx) = {
+    let (local, tenant, busy, cap, qlen, ctx) = {
         let r = w.registry_mut();
         let c = r.channels.get_mut(&ch.0).ok_or(NetError::BadEndpoint)?;
         let (ctx, reused) = c.pool.alloc();
         let state = (
             c.local,
-            !c.pending.is_empty(),
+            c.tenant,
+            c.pending.lane_len(c.tenant) > 0,
             c.send_queue_cap,
-            c.pending.len(),
+            c.pending.lane_len(c.tenant),
             ctx,
         );
         if reused {
@@ -1117,8 +1248,8 @@ pub fn channel_send_to<W: DispatchWorld>(
         }
         state
     };
-    // Earlier sends are already waiting for tokens: keep order, join the
-    // queue (or overflow).
+    // Earlier sends of this tenant are already waiting for tokens: keep
+    // the tenant's FIFO order, join its lane (or overflow it).
     if busy {
         if qlen >= cap {
             release_channel_ctx(w, ch, ctx);
@@ -1126,9 +1257,10 @@ pub fn channel_send_to<W: DispatchWorld>(
         }
         let r = w.registry_mut();
         if let Some(c) = r.channels.get_mut(&ch.0) {
-            c.pending.push_back(QueuedSend { to, tag, iov, ctx });
+            c.pending.push(tenant, QueuedSend { to, tag, iov, ctx });
         }
         r.stats.queued_sends += 1;
+        r.tenants.note(tenant, |s| s.queued_sends += 1);
         return Ok(ctx);
     }
     let (wire_iov, coalesced) = match coalesce_for_transport(w, ch, local, iov.clone()) {
@@ -1138,9 +1270,12 @@ pub fn channel_send_to<W: DispatchWorld>(
             return Err(e);
         }
     };
-    match w.t_send(local, to, tag, wire_iov, ctx) {
+    match w.t_send_t(local, to, tag, wire_iov, ctx, tenant) {
         Ok(()) => {
             charge_coalesce(w, ch, local.node, coalesced);
+            w.registry_mut()
+                .tenants
+                .note(tenant, |s| s.direct_sends += 1);
             Ok(ctx)
         }
         Err(NetError::NoSendTokens) if cap > 0 => {
@@ -1148,9 +1283,10 @@ pub fn channel_send_to<W: DispatchWorld>(
             if let Some(c) = r.channels.get_mut(&ch.0) {
                 // Queue the *original* io-vector; coalescing (and its
                 // charge) reruns when the retry is accepted.
-                c.pending.push_back(QueuedSend { to, tag, iov, ctx });
+                c.pending.push(tenant, QueuedSend { to, tag, iov, ctx });
             }
             r.stats.queued_sends += 1;
+            r.tenants.note(tenant, |s| s.queued_sends += 1);
             Ok(ctx)
         }
         Err(e) => {
@@ -1170,40 +1306,52 @@ fn release_channel_ctx<W: DispatchWorld>(w: &mut W, ch: ChannelId, ctx: u64) {
 
 /// Retry queued sends of `ch` until the queue drains or the transport runs
 /// out of tokens again. Called from [`deliver`] on every `SendDone` for the
-/// channel's endpoint.
+/// channel's endpoint. Lanes drain in weighted deficit-round-robin order
+/// (FIFO within each tenant; exact FIFO when one tenant is active).
 fn flush_channel_sends<W: DispatchWorld>(w: &mut W, ch: ChannelId) {
     loop {
-        let Some((local, qs)) = ({
+        let Some((local, tenant, qs)) = ({
             let r = w.registry_mut();
-            r.channels
-                .get_mut(&ch.0)
-                .and_then(|c| c.pending.pop_front().map(|qs| (c.local, qs)))
+            let tenants = &r.tenants;
+            r.channels.get_mut(&ch.0).and_then(|c| {
+                c.pending
+                    .pop_next(|t| tenants.weight(t), send_cost)
+                    .map(|(t, qs)| (c.local, t, qs))
+            })
         }) else {
             return;
         };
         let failed = match coalesce_for_transport(w, ch, local, qs.iov.clone()) {
-            Ok((wire_iov, coalesced)) => match w.t_send(local, qs.to, qs.tag, wire_iov, qs.ctx) {
-                Ok(()) => {
-                    charge_coalesce(w, ch, local.node, coalesced);
-                    w.registry_mut().stats.retried_sends += 1;
-                    None
-                }
-                Err(NetError::NoSendTokens) => {
-                    // Still dry: put it back and wait for the next SendDone.
-                    if let Some(c) = w.registry_mut().channels.get_mut(&ch.0) {
-                        c.pending.push_front(qs);
+            Ok((wire_iov, coalesced)) => {
+                match w.t_send_t(local, qs.to, qs.tag, wire_iov, qs.ctx, tenant) {
+                    Ok(()) => {
+                        charge_coalesce(w, ch, local.node, coalesced);
+                        let r = w.registry_mut();
+                        r.stats.retried_sends += 1;
+                        r.tenants.note(tenant, |s| s.retried_sends += 1);
+                        None
                     }
-                    return;
+                    Err(NetError::NoSendTokens) => {
+                        // Still dry: put it back (cost refunded, same lane
+                        // head) and wait for the next SendDone.
+                        if let Some(c) = w.registry_mut().channels.get_mut(&ch.0) {
+                            let cost = send_cost(&qs);
+                            c.pending.requeue_front(tenant, qs, cost);
+                        }
+                        return;
+                    }
+                    Err(e) => Some(e),
                 }
-                Err(e) => Some(e),
-            },
+            }
             Err(e) => Some(e),
         };
         if let Some(error) = failed {
             // Non-transient failure on retry: the channel's consumer gets a
             // `SendFailed` completion so resources tied to the context are
             // released (the original caller already holds `Ok(ctx)`).
-            w.registry_mut().stats.failed_retries += 1;
+            let r = w.registry_mut();
+            r.stats.failed_retries += 1;
+            r.tenants.note(tenant, |s| s.failed_retries += 1);
             deliver(w, local, TransportEvent::SendFailed { ctx: qs.ctx, error });
         }
     }
@@ -1299,15 +1447,18 @@ pub fn channel_abort_queued_send<W: DispatchWorld>(w: &mut W, ch: ChannelId, ctx
         let Some(c) = r.channels.get_mut(&ch.0) else {
             return false;
         };
-        let before = c.pending.len();
-        c.pending.retain(|qs| qs.ctx != ctx);
-        before != c.pending.len()
+        c.pending.remove_first(|qs| qs.ctx == ctx)
     };
-    if removed {
-        release_channel_ctx(w, ch, ctx);
-        w.registry_mut().stats.aborted_queued_sends += 1;
+    match removed {
+        Some((t, _qs)) => {
+            release_channel_ctx(w, ch, ctx);
+            let r = w.registry_mut();
+            r.stats.aborted_queued_sends += 1;
+            r.tenants.note(t, |s| s.aborted_queued_sends += 1);
+            true
+        }
+        None => false,
     }
-    removed
 }
 
 /// Remove a channel's state — route entry, consumer, staging buffer,
@@ -1318,9 +1469,12 @@ fn teardown_channel<W: DispatchWorld>(w: &mut W, ch: ChannelId) -> Option<Endpoi
     // Backpressure-queued sends can never go out now. Complete them as
     // `SendFailed` while the channel's consumer is still bound, so every
     // `Ok(ctx)` the caller holds gets its completion and the resources
-    // tied to those contexts are released.
-    for qs in c.pending.drain(..) {
-        w.registry_mut().stats.failed_retries += 1;
+    // tied to those contexts are released (lanes drain in tenant order,
+    // FIFO within each).
+    for (t, qs) in c.pending.take_all() {
+        let r = w.registry_mut();
+        r.stats.failed_retries += 1;
+        r.tenants.note(t, |s| s.failed_retries += 1);
         deliver(
             w,
             c.local,
@@ -1382,17 +1536,19 @@ pub fn peer_down<W: DispatchWorld>(
         .map(|(id, c)| (ChannelId(*id), c.local, c.peer))
         .collect();
     for (chid, local, peer) in affected {
-        // Fail queued sends addressed to the dead node, in order.
+        // Fail queued sends addressed to the dead node, in order (lanes in
+        // tenant order, FIFO within each).
         loop {
             let ctx = {
                 let r = w.registry_mut();
                 let Some(c) = r.channels.get_mut(&chid.0) else {
                     break;
                 };
-                let pos = c.pending.iter().position(|qs| qs.to.node == remote_node);
-                let Some(pos) = pos else { break };
-                let qs = c.pending.remove(pos).expect("position valid");
+                let Some((t, qs)) = c.pending.remove_first(|qs| qs.to.node == remote_node) else {
+                    break;
+                };
                 r.stats.failed_retries += 1;
+                r.tenants.note(t, |s| s.failed_retries += 1);
                 qs.ctx
             };
             deliver(

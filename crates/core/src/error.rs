@@ -46,6 +46,12 @@ pub enum NetError {
     /// traffic can reach it. Accompanied by a `TransportEvent::PeerDown`
     /// delivered to every channel bound to the peer.
     PeerUnreachable,
+    /// The NIC admission point shed the send: the sender's tenant is over
+    /// its token-bucket rate and its pacing lane is full (or the tenant is
+    /// configured with a zero rate / a message larger than its burst, in
+    /// which case admission can never succeed). Typed and synchronous —
+    /// the send never entered any queue.
+    Overload,
 }
 
 impl From<OsError> for NetError {
@@ -125,6 +131,7 @@ impl fmt::Display for NetError {
             NetError::UnknownRequest => f.write_str("unknown request id"),
             NetError::BadAddressClass => f.write_str("address class not allowed here"),
             NetError::PeerUnreachable => f.write_str("peer unreachable (retry budget exhausted)"),
+            NetError::Overload => f.write_str("tenant over its admission rate (send shed)"),
         }
     }
 }

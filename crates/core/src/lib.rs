@@ -23,6 +23,7 @@ pub mod api;
 pub mod error;
 pub mod iovec;
 pub mod regcache;
+pub mod tenant;
 pub mod transport;
 
 pub use api::{
@@ -39,4 +40,8 @@ pub use iovec::{
     IOVEC_INLINE_SEGS,
 };
 pub use regcache::{RangePlan, RegCache, RegCacheStats, RegKey};
+pub use tenant::{
+    TenantChannelRow, TenantId, TenantInfo, TenantSendStats, TenantTable, WdrrLanes,
+    WDRR_QUANTUM_BYTES,
+};
 pub use transport::{Endpoint, TransportEvent, TransportKind, TransportWorld};

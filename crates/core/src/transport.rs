@@ -14,6 +14,7 @@ use knet_simos::NodeId;
 
 use crate::error::NetError;
 use crate::iovec::IoVec;
+use crate::tenant::TenantId;
 
 /// Which driver an endpoint belongs to.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
@@ -120,6 +121,25 @@ pub trait TransportWorld: NicWorld {
         iov: IoVec,
         ctx: u64,
     ) -> Result<(), NetError>;
+
+    /// Tenant-attributed send: like [`TransportWorld::t_send`], plus the
+    /// sending consumer group's [`TenantId`], which the driver threads to
+    /// its pacing queues and the NIC admission point. The default
+    /// implementation discards the attribution (bare transports have no
+    /// QoS machinery); the composed world overrides it. The channel layer
+    /// is the only caller — services never name tenants on the wire path.
+    fn t_send_t(
+        &mut self,
+        from: Endpoint,
+        to: Endpoint,
+        tag: u64,
+        iov: IoVec,
+        ctx: u64,
+        tenant: TenantId,
+    ) -> Result<(), NetError> {
+        let _ = tenant;
+        self.t_send(from, to, tag, iov, ctx)
+    }
 
     fn t_post_recv(&mut self, ep: Endpoint, tag: u64, iov: IoVec, ctx: u64)
         -> Result<(), NetError>;

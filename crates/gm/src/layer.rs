@@ -19,11 +19,13 @@ use std::collections::{BTreeMap, VecDeque};
 use bytes::Bytes;
 use knet_core::{
     next_chunk, seg_window_into, ChunkCursor, IoVec, MemRef, NetError, RangePlan, RegCache, RegKey,
+    TenantId, WdrrLanes,
 };
 use knet_simcore::SimTime;
 use knet_simnic::{
     coll_inject, coll_on_packet, dma_charge, dma_gather, dma_scatter, fw_charge, is_coll_frame,
-    rel_on_packet, rel_send, CollCmd, NicId, NicWorld, Packet, Proto, RelVerdict, TransKey,
+    rel_on_packet, rel_send, Admission, CollCmd, NicId, NicWorld, Packet, Proto, RelVerdict,
+    TransKey,
 };
 use knet_simos::{cpu_charge, page_slices, Asid, FrameIdx, NodeId, PhysSeg};
 
@@ -122,6 +124,10 @@ pub enum GmEvent {
         data: Bytes,
         from: GmPortId,
     },
+    /// A send the driver had parked in a tenant pacing lane failed at drain
+    /// time (peer died, port closed, policy shed it): no bytes left the
+    /// node and no `SendDone` will arrive for `ctx`.
+    SendFailed { ctx: u64, error: NetError },
 }
 
 /// Per-port counters.
@@ -233,6 +239,31 @@ impl GmScratch {
     }
 }
 
+/// A send parked in a NIC's per-tenant pacing lane: everything needed to
+/// re-issue it verbatim once the tenant's token bucket refills.
+pub struct PacedGmSend {
+    port: GmPortId,
+    buf: MemRef,
+    dest: GmPortId,
+    tag: u64,
+    ctx: u64,
+    bytes: u64,
+}
+
+impl PacedGmSend {
+    fn new(port: GmPortId, buf: MemRef, dest: GmPortId, tag: u64, ctx: u64) -> Self {
+        let bytes = buf.len();
+        PacedGmSend {
+            port,
+            buf,
+            dest,
+            tag,
+            ctx,
+            bytes,
+        }
+    }
+}
+
 /// All GM state in the world.
 pub struct GmLayer {
     pub params: GmParams,
@@ -241,6 +272,15 @@ pub struct GmLayer {
     next_msg_id: u64,
     /// Recycled per-operation buffers (see [`GmScratch`]).
     pub scratch: GmScratch,
+    /// Per-NIC pacing lanes: sends the token bucket deferred, one WDRR
+    /// lane per tenant, drained on pace-timer fire and send-token return.
+    paced: BTreeMap<NicId, WdrrLanes<PacedGmSend>>,
+    /// Earliest armed pace timer per NIC (dedup so a burst of deferrals
+    /// arms one event, not one per send).
+    pace_armed: BTreeMap<NicId, SimTime>,
+    /// WDRR weights indexed by tenant id (missing → 1), installed by the
+    /// composed world from the registry's tenant table.
+    pub tenant_weights: Vec<u64>,
 }
 
 impl GmLayer {
@@ -251,6 +291,9 @@ impl GmLayer {
             assemblies: BTreeMap::new(),
             next_msg_id: 1,
             scratch: GmScratch::default(),
+            paced: BTreeMap::new(),
+            pace_armed: BTreeMap::new(),
+            tenant_weights: Vec::new(),
         }
     }
 
@@ -279,6 +322,35 @@ impl GmLayer {
     pub fn open_ports(&self) -> usize {
         self.ports.iter().filter(|p| p.open).count()
     }
+
+    /// Sends parked in `nic`'s pacing lanes (all tenants).
+    pub fn paced_backlog(&self, nic: NicId) -> usize {
+        self.paced.get(&nic).map(|l| l.len()).unwrap_or(0)
+    }
+
+    /// Heap-growth events across all pacing lanes (flat in steady state;
+    /// see `tests/hotpath_alloc.rs`).
+    pub fn paced_grows(&self) -> u64 {
+        self.paced.values().map(|l| l.grows()).sum()
+    }
+
+    /// Fold pacing-lane scheduler state into a fingerprint accumulator
+    /// (shard-equivalence hook).
+    pub fn paced_fingerprint(&self, mut mix: impl FnMut(u64)) {
+        for (nic, lanes) in &self.paced {
+            mix(nic.0 as u64);
+            lanes.fingerprint(&mut mix);
+        }
+    }
+
+    /// [`Self::paced_fingerprint`] restricted to one NIC — the
+    /// shard-invariant slice (a NIC's pacing lanes are only touched by the
+    /// shard owning its node).
+    pub fn paced_fingerprint_nic(&self, nic: NicId, mut mix: impl FnMut(u64)) {
+        if let Some(lanes) = self.paced.get(&nic) {
+            lanes.fingerprint(&mut mix);
+        }
+    }
 }
 
 impl Default for GmLayer {
@@ -296,15 +368,22 @@ pub enum GmEv {
     /// Push a completion onto `port`'s event queue (charging the matching
     /// stats) and run the world's dispatch hook.
     Complete { port: GmPortId, ev: GmEvent },
+    /// A tenant pace timer fired: drain `nic`'s pacing lanes against the
+    /// (now refilled) token buckets.
+    Pace { nic: NicId },
 }
 
 /// Execute one GM-layer event.
 pub fn run_gm_ev<W: GmWorld>(w: &mut W, ev: GmEv) {
     match ev {
         GmEv::Complete { port, ev } => {
+            let mut token_back_on = None;
             if let Ok(p) = w.gm_mut().port_mut(port) {
                 match &ev {
-                    GmEvent::SendDone { .. } => p.send_tokens += 1,
+                    GmEvent::SendDone { .. } => {
+                        p.send_tokens += 1;
+                        token_back_on = Some(p.nic);
+                    }
                     GmEvent::RecvDone { len, .. } => {
                         p.stats.recvs += 1;
                         p.stats.bytes_received += *len;
@@ -313,10 +392,26 @@ pub fn run_gm_ev<W: GmWorld>(w: &mut W, ev: GmEv) {
                         p.stats.unexpected += 1;
                         p.stats.bytes_received += data.len() as u64;
                     }
+                    GmEvent::SendFailed { .. } => {}
                 }
                 p.events.push_back(ev);
             }
+            // A returned token can unblock a pacing lane that stalled on
+            // `NoSendTokens`; drain before the dispatch hook so parked
+            // (older) sends beat the channel layer's retry queue to it.
+            if let Some(nic) = token_back_on {
+                if w.gm().paced_backlog(nic) > 0 {
+                    gm_pace_drain(w, nic);
+                }
+            }
             w.gm_dispatch(port);
+        }
+        GmEv::Pace { nic } => {
+            let now = knet_simcore::now(w);
+            if w.gm().pace_armed.get(&nic).is_some_and(|t| *t <= now) {
+                w.gm_mut().pace_armed.remove(&nic);
+            }
+            gm_pace_drain(w, nic);
         }
     }
 }
@@ -600,7 +695,9 @@ fn unpack_meta(meta: &[u64; 4]) -> WireMeta {
 ///
 /// `tag` travels with the message for receive matching (the correlation the
 /// in-kernel users layer over GM; plain MPI-over-GM uses `GM_ANY_TAG`
-/// buffers and does its own matching).
+/// buffers and does its own matching). Untenanted entry point: attributes
+/// the send to [`TenantId::DEFAULT`], which has no QoS policy unless one
+/// was explicitly installed — behaviour is then identical to pre-tenant GM.
 pub fn gm_send<W: GmWorld>(
     w: &mut W,
     port_id: GmPortId,
@@ -608,6 +705,182 @@ pub fn gm_send<W: GmWorld>(
     dest: GmPortId,
     tag: u64,
     ctx: u64,
+) -> Result<(), NetError> {
+    gm_send_t(w, port_id, buf, dest, tag, ctx, TenantId::DEFAULT)
+}
+
+/// Tenant-attributed send: consults the tenant's token bucket at the NIC
+/// admission point before committing any send token or registration.
+///
+/// * **Admit** — proceeds synchronously exactly like [`gm_send`].
+/// * **Defer** — parks the send in the NIC's per-tenant pacing lane and
+///   arms a pace timer for the refill instant; returns `Ok(())` (the
+///   `SendDone`/`SendFailed` completion arrives later). FIFO order within
+///   a tenant is preserved: while the lane is non-empty new sends park
+///   behind it rather than racing the bucket.
+/// * **Shed** — fails synchronously with [`NetError::Overload`] (zero-rate
+///   tenant, message larger than the burst, or pacing lane full).
+pub fn gm_send_t<W: GmWorld>(
+    w: &mut W,
+    port_id: GmPortId,
+    buf: MemRef,
+    dest: GmPortId,
+    tag: u64,
+    ctx: u64,
+    tenant: TenantId,
+) -> Result<(), NetError> {
+    // Fail fast on the errors that would also fail at drain time, so a
+    // doomed send is never parked.
+    let nic = w.gm().port(port_id)?.nic;
+    let dst_nic = w.gm().port(dest)?.nic;
+    if w.nics().rel.link_dead(Proto::Gm, nic, dst_nic) {
+        return Err(NetError::PeerUnreachable);
+    }
+    let bytes = buf.len();
+    let lane_busy = w
+        .gm()
+        .paced
+        .get(&nic)
+        .map(|l| l.lane_len(tenant) > 0)
+        .unwrap_or(false);
+    if !lane_busy {
+        let now = knet_simcore::now(w);
+        match w.nics_mut().qos.admit(nic, tenant.0, bytes, now) {
+            Admission::Admit => {
+                let r = gm_send_admitted(w, port_id, buf, dest, tag, ctx, tenant);
+                if r.is_err() {
+                    w.nics_mut().qos.refund(nic, tenant.0, bytes);
+                }
+                return r;
+            }
+            Admission::Shed => return Err(NetError::Overload),
+            Admission::Defer { until } => {
+                gm_pace_park(
+                    w,
+                    nic,
+                    tenant,
+                    PacedGmSend::new(port_id, buf, dest, tag, ctx),
+                )?;
+                gm_pace_arm(w, nic, until);
+                return Ok(());
+            }
+        }
+    }
+    gm_pace_park(
+        w,
+        nic,
+        tenant,
+        PacedGmSend::new(port_id, buf, dest, tag, ctx),
+    )
+}
+
+/// Park one send in `nic`'s pacing lane for `tenant`, shedding if the lane
+/// is at the policy's cap.
+fn gm_pace_park<W: GmWorld>(
+    w: &mut W,
+    nic: NicId,
+    tenant: TenantId,
+    send: PacedGmSend,
+) -> Result<(), NetError> {
+    let cap = w
+        .nics()
+        .qos
+        .policy(tenant.0)
+        .map(|p| p.pace_queue_cap)
+        .unwrap_or(usize::MAX);
+    let lanes = w.gm_mut().paced.entry(nic).or_default();
+    if lanes.lane_len(tenant) >= cap {
+        w.nics_mut().qos.note_shed(tenant.0);
+        return Err(NetError::Overload);
+    }
+    w.gm_mut().paced.entry(nic).or_default().push(tenant, send);
+    Ok(())
+}
+
+/// Arm (or tighten) `nic`'s pace timer to fire at `until`.
+fn gm_pace_arm<W: GmWorld>(w: &mut W, nic: NicId, until: SimTime) {
+    if w.gm().pace_armed.get(&nic).is_some_and(|t| *t <= until) {
+        return; // an earlier (or equal) fire is already scheduled
+    }
+    w.gm_mut().pace_armed.insert(nic, until);
+    let node = w.nics().get(nic).node.0;
+    let ev = W::lift_gm(GmEv::Pace { nic });
+    knet_simcore::emit_at(w, node, until, ev);
+}
+
+/// Complete a parked send as failed (typed, terminal — no `SendDone` will
+/// follow). Dropped silently if the sending port has since closed.
+fn gm_fail_parked<W: GmWorld>(w: &mut W, port: GmPortId, ctx: u64, error: NetError) {
+    let Ok(p) = w.gm().port(port) else { return };
+    let node = p.node.0;
+    let now = knet_simcore::now(w);
+    let ev = W::lift_gm(GmEv::Complete {
+        port,
+        ev: GmEvent::SendFailed { ctx, error },
+    });
+    knet_simcore::emit_at(w, node, now, ev);
+}
+
+/// Drain `nic`'s pacing lanes in WDRR order against the token buckets.
+/// Runs on pace-timer fire and on send-token return; blocked tenants
+/// (bucket still dry, port out of tokens) are skipped without head-of-line
+/// blocking the rest, and the timer is re-armed for the earliest refill.
+pub fn gm_pace_drain<W: GmWorld>(w: &mut W, nic: NicId) {
+    let Some(mut lanes) = w.gm_mut().paced.remove(&nic) else {
+        return;
+    };
+    let weights = std::mem::take(&mut w.gm_mut().tenant_weights);
+    let now = knet_simcore::now(w);
+    let mut blocked: Vec<u32> = Vec::new();
+    let mut min_defer: Option<SimTime> = None;
+    loop {
+        let popped = lanes.pop_next_eligible(
+            |t| weights.get(t.0 as usize).copied().unwrap_or(1),
+            |ps| ps.bytes,
+            |t, _| !blocked.contains(&t.0),
+        );
+        let Some((t, ps)) = popped else { break };
+        match w.nics_mut().qos.admit(nic, t.0, ps.bytes, now) {
+            Admission::Admit => {
+                match gm_send_admitted(w, ps.port, ps.buf, ps.dest, ps.tag, ps.ctx, t) {
+                    Ok(()) => {}
+                    Err(NetError::NoSendTokens) => {
+                        w.nics_mut().qos.refund(nic, t.0, ps.bytes);
+                        let cost = ps.bytes;
+                        lanes.requeue_front(t, ps, cost);
+                        blocked.push(t.0);
+                    }
+                    Err(e) => gm_fail_parked(w, ps.port, ps.ctx, e),
+                }
+            }
+            Admission::Defer { until } => {
+                let cost = ps.bytes;
+                lanes.requeue_front(t, ps, cost);
+                blocked.push(t.0);
+                min_defer = Some(min_defer.map_or(until, |m| m.min(until)));
+            }
+            Admission::Shed => gm_fail_parked(w, ps.port, ps.ctx, NetError::Overload),
+        }
+    }
+    w.gm_mut().tenant_weights = weights;
+    // Keep the (possibly empty) lanes: the slab and ring capacities are the
+    // steady-state allocation the hot path relies on.
+    w.gm_mut().paced.insert(nic, lanes);
+    if let Some(until) = min_defer {
+        gm_pace_arm(w, nic, until);
+    }
+}
+
+/// The admitted send pipeline (post token-bucket): token check, address
+/// resolution, host/firmware charges, MTU chunking, wire submission.
+fn gm_send_admitted<W: GmWorld>(
+    w: &mut W,
+    port_id: GmPortId,
+    buf: MemRef,
+    dest: GmPortId,
+    tag: u64,
+    ctx: u64,
+    tenant: TenantId,
 ) -> Result<(), NetError> {
     let params = w.gm().params;
     let (node, nic, is_kernel) = {
@@ -702,7 +975,7 @@ pub fn gm_send<W: GmWorld>(
             fw_charge(w, nic, dma_done, params.fw_chunk)
         };
         let meta = pack_meta(dest, port_id, tag, msg_id, offset, total);
-        let pkt = Packet::new(
+        let mut pkt = Packet::new(
             nic,
             dst_nic,
             Proto::Gm,
@@ -711,6 +984,7 @@ pub fn gm_send<W: GmWorld>(
             data,
             params.header_bytes,
         );
+        pkt.tenant = tenant.0;
         rel_send(w, pkt, fw_ready);
         ready = dma_done;
         offset += chunk_len;

@@ -21,12 +21,12 @@ use std::collections::{BTreeMap, VecDeque};
 use bytes::Bytes;
 use knet_core::{
     next_chunk, read_iovec_into, resolve_iovec, resolve_iovec_into, seg_window_into, write_iovec,
-    AddrClass, ChunkCursor, IoVec, NetError,
+    AddrClass, ChunkCursor, IoVec, NetError, TenantId, WdrrLanes,
 };
 use knet_simcore::SimTime;
 use knet_simnic::{
     coll_inject, coll_on_packet, dma_charge, dma_gather, dma_scatter, fw_charge, is_coll_frame,
-    rel_on_packet, rel_send, CollCmd, NicId, NicWorld, Packet, Proto, RelVerdict,
+    rel_on_packet, rel_send, Admission, CollCmd, NicId, NicWorld, Packet, Proto, RelVerdict,
 };
 use knet_simos::{Asid, FrameIdx, NodeId, PhysSeg};
 
@@ -116,6 +116,13 @@ pub enum MxEvent {
         data: Bytes,
         from: MxEndpointId,
     },
+    /// A send the driver had parked in a tenant pacing lane failed at
+    /// drain time (peer died, endpoint closed, policy shed it): no bytes
+    /// left the node and no `SendDone` will arrive for `ctx`.
+    SendFailed {
+        ctx: u64,
+        error: NetError,
+    },
 }
 
 /// Per-endpoint counters.
@@ -181,6 +188,8 @@ struct RndvSend {
     tag: u64,
     ctx: u64,
     dst_ep: MxEndpointId,
+    /// Sending tenant, stamped onto the streamed data packets.
+    tenant: TenantId,
 }
 
 /// Receiver-side state of an accepted rendezvous.
@@ -253,6 +262,17 @@ impl MxScratch {
     }
 }
 
+/// A send parked in a NIC's per-tenant pacing lane, re-issued verbatim
+/// once the tenant's token bucket refills.
+pub struct PacedMxSend {
+    from: MxEndpointId,
+    dest: MxEndpointId,
+    tag: u64,
+    iov: IoVec,
+    ctx: u64,
+    bytes: u64,
+}
+
 /// All MX state in the world.
 pub struct MxLayer {
     pub params: MxParams,
@@ -263,6 +283,14 @@ pub struct MxLayer {
     next_msg_id: u64,
     /// Recycled per-operation buffers (see [`MxScratch`]).
     pub scratch: MxScratch,
+    /// Per-NIC pacing lanes: sends the token bucket deferred, one WDRR
+    /// lane per tenant, drained on pace-timer fire.
+    paced: BTreeMap<NicId, WdrrLanes<PacedMxSend>>,
+    /// Earliest armed pace timer per NIC.
+    pace_armed: BTreeMap<NicId, SimTime>,
+    /// WDRR weights indexed by tenant id (missing → 1), installed by the
+    /// composed world from the registry's tenant table.
+    pub tenant_weights: Vec<u64>,
 }
 
 impl MxLayer {
@@ -275,6 +303,9 @@ impl MxLayer {
             rndv_recv: BTreeMap::new(),
             next_msg_id: 1,
             scratch: MxScratch::default(),
+            paced: BTreeMap::new(),
+            pace_armed: BTreeMap::new(),
+            tenant_weights: Vec::new(),
         }
     }
 
@@ -294,6 +325,33 @@ impl MxLayer {
 
     pub fn open_endpoints(&self) -> usize {
         self.endpoints.iter().filter(|e| e.open).count()
+    }
+
+    /// Sends parked in `nic`'s pacing lanes (all tenants).
+    pub fn paced_backlog(&self, nic: NicId) -> usize {
+        self.paced.get(&nic).map(|l| l.len()).unwrap_or(0)
+    }
+
+    /// Heap-growth events across all pacing lanes (flat in steady state).
+    pub fn paced_grows(&self) -> u64 {
+        self.paced.values().map(|l| l.grows()).sum()
+    }
+
+    /// Fold pacing-lane scheduler state into a fingerprint accumulator.
+    pub fn paced_fingerprint(&self, mut mix: impl FnMut(u64)) {
+        for (nic, lanes) in &self.paced {
+            mix(nic.0 as u64);
+            lanes.fingerprint(&mut mix);
+        }
+    }
+
+    /// [`Self::paced_fingerprint`] restricted to one NIC — the
+    /// shard-invariant slice (a NIC's pacing lanes are only touched by the
+    /// shard owning its node).
+    pub fn paced_fingerprint_nic(&self, nic: NicId, mut mix: impl FnMut(u64)) {
+        if let Some(lanes) = self.paced.get(&nic) {
+            lanes.fingerprint(&mut mix);
+        }
     }
 }
 
@@ -320,6 +378,9 @@ pub enum MxEv {
         /// Count the receive as zero-copy (`recv_copies_avoided`).
         direct: bool,
     },
+    /// A tenant pace timer fired: drain `nic`'s pacing lanes against the
+    /// (now refilled) token buckets.
+    Pace { nic: NicId },
 }
 
 /// Execute one MX-layer event.
@@ -348,10 +409,18 @@ pub fn run_mx_ev<W: MxWorld>(w: &mut W, ev: MxEv) {
                         e.stats.unexpected += 1;
                         e.stats.bytes_received += data.len() as u64;
                     }
+                    MxEvent::SendFailed { .. } => {}
                 }
                 e.events.push_back(ev);
             }
             w.mx_dispatch(ep);
+        }
+        MxEv::Pace { nic } => {
+            let now = knet_simcore::now(w);
+            if w.mx().pace_armed.get(&nic).is_some_and(|t| *t <= now) {
+                w.mx_mut().pace_armed.remove(&nic);
+            }
+            mx_pace_drain(w, nic);
         }
     }
 }
@@ -486,6 +555,9 @@ fn send_copy_avoidable(ep: &MxEndpoint, iov: &IoVec, segs: &[PhysSeg]) -> bool {
 
 /// `mx_isend`: send the (possibly vectorial) `iov` to `dest` with `tag`.
 /// Always asynchronous; completion surfaces as [`MxEvent::SendDone`].
+/// Untenanted entry point: attributes the send to [`TenantId::DEFAULT`],
+/// which has no QoS policy unless one was explicitly installed — behaviour
+/// is then identical to pre-tenant MX.
 pub fn mx_isend<W: MxWorld>(
     w: &mut W,
     from: MxEndpointId,
@@ -493,6 +565,185 @@ pub fn mx_isend<W: MxWorld>(
     tag: u64,
     iov: &IoVec,
     ctx: u64,
+) -> Result<(), NetError> {
+    mx_isend_t(w, from, dest, tag, iov, ctx, TenantId::DEFAULT)
+}
+
+/// Tenant-attributed send: consults the tenant's token bucket at the NIC
+/// admission point before committing any copy, pin or DMA.
+///
+/// * **Admit** — proceeds synchronously exactly like [`mx_isend`].
+/// * **Defer** — parks the send in the NIC's per-tenant pacing lane and
+///   arms a pace timer for the refill instant; returns `Ok(())` (the
+///   completion arrives later). FIFO order within a tenant is preserved:
+///   while the lane is non-empty new sends park behind it.
+/// * **Shed** — fails synchronously with [`NetError::Overload`].
+pub fn mx_isend_t<W: MxWorld>(
+    w: &mut W,
+    from: MxEndpointId,
+    dest: MxEndpointId,
+    tag: u64,
+    iov: &IoVec,
+    ctx: u64,
+    tenant: TenantId,
+) -> Result<(), NetError> {
+    // Fail fast on the errors that would also fail at drain time, so a
+    // doomed send is never parked.
+    let nic = {
+        let e = w.mx().ep(from)?;
+        check_classes(e, iov)?;
+        e.nic
+    };
+    let dst_nic = w.mx().ep(dest)?.nic;
+    if w.nics().rel.link_dead(Proto::Mx, nic, dst_nic) {
+        return Err(NetError::PeerUnreachable);
+    }
+    let bytes = iov.total_len();
+    let lane_busy = w
+        .mx()
+        .paced
+        .get(&nic)
+        .map(|l| l.lane_len(tenant) > 0)
+        .unwrap_or(false);
+    if !lane_busy {
+        let now = knet_simcore::now(w);
+        match w.nics_mut().qos.admit(nic, tenant.0, bytes, now) {
+            Admission::Admit => {
+                let r = mx_isend_admitted(w, from, dest, tag, iov, ctx, tenant);
+                if r.is_err() {
+                    w.nics_mut().qos.refund(nic, tenant.0, bytes);
+                }
+                return r;
+            }
+            Admission::Shed => return Err(NetError::Overload),
+            Admission::Defer { until } => {
+                mx_pace_park(w, nic, tenant, from, dest, tag, iov, ctx)?;
+                mx_pace_arm(w, nic, until);
+                return Ok(());
+            }
+        }
+    }
+    mx_pace_park(w, nic, tenant, from, dest, tag, iov, ctx)
+}
+
+/// Park one send in `nic`'s pacing lane for `tenant`, shedding if the lane
+/// is at the policy's cap.
+#[allow(clippy::too_many_arguments)]
+fn mx_pace_park<W: MxWorld>(
+    w: &mut W,
+    nic: NicId,
+    tenant: TenantId,
+    from: MxEndpointId,
+    dest: MxEndpointId,
+    tag: u64,
+    iov: &IoVec,
+    ctx: u64,
+) -> Result<(), NetError> {
+    let cap = w
+        .nics()
+        .qos
+        .policy(tenant.0)
+        .map(|p| p.pace_queue_cap)
+        .unwrap_or(usize::MAX);
+    let lanes = w.mx_mut().paced.entry(nic).or_default();
+    if lanes.lane_len(tenant) >= cap {
+        w.nics_mut().qos.note_shed(tenant.0);
+        return Err(NetError::Overload);
+    }
+    let bytes = iov.total_len();
+    w.mx_mut().paced.entry(nic).or_default().push(
+        tenant,
+        PacedMxSend {
+            from,
+            dest,
+            tag,
+            iov: iov.clone(),
+            ctx,
+            bytes,
+        },
+    );
+    Ok(())
+}
+
+/// Arm (or tighten) `nic`'s pace timer to fire at `until`.
+fn mx_pace_arm<W: MxWorld>(w: &mut W, nic: NicId, until: SimTime) {
+    if w.mx().pace_armed.get(&nic).is_some_and(|t| *t <= until) {
+        return;
+    }
+    w.mx_mut().pace_armed.insert(nic, until);
+    let node = w.nics().get(nic).node.0;
+    let ev = W::lift_mx(MxEv::Pace { nic });
+    knet_simcore::emit_at(w, node, until, ev);
+}
+
+/// Complete a parked send as failed (typed, terminal). Dropped silently if
+/// the sending endpoint has since closed.
+fn mx_fail_parked<W: MxWorld>(w: &mut W, ep: MxEndpointId, ctx: u64, error: NetError) {
+    let Ok(e) = w.mx().ep(ep) else { return };
+    let node = e.node.0;
+    let now = knet_simcore::now(w);
+    let ev = W::lift_mx(MxEv::Complete {
+        ep,
+        ev: MxEvent::SendFailed { ctx, error },
+        unpin: None,
+        direct: false,
+    });
+    knet_simcore::emit_at(w, node, now, ev);
+}
+
+/// Drain `nic`'s pacing lanes in WDRR order against the token buckets.
+/// Blocked tenants (bucket still dry) are skipped without head-of-line
+/// blocking the rest; the timer is re-armed for the earliest refill.
+pub fn mx_pace_drain<W: MxWorld>(w: &mut W, nic: NicId) {
+    let Some(mut lanes) = w.mx_mut().paced.remove(&nic) else {
+        return;
+    };
+    let weights = std::mem::take(&mut w.mx_mut().tenant_weights);
+    let now = knet_simcore::now(w);
+    let mut blocked: Vec<u32> = Vec::new();
+    let mut min_defer: Option<SimTime> = None;
+    loop {
+        let popped = lanes.pop_next_eligible(
+            |t| weights.get(t.0 as usize).copied().unwrap_or(1),
+            |ps| ps.bytes,
+            |t, _| !blocked.contains(&t.0),
+        );
+        let Some((t, ps)) = popped else { break };
+        match w.nics_mut().qos.admit(nic, t.0, ps.bytes, now) {
+            Admission::Admit => {
+                match mx_isend_admitted(w, ps.from, ps.dest, ps.tag, &ps.iov, ps.ctx, t) {
+                    Ok(()) => {}
+                    Err(e) => mx_fail_parked(w, ps.from, ps.ctx, e),
+                }
+            }
+            Admission::Defer { until } => {
+                let cost = ps.bytes;
+                lanes.requeue_front(t, ps, cost);
+                blocked.push(t.0);
+                min_defer = Some(min_defer.map_or(until, |m| m.min(until)));
+            }
+            Admission::Shed => mx_fail_parked(w, ps.from, ps.ctx, NetError::Overload),
+        }
+    }
+    w.mx_mut().tenant_weights = weights;
+    // Keep the (possibly empty) lanes: slab and ring capacities are the
+    // steady-state allocation the hot path relies on.
+    w.mx_mut().paced.insert(nic, lanes);
+    if let Some(until) = min_defer {
+        mx_pace_arm(w, nic, until);
+    }
+}
+
+/// The admitted send pipeline (post token-bucket): protocol selection,
+/// copies/pins, host/firmware charges, wire submission.
+fn mx_isend_admitted<W: MxWorld>(
+    w: &mut W,
+    from: MxEndpointId,
+    dest: MxEndpointId,
+    tag: u64,
+    iov: &IoVec,
+    ctx: u64,
+    tenant: TenantId,
 ) -> Result<(), NetError> {
     let params = w.mx().params;
     let (node, nic) = {
@@ -527,7 +778,7 @@ pub fn mx_isend<W: MxWorld>(
             let host_done = knet_simos::cpu_charge(w, node, host_cost);
             let fw_done = fw_charge(w, nic, host_done, params.fw_send);
             let meta = pack_meta(dest, from, tag, msg_id, 0, total);
-            let pkt = Packet::new(
+            let mut pkt = Packet::new(
                 nic,
                 dst_nic,
                 Proto::Mx,
@@ -536,6 +787,7 @@ pub fn mx_isend<W: MxWorld>(
                 data,
                 params.header_bytes,
             );
+            pkt.tenant = tenant.0;
             rel_send(w, pkt, fw_done);
             let ev = W::lift_mx(MxEv::Complete {
                 ep: from,
@@ -596,7 +848,7 @@ pub fn mx_isend<W: MxWorld>(
                     fw_charge(w, nic, dma_done, params.fw_chunk)
                 };
                 let meta = pack_meta(dest, from, tag, msg_id, offset, total);
-                let pkt = Packet::new(
+                let mut pkt = Packet::new(
                     nic,
                     dst_nic,
                     Proto::Mx,
@@ -605,6 +857,7 @@ pub fn mx_isend<W: MxWorld>(
                     chunk,
                     params.header_bytes,
                 );
+                pkt.tenant = tenant.0;
                 rel_send(w, pkt, fw_ready);
                 ready = dma_done;
                 offset += chunk_len;
@@ -641,11 +894,12 @@ pub fn mx_isend<W: MxWorld>(
                     tag,
                     ctx,
                     dst_ep: dest,
+                    tenant,
                 },
             );
             let fw_done = fw_charge(w, nic, host_done, params.fw_send);
             let meta = pack_meta(dest, from, tag, msg_id, 0, total);
-            let pkt = Packet::new(
+            let mut pkt = Packet::new(
                 nic,
                 dst_nic,
                 Proto::Mx,
@@ -654,6 +908,7 @@ pub fn mx_isend<W: MxWorld>(
                 Bytes::new(),
                 params.header_bytes,
             );
+            pkt.tenant = tenant.0;
             rel_send(w, pkt, fw_done);
         }
     }
@@ -1051,7 +1306,7 @@ fn cts_rx<W: MxWorld>(w: &mut W, nic: NicId, pkt: Packet) {
         };
         first = false;
         let meta = pack_meta(r.dst_ep, r.from_ep, r.tag, m.msg_id, offset, r.total);
-        let pkt = Packet::new(
+        let mut pkt = Packet::new(
             nic,
             dst_nic,
             Proto::Mx,
@@ -1060,6 +1315,7 @@ fn cts_rx<W: MxWorld>(w: &mut W, nic: NicId, pkt: Packet) {
             data,
             params.header_bytes,
         );
+        pkt.tenant = r.tenant.0;
         rel_send(w, pkt, fw_ready);
         ready = dma_done;
         offset += chunk_len;

@@ -17,6 +17,7 @@ use crate::coll::{CollEvent, CollState, PendKey};
 use crate::fault::{FaultPlan, FaultState, FaultStats, FaultVerdict, CLEAN};
 use crate::model::NicModel;
 use crate::packet::{NicId, Packet, Proto};
+use crate::qos::QosState;
 use crate::rel::{LinkKey, RelState};
 use crate::ttable::TransTable;
 
@@ -80,6 +81,9 @@ pub struct NicLayer {
     /// state progressed entirely at the firmware layer. Empty (and cost-
     /// and event-free) until a group is installed.
     pub coll: CollState,
+    /// Per-tenant token-bucket admission (see [`crate::qos`]). Empty —
+    /// every send admitted free — until a tenant policy is installed.
+    pub qos: QosState,
 }
 
 impl NicLayer {

@@ -18,6 +18,7 @@ pub mod fault;
 pub mod layer;
 pub mod model;
 pub mod packet;
+pub mod qos;
 pub mod rel;
 pub mod ttable;
 
@@ -32,6 +33,7 @@ pub use layer::{
 };
 pub use model::NicModel;
 pub use packet::{NicId, Packet, Proto};
+pub use qos::{Admission, QosPolicy, QosState, QosTenantStats};
 pub use rel::{
     rel_on_packet, rel_send, LinkKey, RelLinkStats, RelParams, RelState, RelStats, RelVerdict,
 };

@@ -56,6 +56,11 @@ pub struct Packet {
     /// inflates the RTT estimate. **Raw field**, grep-gated like the
     /// sequence number.
     pub rel_tsval: SimTime,
+    /// Sending tenant (consumer group), stamped by the driver after
+    /// admission so receive-side accounting can attribute wire traffic.
+    /// `0` is the default tenant; untenanted raw fabric traffic also
+    /// carries `0`.
+    pub tenant: u32,
 }
 
 impl Packet {
@@ -80,6 +85,7 @@ impl Packet {
             wire_len,
             rel_seq: 0,
             rel_tsval: SimTime::ZERO,
+            tenant: 0,
         }
     }
 }

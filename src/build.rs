@@ -2,7 +2,7 @@
 
 use knet_gm::{GmLayer, GmParams};
 use knet_mx::{MxLayer, MxParams};
-use knet_simnic::{FaultPlan, NicLayer, NicModel};
+use knet_simnic::{FaultPlan, NicLayer, NicModel, QosPolicy};
 use knet_simos::{CpuModel, NodeId, OsLayer};
 use knet_zsock::{TcpLayer, TcpParams, ZsockLayer, ZsockParams};
 
@@ -19,6 +19,15 @@ pub struct ClusterBuilder {
     zsock_params: ZsockParams,
     tcp_params: TcpParams,
     fault: Option<FaultPlan>,
+    tenants: Vec<TenantSpec>,
+}
+
+/// A tenant declared at build time: registry name, WDRR weight, and an
+/// optional NIC admission policy (`None` ⇒ unthrottled, scheduler-only).
+struct TenantSpec {
+    name: String,
+    weight: u64,
+    policy: Option<QosPolicy>,
 }
 
 impl Default for ClusterBuilder {
@@ -39,7 +48,45 @@ impl ClusterBuilder {
             zsock_params: ZsockParams::default(),
             tcp_params: TcpParams::default(),
             fault: None,
+            tenants: Vec::new(),
         }
+    }
+
+    /// Declare a tenant (consumer group) with a WDRR `weight` and no NIC
+    /// rate limit. Tenant ids are minted in declaration order starting at
+    /// 1 (id 0 is the always-present default tenant), identically in every
+    /// shard, so sharded runs see the same tenant directory.
+    pub fn tenant(mut self, name: &str, weight: u64) -> Self {
+        self.tenants.push(TenantSpec {
+            name: name.to_string(),
+            weight,
+            policy: None,
+        });
+        self
+    }
+
+    /// Declare a tenant with a WDRR `weight` **and** a token-bucket policy
+    /// at the NIC admission point: sustained `rate_bytes_per_sec` with
+    /// `burst_bytes` of credit, sends beyond the rate paced in virtual
+    /// time (or shed with `NetError::Overload` once the pacing queue hits
+    /// the policy's cap).
+    pub fn tenant_limited(
+        mut self,
+        name: &str,
+        weight: u64,
+        rate_bytes_per_sec: u64,
+        burst_bytes: u64,
+    ) -> Self {
+        self.tenants.push(TenantSpec {
+            name: name.to_string(),
+            weight,
+            policy: Some(QosPolicy {
+                rate_bytes_per_sec,
+                burst_bytes,
+                ..QosPolicy::default()
+            }),
+        });
+        self
     }
 
     /// Use `n` identical nodes with the given CPU.
@@ -116,14 +163,18 @@ impl ClusterBuilder {
         if let Some(plan) = &self.fault {
             nics.set_fault_plan(plan.clone());
         }
-        ClusterWorld::from_layers(
+        let mut w = ClusterWorld::from_layers(
             os,
             nics,
             GmLayer::new(self.gm_params),
             MxLayer::new(self.mx_params),
             ZsockLayer::new(self.zsock_params),
             TcpLayer::new(self.tcp_params),
-        )
+        );
+        for spec in &self.tenants {
+            w.register_tenant(&spec.name, spec.weight, spec.policy);
+        }
+        w
     }
 
     /// Build the cluster as `shards` node-partitioned replicas stepped by

@@ -81,12 +81,13 @@ pub mod figures;
 pub mod harness;
 pub mod report;
 pub mod shard;
+pub mod workload;
 pub mod world;
 
 pub use build::ClusterBuilder;
 pub use event::ClusterEv;
 pub use shard::ShardedCluster;
-pub use world::ClusterWorld;
+pub use world::{ClusterWorld, TenantStatsRow};
 
 /// Everything needed to script experiments.
 pub mod prelude {
@@ -104,7 +105,7 @@ pub mod prelude {
     };
     pub use knet_core::{
         ChannelId, ConsumerId, CqEntry, CqId, DispatchWorld, Endpoint, IoVec, MemRef, NetError,
-        RpcError, TransportEvent, TransportKind,
+        RpcError, TenantId, TransportEvent, TransportKind,
     };
     pub use knet_gm::{GmParams, GmPortConfig};
     pub use knet_kv::{
@@ -121,6 +122,6 @@ pub mod prelude {
         RpcWorld,
     };
     pub use knet_simcore::{now, run_to_quiescence, run_until, RunOutcome, SimTime};
-    pub use knet_simnic::{CollOp, NicModel, ReduceOp};
+    pub use knet_simnic::{CollOp, NicModel, QosPolicy, ReduceOp};
     pub use knet_simos::{Asid, CpuModel, NodeId, PAGE_SIZE};
 }

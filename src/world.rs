@@ -22,15 +22,16 @@
 use knet_coll::{CollLayer, CollWorld};
 use knet_core::api::{self, ConsumerId, CqId, Registry};
 use knet_core::{
-    DispatchWorld, Endpoint, IoVec, MemRef, NetError, TransportEvent, TransportKind, TransportWorld,
+    DispatchWorld, Endpoint, IoVec, MemRef, NetError, TenantId, TenantSendStats, TransportEvent,
+    TransportKind, TransportWorld,
 };
 use knet_gm::{
     gm_ensure_cached, gm_next_event, gm_on_packet, gm_on_vma_event, gm_open_port,
-    gm_provide_receive_buffer, gm_send, GmEv, GmEvent, GmLayer, GmPortConfig, GmPortId, GmWorld,
+    gm_provide_receive_buffer, gm_send_t, GmEv, GmEvent, GmLayer, GmPortConfig, GmPortId, GmWorld,
 };
 use knet_kv::{KvEv, KvLayer, KvWorld};
 use knet_mx::{
-    mx_irecv, mx_isend, mx_next_event, mx_on_packet, mx_open_endpoint, MxEndpointConfig,
+    mx_irecv, mx_isend_t, mx_next_event, mx_on_packet, mx_open_endpoint, MxEndpointConfig,
     MxEndpointId, MxEv, MxEvent, MxLayer, MxWorld,
 };
 use knet_nbd::{NbdLayer, NbdWorld};
@@ -222,6 +223,10 @@ impl ClusterWorld {
         st.engine_arena_uses = eng.arena_uses;
         st.engine_arena_grows = eng.arena_grows;
         st.engine_errors = eng.errors;
+        let qos = self.nics.qos.totals();
+        st.qos_admitted = qos.admitted;
+        st.qos_deferred = qos.deferred;
+        st.qos_shed = qos.shed;
         st
     }
 
@@ -239,6 +244,96 @@ impl ClusterWorld {
     pub fn rel_link_stats(&self) -> Vec<knet_simnic::RelLinkStats> {
         self.nics.rel.link_breakdown()
     }
+
+    /// Register a tenant (idempotent by name): mints the registry id,
+    /// installs the WDRR weight in both drivers, and — when `policy` is
+    /// given — the token-bucket policy at the NIC admission point.
+    pub fn register_tenant(
+        &mut self,
+        name: &str,
+        weight: u64,
+        policy: Option<knet_simnic::QosPolicy>,
+    ) -> TenantId {
+        let t = self.registry.tenant_create(name, weight);
+        if let Some(p) = policy {
+            self.nics.qos.set_policy(t.0, p);
+        }
+        self.sync_tenant_weights();
+        t
+    }
+
+    /// Attribute an endpoint's sends to `tenant` (channels created for it
+    /// pick the tenant up; existing channels are re-tagged).
+    pub fn assign_tenant(&mut self, ep: Endpoint, tenant: TenantId) {
+        self.registry.assign_tenant(ep, tenant);
+    }
+
+    /// Mirror the registry's tenant weights into the driver pacing
+    /// schedulers (both drivers index weights by dense tenant id).
+    fn sync_tenant_weights(&mut self) {
+        let table = self.registry.tenant_table();
+        let n = table.count();
+        self.gm.tenant_weights.clear();
+        self.mx.tenant_weights.clear();
+        for i in 0..n {
+            let wgt = table.weight(TenantId(i as u32));
+            self.gm.tenant_weights.push(wgt);
+            self.mx.tenant_weights.push(wgt);
+        }
+    }
+
+    /// One stats row per tenant: channel-layer queueing counters joined
+    /// with the NIC admission counters (summed over the tenant's NICs).
+    pub fn tenant_stats(&self) -> Vec<TenantStatsRow> {
+        self.registry
+            .tenant_rows()
+            .into_iter()
+            .map(|row| TenantStatsRow {
+                id: row.id,
+                name: row.name,
+                weight: row.weight,
+                channel: row.stats,
+                qos: self.nics.qos.tenant_stats(row.id.0),
+            })
+            .collect()
+    }
+
+    /// Fold every tenant-visible scheduler and admission state into a
+    /// fingerprint accumulator: channel WDRR lanes, driver pacing lanes,
+    /// token buckets. Zero-cost mix when no tenant is configured; used by
+    /// `tests/sched_equivalence.rs` to prove shard invariance.
+    pub fn tenant_fingerprint(&self, mut mix: impl FnMut(u64)) {
+        self.registry.wdrr_fingerprint(&mut mix);
+        self.gm.paced_fingerprint(&mut mix);
+        self.mx.paced_fingerprint(&mut mix);
+        self.nics.qos.fingerprint(&mut mix);
+    }
+
+    /// [`Self::tenant_fingerprint`] restricted to one node's slice —
+    /// channels homed on the node, pacing lanes and token buckets of its
+    /// NIC. In a sharded run a node's slice is authoritative only on the
+    /// owning shard world, so equivalence tests fold node slices from their
+    /// owners and get bit-identical results at every shard count.
+    pub fn tenant_fingerprint_node(&self, node: NodeId, mut mix: impl FnMut(u64)) {
+        self.registry.wdrr_fingerprint_node(node.0, &mut mix);
+        if let Some(nic) = self.nics.nic_of_node(node) {
+            self.gm.paced_fingerprint_nic(nic, &mut mix);
+            self.mx.paced_fingerprint_nic(nic, &mut mix);
+            self.nics.qos.fingerprint_nic(nic, &mut mix);
+        }
+    }
+}
+
+/// Per-tenant observability row surfaced by [`ClusterWorld::tenant_stats`]:
+/// the channel layer's queueing counters and the NIC admission point's
+/// token-bucket counters, keyed by the registry's tenant directory.
+#[derive(Clone, Debug)]
+pub struct TenantStatsRow {
+    pub id: TenantId,
+    pub name: String,
+    pub weight: u64,
+    pub channel: TenantSendStats,
+    pub qos: knet_simnic::QosTenantStats,
 }
 
 impl SimWorld for ClusterWorld {
@@ -419,6 +514,7 @@ impl GmWorld for ClusterWorld {
         while let Some(ev) = gm_next_event(self, port) {
             let tev = match ev {
                 GmEvent::SendDone { ctx } => TransportEvent::SendDone { ctx },
+                GmEvent::SendFailed { ctx, error } => TransportEvent::SendFailed { ctx, error },
                 GmEvent::RecvDone {
                     ctx,
                     tag,
@@ -478,6 +574,7 @@ impl MxWorld for ClusterWorld {
         while let Some(ev) = mx_next_event(self, ep_id) {
             let tev = match ev {
                 MxEvent::SendDone { ctx } => TransportEvent::SendDone { ctx },
+                MxEvent::SendFailed { ctx, error } => TransportEvent::SendFailed { ctx, error },
                 MxEvent::RecvDone {
                     ctx,
                     tag,
@@ -528,14 +625,27 @@ impl TransportWorld for ClusterWorld {
         iov: IoVec,
         ctx: u64,
     ) -> Result<(), NetError> {
+        self.t_send_t(from, to, tag, iov, ctx, TenantId::DEFAULT)
+    }
+
+    fn t_send_t(
+        &mut self,
+        from: Endpoint,
+        to: Endpoint,
+        tag: u64,
+        iov: IoVec,
+        ctx: u64,
+        tenant: TenantId,
+    ) -> Result<(), NetError> {
         match from.kind {
-            TransportKind::Mx => mx_isend(
+            TransportKind::Mx => mx_isend_t(
                 self,
                 MxEndpointId(from.idx),
                 MxEndpointId(to.idx),
                 tag,
                 &iov,
                 ctx,
+                tenant,
             ),
             TransportKind::Gm => {
                 // GM is not vectorial (§4.1): single-segment sends only.
@@ -567,7 +677,7 @@ impl TransportWorld for ClusterWorld {
                     }
                     MemRef::Physical { .. } => {}
                 }
-                gm_send(self, port, seg, GmPortId(to.idx), tag, ctx)
+                gm_send_t(self, port, seg, GmPortId(to.idx), tag, ctx, tenant)
             }
         }
     }

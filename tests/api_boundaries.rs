@@ -218,6 +218,46 @@ fn kv_store_speaks_typed_rpc_only() {
     );
 }
 
+/// Directories that must not bypass the WDRR scheduler. The tenant-stamped
+/// send entry points (`t_send_t`, `gm_send_t`, `mx_isend_t`) and the
+/// per-tenant lane queue type are the seam *below* per-tenant fair queueing:
+/// calling them directly would let a caller pick its own tenant id or
+/// reorder parked sends, defeating both isolation and accounting. Services,
+/// examples and integration tests send through channels; only the channel
+/// layer (`crates/core`), the two drivers, and the composed world
+/// (`src/world.rs`, which implements the `t_send_t` seam) sit below it.
+const WDRR_FORBIDDEN: &[&str] = &[
+    "examples",
+    "tests",
+    "crates/coll",
+    "crates/zsock",
+    "crates/bench",
+    "crates/simfs",
+    "crates/orfs",
+    "crates/nbd",
+    "crates/rpc",
+    "crates/kv",
+];
+
+#[test]
+fn tenant_stamped_sends_stay_below_the_wdrr_scheduler() {
+    // Patterns assembled at runtime so this file never matches itself.
+    let patterns = vec![
+        format!(".t_send_{}(", "t"),
+        format!("gm_send_{}(", "t"),
+        format!("mx_isend_{}(", "t"),
+        format!("Wdrr{}", "Lanes"),
+    ];
+    let offenders = offenders_for(WDRR_FORBIDDEN, &patterns);
+    assert!(
+        offenders.is_empty(),
+        "tenant-stamped raw sends or WDRR queue internals touched above \
+         the scheduler (register a tenant, assign the endpoint, and send \
+         through the channel API):\n{}",
+        offenders.join("\n")
+    );
+}
+
 #[test]
 fn collective_opcodes_stay_inside_the_nic_engine_and_drivers() {
     // Patterns assembled at runtime so this file never matches itself.

@@ -1031,6 +1031,81 @@ fn shrinking_the_send_queue_cap_fails_excess_parked_sends() {
 }
 
 #[test]
+fn cap_shrink_evicts_within_each_tenant_never_across() {
+    // The send-queue cap is per tenant lane. Shrinking it must evict
+    // newest-first *within* each over-cap lane and never let one tenant's
+    // backlog push out another tenant's parked sends.
+    let (mut w, n0, n1) = (
+        ClusterBuilder::new()
+            .gm_params(GmParams {
+                send_tokens: 1,
+                ..GmParams::default()
+            })
+            .build(),
+        NodeId(0),
+        NodeId(1),
+    );
+    let (ch_a, _ch_b, cq_a, _cq_b, ea, _eb) = channel_pair(&mut w, TransportKind::Gm, n0, n1);
+    let ka = kbuf(&mut w, n0, 4096);
+
+    // Four sends under the default tenant: one takes the only token, three
+    // park in the default lane.
+    let mut a_ctxs = Vec::new();
+    for i in 0..4u64 {
+        a_ctxs.push(channel_send(&mut w, ch_a, i, ka.iov(16)).unwrap());
+    }
+    // Re-tag the endpoint and park four more in tenant b's lane. Parked
+    // sends keep the lane they joined under.
+    let tb = w.registry.tenant_create("b", 2);
+    w.assign_tenant(ea, tb);
+    let mut b_ctxs = Vec::new();
+    for i in 10..14u64 {
+        b_ctxs.push(channel_send(&mut w, ch_a, i, ka.iov(16)).unwrap());
+    }
+    let ch = w.registry.channel(ch_a).unwrap();
+    assert_eq!(ch.queued_len_for(TenantId::DEFAULT), 3);
+    assert_eq!(ch.queued_len_for(tb), 4);
+
+    api::channel_set_send_queue_cap(&mut w, ch_a, 2);
+
+    let ch = w.registry.channel(ch_a).unwrap();
+    assert_eq!(
+        ch.queued_len_for(TenantId::DEFAULT),
+        2,
+        "default lane trimmed to the cap, not drained for tenant b"
+    );
+    assert_eq!(
+        ch.queued_len_for(tb),
+        2,
+        "tenant b's lane trimmed to the cap independently"
+    );
+    let mut failed = Vec::new();
+    while let Some(e) = w.registry.cq_pop_for(cq_a, ea) {
+        if let TransportEvent::SendFailed { ctx, error } = e.event {
+            assert_eq!(error, NetError::SendQueueFull);
+            failed.push(ctx);
+        }
+    }
+    assert_eq!(
+        failed,
+        vec![a_ctxs[3], b_ctxs[3], b_ctxs[2]],
+        "each lane evicts its own newest; survivors belong to both tenants"
+    );
+    // Every surviving send still completes.
+    knet_simcore::run_to_quiescence(&mut w);
+    let mut done = Vec::new();
+    while let Some(e) = w.registry.cq_pop_for(cq_a, ea) {
+        if let TransportEvent::SendDone { ctx } = e.event {
+            done.push(ctx);
+        }
+    }
+    let mut expected = vec![a_ctxs[0], a_ctxs[1], a_ctxs[2], b_ctxs[0], b_ctxs[1]];
+    expected.sort_unstable();
+    done.sort_unstable();
+    assert_eq!(done, expected, "both lanes drain after the shrink");
+}
+
+#[test]
 fn ghost_purge_covers_reuse_with_a_different_queue() {
     // The aliasing hazard doesn't care which queue the *new* channel
     // feeds: ghosts live wherever the old incarnation accumulated. Reuse

@@ -357,6 +357,131 @@ fn channel_send_path_recycles_pools_in_steady_state() {
     assert_eq!(snap.rel_srtt_ns, rel1.srtt_ns);
 }
 
+/// The multi-tenant machinery rides the same contract: per-tenant WDRR
+/// lanes in the channel, per-tenant pacing lanes in the driver and token
+/// buckets at the NIC all reach their high-water mark during warm-up and
+/// never grow again. Two tenants share a 2-node GM cluster — "rt"
+/// unthrottled, "bulk" behind a token bucket so its sends cross the
+/// Defer → pacing-lane → pace-timer path every round — while a tiny token
+/// pool parks sends in the channel lanes. Once warm, an identical batch of
+/// rounds performs *exactly* the same number of heap allocations as the
+/// previous one: the steady-state tenant path allocates nothing beyond the
+/// payload `Bytes` the driver already accounts.
+#[test]
+fn multi_tenant_send_path_keeps_lanes_and_buckets_flat() {
+    use knet_gm::GmParams;
+    use knet_simnic::QosPolicy;
+
+    let mut w = ClusterBuilder::new()
+        .nodes(2, CpuModel::xeon_2600())
+        .gm_params(GmParams {
+            send_tokens: 2,
+            ..GmParams::default()
+        })
+        .build();
+    let (n0, n1) = (NodeId(0), NodeId(1));
+    let rt = w.register_tenant("rt", 4, None);
+    let bulk = w.register_tenant(
+        "bulk",
+        1,
+        Some(QosPolicy {
+            rate_bytes_per_sec: 20_000_000,
+            burst_bytes: 8192,
+            pace_queue_cap: 1024,
+        }),
+    );
+    let cq = w.new_cq();
+    let cfg = GmPortConfig::kernel().with_physical_api();
+    let a_rt = w.open_gm_cq(n0, cfg.clone(), cq).unwrap();
+    let b_rt = w.open_gm_cq(n1, cfg.clone(), cq).unwrap();
+    let a_bulk = w.open_gm_cq(n0, cfg.clone(), cq).unwrap();
+    let b_bulk = w.open_gm_cq(n1, cfg, cq).unwrap();
+    let ch_rt = channel_connect(&mut w, a_rt, b_rt, cq);
+    let ch_bulk = channel_connect(&mut w, a_bulk, b_bulk, cq);
+    w.assign_tenant(a_rt, rt);
+    w.assign_tenant(a_bulk, bulk);
+    let ka = kbuf(&mut w, n0, 4096);
+
+    let mut batch = Vec::new();
+    let mut round = |w: &mut knet::world::ClusterWorld, r: u64| {
+        // Six sends per tenant against two tokens: four park in each
+        // channel's tenant lane; bulk's admitted sends outrun the bucket
+        // and defer through the driver pacing lane.
+        for i in 0..6u64 {
+            channel_send(w, ch_rt, r * 100 + i, ka.iov(1024)).unwrap();
+            channel_send(w, ch_bulk, r * 100 + i, ka.iov(1024)).unwrap();
+        }
+        knet_simcore::run_to_quiescence(w);
+        w.take_events(a_rt, usize::MAX, &mut batch);
+        w.take_events(a_bulk, usize::MAX, &mut batch);
+        w.take_events(b_rt, usize::MAX, &mut batch);
+        w.take_events(b_bulk, usize::MAX, &mut batch);
+    };
+
+    // Warm-up: lanes, buckets, pace timers and pools reach their marks.
+    for r in 1..=16u64 {
+        round(&mut w, r);
+    }
+    let lane_grows = |w: &knet::world::ClusterWorld| {
+        let rt_ch = w.registry.channel(ch_rt).unwrap();
+        let bulk_ch = w.registry.channel(ch_bulk).unwrap();
+        (
+            rt_ch.queue_grows(),
+            rt_ch.queue_lanes(),
+            bulk_ch.queue_grows(),
+            bulk_ch.queue_lanes(),
+            w.gm.paced_grows(),
+        )
+    };
+    let lanes0 = lane_grows(&w);
+    let pool0 = w.registry.stats;
+    let qos0 = w.nics.qos.totals();
+
+    let (allocs_a, _) = count(|| {
+        for r in 17..=66u64 {
+            round(&mut w, r);
+        }
+    });
+    let (allocs_b, _) = count(|| {
+        for r in 67..=116u64 {
+            round(&mut w, r);
+        }
+    });
+    let lanes1 = lane_grows(&w);
+    let pool1 = w.registry.stats;
+    let qos1 = w.nics.qos.totals();
+
+    assert_eq!(
+        allocs_a, allocs_b,
+        "identical warm batches must allocate identically — any growth \
+         would make the second batch cheaper or dearer"
+    );
+    assert_eq!(lanes1, lanes0, "tenant lane slabs and pacing queues flat");
+    assert_eq!(
+        pool1.ctx_pool_slots, pool0.ctx_pool_slots,
+        "no new send-context slots for tenant traffic"
+    );
+    assert!(
+        pool1.queued_sends >= pool0.queued_sends + 100,
+        "the rounds really parked sends in the tenant lanes"
+    );
+    assert!(
+        qos1.deferred > qos0.deferred,
+        "bulk really crossed the pacing path"
+    );
+    assert_eq!(qos1.shed, qos0.shed, "nothing shed at this offered load");
+    // Per-tenant rows kept pace without minting rows (dense vectors).
+    let rows = w.tenant_stats();
+    let rt_row = rows.iter().find(|r| r.name == "rt").unwrap();
+    let bulk_row = rows.iter().find(|r| r.name == "bulk").unwrap();
+    assert!(rt_row.channel.queued_sends > 0 && bulk_row.channel.queued_sends > 0);
+    assert_eq!(
+        rt_row.qos.admitted, 0,
+        "unthrottled tenants skip the bucket"
+    );
+    assert!(bulk_row.qos.admitted > 0 && bulk_row.qos.deferred > 0);
+}
+
 // ---------------------------------------------------------------- rpc
 
 /// The RPC codec's warm path is *strictly* allocation-free: requests and

@@ -143,6 +143,13 @@ struct Mesh {
 
 /// Ring-mesh channel traffic under a seeded faulty fabric (drops, dups,
 /// delay-reorder, and optionally a node kill). Returns the fingerprint.
+///
+/// The mesh is multi-tenant: endpoints rotate through two weighted tenants
+/// plus a token-bucket-paced one, so the per-channel WDRR lanes, the
+/// driver pacing lanes and the NIC buckets all carry state under chaos —
+/// and that state is folded into the fingerprint per node each round. (The
+/// paced tenant stays off the kill target: a dead NIC drains nothing, by
+/// design.)
 fn chaos_fingerprint(d: &mut Driver, n: usize, seed: u64, loss_pct: u64, kill: bool) -> (u64, u64) {
     let mesh = d.setup(|w| {
         let mut plan = FaultPlan::new(seed)
@@ -153,6 +160,17 @@ fn chaos_fingerprint(d: &mut Driver, n: usize, seed: u64, loss_pct: u64, kill: b
             plan = plan.with_kill(NodeId(n as u32 - 1), SimTime::from_millis(2));
         }
         w.set_fault_plan(plan);
+        let silver = w.register_tenant("silver", 2, None);
+        let bulk = w.register_tenant(
+            "bulk",
+            3,
+            Some(knet_simnic::QosPolicy {
+                rate_bytes_per_sec: 50_000_000,
+                burst_bytes: 16_384,
+                pace_queue_cap: 256,
+            }),
+        );
+        let gold = w.register_tenant("gold", 4, None);
         let mut eps = Vec::new();
         let mut bufs = Vec::new();
         let mut cqs = Vec::new();
@@ -160,6 +178,7 @@ fn chaos_fingerprint(d: &mut Driver, n: usize, seed: u64, loss_pct: u64, kill: b
             let node = NodeId(i as u32);
             let cq = w.new_cq();
             let ep = w.open_mx_cq(node, MxEndpointConfig::kernel(), cq).unwrap();
+            w.assign_tenant(ep, [silver, bulk, gold][i % 3]);
             eps.push(ep);
             cqs.push(cq);
             bufs.push(kbuf(w, node, 64 << 10));
@@ -196,6 +215,10 @@ fn chaos_fingerprint(d: &mut Driver, n: usize, seed: u64, loss_pct: u64, kill: b
                 while let Some(ev) = w.take_event(ep) {
                     h = mix_event(h, &ev);
                 }
+                // Fold this node's tenant-scheduler slice — channel WDRR
+                // lanes, driver pacing lanes, NIC token buckets — so a
+                // single mis-scheduled tenant byte anywhere diverges.
+                w.tenant_fingerprint_node(NodeId(i as u32), |v| h = mix(h, v));
                 h
             });
         }
