@@ -32,13 +32,14 @@ use std::time::Instant;
 
 use knet::build::ClusterBuilder;
 use knet::harness::kbuf;
+use knet::prelude::MxEndpointConfig;
 use knet::world::ClusterWorld;
 use knet_core::api::{
     channel_connect, channel_post_recv, channel_send, channel_set_send_queue_cap,
 };
 use knet_core::{RegCache, RegKey, TransportEvent};
 use knet_gm::GmPortConfig;
-use knet_simnic::FaultPlan;
+use knet_simnic::{FaultPlan, NicModel, RelParams};
 use knet_simos::{Asid, CpuModel, FrameIdx, NodeId, VirtAddr, VmaEvent, PAGE_SIZE};
 
 // ---------------------------------------------------------------- allocator
@@ -347,6 +348,179 @@ const GBN_BASELINE: &[(u64, f64)] = &[
     (20, 82.05),
 ];
 
+// ---------------------------------------------------------------- incast
+
+/// One measured incast configuration: goodput plus the tail of the
+/// per-message completion-latency distribution, both in virtual time.
+struct IncastRun {
+    goodput_mbps: f64,
+    p99_us: f64,
+    rx_drops: u64,
+    retransmits: u64,
+}
+
+/// One sender count, measured twice on identical traffic: once with the
+/// congestion control loop (default `RelParams`: NACK-driven repair, AIMD
+/// windows, SACK fast retransmit) and once with the pre-control-loop
+/// fixed-window sender, whose only repair for fan-in tail drops is the RTO.
+struct IncastPoint {
+    senders: usize,
+    cc: IncastRun,
+    fixed: IncastRun,
+}
+
+/// Barrier-synchronized fan-in (the classic incast shape, same workload as
+/// `tests/incast.rs`): every sender answers the round's request with one
+/// 32 kB message at once; the next round starts when the fan-in drains.
+/// On PCI-XE the 16-way burst genuinely overflows the 128 kB rx FIFO, so
+/// the loss here is self-inflicted and deterministic — no fault dice.
+fn incast_run(n_senders: usize, rounds: u64, rel: RelParams) -> IncastRun {
+    const MSG: u64 = 32 * 1024;
+    let mut w = ClusterBuilder::new()
+        .nodes(n_senders + 1, CpuModel::xeon_2600())
+        .nic(NicModel::pci_xe())
+        .rel_params(rel)
+        .build();
+    let rcq = w.new_cq();
+    let recv_ep = w
+        .open_mx_cq(NodeId(0), MxEndpointConfig::kernel(), rcq)
+        .expect("mx recv ep");
+    let mut senders = Vec::new();
+    for i in 1..=n_senders {
+        let node = NodeId(i as u32);
+        let cq = w.new_cq();
+        let ep = w
+            .open_mx_cq(node, MxEndpointConfig::kernel(), cq)
+            .expect("mx sender ep");
+        let ch = channel_connect(&mut w, ep, recv_ep, cq);
+        senders.push((ch, kbuf(&mut w, node, MSG)));
+    }
+
+    let mut lat_us: Vec<f64> = Vec::with_capacity((rounds as usize) * n_senders);
+    let t0 = knet_simcore::now(&w);
+    for round in 0..rounds {
+        let start = knet_simcore::now(&w);
+        for (i, (ch, buf)) in senders.iter().enumerate() {
+            channel_send(&mut w, *ch, round * 100 + i as u64 + 1, buf.iov(MSG)).expect("send");
+        }
+        let mut landed = 0usize;
+        while landed < n_senders {
+            let outcome = knet_simcore::run_until(&mut w, |w: &ClusterWorld| w.has_event(recv_ep));
+            if outcome != knet_simcore::RunOutcome::Satisfied {
+                panic!("incast {n_senders}x: stalled at {landed}/{n_senders} in round {round}");
+            }
+            let now = knet_simcore::now(&w);
+            while let Some(ev) = w.take_event(recv_ep) {
+                if matches!(ev, TransportEvent::Unexpected { .. }) {
+                    landed += 1;
+                    lat_us.push((now - start).nanos() as f64 / 1e3);
+                }
+            }
+        }
+        // Settle trailing retransmit timers so each round starts from an
+        // idle fabric — the barrier between rounds.
+        knet_simcore::run_to_quiescence(&mut w);
+    }
+    let elapsed = (knet_simcore::now(&w) - t0).secs();
+
+    lat_us.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let p99_idx = ((lat_us.len() as f64 * 0.99).ceil() as usize).max(1) - 1;
+    IncastRun {
+        goodput_mbps: (rounds * n_senders as u64 * MSG) as f64 / elapsed.max(1e-12) / 1e6,
+        p99_us: lat_us[p99_idx],
+        rx_drops: w.nics.congestion_drops(),
+        retransmits: w.nics.rel.stats.retransmits,
+    }
+}
+
+fn phase_incast(rounds: u64) -> Vec<IncastPoint> {
+    [2usize, 4, 8, 16]
+        .iter()
+        .map(|&n| IncastPoint {
+            senders: n,
+            cc: incast_run(n, rounds, RelParams::default()),
+            fixed: incast_run(n, rounds, RelParams::fixed_window()),
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------- striping
+
+/// One point of the dual-link striping curve: a single lossless flow at a
+/// fixed message size, measured on a PCI-XE card with both links and again
+/// with the same card constrained to one link.
+struct StripePoint {
+    msg_bytes: u64,
+    msgs: u64,
+    single_link_mbps: f64,
+    dual_link_mbps: f64,
+}
+
+impl StripePoint {
+    fn speedup(&self) -> f64 {
+        self.dual_link_mbps / self.single_link_mbps.max(1e-9)
+    }
+}
+
+/// Goodput of one GM channel streaming `msgs` messages of `msg_bytes` over
+/// a lossless fabric. The deficit lane selector stripes the MTU chunks of
+/// even a single flow across every link, so the dual-link number should
+/// approach 2x once the transfer is bandwidth-dominated.
+fn striping_goodput(links: usize, msg_bytes: u64, msgs: u64) -> f64 {
+    let mut w = ClusterBuilder::new()
+        .nodes(2, CpuModel::xeon_2600())
+        .nic(NicModel::pci_xe().with_links(links))
+        .build();
+    let (n0, n1) = (NodeId(0), NodeId(1));
+    let cq0 = w.new_cq();
+    let cq1 = w.new_cq();
+    let cfg = GmPortConfig::kernel().with_physical_api();
+    let a = w.open_gm_cq(n0, cfg.clone(), cq0).expect("gm port a");
+    let b = w.open_gm_cq(n1, cfg, cq1).expect("gm port b");
+    let ka = kbuf(&mut w, n0, msg_bytes);
+    let kb = kbuf(&mut w, n1, msg_bytes);
+    let ch_a = channel_connect(&mut w, a, b, cq0);
+    let ch_b = channel_connect(&mut w, b, a, cq1);
+    channel_set_send_queue_cap(&mut w, ch_a, msgs as usize + 8);
+    for tag in 1..=msgs {
+        channel_post_recv(&mut w, ch_b, tag, kb.iov(msg_bytes)).expect("post recv");
+    }
+    let t0 = knet_simcore::now(&w);
+    for tag in 1..=msgs {
+        channel_send(&mut w, ch_a, tag, ka.iov(msg_bytes)).expect("send");
+    }
+    let mut batch = Vec::new();
+    let mut delivered = 0u64;
+    while delivered < msgs {
+        let outcome = knet_simcore::run_until(&mut w, |w: &ClusterWorld| w.has_event(b));
+        if outcome != knet_simcore::RunOutcome::Satisfied {
+            panic!("striping at {links} links: stalled with {delivered}/{msgs} delivered");
+        }
+        w.take_events(b, usize::MAX, &mut batch);
+        delivered += batch
+            .iter()
+            .filter(|e| matches!(e.event, TransportEvent::RecvDone { .. }))
+            .count() as u64;
+    }
+    let elapsed = (knet_simcore::now(&w) - t0).secs();
+    (msgs * msg_bytes) as f64 / elapsed.max(1e-12) / 1e6
+}
+
+fn phase_striping(total_bytes: u64) -> Vec<StripePoint> {
+    [64 * 1024u64, 256 * 1024, 1024 * 1024]
+        .iter()
+        .map(|&msg_bytes| {
+            let msgs = (total_bytes / msg_bytes).max(1);
+            StripePoint {
+                msg_bytes,
+                msgs,
+                single_link_mbps: striping_goodput(1, msg_bytes, msgs),
+                dual_link_mbps: striping_goodput(2, msg_bytes, msgs),
+            }
+        })
+        .collect()
+}
+
 // ---------------------------------------------------------------- probes
 
 /// Pure-hit probe: exact allocation count of 10k cache-hit plans (the
@@ -432,6 +606,61 @@ fn main() {
         );
     }
 
+    let incast_rounds = env_u64("HOTPATH_INCAST_ROUNDS", 6);
+    let incast = phase_incast(incast_rounds);
+    for p in &incast {
+        eprintln!(
+            "incast: {:2} senders -> cc {:.1} MB/s p99 {:.0}us (drops {}, retx {}) | fixed {:.1} MB/s p99 {:.0}us (drops {}, retx {})",
+            p.senders,
+            p.cc.goodput_mbps,
+            p.cc.p99_us,
+            p.cc.rx_drops,
+            p.cc.retransmits,
+            p.fixed.goodput_mbps,
+            p.fixed.p99_us,
+            p.fixed.rx_drops,
+            p.fixed.retransmits
+        );
+    }
+    // The acceptance bar for the control loop: at the 16-way point the
+    // AIMD+NACK sender must beat the fixed-window one on both goodput and
+    // tail latency. Virtual time makes this deterministic, so a failure
+    // here is a protocol regression, not noise.
+    if let Some(p16) = incast.iter().find(|p| p.senders == 16) {
+        assert!(
+            p16.cc.goodput_mbps >= p16.fixed.goodput_mbps * 1.5,
+            "16-way incast: control loop buys only {:.2}x goodput",
+            p16.cc.goodput_mbps / p16.fixed.goodput_mbps
+        );
+        assert!(
+            p16.cc.p99_us < p16.fixed.p99_us,
+            "16-way incast: control loop worsens p99 ({:.0}us vs {:.0}us)",
+            p16.cc.p99_us,
+            p16.fixed.p99_us
+        );
+    }
+
+    let stripe_total = env_u64("HOTPATH_STRIPE_BYTES", 4 * 1024 * 1024);
+    let striping = phase_striping(stripe_total);
+    for p in &striping {
+        eprintln!(
+            "striping: {:4} kB x {:3} msgs -> 1 link {:.1} MB/s, 2 links {:.1} MB/s ({:.2}x)",
+            p.msg_bytes / 1024,
+            p.msgs,
+            p.single_link_mbps,
+            p.dual_link_mbps,
+            p.speedup()
+        );
+    }
+    let best_stripe = striping
+        .iter()
+        .map(StripePoint::speedup)
+        .fold(0.0f64, f64::max);
+    assert!(
+        best_stripe >= 1.8,
+        "dual-link striping peaks at {best_stripe:.2}x over one link (want >= 1.8x)"
+    );
+
     let total_ops = ch.ops + rc.ops;
     let total_secs = ch.secs + rc.secs;
     let total_ops_per_sec = total_ops as f64 / total_secs.max(1e-9);
@@ -499,7 +728,7 @@ fn main() {
             .join(",\n")
     ));
     json.push_str(&format!(
-        "    \"speedup_vs_go_back_n\": [\n{}\n    ]\n  }}\n",
+        "    \"speedup_vs_go_back_n\": [\n{}\n    ]\n  }},\n",
         sweep
             .iter()
             .filter_map(|p| {
@@ -514,6 +743,45 @@ fn main() {
                         )
                     })
             })
+            .collect::<Vec<_>>()
+            .join(",\n")
+    ));
+    // Incast: congestion control vs the fixed-window sender on identical
+    // barrier-synchronized fan-in traffic (virtual time, deterministic).
+    json.push_str(&format!(
+        "  \"incast\": {{\n    \"message_bytes\": 32768,\n    \"rounds\": {incast_rounds},\n    \"points\": [\n{}\n    ]\n  }},\n",
+        incast
+            .iter()
+            .map(|p| format!(
+                "      {{\"senders\": {}, \"cc\": {{\"goodput_mbps\": {:.2}, \"p99_us\": {:.1}, \"rx_drops\": {}, \"retransmits\": {}}}, \"fixed_window\": {{\"goodput_mbps\": {:.2}, \"p99_us\": {:.1}, \"rx_drops\": {}, \"retransmits\": {}}}, \"goodput_speedup\": {:.2}}}",
+                p.senders,
+                p.cc.goodput_mbps,
+                p.cc.p99_us,
+                p.cc.rx_drops,
+                p.cc.retransmits,
+                p.fixed.goodput_mbps,
+                p.fixed.p99_us,
+                p.fixed.rx_drops,
+                p.fixed.retransmits,
+                p.cc.goodput_mbps / p.fixed.goodput_mbps.max(1e-9)
+            ))
+            .collect::<Vec<_>>()
+            .join(",\n")
+    ));
+    // Dual-link striping: one lossless flow, PCI-XE with both links vs the
+    // same card held to one link.
+    json.push_str(&format!(
+        "  \"striping\": {{\n    \"total_bytes\": {stripe_total},\n    \"points\": [\n{}\n    ]\n  }}\n",
+        striping
+            .iter()
+            .map(|p| format!(
+                "      {{\"msg_bytes\": {}, \"msgs\": {}, \"single_link_mbps\": {:.2}, \"dual_link_mbps\": {:.2}, \"speedup\": {:.2}}}",
+                p.msg_bytes,
+                p.msgs,
+                p.single_link_mbps,
+                p.dual_link_mbps,
+                p.speedup()
+            ))
             .collect::<Vec<_>>()
             .join(",\n")
     ));

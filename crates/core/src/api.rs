@@ -129,6 +129,9 @@ pub struct RegistryStats {
     /// the driver seam can assert on retransmission behaviour without
     /// reaching into the NIC layer. Zero in a bare registry.
     ///
+    /// Sequenced data packets handed to the reliability window (the
+    /// denominator for retransmit-ratio assertions).
+    pub rel_data_packets: u64,
     /// Packets resent by selective-repeat rounds (holes only).
     pub rel_retransmits: u64,
     /// Packets a retransmission round skipped because SACK state showed
@@ -142,6 +145,17 @@ pub struct RegistryStats {
     pub rel_srtt_ns: u64,
     /// Latest adaptive RTO derived by the reliability layer, in ns.
     pub rel_rto_ns: u64,
+    /// Fast-retransmit rounds fired by duplicate-SACK indications.
+    pub rel_fast_retransmits: u64,
+    /// Multiplicative decreases of a congestion window (loss episodes the
+    /// AIMD loop reacted to).
+    pub rel_cwnd_cuts: u64,
+    /// Receiver acks aggregated away (covered by a later cumulative ack).
+    pub rel_delayed_acks: u64,
+    /// Arrivals dropped to receive-FIFO overflow across every NIC (incast
+    /// congestion the fabric itself inflicted — deterministic, no fault
+    /// dice).
+    pub nic_rx_congestion_drops: u64,
     /// Mirrors of the collective-subsystem counters (`knet_coll` +
     /// `knet_simnic::coll`), filled by the composed world's stats
     /// snapshot. Zero in a bare registry.

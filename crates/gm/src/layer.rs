@@ -268,7 +268,12 @@ impl PacedGmSend {
 pub struct GmLayer {
     pub params: GmParams,
     ports: Vec<GmPort>,
-    assemblies: BTreeMap<(u32, u64), Assembly>,
+    /// In-flight reassemblies keyed `(dst port, src port, msg id)`.
+    /// `msg_id` alone is only unique per *sending* world — under sharded
+    /// execution every shard mints its own sequence, so two senders
+    /// converging on one receiver can collide on it. The source port
+    /// (carried in the wire meta) disambiguates.
+    assemblies: BTreeMap<(u32, u32, u64), Assembly>,
     next_msg_id: u64,
     /// Recycled per-operation buffers (see [`GmScratch`]).
     pub scratch: GmScratch,
@@ -1100,7 +1105,7 @@ pub fn gm_on_packet<W: GmWorld>(w: &mut W, nic: NicId, pkt: Packet) {
     };
     debug_assert_eq!(port.nic, nic, "packet routed to the wrong NIC");
 
-    let akey = (m.dst.0, m.msg_id);
+    let akey = (m.dst.0, m.src.0, m.msg_id);
     let first_chunk = !w.gm().assemblies.contains_key(&akey);
 
     let fw_done;

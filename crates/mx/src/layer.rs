@@ -277,9 +277,14 @@ pub struct PacedMxSend {
 pub struct MxLayer {
     pub params: MxParams,
     endpoints: Vec<MxEndpoint>,
-    eager: BTreeMap<(u32, u64), EagerAssembly>,
+    /// In-flight reassemblies keyed `(dst endpoint, src endpoint, msg id)`.
+    /// `msg_id` alone is only unique per *sending* world — under sharded
+    /// execution every shard mints its own sequence, so two senders
+    /// converging on one receiver can collide on it. The source endpoint
+    /// (carried in the wire meta) disambiguates.
+    eager: BTreeMap<(u32, u32, u64), EagerAssembly>,
     rndv_send: BTreeMap<u64, RndvSend>,
-    rndv_recv: BTreeMap<(u32, u64), RndvRecv>,
+    rndv_recv: BTreeMap<(u32, u32, u64), RndvRecv>,
     next_msg_id: u64,
     /// Recycled per-operation buffers (see [`MxScratch`]).
     pub scratch: MxScratch,
@@ -1016,7 +1021,7 @@ fn accept_rendezvous<W: MxWorld>(
     let params = w.mx().params;
     let nic = w.mx().ep(ep_id)?.nic;
     w.mx_mut().rndv_recv.insert(
-        (ep_id.0, msg_id),
+        (ep_id.0, from.0, msg_id),
         RndvRecv {
             posted,
             from,
@@ -1092,7 +1097,7 @@ fn eager_rx<W: MxWorld>(w: &mut W, nic: NicId, pkt: Packet) {
     let now = knet_simcore::now(w);
     let Ok(_) = w.mx().ep(m.dst) else { return };
 
-    let akey = (m.dst.0, m.msg_id);
+    let akey = (m.dst.0, m.src.0, m.msg_id);
     let first = !w.mx().eager.contains_key(&akey);
     let fw_done;
     if first {
@@ -1353,7 +1358,7 @@ fn large_rx<W: MxWorld>(w: &mut W, nic: NicId, pkt: Packet) {
     let m = unpack_meta(&pkt.meta);
     let params = w.mx().params;
     let now = knet_simcore::now(w);
-    let key = (m.dst.0, m.msg_id);
+    let key = (m.dst.0, m.src.0, m.msg_id);
     if !w.mx().rndv_recv.contains_key(&key) {
         return;
     }

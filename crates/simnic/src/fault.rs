@@ -300,6 +300,23 @@ impl FaultState {
         }
         dice.roll(&mut self.stats)
     }
+
+    /// Drop the lazily-derived dice stream of a directed node pair (dead-
+    /// link reclaim). Streams installed by an explicit [`FaultPlan::for_link`]
+    /// override are part of the scenario and are kept; a lazily-derived
+    /// stream re-materializes from the same seed if the pair ever talks
+    /// again, so reclaiming one link never shifts another link's draws.
+    pub(crate) fn reclaim_stream(&mut self, src: NodeId, dst: NodeId) {
+        let key = (src.0, dst.0);
+        if self.links.get(&key).is_some_and(|d| !d.from_link_plan) {
+            self.links.remove(&key);
+        }
+    }
+
+    /// Materialized dice streams (tests).
+    pub(crate) fn streams(&self) -> usize {
+        self.links.len()
+    }
 }
 
 #[cfg(test)]

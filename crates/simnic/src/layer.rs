@@ -30,6 +30,13 @@ pub struct NicStats {
     pub rx_bytes: u64,
     pub dma_to_host_bytes: u64,
     pub dma_from_host_bytes: u64,
+    /// Arrivals dropped because the receive FIFO backlog exceeded
+    /// [`crate::model::NicModel::rx_fifo`] (incast congestion at this
+    /// card). Deterministic — no fault dice involved.
+    pub rx_congestion_drops: u64,
+    /// Transmissions per physical lane (lane striping observability; lanes
+    /// beyond the fourth fold into the last bucket).
+    pub lane_tx: [u64; 4],
 }
 
 /// One NIC: hardware resources plus the bounded translation table.
@@ -43,6 +50,10 @@ pub struct Nic {
     pub dma: Busy,
     /// Transmit links (two lanes on PCI-XE).
     pub tx: LaneBank,
+    /// Receive links: each arrival occupies its serialization time here,
+    /// so converging senders contend — and overflow the receive FIFO —
+    /// exactly where a real incast hurts.
+    pub rx: LaneBank,
     pub ttable: TransTable,
     pub stats: NicStats,
 }
@@ -50,6 +61,7 @@ pub struct Nic {
 impl Nic {
     fn new(id: NicId, node: NodeId, model: NicModel) -> Self {
         let tx = LaneBank::new(model.links);
+        let rx = LaneBank::new(model.links);
         let ttable = TransTable::new(model.ttable_entries);
         Nic {
             id,
@@ -58,6 +70,7 @@ impl Nic {
             fw: Busy::new(),
             dma: Busy::new(),
             tx,
+            rx,
             ttable,
             stats: NicStats::default(),
         }
@@ -119,6 +132,27 @@ impl NicLayer {
         }
     }
 
+    /// Drop the lazily-derived fault dice stream of a directed node pair
+    /// (dead-link reclaim; no-op without a plan or for streams pinned by an
+    /// explicit per-link override).
+    pub(crate) fn reclaim_fault_stream(&mut self, src: NodeId, dst: NodeId) {
+        if let Some(f) = self.fault.as_mut() {
+            f.reclaim_stream(src, dst);
+        }
+    }
+
+    /// Materialized fault dice streams (tests: dead-link reclaim keeps
+    /// this bounded under link churn).
+    pub fn fault_streams(&self) -> usize {
+        self.fault.as_ref().map(|f| f.streams()).unwrap_or(0)
+    }
+
+    /// Arrivals dropped to receive-FIFO overflow, summed over every card
+    /// (the fabric-wide incast congestion signal).
+    pub fn congestion_drops(&self) -> u64 {
+        self.nics.iter().map(|n| n.stats.rx_congestion_drops).sum()
+    }
+
     /// Install a NIC in `node`; returns its id.
     pub fn add_nic(&mut self, node: NodeId, model: NicModel) -> NicId {
         let id = NicId(self.nics.len() as u32);
@@ -154,6 +188,11 @@ impl NicLayer {
 pub enum NicEv {
     /// `pkt` arrives at `nic` (scheduled by [`wire_send`]).
     Rx { nic: NicId, pkt: Packet },
+    /// Deferred delivery of `pkt` at `nic`: its receive lane was backed up
+    /// at arrival, so delivery waits for the backlog to drain (only ever
+    /// scheduled under contention — the uncontended path delivers inline
+    /// from the `Rx` event).
+    RxDeliver { nic: NicId, pkt: Packet },
     /// The reliability window's retransmission timer for link `key` fires
     /// at the sender.
     RelTimer { key: LinkKey },
@@ -164,6 +203,17 @@ pub enum NicEv {
         cum: u64,
         sack: u64,
         echo: SimTime,
+    },
+    /// The receiver-side ack-aggregation holdoff for link `key` elapsed:
+    /// flush the pending cumulative ack, if any.
+    RelAckFlush { key: LinkKey },
+    /// A receiver NIC's rx FIFO shed sequenced packet `seq` of link `key`;
+    /// the notification arrives back at the sender (GM-style NACK). `hold`
+    /// is the receive backlog at the drop — the retry-after hint.
+    RelNack {
+        key: LinkKey,
+        seq: u64,
+        hold: SimTime,
     },
     /// The collective engine delivers `ev` to the host at `nic` (a DMA
     /// completion into the host rings).
@@ -182,8 +232,54 @@ pub enum NicEv {
 pub fn run_nic_ev<W: NicWorld>(w: &mut W, ev: NicEv) {
     match ev {
         NicEv::Rx { nic, pkt } => {
-            // Receive-side accounting happens at delivery time (it is the
-            // destination node's state, so the shard owning it does it).
+            // Receive-link contention: the packet occupied a receive lane
+            // for its serialization time, ending at this arrival instant.
+            // A free lane delivers inline — bit-identical to the
+            // pre-contention simulator, no extra event. A busy lane defers
+            // delivery until the backlog drains; a backlog deeper than the
+            // receive FIFO drops the packet on the floor (deterministic —
+            // no fault dice). Converging senders thus congest exactly
+            // where a real incast hurts, and the loss is self-inflicted.
+            let now = knet_simcore::now(w);
+            let verdict = {
+                let d = w.nics_mut().get_mut(nic);
+                let occ = d.model.link_bw.transfer_time(pkt.wire_len);
+                let ideal = now.saturating_sub(occ);
+                let backlog = d.rx.free_at().saturating_sub(ideal);
+                if backlog > d.model.link_bw.transfer_time(d.model.rx_fifo) {
+                    d.stats.rx_congestion_drops += 1;
+                    Err(backlog)
+                } else {
+                    let (_, _, end) = d.rx.acquire(ideal, occ);
+                    Ok((end > now).then_some(end))
+                }
+            };
+            match verdict {
+                Err(backlog) => {
+                    // Shed to overflow: the NIC knows exactly which packet
+                    // it dropped *and* how deep the queue was, so the
+                    // reliability layer can notify the sender immediately
+                    // (GM-style NACK) with a retry-after hint that keeps
+                    // the resend from re-colliding with the same backlog.
+                    crate::rel::rel_on_rx_drop(w, &pkt, backlog);
+                }
+                Ok(Some(end)) => {
+                    let node = w.nics().get(nic).node.0;
+                    let ev = W::lift_nic(NicEv::RxDeliver { nic, pkt });
+                    knet_simcore::emit_at(w, node, end, ev);
+                }
+                Ok(None) => {
+                    // Receive-side accounting happens at delivery time (it
+                    // is the destination node's state, so the shard owning
+                    // it does it).
+                    let d = w.nics_mut().get_mut(nic);
+                    d.stats.rx_packets += 1;
+                    d.stats.rx_bytes += pkt.wire_len;
+                    w.nic_rx(nic, pkt);
+                }
+            }
+        }
+        NicEv::RxDeliver { nic, pkt } => {
             let d = w.nics_mut().get_mut(nic);
             d.stats.rx_packets += 1;
             d.stats.rx_bytes += pkt.wire_len;
@@ -196,6 +292,8 @@ pub fn run_nic_ev<W: NicWorld>(w: &mut W, ev: NicEv) {
             sack,
             echo,
         } => crate::rel::ack_arrival(w, key, cum, sack, echo),
+        NicEv::RelAckFlush { key } => crate::rel::rel_ack_flush(w, key),
+        NicEv::RelNack { key, seq, hold } => crate::rel::nack_arrival(w, key, seq, hold),
         NicEv::Coll { proto, nic, ev } => w.coll_event(proto, nic, ev),
         NicEv::CollProbe { key } => crate::coll::probe_fire(w, key),
     }
@@ -304,7 +402,11 @@ pub fn wire_send<W: NicWorld>(w: &mut W, mut pkt: Packet, ready: SimTime) -> Sim
         let dst_node = w.nics().get(dst).node;
         let n = w.nics_mut().get_mut(pkt.src);
         let occupancy = n.model.link_bw.transfer_time(pkt.wire_len);
-        let (_, _, end) = n.tx.acquire(ready.max(now), occupancy);
+        // Deficit-based lane selection: the first-free lane gets the
+        // packet, so a dual-link card stripes a single flow across both
+        // lanes packet by packet.
+        let (lane, _, end) = n.tx.acquire(ready.max(now), occupancy);
+        n.stats.lane_tx[lane.min(3)] += 1;
         n.stats.tx_packets += 1;
         n.stats.tx_bytes += pkt.wire_len;
         (end, end + n.model.wire_latency, src_node, dst_node)

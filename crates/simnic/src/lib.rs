@@ -36,5 +36,6 @@ pub use packet::{NicId, Packet, Proto};
 pub use qos::{Admission, QosPolicy, QosState, QosTenantStats};
 pub use rel::{
     rel_on_packet, rel_send, LinkKey, RelLinkStats, RelParams, RelState, RelStats, RelVerdict,
+    CWND_FLOOR,
 };
 pub use ttable::{TransKey, TransTable, TtError, TtStats};

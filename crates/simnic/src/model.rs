@@ -30,6 +30,11 @@ pub struct NicModel {
     pub ttable_entries: usize,
     /// SRAM available for staging buffers (bytes).
     pub sram_bytes: u64,
+    /// Receive FIFO depth in bytes: how much backlog the receive side of a
+    /// link absorbs before arriving packets are dropped on the floor
+    /// (incast congestion — the loss the sender's control loop must avoid
+    /// provoking).
+    pub rx_fifo: u64,
 }
 
 impl NicModel {
@@ -45,6 +50,7 @@ impl NicModel {
             mtu: 4096,
             ttable_entries: 4096,
             sram_bytes: 2 * 1024 * 1024,
+            rx_fifo: 64 * 1024,
         }
     }
 
@@ -60,7 +66,16 @@ impl NicModel {
             mtu: 4096,
             ttable_entries: 8192,
             sram_bytes: 4 * 1024 * 1024,
+            rx_fifo: 128 * 1024,
         }
+    }
+
+    /// The same card with a different link count (striping baselines: a
+    /// PCI-XE constrained to one link isolates the lane-striping speedup).
+    pub fn with_links(mut self, links: usize) -> Self {
+        assert!((1..=4).contains(&links), "1..=4 links per card");
+        self.links = links;
+        self
     }
 
     /// Aggregate wire bandwidth across all links.

@@ -45,18 +45,62 @@
 //! * a retransmission that turns out to have been unnecessary — the ack
 //!   that finally progresses echoes a timestamp *older* than the last RTO
 //!   round, so the original copy had arrived all along (Eifel detection) —
-//!   is counted in [`RelStats::spurious_rtos`].
+//!   is counted in [`RelStats::spurious_rtos`], and the backed-off RTO is
+//!   restored to its pre-backoff value on the spot (the doubling was paid
+//!   for a timeout that never happened);
+//! * the sender also runs a **congestion control loop** on top of the
+//!   fixed window ([`RelParams::cc`]): a per-link AIMD congestion window
+//!   gates how much of the 64-packet cap may be in flight. The window
+//!   opens at the full cap — a clean fabric never parks a packet it would
+//!   not have parked before — and the loop engages on the first loss
+//!   indication: multiplicative decrease to half on a fast retransmit, a
+//!   collapse to [`CWND_FLOOR`] on an RTO, slow-start (one packet per
+//!   acked packet) back to `ssthresh`, then additive increase (one packet
+//!   per acked round) to the cap;
+//! * **SACK fast retransmit** ([`RelParams::dupack_k`]): an ack that
+//!   carries SACK bits but no cumulative progress is a duplicate-SACK loss
+//!   indication — the receiver holds data beyond a hole. `dupack_k` of
+//!   them repair the holes below the highest SACKed sequence immediately,
+//!   without waiting for the RTO, with one multiplicative decrease per
+//!   recovery episode (no second cut until the window base passes the
+//!   episode's entry point). The default of 3 tolerates the depth-1
+//!   reorder that dual-link striping introduces;
+//! * retransmission rounds — RTO and fast alike — are **paced** across the
+//!   link serialization time (packet *i* of a round is released `i`
+//!   packet-times after the first) instead of blasted at one instant, so
+//!   recovery traffic drains at line rate instead of re-congesting the
+//!   path that just dropped it;
+//! * the receiver can **aggregate acks** ([`RelParams::ack_every`]): pure
+//!   in-order arrivals are acked every Nth packet or after a short
+//!   virtual-time holdoff ([`RelParams::ack_holdoff`]), while duplicates,
+//!   out-of-order arrivals and hole-fills are always acked immediately (a
+//!   delayed ack must never delay loss detection). A count-triggered ack
+//!   goes out at the very instant of the packet whose timestamp it
+//!   echoes, so RTT samples stay undistorted; only the holdoff path can
+//!   inflate a sample, by less than the holdoff itself. The default
+//!   (`ack_every = 1`) is ack-per-packet, bit-identical to the
+//!   pre-aggregation simulator;
+//! * dead links are **reclaimed**: retry-budget exhaustion removes the
+//!   sender ring, the receiver bitmap of the reverse direction and the
+//!   lazily-derived fault dice streams of the node pair (when no other
+//!   live link shares them), leaving only a compact tombstone so
+//!   [`RelState::link_dead`] keeps failing fast and stragglers are
+//!   swallowed — link churn no longer grows the maps forever.
 //!
 //! Lossless-path invariance: within the window, transmissions are the very
 //! same `wire_send` calls at the very same instants as without the window,
 //! and acks are cost-free — so calibrated latency/bandwidth figures do not
-//! move. The window structures are recycled (`RelStats::grows` stays flat
-//! in steady state, asserted by `tests/hotpath_alloc.rs`); the SACK bitmap
-//! is one machine word per link and the RTT estimator three inline fields,
-//! so ack processing allocates nothing.
+//! move. The congestion window starts wide open and only narrows on loss,
+//! and ack aggregation is off by default, so a clean fabric takes exactly
+//! the pre-control-loop event sequence. The window structures are recycled
+//! (`RelStats::grows` stays flat in steady state, asserted by
+//! `tests/hotpath_alloc.rs`); the SACK bitmap is one machine word per link
+//! and the RTT estimator three inline fields, so ack processing allocates
+//! nothing — the congestion state is five more inline integers under the
+//! same contract.
 
 use std::collections::hash_map::Entry;
-use std::collections::{HashMap, VecDeque};
+use std::collections::{HashMap, HashSet, VecDeque};
 
 use knet_simcore::SimTime;
 
@@ -81,7 +125,29 @@ pub struct RelParams {
     pub max_rto: SimTime,
     /// Fruitless retransmission rounds before the link is declared dead.
     pub max_retries: u32,
+    /// Duplicate-SACK indications (acks carrying SACK bits but no
+    /// cumulative progress) that trigger a fast retransmit. `0` disables
+    /// fast retransmit entirely (the pre-control-loop sender). The default
+    /// of 3 tolerates the depth-1 reorder dual-link striping introduces.
+    pub dupack_k: u32,
+    /// Receiver ack aggregation: ack every Nth pure in-order packet
+    /// (`1` = ack-per-packet, the bit-identical default). Duplicates,
+    /// out-of-order arrivals and hole-fills are always acked immediately.
+    pub ack_every: u32,
+    /// Longest virtual-time holdoff before a pending aggregated ack
+    /// flushes (only meaningful when `ack_every > 1`).
+    pub ack_holdoff: SimTime,
+    /// Run the AIMD congestion window. When off, the fixed
+    /// [`RelParams::window`] is the only in-flight bound (the
+    /// pre-control-loop sender).
+    pub cc: bool,
 }
+
+/// Smallest congestion window the control loop will shrink to: an RTO
+/// collapses `cwnd` here (a minimal two-packet pipeline keeps the RTT
+/// estimator fed during recovery), and a multiplicative decrease never
+/// goes below it.
+pub const CWND_FLOOR: usize = 2;
 
 impl Default for RelParams {
     fn default() -> Self {
@@ -91,7 +157,34 @@ impl Default for RelParams {
             min_rto: SimTime::from_micros(50),
             max_rto: SimTime::from_millis(2),
             max_retries: 8,
+            dupack_k: 3,
+            ack_every: 1,
+            ack_holdoff: SimTime::ZERO,
+            cc: true,
         }
+    }
+}
+
+impl RelParams {
+    /// The pre-control-loop sender: fixed 64-deep window, no fast
+    /// retransmit, ack-per-packet. The incast bench measures the control
+    /// loop against exactly this baseline.
+    pub fn fixed_window() -> Self {
+        RelParams {
+            cc: false,
+            dupack_k: 0,
+            ack_every: 1,
+            ack_holdoff: SimTime::ZERO,
+            ..Self::default()
+        }
+    }
+
+    /// Aggregate acks: every `n`th pure in-order packet, or after
+    /// `holdoff` of receiver silence.
+    pub fn with_ack_every(mut self, n: u32, holdoff: SimTime) -> Self {
+        self.ack_every = n.max(1);
+        self.ack_holdoff = holdoff;
+        self
     }
 }
 
@@ -138,6 +231,24 @@ pub struct RelStats {
     pub srtt_ns: u64,
     /// Latest adaptive RTO derived on any link, in nanoseconds.
     pub rto_ns: u64,
+    /// Fast-retransmit rounds fired by duplicate-SACK indications (the
+    /// packets they resent are in `retransmits`).
+    pub fast_retransmits: u64,
+    /// Multiplicative decreases of a congestion window (one per recovery
+    /// episode or RTO collapse).
+    pub cwnd_cuts: u64,
+    /// Fresh in-order packets whose ack was aggregated away (covered by a
+    /// later count-triggered or holdoff-flushed ack).
+    pub acks_delayed: u64,
+    /// Sequenced packets swallowed because their link was already dead
+    /// (stragglers after reclaim).
+    pub dead_dropped: u64,
+    /// Drop notifications sent by a receiver NIC whose rx FIFO shed a
+    /// sequenced packet (GM-style NACKs).
+    pub nacks: u64,
+    /// Packets resent immediately in response to a NACK (also counted in
+    /// `retransmits`).
+    pub nack_resends: u64,
 }
 
 /// One transmitted-but-unacked packet in a sender window.
@@ -159,6 +270,7 @@ struct LinkCounters {
     sack_repairs: u64,
     rtt_samples: u64,
     spurious_rtos: u64,
+    fast_retransmits: u64,
 }
 
 /// One row of the per-link reliability breakdown
@@ -192,6 +304,11 @@ pub struct RelLinkStats {
     pub in_flight: usize,
     /// Retry budget exhausted — the link is dead.
     pub dead: bool,
+    /// Fast-retransmit rounds fired on this link.
+    pub fast_retransmits: u64,
+    /// Current congestion window in packets (= the fixed window until the
+    /// first loss indication).
+    pub cwnd: usize,
 }
 
 /// Sender half of one link.
@@ -227,15 +344,34 @@ struct TxLink {
     last_rto_at: SimTime,
     /// A retransmission round happened since the last ack progress.
     rto_outstanding: bool,
+    /// `rto_cur` as it stood when the current backoff episode began —
+    /// restored verbatim when Eifel proves the episode spurious.
+    rto_prev: SimTime,
     /// A retransmit timer is scheduled.
     armed: bool,
     dead: bool,
+    /// AIMD congestion window in packets: how much of the fixed window may
+    /// be in flight. Opens at the full window; narrows only on loss.
+    cwnd: usize,
+    /// Slow-start threshold: below it each acked packet grows `cwnd` by
+    /// one (exponential per round); at or above it growth is additive.
+    ssthresh: usize,
+    /// Acked packets accumulated toward the next additive +1.
+    acked_accum: usize,
+    /// Consecutive duplicate-SACK indications since the last progress.
+    dup_ind: u32,
+    /// Inside a loss-recovery episode: no second multiplicative decrease
+    /// until `base` passes `recover_seq`.
+    in_recovery: bool,
+    /// `next_seq` at recovery entry — the episode ends when `base`
+    /// reaches it.
+    recover_seq: u64,
     /// This link's slice of the aggregate counters.
     counts: LinkCounters,
 }
 
 impl TxLink {
-    fn new(initial_rto: SimTime) -> Self {
+    fn new(p: &RelParams) -> Self {
         TxLink {
             next_seq: 1,
             base: 1,
@@ -246,13 +382,73 @@ impl TxLink {
             last_progress: SimTime::ZERO,
             srtt_ns: None,
             rttvar_ns: 0,
-            rto_cur: initial_rto,
+            rto_cur: p.rto,
             last_rto_at: SimTime::ZERO,
             rto_outstanding: false,
+            rto_prev: p.rto,
             armed: false,
             dead: false,
+            cwnd: p.window,
+            ssthresh: p.window,
+            acked_accum: 0,
+            dup_ind: 0,
+            in_recovery: false,
+            recover_seq: 0,
             counts: LinkCounters::default(),
         }
+    }
+
+    /// Packets allowed in flight right now: the congestion window capped
+    /// by the fixed window (just the fixed window when the loop is off).
+    fn eff_window(&self, p: &RelParams) -> usize {
+        if p.cc {
+            self.cwnd.min(p.window)
+        } else {
+            p.window
+        }
+    }
+
+    /// Enter a loss-recovery episode: one multiplicative decrease, no
+    /// second until `base` passes the current `next_seq`. Returns whether
+    /// a cut was applied (false when already inside an episode).
+    fn enter_recovery(&mut self, p: &RelParams, to_floor: bool) -> bool {
+        self.dup_ind = 0;
+        if self.in_recovery {
+            return false;
+        }
+        self.in_recovery = true;
+        self.recover_seq = self.next_seq;
+        if p.cc {
+            self.ssthresh = (self.cwnd / 2).max(CWND_FLOOR);
+            self.cwnd = if to_floor { CWND_FLOOR } else { self.ssthresh };
+            self.acked_accum = 0;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Grow the congestion window for `n` newly acked packets: slow start
+    /// below `ssthresh`, additive increase (one per acked round) above,
+    /// capped at the fixed window.
+    fn cc_on_acked(&mut self, n: usize, p: &RelParams) {
+        if !p.cc || self.cwnd >= p.window {
+            return;
+        }
+        let mut n = n;
+        if self.cwnd < self.ssthresh {
+            let grown = (self.cwnd + n).min(self.ssthresh);
+            n = n.saturating_sub(grown - self.cwnd);
+            self.cwnd = grown;
+        }
+        if n > 0 && self.cwnd >= self.ssthresh {
+            self.acked_accum += n;
+            while self.acked_accum >= self.cwnd && self.cwnd < p.window {
+                self.acked_accum -= self.cwnd;
+                self.cwnd += 1;
+            }
+        }
+        self.cwnd = self.cwnd.min(p.window);
     }
 
     /// A link is stale at `deadline` if neither a transmission completed
@@ -300,6 +496,14 @@ struct RxLink {
     /// is always clear (else `rx_next` would have advanced), so the set
     /// bits are exactly the out-of-order packets the SACK advertises.
     seen: u64,
+    /// Fresh in-order packets received since the last ack went out
+    /// (ack aggregation; always 0 when `ack_every <= 1`).
+    pending: u32,
+    /// Wire-departure timestamp of the newest pending packet — what a
+    /// holdoff-flushed ack echoes.
+    pending_echo: SimTime,
+    /// A holdoff flush event is scheduled.
+    flush_armed: bool,
 }
 
 /// A directed reliability link: `(proto, src nic, dst nic)`. Public so the
@@ -316,6 +520,10 @@ pub struct RelState {
     pub params: RelParams,
     tx: HashMap<LinkKey, TxLink>,
     rx: HashMap<LinkKey, RxLink>,
+    /// Tombstones of reclaimed links — both directions of a dead pair —
+    /// so `link_dead` keeps failing fast after the ring state is freed and
+    /// limping stragglers are swallowed instead of resurrecting a window.
+    dead: HashSet<LinkKey>,
     /// Recycled scratch for collecting retransmissions/releases outside the
     /// state borrow.
     burst: Vec<(Packet, SimTime)>,
@@ -338,6 +546,7 @@ impl RelState {
             params,
             tx: HashMap::new(),
             rx: HashMap::new(),
+            dead: HashSet::new(),
             burst: Vec::new(),
             stats: RelStats::default(),
         }
@@ -346,10 +555,20 @@ impl RelState {
     /// Is this link dead (retry budget exhausted)? Drivers check before
     /// committing a send so the failure is synchronous.
     pub fn link_dead(&self, proto: Proto, src: NicId, dst: NicId) -> bool {
-        self.tx
-            .get(&key(proto, src, dst))
-            .map(|l| l.dead)
-            .unwrap_or(false)
+        let k = key(proto, src, dst);
+        self.dead.contains(&k) || self.tx.get(&k).map(|l| l.dead).unwrap_or(false)
+    }
+
+    /// Live link-state map sizes, `(sender windows, receiver bitmaps)` —
+    /// the churn regression asserts these stay bounded as links die and
+    /// new ones are created.
+    pub fn live_links(&self) -> (usize, usize) {
+        (self.tx.len(), self.rx.len())
+    }
+
+    /// The congestion window of a link, if it has ever sent.
+    pub fn link_cwnd(&self, proto: Proto, src: NicId, dst: NicId) -> Option<usize> {
+        self.tx.get(&key(proto, src, dst)).map(|l| l.cwnd)
     }
 
     /// Packets currently unacked + parked on a link (tests).
@@ -401,6 +620,8 @@ impl RelState {
             rto_ns: l.rto_cur.nanos(),
             in_flight: l.unacked.len() + l.parked.len(),
             dead: l.dead,
+            fast_retransmits: l.counts.fast_retransmits,
+            cwnd: l.cwnd,
         }
     }
 
@@ -442,13 +663,18 @@ pub fn rel_send<W: NicWorld>(w: &mut W, mut pkt: Packet, ready: SimTime) {
     let k = key(pkt.proto, pkt.src, pkt.dst);
     let action = {
         let rel = &mut w.nics_mut().rel;
-        let window = rel.params.window;
-        let initial_rto = rel.params.rto;
+        let params = rel.params;
+        if rel.dead.contains(&k) {
+            // Reclaimed link: the rings are gone, only the tombstone
+            // remains — drop silently, like the pre-reclaim dead flag.
+            rel.stats.dead_dropped += 1;
+            return;
+        }
         let link = match rel.tx.entry(k) {
             Entry::Occupied(e) => e.into_mut(),
             Entry::Vacant(e) => {
                 rel.stats.links += 1;
-                e.insert(TxLink::new(initial_rto))
+                e.insert(TxLink::new(&params))
             }
         };
         if link.dead {
@@ -458,7 +684,7 @@ pub fn rel_send<W: NicWorld>(w: &mut W, mut pkt: Packet, ready: SimTime) {
         link.next_seq += 1;
         link.counts.data_packets += 1;
         rel.stats.data_packets += 1;
-        let in_window = (pkt.rel_seq - link.base) < window as u64;
+        let in_window = (pkt.rel_seq - link.base) < link.eff_window(&params) as u64;
         if in_window {
             let cap = link.unacked.capacity();
             link.unacked.push_back(TxEntry {
@@ -527,9 +753,12 @@ pub(crate) fn rel_timeout<W: NicWorld>(w: &mut W, k: LinkKey) {
         Dead,
     }
     let now = knet_simcore::now(w);
+    // Pacing quantum: each resent packet is released one serialization time
+    // after the previous, so the recovery round drains at line rate.
+    let link_bw = w.nics().get(NicId(k.1)).model.link_bw;
     let outcome = {
         let rel = &mut w.nics_mut().rel;
-        let max_rto = rel.params.max_rto;
+        let params = rel.params;
         let Some(link) = rel.tx.get_mut(&k) else {
             return;
         };
@@ -541,27 +770,49 @@ pub(crate) fn rel_timeout<W: NicWorld>(w: &mut W, k: LinkKey) {
             // wire: keep watching from the new deadline.
             Outcome::Rearm
         } else {
+            if link.retries == 0 {
+                // Entering a backoff episode: remember the pre-backoff RTO
+                // so Eifel detection can restore it if the episode turns
+                // out to be spurious.
+                link.rto_prev = link.rto_cur;
+            }
             link.retries += 1;
             link.counts.timeouts += 1;
             rel.stats.timeouts += 1;
-            if link.retries > rel.params.max_retries {
+            if link.retries > params.max_retries {
                 link.dead = true;
                 link.unacked.clear();
                 link.parked.clear();
                 rel.stats.dead_links += 1;
                 Outcome::Dead
             } else {
+                // An RTO is the strongest loss signal the sender gets:
+                // collapse the congestion window to the floor and slow-start
+                // back toward the (halved) threshold.
+                let cut = link.enter_recovery(&params, true);
+                if params.cc && link.cwnd > CWND_FLOOR {
+                    // Backoff round inside an already-open episode still
+                    // collapses the window (no second ssthresh cut).
+                    link.cwnd = CWND_FLOOR;
+                    link.acked_accum = 0;
+                }
+                rel.stats.cwnd_cuts += cut as u64;
                 // Selective repeat: resend the holes, and only the holes —
                 // a SACKed packet is already in the receiver's reassembly
-                // window and never crosses the wire again.
+                // window and never crosses the wire again. The round is
+                // paced: packet i departs i serialization quanta after the
+                // first instead of the whole burst hitting the link at one
+                // instant.
                 let mut burst = std::mem::take(&mut rel.burst);
                 burst.clear();
                 let mut spared = 0u64;
+                let mut off = SimTime::ZERO;
                 for e in &mut link.unacked {
                     if e.acked {
                         spared += 1;
                     } else {
-                        burst.push((e.pkt.clone(), SimTime::ZERO));
+                        burst.push((e.pkt.clone(), now + off));
+                        off += link_bw.transfer_time(e.pkt.wire_len);
                     }
                 }
                 link.counts.retransmits += burst.len() as u64;
@@ -573,7 +824,7 @@ pub(crate) fn rel_timeout<W: NicWorld>(w: &mut W, k: LinkKey) {
                 link.rto_outstanding = true;
                 // Exponential backoff until acks progress again.
                 link.rto_cur =
-                    SimTime::from_nanos(link.rto_cur.nanos().saturating_mul(2)).min(max_rto);
+                    SimTime::from_nanos(link.rto_cur.nanos().saturating_mul(2)).min(params.max_rto);
                 Outcome::Retransmit
             }
         }
@@ -584,8 +835,8 @@ pub(crate) fn rel_timeout<W: NicWorld>(w: &mut W, k: LinkKey) {
         Outcome::Retransmit => {
             let mut burst = std::mem::take(&mut w.nics_mut().rel.burst);
             let mut last = now;
-            for (pkt, _) in burst.drain(..) {
-                last = wire_send(w, pkt, now);
+            for (pkt, ready) in burst.drain(..) {
+                last = last.max(wire_send(w, pkt, ready));
             }
             w.nics_mut().rel.burst = burst;
             note_tx(w, k, last);
@@ -593,8 +844,42 @@ pub(crate) fn rel_timeout<W: NicWorld>(w: &mut W, k: LinkKey) {
         }
         Outcome::Dead => {
             let (proto, src, dst) = (k.0, NicId(k.1), NicId(k.2));
+            // Reclaim the dead direction's state before telling the world,
+            // so PeerDown handlers observe the final (empty) rings.
+            reclaim_link(w, k);
             w.nic_link_dead(proto, src, dst);
         }
+    }
+}
+
+/// Free a dead link's ring and bitmap, leaving a tombstone in
+/// [`RelState::dead`], and — when no other live link shares the node pair —
+/// the lazily-derived fault dice streams of both directions (the data
+/// direction and the one its acks ride). Streams pinned by an explicit
+/// per-link plan are part of the scenario and stay.
+fn reclaim_link<W: NicWorld>(w: &mut W, k: LinkKey) {
+    let (src_node, dst_node, shared) = {
+        let nl = w.nics();
+        let (src_node, dst_node) = (nl.get(NicId(k.1)).node, nl.get(NicId(k.2)).node);
+        let on_pair = |kk: &LinkKey| {
+            if *kk == k {
+                return false;
+            }
+            let p = (nl.get(NicId(kk.1)).node, nl.get(NicId(kk.2)).node);
+            p == (src_node, dst_node) || p == (dst_node, src_node)
+        };
+        let shared = nl.rel.tx.keys().any(on_pair) || nl.rel.rx.keys().any(on_pair);
+        (src_node, dst_node, shared)
+    };
+    {
+        let rel = &mut w.nics_mut().rel;
+        rel.tx.remove(&k);
+        rel.rx.remove(&k);
+        rel.dead.insert(k);
+    }
+    if !shared {
+        w.nics_mut().reclaim_fault_stream(src_node, dst_node);
+        w.nics_mut().reclaim_fault_stream(dst_node, src_node);
     }
 }
 
@@ -610,13 +895,31 @@ pub fn rel_on_packet<W: NicWorld>(w: &mut W, pkt: &Packet) -> RelVerdict {
     }
     let k = key(pkt.proto, pkt.src, pkt.dst);
     let echo = pkt.rel_tsval;
-    let (fresh, cum, sack) = {
+    enum Ack {
+        /// Emit the ack at this packet's own arrival instant.
+        Now,
+        /// Aggregated away; `arm` schedules the holdoff flush.
+        Defer { arm: bool },
+    }
+    let (fresh, cum, sack, ack) = {
         let rel = &mut w.nics_mut().rel;
+        if rel.dead.contains(&k) {
+            // A straggler (in-fabric retransmission) of a reclaimed link:
+            // swallowing it here keeps a recreated bitmap from re-delivering
+            // sequences the dead window already delivered.
+            rel.stats.dead_dropped += 1;
+            return RelVerdict::Consumed;
+        }
+        let params = rel.params;
         let rx = rel.rx.entry(k).or_insert(RxLink {
             rx_next: 1,
             seen: 0,
+            pending: 0,
+            pending_echo: SimTime::ZERO,
+            flush_armed: false,
         });
         let seq = pkt.rel_seq;
+        let had_holes = rx.seen != 0;
         let fresh = if seq < rx.rx_next {
             false
         } else {
@@ -637,17 +940,79 @@ pub fn rel_on_packet<W: NicWorld>(w: &mut W, pkt: &Packet) -> RelVerdict {
         if !fresh {
             rel.stats.dup_dropped += 1;
         }
-        rel.stats.acks_sent += 1;
-        (fresh, rx.rx_next, rx.seen)
+        // Ack policy: duplicates, out-of-order arrivals and hole-fills are
+        // always acked immediately (a delayed ack must never delay loss
+        // detection); only pure in-order arrivals aggregate.
+        let immediate = !fresh || had_holes || rx.seen != 0 || params.ack_every <= 1;
+        let ack = if immediate {
+            rx.pending = 0;
+            rel.stats.acks_sent += 1;
+            Ack::Now
+        } else {
+            rx.pending += 1;
+            rx.pending_echo = echo;
+            if rx.pending >= params.ack_every {
+                // The count-triggered ack goes out at this very packet's
+                // arrival, echoing its timestamp — no RTT distortion.
+                rx.pending = 0;
+                rel.stats.acks_sent += 1;
+                Ack::Now
+            } else {
+                rel.stats.acks_delayed += 1;
+                let arm = !rx.flush_armed && params.ack_holdoff > SimTime::ZERO;
+                if arm {
+                    rx.flush_armed = true;
+                }
+                Ack::Defer { arm }
+            }
+        };
+        (fresh, rx.rx_next, rx.seen, ack)
     };
-    // Cumulative ack + SACK bitmap back to the sender — also for
-    // duplicates, so a lost ack is repaired by the retransmission it
-    // caused.
-    schedule_ack(w, k, cum, sack, echo);
+    match ack {
+        // Cumulative ack + SACK bitmap back to the sender — also for
+        // duplicates, so a lost ack is repaired by the retransmission it
+        // caused.
+        Ack::Now => schedule_ack(w, k, cum, sack, echo),
+        Ack::Defer { arm } => {
+            if arm {
+                // The flush is the receiver's event: it targets the node
+                // owning the data destination.
+                let now = knet_simcore::now(w);
+                let holdoff = w.nics().rel.params.ack_holdoff;
+                let node = w.nics().get(NicId(k.2)).node.0;
+                let ev = W::lift_nic(NicEv::RelAckFlush { key: k });
+                knet_simcore::emit_at(w, node, now + holdoff, ev);
+            }
+        }
+    }
     if fresh {
         RelVerdict::Deliver
     } else {
         RelVerdict::Consumed
+    }
+}
+
+/// A receiver-side ack holdoff elapsed: flush the pending aggregated ack,
+/// if a count-triggered or immediate ack has not covered it already. The
+/// flushed ack echoes the newest pending packet's timestamp, so the RTT
+/// sample it feeds is inflated by less than the holdoff.
+pub(crate) fn rel_ack_flush<W: NicWorld>(w: &mut W, k: LinkKey) {
+    let flush = {
+        let rel = &mut w.nics_mut().rel;
+        let Some(rx) = rel.rx.get_mut(&k) else {
+            return; // link reclaimed while the flush was in flight
+        };
+        rx.flush_armed = false;
+        if rx.pending == 0 {
+            None
+        } else {
+            rx.pending = 0;
+            rel.stats.acks_sent += 1;
+            Some((rx.rx_next, rx.seen, rx.pending_echo))
+        }
+    };
+    if let Some((cum, sack, echo)) = flush {
+        schedule_ack(w, k, cum, sack, echo);
     }
 }
 
@@ -703,13 +1068,98 @@ fn schedule_ack<W: NicWorld>(w: &mut W, k: LinkKey, cum: u64, sack: u64, echo: S
     knet_simcore::emit_at(w, node, arrival, ev);
 }
 
+/// The receiver NIC's rx FIFO shed a sequenced packet: tell the sender
+/// *now* (a GM-style NACK riding the reverse direction like an ack)
+/// instead of leaving the hole to a queueing-inflated RTO. Incast drops
+/// hit the tail of a burst, so there is usually nothing behind them to
+/// generate duplicate-SACK indications — without the NACK the only
+/// repair is the retransmission timer.
+pub(crate) fn rel_on_rx_drop<W: NicWorld>(w: &mut W, pkt: &Packet, backlog: SimTime) {
+    if pkt.rel_seq == 0 {
+        return; // unsequenced frame: nothing for the window to repair
+    }
+    let k = key(pkt.proto, pkt.src, pkt.dst);
+    if w.nics().rel.dead.contains(&k) {
+        return;
+    }
+    let now = knet_simcore::now(w);
+    let (data_src, data_dst) = (NicId(k.1), NicId(k.2));
+    let (latency, nack_src_node, nack_dst_node) = {
+        let nl = w.nics();
+        (
+            nl.get(data_dst).model.wire_latency,
+            nl.get(data_dst).node,
+            nl.get(data_src).node,
+        )
+    };
+    // The notification rides the fabric like an ack: same direction, same
+    // fault dice, same latency floor (which is also the cross-shard
+    // lookahead bound).
+    let FaultVerdict::Deliver { extra, .. } =
+        w.nics_mut()
+            .fault_verdict(nack_src_node, nack_dst_node, now)
+    else {
+        return; // lost in the fabric; the RTO backstop still exists
+    };
+    w.nics_mut().rel.stats.nacks += 1;
+    let ev = W::lift_nic(NicEv::RelNack {
+        key: k,
+        seq: pkt.rel_seq,
+        hold: backlog,
+    });
+    knet_simcore::emit_at(w, nack_dst_node.0, now + latency + extra, ev);
+}
+
+/// A drop notification arrived at the sender: resend exactly the shed
+/// packet and treat the episode as congestion (one multiplicative
+/// decrease, like a fast retransmit). The resend departs only after the
+/// receiver's reported backlog (`hold`) has had time to drain — an
+/// immediate resend would dive straight back into the queue that shed
+/// the original. The pre-control-loop sender (`cc: false`) ignores
+/// NACKs — repair stays RTO-driven, which is the incast bench's
+/// baseline.
+pub(crate) fn nack_arrival<W: NicWorld>(w: &mut W, k: LinkKey, seq: u64, hold: SimTime) {
+    let now = knet_simcore::now(w);
+    let resend = {
+        let rel = &mut w.nics_mut().rel;
+        let params = rel.params;
+        if !params.cc {
+            return;
+        }
+        let Some(link) = rel.tx.get_mut(&k) else {
+            return;
+        };
+        if link.dead || seq < link.base {
+            return; // already repaired (cumulative progress passed it)
+        }
+        let pkt = match link.unacked.get((seq - link.base) as usize) {
+            Some(e) if !e.acked => {
+                debug_assert_eq!(e.pkt.rel_seq, seq, "window ring indexed by seq - base");
+                e.pkt.clone()
+            }
+            _ => return, // gone, or a later copy already landed
+        };
+        let cut = link.enter_recovery(&params, false);
+        link.counts.retransmits += 1;
+        rel.stats.cwnd_cuts += cut as u64;
+        rel.stats.retransmits += 1;
+        rel.stats.nack_resends += 1;
+        Some(pkt)
+    };
+    if let Some(pkt) = resend {
+        wire_send(w, pkt, now + hold);
+    }
+}
+
 /// An ack arrived: sample the RTT from the echoed timestamp, mark SACKed
 /// window entries (they will never be retransmitted), and on cumulative
 /// progress drop acked packets from the window, release parked packets
 /// into the freed slots and reset the retry budget.
 pub(crate) fn ack_arrival<W: NicWorld>(w: &mut W, k: LinkKey, cum: u64, sack: u64, echo: SimTime) {
     let now = knet_simcore::now(w);
-    {
+    // Pacing quantum for a fast-retransmit round (same rule as RTO rounds).
+    let link_bw = w.nics().get(NicId(k.1)).model.link_bw;
+    let send_burst = {
         let rel = &mut w.nics_mut().rel;
         rel.stats.acks_recv += 1;
         let params = rel.params;
@@ -746,41 +1196,101 @@ pub(crate) fn ack_arrival<W: NicWorld>(w: &mut W, k: LinkKey, cum: u64, sack: u6
             }
         }
         if cum <= link.base {
-            return; // no cumulative progress (stale or duplicate ack)
+            // No cumulative progress. An ack at exactly the window base
+            // carrying SACK bits is a duplicate-SACK loss indication: the
+            // receiver holds data beyond a hole. `dupack_k` of them fire a
+            // fast retransmit — once per recovery episode.
+            if params.dupack_k > 0
+                && cum == link.base
+                && sack != 0
+                && !link.in_recovery
+                && !link.unacked.is_empty()
+            {
+                link.dup_ind += 1;
+                if link.dup_ind >= params.dupack_k {
+                    let cut = link.enter_recovery(&params, false);
+                    rel.stats.cwnd_cuts += cut as u64;
+                    link.counts.fast_retransmits += 1;
+                    rel.stats.fast_retransmits += 1;
+                    // Resend the unacked holes below the highest SACKed
+                    // sequence (everything the receiver provably jumped
+                    // over), paced like an RTO round.
+                    let high = cum + 63 - sack.leading_zeros() as u64;
+                    let mut burst = std::mem::take(&mut rel.burst);
+                    burst.clear();
+                    let mut off = SimTime::ZERO;
+                    for e in &mut link.unacked {
+                        if !e.acked && e.pkt.rel_seq < high {
+                            burst.push((e.pkt.clone(), now + off));
+                            off += link_bw.transfer_time(e.pkt.wire_len);
+                        }
+                    }
+                    link.counts.retransmits += burst.len() as u64;
+                    rel.stats.retransmits += burst.len() as u64;
+                    rel.burst = burst;
+                    true
+                } else {
+                    false
+                }
+            } else {
+                false
+            }
+        } else {
+            link.dup_ind = 0;
+            // Eifel detection: progress whose echo predates the last
+            // retransmission round means the original copy had arrived all
+            // along — that RTO was spurious. The backoff was paid for a
+            // timeout that never happened: restore the pre-backoff RTO on
+            // the spot, and skip this ack's re-derive (the delayed
+            // original's sample has just inflated the estimator).
+            let spurious = link.rto_outstanding && echo < link.last_rto_at;
+            if spurious {
+                link.counts.spurious_rtos += 1;
+                rel.stats.spurious_rtos += 1;
+                link.rto_cur = link.rto_prev;
+            }
+            link.rto_outstanding = false;
+            rel.stats.ack_progress += 1;
+            let n_acked = (cum - link.base) as usize;
+            while link.unacked.front().is_some_and(|e| e.pkt.rel_seq < cum) {
+                link.unacked.pop_front();
+            }
+            link.base = cum;
+            link.retries = 0;
+            link.last_progress = now;
+            if link.in_recovery && link.base >= link.recover_seq {
+                link.in_recovery = false; // episode repaired end to end
+            }
+            link.cc_on_acked(n_acked, &params);
+            // Progress ends any backoff: re-derive the RTO from the
+            // estimator (rtt_sample above skipped the re-derive while
+            // retries > 0) — unless Eifel just restored the pre-backoff
+            // value.
+            if !spurious {
+                link.derive_rto(&params);
+            }
+            rel.stats.rto_ns = link.rto_cur.nanos();
+            // Release parked packets into the freed congestion-window
+            // slots.
+            let eff = link.eff_window(&params);
+            let mut burst = std::mem::take(&mut rel.burst);
+            burst.clear();
+            while link.unacked.len() < eff {
+                let Some((pkt, ready)) = link.parked.pop_front() else {
+                    break;
+                };
+                link.unacked.push_back(TxEntry {
+                    pkt: pkt.clone(),
+                    acked: false,
+                });
+                burst.push((pkt, ready));
+            }
+            rel.burst = burst;
+            true
         }
-        // Eifel detection: progress whose echo predates the last
-        // retransmission round means the original copy had arrived all
-        // along — that RTO was spurious.
-        if link.rto_outstanding && echo < link.last_rto_at {
-            link.counts.spurious_rtos += 1;
-            rel.stats.spurious_rtos += 1;
-        }
-        link.rto_outstanding = false;
-        rel.stats.ack_progress += 1;
-        while link.unacked.front().is_some_and(|e| e.pkt.rel_seq < cum) {
-            link.unacked.pop_front();
-        }
-        link.base = cum;
-        link.retries = 0;
-        link.last_progress = now;
-        // Progress ends any backoff: re-derive the RTO from the estimator
-        // (rtt_sample above skipped the re-derive while retries > 0).
-        link.derive_rto(&params);
-        // Release parked packets into the freed window slots.
-        let window = rel.params.window;
-        let mut burst = std::mem::take(&mut rel.burst);
-        burst.clear();
-        while link.unacked.len() < window {
-            let Some((pkt, ready)) = link.parked.pop_front() else {
-                break;
-            };
-            link.unacked.push_back(TxEntry {
-                pkt: pkt.clone(),
-                acked: false,
-            });
-            burst.push((pkt, ready));
-        }
-        rel.burst = burst;
+    };
+    if !send_burst {
+        return;
     }
     let mut burst = std::mem::take(&mut w.nics_mut().rel.burst);
     let mut last = SimTime::ZERO;
@@ -810,7 +1320,7 @@ mod tests {
         sched: Scheduler<TestWorld>,
         os: OsLayer,
         nics: NicLayer,
-        delivered: Vec<u64>,
+        delivered: Vec<(u64, SimTime)>,
         dead: Vec<(Proto, NicId, NicId)>,
     }
 
@@ -839,7 +1349,8 @@ mod tests {
             &mut self.nics
         }
         fn nic_rx(&mut self, _nic: NicId, pkt: Packet) {
-            self.delivered.push(pkt.meta[0]);
+            let at = knet_simcore::now(self);
+            self.delivered.push((pkt.meta[0], at));
         }
         fn nic_link_dead(&mut self, proto: Proto, local: NicId, remote: NicId) {
             self.dead.push((proto, local, remote));
@@ -970,6 +1481,234 @@ mod tests {
             knet_simcore::now(&w) > SimTime::from_millis(5),
             "exponential backoff spaced the rounds out"
         );
+    }
+
+    /// Retransmission rounds are paced: under a 20 %-loss schedule on a
+    /// dual-link card, the resends of one RTO round arrive one link
+    /// serialization quantum apart — never two lanes firing at the same
+    /// instant (the pre-pacing burst re-congested the very path that just
+    /// dropped it).
+    #[test]
+    fn rto_round_is_paced_across_link_serialization() {
+        let mut w = TestWorld {
+            sched: Scheduler::new(),
+            os: OsLayer::new(),
+            nics: NicLayer::new(),
+            delivered: Vec::new(),
+            dead: Vec::new(),
+        };
+        let n0 = w.os.add_node(CpuModel::xeon_2600(), 64);
+        let n1 = w.os.add_node(CpuModel::xeon_2600(), 64);
+        // PCI-XE: two transmit lanes — an unpaced burst would put two
+        // resends on the wire at the same instant.
+        let a = w.nics.add_nic(n0, NicModel::pci_xe());
+        let b = w.nics.add_nic(n1, NicModel::pci_xe());
+        let (na, nb) = (w.nics.get(a).node, w.nics.get(b).node);
+        // 20 % loss on the data direction; TestWorld never acks, so the
+        // timer fires a full retransmission round.
+        w.nics.set_fault_plan(crate::FaultPlan::new(1).for_link(
+            na,
+            nb,
+            crate::FaultPlan::new(0x20C4).with_drop(0.2),
+        ));
+        for i in 0..20 {
+            rel_send(&mut w, pkt(a, b, i), SimTime::ZERO);
+        }
+        let outcome = run_until(&mut w, |w: &TestWorld| w.nics.rel.stats.timeouts >= 1);
+        assert_eq!(outcome, RunOutcome::Satisfied);
+        let round_start = knet_simcore::now(&w);
+        let outcome = run_until(&mut w, |w: &TestWorld| w.nics.rel.stats.timeouts >= 2);
+        assert_eq!(outcome, RunOutcome::Satisfied);
+        let occ = w
+            .nics
+            .get(a)
+            .model
+            .link_bw
+            .transfer_time(pkt(a, b, 0).wire_len);
+        // Deliveries between the two timer rounds are exactly the survivors
+        // of the first (paced) retransmission round.
+        let mut arrivals: Vec<SimTime> = w
+            .delivered
+            .iter()
+            .filter(|(_, at)| *at > round_start)
+            .map(|&(_, at)| at)
+            .collect();
+        arrivals.sort();
+        assert!(
+            arrivals.len() >= 2,
+            "a 20% schedule leaves most of the round alive ({} arrivals)",
+            arrivals.len()
+        );
+        for pair in arrivals.windows(2) {
+            let gap = pair[1].saturating_sub(pair[0]);
+            assert!(
+                gap >= occ,
+                "paced resends keep one serialization quantum apart \
+                 (gap {:?} < occupancy {:?})",
+                gap,
+                occ
+            );
+        }
+    }
+
+    /// Eifel detection restores the pre-backoff RTO the moment a spurious
+    /// episode is proven — not one fresh-progress cycle later, and not from
+    /// the estimator the delayed original just polluted.
+    #[test]
+    fn eifel_restores_the_pre_backoff_rto() {
+        let (mut w, a, b) = world();
+        let (na, nb) = (w.nics.get(a).node, w.nics.get(b).node);
+        w.nics.set_fault_plan(crate::FaultPlan::new(1).for_link(
+            na,
+            nb,
+            crate::FaultPlan::new(2).with_drop(1.0),
+        ));
+        rel_send(&mut w, pkt(a, b, 0), SimTime::ZERO);
+        let k = key(Proto::Gm, a, b);
+        // Two fruitless rounds: 200 µs doubles to 400, then 800.
+        let outcome = run_until(&mut w, |w: &TestWorld| w.nics.rel.stats.timeouts >= 2);
+        assert_eq!(outcome, RunOutcome::Satisfied);
+        // The original ack limps in, echoing a pre-RTO departure: the whole
+        // backoff episode was spurious.
+        ack_arrival(&mut w, k, 2, 0, SimTime::from_micros(1));
+        assert_eq!(w.nics.rel.stats.spurious_rtos, 1);
+        let (_, rto) = w.nics.rel.link_rtt(Proto::Gm, a, b).unwrap();
+        assert_eq!(
+            rto,
+            SimTime::from_micros(200),
+            "the pre-backoff RTO is restored at detection time"
+        );
+    }
+
+    /// K duplicate-SACK indications fire a fast retransmit of the holes
+    /// below the highest SACKed sequence, with exactly one window cut per
+    /// recovery episode.
+    #[test]
+    fn fast_retransmit_fires_after_k_dup_sacks_and_cuts_once() {
+        let (mut w, a, b) = world();
+        let (na, nb) = (w.nics.get(a).node, w.nics.get(b).node);
+        w.nics.set_fault_plan(crate::FaultPlan::new(1).for_link(
+            na,
+            nb,
+            crate::FaultPlan::new(2).with_drop(1.0),
+        ));
+        for i in 0..5 {
+            rel_send(&mut w, pkt(a, b, i), SimTime::ZERO);
+        }
+        let k = key(Proto::Gm, a, b);
+        // "Seq 1 lost; 2 and 3 keep arriving": dup-SACK indications at the
+        // window base.
+        ack_arrival(&mut w, k, 1, 0b110, SimTime::ZERO);
+        ack_arrival(&mut w, k, 1, 0b110, SimTime::ZERO);
+        assert_eq!(w.nics.rel.stats.fast_retransmits, 0, "below dupack_k");
+        ack_arrival(&mut w, k, 1, 0b110, SimTime::ZERO);
+        assert_eq!(w.nics.rel.stats.fast_retransmits, 1);
+        assert_eq!(
+            w.nics.rel.stats.retransmits, 1,
+            "only the hole below the highest SACKed seq (seq 1) is resent"
+        );
+        assert_eq!(w.nics.rel.stats.cwnd_cuts, 1);
+        assert_eq!(
+            w.nics.rel.link_cwnd(Proto::Gm, a, b),
+            Some(32),
+            "multiplicative decrease halves the 64-packet window"
+        );
+        // Further dup indications inside the episode never fire again.
+        ack_arrival(&mut w, k, 1, 0b110, SimTime::ZERO);
+        ack_arrival(&mut w, k, 1, 0b110, SimTime::ZERO);
+        ack_arrival(&mut w, k, 1, 0b110, SimTime::ZERO);
+        assert_eq!(w.nics.rel.stats.fast_retransmits, 1, "one cut per episode");
+        assert_eq!(w.nics.rel.stats.cwnd_cuts, 1);
+        // Full repair ends the episode; the window stays at the threshold.
+        ack_arrival(&mut w, k, 6, 0, SimTime::ZERO);
+        assert_eq!(w.nics.rel.link_cwnd(Proto::Gm, a, b), Some(32));
+        assert_eq!(w.nics.rel.in_flight(Proto::Gm, a, b), 0);
+    }
+
+    /// Ack aggregation: pure in-order arrivals ack every Nth packet or at
+    /// the holdoff; duplicates, out-of-order arrivals and hole-fills always
+    /// ack immediately.
+    #[test]
+    fn delayed_acks_aggregate_and_flush() {
+        let (mut w, a, b) = world();
+        w.nics.rel.params = RelParams::default().with_ack_every(4, SimTime::from_micros(10));
+        let mk = |seq: u64| {
+            let mut p = pkt(a, b, seq);
+            p.rel_seq = seq;
+            p
+        };
+        // Three pure in-order arrivals aggregate...
+        for seq in 1..=3 {
+            assert_eq!(rel_on_packet(&mut w, &mk(seq)), RelVerdict::Deliver);
+        }
+        assert_eq!(w.nics.rel.stats.acks_sent, 0);
+        assert_eq!(w.nics.rel.stats.acks_delayed, 3);
+        // ...the fourth is the count trigger.
+        assert_eq!(rel_on_packet(&mut w, &mk(4)), RelVerdict::Deliver);
+        assert_eq!(w.nics.rel.stats.acks_sent, 1);
+        // Out-of-order arrival (hole at 5): immediate ack.
+        assert_eq!(rel_on_packet(&mut w, &mk(6)), RelVerdict::Deliver);
+        assert_eq!(w.nics.rel.stats.acks_sent, 2);
+        // Hole fill: immediate ack.
+        assert_eq!(rel_on_packet(&mut w, &mk(5)), RelVerdict::Deliver);
+        assert_eq!(w.nics.rel.stats.acks_sent, 3);
+        // Duplicate: immediate ack (repairs a lost ack).
+        assert_eq!(rel_on_packet(&mut w, &mk(2)), RelVerdict::Consumed);
+        assert_eq!(w.nics.rel.stats.acks_sent, 4);
+        // One pending in-order arrival flushes at the holdoff.
+        assert_eq!(rel_on_packet(&mut w, &mk(7)), RelVerdict::Deliver);
+        assert_eq!(w.nics.rel.stats.acks_sent, 4);
+        run_to_quiescence(&mut w);
+        assert_eq!(w.nics.rel.stats.acks_sent, 5, "holdoff flushed the ack");
+        assert!(knet_simcore::now(&w) >= SimTime::from_micros(10));
+    }
+
+    /// Dead links are reclaimed: rings, receiver bitmaps and lazily-derived
+    /// fault dice streams are freed (a tombstone swallows stragglers), so
+    /// link churn never grows the maps.
+    #[test]
+    fn dead_link_reclaim_bounds_state_under_churn() {
+        let mut w = TestWorld {
+            sched: Scheduler::new(),
+            os: OsLayer::new(),
+            nics: NicLayer::new(),
+            delivered: Vec::new(),
+            dead: Vec::new(),
+        };
+        let mut nics = Vec::new();
+        for _ in 0..4 {
+            let n = w.os.add_node(CpuModel::xeon_2600(), 64);
+            nics.push(w.nics.add_nic(n, NicModel::pci_xd()));
+        }
+        // A black-hole fabric: every link dies after its retry budget.
+        w.nics
+            .set_fault_plan(crate::FaultPlan::new(9).with_drop(1.0));
+        let pairs = [(0, 1), (1, 0), (2, 3), (3, 2)];
+        for &(s, d) in &pairs {
+            for i in 0..3 {
+                rel_send(&mut w, pkt(nics[s], nics[d], i), SimTime::ZERO);
+            }
+        }
+        run_to_quiescence(&mut w);
+        assert_eq!(w.nics.rel.stats.dead_links, 4);
+        assert_eq!(w.dead.len(), 4, "every death reached the world");
+        assert_eq!(
+            w.nics.rel.live_links(),
+            (0, 0),
+            "rings and bitmaps are reclaimed"
+        );
+        assert_eq!(w.nics.rel.buffered_total(), 0);
+        assert_eq!(
+            w.nics.fault_streams(),
+            0,
+            "lazily-derived dice streams are reclaimed with their links"
+        );
+        // Sends on a reclaimed link are swallowed by the tombstone — no
+        // ring is ever recreated.
+        rel_send(&mut w, pkt(nics[0], nics[1], 99), SimTime::ZERO);
+        assert!(w.nics.rel.link_dead(Proto::Gm, nics[0], nics[1]));
+        assert_eq!(w.nics.rel.stats.dead_dropped, 1);
+        assert_eq!(w.nics.rel.live_links(), (0, 0));
     }
 
     /// An ack that progresses but echoes a pre-RTO timestamp proves the

@@ -2,7 +2,7 @@
 
 use knet_gm::{GmLayer, GmParams};
 use knet_mx::{MxLayer, MxParams};
-use knet_simnic::{FaultPlan, NicLayer, NicModel, QosPolicy};
+use knet_simnic::{FaultPlan, NicLayer, NicModel, QosPolicy, RelParams};
 use knet_simos::{CpuModel, NodeId, OsLayer};
 use knet_zsock::{TcpLayer, TcpParams, ZsockLayer, ZsockParams};
 
@@ -19,6 +19,7 @@ pub struct ClusterBuilder {
     zsock_params: ZsockParams,
     tcp_params: TcpParams,
     fault: Option<FaultPlan>,
+    rel_params: RelParams,
     tenants: Vec<TenantSpec>,
 }
 
@@ -48,6 +49,7 @@ impl ClusterBuilder {
             zsock_params: ZsockParams::default(),
             tcp_params: TcpParams::default(),
             fault: None,
+            rel_params: RelParams::default(),
             tenants: Vec::new(),
         }
     }
@@ -137,6 +139,15 @@ impl ClusterBuilder {
         self
     }
 
+    /// Tune the NIC-level reliability windows: AIMD congestion control,
+    /// fast-retransmit threshold, ack aggregation, retry budget (see
+    /// `knet_simnic::RelParams`). `RelParams::fixed_window()` is the
+    /// pre-control-loop sender — the incast bench's baseline.
+    pub fn rel_params(mut self, p: RelParams) -> Self {
+        self.rel_params = p;
+        self
+    }
+
     /// Make one *direction* of one node pair misbehave: install `plan`'s
     /// dice for packets `src → dst` only, leaving the rest of the fabric
     /// on whatever base plan is (or is not) installed. Asymmetric links —
@@ -163,6 +174,7 @@ impl ClusterBuilder {
         if let Some(plan) = &self.fault {
             nics.set_fault_plan(plan.clone());
         }
+        nics.rel = knet_simnic::RelState::new(self.rel_params);
         let mut w = ClusterWorld::from_layers(
             os,
             nics,

@@ -195,12 +195,17 @@ impl ClusterWorld {
     pub fn stats_snapshot(&self) -> knet_core::RegistryStats {
         let mut st = self.registry.stats;
         let rel = self.nics.rel.stats;
+        st.rel_data_packets = rel.data_packets;
         st.rel_retransmits = rel.retransmits;
         st.rel_sack_repairs = rel.sack_repairs;
         st.rel_rtt_samples = rel.rtt_samples;
         st.rel_spurious_rtos = rel.spurious_rtos;
         st.rel_srtt_ns = rel.srtt_ns;
         st.rel_rto_ns = rel.rto_ns;
+        st.rel_fast_retransmits = rel.fast_retransmits;
+        st.rel_cwnd_cuts = rel.cwnd_cuts;
+        st.rel_delayed_acks = rel.acks_delayed;
+        st.nic_rx_congestion_drops = self.nics.congestion_drops();
         let coll = self.coll.stats;
         st.coll_started = coll.started;
         st.coll_completed = coll.completed;

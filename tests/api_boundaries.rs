@@ -258,6 +258,52 @@ fn tenant_stamped_sends_stay_below_the_wdrr_scheduler() {
     );
 }
 
+/// Directories that must not touch the NIC's physical-lane model. Lane
+/// selection (the deficit picker that stripes a flow across a dual-link
+/// card) and rx-lane contention (the FIFO-overflow drop model) are
+/// properties of the simulated hardware in `knet-simnic`: everything
+/// above sees their *effects* only — goodput, `lane_tx` counters,
+/// `rx_congestion_drops`, NACKs. A layer that picked its own lane or
+/// probed lane occupancy would bake the card's link count into protocol
+/// code and break the single-link/dual-link A-B the striping bench runs.
+/// (`knet-simcore` defines the lane-bank resource; `knet-simnic` is its
+/// one consumer.)
+const LANE_FORBIDDEN: &[&str] = &[
+    "src",
+    "examples",
+    "tests",
+    "crates/core",
+    "crates/coll",
+    "crates/gm",
+    "crates/mx",
+    "crates/zsock",
+    "crates/bench",
+    "crates/simfs",
+    "crates/orfs",
+    "crates/nbd",
+    "crates/simos",
+    "crates/rpc",
+    "crates/kv",
+];
+
+#[test]
+fn physical_lane_model_stays_inside_the_nic_layer() {
+    // Patterns assembled at runtime so this file never matches itself.
+    let patterns = vec![
+        format!("Lane{}", "Bank"),
+        format!(".tx.{}(", "acquire"),
+        format!(".rx.{}(", "acquire"),
+    ];
+    let offenders = offenders_for(LANE_FORBIDDEN, &patterns);
+    assert!(
+        offenders.is_empty(),
+        "NIC lane internals touched above the simulated hardware (lane \
+         striping and rx contention belong to knet-simnic; observe them \
+         through stats and goodput only):\n{}",
+        offenders.join("\n")
+    );
+}
+
 #[test]
 fn collective_opcodes_stay_inside_the_nic_engine_and_drivers() {
     // Patterns assembled at runtime so this file never matches itself.
